@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablations against the related work the paper positions itself
+ * against (Sections 1-2):
+ *
+ *  1. Yeh's branch-address-cache multi-branch predictor: equal
+ *     two-level accuracy but 2^k - 1 PHT reads per cycle and
+ *     exponential BAC fan-out, versus the blocked PHT's single read.
+ *  2. Seznec's two-block-ahead predictor: second-block address
+ *     accuracy with a serialized dependency, versus the select
+ *     table's parallel selection.
+ *  3. Per-block vs per-branch history update (the blocked GHR
+ *     discipline's accuracy cost -- Figure 6's underlying question).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    // --- 1. Yeh BAC vs blocked PHT -------------------------------
+    TextTable bac_table("Ablation 1: Yeh BAC vs blocked PHT (int)");
+    bac_table.setHeader({ "scheme", "cond acc%", "PHT reads/cycle",
+                          "extra storage Kbits" });
+
+    AccuracyResult blocked_total;
+    BacStats bac_total;
+    for (const auto &name : specIntNames()) {
+        InMemoryTrace &t = benchTraces().get(name);
+        blocked_total.accumulate(
+            blockedPhtAccuracy(t, 10, ICacheConfig::normal(8)));
+        BranchAddressCache bac({ 10, 1024, 2, 8 });
+        BacStats s = bac.simulate(t);
+        bac_total.basicBlocks += s.basicBlocks;
+        bac_total.condBranches += s.condBranches;
+        bac_total.condMispredicts += s.condMispredicts;
+        bac_total.bacMisses += s.bacMisses;
+        bac_total.addrMispredicts += s.addrMispredicts;
+        bac_total.phtLookups += s.phtLookups;
+        bac_total.cycles += s.cycles;
+    }
+    BranchAddressCache cost_model({ 10, 1024, 2, 8 });
+    bac_table.addRow({ "blocked PHT (this paper)",
+                       pct(blocked_total.accuracy(), 2), "1", "0" });
+    bac_table.addRow({ "Yeh BAC (k=2)",
+                       pct(bac_total.condAccuracy(), 2),
+                       TextTable::fmt(bac_total.phtLookupsPerCycle(),
+                                      0),
+                       TextTable::fmt(
+                           cost_model.storageBits(30) / 1024.0, 1) });
+    std::cout << out(bac_table) << "\n";
+
+    // --- 2. Seznec two-block-ahead vs the select table ------------
+    TextTable tba_table("Ablation 2: two-block-ahead (Seznec)");
+    tba_table.setHeader({ "program", "2nd-block addr acc%",
+                          "2-ahead IPC_f", "select-table IPC_f" });
+    for (const char *name : { "gcc", "go", "li", "swim", "mgrid" }) {
+        TwoBlockAhead tba({ 10, 1024, 8 });
+        TwoBlockAheadStats s = tba.simulate(benchTraces().get(name));
+        FetchStats ta_run =
+            TwoAheadEngine(FetchEngineConfig{})
+                .run(benchTraces().get(name));
+        FetchStats st_run =
+            DualBlockEngine(FetchEngineConfig{})
+                .run(benchTraces().get(name));
+        tba_table.addRow({ name, pct(s.secondAccuracy(), 1),
+                           TextTable::fmt(ta_run.ipcF(), 2),
+                           TextTable::fmt(st_run.ipcF(), 2) });
+    }
+    std::cout << out(tba_table)
+              << "(TwoAheadEngine is a simplified address-table "
+                 "variant of Seznec's\n design -- the full proposal "
+                 "folds in two-level direction prediction,\n so "
+                 "treat its int-side gap as an upper bound. The "
+                 "select table's\n structural advantage is the "
+                 "*parallel* tag match: Seznec's second\n prediction "
+                 "is serialized behind the first, a cycle-time "
+                 "liability\n no cycle count shows.)\n\n";
+
+    // --- 3. Per-block vs per-branch history update ----------------
+    TextTable ghr_table(
+        "Ablation 3: per-block vs per-branch history update");
+    ghr_table.setHeader({ "class", "blocked (per-block GHR)%",
+                          "scalar (per-branch GHR)%" });
+    for (bool is_fp : { false, true }) {
+        AccuracyResult blocked, scalar;
+        const auto names = is_fp ? specFpNames() : specIntNames();
+        for (const auto &name : names) {
+            InMemoryTrace &t = benchTraces().get(name);
+            blocked.accumulate(
+                blockedPhtAccuracy(t, 10, ICacheConfig::normal(8)));
+            scalar.accumulate(scalarAccuracy(t, 10, 8));
+        }
+        ghr_table.addRow({ is_fp ? "FP" : "Int",
+                           pct(blocked.accuracy(), 2),
+                           pct(scalar.accuracy(), 2) });
+    }
+    std::cout << out(ghr_table);
+    return 0;
+}

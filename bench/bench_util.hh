@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: a cached suite at a
+ * configurable trace length (MBBP_BENCH_INSTS, default 300000 -- the
+ * paper used 1e9 per program; raise it for tighter statistics).
+ */
+
+#ifndef MBBP_BENCH_BENCH_UTIL_HH
+#define MBBP_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "core/mbbp.hh"
+
+namespace mbbp::bench
+{
+
+/** Trace length per program, from MBBP_BENCH_INSTS. */
+inline std::size_t
+benchInstructions()
+{
+    if (const char *env = std::getenv("MBBP_BENCH_INSTS"))
+        return static_cast<std::size_t>(std::strtoull(env, nullptr,
+                                                      10));
+    return 300000;
+}
+
+/** Process-wide trace cache at the bench length. */
+inline TraceCache &
+benchTraces()
+{
+    static TraceCache cache(benchInstructions());
+    return cache;
+}
+
+/** Percent with one decimal, e.g. "91.5". */
+inline std::string
+pct(double frac, int precision = 1)
+{
+    return TextTable::fmt(100.0 * frac, precision);
+}
+
+/**
+ * Render a result table honoring MBBP_BENCH_CSV=1 (machine-readable
+ * output for plotting/regression tooling).
+ */
+inline std::string
+out(const TextTable &table)
+{
+    if (const char *env = std::getenv("MBBP_BENCH_CSV"))
+        if (env[0] == '1')
+            return table.renderCsv();
+    return table.render();
+}
+
+} // namespace mbbp::bench
+
+#endif // MBBP_BENCH_BENCH_UTIL_HH

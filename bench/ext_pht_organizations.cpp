@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Extension experiment: blocked PHT organizations. Section 2 notes
+ * that "all of Yeh's original variations may be expanded in this
+ * manner, except his per-addr variation now becomes a per-block
+ * variation" -- i.e. several blocked PHTs selected by block-address
+ * bits. Sweeps 1..8 blocked PHTs at fixed total storage and at fixed
+ * per-table size, plus the gshare-vs-concatenation indexing choice
+ * for the scalar baseline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+namespace
+{
+
+/** Blocked accuracy with an explicit PHT count / history length. */
+AccuracyResult
+blockedWith(unsigned history_bits, unsigned num_phts, bool is_fp)
+{
+    AccuracyResult total;
+    const auto names = is_fp ? specFpNames() : specIntNames();
+    for (const auto &name : names) {
+        InMemoryTrace &t = benchTraces().get(name);
+        ICacheModel cache(ICacheConfig::normal(8));
+        BlockedPHT pht({ history_bits, 8, 2, num_phts });
+        GlobalHistory ghr(history_bits);
+        t.reset();
+        BlockStream stream(t, cache);
+        FetchBlock blk;
+        AccuracyResult res;
+        while (stream.next(blk)) {
+            std::size_t idx = pht.index(ghr, blk.startPc);
+            for (const auto &inst : blk.insts) {
+                if (!isCondBranch(inst.cls))
+                    continue;
+                ++res.condBranches;
+                if (pht.predictAt(idx, inst.pc) != inst.taken)
+                    ++res.mispredicts;
+                pht.updateAt(idx, inst.pc, inst.taken);
+            }
+            ghr.shiftInBlock(blk.condOutcomes(), blk.numConds());
+        }
+        total.accumulate(res);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable fixed_total(
+        "Per-block PHT variation at fixed total storage (16 Kbits)");
+    fixed_total.setHeader({ "#PHTs", "history", "Int acc%",
+                            "FP acc%" });
+    // p tables of 2^h entries: p * 2^h * 16 bits = 16 Kbits total.
+    for (unsigned p : { 1u, 2u, 4u, 8u }) {
+        unsigned h = 10;
+        unsigned shrink = 0;
+        for (unsigned q = p; q > 1; q >>= 1)
+            ++shrink;
+        h -= shrink;
+        fixed_total.addRow({ std::to_string(p), std::to_string(h),
+                             pct(blockedWith(h, p, false).accuracy(),
+                                 2),
+                             pct(blockedWith(h, p, true).accuracy(),
+                                 2) });
+    }
+    std::cout << out(fixed_total) << "\n";
+
+    TextTable fixed_table(
+        "Per-block PHT variation at fixed per-table size (h=10)");
+    fixed_table.setHeader({ "#PHTs", "storage Kbits", "Int acc%",
+                            "FP acc%" });
+    for (unsigned p : { 1u, 2u, 4u, 8u }) {
+        BlockedPHT probe({ 10, 8, 2, p });
+        fixed_table.addRow({
+            std::to_string(p),
+            TextTable::fmt(
+                static_cast<double>(probe.storageBits()) / 1024.0, 0),
+            pct(blockedWith(10, p, false).accuracy(), 2),
+            pct(blockedWith(10, p, true).accuracy(), 2),
+        });
+    }
+    std::cout << out(fixed_table) << "\n";
+
+    TextTable scalar_idx("Scalar baseline index schemes (h=10)");
+    scalar_idx.setHeader({ "scheme", "Int acc%", "FP acc%" });
+    struct Variant
+    {
+        const char *label;
+        unsigned num_phts;
+        bool gshare;
+    };
+    for (const Variant &v :
+         { Variant{ "per-addr (8 PHTs)", 8, false },
+           Variant{ "single shared (1 PHT)", 1, false },
+           Variant{ "gshare (1 PHT, xor)", 1, true } }) {
+        AccuracyResult int_total, fp_total;
+        for (const auto &name : specIntNames())
+            int_total.accumulate(scalarAccuracy(
+                benchTraces().get(name), 10, v.num_phts, v.gshare));
+        for (const auto &name : specFpNames())
+            fp_total.accumulate(scalarAccuracy(
+                benchTraces().get(name), 10, v.num_phts, v.gshare));
+        scalar_idx.addRow({ v.label, pct(int_total.accuracy(), 2),
+                            pct(fp_total.accuracy(), 2) });
+    }
+    std::cout << out(scalar_idx);
+    return 0;
+}

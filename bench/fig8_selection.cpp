@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 8: dual-block fetching with single vs double selection,
+ * sweeping branch history length 9..12 and 1/2/4/8 select tables.
+ *
+ * Paper result: more STs and longer history both help; double
+ * selection costs roughly 10% IPC_f, closing the gap with more STs.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    TextTable table("Figure 8: single vs double selection (IPC_f)");
+    table.setHeader({ "history", "#STs", "Int/single", "Int/double",
+                      "FP/single", "FP/double" });
+
+    for (unsigned h = 9; h <= 12; ++h) {
+        for (unsigned sts : { 1u, 2u, 4u, 8u }) {
+            std::vector<std::string> row = { std::to_string(h),
+                                             std::to_string(sts) };
+            for (bool is_fp : { false, true }) {
+                for (bool dbl : { false, true }) {
+                    SimConfig cfg;
+                    cfg.numBlocks = 2;
+                    cfg.engine.historyBits = h;
+                    cfg.engine.numSelectTables = sts;
+                    cfg.engine.doubleSelect = dbl;
+                    FetchStats total;
+                    const auto names =
+                        is_fp ? specFpNames() : specIntNames();
+                    for (const auto &name : names)
+                        total.accumulate(FetchSimulator(cfg).run(
+                            benchTraces().get(name)));
+                    row.push_back(TextTable::fmt(total.ipcF(), 2));
+                }
+            }
+            table.addRow(row);
+        }
+    }
+    std::cout << out(table) << "\n";
+
+    // The paper's summary comparison at h=10, 8 STs.
+    SimConfig s_single;
+    s_single.engine.historyBits = 10;
+    s_single.engine.numSelectTables = 8;
+    SimConfig s_double = s_single;
+    s_double.engine.doubleSelect = true;
+    FetchStats int_single, int_double;
+    for (const auto &name : specIntNames()) {
+        int_single.accumulate(
+            FetchSimulator(s_single).run(benchTraces().get(name)));
+        int_double.accumulate(
+            FetchSimulator(s_double).run(benchTraces().get(name)));
+    }
+    std::cout << "Int h=10/8ST: double selection costs "
+              << pct(1.0 - int_double.ipcF() / int_single.ipcF(), 1)
+              << "% IPC_f (paper: roughly 10%)\n";
+    return 0;
+}

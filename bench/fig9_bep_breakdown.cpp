@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 9: per-program branch execution penalty, broken down by
+ * misprediction type, for two-block single-selection fetching with a
+ * self-aligned cache, 8 select tables, history length 10.
+ *
+ * Paper result: conditional-branch misprediction dominates BEP,
+ * misselection is next, then target-array misfetches; several fp
+ * programs are nearly penalty-free while go/gcc/compress run high.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    cfg.numBlocks = 2;
+    cfg.engine.icache = ICacheConfig::selfAligned(8);
+    cfg.engine.numSelectTables = 8;
+
+    // Machine-readable dump of the full suite run on request.
+    if (const char *env = std::getenv("MBBP_BENCH_JSON");
+        env && env[0] == '1') {
+        SuiteResult result = runSuite(cfg, benchTraces());
+        std::cout << suiteResultToJson(result) << "\n";
+        return 0;
+    }
+
+    TextTable table(
+        "Figure 9: BEP breakdown (two block, single selection)");
+    table.setHeader({ "program", "BEP", "mispredict", "misselect",
+                      "ghr", "mf-imm", "mf-ind", "return", "bank",
+                      "IPC_f" });
+
+    FetchStats int_total, fp_total;
+    for (const auto &name : specAllNames()) {
+        FetchStats s = FetchSimulator(cfg).run(benchTraces().get(name));
+        table.addRow({
+            name,
+            TextTable::fmt(s.bep(), 3),
+            TextTable::fmt(s.bepOf(PenaltyKind::CondMispredict), 3),
+            TextTable::fmt(s.bepOf(PenaltyKind::Misselect), 3),
+            TextTable::fmt(s.bepOf(PenaltyKind::GhrMispredict), 3),
+            TextTable::fmt(s.bepOf(PenaltyKind::MisfetchImmediate),
+                           3),
+            TextTable::fmt(s.bepOf(PenaltyKind::MisfetchIndirect),
+                           3),
+            TextTable::fmt(s.bepOf(PenaltyKind::ReturnMispredict),
+                           3),
+            TextTable::fmt(s.bepOf(PenaltyKind::BankConflict), 3),
+            TextTable::fmt(s.ipcF(), 2),
+        });
+        if (specProfile(name).isFloat)
+            fp_total.accumulate(s);
+        else
+            int_total.accumulate(s);
+    }
+    table.addRow({ "CINT95", TextTable::fmt(int_total.bep(), 3),
+                   TextTable::fmt(
+                       int_total.bepOf(PenaltyKind::CondMispredict),
+                       3),
+                   TextTable::fmt(int_total.bepOf(
+                                      PenaltyKind::Misselect), 3),
+                   TextTable::fmt(int_total.bepOf(
+                                      PenaltyKind::GhrMispredict), 3),
+                   TextTable::fmt(
+                       int_total.bepOf(PenaltyKind::MisfetchImmediate),
+                       3),
+                   TextTable::fmt(
+                       int_total.bepOf(PenaltyKind::MisfetchIndirect),
+                       3),
+                   TextTable::fmt(
+                       int_total.bepOf(PenaltyKind::ReturnMispredict),
+                       3),
+                   TextTable::fmt(int_total.bepOf(
+                                      PenaltyKind::BankConflict), 3),
+                   TextTable::fmt(int_total.ipcF(), 2) });
+    table.addRow({ "CFP95", TextTable::fmt(fp_total.bep(), 3),
+                   TextTable::fmt(
+                       fp_total.bepOf(PenaltyKind::CondMispredict),
+                       3),
+                   TextTable::fmt(fp_total.bepOf(
+                                      PenaltyKind::Misselect), 3),
+                   TextTable::fmt(fp_total.bepOf(
+                                      PenaltyKind::GhrMispredict), 3),
+                   TextTable::fmt(
+                       fp_total.bepOf(PenaltyKind::MisfetchImmediate),
+                       3),
+                   TextTable::fmt(
+                       fp_total.bepOf(PenaltyKind::MisfetchIndirect),
+                       3),
+                   TextTable::fmt(
+                       fp_total.bepOf(PenaltyKind::ReturnMispredict),
+                       3),
+                   TextTable::fmt(fp_total.bepOf(
+                                      PenaltyKind::BankConflict), 3),
+                   TextTable::fmt(fp_total.ipcF(), 2) });
+    std::cout << out(table);
+
+    FetchStats all = int_total;
+    all.accumulate(fp_total);
+    std::cout << "\nSuite IPC_f " << TextTable::fmt(all.ipcF(), 2)
+              << " (paper: over 8 for the whole suite; FP 10.9)\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: predictor
+ * lookup/update throughput and end-to-end engine speed. These are not
+ * paper experiments; they keep the infrastructure honest (simulation
+ * rate in instructions per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mbbp.hh"
+#include "workload/interpreter.hh"
+
+namespace
+{
+
+using namespace mbbp;
+
+void
+BM_BlockedPhtLookup(benchmark::State &state)
+{
+    BlockedPHT pht({ 10, 8, 2, 1 });
+    GlobalHistory ghr(10);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        std::size_t idx = pht.index(ghr, pc);
+        benchmark::DoNotOptimize(pht.predictAt(idx, pc));
+        pht.updateAt(idx, pc, pc & 1);
+        ghr.shiftIn(pc & 1);
+        pc += 8;
+    }
+}
+BENCHMARK(BM_BlockedPhtLookup);
+
+void
+BM_ScalarTwoLevel(benchmark::State &state)
+{
+    ScalarTwoLevel pred({ 10, 8, 2, false });
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, pc & 1);
+        ++pc;
+    }
+}
+BENCHMARK(BM_ScalarTwoLevel);
+
+void
+BM_BtbProbe(benchmark::State &state)
+{
+    Btb btb(64, 4, 8);
+    for (Addr line = 0; line < 64; ++line)
+        btb.update(line * 8, 3, 0, line, false);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.predict(a * 8, 3, 0));
+        a = (a + 1) & 127;
+    }
+}
+BENCHMARK(BM_BtbProbe);
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    WorkloadProfile prof;
+    prof.seed = 7;
+    Program prog = generateProgram(prof);
+    Interpreter interp(prog, 9);
+    DynInst inst;
+    for (auto _ : state) {
+        if (!interp.next(inst))
+            interp.reset();
+        benchmark::DoNotOptimize(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_SingleBlockEngine(benchmark::State &state)
+{
+    InMemoryTrace trace = specTrace("li", 50000);
+    SimConfig cfg;
+    cfg.numBlocks = 1;
+    for (auto _ : state) {
+        FetchStats s = FetchSimulator(cfg).run(trace);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_SingleBlockEngine)->Unit(benchmark::kMillisecond);
+
+void
+BM_DualBlockEngine(benchmark::State &state)
+{
+    InMemoryTrace trace = specTrace("li", 50000);
+    SimConfig cfg;
+    cfg.numBlocks = 2;
+    for (auto _ : state) {
+        FetchStats s = FetchSimulator(cfg).run(trace);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_DualBlockEngine)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 5: target-array configurations on SPECint95 -- BTB (4-way,
+ * LRU) block entries 8..64 and NLS block entries 64..512, each with
+ * and without near-block target encoding. Reports the share of BEP
+ * from immediate and indirect misfetches, total BEP, and IPC_f.
+ *
+ * Paper results: roughly eight NLS block entries are needed to match
+ * one 4-way BTB entry; ~70% of conditional branches are near-block,
+ * so near-block encoding halves the required target-array size.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    TextTable table("Table 5: target arrays (SPECint, dual block)");
+    table.setHeader({ "type", "blk entries", "near?", "%BEP mf-imm",
+                      "%BEP mf-ind", "BEP", "IPC_f" });
+
+    struct Config
+    {
+        TargetKind kind;
+        std::size_t entries;
+    };
+    std::vector<Config> configs;
+    for (std::size_t e : { 8u, 16u, 32u, 64u })
+        configs.push_back({ TargetKind::Btb, e });
+    for (std::size_t e : { 64u, 128u, 256u, 512u })
+        configs.push_back({ TargetKind::Nls, e });
+
+    double near_fraction = 0.0;
+    for (const Config &c : configs) {
+        for (bool near : { false, true }) {
+            SimConfig cfg;
+            cfg.numBlocks = 2;
+            cfg.engine.targetKind = c.kind;
+            cfg.engine.targetEntries = c.entries;
+            cfg.engine.nearBlock = near;
+            FetchStats total;
+            for (const auto &name : specIntNames())
+                total.accumulate(
+                    FetchSimulator(cfg).run(benchTraces().get(name)));
+            double bep = total.bep();
+            auto share = [&](PenaltyKind k) {
+                return bep > 0.0 ? total.bepOf(k) / bep : 0.0;
+            };
+            table.addRow({
+                c.kind == TargetKind::Btb ? "BTB" : "NLS",
+                std::to_string(c.entries),
+                near ? "yes" : "no",
+                pct(share(PenaltyKind::MisfetchImmediate), 1),
+                pct(share(PenaltyKind::MisfetchIndirect), 1),
+                TextTable::fmt(bep, 3),
+                TextTable::fmt(total.ipcF(), 2),
+            });
+            near_fraction = total.nearBlockFraction();
+        }
+    }
+    std::cout << out(table) << "\n"
+              << "Near-block conditional fraction: "
+              << pct(near_fraction, 1) << "% (paper: about 70%)\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 6: normal / extended / self-aligned instruction caches, one
+ * and two blocks per cycle, 8 select tables, history length 10.
+ * Reports instructions per block (IPB) and IPC_f for SPECint and
+ * SPECfp.
+ *
+ * Paper results (IPB, 1blk, 2blk):
+ *   int: normal 5.01/3.96/5.66, extend 5.30/4.12/5.87,
+ *        align 5.99/4.53/6.42
+ *   fp:  normal 5.81/5.48/9.43, extend 6.03/5.65/9.80,
+ *        align 6.76/6.33/10.88
+ * Dual block is ~40% (int) and ~70% (fp) over single block.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    TextTable table("Table 6: cache types (8 STs, h=10)");
+    table.setHeader({ "cache", "line", "banks", "Int IPB",
+                      "Int IPCf 1blk", "Int IPCf 2blk", "FP IPB",
+                      "FP IPCf 1blk", "FP IPCf 2blk" });
+
+    double int_1 = 0, int_2 = 0, fp_1 = 0, fp_2 = 0;
+    for (ICacheConfig icache : { ICacheConfig::normal(8),
+                                 ICacheConfig::extended(8),
+                                 ICacheConfig::selfAligned(8) }) {
+        std::vector<std::string> row = {
+            cacheTypeName(icache.type),
+            std::to_string(icache.lineSize),
+            std::to_string(icache.numBanks),
+        };
+        for (bool is_fp : { false, true }) {
+            double ipb = 0.0;
+            double ipcf[2] = { 0.0, 0.0 };
+            for (unsigned blocks : { 1u, 2u }) {
+                SimConfig cfg;
+                cfg.numBlocks = blocks;
+                cfg.engine.icache = icache;
+                cfg.engine.numSelectTables = 8;
+                FetchStats total;
+                const auto names =
+                    is_fp ? specFpNames() : specIntNames();
+                for (const auto &name : names)
+                    total.accumulate(FetchSimulator(cfg).run(
+                        benchTraces().get(name)));
+                ipb = total.ipb();
+                ipcf[blocks - 1] = total.ipcF();
+            }
+            row.push_back(TextTable::fmt(ipb, 2));
+            row.push_back(TextTable::fmt(ipcf[0], 2));
+            row.push_back(TextTable::fmt(ipcf[1], 2));
+            if (icache.type == CacheType::SelfAligned) {
+                if (is_fp) {
+                    fp_1 = ipcf[0];
+                    fp_2 = ipcf[1];
+                } else {
+                    int_1 = ipcf[0];
+                    int_2 = ipcf[1];
+                }
+            }
+        }
+        table.addRow(row);
+    }
+    std::cout << out(table) << "\n"
+              << "Self-aligned dual/single gain: Int "
+              << pct(int_2 / int_1 - 1.0, 0)
+              << "% (paper ~40%), FP " << pct(fp_2 / fp_1 - 1.0, 0)
+              << "% (paper ~70%)\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 7 / Section 5: simplified hardware cost estimates. With the
+ * paper's reference parameters the totals are 52 Kbits (single
+ * block), 80 Kbits (dual, single selection) and 72 Kbits (dual,
+ * double selection).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    CostParams p;   // paper reference parameters
+    CostModel m(p);
+
+    TextTable parts("Table 7: component costs (Kbits)");
+    parts.setHeader({ "table", "formula", "Kbits" });
+    parts.addRow({ "PHT", "2^h * b * 2 * p",
+                   TextTable::fmt(CostModel::kbits(m.phtBits()), 2) });
+    parts.addRow({ "ST", "2^h * s * (2*log2(b) + 2)",
+                   TextTable::fmt(CostModel::kbits(m.stBits(false)),
+                                  2) });
+    parts.addRow({ "NLS", "e_N * b * n",
+                   TextTable::fmt(CostModel::kbits(m.nlsBits(false)),
+                                  2) });
+    parts.addRow({ "BIT", "e_B * b * 2",
+                   TextTable::fmt(CostModel::kbits(m.bitBits()), 2) });
+    parts.addRow({ "BBR", "e_R * entry bits",
+                   TextTable::fmt(CostModel::kbits(m.bbrBits()), 2) });
+    std::cout << out(parts) << "\n";
+
+    TextTable totals("Section 5 totals");
+    totals.setHeader({ "mechanism", "Kbits", "paper" });
+    totals.addRow({ "single block",
+                    TextTable::fmt(
+                        CostModel::kbits(m.singleBlockTotal()), 1),
+                    "52" });
+    totals.addRow({ "dual block, single select",
+                    TextTable::fmt(
+                        CostModel::kbits(m.dualSingleSelectTotal()),
+                        1),
+                    "80" });
+    totals.addRow({ "dual block, double select",
+                    TextTable::fmt(
+                        CostModel::kbits(m.dualDoubleSelectTotal()),
+                        1),
+                    "72" });
+    std::cout << out(totals) << "\n";
+
+    // Scalability: cost vs block width (the paper's closing claim).
+    TextTable scale("Cost scaling with block width (dual/single)");
+    scale.setHeader({ "b", "Kbits", "Yeh BAC PHT reads/cycle" });
+    for (unsigned b : { 4u, 8u, 16u }) {
+        CostParams q;
+        q.blockWidth = b;
+        CostModel mq(q);
+        // Two-block fetching predicts up to two blocks' branches.
+        scale.addRow({ std::to_string(b),
+                       TextTable::fmt(CostModel::kbits(
+                                          mq.dualSingleSelectTotal()),
+                                      1),
+                       std::to_string(
+                           BranchAddressCache::lookupsPerCycle(2)) });
+    }
+    std::cout << out(scale);
+    return 0;
+}

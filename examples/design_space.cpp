@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Design-space exploration beyond the paper's published sweeps: block
+ * width 4 vs 8 (the paper's "two blocks of four" suggestion for an
+ * 8-issue machine), near-block encoding on/off, and history length --
+ * all through the one public SimConfig knob set. Prints an IPC_f /
+ * cost frontier so the trade-offs are visible side by side.
+ */
+
+#include <iostream>
+
+#include "core/mbbp.hh"
+
+using namespace mbbp;
+
+namespace
+{
+
+FetchStats
+runSuiteSubset(const SimConfig &cfg, TraceCache &traces)
+{
+    FetchStats total;
+    for (const char *name : { "gcc", "go", "li", "swim", "mgrid" })
+        total.accumulate(FetchSimulator(cfg).run(traces.get(name)));
+    return total;
+}
+
+uint64_t
+configCost(const SimConfig &cfg)
+{
+    CostParams p;
+    p.blockWidth = cfg.engine.icache.blockWidth;
+    p.historyBits = cfg.engine.historyBits;
+    p.numSelectTables = cfg.engine.numSelectTables;
+    p.nlsEntries = cfg.engine.targetEntries;
+    p.bitEntries = cfg.engine.bitEntries ? cfg.engine.bitEntries
+                                         : 1024;
+    p.nearBlockOffset = cfg.engine.nearBlock;
+    CostModel m(p);
+    return cfg.numBlocks == 2
+        ? (cfg.engine.doubleSelect ? m.dualDoubleSelectTotal()
+                                   : m.dualSingleSelectTotal())
+        : m.singleBlockTotal();
+}
+
+} // namespace
+
+int
+main()
+{
+    TraceCache traces(150000);
+
+    TextTable table("design space: IPC_f vs estimated cost");
+    table.setHeader({ "config", "IPC_f", "BEP", "cost Kbits" });
+
+    struct Point
+    {
+        const char *label;
+        SimConfig cfg;
+    };
+    std::vector<Point> points;
+
+    {
+        SimConfig c;
+        c.numBlocks = 1;
+        c.engine.icache = ICacheConfig::normal(8);
+        points.push_back({ "1 block, b=8, normal", c });
+    }
+    {
+        SimConfig c;
+        c.numBlocks = 2;
+        c.engine.icache = ICacheConfig::normal(8);
+        points.push_back({ "2 blocks, b=8, normal", c });
+    }
+    {
+        // The paper's suggestion: "a simpler configuration to satisfy
+        // issue unit constraints would be two blocks of four
+        // instructions each."
+        SimConfig c;
+        c.numBlocks = 2;
+        c.engine.icache = ICacheConfig::normal(4);
+        points.push_back({ "2 blocks, b=4, normal", c });
+    }
+    {
+        SimConfig c;
+        c.numBlocks = 2;
+        c.engine.icache = ICacheConfig::selfAligned(8);
+        c.engine.numSelectTables = 8;
+        points.push_back({ "2 blocks, b=8, aligned, 8ST", c });
+    }
+    {
+        SimConfig c;
+        c.numBlocks = 2;
+        c.engine.icache = ICacheConfig::selfAligned(8);
+        c.engine.numSelectTables = 8;
+        c.engine.nearBlock = true;
+        c.engine.targetEntries = 128;   // near-block halves the NLS
+        points.push_back({ "  + near-block, half NLS", c });
+    }
+    {
+        SimConfig c;
+        c.numBlocks = 2;
+        c.engine.icache = ICacheConfig::selfAligned(8);
+        c.engine.numSelectTables = 8;
+        c.engine.doubleSelect = true;
+        points.push_back({ "  + double selection (no BIT)", c });
+    }
+
+    for (const auto &pt : points) {
+        FetchStats s = runSuiteSubset(pt.cfg, traces);
+        table.addRow({ pt.label, TextTable::fmt(s.ipcF()),
+                       TextTable::fmt(s.bep(), 3),
+                       TextTable::fmt(
+                           CostModel::kbits(configCost(pt.cfg)), 1) });
+    }
+    std::cout << table.render();
+    return 0;
+}

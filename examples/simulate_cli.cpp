@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Command-line driver: run any front-end configuration over a named
+ * synthetic benchmark or an external binary trace file and print the
+ * full metric report. The adoption path for users with their own
+ * traces.
+ *
+ * Usage:
+ *   simulate_cli [options] <workload>
+ *     <workload>            spec95 name (e.g. gcc) or path to a
+ *                           .trc file written by TraceFileWriter
+ *   --blocks N              1..4 blocks per cycle        [2]
+ *   --history H             branch history length        [10]
+ *   --sts N                 select tables                [1]
+ *   --cache normal|extend|align                          [normal]
+ *   --target nls|btb        target array type            [nls]
+ *   --target-entries N      block entries                [256]
+ *   --bit-entries N         finite BIT table (0=in-cache)[0]
+ *   --near-block            enable 3-bit near-block codes
+ *   --double-select         dual select table, no BIT
+ *   --insts N               instructions (synthetic)     [400000]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/mbbp.hh"
+
+using namespace mbbp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: simulate_cli [options] <spec95-name | trace.trc>\n"
+        "  --blocks N --history H --sts N --cache normal|extend|align\n"
+        "  --target nls|btb --target-entries N --bit-entries N\n"
+        "  --near-block --double-select --insts N --json\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg;
+    cfg.numBlocks = 2;
+    std::size_t insts = 400000;
+    std::string workload;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--blocks") {
+            cfg.numBlocks = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--history") {
+            cfg.engine.historyBits =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--sts") {
+            cfg.engine.numSelectTables =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--cache") {
+            std::string c = next();
+            unsigned b = cfg.engine.icache.blockWidth;
+            if (c == "normal")
+                cfg.engine.icache = ICacheConfig::normal(b);
+            else if (c == "extend")
+                cfg.engine.icache = ICacheConfig::extended(b);
+            else if (c == "align")
+                cfg.engine.icache = ICacheConfig::selfAligned(b);
+            else {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--target") {
+            std::string t = next();
+            cfg.engine.targetKind =
+                t == "btb" ? TargetKind::Btb : TargetKind::Nls;
+        } else if (arg == "--target-entries") {
+            cfg.engine.targetEntries = std::stoull(next());
+        } else if (arg == "--bit-entries") {
+            cfg.engine.bitEntries = std::stoull(next());
+        } else if (arg == "--near-block") {
+            cfg.engine.nearBlock = true;
+        } else if (arg == "--double-select") {
+            cfg.engine.doubleSelect = true;
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 1;
+        } else {
+            workload = arg;
+        }
+    }
+    if (workload.empty()) {
+        usage();
+        return 1;
+    }
+
+    // Load the stream: a trace file if the name looks like one,
+    // otherwise a synthetic benchmark.
+    InMemoryTrace trace;
+    if (workload.size() > 4 &&
+        workload.compare(workload.size() - 4, 4, ".trc") == 0) {
+        TraceFileReader reader(workload);
+        trace = captureTrace(reader);
+    } else {
+        trace = specTrace(workload, insts);
+    }
+
+    if (json) {
+        FetchStats js = FetchSimulator(cfg).run(trace);
+        std::cout << statsToJson(js) << "\n";
+        return 0;
+    }
+
+    auto summary = trace.summarize();
+    std::cout << "workload " << workload << ": "
+              << summary.instructions << " instructions, "
+              << TextTable::fmt(100.0 * summary.condDensity(), 1)
+              << "% conditional density\n\n";
+
+    FetchStats s = FetchSimulator(cfg).run(trace);
+
+    TextTable report("fetch report");
+    report.setHeader({ "metric", "value" });
+    report.addRow({ "IPC_f", TextTable::fmt(s.ipcF(), 3) });
+    report.addRow({ "IPB", TextTable::fmt(s.ipb(), 3) });
+    report.addRow({ "BEP", TextTable::fmt(s.bep(), 4) });
+    report.addRow({ "fetch cycles",
+                    TextTable::fmt(s.fetchCycles()) });
+    report.addRow({ "fetch requests",
+                    TextTable::fmt(s.fetchRequests) });
+    report.addRow({ "blocks fetched",
+                    TextTable::fmt(s.blocksFetched) });
+    report.addRow({ "branches executed",
+                    TextTable::fmt(s.branchesExecuted) });
+    report.addRow({ "cond direction wrong",
+                    TextTable::fmt(s.condDirectionWrong) });
+    report.addRow({ "RAS overflows",
+                    TextTable::fmt(s.rasOverflows) });
+    for (unsigned k = 0; k < numPenaltyKinds; ++k) {
+        auto kind = static_cast<PenaltyKind>(k);
+        if (s.penaltyEvents[k] == 0)
+            continue;
+        report.addRow({ std::string("penalty: ") +
+                            penaltyKindName(kind),
+                        TextTable::fmt(s.penaltyCycles[k]) + " cyc / " +
+                            TextTable::fmt(s.penaltyEvents[k]) +
+                            " events" });
+    }
+    std::cout << report.render();
+    return 0;
+}

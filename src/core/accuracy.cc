@@ -1,0 +1,78 @@
+#include "core/accuracy.hh"
+
+#include "fetch/block.hh"
+#include "predict/blocked_pht.hh"
+#include "predict/scalar_two_level.hh"
+#include "util/stats.hh"
+
+namespace mbbp
+{
+
+double
+AccuracyResult::missRate() const
+{
+    return ratio(static_cast<double>(mispredicts),
+                 static_cast<double>(condBranches));
+}
+
+double
+AccuracyResult::accuracy() const
+{
+    return 1.0 - missRate();
+}
+
+void
+AccuracyResult::accumulate(const AccuracyResult &other)
+{
+    condBranches += other.condBranches;
+    mispredicts += other.mispredicts;
+}
+
+AccuracyResult
+blockedPhtAccuracy(InMemoryTrace &trace, unsigned history_bits,
+                   const ICacheConfig &icache)
+{
+    AccuracyResult res;
+    ICacheModel cache(icache);
+    BlockedPHT pht({ history_bits, icache.blockWidth, 2, 1 });
+    GlobalHistory ghr(history_bits);
+
+    trace.reset();
+    BlockStream stream(trace, cache);
+    FetchBlock blk;
+    while (stream.next(blk)) {
+        std::size_t idx = pht.index(ghr, blk.startPc);
+        for (const auto &inst : blk.insts) {
+            if (!isCondBranch(inst.cls))
+                continue;
+            ++res.condBranches;
+            if (pht.predictAt(idx, inst.pc) != inst.taken)
+                ++res.mispredicts;
+            pht.updateAt(idx, inst.pc, inst.taken);
+        }
+        ghr.shiftInBlock(blk.condOutcomes(), blk.numConds());
+    }
+    return res;
+}
+
+AccuracyResult
+scalarAccuracy(InMemoryTrace &trace, unsigned history_bits,
+               unsigned num_phts, bool gshare)
+{
+    AccuracyResult res;
+    ScalarTwoLevel pred({ history_bits, num_phts, 2, gshare });
+
+    trace.reset();
+    DynInst inst;
+    while (trace.next(inst)) {
+        if (!isCondBranch(inst.cls))
+            continue;
+        ++res.condBranches;
+        if (pred.predict(inst.pc) != inst.taken)
+            ++res.mispredicts;
+        pred.update(inst.pc, inst.taken);
+    }
+    return res;
+}
+
+} // namespace mbbp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Conditional-branch accuracy simulators for Figure 6: the blocked
+ * PHT (per-block history update) against a size-matched scalar
+ * two-level predictor (per-branch update, 8 per-address PHTs).
+ */
+
+#ifndef MBBP_CORE_ACCURACY_HH
+#define MBBP_CORE_ACCURACY_HH
+
+#include "fetch/icache_model.hh"
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** Direction-prediction accuracy over one trace. */
+struct AccuracyResult
+{
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+
+    double missRate() const;        //!< fraction mispredicted
+    double accuracy() const;        //!< 1 - missRate
+
+    void accumulate(const AccuracyResult &other);
+};
+
+/**
+ * Run the blocked PHT over @p trace: one entry of b counters per
+ * lookup, GHR updated per block. Blocks are segmented with the given
+ * cache geometry (the paper's default: normal, b = 8).
+ */
+AccuracyResult blockedPhtAccuracy(InMemoryTrace &trace,
+                                  unsigned history_bits,
+                                  const ICacheConfig &icache);
+
+/**
+ * Run the scalar reference over @p trace: @p num_phts per-address
+ * PHTs (address low bits select the table, the GHR indexes within),
+ * history updated per branch. With num_phts = b the storage matches
+ * the blocked PHT exactly. With @p gshare, a single table indexed by
+ * GHR XOR address is used instead (McFarling).
+ */
+AccuracyResult scalarAccuracy(InMemoryTrace &trace,
+                              unsigned history_bits,
+                              unsigned num_phts,
+                              bool gshare = false);
+
+} // namespace mbbp
+
+#endif // MBBP_CORE_ACCURACY_HH

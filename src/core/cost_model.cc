@@ -1,0 +1,73 @@
+#include "core/cost_model.hh"
+
+#include "predict/bbr.hh"
+#include "util/bitops.hh"
+
+namespace mbbp
+{
+
+uint64_t
+CostModel::phtBits() const
+{
+    return (uint64_t{1} << p_.historyBits) * p_.blockWidth * 2 *
+           p_.numPhts;
+}
+
+uint64_t
+CostModel::stBits(bool dual) const
+{
+    unsigned lb = floorLog2(p_.blockWidth);
+    unsigned per_slot = (lb + 1)        // selector
+                        + lb + 1        // #not-taken + taken bit
+                        + (p_.nearBlockOffset ? lb : 0);
+    return (uint64_t{1} << p_.historyBits) * p_.numSelectTables *
+           (dual ? 2 : 1) * per_slot;
+}
+
+uint64_t
+CostModel::nlsBits(bool dual) const
+{
+    return p_.nlsEntries * p_.blockWidth * p_.lineIndexBits *
+           (dual ? 2 : 1);
+}
+
+uint64_t
+CostModel::bitBits() const
+{
+    return p_.bitEntries * p_.blockWidth * 2;
+}
+
+uint64_t
+CostModel::bbrBits() const
+{
+    BbrEntry e;     // empty phtBlock: the optional field is omitted
+    return p_.bbrEntries *
+           e.costBits(p_.historyBits, p_.blockWidth, false);
+}
+
+uint64_t
+CostModel::singleBlockTotal() const
+{
+    return phtBits() + nlsBits(false) + bitBits() + bbrBits();
+}
+
+uint64_t
+CostModel::dualSingleSelectTotal() const
+{
+    return phtBits() + stBits(false) + nlsBits(true) + bitBits() +
+           bbrBits();
+}
+
+uint64_t
+CostModel::dualDoubleSelectTotal() const
+{
+    return phtBits() + stBits(true) + nlsBits(true) + bbrBits();
+}
+
+double
+CostModel::kbits(uint64_t bits_)
+{
+    return static_cast<double>(bits_) / 1024.0;
+}
+
+} // namespace mbbp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The hardware cost model of Section 5 / Table 7. With the paper's
+ * reference parameters (b=8, 32KB direct-mapped i-cache => 10-bit
+ * line index, h=10, 1 PHT, 1 ST, 256 NLS entries, 1024 BIT entries,
+ * 8 BBR entries) the totals reproduce the paper's numbers:
+ * single block 52 Kbits, dual/single-select 80 Kbits,
+ * dual/double-select 72 Kbits.
+ */
+
+#ifndef MBBP_CORE_COST_MODEL_HH
+#define MBBP_CORE_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace mbbp
+{
+
+/** Table 7 symbols. */
+struct CostParams
+{
+    unsigned blockWidth = 8;        //!< b
+    unsigned historyBits = 10;      //!< h
+    unsigned numPhts = 1;           //!< p
+    unsigned numSelectTables = 1;   //!< s
+    uint64_t nlsEntries = 256;      //!< e_N (block entries)
+    unsigned lineIndexBits = 10;    //!< n (i-cache line index width)
+    uint64_t bitEntries = 1024;     //!< e_B (block entries)
+    uint64_t bbrEntries = 8;        //!< e_R
+    bool nearBlockOffset = false;   //!< ST stores start-offset bits
+};
+
+/** Simplified storage estimates, in bits. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostParams &p) : p_(p) {}
+
+    /** PHT: 2^h * b * 2 * p. */
+    uint64_t phtBits() const;
+
+    /** ST: 2^h * s * (selector + GHR-info bits), doubled when dual. */
+    uint64_t stBits(bool dual) const;
+
+    /** NLS: e_N * b * n per target array. */
+    uint64_t nlsBits(bool dual) const;
+
+    /** BIT: e_B * b * 2 (the 2-bit encoding). */
+    uint64_t bitBits() const;
+
+    /** BBR: e_R entries of Table 4 fields (no PHT-block option). */
+    uint64_t bbrBits() const;
+
+    /** Figure 1 mechanism: PHT + NLS + BIT + BBR. */
+    uint64_t singleBlockTotal() const;
+
+    /** Figure 2 mechanism: + ST, dual NLS. */
+    uint64_t dualSingleSelectTotal() const;
+
+    /** Figure 4 mechanism: dual ST, dual NLS, no BIT. */
+    uint64_t dualDoubleSelectTotal() const;
+
+    /** Convert to the paper's Kbits (1024 bits). */
+    static double kbits(uint64_t bits_);
+
+  private:
+    CostParams p_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_CORE_COST_MODEL_HH

@@ -1,0 +1,44 @@
+#include "core/fetch_simulator.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+SimConfig
+SimConfig::paperDefault()
+{
+    SimConfig cfg;      // member defaults already match Section 4
+    cfg.numBlocks = 2;
+    return cfg;
+}
+
+FetchSimulator::FetchSimulator(const SimConfig &cfg)
+    : cfg_(cfg)
+{
+    mbbp_assert(cfg_.numBlocks >= 1 && cfg_.numBlocks <= 4,
+                "1 to 4 blocks per cycle supported");
+    mbbp_assert(!(cfg_.numBlocks != 2 && cfg_.engine.doubleSelect),
+                "double selection requires dual-block fetching");
+}
+
+FetchStats
+FetchSimulator::run(InMemoryTrace &trace) const
+{
+    switch (cfg_.numBlocks) {
+      case 1: {
+        SingleBlockEngine engine(cfg_.engine);
+        return engine.run(trace);
+      }
+      case 2: {
+        DualBlockEngine engine(cfg_.engine);
+        return engine.run(trace);
+      }
+      default: {
+        MultiBlockEngine engine(cfg_.engine, cfg_.numBlocks);
+        return engine.run(trace);
+      }
+    }
+}
+
+} // namespace mbbp

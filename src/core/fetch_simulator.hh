@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The top-level public API: configure a multiple branch and block
+ * prediction front end and run it over a trace.
+ *
+ * Quickstart:
+ * @code
+ *   SimConfig cfg;                          // paper defaults
+ *   cfg.numBlocks = 2;                      // dual-block fetching
+ *   FetchSimulator sim(cfg);
+ *   InMemoryTrace trace = specTrace("gcc");
+ *   FetchStats s = sim.run(trace);
+ *   std::cout << s.ipcF() << " instructions/cycle\n";
+ * @endcode
+ */
+
+#ifndef MBBP_CORE_FETCH_SIMULATOR_HH
+#define MBBP_CORE_FETCH_SIMULATOR_HH
+
+#include "fetch/dual_block_engine.hh"
+#include "fetch/multi_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+
+namespace mbbp
+{
+
+/** Complete simulator configuration. */
+struct SimConfig
+{
+    FetchEngineConfig engine;
+    unsigned numBlocks = 2;     //!< 1 = Figure 1, 2 = Figures 2-5,
+                                //!< 3..4 = the Section 5 extension
+
+    /** The paper's default evaluation setup (Section 4). */
+    static SimConfig paperDefault();
+};
+
+/** Facade over the single- and dual-block engines. */
+class FetchSimulator
+{
+  public:
+    explicit FetchSimulator(const SimConfig &cfg);
+
+    /** Run the trace and return the fetch metrics. */
+    FetchStats run(InMemoryTrace &trace) const;
+
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    SimConfig cfg_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_CORE_FETCH_SIMULATOR_HH

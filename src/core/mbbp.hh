@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Umbrella header for the mbbp library -- everything a downstream
+ * user needs to reproduce or extend the paper's experiments.
+ */
+
+#ifndef MBBP_CORE_MBBP_HH
+#define MBBP_CORE_MBBP_HH
+
+// Core API
+#include "core/accuracy.hh"
+#include "core/cost_model.hh"
+#include "core/fetch_simulator.hh"
+#include "core/suite_runner.hh"
+
+// Predictors
+#include "predict/bbr.hh"
+#include "predict/bit_table.hh"
+#include "predict/blocked_pht.hh"
+#include "predict/branch_address_cache.hh"
+#include "predict/btb.hh"
+#include "predict/history.hh"
+#include "predict/nls.hh"
+#include "predict/ras.hh"
+#include "predict/scalar_two_level.hh"
+#include "predict/select_table.hh"
+#include "predict/two_block_ahead.hh"
+
+// Fetch path
+#include "fetch/block.hh"
+#include "fetch/icache_model.hh"
+#include "fetch/multi_block_engine.hh"
+#include "fetch/two_ahead_engine.hh"
+#include "fetch/penalty_model.hh"
+
+// Workloads and traces
+#include "trace/trace.hh"
+#include "trace/trace_file.hh"
+#include "workload/generator.hh"
+#include "workload/spec95.hh"
+
+// Reporting
+#include "core/report.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+#endif // MBBP_CORE_MBBP_HH

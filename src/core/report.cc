@@ -1,0 +1,78 @@
+#include "core/report.hh"
+
+#include "util/json.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+void
+writeStats(JsonWriter &w, const FetchStats &s)
+{
+    w.value("instructions", s.instructions);
+    w.value("fetch_requests", s.fetchRequests);
+    w.value("fetch_cycles", s.fetchCycles());
+    w.value("blocks_fetched", s.blocksFetched);
+    w.value("branches_executed", s.branchesExecuted);
+    w.value("cond_executed", s.condExecuted);
+    w.value("cond_direction_wrong", s.condDirectionWrong);
+    w.value("near_block_conds", s.nearBlockConds);
+    w.value("ras_overflows", s.rasOverflows);
+    w.value("bbr_peak", s.bbrPeak);
+    w.value("icache_accesses", s.icacheAccesses);
+    w.value("icache_misses", s.icacheMisses);
+    w.value("icache_miss_cycles", s.icacheMissCycles);
+    w.value("ipc_f", s.ipcF());
+    w.value("ipb", s.ipb());
+    w.value("bep", s.bep());
+    w.beginObject("penalties");
+    for (unsigned k = 0; k < numPenaltyKinds; ++k) {
+        auto kind = static_cast<PenaltyKind>(k);
+        w.beginObject(penaltyKindName(kind));
+        w.value("cycles", s.penaltyCycles[k]);
+        w.value("events", s.penaltyEvents[k]);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+statsToJson(const FetchStats &stats)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeStats(w, stats);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+suiteResultToJson(const SuiteResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginObject("programs");
+    for (const auto &[name, stats] : result.perProgram) {
+        w.beginObject(name);
+        writeStats(w, stats);
+        w.endObject();
+    }
+    w.endObject();
+    w.beginObject("int_total");
+    writeStats(w, result.intTotal);
+    w.endObject();
+    w.beginObject("fp_total");
+    writeStats(w, result.fpTotal);
+    w.endObject();
+    w.beginObject("all_total");
+    writeStats(w, result.allTotal);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace mbbp

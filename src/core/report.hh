@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Result export: serialize fetch statistics and suite results to
+ * JSON for downstream analysis (plotting the paper's figures, CI
+ * dashboards, regression diffs).
+ */
+
+#ifndef MBBP_CORE_REPORT_HH
+#define MBBP_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/suite_runner.hh"
+#include "fetch/fetch_stats.hh"
+
+namespace mbbp
+{
+
+/** One run's metrics as a JSON object string. */
+std::string statsToJson(const FetchStats &stats);
+
+/** A whole suite run: per-program objects plus int/fp/all totals. */
+std::string suiteResultToJson(const SuiteResult &result);
+
+} // namespace mbbp
+
+#endif // MBBP_CORE_REPORT_HH

@@ -1,0 +1,41 @@
+#include "core/suite_runner.hh"
+
+namespace mbbp
+{
+
+TraceCache::TraceCache(std::size_t instructions_per_program)
+    : ninsts_(instructions_per_program)
+{
+}
+
+InMemoryTrace &
+TraceCache::get(const std::string &name)
+{
+    auto it = traces_.find(name);
+    if (it == traces_.end())
+        it = traces_.emplace(name, specTrace(name, ninsts_)).first;
+    return it->second;
+}
+
+SuiteResult
+runSuite(const SimConfig &cfg, TraceCache &traces,
+         const std::vector<std::string> &names)
+{
+    SuiteResult result;
+    FetchSimulator sim(cfg);
+
+    const std::vector<std::string> &run_names =
+        names.empty() ? specAllNames() : names;
+    for (const auto &name : run_names) {
+        FetchStats s = sim.run(traces.get(name));
+        result.perProgram[name] = s;
+        result.allTotal.accumulate(s);
+        if (specProfile(name).isFloat)
+            result.fpTotal.accumulate(s);
+        else
+            result.intTotal.accumulate(s);
+    }
+    return result;
+}
+
+} // namespace mbbp

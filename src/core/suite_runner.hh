@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Suite plumbing for the benches: generate-and-cache the synthetic
+ * SPEC95 traces and aggregate per-program fetch statistics into the
+ * SPECint / SPECfp averages the paper reports.
+ */
+
+#ifndef MBBP_CORE_SUITE_RUNNER_HH
+#define MBBP_CORE_SUITE_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fetch_simulator.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+
+/** Generates each benchmark trace once and replays it on demand. */
+class TraceCache
+{
+  public:
+    explicit TraceCache(std::size_t instructions_per_program = 400000);
+
+    /** The trace for @p name (generated on first use). */
+    InMemoryTrace &get(const std::string &name);
+
+    std::size_t instructionsPerProgram() const { return ninsts_; }
+
+  private:
+    std::size_t ninsts_;
+    std::map<std::string, InMemoryTrace> traces_;
+};
+
+/** Per-program results plus int/fp/all aggregates. */
+struct SuiteResult
+{
+    std::map<std::string, FetchStats> perProgram;
+    FetchStats intTotal;
+    FetchStats fpTotal;
+    FetchStats allTotal;
+};
+
+/** Run @p cfg over the whole suite (or a subset of names). */
+SuiteResult runSuite(const SimConfig &cfg, TraceCache &traces,
+                     const std::vector<std::string> &names = {});
+
+} // namespace mbbp
+
+#endif // MBBP_CORE_SUITE_RUNNER_HH

@@ -1,0 +1,87 @@
+#include "fetch/block.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+unsigned
+FetchBlock::numConds() const
+{
+    unsigned n = 0;
+    for (const auto &inst : insts)
+        if (isCondBranch(inst.cls))
+            ++n;
+    return n;
+}
+
+unsigned
+FetchBlock::numNotTakenConds() const
+{
+    unsigned n = 0;
+    for (const auto &inst : insts)
+        if (isCondBranch(inst.cls) && !inst.taken)
+            ++n;
+    return n;
+}
+
+uint64_t
+FetchBlock::condOutcomes() const
+{
+    uint64_t bits_ = 0;
+    unsigned n = 0;
+    for (const auto &inst : insts) {
+        if (isCondBranch(inst.cls) && n < 63) {
+            bits_ |= static_cast<uint64_t>(inst.taken) << n;
+            ++n;
+        }
+    }
+    return bits_;
+}
+
+BlockStream::BlockStream(TraceSource &trace, const ICacheModel &cache)
+    : trace_(trace), cache_(cache)
+{
+}
+
+bool
+BlockStream::next(FetchBlock &blk)
+{
+    if (exhausted_)
+        return false;
+    if (!havePending_) {
+        if (!trace_.next(pending_))
+            return false;
+        havePending_ = true;
+    }
+
+    blk.startPc = pending_.pc;
+    blk.insts.clear();
+    blk.exitIdx = -1;
+    blk.nextPc = 0;
+
+    unsigned capacity = cache_.capacityAt(blk.startPc);
+    while (blk.size() < capacity) {
+        blk.insts.push_back(pending_);
+        bool ended = pending_.taken;
+        if (!trace_.next(pending_)) {
+            havePending_ = false;
+            exhausted_ = true;
+            // The successor of the final block is unknown; drop it so
+            // every produced block can be scored.
+            return false;
+        }
+        mbbp_assert(ended || pending_.pc ==
+                        blk.insts.back().pc + 1,
+                    "trace is not sequential within a block");
+        if (ended) {
+            blk.exitIdx = static_cast<int>(blk.size()) - 1;
+            break;
+        }
+    }
+    blk.nextPc = pending_.pc;
+    ++produced_;
+    return true;
+}
+
+} // namespace mbbp

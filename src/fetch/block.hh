@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fetch-block segmentation: grouping the dynamic instruction stream
+ * into the paper's fetch blocks -- "a group of sequential instructions
+ * up to a predefined limit b, or up to the end of a line", ended early
+ * by the first taken control transfer. Not-taken conditional branches
+ * stay inside a block, which is exactly why multiple branch prediction
+ * is needed.
+ */
+
+#ifndef MBBP_FETCH_BLOCK_HH
+#define MBBP_FETCH_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fetch/icache_model.hh"
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** One dynamic fetch block. */
+struct FetchBlock
+{
+    Addr startPc = 0;
+    std::vector<DynInst> insts;
+    int exitIdx = -1;       //!< index of the taken transfer, or -1
+    Addr nextPc = 0;        //!< actual start of the following block
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(insts.size());
+    }
+
+    bool endsTaken() const { return exitIdx >= 0; }
+
+    /** The taken control transfer that ends the block (if any). */
+    const DynInst *exitInst() const
+    {
+        return endsTaken() ? &insts[exitIdx] : nullptr;
+    }
+
+    /** Conditional branches executed in the block. */
+    unsigned numConds() const;
+
+    /** Not-taken conditional branches (GhrInfo numerator). */
+    unsigned numNotTakenConds() const;
+
+    /** Bit i = outcome of the i-th executed conditional branch. */
+    uint64_t condOutcomes() const;
+};
+
+/** Segments a trace into consecutive fetch blocks. */
+class BlockStream
+{
+  public:
+    /**
+     * @param trace Source of the dynamic stream (reset by caller).
+     * @param cache Geometry that bounds block capacity.
+     */
+    BlockStream(TraceSource &trace, const ICacheModel &cache);
+
+    /**
+     * Produce the next *complete* block (one whose successor address
+     * is known). Returns false at end of stream.
+     */
+    bool next(FetchBlock &blk);
+
+    uint64_t blocksProduced() const { return produced_; }
+
+  private:
+    TraceSource &trace_;
+    const ICacheModel &cache_;
+    DynInst pending_;
+    bool havePending_ = false;
+    bool exhausted_ = false;
+    uint64_t produced_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_BLOCK_HH

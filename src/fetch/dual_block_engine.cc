@@ -1,0 +1,298 @@
+#include "fetch/dual_block_engine.hh"
+
+#include <deque>
+#include <memory>
+
+#include "predict/bbr.hh"
+#include "predict/btb.hh"
+#include "predict/nls.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+/** Allocate a recovery entry per conditional branch in a block. */
+std::vector<std::size_t>
+allocBbrForBlock(BbrPool &pool, const FetchBlock &blk, bool block_two,
+                 const BlockedPHT &pht, std::size_t pht_idx,
+                 uint64_t ghr_value, unsigned line_size)
+{
+    std::vector<std::size_t> ids;
+    for (const auto &inst : blk.insts) {
+        if (!isCondBranch(inst.cls))
+            continue;
+        const SatCounter &ctr =
+            pht.counterAt(pht_idx, pht.position(inst.pc));
+        BbrEntry e;
+        e.blockTwo = block_two;
+        e.predictedTaken = ctr.predictTaken();
+        e.secondChance = ctr.secondChance();
+        e.phtIndex = static_cast<uint32_t>(pht_idx);
+        e.correctedGhr = ghr_value;
+        // If predicted not taken, the alternate is the branch target;
+        // if predicted taken, the fall-through path (Section 3.3).
+        e.alternateTarget = e.predictedTaken ? inst.pc + 1
+                                             : inst.target;
+        e.replacementSelector =
+            Selector{ SelSrc::Target,
+                      static_cast<uint8_t>(inst.pc % line_size) };
+        ids.push_back(pool.allocate(e));
+    }
+    return ids;
+}
+
+} // namespace
+
+DualBlockEngine::DualBlockEngine(const FetchEngineConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+FetchStats
+DualBlockEngine::run(InMemoryTrace &trace)
+{
+    FetchStats stats;
+
+    StaticImage image = StaticImage::fromTrace(trace);
+    ICacheModel cache(cfg_.icache);
+    const unsigned line_size = cache.lineSize();
+
+    BlockedPHT pht({ cfg_.historyBits, cfg_.icache.blockWidth, 2,
+                     cfg_.numPhts });
+    GlobalHistory ghr(cfg_.historyBits);
+    BitTable bit(cfg_.bitEntries, line_size);
+    ReturnAddressStack ras(cfg_.rasEntries);
+    PenaltyModel penalties(cfg_.doubleSelect);
+    SelectTable st(cfg_.historyBits, cfg_.numSelectTables,
+                   cfg_.doubleSelect);
+    BbrPool bbr(cfg_.bbrCapacity);
+
+    std::unique_ptr<TargetArray> ta;
+    if (cfg_.targetKind == TargetKind::Nls) {
+        ta = std::make_unique<NlsTargetArray>(cfg_.targetEntries,
+                                              line_size, true);
+    } else {
+        ta = std::make_unique<Btb>(cfg_.targetEntries, cfg_.btbAssoc,
+                                   line_size);
+    }
+
+    ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
+    PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
+
+    trace.reset();
+    BlockStream stream(trace, cache);
+
+    // B is the second block of the currently-fetching pair -- the one
+    // whose information predicts the next pair. The very first block
+    // is fetched alone to prime the pipeline (Figure 3's b0).
+    FetchBlock B;
+    if (!stream.next(B))
+        return stats;
+    ++stats.fetchRequests;
+    countBlockStats(stats, B, line_size);
+    touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
+
+    // Recovery entries stay live for the 4-cycle resolution window
+    // (two pair-fetch cycles).
+    std::deque<std::vector<std::size_t>> bbr_inflight;
+
+    for (;;) {
+        FetchBlock C;
+        if (!stream.next(C))
+            break;
+        mbbp_assert(C.startPc == B.nextPc, "block stream out of sync");
+        FetchBlock D;
+        bool have_d = stream.next(D);
+        if (have_d)
+            mbbp_assert(D.startPc == C.nextPc,
+                        "block stream out of sync");
+
+        ++stats.fetchRequests;
+        trainer.tick();
+        countBlockStats(stats, C, line_size);
+        touchICache(contents, cache, C, stats,
+                    cfg_.icacheMissPenalty);
+        if (have_d) {
+            countBlockStats(stats, D, line_size);
+            touchICache(contents, cache, D, stats,
+                        cfg_.icacheMissPenalty);
+            if (cache.bankConflict(C.startPc, C.size(), D.startPc,
+                                   D.size())) {
+                stats.charge(PenaltyKind::BankConflict,
+                             penalties.cycles(
+                                 PenaltyKind::BankConflict, 1));
+            }
+        }
+
+        // ===== Block 1: B's exit prediction (the address of C). ====
+        unsigned cap_b = cache.capacityAt(B.startPc);
+        std::size_t idx1 = pht.index(ghr, B.startPc);
+        BitVector true_b = trueWindowCodes(image, B.startPc, cap_b,
+                                           line_size, cfg_.nearBlock);
+        ExitPrediction pred_b = predictExit(true_b, B.startPc, cap_b,
+                                            pht, idx1);
+        bool blk1_penalized = false;
+
+        if (cfg_.doubleSelect) {
+            // The first selector also comes from the (dual) select
+            // table; verify it against the decoded types + PHT.
+            unsigned tab_b = st.tableOf(B.startPc);
+            const SelectEntry &e0 = st.read(tab_b, idx1, 0);
+            Selector sel_true_b = pred_b.selector(line_size);
+            if (e0.sel != sel_true_b) {
+                stats.charge(PenaltyKind::Misselect,
+                             penalties.cycles(PenaltyKind::Misselect,
+                                              0));
+                blk1_penalized = true;
+            } else if (e0.ghr != pred_b.ghrInfo()) {
+                stats.charge(PenaltyKind::GhrMispredict,
+                             penalties.cycles(
+                                 PenaltyKind::GhrMispredict, 0));
+                blk1_penalized = true;
+            }
+            st.write(tab_b, idx1, 0,
+                     { sel_true_b, pred_b.ghrInfo(),
+                       static_cast<uint8_t>(C.startPc % line_size),
+                       true });
+        } else if (!bit.perfect()) {
+            BitVector stale = bitWindowCodes(bit, image, B.startPc,
+                                             cap_b, line_size,
+                                             cfg_.nearBlock);
+            ExitPrediction pred_stale =
+                predictExit(stale, B.startPc, cap_b, pht, idx1);
+            if (pred_stale.selector(line_size) !=
+                pred_b.selector(line_size)) {
+                stats.charge(PenaltyKind::BitMispredict,
+                             penalties.cycles(
+                                 PenaltyKind::BitMispredict, 0));
+            }
+            refreshBitEntries(bit, image, B.startPc, cap_b, line_size,
+                              cfg_.nearBlock);
+        }
+
+        ResolvedTarget r1 =
+            resolveAddress(pred_b, B.startPc, cap_b, image, ras, *ta,
+                           B.startPc, 0, line_size);
+        PredictOutcome out1 = compareWithActual(pred_b, r1, B);
+        if (!out1.correct) {
+            unsigned cycles = penalties.cycles(out1.kind, 0);
+            if (out1.refetchExtra)
+                cycles += penalties.refetchExtra();
+            stats.charge(out1.kind, cycles);
+            if (out1.kind == PenaltyKind::CondMispredict)
+                ++stats.condDirectionWrong;
+            blk1_penalized = true;
+        }
+
+        // Recovery entries for B's conditionals (before training so
+        // the stored prediction matches what was predicted).
+        bbr_inflight.push_back(allocBbrForBlock(
+            bbr, B, false, pht, idx1, ghr.value(), line_size));
+
+        // Train with B's actual outcomes; the GHR now precedes C.
+        trainer.train(idx1, B);
+        ghr.shiftInBlock(B.condOutcomes(), B.numConds());
+        applyRasOp(ras, B);
+
+        if (!have_d) {
+            // C is the last complete block; its exit cannot be
+            // scored. Finish bookkeeping and stop.
+            updateTargetArray(*ta, B.startPc, 0, B, line_size,
+                              cfg_.nearBlock);
+            break;
+        }
+
+        // ===== Block 2: C's exit prediction via the select table ===
+        unsigned cap_c = cache.capacityAt(C.startPc);
+        std::size_t idx2 = pht.index(ghr, C.startPc);
+        BitVector true_c = trueWindowCodes(image, C.startPc, cap_c,
+                                           line_size, cfg_.nearBlock);
+        ExitPrediction pred_c = predictExit(true_c, C.startPc, cap_c,
+                                            pht, idx2);
+        Selector sel_true = pred_c.selector(line_size);
+        GhrInfo ghr_true = pred_c.ghrInfo();
+
+        unsigned tab = st.tableOf(C.startPc);
+        unsigned slot = cfg_.doubleSelect ? 1 : 0;
+        const SelectEntry &e = st.read(tab, idx1, slot);
+
+        if (!blk1_penalized) {
+            if (e.sel != sel_true) {
+                stats.charge(PenaltyKind::Misselect,
+                             penalties.cycles(PenaltyKind::Misselect,
+                                              1));
+            } else if (e.ghr != ghr_true) {
+                stats.charge(PenaltyKind::GhrMispredict,
+                             penalties.cycles(
+                                 PenaltyKind::GhrMispredict, 1));
+            } else if (cfg_.nearBlockStoredOffset &&
+                       sel_true.src != SelSrc::Target &&
+                       sel_true.src != SelSrc::FallThrough &&
+                       sel_true.src != SelSrc::Ras &&
+                       e.startOffset !=
+                           static_cast<uint8_t>(D.startPc %
+                                                line_size)) {
+                // Near-block second-block target with stored offset
+                // bits: the line index was right but the stale offset
+                // fetched the wrong slot of it -- one more misselect
+                // flavor (Section 3.1's trade-off).
+                stats.charge(PenaltyKind::Misselect,
+                             penalties.cycles(PenaltyKind::Misselect,
+                                              1));
+            }
+            // The verified (BIT+PHT) selection is what ultimately
+            // fetches; compare its result against the actual D.
+            ResolvedTarget r2 =
+                resolveAddress(pred_c, C.startPc, cap_c, image, ras,
+                               *ta, B.startPc, 1, line_size);
+            PredictOutcome out2 = compareWithActual(pred_c, r2, C);
+            if (!out2.correct) {
+                unsigned cycles = penalties.cycles(out2.kind, 1);
+                if (out2.refetchExtra)
+                    cycles += penalties.refetchExtra();
+                stats.charge(out2.kind, cycles);
+                if (out2.kind == PenaltyKind::CondMispredict)
+                    ++stats.condDirectionWrong;
+            }
+        }
+
+        // Replace the stored selection with the newest prediction.
+        st.write(tab, idx1, slot,
+                 { sel_true, ghr_true,
+                   static_cast<uint8_t>(D.startPc % line_size),
+                   true });
+
+        // Target arrays are written at resolution, after the cycle's
+        // reads: first-target with B's exit, second-target with C's,
+        // both indexed by B (Section 3.1).
+        updateTargetArray(*ta, B.startPc, 0, B, line_size,
+                          cfg_.nearBlock);
+        updateTargetArray(*ta, B.startPc, 1, C, line_size,
+                          cfg_.nearBlock);
+
+        bbr_inflight.push_back(allocBbrForBlock(
+            bbr, C, true, pht, idx2, ghr.value(), line_size));
+
+        trainer.train(idx2, C);
+        ghr.shiftInBlock(C.condOutcomes(), C.numConds());
+        applyRasOp(ras, C);
+
+        // Resolution frees recovery entries two pair-cycles later.
+        while (bbr_inflight.size() > 4) {
+            for (std::size_t id : bbr_inflight.front())
+                bbr.release(id);
+            bbr_inflight.pop_front();
+        }
+
+        B = std::move(D);
+    }
+
+    stats.rasOverflows = ras.overflows();
+    stats.bbrPeak = bbr.peakInFlight();
+    return stats;
+}
+
+} // namespace mbbp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dual-block fetch engine: Figures 2-5. Two blocks are fetched per
+ * cycle; while the pair (A, B) is read, the address of the next first
+ * block comes from B's BIT+PHT exit prediction (or, with double
+ * selection, from the dual select table), and the next second block's
+ * address comes from the select table -- "predict our prediction".
+ * Select predictions are verified one stage later against the then-
+ * available BIT+PHT information (misselect / GHR penalties), targets
+ * against the decoded branch (misfetch), directions at resolution
+ * (conditional penalty). Both target arrays are indexed by the second
+ * currently-fetching block.
+ *
+ * Model notes (see DESIGN.md):
+ *  - correct-path, trace-driven: each wrong prediction charges its
+ *    Table 3 penalty, then the engine continues from the right path;
+ *  - a block-1 misprediction squashes the paired block-2 check (the
+ *    pipeline is already redirecting), but training still happens;
+ *  - the RAS is kept in program order, which is what the Section 3.1
+ *    bypassing achieves in hardware.
+ */
+
+#ifndef MBBP_FETCH_DUAL_BLOCK_ENGINE_HH
+#define MBBP_FETCH_DUAL_BLOCK_ENGINE_HH
+
+#include "fetch/engine_common.hh"
+#include "fetch/engine_config.hh"
+#include "fetch/penalty_model.hh"
+#include "predict/history.hh"
+
+namespace mbbp
+{
+
+/** Trace-driven dual-block fetch simulator (single or double sel.). */
+class DualBlockEngine
+{
+  public:
+    explicit DualBlockEngine(const FetchEngineConfig &cfg);
+
+    /** Run the whole trace and return the metrics. */
+    FetchStats run(InMemoryTrace &trace);
+
+    const FetchEngineConfig &config() const { return cfg_; }
+
+  private:
+    FetchEngineConfig cfg_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_DUAL_BLOCK_ENGINE_HH

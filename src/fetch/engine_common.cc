@@ -1,0 +1,203 @@
+#include "fetch/engine_common.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+ResolvedTarget
+resolveAddress(const ExitPrediction &pred, Addr start,
+               unsigned capacity, const StaticImage &image,
+               const ReturnAddressStack &ras, const TargetArray &ta,
+               Addr index_addr, unsigned which, unsigned line_size)
+{
+    switch (pred.src) {
+      case SelSrc::FallThrough:
+        return { start + capacity, true };
+      case SelSrc::Ras:
+        return { ras.top(), true };
+      case SelSrc::Target: {
+        TargetPrediction tp =
+            ta.predict(index_addr, static_cast<unsigned>(
+                           pred.pc % line_size), which);
+        return { tp.hit ? tp.target : 0, tp.hit };
+      }
+      case SelSrc::LinePrev:
+      case SelSrc::LineSame:
+      case SelSrc::LineNext:
+      case SelSrc::LineNext2: {
+        // The line index comes from the BIT code, the offset from the
+        // branch's own immediate: exact once the types are right.
+        StaticInfo info = image.lookup(pred.pc);
+        return { info.target, true };
+      }
+      default:
+        mbbp_panic("bad selector source");
+    }
+}
+
+PredictOutcome
+compareWithActual(const ExitPrediction &pred,
+                  const ResolvedTarget &resolved,
+                  const FetchBlock &actual)
+{
+    constexpr unsigned no_exit = std::numeric_limits<unsigned>::max();
+    unsigned actual_exit = actual.endsTaken()
+        ? static_cast<unsigned>(actual.exitIdx) : no_exit;
+    unsigned pred_exit = pred.found ? pred.offset : no_exit;
+
+    if (pred_exit == no_exit && actual_exit == no_exit)
+        return { true, PenaltyKind::CondMispredict, false };
+
+    if (pred_exit < actual_exit) {
+        // Predicted an exit where execution continued: a conditional
+        // mispredicted taken. The remaining block instructions must
+        // be re-fetched (the Table 3 footnote).
+        return { false, PenaltyKind::CondMispredict, true };
+    }
+    if (pred_exit > actual_exit) {
+        // Scanned past the actual taken exit: with true types the
+        // only way is a conditional mispredicted not-taken.
+        mbbp_assert(isCondBranch(actual.exitInst()->cls),
+                    "prediction scanned past an unconditional exit");
+        return { false, PenaltyKind::CondMispredict, false };
+    }
+
+    // Same exit position: the direction was right; check the target.
+    const DynInst &e = *actual.exitInst();
+    if (resolved.addr == actual.nextPc)
+        return { true, PenaltyKind::CondMispredict, false };
+
+    if (isReturn(e.cls))
+        return { false, PenaltyKind::ReturnMispredict, false };
+    if (isIndirect(e.cls))
+        return { false, PenaltyKind::MisfetchIndirect, false };
+    return { false, PenaltyKind::MisfetchImmediate, false };
+}
+
+void
+trainBlockPht(BlockedPHT &pht, std::size_t idx, const FetchBlock &blk)
+{
+    for (const auto &inst : blk.insts)
+        if (isCondBranch(inst.cls))
+            pht.updateAt(idx, inst.pc, inst.taken);
+}
+
+void
+applyRasOp(ReturnAddressStack &ras, const FetchBlock &blk)
+{
+    const DynInst *e = blk.exitInst();
+    if (!e)
+        return;
+    if (isCall(e->cls))
+        ras.push(e->pc + 1);
+    else if (isReturn(e->cls))
+        ras.pop();
+}
+
+void
+updateTargetArray(TargetArray &ta, Addr index_addr, unsigned which,
+                  const FetchBlock &blk, unsigned line_size,
+                  bool near_block)
+{
+    const DynInst *e = blk.exitInst();
+    if (!e || isReturn(e->cls))
+        return;
+    if (near_block && isCondBranch(e->cls)) {
+        BitCode c = computeBitCode(e->cls, e->pc, e->target, line_size,
+                                   true);
+        if (bitCodeIsNear(c))
+            return;     // near targets are computed, never stored
+    }
+    ta.update(index_addr, static_cast<unsigned>(e->pc % line_size),
+              which, e->target, isCall(e->cls));
+}
+
+void
+touchICache(ICacheContents &contents, const ICacheModel &cache,
+            const FetchBlock &blk, FetchStats &stats,
+            unsigned miss_penalty)
+{
+    for (Addr line : cache.linesTouched(blk.startPc, blk.size())) {
+        ++stats.icacheAccesses;
+        if (!contents.access(line)) {
+            ++stats.icacheMisses;
+            stats.icacheMissCycles += miss_penalty;
+        }
+    }
+}
+
+PhtTrainer::PhtTrainer(BlockedPHT &pht, bool delayed,
+                       unsigned depth_requests)
+    : pht_(pht), delayed_(delayed), depth_(depth_requests)
+{
+}
+
+void
+PhtTrainer::train(std::size_t idx, const FetchBlock &blk)
+{
+    if (!delayed_) {
+        trainBlockPht(pht_, idx, blk);
+        return;
+    }
+    std::vector<Update> batch;
+    for (const auto &inst : blk.insts)
+        if (isCondBranch(inst.cls))
+            batch.push_back({ idx, inst.pc, inst.taken });
+    if (pending_.empty())
+        pending_.emplace_back();
+    pending_.back().insert(pending_.back().end(), batch.begin(),
+                           batch.end());
+}
+
+void
+PhtTrainer::tick()
+{
+    if (!delayed_)
+        return;
+    pending_.emplace_back();
+    while (pending_.size() > depth_) {
+        apply(pending_.front());
+        pending_.pop_front();
+    }
+}
+
+void
+PhtTrainer::flush()
+{
+    while (!pending_.empty()) {
+        apply(pending_.front());
+        pending_.pop_front();
+    }
+}
+
+void
+PhtTrainer::apply(const std::vector<Update> &batch)
+{
+    for (const Update &u : batch)
+        pht_.updateAt(u.idx, u.pc, u.taken);
+}
+
+void
+countBlockStats(FetchStats &stats, const FetchBlock &blk,
+                unsigned line_size)
+{
+    stats.instructions += blk.size();
+    stats.blocksFetched += 1;
+    for (const auto &inst : blk.insts) {
+        if (!isControl(inst.cls))
+            continue;
+        ++stats.branchesExecuted;
+        if (isCondBranch(inst.cls)) {
+            ++stats.condExecuted;
+            BitCode c = computeBitCode(inst.cls, inst.pc, inst.target,
+                                       line_size, true);
+            if (bitCodeIsNear(c))
+                ++stats.nearBlockConds;
+        }
+    }
+}
+
+} // namespace mbbp

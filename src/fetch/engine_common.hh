@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pieces shared by the single- and dual-block fetch engines: resolving
+ * a predicted exit to a concrete fetch address, classifying a wrong
+ * prediction into a Table 3 penalty category, and the per-block
+ * predictor training/bookkeeping.
+ */
+
+#ifndef MBBP_FETCH_ENGINE_COMMON_HH
+#define MBBP_FETCH_ENGINE_COMMON_HH
+
+#include <deque>
+#include <vector>
+
+#include "fetch/block.hh"
+#include "fetch/exit_predict.hh"
+#include "fetch/fetch_stats.hh"
+#include "predict/ras.hh"
+#include "predict/target_array.hh"
+
+namespace mbbp
+{
+
+/** A predicted next-fetch address. */
+struct ResolvedTarget
+{
+    Addr addr = 0;
+    bool taHit = true;      //!< target-array probe hit (BTB only)
+};
+
+/**
+ * Turn an exit prediction into a fetch address.
+ *
+ * Near-block targets are computed exactly (line index from the BIT
+ * code, offset from the branch's immediate via the small adder of
+ * Section 2), so they read the static image rather than the target
+ * array -- that is precisely their storage benefit.
+ *
+ * @param index_addr Address indexing the target array (the current
+ *                   block for single-block fetching; the second
+ *                   currently-fetching block for dual arrays).
+ * @param which 0 = first-target array, 1 = second-target array.
+ */
+ResolvedTarget resolveAddress(const ExitPrediction &pred, Addr start,
+                              unsigned capacity,
+                              const StaticImage &image,
+                              const ReturnAddressStack &ras,
+                              const TargetArray &ta, Addr index_addr,
+                              unsigned which, unsigned line_size);
+
+/** Result of comparing a prediction against the actual block. */
+struct PredictOutcome
+{
+    bool correct = true;
+    PenaltyKind kind = PenaltyKind::CondMispredict;
+    bool refetchExtra = false;  //!< Table 3 footnote applies
+};
+
+/**
+ * Classify a (true-types) prediction against the actual fetch block.
+ * Precondition: @p pred was computed from true BIT codes (stale-BIT
+ * divergence is charged separately before calling this).
+ */
+PredictOutcome compareWithActual(const ExitPrediction &pred,
+                                 const ResolvedTarget &resolved,
+                                 const FetchBlock &actual);
+
+/** Train the blocked PHT with every conditional in the block. */
+void trainBlockPht(BlockedPHT &pht, std::size_t idx,
+                   const FetchBlock &blk);
+
+/** Apply the block's exit to the return address stack. */
+void applyRasOp(ReturnAddressStack &ras, const FetchBlock &blk);
+
+/**
+ * Install the block's taken exit into a target array (skipping
+ * returns, which the RAS covers, and -- when near-block encoding is
+ * on -- near conditional targets, which are never stored).
+ */
+void updateTargetArray(TargetArray &ta, Addr index_addr,
+                       unsigned which, const FetchBlock &blk,
+                       unsigned line_size, bool near_block);
+
+/** Per-block instruction/branch counting. */
+void countBlockStats(FetchStats &stats, const FetchBlock &blk,
+                     unsigned line_size);
+
+/**
+ * Touch every line a block reads in the (optional) finite i-cache
+ * contents model; each miss stalls fetch for @p miss_penalty cycles.
+ */
+void touchICache(ICacheContents &contents, const ICacheModel &cache,
+                 const FetchBlock &blk, FetchStats &stats,
+                 unsigned miss_penalty);
+
+/**
+ * PHT training that optionally defers counter updates to branch
+ * resolution (Section 3.3's read/modify/write discipline when the
+ * BBR carries no PHT-block field). tick() advances one fetch cycle;
+ * updates apply after the resolution depth.
+ */
+class PhtTrainer
+{
+  public:
+    /**
+     * @param pht Table to train.
+     * @param delayed Defer updates when true.
+     * @param depth_requests Fetch requests until resolution (~4
+     *        cycles = 2 dual-block requests).
+     */
+    PhtTrainer(BlockedPHT &pht, bool delayed,
+               unsigned depth_requests = 2);
+
+    /** Record (or immediately apply) a block's outcomes. */
+    void train(std::size_t idx, const FetchBlock &blk);
+
+    /** One fetch request elapsed; apply due updates. */
+    void tick();
+
+    /** Apply everything still pending (end of run). */
+    void flush();
+
+  private:
+    struct Update
+    {
+        std::size_t idx;
+        Addr pc;
+        bool taken;
+    };
+
+    void apply(const std::vector<Update> &batch);
+
+    BlockedPHT &pht_;
+    bool delayed_;
+    unsigned depth_;
+    std::deque<std::vector<Update>> pending_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_ENGINE_COMMON_HH

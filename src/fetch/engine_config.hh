@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Configuration shared by the fetch engines. Defaults reproduce the
+ * paper's baseline evaluation setup (Section 4): block width 8, one
+ * global blocked PHT with a 10-bit history, 256-entry NLS, 32-entry
+ * RAS, 1024-entry select table, near-block prediction off, perfect
+ * i-cache contents, BIT stored in the i-cache.
+ */
+
+#ifndef MBBP_FETCH_ENGINE_CONFIG_HH
+#define MBBP_FETCH_ENGINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "fetch/icache_model.hh"
+
+namespace mbbp
+{
+
+/** Which structure backs the target arrays. */
+enum class TargetKind : uint8_t
+{
+    Nls = 0,    //!< direct-mapped tag-less (the paper's default)
+    Btb         //!< set-associative, LRU
+};
+
+/** Full fetch-engine configuration. */
+struct FetchEngineConfig
+{
+    // Branch prediction
+    unsigned historyBits = 10;
+    unsigned numPhts = 1;
+
+    // Cache geometry
+    ICacheConfig icache = ICacheConfig::normal(8);
+
+    // BIT
+    std::size_t bitEntries = 0;     //!< 0 = BIT in i-cache (perfect)
+    bool nearBlock = false;         //!< 3-bit near-block encoding
+
+    /**
+     * Section 3.1 gives two options for near-block targets of the
+     * *second* block, whose line offset the selector alone cannot
+     * supply: store log2(b) extra offset bits in the select table
+     * (this flag), or "calculate the line offset after its source
+     * block has been read" (default). With stored offsets, a stale
+     * offset is one more way to misselect.
+     */
+    bool nearBlockStoredOffset = false;
+
+    // Target array
+    TargetKind targetKind = TargetKind::Nls;
+    std::size_t targetEntries = 256;
+    unsigned btbAssoc = 4;
+
+    // RAS
+    std::size_t rasEntries = 32;
+
+    /**
+     * Finite i-cache contents (0 = perfect, the paper's assumption:
+     * "instruction cache misses were not simulated"). When non-zero,
+     * each missing line stalls fetch for icacheMissPenalty cycles;
+     * misses are reported separately from branch penalties so BEP
+     * keeps the paper's meaning.
+     */
+    std::size_t icacheLines = 0;
+    unsigned icacheAssoc = 2;
+    unsigned icacheMissPenalty = 10;
+
+    /**
+     * Update PHT counters only at branch resolution (four cycles
+     * after fetch) instead of immediately -- the read/modify/write
+     * discipline Section 3.3 describes when the BBR's optional
+     * PHT-block field is omitted. Slightly staler counters.
+     */
+    bool delayedPhtUpdate = false;
+
+    // Dual-block specifics
+    unsigned numSelectTables = 1;
+    bool doubleSelect = false;
+    std::size_t bbrCapacity = 8;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_ENGINE_CONFIG_HH

@@ -1,0 +1,120 @@
+#include "fetch/exit_predict.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+Selector
+ExitPrediction::selector(unsigned line_size) const
+{
+    Selector s;
+    s.src = src;
+    s.pos = found ? static_cast<uint8_t>(pc % line_size) : 0;
+    return s;
+}
+
+GhrInfo
+ExitPrediction::ghrInfo() const
+{
+    return { numNotTaken, found };
+}
+
+BitVector
+trueWindowCodes(const StaticImage &image, Addr start, unsigned len,
+                unsigned line_size, bool near_block)
+{
+    BitVector codes(len);
+    for (unsigned i = 0; i < len; ++i) {
+        StaticInfo info = image.lookup(start + i);
+        codes[i] = computeBitCode(info.cls, start + i, info.target,
+                                  line_size, near_block);
+    }
+    return codes;
+}
+
+BitVector
+bitWindowCodes(const BitTable &bit, const StaticImage &image,
+               Addr start, unsigned len, unsigned line_size,
+               bool near_block)
+{
+    if (bit.perfect())
+        return trueWindowCodes(image, start, len, line_size,
+                               near_block);
+    BitVector codes(len);
+    for (unsigned i = 0; i < len; ++i) {
+        Addr pc = start + i;
+        const BitVector *line = bit.lookup(pc / line_size);
+        codes[i] = (*line)[pc % line_size];
+    }
+    return codes;
+}
+
+void
+refreshBitEntries(BitTable &bit, const StaticImage &image, Addr start,
+                  unsigned len, unsigned line_size, bool near_block)
+{
+    if (bit.perfect())
+        return;
+    Addr first = start / line_size;
+    Addr last = (start + (len ? len - 1 : 0)) / line_size;
+    for (Addr line = first; line <= last; ++line) {
+        Addr base = line * line_size;
+        bit.update(line, trueWindowCodes(image, base, line_size,
+                                         line_size, near_block));
+    }
+}
+
+ExitPrediction
+predictExit(const BitVector &codes, Addr start, unsigned len,
+            const BlockedPHT &pht, std::size_t pht_idx)
+{
+    mbbp_assert(codes.size() >= len, "window codes too short");
+
+    ExitPrediction p;
+    for (unsigned i = 0; i < len; ++i) {
+        Addr pc = start + i;
+        BitCode c = codes[i];
+        switch (c) {
+          case BitCode::NonBranch:
+            continue;
+          case BitCode::Return:
+            p.found = true;
+            p.src = SelSrc::Ras;
+            break;
+          case BitCode::OtherBranch:
+            p.found = true;
+            p.src = SelSrc::Target;
+            break;
+          default: {
+            // Conditional branch (long or near): taken per pattern
+            // history, else keep scanning.
+            if (!pht.predictAt(pht_idx, pc)) {
+                if (p.numNotTaken < 255)
+                    ++p.numNotTaken;
+                continue;
+            }
+            p.found = true;
+            if (c == BitCode::CondLong) {
+                p.src = SelSrc::Target;
+            } else {
+                switch (bitCodeNearDelta(c)) {
+                  case -1: p.src = SelSrc::LinePrev; break;
+                  case 0: p.src = SelSrc::LineSame; break;
+                  case 1: p.src = SelSrc::LineNext; break;
+                  default: p.src = SelSrc::LineNext2; break;
+                }
+            }
+            break;
+          }
+        }
+        if (p.found) {
+            p.offset = i;
+            p.pc = pc;
+            return p;
+        }
+    }
+    return p;   // fall-through
+}
+
+} // namespace mbbp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The instruction-fetch control logic of Section 2: given a block's
+ * type information (BIT codes) and its pattern-history entry, find
+ * "the first unconditional branch or conditional branch predicted to
+ * be taken", yielding the multiplexer selection for the next fetch
+ * line. Shared by the single- and dual-block engines and by the
+ * select-table verification stage.
+ */
+
+#ifndef MBBP_FETCH_EXIT_PREDICT_HH
+#define MBBP_FETCH_EXIT_PREDICT_HH
+
+#include <vector>
+
+#include "fetch/icache_model.hh"
+#include "predict/bit_table.hh"
+#include "predict/blocked_pht.hh"
+#include "predict/select_table.hh"
+#include "trace/static_image.hh"
+
+namespace mbbp
+{
+
+/** The outcome of scanning a block window. */
+struct ExitPrediction
+{
+    bool found = false;     //!< an exit lies within the window
+    unsigned offset = 0;    //!< instruction offset from block start
+    Addr pc = 0;            //!< exit instruction address
+    SelSrc src = SelSrc::FallThrough;
+    uint8_t numNotTaken = 0;    //!< conds predicted not taken first
+
+    /** The mux selection this prediction amounts to. */
+    Selector selector(unsigned line_size) const;
+
+    /** The GHR-update information it implies. */
+    GhrInfo ghrInfo() const;
+};
+
+/**
+ * True (pre-decoded) BIT codes for the window [start, start+len).
+ */
+BitVector trueWindowCodes(const StaticImage &image, Addr start,
+                          unsigned len, unsigned line_size,
+                          bool near_block);
+
+/**
+ * Codes as a finite BIT table reports them (possibly stale). In
+ * perfect mode this equals trueWindowCodes.
+ */
+BitVector bitWindowCodes(const BitTable &bit, const StaticImage &image,
+                         Addr start, unsigned len, unsigned line_size,
+                         bool near_block);
+
+/** Refresh the BIT entries for every line the window touches. */
+void refreshBitEntries(BitTable &bit, const StaticImage &image,
+                       Addr start, unsigned len, unsigned line_size,
+                       bool near_block);
+
+/**
+ * Scan the window for the predicted exit.
+ *
+ * @param codes Window-relative type codes (size >= len).
+ * @param start First instruction address of the block.
+ * @param len Window length (block capacity).
+ * @param pht Blocked pattern history.
+ * @param pht_idx Entry selected for this block.
+ */
+ExitPrediction predictExit(const BitVector &codes, Addr start,
+                           unsigned len, const BlockedPHT &pht,
+                           std::size_t pht_idx);
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_EXIT_PREDICT_HH

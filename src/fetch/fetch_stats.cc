@@ -1,0 +1,90 @@
+#include "fetch/fetch_stats.hh"
+
+#include <algorithm>
+
+#include "util/stats.hh"
+
+namespace mbbp
+{
+
+void
+FetchStats::charge(PenaltyKind kind, unsigned cycles)
+{
+    auto i = static_cast<std::size_t>(kind);
+    penaltyCycles[i] += cycles;
+    penaltyEvents[i] += 1;
+}
+
+uint64_t
+FetchStats::totalPenaltyCycles() const
+{
+    uint64_t total = 0;
+    for (uint64_t c : penaltyCycles)
+        total += c;
+    return total;
+}
+
+uint64_t
+FetchStats::fetchCycles() const
+{
+    return fetchRequests + totalPenaltyCycles() + icacheMissCycles;
+}
+
+double
+FetchStats::bep() const
+{
+    return ratio(static_cast<double>(totalPenaltyCycles()),
+                 static_cast<double>(branchesExecuted));
+}
+
+double
+FetchStats::bepOf(PenaltyKind kind) const
+{
+    auto i = static_cast<std::size_t>(kind);
+    return ratio(static_cast<double>(penaltyCycles[i]),
+                 static_cast<double>(branchesExecuted));
+}
+
+double
+FetchStats::ipcF() const
+{
+    return ratio(static_cast<double>(instructions),
+                 static_cast<double>(fetchCycles()));
+}
+
+double
+FetchStats::ipb() const
+{
+    return ratio(static_cast<double>(instructions),
+                 static_cast<double>(blocksFetched));
+}
+
+double
+FetchStats::nearBlockFraction() const
+{
+    return ratio(static_cast<double>(nearBlockConds),
+                 static_cast<double>(condExecuted));
+}
+
+void
+FetchStats::accumulate(const FetchStats &other)
+{
+    instructions += other.instructions;
+    fetchRequests += other.fetchRequests;
+    blocksFetched += other.blocksFetched;
+    branchesExecuted += other.branchesExecuted;
+    condExecuted += other.condExecuted;
+    condDirectionWrong += other.condDirectionWrong;
+    nearBlockConds += other.nearBlockConds;
+    rasOverflows += other.rasOverflows;
+    bbrPeak = std::max(bbrPeak, other.bbrPeak);
+    icacheAccesses += other.icacheAccesses;
+    icacheMisses += other.icacheMisses;
+    icacheMissCycles += other.icacheMissCycles;
+    for (std::size_t i = 0; i < numPenaltyKinds; ++i) {
+        penaltyCycles[i] += other.penaltyCycles[i];
+        penaltyEvents[i] += other.penaltyEvents[i];
+    }
+}
+
+} // namespace mbbp

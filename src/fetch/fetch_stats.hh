@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fetch-engine metrics, exactly the two the paper evaluates with
+ * (Section 4, following Yeh & Patt):
+ *
+ *   BEP    branch execution penalty = penalty cycles per executed
+ *          branch (all control-transfer instructions);
+ *   IPC_f  effective instruction fetch rate = instructions per fetch
+ *          cycle, where fetch cycles = fetch requests + penalty
+ *          cycles (bank conflicts included).
+ *
+ * Plus IPB (instructions per block), the Table 6 statistic, and a
+ * per-category penalty breakdown for Figure 9.
+ */
+
+#ifndef MBBP_FETCH_FETCH_STATS_HH
+#define MBBP_FETCH_FETCH_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "fetch/penalty_model.hh"
+
+namespace mbbp
+{
+
+/** Aggregated results of one fetch-engine run. */
+struct FetchStats
+{
+    uint64_t instructions = 0;
+    uint64_t fetchRequests = 0;     //!< cycles spent issuing fetches
+    uint64_t blocksFetched = 0;
+    uint64_t branchesExecuted = 0;  //!< control instructions executed
+    uint64_t condExecuted = 0;
+    uint64_t condDirectionWrong = 0;    //!< charged direction errors
+    uint64_t nearBlockConds = 0;    //!< executed conds w/ near target
+    uint64_t rasOverflows = 0;
+    uint64_t bbrPeak = 0;           //!< peak recovery entries in use
+
+    // Finite i-cache contents (0 everywhere when perfect, the
+    // paper's default). Miss stalls are kept out of the penalty
+    // arrays so BEP keeps its branch-only meaning.
+    uint64_t icacheAccesses = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t icacheMissCycles = 0;
+
+    std::array<uint64_t, numPenaltyKinds> penaltyCycles{};
+    std::array<uint64_t, numPenaltyKinds> penaltyEvents{};
+
+    /** Record one penalty occurrence. */
+    void charge(PenaltyKind kind, unsigned cycles);
+
+    uint64_t totalPenaltyCycles() const;
+    uint64_t fetchCycles() const;
+
+    /** Penalty cycles per executed branch. */
+    double bep() const;
+
+    /** BEP contribution of one category (Figure 9 stack segments). */
+    double bepOf(PenaltyKind kind) const;
+
+    /** Effective fetch rate: instructions / fetch cycles. */
+    double ipcF() const;
+
+    /** Instructions per fetched block. */
+    double ipb() const;
+
+    /** Fraction of executed conditionals with near-block targets. */
+    double nearBlockFraction() const;
+
+    /** Merge another run (suite averaging by totals). */
+    void accumulate(const FetchStats &other);
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_FETCH_STATS_HH

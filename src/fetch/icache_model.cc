@@ -1,0 +1,142 @@
+#include "fetch/icache_model.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+const char *
+cacheTypeName(CacheType t)
+{
+    switch (t) {
+      case CacheType::Normal: return "normal";
+      case CacheType::Extended: return "extend";
+      case CacheType::SelfAligned: return "align";
+      default: return "?";
+    }
+}
+
+ICacheConfig
+ICacheConfig::normal(unsigned b)
+{
+    return { CacheType::Normal, b, b, 8 };
+}
+
+ICacheConfig
+ICacheConfig::extended(unsigned b)
+{
+    return { CacheType::Extended, b, 2 * b, 8 };
+}
+
+ICacheConfig
+ICacheConfig::selfAligned(unsigned b)
+{
+    return { CacheType::SelfAligned, b, b, 16 };
+}
+
+ICacheContents::ICacheContents(std::size_t num_lines, unsigned assoc)
+{
+    if (num_lines == 0)
+        return;     // perfect contents
+    mbbp_assert(assoc >= 1 && num_lines % assoc == 0,
+                "lines must be a multiple of the associativity");
+    assoc_ = assoc;
+    numSets_ = num_lines / assoc;
+    mbbp_assert(isPowerOf2(numSets_),
+                "i-cache set count must be a power of two");
+    ways_.resize(num_lines);
+}
+
+bool
+ICacheContents::access(Addr line)
+{
+    if (perfect()) {
+        ++hits_;
+        return true;
+    }
+    std::size_t set = line & (numSets_ - 1);
+    Addr tag = line / numSets_;
+
+    int victim = 0;
+    uint64_t oldest = ~uint64_t{0};
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[set * assoc_ + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = ++clock_;
+            ++hits_;
+            return true;
+        }
+        uint64_t age = way.valid ? way.lastUse : 0;
+        if (age < oldest) {
+            oldest = age;
+            victim = static_cast<int>(w);
+        }
+    }
+    Way &way = ways_[set * assoc_ + victim];
+    way.tag = tag;
+    way.valid = true;
+    way.lastUse = ++clock_;
+    ++misses_;
+    return false;
+}
+
+ICacheModel::ICacheModel(const ICacheConfig &cfg)
+    : cfg_(cfg)
+{
+    mbbp_assert(isPowerOf2(cfg_.blockWidth) && isPowerOf2(cfg_.lineSize),
+                "block width and line size must be powers of two");
+    mbbp_assert(cfg_.lineSize >= cfg_.blockWidth ||
+                cfg_.type == CacheType::SelfAligned,
+                "line must hold at least one block");
+    mbbp_assert(cfg_.numBanks >= 1, "need at least one bank");
+}
+
+unsigned
+ICacheModel::capacityAt(Addr pc) const
+{
+    unsigned offset = static_cast<unsigned>(pc % cfg_.lineSize);
+    switch (cfg_.type) {
+      case CacheType::Normal:
+      case CacheType::Extended:
+        return std::min(cfg_.blockWidth, cfg_.lineSize - offset);
+      case CacheType::SelfAligned:
+        return cfg_.blockWidth;    // two lines combine
+      default:
+        mbbp_panic("bad cache type");
+    }
+}
+
+std::vector<Addr>
+ICacheModel::linesTouched(Addr pc, unsigned len) const
+{
+    if (len == 0)
+        len = 1;
+    Addr first = lineOf(pc);
+    Addr last = lineOf(pc + len - 1);
+    std::vector<Addr> lines;
+    for (Addr l = first; l <= last; ++l)
+        lines.push_back(l);
+    return lines;
+}
+
+bool
+ICacheModel::bankConflict(Addr pc_a, unsigned len_a, Addr pc_b,
+                          unsigned len_b) const
+{
+    auto a = linesTouched(pc_a, len_a);
+    auto b = linesTouched(pc_b, len_b);
+    for (Addr la : a) {
+        for (Addr lb : b) {
+            if (la == lb)
+                continue;   // the same line is one read
+            if (bankOf(la) == bankOf(lb))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mbbp

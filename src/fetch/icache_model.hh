@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The instruction-cache organizations of Section 4.5. Contents are
+ * perfect (the paper's assumption); the model only determines
+ *  - how many instructions a fetch starting at a given address can
+ *    return (alignment-limited block capacity),
+ *  - which lines (and banks) a block touches, for conflict checks.
+ *
+ * Types:
+ *  - Normal: line size == block width; a block never crosses a line,
+ *    so a misaligned entry point shortens it.
+ *  - Extended: the line holds 2x the block width; at most blockWidth
+ *    instructions are returned, and only entries in the last
+ *    blockWidth-1 slots of the line are shortened.
+ *  - SelfAligned: two consecutive lines are combined, so every block
+ *    can reach full width; twice the banks offset the extra accesses.
+ */
+
+#ifndef MBBP_FETCH_ICACHE_MODEL_HH
+#define MBBP_FETCH_ICACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** Cache organization (Table 6 rows). */
+enum class CacheType : uint8_t
+{
+    Normal = 0,
+    Extended,
+    SelfAligned
+};
+
+const char *cacheTypeName(CacheType t);
+
+/** I-cache geometry. */
+struct ICacheConfig
+{
+    CacheType type = CacheType::Normal;
+    unsigned blockWidth = 8;    //!< instructions per fetch block (b)
+    unsigned lineSize = 8;      //!< instructions per line (L)
+    unsigned numBanks = 8;
+
+    /** The paper's three Table 6 configurations for a given b. */
+    static ICacheConfig normal(unsigned b = 8);
+    static ICacheConfig extended(unsigned b = 8);
+    static ICacheConfig selfAligned(unsigned b = 8);
+};
+
+/**
+ * Optional finite i-cache *contents* model. The paper assumes perfect
+ * contents ("instruction cache misses were not simulated"); this
+ * set-associative LRU tag store lets the assumption be relaxed so the
+ * cost of a real cache -- and the BIT-in-cache trade-off of Section
+ * 4.2 -- can be quantified.
+ */
+class ICacheContents
+{
+  public:
+    /**
+     * @param num_lines Total lines (0 = perfect: every access hits).
+     * @param assoc Ways per set.
+     */
+    ICacheContents(std::size_t num_lines, unsigned assoc);
+
+    /** Is this the perfect-contents configuration? */
+    bool perfect() const { return numSets_ == 0; }
+
+    /** Access one line; returns true on hit and updates LRU/fill. */
+    bool access(Addr line);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned assoc_ = 0;
+    std::size_t numSets_ = 0;
+    std::vector<Way> ways_;
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Capacity/banking model of the fetch path. */
+class ICacheModel
+{
+  public:
+    explicit ICacheModel(const ICacheConfig &cfg);
+
+    const ICacheConfig &config() const { return cfg_; }
+    unsigned blockWidth() const { return cfg_.blockWidth; }
+    unsigned lineSize() const { return cfg_.lineSize; }
+
+    /** Max instructions a block starting at @p pc can contain. */
+    unsigned capacityAt(Addr pc) const;
+
+    /** Line address (line number) containing @p pc. */
+    Addr lineOf(Addr pc) const { return pc / cfg_.lineSize; }
+
+    /** Bank servicing a given line. */
+    unsigned bankOf(Addr line) const
+    {
+        return static_cast<unsigned>(line % cfg_.numBanks);
+    }
+
+    /** Lines a block [pc, pc+len) touches. */
+    std::vector<Addr> linesTouched(Addr pc, unsigned len) const;
+
+    /**
+     * Would fetching both spans in one cycle conflict on a bank?
+     * (Duplicate lines are free: one read serves both.)
+     */
+    bool bankConflict(Addr pc_a, unsigned len_a, Addr pc_b,
+                      unsigned len_b) const;
+
+  private:
+    ICacheConfig cfg_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_ICACHE_MODEL_HH

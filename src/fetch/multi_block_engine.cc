@@ -1,0 +1,217 @@
+#include "fetch/multi_block_engine.hh"
+
+#include <memory>
+#include <vector>
+
+#include "predict/btb.hh"
+#include "predict/nls.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+MultiBlockEngine::MultiBlockEngine(const FetchEngineConfig &cfg,
+                                   unsigned num_blocks)
+    : cfg_(cfg), numBlocks_(num_blocks)
+{
+    mbbp_assert(num_blocks >= 1 && num_blocks <= 4,
+                "1..4 blocks per cycle supported");
+    mbbp_assert(!cfg_.doubleSelect,
+                "the multi-block engine models single selection");
+}
+
+FetchStats
+MultiBlockEngine::run(InMemoryTrace &trace)
+{
+    FetchStats stats;
+
+    StaticImage image = StaticImage::fromTrace(trace);
+    ICacheModel cache(cfg_.icache);
+    const unsigned line_size = cache.lineSize();
+    const unsigned n = numBlocks_;
+
+    BlockedPHT pht({ cfg_.historyBits, cfg_.icache.blockWidth, 2,
+                     cfg_.numPhts });
+    GlobalHistory ghr(cfg_.historyBits);
+    BitTable bit(cfg_.bitEntries, line_size);
+    ReturnAddressStack ras(cfg_.rasEntries);
+    PenaltyModel penalties(false);
+    SelectTable st = SelectTable::withSlots(
+        cfg_.historyBits, cfg_.numSelectTables, n > 1 ? n - 1 : 1);
+
+    std::unique_ptr<TargetArray> ta;
+    if (cfg_.targetKind == TargetKind::Nls) {
+        ta = std::make_unique<NlsTargetArray>(
+            NlsTargetArray::withArrays(cfg_.targetEntries, line_size,
+                                       n));
+    } else {
+        ta = std::make_unique<Btb>(cfg_.targetEntries, cfg_.btbAssoc,
+                                   line_size);
+    }
+
+    ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
+    PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
+
+    trace.reset();
+    BlockStream stream(trace, cache);
+
+    // B: last block of the currently fetching group; its information
+    // drives every prediction for the next group.
+    FetchBlock B;
+    if (!stream.next(B))
+        return stats;
+    ++stats.fetchRequests;
+    countBlockStats(stats, B, line_size);
+    touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
+
+    for (;;) {
+        // Gather the next group.
+        std::vector<FetchBlock> group;
+        group.reserve(n);
+        for (unsigned k = 0; k < n; ++k) {
+            FetchBlock blk;
+            if (!stream.next(blk))
+                break;
+            group.push_back(std::move(blk));
+        }
+        if (group.empty())
+            break;
+        mbbp_assert(group[0].startPc == B.nextPc,
+                    "block stream out of sync");
+
+        ++stats.fetchRequests;
+        trainer.tick();
+        for (const auto &blk : group) {
+            countBlockStats(stats, blk, line_size);
+            touchICache(contents, cache, blk, stats,
+                        cfg_.icacheMissPenalty);
+        }
+
+        // Bank conflicts: each later block colliding with any earlier
+        // block in the same cycle reads one cycle later.
+        for (std::size_t j = 1; j < group.size(); ++j) {
+            bool conflict = false;
+            for (std::size_t i = 0; i < j && !conflict; ++i)
+                conflict = cache.bankConflict(
+                    group[i].startPc, group[i].size(),
+                    group[j].startPc, group[j].size());
+            if (conflict) {
+                stats.charge(PenaltyKind::BankConflict,
+                             penalties.cycles(
+                                 PenaltyKind::BankConflict,
+                                 static_cast<unsigned>(j)));
+            }
+        }
+
+        // Slot 0: B's own exit via BIT+PHT, predicting group[0].
+        std::size_t idx1 = pht.index(ghr, B.startPc);
+        bool squashed = false;
+        {
+            unsigned cap = cache.capacityAt(B.startPc);
+            BitVector codes = trueWindowCodes(image, B.startPc, cap,
+                                              line_size,
+                                              cfg_.nearBlock);
+            ExitPrediction pred = predictExit(codes, B.startPc, cap,
+                                              pht, idx1);
+            if (!bit.perfect()) {
+                BitVector stale = bitWindowCodes(bit, image, B.startPc,
+                                                 cap, line_size,
+                                                 cfg_.nearBlock);
+                ExitPrediction pred_stale = predictExit(
+                    stale, B.startPc, cap, pht, idx1);
+                if (pred_stale.selector(line_size) !=
+                    pred.selector(line_size)) {
+                    stats.charge(PenaltyKind::BitMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::BitMispredict, 0));
+                }
+                refreshBitEntries(bit, image, B.startPc, cap,
+                                  line_size, cfg_.nearBlock);
+            }
+            ResolvedTarget r =
+                resolveAddress(pred, B.startPc, cap, image, ras, *ta,
+                               B.startPc, 0, line_size);
+            PredictOutcome out = compareWithActual(pred, r, B);
+            if (!out.correct) {
+                unsigned cycles = penalties.cycles(out.kind, 0);
+                if (out.refetchExtra)
+                    cycles += penalties.refetchExtra();
+                stats.charge(out.kind, cycles);
+                if (out.kind == PenaltyKind::CondMispredict)
+                    ++stats.condDirectionWrong;
+                squashed = true;
+            }
+            trainer.train(idx1, B);
+            ghr.shiftInBlock(B.condOutcomes(), B.numConds());
+            applyRasOp(ras, B);
+            updateTargetArray(*ta, B.startPc, 0, B, line_size,
+                              cfg_.nearBlock);
+        }
+
+        // Slots k = 1..: select-table predictions of group[k-1]'s
+        // exit (the address of group[k]), all indexed by idx1.
+        for (std::size_t k = 1; k < group.size(); ++k) {
+            const FetchBlock &prev = group[k - 1];
+            unsigned cap = cache.capacityAt(prev.startPc);
+            std::size_t idxk = pht.index(ghr, prev.startPc);
+            BitVector codes = trueWindowCodes(image, prev.startPc, cap,
+                                              line_size,
+                                              cfg_.nearBlock);
+            ExitPrediction pred = predictExit(codes, prev.startPc, cap,
+                                              pht, idxk);
+            Selector sel_true = pred.selector(line_size);
+            GhrInfo ghr_true = pred.ghrInfo();
+            unsigned tab = st.tableOf(prev.startPc);
+            unsigned slot = static_cast<unsigned>(k - 1);
+            const SelectEntry &e = st.read(tab, idx1, slot);
+
+            if (!squashed) {
+                if (e.sel != sel_true) {
+                    stats.charge(PenaltyKind::Misselect,
+                                 penalties.cycles(
+                                     PenaltyKind::Misselect,
+                                     static_cast<unsigned>(k)));
+                } else if (e.ghr != ghr_true) {
+                    stats.charge(PenaltyKind::GhrMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::GhrMispredict,
+                                     static_cast<unsigned>(k)));
+                }
+                ResolvedTarget r = resolveAddress(
+                    pred, prev.startPc, cap, image, ras, *ta,
+                    B.startPc, static_cast<unsigned>(k), line_size);
+                PredictOutcome out = compareWithActual(pred, r, prev);
+                if (!out.correct) {
+                    unsigned cycles = penalties.cycles(
+                        out.kind, static_cast<unsigned>(k));
+                    if (out.refetchExtra)
+                        cycles += penalties.refetchExtra();
+                    stats.charge(out.kind, cycles);
+                    if (out.kind == PenaltyKind::CondMispredict)
+                        ++stats.condDirectionWrong;
+                    squashed = true;
+                }
+            }
+            st.write(tab, idx1, slot,
+                     { sel_true, ghr_true,
+                       static_cast<uint8_t>(prev.nextPc % line_size),
+                       true });
+            updateTargetArray(*ta, B.startPc,
+                              static_cast<unsigned>(k), prev,
+                              line_size, cfg_.nearBlock);
+
+            trainer.train(idxk, prev);
+            ghr.shiftInBlock(prev.condOutcomes(), prev.numConds());
+            applyRasOp(ras, prev);
+        }
+
+        if (group.size() < n)
+            break;      // stream exhausted mid-group
+        B = std::move(group.back());
+    }
+
+    stats.rasOverflows = ras.overflows();
+    return stats;
+}
+
+} // namespace mbbp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * N-block fetch engine: the Section 5 extension. "It is possible to
+ * predict more than two blocks per cycle. In that case, the cost
+ * grows proportionally to the number of blocks predicted. Another
+ * block prediction basically requires another select table and
+ * target array, and another read/write port to the PHT and BIT
+ * tables."
+ *
+ * Generalizes the dual-block mechanism: per fetch group of N blocks,
+ * the first block's address comes from the current last block's
+ * BIT+PHT exit prediction; blocks 2..N replay selectors from N-1
+ * select-table slots, all indexed by (GHR XOR last-block address),
+ * resolved through N logical target arrays. Deeper slots verify one
+ * pipeline stage later each, so their Table 3 penalties grow by one
+ * cycle per slot (see PenaltyModel). Single selection only.
+ */
+
+#ifndef MBBP_FETCH_MULTI_BLOCK_ENGINE_HH
+#define MBBP_FETCH_MULTI_BLOCK_ENGINE_HH
+
+#include "fetch/engine_common.hh"
+#include "fetch/engine_config.hh"
+#include "fetch/penalty_model.hh"
+#include "predict/history.hh"
+
+namespace mbbp
+{
+
+/** Trace-driven N-block fetch simulator (N >= 1). */
+class MultiBlockEngine
+{
+  public:
+    /**
+     * @param cfg Front-end configuration (doubleSelect unsupported).
+     * @param num_blocks Blocks fetched per cycle (1..4).
+     */
+    MultiBlockEngine(const FetchEngineConfig &cfg, unsigned num_blocks);
+
+    /** Run the whole trace and return the metrics. */
+    FetchStats run(InMemoryTrace &trace);
+
+    unsigned numBlocks() const { return numBlocks_; }
+
+  private:
+    FetchEngineConfig cfg_;
+    unsigned numBlocks_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_MULTI_BLOCK_ENGINE_HH

@@ -1,0 +1,53 @@
+#include "fetch/penalty_model.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+const char *
+penaltyKindName(PenaltyKind k)
+{
+    switch (k) {
+      case PenaltyKind::CondMispredict: return "mispredict";
+      case PenaltyKind::ReturnMispredict: return "return";
+      case PenaltyKind::MisfetchIndirect: return "misfetch-indirect";
+      case PenaltyKind::MisfetchImmediate: return "misfetch-immediate";
+      case PenaltyKind::Misselect: return "misselect";
+      case PenaltyKind::GhrMispredict: return "ghr";
+      case PenaltyKind::BitMispredict: return "bit";
+      case PenaltyKind::BankConflict: return "bank-conflict";
+      default: return "?";
+    }
+}
+
+unsigned
+PenaltyModel::cycles(PenaltyKind kind, unsigned slot) const
+{
+    mbbp_assert(slot <= 7, "slot out of range");
+    switch (kind) {
+      case PenaltyKind::CondMispredict:
+        // Dominated by the four-cycle resolution; Table 3 keeps it
+        // flat across slots.
+        return 5;
+      case PenaltyKind::ReturnMispredict:
+      case PenaltyKind::MisfetchIndirect:
+        return 4 + slot;
+      case PenaltyKind::MisfetchImmediate:
+        return 1 + slot;
+      case PenaltyKind::Misselect:
+      case PenaltyKind::GhrMispredict:
+        // Single selection has no slot-0 select prediction (n/a in
+        // Table 3); double selection shifts every check one stage
+        // earlier in exchange for +1 detection latency.
+        return doubleSelect_ ? slot + 1 : slot;
+      case PenaltyKind::BitMispredict:
+        return doubleSelect_ ? 0 : 1;   // n/a: no BIT in double sel.
+      case PenaltyKind::BankConflict:
+        return slot == 0 ? 0 : 1;
+      default:
+        mbbp_panic("bad penalty kind");
+    }
+}
+
+} // namespace mbbp

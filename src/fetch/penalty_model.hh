@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The misprediction penalty model of the paper's Table 3, assuming a
+ * four-cycle branch resolution after fetch.
+ *
+ *   Misprediction           Single Select   Double Select
+ *                           blk1    blk2    blk1    blk2
+ *   Conditional branch*      5       5       5       5
+ *   Return                   4       5       4       5
+ *   Misfetch indirect        4       5       4       5
+ *   Misfetch immediate       1       2       1       2
+ *   Misselect                n/a     1       1       2
+ *   GHR                      n/a     1       1       2
+ *   BIT                      1       1       n/a     n/a
+ *   I-cache bank conflict    0       1       0       1
+ *
+ *   * plus one cycle if instructions remain in the block and must be
+ *     re-fetched (a branch mispredicted taken).
+ */
+
+#ifndef MBBP_FETCH_PENALTY_MODEL_HH
+#define MBBP_FETCH_PENALTY_MODEL_HH
+
+#include <cstdint>
+
+namespace mbbp
+{
+
+/** Categories of fetch mispredictions (Table 3 rows / Figure 9). */
+enum class PenaltyKind : uint8_t
+{
+    CondMispredict = 0,
+    ReturnMispredict,
+    MisfetchIndirect,
+    MisfetchImmediate,
+    Misselect,
+    GhrMispredict,
+    BitMispredict,
+    BankConflict,
+    NumKinds
+};
+
+constexpr unsigned numPenaltyKinds =
+    static_cast<unsigned>(PenaltyKind::NumKinds);
+
+const char *penaltyKindName(PenaltyKind k);
+
+/** Table 3, parameterized by the selection scheme. */
+class PenaltyModel
+{
+  public:
+    explicit PenaltyModel(bool double_select)
+        : doubleSelect_(double_select)
+    {
+    }
+
+    /**
+     * Penalty cycles for a misprediction of @p kind detected on block
+     * slot @p slot (0 = first block, 1 = second block of the pair; a
+     * single-block engine always uses slot 0). Slots beyond 1 follow
+     * the natural extrapolation of Table 3 -- each deeper slot is
+     * verified one stage later, adding one cycle to every detection-
+     * latency-based penalty -- supporting the Section 5 extension to
+     * more than two blocks per cycle.
+     */
+    unsigned cycles(PenaltyKind kind, unsigned slot) const;
+
+    /** The Table 3 footnote: re-fetch of remaining instructions. */
+    unsigned refetchExtra() const { return 1; }
+
+    bool doubleSelect() const { return doubleSelect_; }
+
+  private:
+    bool doubleSelect_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_PENALTY_MODEL_HH

@@ -1,0 +1,158 @@
+#include "fetch/single_block_engine.hh"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "predict/bbr.hh"
+#include "predict/btb.hh"
+#include "predict/nls.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+SingleBlockEngine::SingleBlockEngine(const FetchEngineConfig &cfg)
+    : cfg_(cfg)
+{
+    mbbp_assert(!cfg_.doubleSelect,
+                "double selection needs the dual-block engine");
+}
+
+FetchStats
+SingleBlockEngine::run(InMemoryTrace &trace)
+{
+    FetchStats stats;
+
+    StaticImage image = StaticImage::fromTrace(trace);
+    ICacheModel cache(cfg_.icache);
+    const unsigned line_size = cache.lineSize();
+
+    BlockedPHT pht({ cfg_.historyBits, cfg_.icache.blockWidth, 2,
+                     cfg_.numPhts });
+    GlobalHistory ghr(cfg_.historyBits);
+    BitTable bit(cfg_.bitEntries, line_size);
+    ReturnAddressStack ras(cfg_.rasEntries);
+    PenaltyModel penalties(false);
+
+    std::unique_ptr<TargetArray> ta;
+    if (cfg_.targetKind == TargetKind::Nls) {
+        ta = std::make_unique<NlsTargetArray>(cfg_.targetEntries,
+                                              line_size, false);
+    } else {
+        ta = std::make_unique<Btb>(cfg_.targetEntries, cfg_.btbAssoc,
+                                   line_size);
+    }
+
+    // Recovery entries live across the four-cycle resolution window.
+    BbrPool bbr(cfg_.bbrCapacity);
+    std::deque<std::vector<std::size_t>> bbr_inflight;
+
+    ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
+    PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
+
+    trace.reset();
+    BlockStream stream(trace, cache);
+
+    FetchBlock cur;
+    if (!stream.next(cur))
+        return stats;
+
+    for (;;) {
+        ++stats.fetchRequests;
+        trainer.tick();
+        countBlockStats(stats, cur, line_size);
+        touchICache(contents, cache, cur, stats,
+                    cfg_.icacheMissPenalty);
+
+        unsigned capacity = cache.capacityAt(cur.startPc);
+        std::size_t idx = pht.index(ghr, cur.startPc);
+
+        // Prediction with (possibly stale) BIT codes, then with the
+        // decoded truth; a divergence is the one-cycle BIT penalty.
+        BitVector true_codes = trueWindowCodes(image, cur.startPc,
+                                               capacity, line_size,
+                                               cfg_.nearBlock);
+        ExitPrediction pred = predictExit(true_codes, cur.startPc,
+                                          capacity, pht, idx);
+        if (!bit.perfect()) {
+            BitVector stale = bitWindowCodes(bit, image, cur.startPc,
+                                             capacity, line_size,
+                                             cfg_.nearBlock);
+            ExitPrediction pred_stale = predictExit(stale, cur.startPc,
+                                                    capacity, pht, idx);
+            if (pred_stale.selector(line_size) !=
+                pred.selector(line_size)) {
+                stats.charge(PenaltyKind::BitMispredict,
+                             penalties.cycles(
+                                 PenaltyKind::BitMispredict, 0));
+            }
+            refreshBitEntries(bit, image, cur.startPc, capacity,
+                              line_size, cfg_.nearBlock);
+        }
+
+        ResolvedTarget resolved =
+            resolveAddress(pred, cur.startPc, capacity, image, ras,
+                           *ta, cur.startPc, 0, line_size);
+        PredictOutcome out = compareWithActual(pred, resolved, cur);
+        if (!out.correct) {
+            unsigned cycles = penalties.cycles(out.kind, 0);
+            if (out.refetchExtra)
+                cycles += penalties.refetchExtra();
+            stats.charge(out.kind, cycles);
+            if (out.kind == PenaltyKind::CondMispredict)
+                ++stats.condDirectionWrong;
+        }
+
+        // Allocate recovery entries for the block's conditionals
+        // before training, so the stored prediction matches what was
+        // actually predicted (Table 4).
+        {
+            std::vector<std::size_t> ids;
+            for (const auto &inst : cur.insts) {
+                if (!isCondBranch(inst.cls))
+                    continue;
+                const SatCounter &ctr =
+                    pht.counterAt(idx, pht.position(inst.pc));
+                BbrEntry entry;
+                entry.predictedTaken = ctr.predictTaken();
+                entry.secondChance = ctr.secondChance();
+                entry.phtIndex = static_cast<uint32_t>(idx);
+                entry.correctedGhr = ghr.value();
+                entry.alternateTarget = entry.predictedTaken
+                    ? inst.pc + 1 : inst.target;
+                entry.replacementSelector =
+                    Selector{ SelSrc::Target,
+                              static_cast<uint8_t>(inst.pc %
+                                                   line_size) };
+                ids.push_back(bbr.allocate(entry));
+            }
+            bbr_inflight.push_back(std::move(ids));
+            while (bbr_inflight.size() > 4) {
+                for (std::size_t id : bbr_inflight.front())
+                    bbr.release(id);
+                bbr_inflight.pop_front();
+            }
+        }
+
+        // Train with the actual block.
+        trainer.train(idx, cur);
+        ghr.shiftInBlock(cur.condOutcomes(), cur.numConds());
+        updateTargetArray(*ta, cur.startPc, 0, cur, line_size,
+                          cfg_.nearBlock);
+        applyRasOp(ras, cur);
+
+        FetchBlock next;
+        if (!stream.next(next))
+            break;
+        mbbp_assert(next.startPc == cur.nextPc,
+                    "block stream out of sync");
+        cur = std::move(next);
+    }
+
+    stats.rasOverflows = ras.overflows();
+    stats.bbrPeak = bbr.peakInFlight();
+    return stats;
+}
+
+} // namespace mbbp

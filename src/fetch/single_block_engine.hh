@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Single-block fetch engine: the Figure 1 mechanism. One fetch block
+ * per cycle; while the block is read, the BIT codes and the blocked
+ * PHT entry pick the first unconditional or predicted-taken branch,
+ * and the next line is selected among fall-through, RAS, target
+ * array, and (with the 3-bit encoding) near-block lines. Used for
+ * Figure 7's BIT sweep and the single-block columns of Table 6.
+ */
+
+#ifndef MBBP_FETCH_SINGLE_BLOCK_ENGINE_HH
+#define MBBP_FETCH_SINGLE_BLOCK_ENGINE_HH
+
+#include <memory>
+
+#include "fetch/engine_common.hh"
+#include "fetch/engine_config.hh"
+#include "fetch/penalty_model.hh"
+#include "predict/history.hh"
+
+namespace mbbp
+{
+
+/** Trace-driven single-block fetch simulator. */
+class SingleBlockEngine
+{
+  public:
+    explicit SingleBlockEngine(const FetchEngineConfig &cfg);
+
+    /**
+     * Run the whole trace (correct-path; mispredictions charge the
+     * Table 3 block-1 penalties) and return the metrics.
+     */
+    FetchStats run(InMemoryTrace &trace);
+
+    const FetchEngineConfig &config() const { return cfg_; }
+
+  private:
+    FetchEngineConfig cfg_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_FETCH_SINGLE_BLOCK_ENGINE_HH

@@ -1,0 +1,132 @@
+#include "fetch/two_ahead_engine.hh"
+
+#include <deque>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+TwoAheadEngine::TwoAheadEngine(const FetchEngineConfig &cfg)
+    : cfg_(cfg)
+{
+    mbbp_assert(!cfg_.doubleSelect,
+                "double selection is a select-table concept");
+}
+
+FetchStats
+TwoAheadEngine::run(InMemoryTrace &trace)
+{
+    FetchStats stats;
+
+    ICacheModel cache(cfg_.icache);
+    const unsigned line_size = cache.lineSize();
+    PenaltyModel penalties(false);
+    GlobalHistory ghr(cfg_.historyBits);
+
+    // The two-block-ahead table: predicted start address of the
+    // block after next, indexed like the PHT/ST so storage is
+    // comparable with the select-table design.
+    struct Entry
+    {
+        Addr twoAhead = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> table(std::size_t{1} << cfg_.historyBits);
+
+    trace.reset();
+    BlockStream stream(trace, cache);
+
+    // Predictions in flight: made at block i, scored at block i + 2.
+    struct Pending
+    {
+        std::size_t idx;    //!< table entry to retrain
+        Addr predicted;
+        bool valid;
+    };
+    std::deque<Pending> pending;
+
+    // The previous block, whose exit classifies a wrong prediction.
+    FetchBlock prev;
+    bool have_prev = false;
+    uint64_t block_index = 0;
+    FetchBlock blk;
+    FetchBlock stash;       // second block of the current pair
+    bool have_stash = false;
+
+    while (stream.next(blk)) {
+        // Fetch-cycle accounting: the first block primes the
+        // pipeline alone, then one request covers two blocks.
+        if (block_index == 0) {
+            ++stats.fetchRequests;
+        } else if (block_index % 2 == 1) {
+            ++stats.fetchRequests;
+            have_stash = false;
+        } else {
+            // Second slot of the request: bank-conflict check.
+            if (have_stash &&
+                cache.bankConflict(stash.startPc, stash.size(),
+                                   blk.startPc, blk.size())) {
+                stats.charge(PenaltyKind::BankConflict,
+                             penalties.cycles(
+                                 PenaltyKind::BankConflict, 1));
+            }
+        }
+        countBlockStats(stats, blk, line_size);
+
+        // Score the prediction made two blocks ago.
+        if (pending.size() == 2) {
+            Pending p = pending.front();
+            pending.pop_front();
+            unsigned slot = block_index % 2 == 1 ? 0u : 1u;
+            if (!p.valid || p.predicted != blk.startPc) {
+                // Classify by the exit of the block this address
+                // sprang from (the previous block).
+                PenaltyKind kind = PenaltyKind::MisfetchImmediate;
+                if (have_prev && prev.endsTaken()) {
+                    const DynInst &e = *prev.exitInst();
+                    if (isCondBranch(e.cls))
+                        kind = PenaltyKind::CondMispredict;
+                    else if (isReturn(e.cls))
+                        kind = PenaltyKind::ReturnMispredict;
+                    else if (isIndirect(e.cls))
+                        kind = PenaltyKind::MisfetchIndirect;
+                } else if (have_prev) {
+                    // Fall-through mispredicted: direction error on
+                    // one of the block's conditionals.
+                    kind = prev.numConds() > 0
+                        ? PenaltyKind::CondMispredict
+                        : PenaltyKind::MisfetchImmediate;
+                }
+                stats.charge(kind, penalties.cycles(kind, slot));
+                if (kind == PenaltyKind::CondMispredict)
+                    ++stats.condDirectionWrong;
+            }
+            table[p.idx] = { blk.startPc, true };
+        }
+
+        // Make this block's two-ahead prediction. Fold the whole
+        // line address into the index so distinct blocks don't
+        // collide through truncation.
+        std::size_t idx =
+            (ghr.value() ^
+             xorFold(blk.startPc / line_size, cfg_.historyBits)) &
+            mask(cfg_.historyBits);
+        pending.push_back({ idx, table[idx].twoAhead,
+                            table[idx].valid });
+
+        ghr.shiftInBlock(blk.condOutcomes(), blk.numConds());
+        prev = blk;
+        have_prev = true;
+        if (block_index % 2 == 1) {
+            stash = blk;
+            have_stash = true;
+        }
+        ++block_index;
+    }
+    return stats;
+}
+
+} // namespace mbbp

@@ -1,0 +1,89 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace mbbp
+{
+
+bool
+isControl(InstClass c)
+{
+    return c != InstClass::NonBranch;
+}
+
+bool
+isCondBranch(InstClass c)
+{
+    return c == InstClass::CondBranch;
+}
+
+bool
+isUnconditional(InstClass c)
+{
+    switch (c) {
+      case InstClass::Jump:
+      case InstClass::Call:
+      case InstClass::IndirectJump:
+      case InstClass::IndirectCall:
+      case InstClass::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCall(InstClass c)
+{
+    return c == InstClass::Call || c == InstClass::IndirectCall;
+}
+
+bool
+isReturn(InstClass c)
+{
+    return c == InstClass::Return;
+}
+
+bool
+isIndirect(InstClass c)
+{
+    return c == InstClass::IndirectJump || c == InstClass::IndirectCall;
+}
+
+bool
+isDirect(InstClass c)
+{
+    return c == InstClass::CondBranch || c == InstClass::Jump ||
+           c == InstClass::Call;
+}
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::NonBranch: return "non-branch";
+      case InstClass::CondBranch: return "cond";
+      case InstClass::Jump: return "jump";
+      case InstClass::Call: return "call";
+      case InstClass::IndirectJump: return "ijump";
+      case InstClass::IndirectCall: return "icall";
+      case InstClass::Return: return "return";
+      default: return "?";
+    }
+}
+
+std::string
+DynInst::toString() const
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc << std::dec << " "
+       << instClassName(cls);
+    if (isControl(cls)) {
+        os << (taken ? " T" : " N");
+        if (taken)
+            os << " -> 0x" << std::hex << target << std::dec;
+    }
+    return os.str();
+}
+
+} // namespace mbbp

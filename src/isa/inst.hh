@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The instruction taxonomy and dynamic instruction record.
+ *
+ * The fetch predictors never look at instruction semantics beyond
+ * control flow, so a "dynamic instruction" is just (pc, class, taken,
+ * target). PCs are in units of instructions (word addressed): the
+ * line of pc for an L-instruction cache line is pc / L.
+ */
+
+#ifndef MBBP_ISA_INST_HH
+#define MBBP_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbbp
+{
+
+/** Instruction address, in units of instructions. */
+using Addr = uint64_t;
+
+/** Control-flow class of an instruction. */
+enum class InstClass : uint8_t
+{
+    NonBranch = 0,      //!< no control transfer
+    CondBranch,         //!< conditional, direct (PC-relative) target
+    Jump,               //!< unconditional, direct target
+    Call,               //!< unconditional call, direct target
+    IndirectJump,       //!< unconditional, register target
+    IndirectCall,       //!< call, register target
+    Return,             //!< subroutine return (indirect, RAS-predicted)
+    NumClasses
+};
+
+/** True iff the class can transfer control. */
+bool isControl(InstClass c);
+
+/** True iff the class is a conditional branch. */
+bool isCondBranch(InstClass c);
+
+/** True iff the class always transfers control when executed. */
+bool isUnconditional(InstClass c);
+
+/** True iff the class pushes a return address (a call). */
+bool isCall(InstClass c);
+
+/** True iff the class is a subroutine return. */
+bool isReturn(InstClass c);
+
+/**
+ * True iff the target comes from a register (cannot be computed from
+ * the instruction bits at decode). Returns are indirect but are
+ * predicted by the RAS, so most code treats them separately.
+ */
+bool isIndirect(InstClass c);
+
+/** True iff the target is encoded in the instruction (PC-relative). */
+bool isDirect(InstClass c);
+
+/** Short mnemonic for tracing and tests. */
+const char *instClassName(InstClass c);
+
+/** One executed instruction of the dynamic stream. */
+struct DynInst
+{
+    Addr pc = 0;                            //!< instruction address
+    InstClass cls = InstClass::NonBranch;   //!< control-flow class
+    bool taken = false;                     //!< did it transfer control
+    Addr target = 0;                        //!< destination if taken
+
+    /** True iff this instruction actually redirected fetch. */
+    bool transfersControl() const { return taken; }
+
+    bool operator==(const DynInst &other) const = default;
+
+    /** Human-readable one-line form, for debugging and tests. */
+    std::string toString() const;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_ISA_INST_HH

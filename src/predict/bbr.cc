@@ -1,0 +1,67 @@
+#include "predict/bbr.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+uint64_t
+BbrEntry::costBits(unsigned history_bits, unsigned block_width,
+                   bool full_addr) const
+{
+    uint64_t bits_ = 0;
+    bits_ += 1;                     // block 1 or 2
+    bits_ += 1;                     // predicted taken / not taken
+    bits_ += 1;                     // second chance
+    bits_ += history_bits;          // PHT index
+    if (!phtBlock.empty())
+        bits_ += 2ull * block_width;    // optional PHT block field
+    bits_ += history_bits;          // corrected GHR
+    bits_ += Selector::encodingBits(block_width) +
+             floorLog2(block_width);    // replacement selector + pos
+    bits_ += full_addr ? 30 : 10;   // corrected index or full address
+    return bits_;
+}
+
+BbrPool::BbrPool(std::size_t capacity)
+    : capacity_(capacity)
+{
+}
+
+std::size_t
+BbrPool::allocate(const BbrEntry &entry)
+{
+    std::size_t id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+        entries_[id] = entry;
+    } else {
+        id = entries_.size();
+        entries_.push_back(entry);
+    }
+    ++live_;
+    peak_ = std::max(peak_, live_);
+    if (live_ > capacity_)
+        ++overCap_;
+    return id;
+}
+
+void
+BbrPool::release(std::size_t id)
+{
+    mbbp_assert(id < entries_.size(), "bad BBR id");
+    mbbp_assert(live_ > 0, "BBR release with none in flight");
+    freeList_.push_back(id);
+    --live_;
+}
+
+const BbrEntry &
+BbrPool::entry(std::size_t id) const
+{
+    mbbp_assert(id < entries_.size(), "bad BBR id");
+    return entries_[id];
+}
+
+} // namespace mbbp

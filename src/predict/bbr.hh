@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bad Branch Recovery (BBR) entries, per the paper's Table 4. Every
+ * in-flight conditional branch is assigned a recovery entry holding
+ * everything needed to repair the front end when it resolves wrong:
+ * the alternate target, a replacement selector, the corrected GHR,
+ * the PHT index (and optionally the whole PHT block), and the
+ * second-chance bit.
+ *
+ * The evaluation "assumed the processor would always have enough bad
+ * branch recovery entries available"; BbrPool keeps that assumption
+ * honest by recording occupancy so a finite allocation (Table 7 costs
+ * 8 entries) can be sanity-checked.
+ */
+
+#ifndef MBBP_PREDICT_BBR_HH
+#define MBBP_PREDICT_BBR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "predict/select_table.hh"
+#include "util/sat_counter.hh"
+
+namespace mbbp
+{
+
+/** One recovery entry (Table 4). */
+struct BbrEntry
+{
+    bool blockTwo = false;          //!< block 1 or 2
+    bool predictedTaken = false;
+    bool secondChance = false;      //!< counter was at a strong end
+    uint32_t phtIndex = 0;
+    std::vector<SatCounter> phtBlock;   //!< optional PHT block field
+    uint64_t correctedGhr = 0;      //!< GHR if the prediction is wrong
+    Selector replacementSelector;   //!< ST value if no second chance
+    Addr alternateTarget = 0;       //!< corrected fetch address
+
+    /**
+     * Bit cost of this entry per Table 4 (with @p history_bits wide
+     * GHR/PHT index, @p block_width counters, full-address target).
+     * The optional PHT-block field is counted only when present.
+     */
+    uint64_t costBits(unsigned history_bits, unsigned block_width,
+                      bool full_addr) const;
+};
+
+/** Fixed-capacity pool tracking occupancy. */
+class BbrPool
+{
+  public:
+    explicit BbrPool(std::size_t capacity = 8);
+
+    /**
+     * Allocate an entry; always succeeds (the paper's assumption) but
+     * records when demand exceeded the nominal capacity.
+     * @return entry id for release().
+     */
+    std::size_t allocate(const BbrEntry &entry);
+
+    /** Release an entry at branch resolution. */
+    void release(std::size_t id);
+
+    const BbrEntry &entry(std::size_t id) const;
+
+    std::size_t inFlight() const { return live_; }
+    std::size_t peakInFlight() const { return peak_; }
+    uint64_t overCapacityEvents() const { return overCap_; }
+    std::size_t nominalCapacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<BbrEntry> entries_;
+    std::vector<std::size_t> freeList_;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+    uint64_t overCap_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_BBR_HH

@@ -1,0 +1,127 @@
+#include "predict/bit_table.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+bool
+bitCodeIsCond(BitCode c)
+{
+    return c == BitCode::CondLong || bitCodeIsNear(c);
+}
+
+bool
+bitCodeIsNear(BitCode c)
+{
+    switch (c) {
+      case BitCode::CondPrevLine:
+      case BitCode::CondSameLine:
+      case BitCode::CondNextLine:
+      case BitCode::CondNextLine2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+bitCodeNearDelta(BitCode c)
+{
+    switch (c) {
+      case BitCode::CondPrevLine: return -1;
+      case BitCode::CondSameLine: return 0;
+      case BitCode::CondNextLine: return 1;
+      case BitCode::CondNextLine2: return 2;
+      default:
+        mbbp_panic("bitCodeNearDelta on non-near code");
+    }
+}
+
+BitCode
+computeBitCode(InstClass cls, Addr pc, Addr target, unsigned line_size,
+               bool near_block)
+{
+    switch (cls) {
+      case InstClass::NonBranch:
+        return BitCode::NonBranch;
+      case InstClass::Return:
+        return BitCode::Return;
+      case InstClass::Jump:
+      case InstClass::Call:
+      case InstClass::IndirectJump:
+      case InstClass::IndirectCall:
+        return BitCode::OtherBranch;
+      case InstClass::CondBranch: {
+        if (!near_block)
+            return BitCode::CondLong;
+        int64_t line = static_cast<int64_t>(pc / line_size);
+        int64_t tline = static_cast<int64_t>(target / line_size);
+        switch (tline - line) {
+          case -1: return BitCode::CondPrevLine;
+          case 0: return BitCode::CondSameLine;
+          case 1: return BitCode::CondNextLine;
+          case 2: return BitCode::CondNextLine2;
+          default: return BitCode::CondLong;
+        }
+      }
+      default:
+        mbbp_panic("computeBitCode: bad class");
+    }
+}
+
+BitTable::BitTable(std::size_t num_entries, unsigned line_size)
+    : lineSize_(line_size)
+{
+    mbbp_assert(line_size >= 1, "line size must be positive");
+    if (num_entries > 0) {
+        mbbp_assert(isPowerOf2(num_entries),
+                    "BIT entries must be a power of two");
+        entries_.resize(num_entries);
+        for (auto &e : entries_)
+            e.codes.assign(lineSize_, BitCode::NonBranch);
+    }
+}
+
+std::size_t
+BitTable::indexOf(Addr line_addr) const
+{
+    return line_addr & (entries_.size() - 1);
+}
+
+const BitVector *
+BitTable::lookup(Addr line_addr) const
+{
+    if (perfect())
+        return nullptr;
+    return &entries_[indexOf(line_addr)].codes;
+}
+
+bool
+BitTable::entryMatches(Addr line_addr) const
+{
+    if (perfect())
+        return true;
+    return entries_[indexOf(line_addr)].writer == line_addr;
+}
+
+void
+BitTable::update(Addr line_addr, const BitVector &codes)
+{
+    if (perfect())
+        return;
+    mbbp_assert(codes.size() == lineSize_,
+                "BIT update with wrong line width");
+    Entry &e = entries_[indexOf(line_addr)];
+    e.codes = codes;
+    e.writer = line_addr;
+}
+
+uint64_t
+BitTable::storageBits() const
+{
+    return static_cast<uint64_t>(entries_.size()) * lineSize_ * 3;
+}
+
+} // namespace mbbp

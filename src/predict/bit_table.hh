@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Block Instruction Type (BIT) information -- the paper's Table 1.
+ *
+ * "In superscalar fetch prediction, knowing what type of instructions
+ * are in a block is the most critical piece of information."
+ *
+ * Two encodings:
+ *  - 2-bit: non-branch / return / other branch / conditional branch.
+ *  - 3-bit: conditional branches additionally distinguish near-block
+ *    targets (previous line, same line, next line, next line + 1),
+ *    which the instruction fetch can compute with a small adder
+ *    instead of a target-array entry.
+ *
+ * The BIT information can live in the i-cache (pre-decoded; never
+ * stale with the paper's perfect i-cache) or in a separate, smaller
+ * BitTable whose entries alias across lines -- Figure 7 sweeps that
+ * table's size and charges a one-cycle penalty whenever stale type
+ * bits change the prediction.
+ */
+
+#ifndef MBBP_PREDICT_BIT_TABLE_HH
+#define MBBP_PREDICT_BIT_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** Table 1 codes. Values match the paper's 3-bit encoding. */
+enum class BitCode : uint8_t
+{
+    NonBranch     = 0b000,  //!< fall-through
+    Return        = 0b001,  //!< return stack
+    OtherBranch   = 0b010,  //!< always use target array
+    CondLong      = 0b011,  //!< target array or fall-through, per PHT
+    CondPrevLine  = 0b100,  //!< current line - line size
+    CondSameLine  = 0b101,  //!< current line
+    CondNextLine  = 0b110,  //!< current line + line size
+    CondNextLine2 = 0b111   //!< current line + 2 * line size
+};
+
+/** Is this code any flavor of conditional branch? */
+bool bitCodeIsCond(BitCode c);
+
+/** Is this code a near-block conditional? */
+bool bitCodeIsNear(BitCode c);
+
+/** Line delta (-1, 0, +1, +2) for a near-block code. */
+int bitCodeNearDelta(BitCode c);
+
+/**
+ * Compute the code for one instruction.
+ *
+ * @param cls Instruction class.
+ * @param pc Instruction address.
+ * @param target Branch target (conditional branches carry their
+ *               static target even in not-taken records).
+ * @param line_size Instructions per i-cache line.
+ * @param near_block Use the 3-bit near-block encoding; when false,
+ *                   every conditional branch is CondLong (the paper's
+ *                   default configuration).
+ */
+BitCode computeBitCode(InstClass cls, Addr pc, Addr target,
+                       unsigned line_size, bool near_block);
+
+/** The per-line type vector. */
+using BitVector = std::vector<BitCode>;
+
+/**
+ * A finite, direct-mapped, tag-less BIT table. lookup() returns the
+ * codes last written at the line's index -- possibly for a different
+ * line (aliasing); the caller detects the damage by comparing the
+ * prediction it computed against one from true types (the paper's
+ * one-cycle BIT penalty).
+ */
+class BitTable
+{
+  public:
+    /**
+     * @param num_entries Entries (power of two). 0 = perfect (the
+     *                    BIT-in-instruction-cache configuration).
+     * @param line_size Instructions per line.
+     */
+    BitTable(std::size_t num_entries, unsigned line_size);
+
+    /** Is this the perfect (in-cache) configuration? */
+    bool perfect() const { return entries_.empty(); }
+
+    /**
+     * Read the stored codes for @p line_addr. In perfect mode returns
+     * nullptr (caller should use true types).
+     */
+    const BitVector *lookup(Addr line_addr) const;
+
+    /** True iff the stored entry was written for @p line_addr. */
+    bool entryMatches(Addr line_addr) const;
+
+    /** Install the true codes for @p line_addr. */
+    void update(Addr line_addr, const BitVector &codes);
+
+    /** Storage bits: entries * lineSize * 3 (the 3-bit encoding). */
+    uint64_t storageBits() const;
+
+    std::size_t numEntries() const { return entries_.size(); }
+    unsigned lineSize() const { return lineSize_; }
+
+  private:
+    struct Entry
+    {
+        BitVector codes;
+        Addr writer = ~Addr{0};     //!< which line wrote this entry
+    };
+
+    std::size_t indexOf(Addr line_addr) const;
+
+    unsigned lineSize_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_BIT_TABLE_HH

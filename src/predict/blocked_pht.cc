@@ -1,0 +1,76 @@
+#include "predict/blocked_pht.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+BlockedPHT::BlockedPHT(const BlockedPhtConfig &cfg)
+    : cfg_(cfg)
+{
+    mbbp_assert(isPowerOf2(cfg_.blockWidth),
+                "block width must be a power of two");
+    mbbp_assert(cfg_.numPhts >= 1 && isPowerOf2(cfg_.numPhts),
+                "numPhts must be a power of two");
+    std::size_t entries = (std::size_t{1} << cfg_.historyBits) *
+                          cfg_.numPhts;
+    counters_.assign(entries * cfg_.blockWidth,
+                     SatCounter(cfg_.counterBits,
+                                static_cast<uint8_t>(
+                                    1u << (cfg_.counterBits - 1))));
+}
+
+std::size_t
+BlockedPHT::index(const GlobalHistory &ghr, Addr block_addr) const
+{
+    unsigned shift = floorLog2(cfg_.blockWidth);
+    std::size_t idx = ghr.index(block_addr, shift) & mask(cfg_.historyBits);
+    if (cfg_.numPhts > 1) {
+        std::size_t table = (block_addr >> shift) & (cfg_.numPhts - 1);
+        idx |= table << cfg_.historyBits;
+    }
+    return idx;
+}
+
+unsigned
+BlockedPHT::position(Addr pc) const
+{
+    return static_cast<unsigned>(pc & (cfg_.blockWidth - 1));
+}
+
+bool
+BlockedPHT::predictAt(std::size_t idx, Addr pc) const
+{
+    return counterAt(idx, position(pc)).predictTaken();
+}
+
+void
+BlockedPHT::updateAt(std::size_t idx, Addr pc, bool taken)
+{
+    counters_[idx * cfg_.blockWidth + position(pc)].update(taken);
+}
+
+const SatCounter &
+BlockedPHT::counterAt(std::size_t idx, unsigned pos) const
+{
+    mbbp_assert(pos < cfg_.blockWidth, "counter position out of range");
+    return counters_[idx * cfg_.blockWidth + pos];
+}
+
+void
+BlockedPHT::setCounterAt(std::size_t idx, unsigned pos,
+                         const SatCounter &c)
+{
+    mbbp_assert(pos < cfg_.blockWidth, "counter position out of range");
+    counters_[idx * cfg_.blockWidth + pos] = c;
+}
+
+uint64_t
+BlockedPHT::storageBits() const
+{
+    return (uint64_t{1} << cfg_.historyBits) * cfg_.numPhts *
+           cfg_.blockWidth * cfg_.counterBits;
+}
+
+} // namespace mbbp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The blocked pattern history table -- the paper's core contribution
+ * for multiple branch prediction (Section 2).
+ *
+ * Instead of one 2-bit counter per entry, each pattern-history entry
+ * holds @c blockWidth counters, one per instruction position in a
+ * fetch block. A single lookup therefore yields direction predictions
+ * for *every* potential conditional branch in the block, replacing
+ * Yeh's exponential multi-ported lookup with one scalable read. The
+ * history register is updated once per block via
+ * GlobalHistory::shiftInBlock().
+ *
+ * Indexing is gshare style (GHR XOR block address); for lines wider
+ * than the block (extended/self-aligned caches) counter positions
+ * wrap around the block, as Section 4.5 specifies.
+ */
+
+#ifndef MBBP_PREDICT_BLOCKED_PHT_HH
+#define MBBP_PREDICT_BLOCKED_PHT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "predict/history.hh"
+#include "util/sat_counter.hh"
+
+namespace mbbp
+{
+
+/** Configuration for BlockedPHT. */
+struct BlockedPhtConfig
+{
+    unsigned historyBits = 10;  //!< GHR length; 2^h entries
+    unsigned blockWidth = 8;    //!< counters per entry (b)
+    unsigned counterBits = 2;
+    unsigned numPhts = 1;       //!< the paper evaluates 1 global PHT
+};
+
+/** Per-block pattern history: 2^h entries x b counters. */
+class BlockedPHT
+{
+  public:
+    explicit BlockedPHT(const BlockedPhtConfig &cfg);
+
+    BlockedPhtConfig config() const { return cfg_; }
+
+    /**
+     * Index for a block starting at @p block_addr under history
+     * @p ghr: (GHR XOR (addr / blockWidth)) folded to h bits, plus
+     * table selection when numPhts > 1.
+     */
+    std::size_t index(const GlobalHistory &ghr, Addr block_addr) const;
+
+    /** Predict the direction of the branch at absolute @p pc. */
+    bool predictAt(std::size_t idx, Addr pc) const;
+
+    /** Counter position for @p pc (wraps around the block). */
+    unsigned position(Addr pc) const;
+
+    /** Train the counter for @p pc at entry @p idx. */
+    void updateAt(std::size_t idx, Addr pc, bool taken);
+
+    /** Raw counter access (tests, BBR PHT-block field). */
+    const SatCounter &counterAt(std::size_t idx, unsigned pos) const;
+    void setCounterAt(std::size_t idx, unsigned pos,
+                      const SatCounter &c);
+
+    /** Storage cost in bits: 2^h * b * counterBits * numPhts. */
+    uint64_t storageBits() const;
+
+    unsigned blockWidth() const { return cfg_.blockWidth; }
+
+  private:
+    BlockedPhtConfig cfg_;
+    std::vector<SatCounter> counters_;  //!< [entry * b + pos]
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_BLOCKED_PHT_HH

@@ -1,0 +1,169 @@
+#include "predict/branch_address_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mbbp
+{
+
+double
+BacStats::condAccuracy() const
+{
+    return condBranches == 0
+        ? 1.0
+        : 1.0 - static_cast<double>(condMispredicts) /
+                static_cast<double>(condBranches);
+}
+
+double
+BacStats::phtLookupsPerCycle() const
+{
+    return ratio(static_cast<double>(phtLookups),
+                 static_cast<double>(cycles));
+}
+
+BranchAddressCache::BranchAddressCache(const BacConfig &cfg)
+    : cfg_(cfg), history_(cfg.historyBits)
+{
+    mbbp_assert(isPowerOf2(cfg_.bacEntries),
+                "BAC entries must be a power of two");
+    mbbp_assert(cfg_.branchesPerCycle >= 1 &&
+                cfg_.branchesPerCycle <= 4,
+                "1..4 branch predictions per cycle supported");
+    pht_.assign(std::size_t{1} << cfg_.historyBits,
+                SatCounter(2, 2));
+    bac_.resize(cfg_.bacEntries);
+}
+
+std::size_t
+BranchAddressCache::indexOf(Addr pc) const
+{
+    return pc & (cfg_.bacEntries - 1);
+}
+
+uint64_t
+BranchAddressCache::lookupsPerCycle(unsigned k)
+{
+    return (uint64_t{1} << k) - 1;
+}
+
+uint64_t
+BranchAddressCache::storageBits(unsigned addr_bits) const
+{
+    // Each entry must provide the fan-out of 2^k possible basic-block
+    // starting addresses for k predictions, plus a tag.
+    uint64_t fanout = uint64_t{1} << cfg_.branchesPerCycle;
+    uint64_t tag_bits = 30;
+    return cfg_.bacEntries * (fanout * addr_bits + tag_bits);
+}
+
+BacStats
+BranchAddressCache::simulate(InMemoryTrace &trace)
+{
+    BacStats st;
+    trace.reset();
+
+    // Segment the stream into basic blocks: a block ends at the first
+    // control instruction (taken or not) or at the width cap.
+    struct BasicBlock
+    {
+        Addr start = 0;
+        Addr nextStart = 0;
+        Addr branchPc = 0;
+        Addr takenTarget = 0;
+        bool hasBranch = false;
+        bool isCond = false;
+        bool taken = false;
+    };
+
+    DynInst inst;
+    bool pending = trace.next(inst);
+    unsigned blocks_this_cycle = 0;
+
+    while (pending) {
+        BasicBlock bb;
+        bb.start = inst.pc;
+        unsigned len = 0;
+        while (pending && len < cfg_.blockWidth) {
+            ++len;
+            bool control = isControl(inst.cls);
+            if (control) {
+                bb.hasBranch = true;
+                bb.branchPc = inst.pc;
+                bb.isCond = isCondBranch(inst.cls);
+                bb.taken = inst.taken;
+                bb.takenTarget = inst.target;
+                pending = trace.next(inst);
+                break;
+            }
+            pending = trace.next(inst);
+        }
+        if (!pending)
+            break;      // cannot score the final partial block
+        bb.nextStart = inst.pc;
+        ++st.basicBlocks;
+
+        if (++blocks_this_cycle == 1) {
+            ++st.cycles;
+            st.phtLookups += lookupsPerCycle(cfg_.branchesPerCycle);
+        }
+        if (blocks_this_cycle == cfg_.branchesPerCycle)
+            blocks_this_cycle = 0;
+
+        // Predict this block's successor from the BAC + PHT.
+        BacEntry &e = bac_[indexOf(bb.start)];
+        Addr predicted;
+        bool predicted_dir = false;
+        if (!e.valid || e.tag != bb.start) {
+            ++st.bacMisses;
+            predicted = 0;      // no address available
+        } else if (e.isCond) {
+            std::size_t idx = history_.index(e.branchPc, 0);
+            predicted_dir = pht_[idx].predictTaken();
+            predicted = predicted_dir ? e.takenTarget : e.fallThrough;
+        } else {
+            predicted = e.takenTarget;
+        }
+
+        if (bb.isCond) {
+            ++st.condBranches;
+            bool usable = e.valid && e.tag == bb.start && e.isCond;
+            if (!usable || predicted_dir != bb.taken)
+                ++st.condMispredicts;
+            // Train the PHT with the actual outcome.
+            std::size_t idx = history_.index(bb.branchPc, 0);
+            pht_[idx].update(bb.taken);
+            history_.shiftIn(bb.taken);
+        }
+        if (predicted != bb.nextStart)
+            ++st.addrMispredicts;
+
+        // Train the BAC.
+        e.valid = true;
+        e.tag = bb.start;
+        e.branchPc = bb.branchPc;
+        e.isCond = bb.isCond;
+        if (bb.hasBranch) {
+            if (bb.taken)
+                e.takenTarget = bb.takenTarget;
+            else if (!bb.isCond)
+                e.takenTarget = bb.nextStart;
+            if (!bb.taken || !bb.isCond)
+                e.fallThrough = bb.isCond ? bb.nextStart
+                                          : e.fallThrough;
+            if (bb.isCond && bb.taken)
+                e.takenTarget = bb.takenTarget;
+        } else {
+            e.takenTarget = bb.nextStart;   // sequential overflow
+            e.isCond = false;
+        }
+        if (bb.isCond && !bb.taken)
+            e.fallThrough = bb.nextStart;
+        else if (bb.isCond && bb.taken)
+            e.fallThrough = bb.branchPc + 1;
+    }
+    return st;
+}
+
+} // namespace mbbp

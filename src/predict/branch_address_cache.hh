@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Yeh, Marr & Patt's multiple branch prediction via a Branch Address
+ * Cache (ICS'93) -- the related-work scheme the paper's Section 2
+ * argues against: it retains scalar two-level accuracy, but predicting
+ * k branches per cycle needs 2^k - 1 PHT reads and a BAC entry
+ * fanning out 2^k basic-block addresses, so cost grows exponentially
+ * in the prediction bandwidth.
+ *
+ * This model implements the scheme functionally (BAC + global PHT,
+ * basic-block granularity) and reports the lookup/storage costs the
+ * ablation bench compares against the blocked PHT's single read.
+ */
+
+#ifndef MBBP_PREDICT_BRANCH_ADDRESS_CACHE_HH
+#define MBBP_PREDICT_BRANCH_ADDRESS_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "predict/history.hh"
+#include "trace/trace.hh"
+#include "util/sat_counter.hh"
+
+namespace mbbp
+{
+
+/** Configuration of the Yeh-style multi-branch predictor. */
+struct BacConfig
+{
+    unsigned historyBits = 10;
+    std::size_t bacEntries = 1024;  //!< direct-mapped BAC entries
+    unsigned branchesPerCycle = 2;  //!< k simultaneous predictions
+    unsigned blockWidth = 8;        //!< fetch width cap per block
+};
+
+/** Results of a trace run. */
+struct BacStats
+{
+    uint64_t basicBlocks = 0;       //!< basic blocks walked
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t bacMisses = 0;         //!< address unavailable
+    uint64_t addrMispredicts = 0;   //!< wrong next-block address
+    uint64_t phtLookups = 0;        //!< total PHT entry reads
+    uint64_t cycles = 0;            //!< prediction cycles consumed
+
+    double condAccuracy() const;
+    double phtLookupsPerCycle() const;
+};
+
+/** Functional Yeh BAC multi-branch predictor. */
+class BranchAddressCache
+{
+  public:
+    explicit BranchAddressCache(const BacConfig &cfg);
+
+    /**
+     * Walk @p trace at basic-block granularity predicting
+     * cfg.branchesPerCycle branches per cycle, training as it goes.
+     */
+    BacStats simulate(InMemoryTrace &trace);
+
+    /** PHT reads needed per cycle for k predictions: 2^k - 1. */
+    static uint64_t lookupsPerCycle(unsigned k);
+
+    /**
+     * BAC storage bits: every entry fans out 2^k block addresses of
+     * @p addr_bits each, plus a tag.
+     */
+    uint64_t storageBits(unsigned addr_bits) const;
+
+  private:
+    struct BacEntry
+    {
+        Addr tag = ~Addr{0};
+        Addr takenTarget = 0;       //!< target if the block's branch
+                                    //!< is taken
+        Addr fallThrough = 0;       //!< next block if not taken
+        Addr branchPc = 0;
+        bool isCond = false;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(Addr pc) const;
+
+    BacConfig cfg_;
+    GlobalHistory history_;
+    std::vector<SatCounter> pht_;
+    std::vector<BacEntry> bac_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_BRANCH_ADDRESS_CACHE_HH

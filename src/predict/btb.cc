@@ -1,0 +1,117 @@
+#include "predict/btb.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+Btb::Btb(std::size_t num_block_entries, unsigned assoc,
+         unsigned line_size)
+    : assoc_(assoc), lineSize_(line_size),
+      numSets_(num_block_entries / assoc)
+{
+    mbbp_assert(assoc >= 1, "associativity must be >= 1");
+    mbbp_assert(num_block_entries % assoc == 0,
+                "entries must be a multiple of the associativity");
+    mbbp_assert(numSets_ >= 1 && isPowerOf2(numSets_),
+                "BTB set count must be a power of two");
+    entries_.resize(num_block_entries);
+    for (auto &e : entries_)
+        e.slots.resize(lineSize_);
+}
+
+uint64_t
+Btb::tagOf(Addr block_addr, unsigned which) const
+{
+    // Tag = full line address above the set index, plus the target
+    // number (Section 3.1); two bits of target number allow up to
+    // four logical arrays for multi-block extensions.
+    mbbp_assert(which < 4, "BTB supports at most 4 target numbers");
+    uint64_t line = block_addr / lineSize_;
+    return ((line / numSets_) << 2) | which;
+}
+
+std::size_t
+Btb::setOf(Addr block_addr) const
+{
+    return (block_addr / lineSize_) & (numSets_ - 1);
+}
+
+int
+Btb::findWay(std::size_t set, uint64_t tag) const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[set * assoc_ + w];
+        if (e.valid && e.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+TargetPrediction
+Btb::predict(Addr block_addr, unsigned pos, unsigned which) const
+{
+    mbbp_assert(pos < lineSize_, "BTB position out of range");
+    std::size_t set = setOf(block_addr);
+    int way = findWay(set, tagOf(block_addr, which));
+    if (way < 0)
+        return { false, 0, false };
+
+    const Entry &e = entries_[set * assoc_ + way];
+    e.lastUse = ++useClock_;
+    const Slot &s = e.slots[pos];
+    if (!s.valid)
+        return { false, 0, false };
+    return { true, s.target, s.isCall };
+}
+
+void
+Btb::update(Addr block_addr, unsigned pos, unsigned which, Addr target,
+            bool is_call)
+{
+    mbbp_assert(pos < lineSize_, "BTB position out of range");
+    std::size_t set = setOf(block_addr);
+    uint64_t tag = tagOf(block_addr, which);
+    int way = findWay(set, tag);
+
+    if (way < 0) {
+        // Allocate the LRU way and clear its per-position slots.
+        way = 0;
+        uint64_t best = entries_[set * assoc_].lastUse;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Entry &e = entries_[set * assoc_ + w];
+            if (!e.valid) {
+                way = static_cast<int>(w);
+                break;
+            }
+            if (e.lastUse < best) {
+                best = e.lastUse;
+                way = static_cast<int>(w);
+            }
+        }
+        Entry &e = entries_[set * assoc_ + way];
+        e.tag = tag;
+        e.valid = true;
+        for (auto &s : e.slots)
+            s = Slot{};
+    }
+
+    Entry &e = entries_[set * assoc_ + way];
+    e.lastUse = ++useClock_;
+    e.slots[pos] = { target, is_call, true };
+}
+
+uint64_t
+Btb::storageBits(unsigned line_index_bits) const
+{
+    // Per Table 7's accounting style: targets plus tags. A BTB entry
+    // stores full target addresses (line index + offset) and a tag.
+    unsigned offset_bits = floorLog2(lineSize_);
+    uint64_t target_bits = static_cast<uint64_t>(lineSize_) *
+                           (line_index_bits + offset_bits);
+    uint64_t tag_bits = 30 - floorLog2(numSets_ ? numSets_ : 1);
+    return entries_.size() * (target_bits + tag_bits + 1);
+}
+
+} // namespace mbbp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Set-associative Branch Target Buffer, block-organized per Section 2:
+ * entries are indexed and tag-checked against the instruction *block*
+ * address and hold a target per block position. For dual-block
+ * prediction the tag additionally encodes the target number (first or
+ * second), so one physical structure serves both logical arrays
+ * (Table 5: "a BTB entry can be for the first or second target").
+ *
+ * Replacement is LRU within a set, as in the paper's Table 5 sweep.
+ */
+
+#ifndef MBBP_PREDICT_BTB_HH
+#define MBBP_PREDICT_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/target_array.hh"
+
+namespace mbbp
+{
+
+/** 4-way (configurable) LRU block BTB. */
+class Btb : public TargetArray
+{
+  public:
+    /**
+     * @param num_block_entries Total block entries (sets * ways).
+     * @param assoc Ways per set.
+     * @param line_size Instructions per line (positions per entry).
+     */
+    Btb(std::size_t num_block_entries, unsigned assoc,
+        unsigned line_size);
+
+    TargetPrediction predict(Addr block_addr, unsigned pos,
+                             unsigned which) const override;
+    void update(Addr block_addr, unsigned pos, unsigned which,
+                Addr target, bool is_call) override;
+    uint64_t storageBits(unsigned line_index_bits) const override;
+
+    std::size_t numBlockEntries() const { return entries_.size(); }
+    unsigned assoc() const { return assoc_; }
+
+  private:
+    struct Slot
+    {
+        Addr target = 0;
+        bool isCall = false;
+        bool valid = false;
+    };
+
+    struct Entry
+    {
+        uint64_t tag = 0;       //!< line address | target number
+        bool valid = false;
+        mutable uint64_t lastUse = 0;   //!< LRU stamp (probes touch it)
+        std::vector<Slot> slots;
+    };
+
+    uint64_t tagOf(Addr block_addr, unsigned which) const;
+    std::size_t setOf(Addr block_addr) const;
+
+    /** Find the way holding the tag, or -1. */
+    int findWay(std::size_t set, uint64_t tag) const;
+
+    unsigned assoc_;
+    unsigned lineSize_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;    //!< [set * assoc + way]
+    mutable uint64_t useClock_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_BTB_HH

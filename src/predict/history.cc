@@ -1,0 +1,47 @@
+#include "predict/history.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+GlobalHistory::GlobalHistory(unsigned nbits)
+    : nbits_(nbits)
+{
+    mbbp_assert(nbits >= 1 && nbits <= 63,
+                "history width must be 1..63, got ", nbits);
+}
+
+void
+GlobalHistory::shiftIn(bool taken)
+{
+    value_ = ((value_ << 1) | (taken ? 1 : 0)) & mask(nbits_);
+}
+
+void
+GlobalHistory::shiftInBlock(uint64_t outcomes, unsigned count)
+{
+    mbbp_assert(count <= 63, "too many outcomes in one block");
+    if (count == 0)
+        return;
+    // The i-th executed branch must end up older than the (i+1)-th:
+    // insert in execution order.
+    for (unsigned i = 0; i < count; ++i)
+        shiftIn((outcomes >> i) & 1);
+}
+
+void
+GlobalHistory::set(uint64_t v)
+{
+    value_ = v & mask(nbits_);
+}
+
+uint64_t
+GlobalHistory::index(Addr addr, unsigned addr_shift) const
+{
+    uint64_t a = addr >> addr_shift;
+    return (value_ ^ a) & mask(nbits_);
+}
+
+} // namespace mbbp

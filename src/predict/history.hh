@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Global/branch history register (GHR/BHR) and the gshare-style index
+ * computation shared by the PHT and select table.
+ *
+ * The paper's key departure from Yeh/Patt: the register is updated
+ * once per *block* (shift in the outcomes of every conditional branch
+ * the block executed), not once per branch. shiftInBlock() implements
+ * that; shiftIn() is the scalar form used by the baseline.
+ */
+
+#ifndef MBBP_PREDICT_HISTORY_HH
+#define MBBP_PREDICT_HISTORY_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** A history register of 1..63 bits; bit 0 is the newest outcome. */
+class GlobalHistory
+{
+  public:
+    explicit GlobalHistory(unsigned nbits);
+
+    /** Shift in one outcome (scalar two-level update). */
+    void shiftIn(bool taken);
+
+    /**
+     * Shift in a whole block's outcomes at once (blocked update).
+     * @param outcomes Bit i = outcome of the block's i-th conditional
+     *                 branch (bit 0 = first executed).
+     * @param count Number of conditional branches (0..63).
+     */
+    void shiftInBlock(uint64_t outcomes, unsigned count);
+
+    /** Current register value (low @c width() bits). */
+    uint64_t value() const { return value_; }
+
+    /** Restore a recovered value (BBR corrected GHR). */
+    void set(uint64_t v);
+
+    unsigned width() const { return nbits_; }
+
+    /** gshare index: history XOR (addr >> shift), folded to width. */
+    uint64_t index(Addr addr, unsigned addr_shift) const;
+
+  private:
+    unsigned nbits_;
+    uint64_t value_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_HISTORY_HH

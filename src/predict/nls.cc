@@ -1,0 +1,74 @@
+#include "predict/nls.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+NlsTargetArray::NlsTargetArray(std::size_t num_entries,
+                               unsigned line_size, bool dual)
+    : numEntries_(num_entries), lineSize_(line_size),
+      numArrays_(dual ? 2 : 1)
+{
+    mbbp_assert(isPowerOf2(num_entries),
+                "NLS entries must be a power of two");
+    slots_.resize(numEntries_ * numArrays_ * lineSize_);
+}
+
+NlsTargetArray
+NlsTargetArray::withArrays(std::size_t num_entries, unsigned line_size,
+                           unsigned num_arrays)
+{
+    mbbp_assert(num_arrays >= 1, "need at least one target array");
+    NlsTargetArray nls(num_entries, line_size, false);
+    nls.numArrays_ = num_arrays;
+    nls.slots_.assign(num_entries * num_arrays * line_size, Slot{});
+    return nls;
+}
+
+std::size_t
+NlsTargetArray::indexOf(Addr block_addr) const
+{
+    // Index by the line address (drop the offset bits).
+    return (block_addr / lineSize_) & (numEntries_ - 1);
+}
+
+std::size_t
+NlsTargetArray::slotIndex(std::size_t idx, unsigned pos,
+                          unsigned which) const
+{
+    mbbp_assert(pos < lineSize_, "NLS position out of range");
+    mbbp_assert(which < numArrays_, "NLS array selector out of range");
+    return (idx * numArrays_ + which) * lineSize_ + pos;
+}
+
+TargetPrediction
+NlsTargetArray::predict(Addr block_addr, unsigned pos,
+                        unsigned which) const
+{
+    const Slot &s = slots_[slotIndex(indexOf(block_addr), pos, which)];
+    // Tag-less: there is no miss; an unwritten or aliased slot simply
+    // yields a wrong target, discovered later as a misfetch.
+    return { true, s.target, s.isCall };
+}
+
+void
+NlsTargetArray::update(Addr block_addr, unsigned pos, unsigned which,
+                       Addr target, bool is_call)
+{
+    Slot &s = slots_[slotIndex(indexOf(block_addr), pos, which)];
+    s.target = target;
+    s.isCall = is_call;
+    s.written = true;
+}
+
+uint64_t
+NlsTargetArray::storageBits(unsigned line_index_bits) const
+{
+    // Table 7: entries x positions x line-index bits, per array.
+    return static_cast<uint64_t>(numEntries_) * numArrays_ *
+           lineSize_ * line_index_bits;
+}
+
+} // namespace mbbp

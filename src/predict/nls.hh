@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NLS-style target array (Calder & Grunwald's Next Line Set concept,
+ * expanded to whole blocks per Section 2).
+ *
+ * Direct-mapped and tag-less: a probe always returns whatever target
+ * was last written at the index, so aliasing silently yields wrong
+ * targets (misfetches) rather than detectable misses. Set prediction
+ * is not modeled -- as the paper notes, the evaluated configuration
+ * "is really a direct-mapped tag-less BTB" holding target addresses.
+ *
+ * One NLS block entry holds a target per block position for *both*
+ * logical arrays (first and second target), matching Table 5's
+ * accounting ("an NLS entry has two separate targets").
+ */
+
+#ifndef MBBP_PREDICT_NLS_HH
+#define MBBP_PREDICT_NLS_HH
+
+#include <vector>
+
+#include "predict/target_array.hh"
+
+namespace mbbp
+{
+
+/** Direct-mapped tag-less dual target array. */
+class NlsTargetArray : public TargetArray
+{
+  public:
+    /**
+     * @param num_entries Block entries (power of two).
+     * @param line_size Instructions per line (positions per entry).
+     * @param dual Keep a second-target array too.
+     */
+    NlsTargetArray(std::size_t num_entries, unsigned line_size,
+                   bool dual);
+
+    /**
+     * N logical target arrays, for predicting N blocks per cycle
+     * (Section 5: each extra block needs another target array).
+     */
+    static NlsTargetArray withArrays(std::size_t num_entries,
+                                     unsigned line_size,
+                                     unsigned num_arrays);
+
+    TargetPrediction predict(Addr block_addr, unsigned pos,
+                             unsigned which) const override;
+    void update(Addr block_addr, unsigned pos, unsigned which,
+                Addr target, bool is_call) override;
+    uint64_t storageBits(unsigned line_index_bits) const override;
+
+    std::size_t numEntries() const { return numEntries_; }
+
+  private:
+    struct Slot
+    {
+        Addr target = 0;
+        bool isCall = false;
+        bool written = false;
+    };
+
+    std::size_t indexOf(Addr block_addr) const;
+    std::size_t slotIndex(std::size_t idx, unsigned pos,
+                          unsigned which) const;
+
+    std::size_t numEntries_;
+    unsigned lineSize_;
+    unsigned numArrays_;
+    std::vector<Slot> slots_;   //!< [(idx*arrays + which)*L + pos]
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_NLS_HH

@@ -1,0 +1,57 @@
+#include "predict/ras.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+ReturnAddressStack::ReturnAddressStack(std::size_t capacity)
+    : ring_(capacity, 0)
+{
+    mbbp_assert(capacity >= 1, "RAS capacity must be >= 1");
+}
+
+void
+ReturnAddressStack::push(Addr ret_addr)
+{
+    ring_[topIdx_] = ret_addr;
+    topIdx_ = (topIdx_ + 1) % ring_.size();
+    if (depth_ == ring_.size())
+        ++overflows_;       // overwrote the oldest live entry
+    else
+        ++depth_;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (depth_ == 0) {
+        ++underflows_;
+        return 0;
+    }
+    topIdx_ = (topIdx_ + ring_.size() - 1) % ring_.size();
+    --depth_;
+    return ring_[topIdx_];
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    if (depth_ == 0) {
+        ++underflows_;
+        return 0;
+    }
+    return ring_[(topIdx_ + ring_.size() - 1) % ring_.size()];
+}
+
+Addr
+ReturnAddressStack::second() const
+{
+    if (depth_ < 2) {
+        ++underflows_;
+        return 0;
+    }
+    return ring_[(topIdx_ + ring_.size() - 2) % ring_.size()];
+}
+
+} // namespace mbbp

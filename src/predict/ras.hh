@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Return Address Stack (Kaeli & Emma), 32 entries in the paper's
+ * configuration. A fixed-size circular stack: pushing past capacity
+ * silently overwrites the oldest entry, which is the hardware
+ * behavior that makes deep recursion mispredict returns.
+ *
+ * Dual-block bypassing (Section 3.1) -- forwarding a just-pushed
+ * return address to the second multiplexer, or handing it the second
+ * stack entry when the first block returns -- is functionally
+ * equivalent to keeping the stack up to date in program order, which
+ * is what this model does; the engines document that equivalence.
+ */
+
+#ifndef MBBP_PREDICT_RAS_HH
+#define MBBP_PREDICT_RAS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** Fixed-capacity circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::size_t capacity = 32);
+
+    /** Push a return address (a call executed). */
+    void push(Addr ret_addr);
+
+    /** Pop and return the top (a return executed). */
+    Addr pop();
+
+    /** Peek at the top without popping (first-mux RAS input). */
+    Addr top() const;
+
+    /** Peek at the second entry (second-mux input when the first
+     *  block performs a return). */
+    Addr second() const;
+
+    /** Live entries (<= capacity). */
+    std::size_t depth() const { return depth_; }
+    std::size_t capacity() const { return ring_.size(); }
+    bool empty() const { return depth_ == 0; }
+
+    /** Times a push overwrote a live entry (overflow events). */
+    uint64_t overflows() const { return overflows_; }
+
+    /** Times a pop or peek hit an empty stack (returns 0 then). */
+    uint64_t underflows() const { return underflows_; }
+
+  private:
+    std::vector<Addr> ring_;
+    std::size_t topIdx_ = 0;    //!< index of the next free slot
+    std::size_t depth_ = 0;
+    uint64_t overflows_ = 0;
+    mutable uint64_t underflows_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_RAS_HH

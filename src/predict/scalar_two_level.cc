@@ -1,0 +1,57 @@
+#include "predict/scalar_two_level.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+ScalarTwoLevel::ScalarTwoLevel(const ScalarTwoLevelConfig &cfg)
+    : cfg_(cfg), history_(cfg.historyBits)
+{
+    mbbp_assert(cfg_.numPhts >= 1 && isPowerOf2(cfg_.numPhts),
+                "numPhts must be a power of two");
+    std::size_t entries = std::size_t{1} << cfg_.historyBits;
+    phts_.assign(cfg_.numPhts,
+                 std::vector<SatCounter>(
+                     entries, SatCounter(cfg_.counterBits,
+                                         static_cast<uint8_t>(
+                                             1u << (cfg_.counterBits - 1)))));
+}
+
+std::size_t
+ScalarTwoLevel::tableOf(Addr pc) const
+{
+    return cfg_.gshare ? 0 : (pc & (cfg_.numPhts - 1));
+}
+
+std::size_t
+ScalarTwoLevel::indexOf(Addr pc) const
+{
+    if (cfg_.gshare)
+        return history_.index(pc, 0);
+    return history_.value();
+}
+
+bool
+ScalarTwoLevel::predict(Addr pc) const
+{
+    return phts_[tableOf(pc)][indexOf(pc)].predictTaken();
+}
+
+void
+ScalarTwoLevel::update(Addr pc, bool taken)
+{
+    phts_[tableOf(pc)][indexOf(pc)].update(taken);
+    history_.shiftIn(taken);
+}
+
+uint64_t
+ScalarTwoLevel::storageBits() const
+{
+    uint64_t per_table = (uint64_t{1} << cfg_.historyBits) *
+                         cfg_.counterBits;
+    return (cfg_.gshare ? 1 : cfg_.numPhts) * per_table;
+}
+
+} // namespace mbbp

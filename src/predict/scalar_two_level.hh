@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The scalar two-level adaptive branch predictor (Yeh & Patt), the
+ * paper's Figure 6 baseline: a global history register indexing one or
+ * more pattern history tables of 2-bit counters, one prediction per
+ * branch per cycle.
+ *
+ * The paper's reference configuration is "a per-addr PHT with 8 PHTs"
+ * sized to match the blocked PHT: the low bits of the branch address
+ * select one of @c numPhts tables, the GHR indexes within it. A
+ * gshare-style mode (GHR XOR address) is also provided.
+ */
+
+#ifndef MBBP_PREDICT_SCALAR_TWO_LEVEL_HH
+#define MBBP_PREDICT_SCALAR_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "predict/history.hh"
+#include "util/sat_counter.hh"
+
+namespace mbbp
+{
+
+/** Configuration for ScalarTwoLevel. */
+struct ScalarTwoLevelConfig
+{
+    unsigned historyBits = 10;  //!< GHR length; PHT has 2^h entries
+    unsigned numPhts = 8;       //!< tables selected by address low bits
+    unsigned counterBits = 2;
+    bool gshare = false;        //!< XOR address into the index instead
+                                //!< of selecting a table with it
+};
+
+/** One-branch-per-lookup two-level adaptive predictor. */
+class ScalarTwoLevel
+{
+  public:
+    explicit ScalarTwoLevel(const ScalarTwoLevelConfig &cfg);
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Train with the actual outcome and advance the history (one
+     * shift per branch, the scalar discipline).
+     */
+    void update(Addr pc, bool taken);
+
+    /** Storage cost in bits (counters only, like the paper's Table 7). */
+    uint64_t storageBits() const;
+
+    const GlobalHistory &history() const { return history_; }
+
+  private:
+    std::size_t tableOf(Addr pc) const;
+    std::size_t indexOf(Addr pc) const;
+
+    ScalarTwoLevelConfig cfg_;
+    GlobalHistory history_;
+    std::vector<std::vector<SatCounter>> phts_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_SCALAR_TWO_LEVEL_HH

@@ -1,0 +1,108 @@
+#include "predict/select_table.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+const char *
+selSrcName(SelSrc s)
+{
+    switch (s) {
+      case SelSrc::FallThrough: return "fall";
+      case SelSrc::Ras: return "ras";
+      case SelSrc::Target: return "target";
+      case SelSrc::LinePrev: return "line-";
+      case SelSrc::LineSame: return "line";
+      case SelSrc::LineNext: return "line+";
+      case SelSrc::LineNext2: return "line+2";
+      default: return "?";
+    }
+}
+
+std::string
+Selector::toString() const
+{
+    std::ostringstream os;
+    os << selSrcName(src);
+    if (src == SelSrc::Target || (src >= SelSrc::LinePrev &&
+                                  src <= SelSrc::LineNext2)) {
+        os << "(" << static_cast<int>(pos) << ")";
+    }
+    return os.str();
+}
+
+unsigned
+Selector::encodingBits(unsigned block_width)
+{
+    return floorLog2(block_width) + 1;
+}
+
+SelectTable::SelectTable(unsigned history_bits, unsigned num_tables,
+                         bool dual)
+    : historyBits_(history_bits), numTables_(num_tables),
+      slots_(dual ? 2 : 1),
+      entries_(std::size_t{1} << history_bits)
+{
+    mbbp_assert(isPowerOf2(num_tables),
+                "number of select tables must be a power of two");
+    store_.resize(entries_ * numTables_ * slots_);
+}
+
+SelectTable
+SelectTable::withSlots(unsigned history_bits, unsigned num_tables,
+                       unsigned num_slots)
+{
+    mbbp_assert(num_slots >= 1, "need at least one selector slot");
+    SelectTable st(history_bits, num_tables, false);
+    st.slots_ = num_slots;
+    st.store_.assign(st.entries_ * st.numTables_ * st.slots_,
+                     SelectEntry{});
+    return st;
+}
+
+unsigned
+SelectTable::tableOf(Addr start_addr) const
+{
+    return static_cast<unsigned>(start_addr & (numTables_ - 1));
+}
+
+std::size_t
+SelectTable::flatIndex(unsigned table, std::size_t idx,
+                       unsigned slot) const
+{
+    mbbp_assert(table < numTables_, "select table out of range");
+    mbbp_assert(idx < entries_, "select index out of range");
+    mbbp_assert(slot < slots_, "select slot out of range");
+    return (table * entries_ + idx) * slots_ + slot;
+}
+
+const SelectEntry &
+SelectTable::read(unsigned table, std::size_t idx, unsigned slot) const
+{
+    return store_[flatIndex(table, idx, slot)];
+}
+
+void
+SelectTable::write(unsigned table, std::size_t idx, unsigned slot,
+                   const SelectEntry &entry)
+{
+    store_[flatIndex(table, idx, slot)] = entry;
+}
+
+uint64_t
+SelectTable::storageBits(unsigned block_width, bool with_offset) const
+{
+    unsigned lb = floorLog2(block_width);
+    // Selector + (#not-taken, taken/fall-through) GHR bits, plus the
+    // optional near-block start offset.
+    unsigned per_slot = Selector::encodingBits(block_width) + lb + 1 +
+                        (with_offset ? lb : 0);
+    return static_cast<uint64_t>(entries_) * numTables_ * slots_ *
+           per_slot;
+}
+
+} // namespace mbbp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The select table (ST) -- the paper's key mechanism for predicting
+ * two blocks in parallel (Section 3): "predict our prediction".
+ *
+ * The end product of a BIT+PHT block prediction is a multiplexer
+ * selection. Because the BIT and PHT information for the second block
+ * is not available in time, the mux selector from a previous
+ * prediction is stored in the ST and replayed. An entry also stores
+ * what the prediction implies for the GHR (how many not-taken
+ * conditionals, and whether the block ended on a taken branch or fell
+ * through), and optionally the start offset into the target line for
+ * near-block targets.
+ *
+ * Indexing: GHR XOR current block address -- the same index as the
+ * PHT lookup for the first-block prediction. With multiple STs, the
+ * low bits of the block's starting address select the table, so
+ * different entry positions into the same line learn different
+ * selectors (Section 4.3).
+ *
+ * Double selection stores *two* selectors per entry (a dual ST) and
+ * drives both multiplexers from it, removing the BIT requirement at
+ * the cost of higher misselect penalties (Section 3.2).
+ */
+
+#ifndef MBBP_PREDICT_SELECT_TABLE_HH
+#define MBBP_PREDICT_SELECT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** Which multiplexer input a selector picks. */
+enum class SelSrc : uint8_t
+{
+    FallThrough = 0,    //!< sequential next address
+    Ras,                //!< return address stack
+    Target,             //!< target array, exit position = pos
+    LinePrev,           //!< near-block: current line - line size
+    LineSame,           //!< near-block: current line
+    LineNext,           //!< near-block: current line + line size
+    LineNext2           //!< near-block: current line + 2 * line size
+};
+
+/** Short name for tracing/tests. */
+const char *selSrcName(SelSrc s);
+
+/** A multiplexer selection: the unit the ST stores and verifies. */
+struct Selector
+{
+    SelSrc src = SelSrc::FallThrough;
+    uint8_t pos = 0;    //!< exit position in the line (Target/near)
+
+    bool operator==(const Selector &other) const = default;
+
+    std::string toString() const;
+
+    /** Encoding width: log2(b)+1 bits covers b target positions plus
+     *  fall-through and RAS (4 bits for b=8, 3 for b=4, per §3). */
+    static unsigned encodingBits(unsigned block_width);
+};
+
+/** The GHR-update information a select prediction must supply. */
+struct GhrInfo
+{
+    uint8_t numNotTaken = 0;    //!< not-taken conditionals in block
+    bool endedTaken = false;    //!< ended on a taken branch (vs fell
+                                //!< through)
+
+    bool operator==(const GhrInfo &other) const = default;
+};
+
+/**
+ * One select-table entry. The paper's ST has no validity concept --
+ * "the select value read from the select table is used to directly
+ * control the multiplexer" -- so a never-written entry behaves as its
+ * zero state: a fall-through selector with no conditional outcomes,
+ * which is also what zeroed hardware would supply. The valid flag
+ * only records whether the entry was ever trained (diagnostics).
+ */
+struct SelectEntry
+{
+    Selector sel;
+    GhrInfo ghr;
+    uint8_t startOffset = 0;    //!< offset into the target line
+    bool valid = false;         //!< ever written (statistics only)
+};
+
+/** A (possibly dual, possibly replicated) select table. */
+class SelectTable
+{
+  public:
+    /**
+     * @param history_bits Index width; 2^h entries per table.
+     * @param num_tables Tables selected by start-address low bits.
+     * @param dual Two selector slots per entry (double selection).
+     */
+    SelectTable(unsigned history_bits, unsigned num_tables, bool dual);
+
+    /**
+     * Arbitrary slot count, for predicting more than two blocks per
+     * cycle (Section 5's scaling discussion: "another block
+     * prediction basically requires another select table").
+     */
+    static SelectTable withSlots(unsigned history_bits,
+                                 unsigned num_tables,
+                                 unsigned num_slots);
+
+    /** Table selected by a block starting address. */
+    unsigned tableOf(Addr start_addr) const;
+
+    /** Read slot @p slot (0, or 1 when dual) of an entry. */
+    const SelectEntry &read(unsigned table, std::size_t idx,
+                            unsigned slot) const;
+
+    /** Replace an entry slot (misselect recovery / training). */
+    void write(unsigned table, std::size_t idx, unsigned slot,
+               const SelectEntry &entry);
+
+    /**
+     * Storage bits per Table 7: entries * (selector + GHR info),
+     * times tables and slots. @p with_offset adds the near-block
+     * start-offset bits.
+     */
+    uint64_t storageBits(unsigned block_width, bool with_offset) const;
+
+    unsigned numTables() const { return numTables_; }
+    unsigned slots() const { return slots_; }
+    std::size_t entriesPerTable() const { return entries_; }
+
+  private:
+    std::size_t flatIndex(unsigned table, std::size_t idx,
+                          unsigned slot) const;
+
+    unsigned historyBits_;
+    unsigned numTables_;
+    unsigned slots_;
+    std::size_t entries_;
+    std::vector<SelectEntry> store_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_SELECT_TABLE_HH

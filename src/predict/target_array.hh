@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The target-array abstraction (Section 2): a structure indexed by the
+ * instruction *block* address that predicts a target address for each
+ * possible branch exit position in the block. Backed by either an
+ * NLS-style tag-less array or a set-associative BTB; dual-block
+ * prediction uses two logical arrays (target 1 = exit of the indexed
+ * block, target 2 = exit of the block after it).
+ */
+
+#ifndef MBBP_PREDICT_TARGET_ARRAY_HH
+#define MBBP_PREDICT_TARGET_ARRAY_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** Outcome of a target-array probe. */
+struct TargetPrediction
+{
+    bool hit = false;       //!< entry present (tag-less NLS: always)
+    Addr target = 0;        //!< predicted target address
+    bool isCallTarget = false;  //!< the stored branch was a call
+};
+
+/** Common interface of NLS and BTB target arrays. */
+class TargetArray
+{
+  public:
+    virtual ~TargetArray() = default;
+
+    /**
+     * Probe for the target of the branch at exit position @p pos of
+     * the block at @p block_addr.
+     * @param which 0 = first-target array, 1 = second-target array.
+     */
+    virtual TargetPrediction predict(Addr block_addr, unsigned pos,
+                                     unsigned which) const = 0;
+
+    /** Install/refresh the target for an exit position. */
+    virtual void update(Addr block_addr, unsigned pos, unsigned which,
+                        Addr target, bool is_call) = 0;
+
+    /** Storage cost in bits under the paper's Table 7 assumptions. */
+    virtual uint64_t storageBits(unsigned line_index_bits) const = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_TARGET_ARRAY_HH

@@ -1,0 +1,95 @@
+#include "predict/two_block_ahead.hh"
+
+#include <deque>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mbbp
+{
+
+double
+TwoBlockAheadStats::secondAccuracy() const
+{
+    return ratio(static_cast<double>(secondCorrect),
+                 static_cast<double>(secondPredictions));
+}
+
+TwoBlockAhead::TwoBlockAhead(const TwoBlockAheadConfig &cfg)
+    : cfg_(cfg), history_(cfg.historyBits)
+{
+    mbbp_assert(isPowerOf2(cfg_.tableEntries),
+                "table entries must be a power of two");
+    table_.resize(cfg_.tableEntries);
+}
+
+std::size_t
+TwoBlockAhead::indexOf(Addr block_start) const
+{
+    return history_.index(block_start / cfg_.blockWidth, 0) &
+           (cfg_.tableEntries - 1);
+}
+
+TwoBlockAheadStats
+TwoBlockAhead::simulate(InMemoryTrace &trace)
+{
+    TwoBlockAheadStats st;
+    trace.reset();
+
+    // Pending predictions: (table index it was made from, predicted
+    // address, valid). A prediction made at block n scores at n+2.
+    struct Pending
+    {
+        std::size_t idx;
+        Addr predicted;
+        bool valid;
+    };
+    std::deque<Pending> pending;
+
+    DynInst inst;
+    bool more = trace.next(inst);
+    while (more) {
+        // Build one fetch block.
+        Addr start = inst.pc;
+        unsigned len = 0;
+        uint64_t outcomes = 0;
+        unsigned nconds = 0;
+        bool ended = false;
+        while (more && len < cfg_.blockWidth && !ended) {
+            ++len;
+            if (isCondBranch(inst.cls) && nconds < 63) {
+                outcomes |= static_cast<uint64_t>(inst.taken) << nconds;
+                ++nconds;
+            }
+            ended = inst.taken;
+            more = trace.next(inst);
+        }
+        if (!more)
+            break;
+        ++st.blocks;
+
+        // Score the prediction made two blocks ago, then retrain it
+        // with the observed address.
+        if (pending.size() == 2) {
+            Pending p = pending.front();
+            pending.pop_front();
+            if (p.valid) {
+                ++st.secondPredictions;
+                if (p.predicted == start)
+                    ++st.secondCorrect;
+            }
+            table_[p.idx] = { start, true };
+        }
+
+        // Make this block's two-ahead prediction.
+        std::size_t idx = indexOf(start);
+        const Entry &e = table_[idx];
+        pending.push_back({ idx, e.twoAhead, e.valid });
+
+        history_.shiftInBlock(outcomes, nconds);
+    }
+    return st;
+}
+
+} // namespace mbbp

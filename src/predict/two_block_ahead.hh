@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seznec, Jourdan, Sainrat & Michaud's multiple-block-ahead predictor
+ * (ASPLOS'96), the other related-work comparator: block n's
+ * information predicts the block *following* block n+1, so two blocks
+ * can be fetched per cycle. Accuracy matches single-block fetching,
+ * but as the authors note the second prediction's tag match is
+ * serialized behind the first; the paper's select table avoids that
+ * dependency. The ablation bench compares second-block address
+ * accuracy of the two schemes.
+ */
+
+#ifndef MBBP_PREDICT_TWO_BLOCK_AHEAD_HH
+#define MBBP_PREDICT_TWO_BLOCK_AHEAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "predict/history.hh"
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** Configuration for the two-block-ahead model. */
+struct TwoBlockAheadConfig
+{
+    unsigned historyBits = 10;
+    std::size_t tableEntries = 1024;    //!< two-block-ahead table
+    unsigned blockWidth = 8;
+};
+
+/** Results of a trace run. */
+struct TwoBlockAheadStats
+{
+    uint64_t blocks = 0;
+    uint64_t secondPredictions = 0;
+    uint64_t secondCorrect = 0;
+
+    double secondAccuracy() const;
+};
+
+/** Functional two-block-ahead address predictor. */
+class TwoBlockAhead
+{
+  public:
+    explicit TwoBlockAhead(const TwoBlockAheadConfig &cfg);
+
+    /**
+     * Walk @p trace at fetch-block granularity (blocks end at taken
+     * transfers or the width cap) and score predictions of block n+2
+     * made from block n.
+     */
+    TwoBlockAheadStats simulate(InMemoryTrace &trace);
+
+  private:
+    struct Entry
+    {
+        Addr twoAhead = 0;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(Addr block_start) const;
+
+    TwoBlockAheadConfig cfg_;
+    GlobalHistory history_;
+    std::vector<Entry> table_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_PREDICT_TWO_BLOCK_AHEAD_HH

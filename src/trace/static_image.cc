@@ -1,0 +1,39 @@
+#include "trace/static_image.hh"
+
+namespace mbbp
+{
+
+void
+StaticImage::add(const DynInst &inst)
+{
+    StaticInfo &info = map_[inst.pc];
+    info.cls = inst.cls;
+    if (isDirect(inst.cls)) {
+        // Direct targets are instruction-encoded and thus static;
+        // conditional records carry the target even when not taken.
+        info.target = inst.target;
+        info.hasStaticTarget = true;
+    } else if (inst.taken) {
+        // Remember the most recent dynamic target of an indirect
+        // transfer; callers must not rely on it being static.
+        info.target = inst.target;
+    }
+}
+
+StaticImage
+StaticImage::fromTrace(const InMemoryTrace &trace)
+{
+    StaticImage img;
+    for (const auto &inst : trace.insts())
+        img.add(inst);
+    return img;
+}
+
+StaticInfo
+StaticImage::lookup(Addr pc) const
+{
+    auto it = map_.find(pc);
+    return it == map_.end() ? StaticInfo{} : it->second;
+}
+
+} // namespace mbbp

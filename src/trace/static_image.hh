@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A static view of the program text reconstructed from (or supplied
+ * with) a trace: instruction class and static branch target per PC.
+ *
+ * The fetch predictors scan *cache lines*, so they need the types of
+ * instructions that sit after a taken branch in the same line even
+ * though the correct-path trace never executes them from there. The
+ * pre-decoded BIT-in-cache configuration has exactly this static
+ * knowledge; StaticImage provides it to the simulator. PCs never seen
+ * report NonBranch, which matches what a pre-decoder would emit for
+ * data or padding.
+ */
+
+#ifndef MBBP_TRACE_STATIC_IMAGE_HH
+#define MBBP_TRACE_STATIC_IMAGE_HH
+
+#include <unordered_map>
+
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** Per-PC static instruction information. */
+struct StaticInfo
+{
+    InstClass cls = InstClass::NonBranch;
+    Addr target = 0;            //!< static target (direct branches)
+    bool hasStaticTarget = false;
+};
+
+/** PC -> static info map. */
+class StaticImage
+{
+  public:
+    StaticImage() = default;
+
+    /** Record one instruction (later records win for target info). */
+    void add(const DynInst &inst);
+
+    /** Scan a whole trace. */
+    static StaticImage fromTrace(const InMemoryTrace &trace);
+
+    /** Look up a PC; unknown PCs are NonBranch. */
+    StaticInfo lookup(Addr pc) const;
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::unordered_map<Addr, StaticInfo> map_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_TRACE_STATIC_IMAGE_HH

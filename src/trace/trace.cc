@@ -1,0 +1,75 @@
+#include "trace/trace.hh"
+
+#include "util/stats.hh"
+
+namespace mbbp
+{
+
+InMemoryTrace::InMemoryTrace(std::vector<DynInst> insts)
+    : insts_(std::move(insts))
+{
+}
+
+bool
+InMemoryTrace::next(DynInst &inst)
+{
+    if (pos_ >= insts_.size())
+        return false;
+    inst = insts_[pos_++];
+    return true;
+}
+
+void
+InMemoryTrace::reset()
+{
+    pos_ = 0;
+}
+
+double
+InMemoryTrace::Summary::condDensity() const
+{
+    return ratio(static_cast<double>(condBranches),
+                 static_cast<double>(instructions));
+}
+
+double
+InMemoryTrace::Summary::takenRate() const
+{
+    return ratio(static_cast<double>(condTaken),
+                 static_cast<double>(condBranches));
+}
+
+InMemoryTrace::Summary
+InMemoryTrace::summarize() const
+{
+    Summary s;
+    s.instructions = insts_.size();
+    for (const auto &inst : insts_) {
+        if (isCondBranch(inst.cls)) {
+            ++s.condBranches;
+            if (inst.taken)
+                ++s.condTaken;
+        }
+        if (isCall(inst.cls))
+            ++s.calls;
+        if (isReturn(inst.cls))
+            ++s.returns;
+        if (isIndirect(inst.cls))
+            ++s.indirect;
+        if (inst.taken)
+            ++s.controlTransfers;
+    }
+    return s;
+}
+
+InMemoryTrace
+captureTrace(TraceSource &src, std::size_t limit)
+{
+    InMemoryTrace out;
+    DynInst inst;
+    while ((limit == 0 || out.size() < limit) && src.next(inst))
+        out.append(inst);
+    return out;
+}
+
+} // namespace mbbp

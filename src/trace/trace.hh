@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace abstraction: the fetch engines consume a TraceSource — a
+ * forward iterator over the dynamic instruction stream — so they are
+ * agnostic to whether instructions come from the CFG interpreter, an
+ * in-memory vector, or a trace file.
+ */
+
+#ifndef MBBP_TRACE_TRACE_HH
+#define MBBP_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace mbbp
+{
+
+/** A forward-only producer of dynamic instructions. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @param inst Filled in on success.
+     * @retval true an instruction was produced.
+     * @retval false the stream is exhausted.
+     */
+    virtual bool next(DynInst &inst) = 0;
+
+    /** Restart the stream from the beginning, if supported. */
+    virtual void reset() = 0;
+};
+
+/** A trace held entirely in memory; replayable. */
+class InMemoryTrace : public TraceSource
+{
+  public:
+    InMemoryTrace() = default;
+    explicit InMemoryTrace(std::vector<DynInst> insts);
+
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+    void append(const DynInst &inst) { insts_.push_back(inst); }
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+    const DynInst &at(std::size_t i) const { return insts_.at(i); }
+    const std::vector<DynInst> &insts() const { return insts_; }
+
+    /** Basic stream statistics, used by tests and workload tuning. */
+    struct Summary
+    {
+        uint64_t instructions = 0;
+        uint64_t condBranches = 0;
+        uint64_t condTaken = 0;
+        uint64_t calls = 0;
+        uint64_t returns = 0;
+        uint64_t indirect = 0;      //!< indirect jumps + calls
+        uint64_t controlTransfers = 0;  //!< all taken transfers
+
+        /** Fraction of instructions that are conditional branches. */
+        double condDensity() const;
+        /** Fraction of conditional branches taken. */
+        double takenRate() const;
+    };
+
+    Summary summarize() const;
+
+  private:
+    std::vector<DynInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Drain up to @p limit instructions of @p src into an InMemoryTrace
+ * (limit 0 = drain everything).
+ */
+InMemoryTrace captureTrace(TraceSource &src, std::size_t limit = 0);
+
+} // namespace mbbp
+
+#endif // MBBP_TRACE_TRACE_HH

@@ -1,0 +1,135 @@
+#include "trace/trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> traceMagic =
+    { 'M', 'B', 'B', 'P', 'T', 'R', 'C', '1' };
+
+void
+putU64(std::ofstream &out, uint64_t v)
+{
+    std::array<char, 8> buf;
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(buf.data(), buf.size());
+}
+
+bool
+getU64(std::ifstream &in, uint64_t &v)
+{
+    std::array<char, 8> buf;
+    if (!in.read(buf.data(), buf.size()))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[i]))
+             << (8 * i);
+    return true;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        mbbp_fatal("cannot open trace file for writing: ", path);
+    out_.write(traceMagic.data(), traceMagic.size());
+    putU64(out_, 0); // reserved + flags
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::write(const DynInst &inst)
+{
+    char cls = static_cast<char>(inst.cls);
+    char taken = inst.taken ? 1 : 0;
+    out_.put(cls);
+    out_.put(taken);
+    putU64(out_, inst.pc);
+    if (isControl(inst.cls))
+        putU64(out_, inst.target);
+    ++records_;
+}
+
+void
+TraceFileWriter::writeAll(const InMemoryTrace &trace)
+{
+    for (const auto &inst : trace.insts())
+        write(inst);
+}
+
+void
+TraceFileWriter::close()
+{
+    if (out_.is_open()) {
+        out_.flush();
+        out_.close();
+    }
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        mbbp_fatal("cannot open trace file for reading: ", path);
+    readHeader();
+}
+
+void
+TraceFileReader::readHeader()
+{
+    std::array<char, 8> magic;
+    if (!in_.read(magic.data(), magic.size()) ||
+        std::memcmp(magic.data(), traceMagic.data(), 8) != 0) {
+        mbbp_fatal("bad trace magic in ", path_);
+    }
+    uint64_t reserved;
+    if (!getU64(in_, reserved))
+        mbbp_fatal("truncated trace header in ", path_);
+}
+
+bool
+TraceFileReader::next(DynInst &inst)
+{
+    int cls = in_.get();
+    if (cls == std::ifstream::traits_type::eof())
+        return false;
+    int taken = in_.get();
+    if (taken == std::ifstream::traits_type::eof())
+        mbbp_fatal("truncated record in ", path_);
+    if (cls < 0 || cls >= static_cast<int>(InstClass::NumClasses))
+        mbbp_fatal("corrupt instruction class in ", path_);
+
+    inst.cls = static_cast<InstClass>(cls);
+    inst.taken = taken != 0;
+    if (!getU64(in_, inst.pc))
+        mbbp_fatal("truncated record in ", path_);
+    inst.target = 0;
+    if (isControl(inst.cls) && !getU64(in_, inst.target))
+        mbbp_fatal("truncated record in ", path_);
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    in_.clear();
+    in_.seekg(0, std::ios::beg);
+    readHeader();
+}
+
+} // namespace mbbp

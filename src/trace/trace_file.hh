@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A simple versioned binary trace format so traces can be stored and
+ * exchanged (e.g. converted from other simulators' formats).
+ *
+ * Layout: 16-byte header ("MBBPTRC1", u32 reserved, u32 flags), then
+ * one record per instruction:
+ *   u8  class
+ *   u8  taken (0/1)
+ *   u64 pc      (little-endian)
+ *   u64 target  (only present for control instructions; conditional
+ *                branches carry their static target even when not
+ *                taken, so recovery paths can be modeled)
+ */
+
+#ifndef MBBP_TRACE_TRACE_FILE_HH
+#define MBBP_TRACE_TRACE_FILE_HH
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** Streams DynInsts to a binary trace file. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one instruction record. */
+    void write(const DynInst &inst);
+
+    /** Write an entire trace. */
+    void writeAll(const InMemoryTrace &trace);
+
+    /** Flush and close; also done by the destructor. */
+    void close();
+
+    uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    uint64_t records_ = 0;
+};
+
+/** Reads a binary trace file as a TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on open or header error. */
+    explicit TraceFileReader(const std::string &path);
+
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+  private:
+    void readHeader();
+
+    std::string path_;
+    std::ifstream in_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_TRACE_TRACE_FILE_HH

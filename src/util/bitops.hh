@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the predictors.
+ */
+
+#ifndef MBBP_UTIL_BITOPS_HH
+#define MBBP_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+/** A mask with the low @p nbits bits set. @p nbits must be <= 64. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+}
+
+/** Extract bits [first, first+nbits) of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned first, unsigned nbits)
+{
+    return (val >> first) & mask(nbits);
+}
+
+/** True iff @p val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** floor(log2(val)); @p val must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t val)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(val));
+}
+
+/** ceil(log2(val)); @p val must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t val)
+{
+    return val <= 1 ? 0 : floorLog2(val - 1) + 1;
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t val, uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+/** Round @p val up to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/**
+ * Fold @p val down to @p nbits bits by repeated XOR of nbits-wide
+ * chunks. Used to hash wide addresses into table indexes.
+ */
+constexpr uint64_t
+xorFold(uint64_t val, unsigned nbits)
+{
+    if (nbits == 0 || nbits >= 64)
+        return val;
+    uint64_t out = 0;
+    while (val != 0) {
+        out ^= val & mask(nbits);
+        val >>= nbits;
+    }
+    return out;
+}
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_BITOPS_HH

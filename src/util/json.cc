@@ -1,0 +1,191 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+JsonWriter::JsonWriter() = default;
+
+void
+JsonWriter::comma()
+{
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out_ += '{';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    mbbp_assert(!needComma_.empty(), "endObject with nothing open");
+    out_ += '}';
+    needComma_.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out_ += '[';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    mbbp_assert(!needComma_.empty(), "endArray with nothing open");
+    out_ += ']';
+    needComma_.pop_back();
+}
+
+void
+JsonWriter::value(const std::string &k, const std::string &v)
+{
+    key(k);
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const std::string &k, const char *v)
+{
+    value(k, std::string(v));
+}
+
+void
+JsonWriter::value(const std::string &k, double v)
+{
+    key(k);
+    if (std::isfinite(v)) {
+        std::ostringstream os;
+        os << v;
+        out_ += os.str();
+    } else {
+        out_ += "null";
+    }
+}
+
+void
+JsonWriter::value(const std::string &k, uint64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::value(const std::string &k, int64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::value(const std::string &k, bool v)
+{
+    key(k);
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::element(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::element(double v)
+{
+    comma();
+    if (std::isfinite(v)) {
+        std::ostringstream os;
+        os << v;
+        out_ += os.str();
+    } else {
+        out_ += "null";
+    }
+}
+
+void
+JsonWriter::element(uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+}
+
+std::string
+JsonWriter::str() const
+{
+    mbbp_assert(needComma_.empty(),
+                "JSON document has unclosed containers");
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mbbp

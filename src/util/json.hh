@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A minimal JSON writer (objects, arrays, scalars, escaping) so
+ * simulation results can be exported to downstream tooling without a
+ * third-party dependency. Write-only by design.
+ */
+
+#ifndef MBBP_UTIL_JSON_HH
+#define MBBP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbbp
+{
+
+/** Streaming JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    /** @{ Structure. Keys apply inside objects only. */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+    /** @} */
+
+    /** @{ Scalars. */
+    void value(const std::string &key, const std::string &v);
+    void value(const std::string &key, const char *v);
+    void value(const std::string &key, double v);
+    void value(const std::string &key, uint64_t v);
+    void value(const std::string &key, int64_t v);
+    void value(const std::string &key, bool v);
+    /** Array-element scalars (no key). */
+    void element(const std::string &v);
+    void element(double v);
+    void element(uint64_t v);
+    /** @} */
+
+    /** The document; panics if containers are still open. */
+    std::string str() const;
+
+    /** Escape one string per RFC 8259. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+    void key(const std::string &k);
+
+    std::string out_;
+    std::vector<bool> needComma_;   //!< per open container
+};
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_JSON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error and status reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug);
+ *             aborts so a debugger or core dump can be used.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid argument); exits cleanly.
+ * warn()   -- something may not behave as the user expects.
+ * inform() -- plain status output.
+ */
+
+#ifndef MBBP_UTIL_LOGGING_HH
+#define MBBP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mbbp
+{
+
+namespace logging_detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Abort with a message; use for internal invariant violations. */
+#define mbbp_panic(...) \
+    ::mbbp::logging_detail::panicImpl(__FILE__, __LINE__, \
+        ::mbbp::logging_detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for user-caused errors. */
+#define mbbp_fatal(...) \
+    ::mbbp::logging_detail::fatalImpl(__FILE__, __LINE__, \
+        ::mbbp::logging_detail::concat(__VA_ARGS__))
+
+/** Warn the user but keep running. */
+#define mbbp_warn(...) \
+    ::mbbp::logging_detail::warnImpl( \
+        ::mbbp::logging_detail::concat(__VA_ARGS__))
+
+/** Plain status output. */
+#define mbbp_inform(...) \
+    ::mbbp::logging_detail::informImpl( \
+        ::mbbp::logging_detail::concat(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define mbbp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::mbbp::logging_detail::panicImpl(__FILE__, __LINE__, \
+                ::mbbp::logging_detail::concat("assertion '" #cond \
+                    "' failed. " __VA_OPT__(,) __VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_LOGGING_HH

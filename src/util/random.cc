@@ -1,0 +1,82 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+Rng::Rng(uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna); period 2^64 - 1.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    mbbp_assert(bound != 0, "uniformInt bound must be non-zero");
+    // Modulo bias is negligible for the bounds used here (<< 2^32).
+    return next() % bound;
+}
+
+int64_t
+Rng::uniformRange(int64_t lo, int64_t hi)
+{
+    mbbp_assert(lo <= hi, "uniformRange requires lo <= hi");
+    return lo + static_cast<int64_t>(
+        uniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformReal() < p;
+}
+
+std::size_t
+Rng::weightedPick(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        mbbp_assert(w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    mbbp_assert(total > 0.0, "at least one weight must be positive");
+
+    double r = uniformReal() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+uint64_t
+Rng::geometric(double p, uint64_t cap)
+{
+    mbbp_assert(p > 0.0 && p <= 1.0, "geometric requires 0 < p <= 1");
+    uint64_t n = 0;
+    while (n < cap && !bernoulli(p))
+        ++n;
+    return n;
+}
+
+} // namespace mbbp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A small, fast, seedable PRNG (xorshift64*) plus the sampling helpers
+ * the synthetic workload generator needs. Deterministic across
+ * platforms so generated traces are reproducible.
+ */
+
+#ifndef MBBP_UTIL_RANDOM_HH
+#define MBBP_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mbbp
+{
+
+/** xorshift64* generator; deterministic and seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index according to non-negative @p weights.
+     * At least one weight must be positive.
+     */
+    std::size_t weightedPick(const std::vector<double> &weights);
+
+    /** Geometric-ish sample: number of failures before success(p),
+     *  capped at @p cap. */
+    uint64_t geometric(double p, uint64_t cap);
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_RANDOM_HH

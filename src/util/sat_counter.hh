@@ -1,0 +1,94 @@
+/**
+ * @file
+ * An n-bit up/down saturating counter, the storage cell of every
+ * pattern history table in the paper.
+ *
+ * For the canonical 2-bit counter the most significant bit is the
+ * taken/not-taken prediction and the remaining state provides the
+ * hysteresis the paper calls the "second chance": a counter at the
+ * strong end that mispredicts once still makes the same prediction the
+ * next time the branch is seen.
+ */
+
+#ifndef MBBP_UTIL_SAT_COUNTER_HH
+#define MBBP_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+/** An n-bit (1..8) up/down saturating counter. */
+class SatCounter
+{
+  public:
+    /**
+     * @param nbits Counter width in bits (1..8).
+     * @param initial Initial count; clamped to the legal range.
+     */
+    explicit SatCounter(unsigned nbits = 2, uint8_t initial = 0)
+        : maxVal_(static_cast<uint8_t>((1u << nbits) - 1)),
+          count_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        mbbp_assert(nbits >= 1 && nbits <= 8,
+                    "SatCounter width must be 1..8, got ", nbits);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (count_ < maxVal_)
+            ++count_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count_ > 0)
+            --count_;
+    }
+
+    /** Update toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** The taken/not-taken prediction: the counter's top half. */
+    bool predictTaken() const { return count_ > maxVal_ / 2; }
+
+    /**
+     * The "second chance" property: true when a misprediction will not
+     * flip the prediction (the counter sits at a strong end).
+     */
+    bool
+    secondChance() const
+    {
+        return count_ == 0 || count_ == maxVal_;
+    }
+
+    uint8_t count() const { return count_; }
+    uint8_t maxCount() const { return maxVal_; }
+
+    /** Force the raw count (clamped); used by recovery paths. */
+    void
+    set(uint8_t value)
+    {
+        count_ = value > maxVal_ ? maxVal_ : value;
+    }
+
+    bool operator==(const SatCounter &other) const = default;
+
+  private:
+    uint8_t maxVal_;
+    uint8_t count_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_SAT_COUNTER_HH

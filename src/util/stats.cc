@@ -1,0 +1,74 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+void
+DistStat::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+DistStat::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(std::string name, std::size_t nbuckets)
+    : name_(std::move(name)), buckets_(nbuckets, 0)
+{
+    mbbp_assert(nbuckets > 0, "Histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::size_t bucket, uint64_t n)
+{
+    if (bucket >= buckets_.size())
+        bucket = buckets_.size() - 1;
+    buckets_[bucket] += n;
+    total_ += n;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        weighted += static_cast<double>(i) *
+                    static_cast<double>(buckets_[i]);
+    return weighted / static_cast<double>(total_);
+}
+
+double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+double
+percent(double num, double den)
+{
+    return 100.0 * ratio(num, den);
+}
+
+} // namespace mbbp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, ratios and
+ * distributions, registered in a StatGroup so engines can dump a
+ * uniform report. Loosely modeled on gem5's stats package, minus the
+ * formula DSL.
+ */
+
+#ifndef MBBP_UTIL_STATS_HH
+#define MBBP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mbbp
+{
+
+/** A named event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    uint64_t value_ = 0;
+};
+
+/** Running distribution: count / sum / min / max / mean. */
+class DistStat
+{
+  public:
+    DistStat() = default;
+    explicit DistStat(std::string name) : name_(std::move(name)) {}
+
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [0, nbuckets); out-of-range clamps. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(std::string name, std::size_t nbuckets);
+
+    void sample(std::size_t bucket, uint64_t n = 1);
+    void reset();
+
+    uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    uint64_t total() const { return total_; }
+    double mean() const;
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<uint64_t> buckets_;
+    uint64_t total_ = 0;
+};
+
+/** Helper: a safe ratio (0 when the denominator is 0). */
+double ratio(double num, double den);
+
+/** Helper: percentage form of ratio(). */
+double percent(double num, double den);
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_STATS_HH

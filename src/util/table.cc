@@ -1,0 +1,113 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    mbbp_assert(!header.empty(), "table header may not be empty");
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    mbbp_assert(row.size() == header_.size(),
+                "row has ", row.size(), " cells, header has ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << quote(cells[c])
+               << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::fmt(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::fmt(int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace mbbp

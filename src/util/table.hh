@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text result tables. Every bench binary prints the rows the
+ * paper's tables/figures report through this one formatter, so output
+ * stays uniform and is easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef MBBP_UTIL_TABLE_HH
+#define MBBP_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbbp
+{
+
+/** A column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a rule under the header. */
+    std::string render() const;
+
+    /** Render as CSV (no title, header first). */
+    std::string renderCsv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+    /** Format helpers for cells. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt(uint64_t v);
+    static std::string fmt(int64_t v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_TABLE_HH

@@ -1,0 +1,92 @@
+#include "workload/behavior.hh"
+
+#include <bit>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+CondBehavior
+CondBehavior::bias(double taken_prob)
+{
+    CondBehavior b;
+    b.kind = CondKind::Bias;
+    b.takenProb = taken_prob;
+    return b;
+}
+
+CondBehavior
+CondBehavior::loop(uint32_t trip_count)
+{
+    mbbp_assert(trip_count >= 1, "loop trip count must be >= 1");
+    CondBehavior b;
+    b.kind = CondKind::Loop;
+    b.tripCount = trip_count;
+    return b;
+}
+
+CondBehavior
+CondBehavior::patternOf(uint64_t bits_, uint8_t len)
+{
+    mbbp_assert(len >= 1 && len <= 64, "pattern length must be 1..64");
+    CondBehavior b;
+    b.kind = CondKind::Pattern;
+    b.pattern = bits_;
+    b.patternLen = len;
+    return b;
+}
+
+CondBehavior
+CondBehavior::correlated(uint8_t distance, uint8_t width, bool invert,
+                         double noise)
+{
+    mbbp_assert(distance >= 1, "correlation distance must be >= 1");
+    mbbp_assert(width >= 1 && distance + width <= 64,
+                "correlation window must fit in 64 bits");
+    CondBehavior b;
+    b.kind = CondKind::Correlated;
+    b.corrDistance = distance;
+    b.corrWidth = width;
+    b.corrInvert = invert;
+    b.corrNoise = noise;
+    return b;
+}
+
+bool
+evalCondBehavior(const CondBehavior &b, CondState &s,
+                 uint64_t global_history, Rng &rng)
+{
+    switch (b.kind) {
+      case CondKind::Bias:
+        return rng.bernoulli(b.takenProb);
+
+      case CondKind::Loop:
+        // Back edge: taken while more iterations remain.
+        if (++s.tripPos < b.tripCount)
+            return true;
+        s.tripPos = 0;
+        return false;
+
+      case CondKind::Pattern: {
+        bool taken = (b.pattern >> s.patPos) & 1;
+        s.patPos = static_cast<uint8_t>((s.patPos + 1) % b.patternLen);
+        return taken;
+      }
+
+      case CondKind::Correlated: {
+        uint64_t window = bits(global_history, b.corrDistance - 1,
+                               b.corrWidth);
+        bool taken = (std::popcount(window) & 1) != 0;
+        if (b.corrInvert)
+            taken = !taken;
+        if (b.corrNoise > 0.0 && rng.bernoulli(b.corrNoise))
+            taken = !taken;
+        return taken;
+      }
+    }
+    mbbp_panic("unknown CondKind");
+}
+
+} // namespace mbbp

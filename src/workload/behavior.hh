@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Conditional-branch outcome models for the synthetic workloads.
+ *
+ * Real programs mix several branch populations, each interacting
+ * differently with a two-level predictor:
+ *  - Loop:       back edges taken (trip-1) times then not taken; a
+ *                two-level predictor captures the exit when the trip
+ *                count fits in the history register.
+ *  - Bias:       data-dependent branches that lean one way; accuracy
+ *                tracks the bias strength.
+ *  - Pattern:    short repeating outcome sequences (fully learnable).
+ *  - Correlated: the outcome is a parity function of recent global
+ *                outcomes; learnable only when the history register is
+ *                long enough to span the correlation distance.
+ *
+ * Each *static* branch owns one CondBehavior plus per-branch dynamic
+ * state (trip position, pattern position) held by the interpreter.
+ */
+
+#ifndef MBBP_WORKLOAD_BEHAVIOR_HH
+#define MBBP_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+
+#include "util/random.hh"
+
+namespace mbbp
+{
+
+/** Kind of conditional-branch behavior. */
+enum class CondKind : uint8_t
+{
+    Bias = 0,       //!< taken with fixed probability
+    Loop,           //!< taken (trip-1) times, then not taken, repeat
+    Pattern,        //!< fixed repeating outcome pattern
+    Correlated      //!< parity of recent global outcomes, plus noise
+};
+
+/** Static description of one conditional branch's behavior. */
+struct CondBehavior
+{
+    CondKind kind = CondKind::Bias;
+
+    // Bias
+    double takenProb = 0.5;
+
+    // Loop
+    uint32_t tripCount = 2;     //!< iterations per loop entry (>= 1)
+
+    // Pattern
+    uint64_t pattern = 0;       //!< bit i = outcome of step i
+    uint8_t patternLen = 1;     //!< period, 1..64
+
+    // Correlated
+    uint8_t corrDistance = 1;   //!< how far back the inputs start (>=1)
+    uint8_t corrWidth = 1;      //!< how many history bits feed parity
+    bool corrInvert = false;    //!< invert the parity
+    double corrNoise = 0.0;     //!< probability the outcome is flipped
+
+    /** Convenience factories. */
+    static CondBehavior bias(double taken_prob);
+    static CondBehavior loop(uint32_t trip_count);
+    static CondBehavior patternOf(uint64_t bits, uint8_t len);
+    static CondBehavior correlated(uint8_t distance, uint8_t width,
+                                   bool invert, double noise);
+};
+
+/** Per-static-branch mutable state. */
+struct CondState
+{
+    uint32_t tripPos = 0;       //!< Loop: iterations since last exit
+    uint8_t patPos = 0;         //!< Pattern: position in the pattern
+};
+
+/**
+ * Evaluate one execution of a conditional branch.
+ *
+ * @param b Static behavior.
+ * @param s Per-branch state (advanced).
+ * @param global_history Recent global conditional outcomes
+ *                       (bit 0 = most recent).
+ * @param rng Randomness source for Bias/noise.
+ * @return true if the branch is taken.
+ */
+bool evalCondBehavior(const CondBehavior &b, CondState &s,
+                      uint64_t global_history, Rng &rng);
+
+} // namespace mbbp
+
+#endif // MBBP_WORKLOAD_BEHAVIOR_HH

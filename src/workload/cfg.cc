@@ -1,0 +1,149 @@
+#include "workload/cfg.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+void
+Program::layout(Addr base_pc, Addr pad_align)
+{
+    Addr pc = base_pc;
+    for (auto &fn : funcs) {
+        if (pad_align > 1)
+            pc = alignUp(pc, pad_align);
+        fn.entry = pc;
+        for (auto &blk : fn.blocks) {
+            blk.startPc = pc;
+            pc += blk.sizeInsts();
+        }
+    }
+}
+
+void
+Program::validate() const
+{
+    mbbp_assert(!funcs.empty(), "program has no functions");
+    mbbp_assert(mainFn < funcs.size(), "mainFn out of range");
+
+    for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+        const Function &fn = funcs[fi];
+        mbbp_assert(!fn.blocks.empty(),
+                    "function ", fn.name, " has no blocks");
+
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const Terminator &t = fn.blocks[bi].term;
+            switch (t.kind) {
+              case TermKind::FallThrough:
+                mbbp_assert(bi + 1 < fn.blocks.size(),
+                            "fall-through out of function ", fn.name);
+                break;
+              case TermKind::CondBranch: {
+                mbbp_assert(t.behaviorId >= 0 &&
+                            static_cast<std::size_t>(t.behaviorId) <
+                                behaviors.size(),
+                            "bad behaviorId in ", fn.name);
+                mbbp_assert(t.targetBlock < fn.blocks.size(),
+                            "cond target out of range in ", fn.name);
+                bool backward = t.targetBlock <= bi;
+                if (backward) {
+                    mbbp_assert(behaviors[t.behaviorId].kind ==
+                                    CondKind::Loop,
+                                "backward cond edge without Loop "
+                                "behavior in ", fn.name);
+                }
+                // Not-taken path falls into the next block.
+                mbbp_assert(bi + 1 < fn.blocks.size(),
+                            "cond branch in last block of ", fn.name);
+                break;
+              }
+              case TermKind::Jump:
+                mbbp_assert(t.targetBlock < fn.blocks.size(),
+                            "jump target out of range in ", fn.name);
+                if (!(fi == mainFn && bi + 1 == fn.blocks.size())) {
+                    mbbp_assert(t.targetBlock > bi,
+                                "backward jump (non-main-loop) in ",
+                                fn.name);
+                }
+                break;
+              case TermKind::Call:
+                mbbp_assert(t.calleeFn > fi && t.calleeFn < funcs.size(),
+                            "call must target a higher function in ",
+                            fn.name);
+                mbbp_assert(bi + 1 < fn.blocks.size(),
+                            "call in last block of ", fn.name);
+                break;
+              case TermKind::Return:
+                mbbp_assert(fi != mainFn || bi + 1 != fn.blocks.size(),
+                            "main's last block must loop, not return");
+                break;
+              case TermKind::IndirectJump: {
+                mbbp_assert(!t.indirectTargets.empty(),
+                            "indirect jump with no targets in ",
+                            fn.name);
+                mbbp_assert(t.indirectTargets.size() ==
+                                t.indirectWeights.size(),
+                            "indirect weights mismatch in ", fn.name);
+                for (uint32_t tb : t.indirectTargets)
+                    mbbp_assert(tb > bi && tb < fn.blocks.size(),
+                                "indirect target must be forward in ",
+                                fn.name);
+                break;
+              }
+              case TermKind::IndirectCall: {
+                mbbp_assert(!t.indirectCallees.empty(),
+                            "indirect call with no callees in ",
+                            fn.name);
+                mbbp_assert(t.indirectCallees.size() ==
+                                t.indirectWeights.size(),
+                            "indirect weights mismatch in ", fn.name);
+                for (uint32_t cf : t.indirectCallees)
+                    mbbp_assert(cf > fi && cf < funcs.size(),
+                                "indirect callee must be a higher "
+                                "function in ", fn.name);
+                mbbp_assert(bi + 1 < fn.blocks.size(),
+                            "indirect call in last block of ", fn.name);
+                break;
+              }
+            }
+        }
+
+        // The last block must leave the function (or loop main).
+        const Terminator &last = fn.blocks.back().term;
+        if (fi == mainFn) {
+            mbbp_assert(last.kind == TermKind::Jump &&
+                        last.targetBlock == 0,
+                        "main must end with a jump to its entry");
+        } else {
+            mbbp_assert(last.kind == TermKind::Return ||
+                        last.kind == TermKind::Jump ||
+                        last.kind == TermKind::IndirectJump,
+                        "function ", fn.name,
+                        " can run off its last block");
+        }
+    }
+}
+
+uint64_t
+Program::staticInsts() const
+{
+    uint64_t n = 0;
+    for (const auto &fn : funcs)
+        for (const auto &blk : fn.blocks)
+            n += blk.sizeInsts();
+    return n;
+}
+
+uint64_t
+Program::staticCondBranches() const
+{
+    uint64_t n = 0;
+    for (const auto &fn : funcs)
+        for (const auto &blk : fn.blocks)
+            if (blk.term.kind == TermKind::CondBranch)
+                ++n;
+    return n;
+}
+
+} // namespace mbbp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The synthetic program model: a control-flow graph of functions and
+ * basic blocks that the interpreter executes to produce a dynamic
+ * instruction stream.
+ *
+ * Structural invariants (enforced by validate(), relied on by the
+ * interpreter for guaranteed termination):
+ *  - every edge inside a function goes forward (to a higher block
+ *    index), except Loop-behavior conditional back edges, whose trip
+ *    counts are finite;
+ *  - calls only target higher-numbered functions (the call graph is a
+ *    DAG), so stack depth is bounded by the function count;
+ *  - every function's last block either returns or (for main only)
+ *    jumps back to the function entry.
+ */
+
+#ifndef MBBP_WORKLOAD_CFG_HH
+#define MBBP_WORKLOAD_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "workload/behavior.hh"
+
+namespace mbbp
+{
+
+/** How a basic block ends. */
+enum class TermKind : uint8_t
+{
+    FallThrough = 0,    //!< no terminator instruction; run into next
+    CondBranch,         //!< conditional branch to targetBlock
+    Jump,               //!< unconditional jump to targetBlock
+    Call,               //!< call calleeFn, resume at next block
+    Return,             //!< return to caller
+    IndirectJump,       //!< weighted choice among indirectTargets
+    IndirectCall        //!< weighted choice among indirectCallees
+};
+
+/** Terminator description. */
+struct Terminator
+{
+    TermKind kind = TermKind::FallThrough;
+
+    int behaviorId = -1;            //!< CondBranch: behavior index
+    uint32_t targetBlock = 0;       //!< CondBranch/Jump target (block)
+    uint32_t calleeFn = 0;          //!< Call target (function)
+
+    std::vector<uint32_t> indirectTargets;  //!< blocks (IndirectJump)
+    std::vector<uint32_t> indirectCallees;  //!< functions (IndirectCall)
+    std::vector<double> indirectWeights;    //!< pick weights
+
+    /** Does this terminator emit an instruction? */
+    bool hasInst() const { return kind != TermKind::FallThrough; }
+};
+
+/** One basic block: @c bodyLen plain instructions + a terminator. */
+struct BasicBlock
+{
+    uint32_t bodyLen = 0;       //!< non-branch instructions in front
+    Terminator term;
+
+    Addr startPc = 0;           //!< assigned by Program::layout()
+
+    /** Instructions this block occupies in the address space. */
+    uint32_t sizeInsts() const
+    {
+        return bodyLen + (term.hasInst() ? 1u : 0u);
+    }
+
+    /** Address of the terminator instruction (only if hasInst()). */
+    Addr termPc() const { return startPc + bodyLen; }
+};
+
+/** A function: a list of basic blocks laid out contiguously. */
+struct Function
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    Addr entry = 0;             //!< assigned by Program::layout()
+};
+
+/** A whole synthetic program. */
+struct Program
+{
+    std::vector<Function> funcs;
+    std::vector<CondBehavior> behaviors;
+    uint32_t mainFn = 0;
+
+    /**
+     * Assign PCs: functions in order, blocks contiguous, optional
+     * inter-function padding to diversify line offsets.
+     * @param base_pc First instruction address.
+     * @param pad_align Pad each function start to a multiple of this
+     *                  (0 or 1 = no padding).
+     */
+    void layout(Addr base_pc = 0x1000, Addr pad_align = 0);
+
+    /** Check the structural invariants; panics on violation. */
+    void validate() const;
+
+    /** Total static instructions (after layout). */
+    uint64_t staticInsts() const;
+
+    /** Number of static conditional branches. */
+    uint64_t staticCondBranches() const;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_WORKLOAD_CFG_HH

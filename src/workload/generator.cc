@@ -1,0 +1,307 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+/** Local helper carrying generator state. */
+class Builder
+{
+  public:
+    Builder(const WorkloadProfile &p)
+        : prof_(p), rng_(p.seed)
+    {
+    }
+
+    Program build();
+
+  private:
+    uint32_t sampleBodyLen();
+    int makeCondBehavior(bool allow_loop, Program &prog);
+    Terminator makeInterior(uint32_t fi, uint32_t bi, uint32_t nblocks,
+                            Program &prog);
+
+    const WorkloadProfile &prof_;
+    Rng rng_;
+    /** Back edges of the function being built. */
+    struct BackEdge
+    {
+        uint32_t source;
+        uint32_t target;
+        uint32_t trip;
+    };
+    std::vector<BackEdge> backEdges_;
+};
+
+uint32_t
+Builder::sampleBodyLen()
+{
+    double mean = std::max(0.5, prof_.meanBody);
+    double p = 1.0 / (mean + 1.0);
+    return static_cast<uint32_t>(rng_.geometric(p, prof_.maxBody));
+}
+
+int
+Builder::makeCondBehavior(bool allow_loop, Program &prog)
+{
+    std::vector<double> w = {
+        allow_loop ? prof_.wLoop : 0.0,
+        prof_.wBias,
+        prof_.wPattern,
+        prof_.wCorrelated,
+    };
+    CondBehavior b;
+    switch (rng_.weightedPick(w)) {
+      case 0:
+        b = CondBehavior::loop(static_cast<uint32_t>(
+            rng_.uniformRange(prof_.minTrip, prof_.maxTrip)));
+        break;
+      case 1: {
+        double p;
+        if (rng_.bernoulli(prof_.hardFrac)) {
+            p = 0.45 + 0.25 * rng_.uniformReal();
+        } else {
+            p = prof_.biasLo +
+                (prof_.biasHi - prof_.biasLo) * rng_.uniformReal();
+        }
+        if (rng_.bernoulli(0.5))
+            p = 1.0 - p;    // majority direction is random
+        b = CondBehavior::bias(p);
+        break;
+      }
+      case 2: {
+        uint8_t len = static_cast<uint8_t>(rng_.uniformRange(
+            prof_.patternLenMin, prof_.patternLenMax));
+        uint64_t bits_ = rng_.next() & ((len >= 64) ? ~0ULL
+                                        : ((1ULL << len) - 1));
+        if (bits_ == 0)
+            bits_ = 1;      // avoid a degenerate never-taken pattern
+        b = CondBehavior::patternOf(bits_, len);
+        break;
+      }
+      default: {
+        uint8_t dist = static_cast<uint8_t>(
+            rng_.uniformRange(1, prof_.corrDistMax));
+        uint8_t width = static_cast<uint8_t>(
+            rng_.uniformRange(1, prof_.corrWidthMax));
+        b = CondBehavior::correlated(dist, width, rng_.bernoulli(0.5),
+                                     prof_.corrNoise);
+        break;
+      }
+    }
+    prog.behaviors.push_back(b);
+    return static_cast<int>(prog.behaviors.size()) - 1;
+}
+
+Terminator
+Builder::makeInterior(uint32_t fi, uint32_t bi, uint32_t nblocks,
+                      Program &prog)
+{
+    const bool can_call = fi + 1 < prof_.numFunctions;
+    const bool can_fwd = bi + 2 < nblocks;  // forward target exists
+    const bool is_main = fi == 0;
+
+    double call_w = prof_.wCall * (is_main ? prof_.mainCallBoost : 1.0);
+    std::vector<double> w = {
+        prof_.wFallThrough,
+        prof_.wCond,
+        can_fwd ? prof_.wJump : 0.0,
+        can_call ? call_w : 0.0,
+        (!is_main && bi > 0) ? prof_.wReturn : 0.0,
+        can_fwd ? prof_.wIndirectJump : 0.0,
+        can_call ? prof_.wIndirectCall : 0.0,
+    };
+
+    auto fwd_target = [&]() -> uint32_t {
+        // Prefer short forward hops; occasionally long ones.
+        uint32_t lo = bi + 2;
+        uint32_t hi = nblocks - 1;
+        uint32_t span = static_cast<uint32_t>(rng_.geometric(0.35, 8));
+        return std::min<uint32_t>(lo + span, hi);
+    };
+
+    Terminator t;
+    switch (rng_.weightedPick(w)) {
+      case 0:
+        t.kind = TermKind::FallThrough;
+        break;
+
+      case 1: {
+        t.kind = TermKind::CondBranch;
+        // A back edge (loop) needs an earlier-or-self target; forward
+        // edges need a strictly later one that is not just the
+        // fall-through.
+        bool loop_ok = true;
+        double loop_w = prof_.wLoop *
+                        (is_main ? prof_.mainLoopScale : 1.0);
+        bool want_loop =
+            rng_.bernoulli(loop_w /
+                           (loop_w + prof_.wBias + prof_.wPattern +
+                            prof_.wCorrelated));
+        if (want_loop && loop_ok) {
+            uint32_t span = static_cast<uint32_t>(
+                rng_.uniformInt(std::min(prof_.loopBackSpan, bi + 1)));
+            t.targetBlock = bi - span;
+            // Force proper nesting: partially-overlapping loops form
+            // webs whose iteration counts the budget below cannot
+            // bound, so widen the new loop until it fully encloses
+            // every earlier loop it intersects.
+            for (bool changed = true; changed;) {
+                changed = false;
+                for (const auto &e : backEdges_) {
+                    if (e.source >= t.targetBlock &&
+                        e.target < t.targetBlock) {
+                        t.targetBlock = e.target;
+                        changed = true;
+                    }
+                }
+            }
+            // An outer loop multiplies every enclosed loop's trip
+            // count; bound the product so a bounded trace window
+            // still reaches the rest of the program (real loop nests
+            // run for billions of instructions -- our windows don't).
+            uint64_t enclosed_product = 1;
+            for (const auto &e : backEdges_)
+                if (e.target >= t.targetBlock && e.source < bi)
+                    enclosed_product *= e.trip;
+            uint64_t budget = std::max<uint64_t>(prof_.nestIterBudget,
+                                                 2);
+            uint32_t max_trip = static_cast<uint32_t>(std::clamp<
+                uint64_t>(budget / enclosed_product, 2,
+                          prof_.maxTrip));
+            uint32_t min_trip = std::min(prof_.minTrip, max_trip);
+            uint32_t trip = static_cast<uint32_t>(
+                rng_.uniformRange(min_trip, max_trip));
+            backEdges_.push_back({ bi, t.targetBlock, trip });
+            t.behaviorId = [&] {
+                prog.behaviors.push_back(CondBehavior::loop(trip));
+                return static_cast<int>(prog.behaviors.size()) - 1;
+            }();
+        } else {
+            t.targetBlock = can_fwd ? fwd_target() : bi + 1;
+            t.behaviorId = makeCondBehavior(false, prog);
+        }
+        break;
+      }
+
+      case 2:
+        t.kind = TermKind::Jump;
+        t.targetBlock = fwd_target();
+        break;
+
+      case 3:
+        t.kind = TermKind::Call;
+        // Mostly near callees so some call sites get hot.
+        t.calleeFn = std::min<uint32_t>(
+            fi + 1 + static_cast<uint32_t>(rng_.geometric(0.30, 12)),
+            prof_.numFunctions - 1);
+        break;
+
+      case 4:
+        t.kind = TermKind::Return;
+        break;
+
+      case 5: {
+        t.kind = TermKind::IndirectJump;
+        uint32_t fan = static_cast<uint32_t>(rng_.uniformRange(
+            2, std::max<uint32_t>(2, prof_.indirectFanoutMax)));
+        for (uint32_t k = 0; k < fan; ++k) {
+            t.indirectTargets.push_back(fwd_target());
+            t.indirectWeights.push_back(
+                k == 0 ? prof_.indirectDominance : 1.0);
+        }
+        break;
+      }
+
+      default: {
+        t.kind = TermKind::IndirectCall;
+        uint32_t fan = static_cast<uint32_t>(rng_.uniformRange(
+            2, std::max<uint32_t>(2, prof_.indirectFanoutMax)));
+        for (uint32_t k = 0; k < fan; ++k) {
+            uint32_t cf = std::min<uint32_t>(
+                fi + 1 +
+                    static_cast<uint32_t>(rng_.geometric(0.30, 12)),
+                prof_.numFunctions - 1);
+            t.indirectCallees.push_back(cf);
+            t.indirectWeights.push_back(
+                k == 0 ? prof_.indirectDominance : 1.0);
+        }
+        break;
+      }
+    }
+    return t;
+}
+
+Program
+Builder::build()
+{
+    mbbp_assert(prof_.numFunctions >= 2,
+                "need at least main and one callee");
+
+    Program prog;
+    prog.mainFn = 0;
+    prog.funcs.resize(prof_.numFunctions);
+
+    for (uint32_t fi = 0; fi < prof_.numFunctions; ++fi) {
+        Function &fn = prog.funcs[fi];
+        fn.name = (fi == 0) ? "main"
+                            : prof_.name + "_f" + std::to_string(fi);
+
+        uint32_t nblocks = (fi == 0)
+            ? prof_.mainBlocks
+            : static_cast<uint32_t>(rng_.uniformRange(
+                  prof_.minBlocksPerFn, prof_.maxBlocksPerFn));
+        nblocks = std::max<uint32_t>(nblocks, 2);
+        fn.blocks.resize(nblocks);
+        backEdges_.clear();
+
+        for (uint32_t bi = 0; bi < nblocks; ++bi) {
+            BasicBlock &blk = fn.blocks[bi];
+            blk.bodyLen = sampleBodyLen();
+
+            if (bi + 1 == nblocks) {
+                // Last block: main loops forever, others return.
+                if (fi == 0) {
+                    blk.term.kind = TermKind::Jump;
+                    blk.term.targetBlock = 0;
+                } else {
+                    blk.term.kind = TermKind::Return;
+                }
+            } else {
+                blk.term = makeInterior(fi, bi, nblocks, prog);
+                // Keep loop bottoms from being degenerately tight:
+                // real inner loops carry a body of work per trip.
+                if (blk.term.kind == TermKind::CondBranch &&
+                    blk.term.targetBlock <= bi &&
+                    prof_.minLoopBody > 0) {
+                    uint32_t floor_ = prof_.minLoopBody +
+                        static_cast<uint32_t>(rng_.uniformInt(4));
+                    blk.bodyLen = std::min(
+                        std::max(blk.bodyLen, floor_), prof_.maxBody);
+                }
+            }
+        }
+    }
+
+    prog.layout(0x1000, prof_.padAlign);
+    prog.validate();
+    return prog;
+}
+
+} // namespace
+
+Program
+generateProgram(const WorkloadProfile &profile)
+{
+    Builder b(profile);
+    return b.build();
+}
+
+} // namespace mbbp

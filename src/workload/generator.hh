@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded synthetic-program generator. A WorkloadProfile captures the
+ * control-flow character of a benchmark (branch density, loop
+ * structure, bias mix, call-graph shape, indirect-branch fan-out);
+ * generate() expands it into a concrete Program whose dynamic stream
+ * exhibits those statistics.
+ */
+
+#ifndef MBBP_WORKLOAD_GENERATOR_HH
+#define MBBP_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/cfg.hh"
+
+namespace mbbp
+{
+
+/** Tunable knobs describing one benchmark-like workload. */
+struct WorkloadProfile
+{
+    std::string name = "synthetic";
+    bool isFloat = false;       //!< SPECfp-like (vs SPECint-like)
+    uint64_t seed = 1;
+
+    // --- program shape ---
+    uint32_t numFunctions = 40;
+    uint32_t minBlocksPerFn = 4;
+    uint32_t maxBlocksPerFn = 24;
+    uint32_t mainBlocks = 48;       //!< main is the big driver loop
+    uint32_t maxBody = 24;          //!< cap on body instructions
+    double meanBody = 4.0;          //!< mean body length per block
+    Addr padAlign = 4;              //!< function start alignment
+
+    // --- terminator mix (interior blocks; weights, not probs) ---
+    double wFallThrough = 0.5;
+    double wCond = 5.0;
+    double wJump = 0.7;
+    double wCall = 1.0;
+    double wReturn = 0.15;
+    double wIndirectJump = 0.12;
+    double wIndirectCall = 0.05;
+
+    // --- conditional behavior mix (weights) ---
+    double wLoop = 2.0;
+    double wBias = 2.5;
+    double wPattern = 0.4;
+    double wCorrelated = 0.6;
+
+    // loop trip counts, uniform in [minTrip, maxTrip]
+    uint32_t minTrip = 2;
+    uint32_t maxTrip = 40;
+    uint32_t loopBackSpan = 6;      //!< max blocks a back edge spans
+    uint32_t minLoopBody = 0;       //!< floor on a loop-bottom block's
+                                    //!< body (controls loop tightness)
+    uint64_t nestIterBudget = 1200; //!< cap on the trip-count product
+                                    //!< of any loop nest
+
+    // bias strength: majority-direction probability in [biasLo, biasHi]
+    double biasLo = 0.80;
+    double biasHi = 0.99;
+    double hardFrac = 0.12;         //!< fraction of Bias ~U(0.45,0.70)
+
+    uint8_t patternLenMin = 2;
+    uint8_t patternLenMax = 10;
+
+    uint8_t corrDistMax = 10;       //!< max correlation distance
+    uint8_t corrWidthMax = 3;
+    double corrNoise = 0.02;
+
+    uint32_t indirectFanoutMax = 6;
+    double indirectDominance = 3.0; //!< weight of the dominant target
+
+    // Main is the driver: biasing it toward calls (and away from
+    // deep loop nests) makes execution exercise the whole program
+    // instead of spinning in main's first loop nest.
+    double mainCallBoost = 3.0;     //!< multiply call weight in main
+    double mainLoopScale = 0.6;     //!< scale loop share in main
+};
+
+/**
+ * Expand @p profile into a laid-out, validated Program. Deterministic
+ * for a given profile (seed included).
+ */
+Program generateProgram(const WorkloadProfile &profile);
+
+} // namespace mbbp
+
+#endif // MBBP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,142 @@
+#include "workload/interpreter.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+Interpreter::Interpreter(const Program &program, uint64_t seed)
+    : prog_(program), seed_(seed), rng_(seed)
+{
+    prog_.validate();
+    condState_.resize(prog_.behaviors.size());
+    curFn_ = prog_.mainFn;
+}
+
+Addr
+Interpreter::blockPc(uint32_t fn, uint32_t block) const
+{
+    return prog_.funcs[fn].blocks[block].startPc;
+}
+
+void
+Interpreter::jumpTo(uint32_t fn, uint32_t block)
+{
+    curFn_ = fn;
+    curBlock_ = block;
+    curPos_ = 0;
+}
+
+bool
+Interpreter::next(DynInst &inst)
+{
+    // Skip over any fall-through block boundaries without emitting.
+    for (;;) {
+        const BasicBlock &blk = prog_.funcs[curFn_].blocks[curBlock_];
+
+        if (curPos_ < blk.bodyLen) {
+            inst.pc = blk.startPc + curPos_;
+            inst.cls = InstClass::NonBranch;
+            inst.taken = false;
+            inst.target = 0;
+            ++curPos_;
+            ++emitted_;
+            return true;
+        }
+
+        const Terminator &t = blk.term;
+        switch (t.kind) {
+          case TermKind::FallThrough:
+            jumpTo(curFn_, curBlock_ + 1);
+            continue;       // no instruction for this boundary
+
+          case TermKind::CondBranch: {
+            bool taken = evalCondBehavior(
+                prog_.behaviors[t.behaviorId],
+                condState_[t.behaviorId], globalHistory_, rng_);
+            globalHistory_ = (globalHistory_ << 1) | (taken ? 1 : 0);
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::CondBranch;
+            inst.taken = taken;
+            inst.target = blockPc(curFn_, t.targetBlock);
+            jumpTo(curFn_, taken ? t.targetBlock : curBlock_ + 1);
+            ++emitted_;
+            return true;
+          }
+
+          case TermKind::Jump:
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::Jump;
+            inst.taken = true;
+            inst.target = blockPc(curFn_, t.targetBlock);
+            jumpTo(curFn_, t.targetBlock);
+            ++emitted_;
+            return true;
+
+          case TermKind::Call:
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::Call;
+            inst.taken = true;
+            inst.target = prog_.funcs[t.calleeFn].entry;
+            stack_.push_back({curFn_, curBlock_ + 1});
+            jumpTo(t.calleeFn, 0);
+            ++emitted_;
+            return true;
+
+          case TermKind::Return: {
+            mbbp_assert(!stack_.empty(),
+                        "return with empty call stack");
+            Frame f = stack_.back();
+            stack_.pop_back();
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::Return;
+            inst.taken = true;
+            inst.target = blockPc(f.fn, f.block);
+            jumpTo(f.fn, f.block);
+            ++emitted_;
+            return true;
+          }
+
+          case TermKind::IndirectJump: {
+            std::size_t pick = rng_.weightedPick(t.indirectWeights);
+            uint32_t tb = t.indirectTargets[pick];
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::IndirectJump;
+            inst.taken = true;
+            inst.target = blockPc(curFn_, tb);
+            jumpTo(curFn_, tb);
+            ++emitted_;
+            return true;
+          }
+
+          case TermKind::IndirectCall: {
+            std::size_t pick = rng_.weightedPick(t.indirectWeights);
+            uint32_t cf = t.indirectCallees[pick];
+            inst.pc = blk.termPc();
+            inst.cls = InstClass::IndirectCall;
+            inst.taken = true;
+            inst.target = prog_.funcs[cf].entry;
+            stack_.push_back({curFn_, curBlock_ + 1});
+            jumpTo(cf, 0);
+            ++emitted_;
+            return true;
+          }
+        }
+        mbbp_panic("unknown TermKind");
+    }
+}
+
+void
+Interpreter::reset()
+{
+    rng_ = Rng(seed_);
+    curFn_ = prog_.mainFn;
+    curBlock_ = 0;
+    curPos_ = 0;
+    stack_.clear();
+    condState_.assign(prog_.behaviors.size(), CondState{});
+    globalHistory_ = 0;
+    emitted_ = 0;
+}
+
+} // namespace mbbp

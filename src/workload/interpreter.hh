@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CFG interpreter: executes a synthetic Program and produces the
+ * dynamic instruction stream as a TraceSource. Stands in for the
+ * paper's Shade instruction-set simulator.
+ *
+ * The stream is infinite (main loops forever); consumers bound it with
+ * captureTrace() or their own instruction budget. Execution is fully
+ * deterministic for a given (program, seed).
+ */
+
+#ifndef MBBP_WORKLOAD_INTERPRETER_HH
+#define MBBP_WORKLOAD_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/random.hh"
+#include "workload/cfg.hh"
+
+namespace mbbp
+{
+
+/** Executes a Program, emitting one DynInst per next() call. */
+class Interpreter : public TraceSource
+{
+  public:
+    /**
+     * @param program Laid-out, validated program (not owned; must
+     *                outlive the interpreter).
+     * @param seed Seed for Bias/noise/indirect randomness.
+     */
+    Interpreter(const Program &program, uint64_t seed);
+
+    bool next(DynInst &inst) override;
+    void reset() override;
+
+    /** Instructions emitted since construction/reset. */
+    uint64_t emitted() const { return emitted_; }
+
+    /** Current call-stack depth (frames below main). */
+    std::size_t stackDepth() const { return stack_.size(); }
+
+  private:
+    struct Frame
+    {
+        uint32_t fn;
+        uint32_t block;
+    };
+
+    /** Resolve a block's first instruction address. */
+    Addr blockPc(uint32_t fn, uint32_t block) const;
+
+    /** Advance control to the given block of the given function. */
+    void jumpTo(uint32_t fn, uint32_t block);
+
+    const Program &prog_;
+    uint64_t seed_;
+    Rng rng_;
+
+    uint32_t curFn_ = 0;
+    uint32_t curBlock_ = 0;
+    uint32_t curPos_ = 0;                 //!< next body index to emit
+
+    std::vector<Frame> stack_;
+    std::vector<CondState> condState_;    //!< per behaviorId
+    uint64_t globalHistory_ = 0;          //!< bit 0 = latest outcome
+    uint64_t emitted_ = 0;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_WORKLOAD_INTERPRETER_HH

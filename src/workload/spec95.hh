@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The synthetic SPEC95 suite: one WorkloadProfile per benchmark the
+ * paper evaluates (8 SPECint95 + 10 SPECfp95 programs). The paper ran
+ * the real suite under Shade on SPARC; here each profile is tuned so
+ * its dynamic control-flow statistics (conditional-branch density and
+ * predictability, block-size distribution, call/indirect rates) land
+ * in the same regime -- SPECint-like programs average ~91.5% and
+ * SPECfp-like ~97.3% conditional accuracy at a 10-bit history, per the
+ * paper's Section 4.1.
+ */
+
+#ifndef MBBP_WORKLOAD_SPEC95_HH
+#define MBBP_WORKLOAD_SPEC95_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workload/generator.hh"
+
+namespace mbbp
+{
+
+/** All SPECint95-like profile names, in the paper's Figure 9 order. */
+std::vector<std::string> specIntNames();
+
+/** All SPECfp95-like profile names, in the paper's Figure 9 order. */
+std::vector<std::string> specFpNames();
+
+/** Every profile name (fp then int, as Figure 9 lists them). */
+std::vector<std::string> specAllNames();
+
+/** Look up a benchmark profile by name; fatal() if unknown. */
+WorkloadProfile specProfile(const std::string &name);
+
+/** All 18 profiles. */
+std::vector<WorkloadProfile> specSuite();
+
+/**
+ * Generate the program for @p name and capture @p ninsts dynamic
+ * instructions (the paper used 1e9 per program; our default keeps the
+ * full-suite experiments fast while remaining statistically stable).
+ */
+InMemoryTrace specTrace(const std::string &name,
+                        std::size_t ninsts = 400000);
+
+} // namespace mbbp
+
+#endif // MBBP_WORKLOAD_SPEC95_HH

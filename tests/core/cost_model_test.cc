@@ -1,0 +1,87 @@
+/** @file Pins the Section 5 / Table 7 cost estimates. */
+
+#include "core/cost_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+/** The paper's reference parameters. */
+CostParams
+paperParams()
+{
+    return CostParams{};    // defaults are the Section 5 numbers
+}
+
+TEST(CostModel, ComponentCostsMatchSection5)
+{
+    CostModel m(paperParams());
+    EXPECT_DOUBLE_EQ(CostModel::kbits(m.phtBits()), 16.0);
+    EXPECT_DOUBLE_EQ(CostModel::kbits(m.stBits(false)), 8.0);
+    EXPECT_DOUBLE_EQ(CostModel::kbits(m.nlsBits(false)), 20.0);
+    EXPECT_DOUBLE_EQ(CostModel::kbits(m.bitBits()), 16.0);
+    EXPECT_NEAR(CostModel::kbits(m.bbrBits()), 0.3, 0.05);
+}
+
+TEST(CostModel, TotalsMatchSection5)
+{
+    CostModel m(paperParams());
+    // "single block total: 52 Kbits"
+    EXPECT_NEAR(CostModel::kbits(m.singleBlockTotal()), 52.0, 0.5);
+    // "dual block, single select total: 80 Kbits"
+    EXPECT_NEAR(CostModel::kbits(m.dualSingleSelectTotal()), 80.0,
+                0.5);
+    // "dual block, double select total: 72 Kbits"
+    EXPECT_NEAR(CostModel::kbits(m.dualDoubleSelectTotal()), 72.0,
+                0.5);
+}
+
+TEST(CostModel, CostScalesLinearlyInBlockWidth)
+{
+    // Section 5: "As the number of instructions that can be predicted
+    // in a block increase, the cost increases proportionally" -- the
+    // scalable property that distinguishes this scheme from Yeh's
+    // exponential branch address cache.
+    CostParams p4 = paperParams();
+    p4.blockWidth = 4;
+    CostParams p16 = paperParams();
+    p16.blockWidth = 16;
+    CostModel m4(p4), m8(paperParams()), m16(p16);
+    EXPECT_EQ(m8.phtBits(), 2 * m4.phtBits());
+    EXPECT_EQ(m16.phtBits(), 2 * m8.phtBits());
+    EXPECT_EQ(m8.nlsBits(false), 2 * m4.nlsBits(false));
+    EXPECT_EQ(m8.bitBits(), 2 * m4.bitBits());
+}
+
+TEST(CostModel, HistoryGrowsPhTAndStExponentially)
+{
+    CostParams p = paperParams();
+    p.historyBits = 11;
+    CostModel big(p), base(paperParams());
+    EXPECT_EQ(big.phtBits(), 2 * base.phtBits());
+    EXPECT_EQ(big.stBits(false), 2 * base.stBits(false));
+}
+
+TEST(CostModel, NearBlockOffsetAddsStBits)
+{
+    CostParams p = paperParams();
+    p.nearBlockOffset = true;
+    CostModel with(p), without(paperParams());
+    EXPECT_GT(with.stBits(false), without.stBits(false));
+}
+
+TEST(CostModel, MultipleTablesMultiply)
+{
+    CostParams p = paperParams();
+    p.numSelectTables = 8;
+    p.numPhts = 2;
+    CostModel m(p), base(paperParams());
+    EXPECT_EQ(m.stBits(false), 8 * base.stBits(false));
+    EXPECT_EQ(m.phtBits(), 2 * base.phtBits());
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,78 @@
+/** @file Tests for the FetchSimulator facade. */
+
+#include "core/fetch_simulator.hh"
+
+#include <gtest/gtest.h>
+
+#include "fetch/dual_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(SimConfig, PaperDefaultMatchesSection4)
+{
+    SimConfig cfg = SimConfig::paperDefault();
+    EXPECT_EQ(cfg.numBlocks, 2u);
+    EXPECT_EQ(cfg.engine.historyBits, 10u);
+    EXPECT_EQ(cfg.engine.numPhts, 1u);
+    EXPECT_EQ(cfg.engine.targetKind, TargetKind::Nls);
+    EXPECT_EQ(cfg.engine.targetEntries, 256u);
+    EXPECT_EQ(cfg.engine.rasEntries, 32u);
+    EXPECT_EQ(cfg.engine.numSelectTables, 1u);
+    EXPECT_FALSE(cfg.engine.nearBlock);
+    EXPECT_FALSE(cfg.engine.doubleSelect);
+    EXPECT_EQ(cfg.engine.bitEntries, 0u);   // BIT in the i-cache
+    EXPECT_EQ(cfg.engine.icache.type, CacheType::Normal);
+    EXPECT_EQ(cfg.engine.icache.blockWidth, 8u);
+}
+
+TEST(FetchSimulator, DispatchesToSingleBlockEngine)
+{
+    InMemoryTrace t = specTrace("li", 20000);
+    SimConfig cfg;
+    cfg.numBlocks = 1;
+    FetchStats via_facade = FetchSimulator(cfg).run(t);
+    FetchStats direct = SingleBlockEngine(cfg.engine).run(t);
+    EXPECT_EQ(via_facade.fetchCycles(), direct.fetchCycles());
+    EXPECT_EQ(via_facade.totalPenaltyCycles(),
+              direct.totalPenaltyCycles());
+}
+
+TEST(FetchSimulator, DispatchesToDualBlockEngine)
+{
+    InMemoryTrace t = specTrace("li", 20000);
+    SimConfig cfg;
+    cfg.numBlocks = 2;
+    FetchStats via_facade = FetchSimulator(cfg).run(t);
+    FetchStats direct = DualBlockEngine(cfg.engine).run(t);
+    EXPECT_EQ(via_facade.fetchCycles(), direct.fetchCycles());
+}
+
+TEST(FetchSimulator, ThreeAndFourBlocksUseTheMultiEngine)
+{
+    InMemoryTrace t = specTrace("li", 20000);
+    SimConfig cfg;
+    cfg.numBlocks = 3;
+    FetchStats via_facade = FetchSimulator(cfg).run(t);
+    FetchStats direct = MultiBlockEngine(cfg.engine, 3).run(t);
+    EXPECT_EQ(via_facade.fetchCycles(), direct.fetchCycles());
+}
+
+TEST(FetchSimulatorDeath, RejectsBadBlockCounts)
+{
+    SimConfig cfg;
+    cfg.numBlocks = 5;
+    EXPECT_DEATH(FetchSimulator sim(cfg), "blocks");
+
+    SimConfig ds;
+    ds.numBlocks = 1;
+    ds.engine.doubleSelect = true;
+    EXPECT_DEATH(FetchSimulator sim(ds), "double");
+}
+
+} // namespace
+} // namespace mbbp

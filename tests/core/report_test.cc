@@ -1,0 +1,46 @@
+/** @file Tests for the JSON result export. */
+
+#include "core/report.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Report, StatsJsonContainsHeadlineMetrics)
+{
+    FetchStats s;
+    s.instructions = 800;
+    s.fetchRequests = 100;
+    s.branchesExecuted = 50;
+    s.charge(PenaltyKind::CondMispredict, 5);
+    std::string json = statsToJson(s);
+    EXPECT_NE(json.find("\"instructions\":800"), std::string::npos);
+    EXPECT_NE(json.find("\"fetch_cycles\":105"), std::string::npos);
+    EXPECT_NE(json.find("\"bep\":0.1"), std::string::npos);
+    EXPECT_NE(json.find("\"mispredict\":{\"cycles\":5,\"events\":1}"),
+              std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, SuiteJsonHasPerProgramAndTotals)
+{
+    TraceCache cache(5000);
+    SimConfig cfg;
+    SuiteResult r = runSuite(cfg, cache, { "compress", "swim" });
+    std::string json = suiteResultToJson(r);
+    EXPECT_NE(json.find("\"compress\""), std::string::npos);
+    EXPECT_NE(json.find("\"swim\""), std::string::npos);
+    EXPECT_NE(json.find("\"int_total\""), std::string::npos);
+    EXPECT_NE(json.find("\"fp_total\""), std::string::npos);
+    EXPECT_NE(json.find("\"all_total\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+} // namespace
+} // namespace mbbp

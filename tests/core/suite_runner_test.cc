@@ -1,0 +1,62 @@
+/** @file Tests for trace caching and suite aggregation. */
+
+#include "core/suite_runner.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(TraceCache, GeneratesOnceAndReplays)
+{
+    TraceCache cache(5000);
+    InMemoryTrace &a = cache.get("compress");
+    InMemoryTrace &b = cache.get("compress");
+    EXPECT_EQ(&a, &b);          // same object, not regenerated
+    EXPECT_EQ(a.size(), 5000u);
+}
+
+TEST(SuiteRunner, SubsetRunsOnlyNamedPrograms)
+{
+    TraceCache cache(10000);
+    SimConfig cfg;
+    SuiteResult r = runSuite(cfg, cache, { "compress", "swim" });
+    EXPECT_EQ(r.perProgram.size(), 2u);
+    EXPECT_TRUE(r.perProgram.count("compress"));
+    EXPECT_TRUE(r.perProgram.count("swim"));
+}
+
+TEST(SuiteRunner, AggregatesAreSumsOfPerProgram)
+{
+    TraceCache cache(10000);
+    SimConfig cfg;
+    SuiteResult r = runSuite(cfg, cache, { "compress", "li", "swim" });
+    uint64_t insts = 0, cycles = 0;
+    for (const auto &[name, s] : r.perProgram) {
+        insts += s.instructions;
+        cycles += s.fetchCycles();
+    }
+    EXPECT_EQ(r.allTotal.instructions, insts);
+    EXPECT_EQ(r.allTotal.fetchCycles(), cycles);
+    // compress and li are int, swim is fp.
+    EXPECT_EQ(r.intTotal.instructions,
+              r.perProgram.at("compress").instructions +
+                  r.perProgram.at("li").instructions);
+    EXPECT_EQ(r.fpTotal.instructions,
+              r.perProgram.at("swim").instructions);
+}
+
+TEST(SuiteRunner, DefaultRunsWholeSuite)
+{
+    TraceCache cache(3000);
+    SimConfig cfg;
+    SuiteResult r = runSuite(cfg, cache);
+    EXPECT_EQ(r.perProgram.size(), 18u);
+    EXPECT_GT(r.intTotal.instructions, 0u);
+    EXPECT_GT(r.fpTotal.instructions, 0u);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,128 @@
+/** @file Unit tests for fetch-block segmentation. */
+
+#include "fetch/block.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+InMemoryTrace
+straightLine(Addr start, unsigned n)
+{
+    InMemoryTrace t;
+    for (unsigned i = 0; i < n; ++i)
+        t.append({ start + i, InstClass::NonBranch, false, 0 });
+    return t;
+}
+
+TEST(BlockStream, CapacityCutsStraightLineCode)
+{
+    InMemoryTrace t = straightLine(0x40, 20);
+    ICacheModel cache(ICacheConfig::normal(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.startPc, 0x40u);
+    EXPECT_EQ(blk.size(), 8u);
+    EXPECT_FALSE(blk.endsTaken());
+    EXPECT_EQ(blk.nextPc, 0x48u);
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.startPc, 0x48u);
+    // The final partial block (unknown successor) is dropped.
+    EXPECT_FALSE(bs.next(blk));
+    EXPECT_EQ(bs.blocksProduced(), 2u);
+}
+
+TEST(BlockStream, MisalignedEntryShortensBlock)
+{
+    InMemoryTrace t = straightLine(0x45, 16);
+    ICacheModel cache(ICacheConfig::normal(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.size(), 3u);      // 0x45..0x47
+    EXPECT_EQ(blk.nextPc, 0x48u);
+}
+
+TEST(BlockStream, TakenTransferEndsBlock)
+{
+    InMemoryTrace t;
+    t.append({ 0x40, InstClass::NonBranch, false, 0 });
+    t.append({ 0x41, InstClass::Jump, true, 0x80 });
+    t.append({ 0x80, InstClass::NonBranch, false, 0 });
+    t.append({ 0x81, InstClass::NonBranch, false, 0 });
+    ICacheModel cache(ICacheConfig::normal(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.size(), 2u);
+    EXPECT_TRUE(blk.endsTaken());
+    EXPECT_EQ(blk.exitIdx, 1);
+    EXPECT_EQ(blk.exitInst()->cls, InstClass::Jump);
+    EXPECT_EQ(blk.nextPc, 0x80u);
+}
+
+TEST(BlockStream, NotTakenCondStaysInside)
+{
+    // Only *taken* transfers end a block; not-taken conditionals are
+    // exactly why multiple branch prediction is needed.
+    InMemoryTrace t;
+    t.append({ 0x40, InstClass::CondBranch, false, 0x100 });
+    t.append({ 0x41, InstClass::CondBranch, false, 0x100 });
+    t.append({ 0x42, InstClass::CondBranch, true, 0x100 });
+    t.append({ 0x100, InstClass::NonBranch, false, 0 });
+    ICacheModel cache(ICacheConfig::normal(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.size(), 3u);
+    EXPECT_EQ(blk.exitIdx, 2);
+    EXPECT_EQ(blk.numConds(), 3u);
+    EXPECT_EQ(blk.numNotTakenConds(), 2u);
+    // Outcomes bit i = i-th conditional: N N T -> 0b100.
+    EXPECT_EQ(blk.condOutcomes(), 0b100u);
+}
+
+TEST(BlockStream, SelfAlignedSpansLines)
+{
+    InMemoryTrace t = straightLine(0x44, 20);
+    ICacheModel cache(ICacheConfig::selfAligned(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.size(), 8u);      // full width despite offset 4
+    EXPECT_EQ(blk.nextPc, 0x4cu);
+}
+
+TEST(BlockStream, ExtendedLineHoldsMisalignedBlock)
+{
+    InMemoryTrace t = straightLine(0x44, 20);
+    ICacheModel cache(ICacheConfig::extended(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    ASSERT_TRUE(bs.next(blk));
+    EXPECT_EQ(blk.size(), 8u);      // 0x44..0x4b within the 16-line
+}
+
+TEST(BlockStream, EmptyTrace)
+{
+    InMemoryTrace t;
+    ICacheModel cache(ICacheConfig::normal(8));
+    BlockStream bs(t, cache);
+    FetchBlock blk;
+    EXPECT_FALSE(bs.next(blk));
+}
+
+TEST(FetchBlock, ExitInstNullWhenFallThrough)
+{
+    FetchBlock blk;
+    blk.insts.push_back({ 0x1, InstClass::NonBranch, false, 0 });
+    blk.exitIdx = -1;
+    EXPECT_EQ(blk.exitInst(), nullptr);
+}
+
+} // namespace
+} // namespace mbbp

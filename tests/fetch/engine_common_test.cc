@@ -1,0 +1,242 @@
+/** @file Unit tests for address resolution and penalty classification. */
+
+#include "fetch/engine_common.hh"
+
+#include <gtest/gtest.h>
+
+#include "predict/nls.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+FetchBlock
+blockEndingWith(Addr start, unsigned body, InstClass cls, bool taken,
+                Addr target)
+{
+    FetchBlock blk;
+    blk.startPc = start;
+    for (unsigned i = 0; i < body; ++i)
+        blk.insts.push_back({ start + i, InstClass::NonBranch, false,
+                              0 });
+    blk.insts.push_back({ start + body, cls, taken, target });
+    if (taken) {
+        blk.exitIdx = static_cast<int>(body);
+        blk.nextPc = target;
+    } else {
+        blk.exitIdx = -1;
+        blk.nextPc = start + body + 1;
+    }
+    return blk;
+}
+
+class EngineCommonTest : public ::testing::Test
+{
+  protected:
+    EngineCommonTest()
+        : nls_(16, 8, true), ras_(8)
+    {
+    }
+
+    StaticImage image_;
+    NlsTargetArray nls_;
+    ReturnAddressStack ras_;
+};
+
+TEST_F(EngineCommonTest, ResolveFallThrough)
+{
+    ExitPrediction p;   // found = false
+    ResolvedTarget r = resolveAddress(p, 0x40, 8, image_, ras_, nls_,
+                                      0x40, 0, 8);
+    EXPECT_EQ(r.addr, 0x48u);
+}
+
+TEST_F(EngineCommonTest, ResolveRas)
+{
+    ras_.push(0x1234);
+    ExitPrediction p;
+    p.found = true;
+    p.offset = 2;
+    p.pc = 0x42;
+    p.src = SelSrc::Ras;
+    ResolvedTarget r = resolveAddress(p, 0x40, 8, image_, ras_, nls_,
+                                      0x40, 0, 8);
+    EXPECT_EQ(r.addr, 0x1234u);
+}
+
+TEST_F(EngineCommonTest, ResolveTargetArrayByPositionAndWhich)
+{
+    nls_.update(0x40, 2, 0, 0xaaa, false);
+    nls_.update(0x40, 2, 1, 0xbbb, false);
+    ExitPrediction p;
+    p.found = true;
+    p.offset = 2;
+    p.pc = 0x42;
+    p.src = SelSrc::Target;
+    EXPECT_EQ(resolveAddress(p, 0x40, 8, image_, ras_, nls_, 0x40, 0,
+                             8).addr, 0xaaau);
+    EXPECT_EQ(resolveAddress(p, 0x40, 8, image_, ras_, nls_, 0x40, 1,
+                             8).addr, 0xbbbu);
+}
+
+TEST_F(EngineCommonTest, ResolveNearUsesExactStaticTarget)
+{
+    image_.add({ 0x42, InstClass::CondBranch, true, 0x4d });
+    ExitPrediction p;
+    p.found = true;
+    p.offset = 2;
+    p.pc = 0x42;
+    p.src = SelSrc::LineNext;
+    ResolvedTarget r = resolveAddress(p, 0x40, 8, image_, ras_, nls_,
+                                      0x40, 0, 8);
+    EXPECT_EQ(r.addr, 0x4du);   // line index + immediate offset adder
+}
+
+TEST_F(EngineCommonTest, BothFallThroughIsCorrect)
+{
+    FetchBlock blk;
+    blk.startPc = 0x40;
+    for (unsigned i = 0; i < 8; ++i)
+        blk.insts.push_back({ 0x40 + i, InstClass::NonBranch, false,
+                              0 });
+    blk.exitIdx = -1;
+    blk.nextPc = 0x48;
+    ExitPrediction p;
+    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk);
+    EXPECT_TRUE(out.correct);
+}
+
+TEST_F(EngineCommonTest, PredictedTakenTooEarlyIsCondWithRefetch)
+{
+    // Predicted exit at offset 1; the branch there was actually not
+    // taken and the block continued: mispredicted-taken, plus the
+    // Table 3 footnote re-fetch.
+    FetchBlock blk;
+    blk.startPc = 0x40;
+    blk.insts.push_back({ 0x40, InstClass::NonBranch, false, 0 });
+    blk.insts.push_back({ 0x41, InstClass::CondBranch, false, 0x99 });
+    blk.insts.push_back({ 0x42, InstClass::NonBranch, false, 0 });
+    blk.exitIdx = -1;
+    blk.nextPc = 0x43;
+    ExitPrediction p;
+    p.found = true;
+    p.offset = 1;
+    p.pc = 0x41;
+    p.src = SelSrc::Target;
+    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk);
+    EXPECT_FALSE(out.correct);
+    EXPECT_EQ(out.kind, PenaltyKind::CondMispredict);
+    EXPECT_TRUE(out.refetchExtra);
+}
+
+TEST_F(EngineCommonTest, MissedTakenExitIsCondNoRefetch)
+{
+    FetchBlock blk = blockEndingWith(0x40, 2, InstClass::CondBranch,
+                                     true, 0x99);
+    ExitPrediction p;   // predicted fall-through
+    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk);
+    EXPECT_FALSE(out.correct);
+    EXPECT_EQ(out.kind, PenaltyKind::CondMispredict);
+    EXPECT_FALSE(out.refetchExtra);
+}
+
+TEST_F(EngineCommonTest, WrongTargetClassifiesByExitClass)
+{
+    struct
+    {
+        InstClass cls;
+        PenaltyKind kind;
+    } cases[] = {
+        { InstClass::Return, PenaltyKind::ReturnMispredict },
+        { InstClass::IndirectJump, PenaltyKind::MisfetchIndirect },
+        { InstClass::IndirectCall, PenaltyKind::MisfetchIndirect },
+        { InstClass::Jump, PenaltyKind::MisfetchImmediate },
+        { InstClass::Call, PenaltyKind::MisfetchImmediate },
+        { InstClass::CondBranch, PenaltyKind::MisfetchImmediate },
+    };
+    for (auto &c : cases) {
+        FetchBlock blk = blockEndingWith(0x40, 2, c.cls, true, 0x99);
+        ExitPrediction p;
+        p.found = true;
+        p.offset = 2;
+        p.pc = 0x42;
+        p.src = c.cls == InstClass::Return ? SelSrc::Ras
+                                           : SelSrc::Target;
+        PredictOutcome out = compareWithActual(p, { 0x55, true }, blk);
+        EXPECT_FALSE(out.correct);
+        EXPECT_EQ(out.kind, c.kind) << instClassName(c.cls);
+    }
+}
+
+TEST_F(EngineCommonTest, RightExitRightTargetIsCorrect)
+{
+    FetchBlock blk = blockEndingWith(0x40, 2, InstClass::Jump, true,
+                                     0x99);
+    ExitPrediction p;
+    p.found = true;
+    p.offset = 2;
+    p.pc = 0x42;
+    p.src = SelSrc::Target;
+    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk);
+    EXPECT_TRUE(out.correct);
+}
+
+TEST_F(EngineCommonTest, ApplyRasOps)
+{
+    FetchBlock call = blockEndingWith(0x40, 1, InstClass::Call, true,
+                                      0x100);
+    applyRasOp(ras_, call);
+    EXPECT_EQ(ras_.depth(), 1u);
+    EXPECT_EQ(ras_.top(), 0x42u);   // address after the call
+
+    FetchBlock ret = blockEndingWith(0x100, 0, InstClass::Return, true,
+                                     0x42);
+    applyRasOp(ras_, ret);
+    EXPECT_EQ(ras_.depth(), 0u);
+
+    FetchBlock plain = blockEndingWith(0x42, 1, InstClass::Jump, true,
+                                       0x60);
+    applyRasOp(ras_, plain);
+    EXPECT_EQ(ras_.depth(), 0u);
+}
+
+TEST_F(EngineCommonTest, TargetArrayUpdateSkipsReturnsAndNear)
+{
+    // Returns are RAS-predicted: never stored.
+    FetchBlock ret = blockEndingWith(0x40, 1, InstClass::Return, true,
+                                     0x99);
+    updateTargetArray(nls_, 0x40, 0, ret, 8, false);
+    EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0u);
+
+    // Near conditional targets are computed, not stored -- but only
+    // when near-block encoding is on.
+    FetchBlock near = blockEndingWith(0x40, 1, InstClass::CondBranch,
+                                      true, 0x44);
+    updateTargetArray(nls_, 0x40, 0, near, 8, true);
+    EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0u);
+    updateTargetArray(nls_, 0x40, 0, near, 8, false);
+    EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0x44u);
+}
+
+TEST_F(EngineCommonTest, CountBlockStats)
+{
+    FetchStats stats;
+    FetchBlock blk;
+    blk.startPc = 0x40;
+    blk.insts.push_back({ 0x40, InstClass::NonBranch, false, 0 });
+    blk.insts.push_back({ 0x41, InstClass::CondBranch, false, 0x44 });
+    blk.insts.push_back({ 0x42, InstClass::CondBranch, false, 0x999 });
+    blk.insts.push_back({ 0x43, InstClass::Call, true, 0x200 });
+    blk.exitIdx = 3;
+    blk.nextPc = 0x200;
+    countBlockStats(stats, blk, 8);
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_EQ(stats.blocksFetched, 1u);
+    EXPECT_EQ(stats.branchesExecuted, 3u);
+    EXPECT_EQ(stats.condExecuted, 2u);
+    EXPECT_EQ(stats.nearBlockConds, 1u);    // 0x41 -> 0x44 same line
+}
+
+} // namespace
+} // namespace mbbp

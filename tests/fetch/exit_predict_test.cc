@@ -1,0 +1,158 @@
+/** @file Unit tests for the exit-prediction scan logic. */
+
+#include "fetch/exit_predict.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+/** A PHT whose counters we can set per position. */
+class ExitPredictTest : public ::testing::Test
+{
+  protected:
+    ExitPredictTest()
+        : pht_({ 6, 8, 2, 1 })
+    {
+    }
+
+    void
+    setTaken(unsigned pos, bool taken)
+    {
+        pht_.setCounterAt(idx_, pos,
+                          SatCounter(2, taken ? 3 : 0));
+    }
+
+    BlockedPHT pht_;
+    std::size_t idx_ = 0;
+};
+
+TEST_F(ExitPredictTest, AllNonBranchFallsThrough)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+    EXPECT_FALSE(p.found);
+    EXPECT_EQ(p.src, SelSrc::FallThrough);
+    EXPECT_EQ(p.numNotTaken, 0);
+    EXPECT_FALSE(p.ghrInfo().endedTaken);
+}
+
+TEST_F(ExitPredictTest, ReturnStopsScan)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    codes[3] = BitCode::Return;
+    codes[5] = BitCode::OtherBranch;    // must never be reached
+    ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+    EXPECT_TRUE(p.found);
+    EXPECT_EQ(p.offset, 3u);
+    EXPECT_EQ(p.pc, 0x43u);
+    EXPECT_EQ(p.src, SelSrc::Ras);
+}
+
+TEST_F(ExitPredictTest, OtherBranchUsesTargetArray)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    codes[2] = BitCode::OtherBranch;
+    ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+    EXPECT_EQ(p.src, SelSrc::Target);
+    EXPECT_EQ(p.offset, 2u);
+}
+
+TEST_F(ExitPredictTest, CondTakenPerPatternHistory)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    codes[1] = BitCode::CondLong;
+    codes[4] = BitCode::CondLong;
+    setTaken(1, false);
+    setTaken(4, true);
+    ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+    EXPECT_TRUE(p.found);
+    EXPECT_EQ(p.offset, 4u);
+    EXPECT_EQ(p.src, SelSrc::Target);
+    // One conditional scanned through as not taken.
+    EXPECT_EQ(p.numNotTaken, 1);
+    EXPECT_EQ(p.ghrInfo(), (GhrInfo{ 1, true }));
+}
+
+TEST_F(ExitPredictTest, NearCodesMapToLineSelectors)
+{
+    struct
+    {
+        BitCode code;
+        SelSrc src;
+    } cases[] = {
+        { BitCode::CondPrevLine, SelSrc::LinePrev },
+        { BitCode::CondSameLine, SelSrc::LineSame },
+        { BitCode::CondNextLine, SelSrc::LineNext },
+        { BitCode::CondNextLine2, SelSrc::LineNext2 },
+    };
+    for (auto &c : cases) {
+        BitVector codes(8, BitCode::NonBranch);
+        codes[2] = c.code;
+        setTaken(2, true);
+        ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+        EXPECT_EQ(p.src, c.src);
+    }
+}
+
+TEST_F(ExitPredictTest, AllCondNotTakenFallsThrough)
+{
+    BitVector codes(8, BitCode::CondLong);
+    for (unsigned i = 0; i < 8; ++i)
+        setTaken(i, false);
+    ExitPrediction p = predictExit(codes, 0x40, 8, pht_, idx_);
+    EXPECT_FALSE(p.found);
+    EXPECT_EQ(p.numNotTaken, 8);
+}
+
+TEST_F(ExitPredictTest, WindowLengthRespected)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    codes[5] = BitCode::Return;
+    ExitPrediction p = predictExit(codes, 0x40, 4, pht_, idx_);
+    EXPECT_FALSE(p.found);      // return is outside the 4-wide window
+}
+
+TEST_F(ExitPredictTest, SelectorUsesLinePosition)
+{
+    BitVector codes(8, BitCode::NonBranch);
+    codes[3] = BitCode::OtherBranch;
+    // Block starting mid-line: pc 0x44 + 3 = 0x47, line pos 7.
+    ExitPrediction p = predictExit(codes, 0x44, 4, pht_, idx_);
+    Selector sel = p.selector(8);
+    EXPECT_EQ(sel.src, SelSrc::Target);
+    EXPECT_EQ(sel.pos, 7);
+}
+
+TEST(WindowCodes, TrueCodesComeFromStaticImage)
+{
+    StaticImage img;
+    img.add({ 0x41, InstClass::CondBranch, false, 0x44 });
+    img.add({ 0x42, InstClass::Return, true, 0x99 });
+    BitVector codes = trueWindowCodes(img, 0x40, 4, 8, true);
+    EXPECT_EQ(codes[0], BitCode::NonBranch);    // unknown pc
+    EXPECT_EQ(codes[1], BitCode::CondSameLine);
+    EXPECT_EQ(codes[2], BitCode::Return);
+}
+
+TEST(WindowCodes, BitTableStaleCodesDiffer)
+{
+    StaticImage img;
+    img.add({ 0x40, InstClass::Jump, true, 0x80 });
+    BitTable bit(4, 8);
+
+    // Entry 0 was last written for aliasing line 4 (all non-branch).
+    refreshBitEntries(bit, img, 4 * 8, 8, 8, false);
+    BitVector stale = bitWindowCodes(bit, img, 0x40, 8, 8, false);
+    EXPECT_EQ(stale[0], BitCode::NonBranch);    // stale view
+
+    // After refreshing for line 8 (0x40/8), codes match the truth.
+    refreshBitEntries(bit, img, 0x40, 8, 8, false);
+    BitVector fresh = bitWindowCodes(bit, img, 0x40, 8, 8, false);
+    EXPECT_EQ(fresh[0], BitCode::OtherBranch);
+}
+
+} // namespace
+} // namespace mbbp

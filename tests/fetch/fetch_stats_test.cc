@@ -1,0 +1,93 @@
+/** @file Unit tests for the BEP / IPC_f metric bookkeeping. */
+
+#include "fetch/fetch_stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(FetchStats, ChargeAccumulatesCyclesAndEvents)
+{
+    FetchStats s;
+    s.charge(PenaltyKind::CondMispredict, 5);
+    s.charge(PenaltyKind::CondMispredict, 6);
+    s.charge(PenaltyKind::Misselect, 1);
+    auto idx = static_cast<std::size_t>(PenaltyKind::CondMispredict);
+    EXPECT_EQ(s.penaltyCycles[idx], 11u);
+    EXPECT_EQ(s.penaltyEvents[idx], 2u);
+    EXPECT_EQ(s.totalPenaltyCycles(), 12u);
+}
+
+TEST(FetchStats, FetchCyclesAddPenalties)
+{
+    FetchStats s;
+    s.fetchRequests = 100;
+    s.charge(PenaltyKind::BankConflict, 3);
+    EXPECT_EQ(s.fetchCycles(), 103u);
+}
+
+TEST(FetchStats, BepIsPenaltyPerBranch)
+{
+    FetchStats s;
+    s.branchesExecuted = 50;
+    s.charge(PenaltyKind::CondMispredict, 25);
+    EXPECT_DOUBLE_EQ(s.bep(), 0.5);
+    EXPECT_DOUBLE_EQ(s.bepOf(PenaltyKind::CondMispredict), 0.5);
+    EXPECT_DOUBLE_EQ(s.bepOf(PenaltyKind::Misselect), 0.0);
+}
+
+TEST(FetchStats, IpcFAndIpb)
+{
+    FetchStats s;
+    s.instructions = 800;
+    s.fetchRequests = 100;
+    s.blocksFetched = 160;
+    EXPECT_DOUBLE_EQ(s.ipcF(), 8.0);
+    EXPECT_DOUBLE_EQ(s.ipb(), 5.0);
+    s.charge(PenaltyKind::CondMispredict, 100);
+    EXPECT_DOUBLE_EQ(s.ipcF(), 4.0);
+}
+
+TEST(FetchStats, EmptyStatsAreZeroNotNan)
+{
+    FetchStats s;
+    EXPECT_DOUBLE_EQ(s.bep(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ipcF(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ipb(), 0.0);
+    EXPECT_DOUBLE_EQ(s.nearBlockFraction(), 0.0);
+}
+
+TEST(FetchStats, AccumulateMergesTotals)
+{
+    FetchStats a, b;
+    a.instructions = 10;
+    a.fetchRequests = 2;
+    a.branchesExecuted = 3;
+    a.bbrPeak = 5;
+    a.charge(PenaltyKind::Misselect, 1);
+    b.instructions = 20;
+    b.fetchRequests = 4;
+    b.branchesExecuted = 7;
+    b.bbrPeak = 2;
+    b.charge(PenaltyKind::Misselect, 2);
+    a.accumulate(b);
+    EXPECT_EQ(a.instructions, 30u);
+    EXPECT_EQ(a.fetchRequests, 6u);
+    EXPECT_EQ(a.branchesExecuted, 10u);
+    EXPECT_EQ(a.totalPenaltyCycles(), 3u);
+    EXPECT_EQ(a.bbrPeak, 5u);   // max, not sum
+}
+
+TEST(FetchStats, NearBlockFraction)
+{
+    FetchStats s;
+    s.condExecuted = 10;
+    s.nearBlockConds = 7;
+    EXPECT_DOUBLE_EQ(s.nearBlockFraction(), 0.7);
+}
+
+} // namespace
+} // namespace mbbp

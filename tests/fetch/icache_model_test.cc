@@ -1,0 +1,105 @@
+/** @file Unit tests for the i-cache organizations of Section 4.5. */
+
+#include "fetch/icache_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(ICacheConfig, PaperConfigurations)
+{
+    // Table 6: normal 8/8, extended 16/8, self-aligned 8/16 banks.
+    ICacheConfig n = ICacheConfig::normal(8);
+    EXPECT_EQ(n.lineSize, 8u);
+    EXPECT_EQ(n.numBanks, 8u);
+    ICacheConfig e = ICacheConfig::extended(8);
+    EXPECT_EQ(e.lineSize, 16u);
+    EXPECT_EQ(e.numBanks, 8u);
+    ICacheConfig a = ICacheConfig::selfAligned(8);
+    EXPECT_EQ(a.lineSize, 8u);
+    EXPECT_EQ(a.numBanks, 16u);
+}
+
+TEST(ICacheModel, NormalCapacityShrinksWithOffset)
+{
+    ICacheModel m(ICacheConfig::normal(8));
+    EXPECT_EQ(m.capacityAt(0x40), 8u);
+    EXPECT_EQ(m.capacityAt(0x41), 7u);
+    EXPECT_EQ(m.capacityAt(0x47), 1u);
+}
+
+TEST(ICacheModel, ExtendedCapacityOnlyShrinksNearLineEnd)
+{
+    ICacheModel m(ICacheConfig::extended(8));
+    EXPECT_EQ(m.capacityAt(0x40), 8u);
+    EXPECT_EQ(m.capacityAt(0x47), 8u);
+    EXPECT_EQ(m.capacityAt(0x48), 8u);
+    EXPECT_EQ(m.capacityAt(0x49), 7u);
+    EXPECT_EQ(m.capacityAt(0x4f), 1u);
+}
+
+TEST(ICacheModel, SelfAlignedAlwaysFullWidth)
+{
+    ICacheModel m(ICacheConfig::selfAligned(8));
+    for (Addr pc = 0x40; pc < 0x50; ++pc)
+        EXPECT_EQ(m.capacityAt(pc), 8u);
+}
+
+TEST(ICacheModel, LinesTouched)
+{
+    ICacheModel m(ICacheConfig::selfAligned(8));
+    auto one = m.linesTouched(0x40, 8);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0x40u / 8);
+
+    auto two = m.linesTouched(0x44, 8);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0], 8u);
+    EXPECT_EQ(two[1], 9u);
+
+    // Zero-length still touches the line of the start address.
+    EXPECT_EQ(m.linesTouched(0x44, 0).size(), 1u);
+}
+
+TEST(ICacheModel, BankMapping)
+{
+    ICacheModel m(ICacheConfig::normal(8));   // 8 banks
+    EXPECT_EQ(m.bankOf(0), 0u);
+    EXPECT_EQ(m.bankOf(7), 7u);
+    EXPECT_EQ(m.bankOf(8), 0u);
+}
+
+TEST(ICacheModel, BankConflictDetection)
+{
+    ICacheModel m(ICacheConfig::normal(8));
+    // Lines 0 and 8 share bank 0: conflict.
+    EXPECT_TRUE(m.bankConflict(0 * 8, 8, 8 * 8, 8));
+    // Lines 0 and 1: different banks.
+    EXPECT_FALSE(m.bankConflict(0 * 8, 8, 1 * 8, 8));
+    // The same line twice is a single read, not a conflict.
+    EXPECT_FALSE(m.bankConflict(0 * 8, 8, 0 * 8 + 3, 5));
+}
+
+TEST(ICacheModel, SelfAlignedConflictAcrossSpans)
+{
+    ICacheModel m(ICacheConfig::selfAligned(8));  // 16 banks
+    // Block A touches lines 8,9; block B touches lines 24,25:
+    // 8 % 16 == 24 % 16 -> conflict.
+    EXPECT_TRUE(m.bankConflict(0x44, 8, 0xc4, 8));
+    // Consecutive blocks rarely conflict with 16 banks.
+    EXPECT_FALSE(m.bankConflict(0x44, 8, 0x4c, 8));
+}
+
+TEST(ICacheModelDeath, Validation)
+{
+    EXPECT_DEATH(ICacheModel m({ CacheType::Normal, 6, 8, 8 }),
+                 "power");
+    EXPECT_DEATH(ICacheModel m({ CacheType::Normal, 8, 4, 8 }),
+                 "line");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,112 @@
+/** @file Behavioral tests for the N-block (Section 5) extension. */
+
+#include "fetch/multi_block_engine.hh"
+
+#include <gtest/gtest.h>
+
+#include "fetch/dual_block_engine.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+InMemoryTrace
+straightLine(unsigned count)
+{
+    InMemoryTrace t;
+    for (unsigned i = 0; i < count; ++i)
+        t.append({ 0x1000 + i, InstClass::NonBranch, false, 0 });
+    return t;
+}
+
+TEST(MultiBlockEngine, StraightLineScalesWithGroupSize)
+{
+    InMemoryTrace t = straightLine(4000);
+    for (unsigned n : { 1u, 2u, 3u, 4u }) {
+        MultiBlockEngine engine(FetchEngineConfig{}, n);
+        FetchStats s = engine.run(t);
+        EXPECT_EQ(s.totalPenaltyCycles(), 0u) << n;
+        // Requests approach blocks / n.
+        EXPECT_NEAR(static_cast<double>(s.blocksFetched) /
+                        static_cast<double>(s.fetchRequests),
+                    static_cast<double>(n), 0.1)
+            << n;
+        EXPECT_GT(s.ipcF(), 8.0 * n * 0.95) << n;
+    }
+}
+
+TEST(MultiBlockEngine, MatchesDualEngineCycleCounts)
+{
+    // With n = 2 the multi-block engine models the same mechanism as
+    // the dedicated dual-block engine (modulo BBR bookkeeping, which
+    // costs no cycles); their accounting must agree closely.
+    InMemoryTrace t = specTrace("li", 50000);
+    FetchStats dual = DualBlockEngine(FetchEngineConfig{}).run(t);
+    FetchStats multi =
+        MultiBlockEngine(FetchEngineConfig{}, 2).run(t);
+    EXPECT_EQ(multi.fetchRequests, dual.fetchRequests);
+    EXPECT_EQ(multi.blocksFetched, dual.blocksFetched);
+    EXPECT_EQ(multi.totalPenaltyCycles(), dual.totalPenaltyCycles());
+    EXPECT_EQ(multi.condDirectionWrong, dual.condDirectionWrong);
+}
+
+TEST(MultiBlockEngine, MoreBlocksRaiseRawFetchRate)
+{
+    // The Section 5 promise: prediction bandwidth scales. On a
+    // predictable fp workload the effective rate keeps climbing.
+    InMemoryTrace t = specTrace("mgrid", 60000);
+    FetchEngineConfig cfg;
+    cfg.icache = ICacheConfig::selfAligned(8);
+    cfg.numSelectTables = 8;
+    double prev = 0.0;
+    for (unsigned blocks : { 1u, 2u, 3u }) {
+        FetchStats s = MultiBlockEngine(cfg, blocks).run(t);
+        EXPECT_GT(s.ipcF(), prev) << blocks;
+        prev = s.ipcF();
+    }
+}
+
+TEST(MultiBlockEngine, DeeperSlotsPayMore)
+{
+    // Cold target arrays: the same misfetch costs more when detected
+    // on a deeper slot (Table 3 extrapolation).
+    PenaltyModel m(false);
+    EXPECT_EQ(m.cycles(PenaltyKind::MisfetchImmediate, 2), 3u);
+    EXPECT_EQ(m.cycles(PenaltyKind::MisfetchImmediate, 3), 4u);
+    EXPECT_EQ(m.cycles(PenaltyKind::Misselect, 2), 2u);
+    EXPECT_EQ(m.cycles(PenaltyKind::Misselect, 3), 3u);
+    EXPECT_EQ(m.cycles(PenaltyKind::ReturnMispredict, 3), 7u);
+}
+
+TEST(MultiBlockEngine, RunsOnBtbBackend)
+{
+    InMemoryTrace t = specTrace("compress", 30000);
+    FetchEngineConfig cfg;
+    cfg.targetKind = TargetKind::Btb;
+    cfg.targetEntries = 64;
+    FetchStats s = MultiBlockEngine(cfg, 4).run(t);
+    EXPECT_GT(s.instructions, 0u);
+    EXPECT_GT(s.ipcF(), 1.0);
+}
+
+TEST(MultiBlockEngine, Deterministic)
+{
+    InMemoryTrace t = specTrace("perl", 30000);
+    FetchStats a = MultiBlockEngine(FetchEngineConfig{}, 3).run(t);
+    FetchStats b = MultiBlockEngine(FetchEngineConfig{}, 3).run(t);
+    EXPECT_EQ(a.fetchCycles(), b.fetchCycles());
+}
+
+TEST(MultiBlockEngineDeath, ConfigValidation)
+{
+    FetchEngineConfig cfg;
+    EXPECT_DEATH(MultiBlockEngine e(cfg, 0), "blocks");
+    EXPECT_DEATH(MultiBlockEngine e(cfg, 5), "blocks");
+    cfg.doubleSelect = true;
+    EXPECT_DEATH(MultiBlockEngine e(cfg, 3), "single selection");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the near-block machinery: the 3-bit encoding end to end
+ * and the Section 3.1 stored-offset option for second-block near
+ * targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fetch/dual_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+#include "util/random.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/**
+ * A loop whose only control is a near (same-line-region) conditional:
+ * with near-block encoding the target array is never consulted, so a
+ * 1-entry array loses nothing.
+ */
+InMemoryTrace
+nearLoop(unsigned reps)
+{
+    InMemoryTrace t;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (unsigned i = 0; i < 5; ++i)
+            t.append({ 0x1000 + i, InstClass::NonBranch, false, 0 });
+        // Taken back to the same line's start: CondSameLine... the
+        // target 0x1000 is in the previous... 0x1005 -> 0x1000 stays
+        // in line 0x200 (same line).
+        t.append({ 0x1005, InstClass::CondBranch, true, 0x1000 });
+    }
+    // Terminate with enough straight-line code to flush the last
+    // block out of the stream.
+    for (unsigned i = 0; i < 16; ++i)
+        t.append({ 0x1000 + i, InstClass::NonBranch,
+                   false, 0 });
+    return t;
+}
+
+TEST(NearBlock, NearTargetsNeedNoTargetArray)
+{
+    InMemoryTrace t = nearLoop(200);
+    FetchEngineConfig tiny;
+    tiny.targetEntries = 1;     // useless target array
+    tiny.nearBlock = true;
+    SingleBlockEngine near_engine(tiny);
+    FetchStats near_stats = near_engine.run(t);
+    auto imm = static_cast<std::size_t>(
+        PenaltyKind::MisfetchImmediate);
+    EXPECT_EQ(near_stats.penaltyEvents[imm], 0u);
+
+    // Without near-block encoding the same loop needs the array; a
+    // 1-entry array aliased by nothing still works here, so starve
+    // it with a second competing branch line instead: simply verify
+    // near flagging counted the branches.
+    EXPECT_GT(near_stats.nearBlockConds, 100u);
+}
+
+TEST(NearBlock, StoredOffsetModeMatchesComputedOnStableCode)
+{
+    // When every near target's offset is stable, the stored-offset
+    // and compute-late options behave identically.
+    InMemoryTrace t = specTrace("ijpeg", 50000);
+    FetchEngineConfig computed;
+    computed.nearBlock = true;
+    FetchEngineConfig stored = computed;
+    stored.nearBlockStoredOffset = true;
+
+    FetchStats a = DualBlockEngine(computed).run(t);
+    FetchStats b = DualBlockEngine(stored).run(t);
+    // Stored offsets can only add misselects, never remove any.
+    auto missel = static_cast<std::size_t>(PenaltyKind::Misselect);
+    EXPECT_GE(b.penaltyEvents[missel], a.penaltyEvents[missel]);
+    EXPECT_LE(b.ipcF(), a.ipcF() + 1e-9);
+}
+
+TEST(NearBlock, StoredOffsetNeverBeatsComputedOnTheSuite)
+{
+    // The stored log2(b) offset bits can only go stale (different
+    // near branches aliasing one select-table context); late
+    // computation is exact. Across the suite the stored-offset
+    // option must never win.
+    for (const char *name : { "gcc", "li", "perl" }) {
+        InMemoryTrace t = specTrace(name, 40000);
+        FetchEngineConfig computed;
+        computed.nearBlock = true;
+        FetchEngineConfig stored = computed;
+        stored.nearBlockStoredOffset = true;
+        FetchStats a = DualBlockEngine(computed).run(t);
+        FetchStats b = DualBlockEngine(stored).run(t);
+        EXPECT_GE(b.totalPenaltyCycles(), a.totalPenaltyCycles())
+            << name;
+    }
+}
+
+TEST(NearBlock, SingleEngineTracksBbrPeak)
+{
+    InMemoryTrace t = specTrace("li", 30000);
+    SingleBlockEngine engine(FetchEngineConfig{});
+    FetchStats s = engine.run(t);
+    EXPECT_GT(s.bbrPeak, 0u);
+    EXPECT_LE(s.bbrPeak, 5u * 8u);
+}
+
+} // namespace
+} // namespace mbbp

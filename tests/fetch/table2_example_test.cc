@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The paper's Table 2 worked example, reproduced end to end.
+ *
+ * A line of eight instructions:
+ *   pos 0  shift    BIT 000
+ *   pos 1  branch   BIT 100 (cond, previous-line target), PHT 10
+ *   pos 2  add      BIT 000
+ *   pos 3  jump     BIT 010
+ *   pos 4  sub      BIT 000
+ *   pos 5  branch   BIT 011 (cond, long target), PHT 11
+ *   pos 6  move     BIT 000
+ *   pos 7  return   BIT 001
+ *
+ * Expected next-line selection per starting position:
+ *   start 0,1 -> exit 1, previous line (near-block)
+ *   start 2,3 -> exit 3, NLS(3)
+ *   start 4,5 -> exit 5, NLS(5)
+ *   start 6,7 -> exit 7, RAS
+ */
+
+#include <gtest/gtest.h>
+
+#include "fetch/exit_predict.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+class Table2Example : public ::testing::Test
+{
+  protected:
+    static constexpr Addr base = 0x40;  // line-aligned, L = 8
+
+    Table2Example()
+        : pht_({ 6, 8, 2, 1 })
+    {
+        image_.add({ base + 0, InstClass::NonBranch, false, 0 });
+        // Conditional with a previous-line target (BIT 100).
+        image_.add({ base + 1, InstClass::CondBranch, true,
+                     base - 6 });
+        image_.add({ base + 2, InstClass::NonBranch, false, 0 });
+        image_.add({ base + 3, InstClass::Jump, true, 0x200 });
+        image_.add({ base + 4, InstClass::NonBranch, false, 0 });
+        // Conditional with a long target (BIT 011).
+        image_.add({ base + 5, InstClass::CondBranch, true, 0x300 });
+        image_.add({ base + 6, InstClass::NonBranch, false, 0 });
+        image_.add({ base + 7, InstClass::Return, true, 0x123 });
+
+        // PHT entry values from the table: position 1 = 10 (weakly
+        // taken), position 5 = 11 (strongly taken).
+        pht_.setCounterAt(idx_, 1, SatCounter(2, 2));
+        pht_.setCounterAt(idx_, 5, SatCounter(2, 3));
+    }
+
+    ExitPrediction
+    predictFrom(unsigned start)
+    {
+        unsigned capacity = 8 - start;
+        BitVector codes = trueWindowCodes(image_, base + start,
+                                          capacity, 8, true);
+        return predictExit(codes, base + start, capacity, pht_, idx_);
+    }
+
+    StaticImage image_;
+    BlockedPHT pht_;
+    std::size_t idx_ = 0;
+};
+
+TEST_F(Table2Example, BitCodesMatchTable2Row)
+{
+    BitVector codes = trueWindowCodes(image_, base, 8, 8, true);
+    BitCode expected[8] = {
+        BitCode::NonBranch, BitCode::CondPrevLine, BitCode::NonBranch,
+        BitCode::OtherBranch, BitCode::NonBranch, BitCode::CondLong,
+        BitCode::NonBranch, BitCode::Return,
+    };
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(codes[i], expected[i]) << "position " << i;
+}
+
+TEST_F(Table2Example, StartZeroAndOneExitAtTheFirstBranch)
+{
+    for (unsigned start : { 0u, 1u }) {
+        ExitPrediction p = predictFrom(start);
+        ASSERT_TRUE(p.found) << start;
+        EXPECT_EQ(p.pc, base + 1) << start;
+        // "line-": the near-block previous-line selection.
+        EXPECT_EQ(p.src, SelSrc::LinePrev) << start;
+        EXPECT_EQ(p.selector(8), (Selector{ SelSrc::LinePrev, 1 }));
+    }
+}
+
+TEST_F(Table2Example, StartTwoAndThreeExitAtTheJump)
+{
+    for (unsigned start : { 2u, 3u }) {
+        ExitPrediction p = predictFrom(start);
+        ASSERT_TRUE(p.found) << start;
+        EXPECT_EQ(p.pc, base + 3) << start;
+        // "NLS(3)": target array at exit position 3.
+        EXPECT_EQ(p.selector(8), (Selector{ SelSrc::Target, 3 }));
+    }
+}
+
+TEST_F(Table2Example, StartFourAndFiveExitAtTheSecondBranch)
+{
+    for (unsigned start : { 4u, 5u }) {
+        ExitPrediction p = predictFrom(start);
+        ASSERT_TRUE(p.found) << start;
+        EXPECT_EQ(p.pc, base + 5) << start;
+        // "NLS(5)".
+        EXPECT_EQ(p.selector(8), (Selector{ SelSrc::Target, 5 }));
+    }
+}
+
+TEST_F(Table2Example, StartSixAndSevenExitAtTheReturn)
+{
+    for (unsigned start : { 6u, 7u }) {
+        ExitPrediction p = predictFrom(start);
+        ASSERT_TRUE(p.found) << start;
+        EXPECT_EQ(p.pc, base + 7) << start;
+        EXPECT_EQ(p.src, SelSrc::Ras) << start;
+    }
+}
+
+TEST_F(Table2Example, SecondChanceKeepsPredictionAfterOneMiss)
+{
+    // "Since the pattern history indicates a 'second chance' bit, the
+    // prediction will not change the next time the branch is
+    // encountered": position 5 holds 11; one not-taken outcome drops
+    // it to 10, still predicting taken, so the select replacement
+    // stays NLS(5).
+    const SatCounter &before = pht_.counterAt(idx_, 5);
+    EXPECT_TRUE(before.secondChance());
+    pht_.updateAt(idx_, base + 5, false);
+    EXPECT_TRUE(pht_.predictAt(idx_, base + 5));
+    ExitPrediction p = predictFrom(4);
+    EXPECT_EQ(p.selector(8), (Selector{ SelSrc::Target, 5 }));
+
+    // Position 1 holds 10 (no second chance): one miss flips it.
+    pht_.updateAt(idx_, base + 1, false);
+    EXPECT_FALSE(pht_.predictAt(idx_, base + 1));
+    ExitPrediction q = predictFrom(0);
+    // The not-taken branch is scanned through; the jump at 3 exits.
+    EXPECT_EQ(q.selector(8), (Selector{ SelSrc::Target, 3 }));
+    EXPECT_EQ(q.numNotTaken, 1);
+}
+
+} // namespace
+} // namespace mbbp

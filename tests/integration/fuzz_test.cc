@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Randomized-workload fuzzing: generate programs from randomized
+ * profiles and assert that every engine preserves its invariants on
+ * all of them. Catches segmentation/accounting bugs that curated
+ * workloads miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mbbp.hh"
+#include "workload/interpreter.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** Derive a pseudo-random but deterministic profile from a seed. */
+WorkloadProfile
+randomProfile(uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    WorkloadProfile p;
+    p.name = "fuzz" + std::to_string(seed);
+    p.seed = seed;
+    p.numFunctions = static_cast<uint32_t>(rng.uniformRange(2, 80));
+    p.minBlocksPerFn = 2;
+    p.maxBlocksPerFn =
+        static_cast<uint32_t>(rng.uniformRange(3, 40));
+    p.mainBlocks = static_cast<uint32_t>(rng.uniformRange(4, 60));
+    p.meanBody = 0.5 + 12.0 * rng.uniformReal();
+    p.maxBody = static_cast<uint32_t>(rng.uniformRange(4, 48));
+    p.wFallThrough = rng.uniformReal();
+    p.wCond = 0.5 + 5.0 * rng.uniformReal();
+    p.wJump = rng.uniformReal();
+    p.wCall = rng.uniformReal() * 2.0;
+    p.wReturn = rng.uniformReal() * 0.4;
+    p.wIndirectJump = rng.uniformReal() * 0.5;
+    p.wIndirectCall = rng.uniformReal() * 0.2;
+    p.wLoop = rng.uniformReal() * 6.0;
+    p.wBias = 0.2 + rng.uniformReal() * 3.0;
+    p.wPattern = rng.uniformReal();
+    p.wCorrelated = rng.uniformReal();
+    p.minTrip = static_cast<uint32_t>(rng.uniformRange(1, 4));
+    p.maxTrip =
+        p.minTrip + static_cast<uint32_t>(rng.uniformRange(1, 150));
+    p.loopBackSpan = static_cast<uint32_t>(rng.uniformRange(1, 8));
+    p.minLoopBody = static_cast<uint32_t>(rng.uniformRange(0, 12));
+    p.nestIterBudget =
+        static_cast<uint64_t>(rng.uniformRange(64, 4000));
+    p.biasLo = 0.55 + 0.35 * rng.uniformReal();
+    p.biasHi = p.biasLo + (0.999 - p.biasLo) * rng.uniformReal();
+    p.hardFrac = 0.4 * rng.uniformReal();
+    p.corrDistMax =
+        static_cast<uint8_t>(rng.uniformRange(1, 14));
+    p.corrWidthMax = static_cast<uint8_t>(rng.uniformRange(1, 4));
+    p.corrNoise = 0.1 * rng.uniformReal();
+    p.indirectFanoutMax =
+        static_cast<uint32_t>(rng.uniformRange(2, 10));
+    p.mainCallBoost = 1.0 + 10.0 * rng.uniformReal();
+    p.mainLoopScale = 0.1 + 0.9 * rng.uniformReal();
+    return p;
+}
+
+class FuzzedWorkloads : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzedWorkloads, AllEnginesKeepInvariants)
+{
+    WorkloadProfile prof = randomProfile(GetParam());
+    Program prog = generateProgram(prof);   // validates internally
+    Interpreter interp(prog, prof.seed + 17);
+    InMemoryTrace trace = captureTrace(interp, 30000);
+    ASSERT_EQ(trace.size(), 30000u);
+
+    for (unsigned blocks : { 1u, 2u, 3u }) {
+        SimConfig cfg;
+        cfg.numBlocks = blocks;
+        FetchStats s = FetchSimulator(cfg).run(trace);
+        ASSERT_GT(s.instructions, 0u);
+        ASSERT_LE(s.instructions, trace.size());
+        ASSERT_EQ(s.fetchCycles(), s.fetchRequests +
+                                       s.totalPenaltyCycles() +
+                                       s.icacheMissCycles);
+        ASSERT_LE(s.blocksFetched, s.fetchRequests * blocks);
+        ASSERT_LE(s.ipb(), 8.0 + 1e-9);
+        ASSERT_LE(s.condDirectionWrong, s.condExecuted);
+    }
+
+    // The two-ahead comparator engine must also survive anything.
+    FetchStats ta = TwoAheadEngine(FetchEngineConfig{}).run(trace);
+    ASSERT_GT(ta.instructions, 0u);
+    ASSERT_EQ(ta.fetchCycles(), ta.fetchRequests +
+                                    ta.totalPenaltyCycles() +
+                                    ta.icacheMissCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedWorkloads,
+                         ::testing::Range(uint64_t{ 1 },
+                                          uint64_t{ 13 }));
+
+} // namespace
+} // namespace mbbp

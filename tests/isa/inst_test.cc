@@ -1,0 +1,94 @@
+/** @file Unit tests for the instruction taxonomy. */
+
+#include "isa/inst.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(InstClass, ControlClassification)
+{
+    EXPECT_FALSE(isControl(InstClass::NonBranch));
+    for (InstClass c : { InstClass::CondBranch, InstClass::Jump,
+                         InstClass::Call, InstClass::IndirectJump,
+                         InstClass::IndirectCall, InstClass::Return })
+        EXPECT_TRUE(isControl(c));
+}
+
+TEST(InstClass, ConditionalVsUnconditional)
+{
+    EXPECT_TRUE(isCondBranch(InstClass::CondBranch));
+    EXPECT_FALSE(isUnconditional(InstClass::CondBranch));
+    EXPECT_FALSE(isUnconditional(InstClass::NonBranch));
+    for (InstClass c : { InstClass::Jump, InstClass::Call,
+                         InstClass::IndirectJump,
+                         InstClass::IndirectCall, InstClass::Return })
+        EXPECT_TRUE(isUnconditional(c));
+}
+
+TEST(InstClass, Calls)
+{
+    EXPECT_TRUE(isCall(InstClass::Call));
+    EXPECT_TRUE(isCall(InstClass::IndirectCall));
+    EXPECT_FALSE(isCall(InstClass::Jump));
+    EXPECT_FALSE(isCall(InstClass::Return));
+}
+
+TEST(InstClass, IndirectVsDirect)
+{
+    EXPECT_TRUE(isIndirect(InstClass::IndirectJump));
+    EXPECT_TRUE(isIndirect(InstClass::IndirectCall));
+    // Returns are indirect in hardware but RAS-predicted; the
+    // taxonomy keeps them separate.
+    EXPECT_FALSE(isIndirect(InstClass::Return));
+    EXPECT_FALSE(isIndirect(InstClass::CondBranch));
+
+    EXPECT_TRUE(isDirect(InstClass::CondBranch));
+    EXPECT_TRUE(isDirect(InstClass::Jump));
+    EXPECT_TRUE(isDirect(InstClass::Call));
+    EXPECT_FALSE(isDirect(InstClass::IndirectJump));
+    EXPECT_FALSE(isDirect(InstClass::Return));
+}
+
+TEST(InstClass, Names)
+{
+    EXPECT_STREQ(instClassName(InstClass::NonBranch), "non-branch");
+    EXPECT_STREQ(instClassName(InstClass::Return), "return");
+    EXPECT_STREQ(instClassName(InstClass::CondBranch), "cond");
+}
+
+TEST(DynInst, TransfersControlOnlyWhenTaken)
+{
+    DynInst i;
+    i.cls = InstClass::CondBranch;
+    i.taken = false;
+    EXPECT_FALSE(i.transfersControl());
+    i.taken = true;
+    EXPECT_TRUE(i.transfersControl());
+}
+
+TEST(DynInst, ToStringShowsTargetWhenTaken)
+{
+    DynInst i{ 0x100, InstClass::Jump, true, 0x200 };
+    std::string s = i.toString();
+    EXPECT_NE(s.find("jump"), std::string::npos);
+    EXPECT_NE(s.find("200"), std::string::npos);
+
+    DynInst n{ 0x100, InstClass::CondBranch, false, 0x200 };
+    EXPECT_EQ(n.toString().find("->"), std::string::npos);
+}
+
+TEST(DynInst, EqualityIsFieldWise)
+{
+    DynInst a{ 1, InstClass::Jump, true, 2 };
+    DynInst b = a;
+    EXPECT_EQ(a, b);
+    b.target = 3;
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,72 @@
+/** @file Unit tests for bad branch recovery entries and pool. */
+
+#include "predict/bbr.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(BbrEntry, CostBitsMatchTable4)
+{
+    BbrEntry e;     // no optional PHT block
+    // 3 flag bits + PHT index (10) + corrected GHR (10)
+    // + replacement selector (4 + 3) + corrected index (10) = 40.
+    EXPECT_EQ(e.costBits(10, 8, false), 40u);
+    // Full-address variant swaps 10 -> 30.
+    EXPECT_EQ(e.costBits(10, 8, true), 60u);
+}
+
+TEST(BbrEntry, OptionalPhtBlockAdds2nBits)
+{
+    BbrEntry e;
+    e.phtBlock.assign(8, SatCounter(2));
+    EXPECT_EQ(e.costBits(10, 8, false), 40u + 16u);
+}
+
+TEST(BbrPool, AllocateReleaseCycle)
+{
+    BbrPool pool(4);
+    BbrEntry e;
+    e.predictedTaken = true;
+    std::size_t id = pool.allocate(e);
+    EXPECT_EQ(pool.inFlight(), 1u);
+    EXPECT_TRUE(pool.entry(id).predictedTaken);
+    pool.release(id);
+    EXPECT_EQ(pool.inFlight(), 0u);
+}
+
+TEST(BbrPool, ReusesReleasedSlots)
+{
+    BbrPool pool(4);
+    std::size_t a = pool.allocate({});
+    pool.release(a);
+    std::size_t b = pool.allocate({});
+    EXPECT_EQ(a, b);
+}
+
+TEST(BbrPool, TracksPeakAndOverCapacity)
+{
+    BbrPool pool(2);
+    std::vector<std::size_t> ids;
+    for (int i = 0; i < 5; ++i)
+        ids.push_back(pool.allocate({}));
+    EXPECT_EQ(pool.peakInFlight(), 5u);
+    // Demand exceeded nominal capacity on allocations 3, 4 and 5.
+    EXPECT_EQ(pool.overCapacityEvents(), 3u);
+    for (std::size_t id : ids)
+        pool.release(id);
+    EXPECT_EQ(pool.inFlight(), 0u);
+    EXPECT_EQ(pool.peakInFlight(), 5u);
+}
+
+TEST(BbrPoolDeath, BadRelease)
+{
+    BbrPool pool(2);
+    EXPECT_DEATH(pool.release(99), "bad BBR id");
+}
+
+} // namespace
+} // namespace mbbp

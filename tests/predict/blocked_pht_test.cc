@@ -1,0 +1,103 @@
+/** @file Unit tests for the blocked pattern history table. */
+
+#include "predict/blocked_pht.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(BlockedPHT, PositionWrapsAroundBlock)
+{
+    BlockedPHT pht({ 8, 8, 2, 1 });
+    EXPECT_EQ(pht.position(0x100), 0u);
+    EXPECT_EQ(pht.position(0x107), 7u);
+    // Extended/self-aligned lines wrap: position 8 maps back to 0.
+    EXPECT_EQ(pht.position(0x108), 0u);
+}
+
+TEST(BlockedPHT, CountersArePerPosition)
+{
+    BlockedPHT pht({ 6, 8, 2, 1 });
+    GlobalHistory ghr(6);
+    std::size_t idx = pht.index(ghr, 0x100);
+
+    // Train position 0 taken, position 1 not taken, same entry.
+    for (int i = 0; i < 4; ++i) {
+        pht.updateAt(idx, 0x100, true);
+        pht.updateAt(idx, 0x101, false);
+    }
+    EXPECT_TRUE(pht.predictAt(idx, 0x100));
+    EXPECT_FALSE(pht.predictAt(idx, 0x101));
+}
+
+TEST(BlockedPHT, IndexDependsOnHistoryAndAddress)
+{
+    BlockedPHT pht({ 8, 8, 2, 1 });
+    GlobalHistory a(8), b(8);
+    b.shiftIn(true);
+    EXPECT_NE(pht.index(a, 0x100), pht.index(b, 0x100));
+    EXPECT_NE(pht.index(a, 0x100), pht.index(a, 0x108));
+    // Offset bits within the block do not change the index.
+    EXPECT_EQ(pht.index(a, 0x100), pht.index(a, 0x107));
+}
+
+TEST(BlockedPHT, IndexFitsTable)
+{
+    BlockedPHT pht({ 6, 8, 2, 1 });
+    GlobalHistory ghr(6);
+    ghr.set(0x3f);
+    EXPECT_LT(pht.index(ghr, ~0ull), 1ull << 6);
+}
+
+TEST(BlockedPHT, MultiplePhtsSelectedByAddress)
+{
+    BlockedPHT pht({ 6, 8, 2, 4 });
+    GlobalHistory ghr(6);
+    // Blocks 0x100 and 0x108 differ in the table-select bits.
+    EXPECT_NE(pht.index(ghr, 0x100), pht.index(ghr, 0x108));
+    // Training one table must not leak into the other: drive table 0
+    // strongly not-taken; table 1 keeps its weak-taken initial state.
+    std::size_t i0 = pht.index(ghr, 0x100);
+    std::size_t i1 = pht.index(ghr, 0x108);
+    for (int i = 0; i < 4; ++i)
+        pht.updateAt(i0, 0x100, false);
+    EXPECT_FALSE(pht.predictAt(i0, 0x100));
+    EXPECT_TRUE(pht.predictAt(i1, 0x108));
+}
+
+TEST(BlockedPHT, CounterAccessorsRoundTrip)
+{
+    BlockedPHT pht({ 6, 8, 2, 1 });
+    SatCounter c(2, 3);
+    pht.setCounterAt(5, 2, c);
+    EXPECT_EQ(pht.counterAt(5, 2), c);
+}
+
+TEST(BlockedPHT, StorageMatchesTable7)
+{
+    // Table 7 / Section 5: 2^10 entries x 8 counters x 2 bits
+    // = 16 Kbits.
+    BlockedPHT pht({ 10, 8, 2, 1 });
+    EXPECT_EQ(pht.storageBits(), 16u * 1024u);
+}
+
+TEST(BlockedPHT, InitialStateIsWeaklyTaken)
+{
+    // Counters start at the weak-taken boundary, the conventional
+    // two-bit initialization.
+    BlockedPHT pht({ 6, 8, 2, 1 });
+    EXPECT_EQ(pht.counterAt(0, 0).count(), 2);
+    EXPECT_TRUE(pht.predictAt(0, 0));
+}
+
+TEST(BlockedPHTDeath, BadConfig)
+{
+    EXPECT_DEATH(BlockedPHT p({ 8, 6, 2, 1 }), "power");
+    EXPECT_DEATH(BlockedPHT p({ 8, 8, 2, 3 }), "power");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,96 @@
+/** @file Unit tests for the block BTB. */
+
+#include "predict/btb.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Btb, MissWithoutAllocation)
+{
+    Btb btb(16, 4, 8);
+    EXPECT_FALSE(btb.predict(0x100, 3, 0).hit);
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb btb(16, 4, 8);
+    btb.update(0x100, 3, 0, 0x500, true);
+    TargetPrediction t = btb.predict(0x100, 3, 0);
+    EXPECT_TRUE(t.hit);
+    EXPECT_EQ(t.target, 0x500u);
+    EXPECT_TRUE(t.isCallTarget);
+}
+
+TEST(Btb, PositionsWithinEntry)
+{
+    Btb btb(16, 4, 8);
+    btb.update(0x100, 1, 0, 0x111, false);
+    btb.update(0x100, 6, 0, 0x666, false);
+    EXPECT_EQ(btb.predict(0x100, 1, 0).target, 0x111u);
+    EXPECT_EQ(btb.predict(0x100, 6, 0).target, 0x666u);
+    // Unwritten position in a valid entry misses.
+    EXPECT_FALSE(btb.predict(0x100, 4, 0).hit);
+}
+
+TEST(Btb, TagEncodesTargetNumber)
+{
+    // "A BTB entry can be for the first or second target" -- the two
+    // logical arrays share entries but never collide.
+    Btb btb(16, 4, 8);
+    btb.update(0x100, 3, 0, 0x111, false);
+    EXPECT_FALSE(btb.predict(0x100, 3, 1).hit);
+    btb.update(0x100, 3, 1, 0x222, false);
+    EXPECT_EQ(btb.predict(0x100, 3, 0).target, 0x111u);
+    EXPECT_EQ(btb.predict(0x100, 3, 1).target, 0x222u);
+}
+
+TEST(Btb, SetAssociativityHoldsConflictingBlocks)
+{
+    // 16 entries, 4-way -> 4 sets. Lines 0, 4, 8, 12 map to set 0
+    // and can all live simultaneously.
+    Btb btb(16, 4, 8);
+    for (Addr line : { 0, 4, 8, 12 })
+        btb.update(line * 8, 0, 0, 0x1000 + line, false);
+    for (Addr line : { 0, 4, 8, 12 })
+        EXPECT_EQ(btb.predict(line * 8, 0, 0).target, 0x1000 + line);
+}
+
+TEST(Btb, LruEvictsColdestWay)
+{
+    Btb btb(16, 4, 8);   // 4 sets
+    // Fill set 0 with lines 0,4,8,12; touch 0 to make 4 the LRU.
+    for (Addr line : { 0, 4, 8, 12 })
+        btb.update(line * 8, 0, 0, line, false);
+    (void)btb.predict(0 * 8, 0, 0);
+    // A fifth block in set 0 evicts line 4.
+    btb.update(16 * 8, 0, 0, 0xf00, false);
+    EXPECT_TRUE(btb.predict(0 * 8, 0, 0).hit);
+    EXPECT_FALSE(btb.predict(4 * 8, 0, 0).hit);
+    EXPECT_TRUE(btb.predict(16 * 8, 0, 0).hit);
+}
+
+TEST(Btb, AllocationClearsStaleSlots)
+{
+    Btb btb(4, 4, 8);    // one set
+    btb.update(0 * 8, 2, 0, 0xaaa, false);
+    // Evict via four new tags.
+    for (Addr line : { 1, 2, 3, 4 })
+        btb.update(line * 8, 0, 0, line, false);
+    // Re-allocate line 0: old position-2 slot must not resurface.
+    btb.update(0 * 8, 5, 0, 0xbbb, false);
+    EXPECT_FALSE(btb.predict(0 * 8, 2, 0).hit);
+    EXPECT_EQ(btb.predict(0 * 8, 5, 0).target, 0xbbbu);
+}
+
+TEST(BtbDeath, ConfigValidation)
+{
+    EXPECT_DEATH(Btb b(10, 4, 8), "multiple");
+    EXPECT_DEATH(Btb b(24, 4, 8), "power");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,89 @@
+/** @file Unit tests for the global history register. */
+
+#include "predict/history.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(GlobalHistory, ShiftInBuildsValue)
+{
+    GlobalHistory h(4);
+    h.shiftIn(true);
+    h.shiftIn(false);
+    h.shiftIn(true);
+    EXPECT_EQ(h.value(), 0b101u);
+}
+
+TEST(GlobalHistory, WidthMasksOldOutcomes)
+{
+    GlobalHistory h(3);
+    for (int i = 0; i < 10; ++i)
+        h.shiftIn(true);
+    EXPECT_EQ(h.value(), 0b111u);
+    h.shiftIn(false);
+    EXPECT_EQ(h.value(), 0b110u);
+}
+
+TEST(GlobalHistory, BlockUpdateMatchesPaperExample)
+{
+    // Section 2: "if three branches are predicted not taken, not
+    // taken, taken, then the GHR is shifted to the left three bits
+    // and a '001' inserted."
+    GlobalHistory h(10);
+    // outcomes bit 0 = first executed branch (N), bit 2 = third (T).
+    h.shiftInBlock(0b100, 3);
+    EXPECT_EQ(h.value(), 0b001u);
+}
+
+TEST(GlobalHistory, BlockUpdateEqualsSequentialShifts)
+{
+    GlobalHistory a(8), b(8);
+    // T N T N N
+    bool outcomes[] = { true, false, true, false, false };
+    uint64_t packed = 0;
+    for (unsigned i = 0; i < 5; ++i) {
+        a.shiftIn(outcomes[i]);
+        packed |= static_cast<uint64_t>(outcomes[i]) << i;
+    }
+    b.shiftInBlock(packed, 5);
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(GlobalHistory, EmptyBlockIsNoOp)
+{
+    GlobalHistory h(8);
+    h.shiftIn(true);
+    uint64_t before = h.value();
+    h.shiftInBlock(0, 0);
+    EXPECT_EQ(h.value(), before);
+}
+
+TEST(GlobalHistory, SetMasksToWidth)
+{
+    GlobalHistory h(4);
+    h.set(0xff);
+    EXPECT_EQ(h.value(), 0xfu);
+}
+
+TEST(GlobalHistory, GshareIndexXorsAddress)
+{
+    GlobalHistory h(8);
+    h.set(0b10101010);
+    // Address 0x40 with 3 offset bits -> 0b1000.
+    EXPECT_EQ(h.index(0x40, 3), (0b10101010u ^ 0b1000u));
+    // Index always fits the history width.
+    EXPECT_LE(h.index(~0ull, 0), 0xffu);
+}
+
+TEST(GlobalHistoryDeath, BadWidth)
+{
+    EXPECT_DEATH(GlobalHistory h(0), "width");
+    EXPECT_DEATH(GlobalHistory h(64), "width");
+}
+
+} // namespace
+} // namespace mbbp

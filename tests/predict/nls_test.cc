@@ -1,0 +1,83 @@
+/** @file Unit tests for the NLS target array. */
+
+#include "predict/nls.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Nls, StoresPerPositionTargets)
+{
+    NlsTargetArray nls(16, 8, false);
+    nls.update(0x100, 3, 0, 0x500, false);
+    nls.update(0x100, 5, 0, 0x600, true);
+
+    TargetPrediction t3 = nls.predict(0x100, 3, 0);
+    EXPECT_TRUE(t3.hit);
+    EXPECT_EQ(t3.target, 0x500u);
+    EXPECT_FALSE(t3.isCallTarget);
+
+    TargetPrediction t5 = nls.predict(0x100, 5, 0);
+    EXPECT_EQ(t5.target, 0x600u);
+    EXPECT_TRUE(t5.isCallTarget);
+}
+
+TEST(Nls, TagLessProbesAlwaysHit)
+{
+    NlsTargetArray nls(16, 8, false);
+    // Never written: still "hits" with whatever is stored (zero),
+    // which shows up later as a misfetch -- the NLS property.
+    TargetPrediction t = nls.predict(0x888, 2, 0);
+    EXPECT_TRUE(t.hit);
+    EXPECT_EQ(t.target, 0u);
+}
+
+TEST(Nls, AliasingOverwritesSilently)
+{
+    NlsTargetArray nls(4, 8, false);
+    // Lines 0 and 4 share index 0 (4 entries, line = addr / 8).
+    nls.update(0x00, 1, 0, 0xaaa, false);
+    nls.update(4 * 8, 1, 0, 0xbbb, false);
+    EXPECT_EQ(nls.predict(0x00, 1, 0).target, 0xbbbu);
+}
+
+TEST(Nls, IndexIgnoresLineOffset)
+{
+    NlsTargetArray nls(16, 8, false);
+    nls.update(0x100, 2, 0, 0x77, false);
+    // Same line, different offset within it: same entry.
+    EXPECT_EQ(nls.predict(0x105, 2, 0).target, 0x77u);
+}
+
+TEST(Nls, DualArraysAreIndependent)
+{
+    NlsTargetArray nls(16, 8, true);
+    nls.update(0x100, 3, 0, 0x111, false);
+    nls.update(0x100, 3, 1, 0x222, false);
+    EXPECT_EQ(nls.predict(0x100, 3, 0).target, 0x111u);
+    EXPECT_EQ(nls.predict(0x100, 3, 1).target, 0x222u);
+}
+
+TEST(Nls, StorageMatchesTable7)
+{
+    // 256 entries x 8 positions x 10-bit line index = 20 Kbits.
+    NlsTargetArray single(256, 8, false);
+    EXPECT_EQ(single.storageBits(10), 20u * 1024u);
+    // The dual target array doubles it.
+    NlsTargetArray dual(256, 8, true);
+    EXPECT_EQ(dual.storageBits(10), 40u * 1024u);
+}
+
+TEST(NlsDeath, ChecksRanges)
+{
+    NlsTargetArray nls(16, 8, false);
+    EXPECT_DEATH(nls.update(0x100, 9, 0, 0x1, false), "position");
+    EXPECT_DEATH((void)nls.predict(0x100, 0, 1), "array");
+    EXPECT_DEATH(NlsTargetArray bad(10, 8, false), "power");
+}
+
+} // namespace
+} // namespace mbbp

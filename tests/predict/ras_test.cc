@@ -1,0 +1,79 @@
+/** @file Unit tests for the return address stack. */
+
+#include "predict/ras.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x10);
+    ras.push(0x20);
+    ras.push(0x30);
+    EXPECT_EQ(ras.depth(), 3u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), 0x20u);
+    EXPECT_EQ(ras.pop(), 0x10u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, TopAndSecondPeekWithoutPopping)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x10);
+    ras.push(0x20);
+    EXPECT_EQ(ras.top(), 0x20u);
+    EXPECT_EQ(ras.second(), 0x10u);
+    EXPECT_EQ(ras.depth(), 2u);
+}
+
+TEST(Ras, OverflowWrapsAndLosesOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3);      // overwrites 0x1
+    EXPECT_EQ(ras.overflows(), 1u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    // The oldest entry is gone; a further pop underflows.
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_GE(ras.underflows(), 1u);
+}
+
+TEST(Ras, UnderflowReturnsZeroAndCounts)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.top(), 0u);
+    EXPECT_EQ(ras.second(), 0u);
+    EXPECT_EQ(ras.underflows(), 3u);
+}
+
+TEST(Ras, DeepCallChainWithWrap)
+{
+    // 32 entries (the paper's size): a 40-deep chain loses the 8
+    // oldest frames but the newest 32 return correctly.
+    ReturnAddressStack ras(32);
+    for (Addr i = 0; i < 40; ++i)
+        ras.push(0x1000 + i);
+    EXPECT_EQ(ras.overflows(), 8u);
+    for (Addr i = 39;; --i) {
+        if (i < 8)
+            break;
+        EXPECT_EQ(ras.pop(), 0x1000 + i);
+    }
+}
+
+TEST(RasDeath, ZeroCapacity)
+{
+    EXPECT_DEATH(ReturnAddressStack ras(0), "capacity");
+}
+
+} // namespace
+} // namespace mbbp

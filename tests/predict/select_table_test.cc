@@ -1,0 +1,115 @@
+/** @file Unit tests for selectors and the select table. */
+
+#include "predict/select_table.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Selector, EncodingBitsMatchPaper)
+{
+    // Section 3: "A 3-bit selector can be used with a block width of
+    // four. Four bits are required for b = 8."
+    EXPECT_EQ(Selector::encodingBits(4), 3u);
+    EXPECT_EQ(Selector::encodingBits(8), 4u);
+    EXPECT_EQ(Selector::encodingBits(16), 5u);
+}
+
+TEST(Selector, EqualityIncludesPosition)
+{
+    Selector a{ SelSrc::Target, 3 };
+    Selector b{ SelSrc::Target, 3 };
+    Selector c{ SelSrc::Target, 4 };
+    Selector d{ SelSrc::Ras, 3 };
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST(Selector, ToStringNamesSource)
+{
+    EXPECT_EQ((Selector{ SelSrc::Target, 5 }).toString(), "target(5)");
+    EXPECT_EQ((Selector{ SelSrc::Ras, 0 }).toString(), "ras");
+    EXPECT_EQ((Selector{ SelSrc::FallThrough, 0 }).toString(), "fall");
+    EXPECT_EQ((Selector{ SelSrc::LinePrev, 1 }).toString(), "line-(1)");
+}
+
+TEST(GhrInfoStruct, Equality)
+{
+    GhrInfo a{ 2, true }, b{ 2, true }, c{ 3, true }, d{ 2, false };
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST(SelectTable, EntriesStartInvalid)
+{
+    SelectTable st(6, 1, false);
+    EXPECT_FALSE(st.read(0, 0, 0).valid);
+}
+
+TEST(SelectTable, WriteReadRoundTrip)
+{
+    SelectTable st(6, 1, false);
+    SelectEntry e{ { SelSrc::Target, 5 }, { 2, true }, 3, true };
+    st.write(0, 17, 0, e);
+    const SelectEntry &r = st.read(0, 17, 0);
+    EXPECT_TRUE(r.valid);
+    EXPECT_EQ(r.sel, e.sel);
+    EXPECT_EQ(r.ghr, e.ghr);
+    EXPECT_EQ(r.startOffset, 3);
+}
+
+TEST(SelectTable, MultipleTablesSelectedByStartAddress)
+{
+    SelectTable st(6, 4, false);
+    EXPECT_EQ(st.tableOf(0x100), 0u);
+    EXPECT_EQ(st.tableOf(0x101), 1u);
+    EXPECT_EQ(st.tableOf(0x103), 3u);
+    EXPECT_EQ(st.tableOf(0x104), 0u);
+
+    // Same index, different tables: independent entries.
+    SelectEntry e{ { SelSrc::Ras, 0 }, { 0, true }, 0, true };
+    st.write(1, 5, 0, e);
+    EXPECT_TRUE(st.read(1, 5, 0).valid);
+    EXPECT_FALSE(st.read(0, 5, 0).valid);
+}
+
+TEST(SelectTable, DualSlotsIndependent)
+{
+    SelectTable st(6, 1, true);
+    EXPECT_EQ(st.slots(), 2u);
+    SelectEntry e{ { SelSrc::Target, 1 }, { 1, true }, 0, true };
+    st.write(0, 3, 1, e);
+    EXPECT_FALSE(st.read(0, 3, 0).valid);
+    EXPECT_TRUE(st.read(0, 3, 1).valid);
+}
+
+TEST(SelectTable, StorageMatchesTable7)
+{
+    // 1024 entries x (4-bit selector + 3-bit count + 1 taken bit)
+    // = 8 Kbits for the default single ST at b=8.
+    SelectTable st(10, 1, false);
+    EXPECT_EQ(st.storageBits(8, false), 8u * 1024u);
+    // The dual ST doubles it; 8 STs multiply by eight.
+    SelectTable dual(10, 1, true);
+    EXPECT_EQ(dual.storageBits(8, false), 16u * 1024u);
+    SelectTable eight(10, 8, false);
+    EXPECT_EQ(eight.storageBits(8, false), 64u * 1024u);
+}
+
+TEST(SelectTableDeath, RangeChecks)
+{
+    SelectTable st(6, 2, false);
+    SelectEntry e;
+    EXPECT_DEATH(st.write(2, 0, 0, e), "table");
+    EXPECT_DEATH(st.write(0, 1u << 6, 0, e), "index");
+    EXPECT_DEATH(st.write(0, 0, 1, e), "slot");
+    EXPECT_DEATH(SelectTable bad(6, 3, false), "power");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,60 @@
+/** @file Unit tests for the Seznec two-block-ahead baseline. */
+
+#include "predict/two_block_ahead.hh"
+
+#include <gtest/gtest.h>
+
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(TwoBlockAhead, PerfectOnAPeriodicBlockSequence)
+{
+    // Blocks A -> B -> C -> A ... : after warmup, predicting two
+    // ahead from A always yields C.
+    InMemoryTrace trace;
+    auto block = [&](Addr base, Addr next) {
+        trace.append({ base, InstClass::NonBranch, false, 0 });
+        trace.append({ base + 1, InstClass::Jump, true, next });
+    };
+    for (int i = 0; i < 500; ++i) {
+        block(0x100, 0x200);
+        block(0x200, 0x300);
+        block(0x300, 0x100);
+    }
+    TwoBlockAhead tba({ 10, 1024, 8 });
+    TwoBlockAheadStats st = tba.simulate(trace);
+    EXPECT_GT(st.secondPredictions, 1000u);
+    EXPECT_GT(st.secondAccuracy(), 0.99);
+}
+
+TEST(TwoBlockAhead, ColdTableMispredicts)
+{
+    // A stream visiting fresh addresses gives no reuse to learn from.
+    InMemoryTrace trace;
+    for (int i = 0; i < 200; ++i) {
+        Addr base = 0x1000 + 0x100 * i;
+        trace.append({ base, InstClass::NonBranch, false, 0 });
+        trace.append({ base + 1, InstClass::Jump, true,
+                       base + 0x100 });
+    }
+    TwoBlockAhead tba({ 10, 1024, 8 });
+    TwoBlockAheadStats st = tba.simulate(trace);
+    EXPECT_LT(st.secondAccuracy(), 0.2);
+}
+
+TEST(TwoBlockAhead, ReasonableOnSyntheticWorkload)
+{
+    InMemoryTrace trace = specTrace("mgrid", 60000);
+    TwoBlockAhead tba({ 10, 4096, 8 });
+    TwoBlockAheadStats st = tba.simulate(trace);
+    EXPECT_GT(st.blocks, 5000u);
+    // A loop-dominated fp code is quite predictable two ahead.
+    EXPECT_GT(st.secondAccuracy(), 0.6);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,62 @@
+/** @file Unit tests for the static program image. */
+
+#include "trace/static_image.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(StaticImage, UnknownPcIsNonBranch)
+{
+    StaticImage img;
+    StaticInfo info = img.lookup(0x1234);
+    EXPECT_EQ(info.cls, InstClass::NonBranch);
+    EXPECT_FALSE(info.hasStaticTarget);
+}
+
+TEST(StaticImage, DirectBranchKeepsStaticTarget)
+{
+    StaticImage img;
+    img.add({ 0x10, InstClass::CondBranch, false, 0x99 });
+    StaticInfo info = img.lookup(0x10);
+    EXPECT_EQ(info.cls, InstClass::CondBranch);
+    EXPECT_TRUE(info.hasStaticTarget);
+    EXPECT_EQ(info.target, 0x99u);
+}
+
+TEST(StaticImage, IndirectTargetIsNotStatic)
+{
+    StaticImage img;
+    img.add({ 0x10, InstClass::IndirectJump, true, 0x99 });
+    StaticInfo info = img.lookup(0x10);
+    EXPECT_EQ(info.cls, InstClass::IndirectJump);
+    EXPECT_FALSE(info.hasStaticTarget);
+    EXPECT_EQ(info.target, 0x99u);  // last dynamic target remembered
+}
+
+TEST(StaticImage, FromTraceCoversAllPcs)
+{
+    InMemoryTrace t;
+    t.append({ 0x1, InstClass::NonBranch, false, 0 });
+    t.append({ 0x2, InstClass::Jump, true, 0x10 });
+    t.append({ 0x10, InstClass::Return, true, 0x3 });
+    StaticImage img = StaticImage::fromTrace(t);
+    EXPECT_EQ(img.size(), 3u);
+    EXPECT_EQ(img.lookup(0x2).cls, InstClass::Jump);
+    EXPECT_EQ(img.lookup(0x10).cls, InstClass::Return);
+}
+
+TEST(StaticImage, RepeatedExecutionIsIdempotent)
+{
+    StaticImage img;
+    img.add({ 0x10, InstClass::CondBranch, true, 0x50 });
+    img.add({ 0x10, InstClass::CondBranch, false, 0x50 });
+    EXPECT_EQ(img.size(), 1u);
+    EXPECT_EQ(img.lookup(0x10).target, 0x50u);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,96 @@
+/** @file Unit tests for the trace abstraction. */
+
+#include "trace/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+std::vector<DynInst>
+sampleInsts()
+{
+    return {
+        { 0x10, InstClass::NonBranch, false, 0 },
+        { 0x11, InstClass::CondBranch, true, 0x20 },
+        { 0x20, InstClass::NonBranch, false, 0 },
+        { 0x21, InstClass::Call, true, 0x40 },
+        { 0x40, InstClass::IndirectJump, true, 0x50 },
+        { 0x50, InstClass::Return, true, 0x22 },
+        { 0x22, InstClass::CondBranch, false, 0x60 },
+    };
+}
+
+TEST(InMemoryTrace, IteratesInOrder)
+{
+    InMemoryTrace t(sampleInsts());
+    DynInst inst;
+    std::size_t n = 0;
+    while (t.next(inst)) {
+        EXPECT_EQ(inst, t.at(n));
+        ++n;
+    }
+    EXPECT_EQ(n, t.size());
+}
+
+TEST(InMemoryTrace, ResetReplays)
+{
+    InMemoryTrace t(sampleInsts());
+    DynInst first, again;
+    ASSERT_TRUE(t.next(first));
+    t.reset();
+    ASSERT_TRUE(t.next(again));
+    EXPECT_EQ(first, again);
+}
+
+TEST(InMemoryTrace, AppendGrows)
+{
+    InMemoryTrace t;
+    EXPECT_TRUE(t.empty());
+    t.append({ 1, InstClass::NonBranch, false, 0 });
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(InMemoryTrace, SummaryCounts)
+{
+    InMemoryTrace t(sampleInsts());
+    auto s = t.summarize();
+    EXPECT_EQ(s.instructions, 7u);
+    EXPECT_EQ(s.condBranches, 2u);
+    EXPECT_EQ(s.condTaken, 1u);
+    EXPECT_EQ(s.calls, 1u);
+    EXPECT_EQ(s.returns, 1u);
+    EXPECT_EQ(s.indirect, 1u);
+    EXPECT_EQ(s.controlTransfers, 4u);
+    EXPECT_DOUBLE_EQ(s.condDensity(), 2.0 / 7.0);
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.5);
+}
+
+TEST(InMemoryTrace, EmptySummaryIsZero)
+{
+    InMemoryTrace t;
+    auto s = t.summarize();
+    EXPECT_EQ(s.instructions, 0u);
+    EXPECT_DOUBLE_EQ(s.condDensity(), 0.0);
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.0);
+}
+
+TEST(CaptureTrace, RespectsLimit)
+{
+    InMemoryTrace src(sampleInsts());
+    InMemoryTrace out = captureTrace(src, 3);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.at(0), src.at(0));
+}
+
+TEST(CaptureTrace, ZeroLimitDrainsAll)
+{
+    InMemoryTrace src(sampleInsts());
+    InMemoryTrace out = captureTrace(src, 0);
+    EXPECT_EQ(out.size(), src.size());
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,97 @@
+/** @file Unit tests for util/bitops.hh. */
+
+#include "util/bitops.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Bitops, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcu);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabu);
+    EXPECT_EQ(bits(~0ull, 60, 4), 0xfu);
+}
+
+TEST(Bitops, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bitops, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(8), 3u);
+    EXPECT_EQ(floorLog2(9), 3u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+    EXPECT_EQ(ceilLog2(9), 4u);
+}
+
+TEST(Bitops, AlignUpDown)
+{
+    EXPECT_EQ(alignDown(17, 8), 16u);
+    EXPECT_EQ(alignDown(16, 8), 16u);
+    EXPECT_EQ(alignUp(17, 8), 24u);
+    EXPECT_EQ(alignUp(16, 8), 16u);
+    EXPECT_EQ(alignUp(0, 8), 0u);
+}
+
+TEST(Bitops, XorFold)
+{
+    // Folding to >= the value's width is identity.
+    EXPECT_EQ(xorFold(0xab, 8), 0xabu);
+    // 0x12 ^ 0x34 = 0x26
+    EXPECT_EQ(xorFold(0x1234, 8), 0x26u);
+    EXPECT_EQ(xorFold(0, 8), 0u);
+    // Result always fits the fold width.
+    for (uint64_t v : { 0x123456789abcdefull, ~0ull, 42ull })
+        EXPECT_LE(xorFold(v, 10), mask(10));
+}
+
+/** Property sweep: alignDown <= v <= alignUp, both aligned. */
+class AlignProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AlignProperty, Sandwich)
+{
+    uint64_t v = GetParam();
+    for (uint64_t a : { 1ull, 2ull, 8ull, 64ull, 4096ull }) {
+        EXPECT_LE(alignDown(v, a), v);
+        EXPECT_GE(alignUp(v, a), v);
+        EXPECT_EQ(alignDown(v, a) % a, 0u);
+        EXPECT_EQ(alignUp(v, a) % a, 0u);
+        EXPECT_LT(alignUp(v, a) - alignDown(v, a), 2 * a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AlignProperty,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65,
+                                           4095, 4096, 123456789));
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,81 @@
+/** @file Unit tests for the JSON writer. */
+
+#include "util/json.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, ScalarsAndCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("a", uint64_t{ 1 });
+    w.value("b", std::string("x"));
+    w.value("c", true);
+    w.value("d", int64_t{ -3 });
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true,\"d\":-3}");
+}
+
+TEST(JsonWriter, NestedStructures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginObject("inner");
+    w.value("k", uint64_t{ 2 });
+    w.endObject();
+    w.beginArray("list");
+    w.element(uint64_t{ 1 });
+    w.element(std::string("two"));
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"inner\":{\"k\":2},\"list\":[1,\"two\"]}");
+}
+
+TEST(JsonWriter, Escaping)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(JsonWriter::escape(std::string("a\x01") + "b"),
+              "a\\u0001b");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("nan", std::nan(""));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"nan\":null}");
+}
+
+TEST(JsonWriterDeath, UnclosedContainerPanics)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH((void)w.str(), "unclosed");
+}
+
+TEST(JsonWriterDeath, UnbalancedEndPanics)
+{
+    JsonWriter w;
+    EXPECT_DEATH(w.endObject(), "nothing open");
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,113 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include "util/random.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, UniformIntInBounds)
+{
+    Rng r(7);
+    for (uint64_t bound : { 1ull, 2ull, 10ull, 1000ull })
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.uniformInt(bound), bound);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(13);
+    for (double p : { 0.1, 0.5, 0.9 }) {
+        int hits = 0;
+        for (int i = 0; i < 20000; ++i)
+            hits += r.bernoulli(p);
+        EXPECT_NEAR(hits / 20000.0, p, 0.02);
+    }
+}
+
+TEST(Rng, WeightedPickRespectsWeights)
+{
+    Rng r(17);
+    std::vector<double> w = { 1.0, 3.0, 0.0 };
+    int counts[3] = { 0, 0, 0 };
+    for (int i = 0; i < 20000; ++i)
+        ++counts[r.weightedPick(w)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, GeometricCapAndMean)
+{
+    Rng r(19);
+    uint64_t total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t v = r.geometric(0.25, 100);
+        ASSERT_LE(v, 100u);
+        total += v;
+    }
+    // Mean of failures before success at p=0.25 is 3.
+    EXPECT_NEAR(static_cast<double>(total) / 20000.0, 3.0, 0.15);
+}
+
+TEST(RngDeath, WeightedPickAllZeroPanics)
+{
+    Rng r(1);
+    std::vector<double> w = { 0.0, 0.0 };
+    EXPECT_DEATH((void)r.weightedPick(w), "weight");
+}
+
+} // namespace
+} // namespace mbbp

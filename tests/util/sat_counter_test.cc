@@ -1,0 +1,115 @@
+/** @file Unit tests for the saturating counter. */
+
+#include "util/sat_counter.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(SatCounter, DefaultsToTwoBitNotTaken)
+{
+    SatCounter c;
+    EXPECT_EQ(c.maxCount(), 3);
+    EXPECT_EQ(c.count(), 0);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(2, 200);
+    EXPECT_EQ(c.count(), 3);
+}
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    c.decrement();
+    EXPECT_EQ(c.count(), 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.count(), 3);
+}
+
+TEST(SatCounter, TwoBitPredictionThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.predictTaken());     // 00
+    c.increment();
+    EXPECT_FALSE(c.predictTaken());     // 01
+    c.increment();
+    EXPECT_TRUE(c.predictTaken());      // 10
+    c.increment();
+    EXPECT_TRUE(c.predictTaken());      // 11
+}
+
+TEST(SatCounter, SecondChanceAtStrongEnds)
+{
+    // "Since the pattern history indicates a second chance bit, the
+    // prediction will not change the next time" -- a strongly-taken
+    // counter mispredicting once still predicts taken.
+    SatCounter c(2, 3);
+    EXPECT_TRUE(c.secondChance());
+    c.update(false);    // mispredicted
+    EXPECT_TRUE(c.predictTaken());
+    EXPECT_FALSE(c.secondChance());
+    c.update(false);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SatCounter, UpdateDirection)
+{
+    SatCounter c(2, 1);
+    c.update(true);
+    EXPECT_EQ(c.count(), 2);
+    c.update(false);
+    EXPECT_EQ(c.count(), 1);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(3);
+    c.set(200);
+    EXPECT_EQ(c.count(), 7);
+    c.set(4);
+    EXPECT_EQ(c.count(), 4);
+}
+
+/** Width sweep: saturation and threshold hold for every width. */
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidths, SaturationAndThreshold)
+{
+    unsigned nbits = GetParam();
+    SatCounter c(nbits, 0);
+    uint8_t maxv = static_cast<uint8_t>((1u << nbits) - 1);
+    EXPECT_EQ(c.maxCount(), maxv);
+
+    for (unsigned i = 0; i < 2u * maxv + 4; ++i)
+        c.increment();
+    EXPECT_EQ(c.count(), maxv);
+    EXPECT_TRUE(c.predictTaken());
+    EXPECT_TRUE(c.secondChance());
+
+    for (unsigned i = 0; i < 2u * maxv + 4; ++i)
+        c.decrement();
+    EXPECT_EQ(c.count(), 0);
+    EXPECT_FALSE(c.predictTaken());
+    EXPECT_TRUE(c.secondChance());
+
+    // Exactly the top half predicts taken.
+    for (unsigned v = 0; v <= maxv; ++v) {
+        c.set(static_cast<uint8_t>(v));
+        EXPECT_EQ(c.predictTaken(), v > maxv / 2u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,76 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include "util/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("events");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(c.name(), "events");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistStat, EmptyIsZero)
+{
+    DistStat d("d");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+}
+
+TEST(DistStat, TracksMoments)
+{
+    DistStat d("d");
+    for (double v : { 1.0, 2.0, 3.0, 4.0 })
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndClamp)
+{
+    Histogram h("h", 4);
+    h.sample(0);
+    h.sample(1, 2);
+    h.sample(99);   // clamps into the last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h("h", 10);
+    h.sample(2, 3);
+    h.sample(4, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(Ratios, SafeDivision)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,74 @@
+/** @file Unit tests for the text-table formatter. */
+
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("demo");
+    t.setHeader({ "name", "value" });
+    t.addRow({ "a", "1" });
+    t.addRow({ "long-name", "2" });
+    std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({ "a", "b" });
+    t.addRow({ "1", "2" });
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells)
+{
+    TextTable t;
+    t.setHeader({ "a", "b" });
+    t.addRow({ "x,y", "say \"hi\"" });
+    EXPECT_EQ(t.renderCsv(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, CountsRowsAndCols)
+{
+    TextTable t;
+    t.setHeader({ "x", "y", "z" });
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({ "1", "2", "3" });
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::fmt(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(1.0, 1), "1.0");
+    EXPECT_EQ(TextTable::fmt(uint64_t{ 42 }), "42");
+    EXPECT_EQ(TextTable::fmt(int64_t{ -3 }), "-3");
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.setHeader({ "a", "b" });
+    EXPECT_DEATH(t.addRow({ "only-one" }), "cells");
+}
+
+TEST(TextTableDeath, EmptyHeaderPanics)
+{
+    TextTable t;
+    EXPECT_DEATH(t.setHeader({}), "empty");
+}
+
+} // namespace
+} // namespace mbbp

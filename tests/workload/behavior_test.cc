@@ -1,0 +1,103 @@
+/** @file Unit tests for conditional-branch behavior models. */
+
+#include "workload/behavior.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(Behavior, LoopTakenTripMinusOneTimes)
+{
+    CondBehavior b = CondBehavior::loop(4);
+    CondState s;
+    Rng rng(1);
+    // Pattern per entry: T T T N, repeated.
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(evalCondBehavior(b, s, 0, rng));
+        EXPECT_FALSE(evalCondBehavior(b, s, 0, rng));
+    }
+}
+
+TEST(Behavior, LoopTripOneNeverTaken)
+{
+    CondBehavior b = CondBehavior::loop(1);
+    CondState s;
+    Rng rng(1);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(evalCondBehavior(b, s, 0, rng));
+}
+
+TEST(Behavior, PatternRepeats)
+{
+    // Pattern 0b0110 of length 4: N T T N N T T N ...
+    CondBehavior b = CondBehavior::patternOf(0b0110, 4);
+    CondState s;
+    Rng rng(1);
+    bool expected[] = { false, true, true, false,
+                        false, true, true, false };
+    for (bool e : expected)
+        EXPECT_EQ(evalCondBehavior(b, s, 0, rng), e);
+}
+
+TEST(Behavior, BiasMatchesProbability)
+{
+    CondBehavior b = CondBehavior::bias(0.8);
+    CondState s;
+    Rng rng(99);
+    int taken = 0;
+    for (int i = 0; i < 20000; ++i)
+        taken += evalCondBehavior(b, s, 0, rng);
+    EXPECT_NEAR(taken / 20000.0, 0.8, 0.02);
+}
+
+TEST(Behavior, CorrelatedIsParityOfWindow)
+{
+    // distance 2, width 2: parity of history bits [1..2].
+    CondBehavior b = CondBehavior::correlated(2, 2, false, 0.0);
+    CondState s;
+    Rng rng(1);
+    EXPECT_FALSE(evalCondBehavior(b, s, 0b000, rng));
+    EXPECT_TRUE(evalCondBehavior(b, s, 0b010, rng));
+    EXPECT_TRUE(evalCondBehavior(b, s, 0b100, rng));
+    EXPECT_FALSE(evalCondBehavior(b, s, 0b110, rng));
+    // Bit 0 (most recent) is outside the window.
+    EXPECT_FALSE(evalCondBehavior(b, s, 0b001, rng));
+}
+
+TEST(Behavior, CorrelatedInvertFlips)
+{
+    CondBehavior plain = CondBehavior::correlated(1, 1, false, 0.0);
+    CondBehavior inv = CondBehavior::correlated(1, 1, true, 0.0);
+    CondState s;
+    Rng rng(1);
+    EXPECT_NE(evalCondBehavior(plain, s, 1, rng),
+              evalCondBehavior(inv, s, 1, rng));
+}
+
+TEST(Behavior, CorrelatedNoiseFlipsSometimes)
+{
+    CondBehavior b = CondBehavior::correlated(1, 1, false, 0.25);
+    CondState s;
+    Rng rng(7);
+    int flips = 0;
+    for (int i = 0; i < 20000; ++i)
+        flips += evalCondBehavior(b, s, 0, rng);   // parity(0) = false
+    EXPECT_NEAR(flips / 20000.0, 0.25, 0.02);
+}
+
+TEST(Behavior, FactoriesValidate)
+{
+    EXPECT_DEATH((void)CondBehavior::loop(0), "trip");
+    EXPECT_DEATH((void)CondBehavior::patternOf(1, 0), "length");
+    EXPECT_DEATH((void)CondBehavior::correlated(0, 1, false, 0),
+                 "distance");
+    EXPECT_DEATH((void)CondBehavior::correlated(60, 10, false, 0),
+                 "window");
+}
+
+} // namespace
+} // namespace mbbp

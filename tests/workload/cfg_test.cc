@@ -1,0 +1,140 @@
+/** @file Unit tests for the CFG program model. */
+
+#include "workload/cfg.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+/** A minimal two-function program: main loops, f1 returns. */
+Program
+tinyProgram()
+{
+    Program p;
+    p.mainFn = 0;
+    p.behaviors.push_back(CondBehavior::loop(3));
+
+    Function main_fn;
+    main_fn.name = "main";
+    BasicBlock b0;
+    b0.bodyLen = 2;
+    b0.term.kind = TermKind::Call;
+    b0.term.calleeFn = 1;
+    BasicBlock b1;
+    b1.bodyLen = 1;
+    b1.term.kind = TermKind::CondBranch;
+    b1.term.behaviorId = 0;
+    b1.term.targetBlock = 0;    // back edge (loop behavior)
+    BasicBlock b2;
+    b2.bodyLen = 0;
+    b2.term.kind = TermKind::Jump;
+    b2.term.targetBlock = 0;    // main loops forever
+    main_fn.blocks = { b0, b1, b2 };
+
+    Function f1;
+    f1.name = "f1";
+    BasicBlock c0;
+    c0.bodyLen = 3;
+    c0.term.kind = TermKind::FallThrough;
+    BasicBlock c1;
+    c1.bodyLen = 0;
+    c1.term.kind = TermKind::Return;
+    f1.blocks = { c0, c1 };
+
+    p.funcs = { main_fn, f1 };
+    return p;
+}
+
+TEST(Cfg, LayoutIsContiguous)
+{
+    Program p = tinyProgram();
+    p.layout(0x100, 0);
+    EXPECT_EQ(p.funcs[0].entry, 0x100u);
+    EXPECT_EQ(p.funcs[0].blocks[0].startPc, 0x100u);
+    // b0: 2 body + call = 3 instructions.
+    EXPECT_EQ(p.funcs[0].blocks[1].startPc, 0x103u);
+    // b1: 1 body + cond = 2.
+    EXPECT_EQ(p.funcs[0].blocks[2].startPc, 0x105u);
+    // b2: 0 body + jump = 1; f1 follows.
+    EXPECT_EQ(p.funcs[1].entry, 0x106u);
+    // c0 has no terminator instruction.
+    EXPECT_EQ(p.funcs[1].blocks[1].startPc, 0x109u);
+}
+
+TEST(Cfg, LayoutPadding)
+{
+    Program p = tinyProgram();
+    p.layout(0x100, 16);
+    EXPECT_EQ(p.funcs[0].entry % 16, 0u);
+    EXPECT_EQ(p.funcs[1].entry % 16, 0u);
+}
+
+TEST(Cfg, TermPcIsAfterBody)
+{
+    Program p = tinyProgram();
+    p.layout(0x0, 0);
+    const BasicBlock &b0 = p.funcs[0].blocks[0];
+    EXPECT_EQ(b0.termPc(), b0.startPc + b0.bodyLen);
+}
+
+TEST(Cfg, SizeCounts)
+{
+    Program p = tinyProgram();
+    p.layout();
+    // 3 + 2 + 1 + 3 + 1 = 10 instructions.
+    EXPECT_EQ(p.staticInsts(), 10u);
+    EXPECT_EQ(p.staticCondBranches(), 1u);
+}
+
+TEST(Cfg, ValidateAcceptsWellFormed)
+{
+    Program p = tinyProgram();
+    p.layout();
+    p.validate();   // must not panic
+}
+
+TEST(CfgDeath, BackwardCondWithoutLoopBehavior)
+{
+    Program p = tinyProgram();
+    p.behaviors[0] = CondBehavior::bias(0.5);
+    p.layout();
+    EXPECT_DEATH(p.validate(), "Loop");
+}
+
+TEST(CfgDeath, CallToLowerFunction)
+{
+    Program p = tinyProgram();
+    p.funcs[0].blocks[0].term.calleeFn = 0;
+    p.layout();
+    EXPECT_DEATH(p.validate(), "higher function");
+}
+
+TEST(CfgDeath, MainMustLoop)
+{
+    Program p = tinyProgram();
+    p.funcs[0].blocks[2].term.kind = TermKind::Return;
+    p.layout();
+    EXPECT_DEATH(p.validate(), "main");
+}
+
+TEST(CfgDeath, FallThroughOffEndOfFunction)
+{
+    Program p = tinyProgram();
+    p.funcs[1].blocks[1].term.kind = TermKind::FallThrough;
+    p.layout();
+    EXPECT_DEATH(p.validate(), "");
+}
+
+TEST(CfgDeath, CondTargetOutOfRange)
+{
+    Program p = tinyProgram();
+    p.funcs[0].blocks[1].term.targetBlock = 99;
+    p.layout();
+    EXPECT_DEATH(p.validate(), "out of range");
+}
+
+} // namespace
+} // namespace mbbp
