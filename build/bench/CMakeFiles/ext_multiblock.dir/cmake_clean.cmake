@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiblock.dir/ext_multiblock.cpp.o"
+  "CMakeFiles/ext_multiblock.dir/ext_multiblock.cpp.o.d"
+  "ext_multiblock"
+  "ext_multiblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pht_organizations.dir/ext_pht_organizations.cpp.o"
+  "CMakeFiles/ext_pht_organizations.dir/ext_pht_organizations.cpp.o.d"
+  "ext_pht_organizations"
+  "ext_pht_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pht_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_realism.dir/ext_realism.cpp.o"
+  "CMakeFiles/ext_realism.dir/ext_realism.cpp.o.d"
+  "ext_realism"
+  "ext_realism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_realism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

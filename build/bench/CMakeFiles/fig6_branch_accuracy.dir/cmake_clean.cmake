@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_branch_accuracy.dir/fig6_branch_accuracy.cpp.o"
+  "CMakeFiles/fig6_branch_accuracy.dir/fig6_branch_accuracy.cpp.o.d"
+  "fig6_branch_accuracy"
+  "fig6_branch_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_branch_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

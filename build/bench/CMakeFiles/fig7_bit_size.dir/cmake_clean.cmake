@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bit_size.dir/fig7_bit_size.cpp.o"
+  "CMakeFiles/fig7_bit_size.dir/fig7_bit_size.cpp.o.d"
+  "fig7_bit_size"
+  "fig7_bit_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bit_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_bit_size.
+# This may be replaced when dependencies are built.

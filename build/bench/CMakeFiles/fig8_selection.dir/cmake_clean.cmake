@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_selection.dir/fig8_selection.cpp.o"
+  "CMakeFiles/fig8_selection.dir/fig8_selection.cpp.o.d"
+  "fig8_selection"
+  "fig8_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

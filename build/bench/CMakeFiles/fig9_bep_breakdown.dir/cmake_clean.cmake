@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bep_breakdown.dir/fig9_bep_breakdown.cpp.o"
+  "CMakeFiles/fig9_bep_breakdown.dir/fig9_bep_breakdown.cpp.o.d"
+  "fig9_bep_breakdown"
+  "fig9_bep_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bep_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_target_arrays.dir/table5_target_arrays.cpp.o"
+  "CMakeFiles/table5_target_arrays.dir/table5_target_arrays.cpp.o.d"
+  "table5_target_arrays"
+  "table5_target_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_target_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

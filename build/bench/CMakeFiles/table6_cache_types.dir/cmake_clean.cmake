@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cache_types.dir/table6_cache_types.cpp.o"
+  "CMakeFiles/table6_cache_types.dir/table6_cache_types.cpp.o.d"
+  "table6_cache_types"
+  "table6_cache_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cache_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

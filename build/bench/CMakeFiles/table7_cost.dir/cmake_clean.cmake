@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_cost.dir/table7_cost.cpp.o"
+  "CMakeFiles/table7_cost.dir/table7_cost.cpp.o.d"
+  "table7_cost"
+  "table7_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

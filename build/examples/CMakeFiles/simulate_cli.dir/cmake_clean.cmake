@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_cli.dir/simulate_cli.cpp.o"
+  "CMakeFiles/simulate_cli.dir/simulate_cli.cpp.o.d"
+  "simulate_cli"
+  "simulate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_overview.dir/suite_overview.cpp.o"
+  "CMakeFiles/suite_overview.dir/suite_overview.cpp.o.d"
+  "suite_overview"
+  "suite_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

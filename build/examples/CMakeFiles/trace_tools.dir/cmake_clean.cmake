@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tools.dir/trace_tools.cpp.o"
+  "CMakeFiles/trace_tools.dir/trace_tools.cpp.o.d"
+  "trace_tools"
+  "trace_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cc" "src/CMakeFiles/mbbp_core.dir/core/accuracy.cc.o" "gcc" "src/CMakeFiles/mbbp_core.dir/core/accuracy.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/mbbp_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/mbbp_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/fetch_simulator.cc" "src/CMakeFiles/mbbp_core.dir/core/fetch_simulator.cc.o" "gcc" "src/CMakeFiles/mbbp_core.dir/core/fetch_simulator.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/mbbp_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/mbbp_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/suite_runner.cc" "src/CMakeFiles/mbbp_core.dir/core/suite_runner.cc.o" "gcc" "src/CMakeFiles/mbbp_core.dir/core/suite_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_core.dir/core/accuracy.cc.o"
+  "CMakeFiles/mbbp_core.dir/core/accuracy.cc.o.d"
+  "CMakeFiles/mbbp_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/mbbp_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/mbbp_core.dir/core/fetch_simulator.cc.o"
+  "CMakeFiles/mbbp_core.dir/core/fetch_simulator.cc.o.d"
+  "CMakeFiles/mbbp_core.dir/core/report.cc.o"
+  "CMakeFiles/mbbp_core.dir/core/report.cc.o.d"
+  "CMakeFiles/mbbp_core.dir/core/suite_runner.cc.o"
+  "CMakeFiles/mbbp_core.dir/core/suite_runner.cc.o.d"
+  "libmbbp_core.a"
+  "libmbbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fetch/block.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/block.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/block.cc.o.d"
+  "/root/repo/src/fetch/dual_block_engine.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/dual_block_engine.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/dual_block_engine.cc.o.d"
+  "/root/repo/src/fetch/engine_common.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/engine_common.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/engine_common.cc.o.d"
+  "/root/repo/src/fetch/exit_predict.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/exit_predict.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/exit_predict.cc.o.d"
+  "/root/repo/src/fetch/fetch_stats.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/fetch_stats.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/fetch_stats.cc.o.d"
+  "/root/repo/src/fetch/icache_model.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/icache_model.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/icache_model.cc.o.d"
+  "/root/repo/src/fetch/multi_block_engine.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/multi_block_engine.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/multi_block_engine.cc.o.d"
+  "/root/repo/src/fetch/penalty_model.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/penalty_model.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/penalty_model.cc.o.d"
+  "/root/repo/src/fetch/single_block_engine.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/single_block_engine.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/single_block_engine.cc.o.d"
+  "/root/repo/src/fetch/two_ahead_engine.cc" "src/CMakeFiles/mbbp_fetch.dir/fetch/two_ahead_engine.cc.o" "gcc" "src/CMakeFiles/mbbp_fetch.dir/fetch/two_ahead_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

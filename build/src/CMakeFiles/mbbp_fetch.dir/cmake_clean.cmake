@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_fetch.dir/fetch/block.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/block.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/dual_block_engine.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/dual_block_engine.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/engine_common.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/engine_common.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/exit_predict.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/exit_predict.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/fetch_stats.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/fetch_stats.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/icache_model.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/icache_model.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/multi_block_engine.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/multi_block_engine.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/penalty_model.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/penalty_model.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/single_block_engine.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/single_block_engine.cc.o.d"
+  "CMakeFiles/mbbp_fetch.dir/fetch/two_ahead_engine.cc.o"
+  "CMakeFiles/mbbp_fetch.dir/fetch/two_ahead_engine.cc.o.d"
+  "libmbbp_fetch.a"
+  "libmbbp_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

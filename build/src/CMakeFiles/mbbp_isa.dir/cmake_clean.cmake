@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_isa.dir/isa/inst.cc.o"
+  "CMakeFiles/mbbp_isa.dir/isa/inst.cc.o.d"
+  "libmbbp_isa.a"
+  "libmbbp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

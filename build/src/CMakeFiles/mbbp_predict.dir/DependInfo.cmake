@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/bbr.cc" "src/CMakeFiles/mbbp_predict.dir/predict/bbr.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/bbr.cc.o.d"
+  "/root/repo/src/predict/bit_table.cc" "src/CMakeFiles/mbbp_predict.dir/predict/bit_table.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/bit_table.cc.o.d"
+  "/root/repo/src/predict/blocked_pht.cc" "src/CMakeFiles/mbbp_predict.dir/predict/blocked_pht.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/blocked_pht.cc.o.d"
+  "/root/repo/src/predict/branch_address_cache.cc" "src/CMakeFiles/mbbp_predict.dir/predict/branch_address_cache.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/branch_address_cache.cc.o.d"
+  "/root/repo/src/predict/btb.cc" "src/CMakeFiles/mbbp_predict.dir/predict/btb.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/btb.cc.o.d"
+  "/root/repo/src/predict/history.cc" "src/CMakeFiles/mbbp_predict.dir/predict/history.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/history.cc.o.d"
+  "/root/repo/src/predict/nls.cc" "src/CMakeFiles/mbbp_predict.dir/predict/nls.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/nls.cc.o.d"
+  "/root/repo/src/predict/ras.cc" "src/CMakeFiles/mbbp_predict.dir/predict/ras.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/ras.cc.o.d"
+  "/root/repo/src/predict/scalar_two_level.cc" "src/CMakeFiles/mbbp_predict.dir/predict/scalar_two_level.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/scalar_two_level.cc.o.d"
+  "/root/repo/src/predict/select_table.cc" "src/CMakeFiles/mbbp_predict.dir/predict/select_table.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/select_table.cc.o.d"
+  "/root/repo/src/predict/two_block_ahead.cc" "src/CMakeFiles/mbbp_predict.dir/predict/two_block_ahead.cc.o" "gcc" "src/CMakeFiles/mbbp_predict.dir/predict/two_block_ahead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_predict.dir/predict/bbr.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/bbr.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/bit_table.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/bit_table.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/blocked_pht.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/blocked_pht.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/branch_address_cache.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/branch_address_cache.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/btb.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/btb.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/history.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/history.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/nls.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/nls.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/ras.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/ras.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/scalar_two_level.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/scalar_two_level.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/select_table.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/select_table.cc.o.d"
+  "CMakeFiles/mbbp_predict.dir/predict/two_block_ahead.cc.o"
+  "CMakeFiles/mbbp_predict.dir/predict/two_block_ahead.cc.o.d"
+  "libmbbp_predict.a"
+  "libmbbp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

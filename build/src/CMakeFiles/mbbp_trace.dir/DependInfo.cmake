@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/static_image.cc" "src/CMakeFiles/mbbp_trace.dir/trace/static_image.cc.o" "gcc" "src/CMakeFiles/mbbp_trace.dir/trace/static_image.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/mbbp_trace.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/mbbp_trace.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/mbbp_trace.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/mbbp_trace.dir/trace/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

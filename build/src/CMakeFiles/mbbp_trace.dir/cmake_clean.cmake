@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_trace.dir/trace/static_image.cc.o"
+  "CMakeFiles/mbbp_trace.dir/trace/static_image.cc.o.d"
+  "CMakeFiles/mbbp_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/mbbp_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/mbbp_trace.dir/trace/trace_file.cc.o"
+  "CMakeFiles/mbbp_trace.dir/trace/trace_file.cc.o.d"
+  "libmbbp_trace.a"
+  "libmbbp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/mbbp_util.dir/util/json.cc.o" "gcc" "src/CMakeFiles/mbbp_util.dir/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mbbp_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mbbp_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mbbp_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mbbp_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/mbbp_util.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/mbbp_util.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/mbbp_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/mbbp_util.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_util.dir/util/json.cc.o"
+  "CMakeFiles/mbbp_util.dir/util/json.cc.o.d"
+  "CMakeFiles/mbbp_util.dir/util/logging.cc.o"
+  "CMakeFiles/mbbp_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/mbbp_util.dir/util/random.cc.o"
+  "CMakeFiles/mbbp_util.dir/util/random.cc.o.d"
+  "CMakeFiles/mbbp_util.dir/util/stats.cc.o"
+  "CMakeFiles/mbbp_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/mbbp_util.dir/util/table.cc.o"
+  "CMakeFiles/mbbp_util.dir/util/table.cc.o.d"
+  "libmbbp_util.a"
+  "libmbbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

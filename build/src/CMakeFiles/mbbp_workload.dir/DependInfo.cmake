@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behavior.cc" "src/CMakeFiles/mbbp_workload.dir/workload/behavior.cc.o" "gcc" "src/CMakeFiles/mbbp_workload.dir/workload/behavior.cc.o.d"
+  "/root/repo/src/workload/cfg.cc" "src/CMakeFiles/mbbp_workload.dir/workload/cfg.cc.o" "gcc" "src/CMakeFiles/mbbp_workload.dir/workload/cfg.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/mbbp_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/mbbp_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/interpreter.cc" "src/CMakeFiles/mbbp_workload.dir/workload/interpreter.cc.o" "gcc" "src/CMakeFiles/mbbp_workload.dir/workload/interpreter.cc.o.d"
+  "/root/repo/src/workload/spec95.cc" "src/CMakeFiles/mbbp_workload.dir/workload/spec95.cc.o" "gcc" "src/CMakeFiles/mbbp_workload.dir/workload/spec95.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbp_workload.dir/workload/behavior.cc.o"
+  "CMakeFiles/mbbp_workload.dir/workload/behavior.cc.o.d"
+  "CMakeFiles/mbbp_workload.dir/workload/cfg.cc.o"
+  "CMakeFiles/mbbp_workload.dir/workload/cfg.cc.o.d"
+  "CMakeFiles/mbbp_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/mbbp_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/mbbp_workload.dir/workload/interpreter.cc.o"
+  "CMakeFiles/mbbp_workload.dir/workload/interpreter.cc.o.d"
+  "CMakeFiles/mbbp_workload.dir/workload/spec95.cc.o"
+  "CMakeFiles/mbbp_workload.dir/workload/spec95.cc.o.d"
+  "libmbbp_workload.a"
+  "libmbbp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

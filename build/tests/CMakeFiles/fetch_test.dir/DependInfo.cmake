@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fetch/block_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/block_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/block_test.cc.o.d"
+  "/root/repo/tests/fetch/dual_block_engine_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/dual_block_engine_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/dual_block_engine_test.cc.o.d"
+  "/root/repo/tests/fetch/engine_common_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/engine_common_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/engine_common_test.cc.o.d"
+  "/root/repo/tests/fetch/exit_predict_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/exit_predict_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/exit_predict_test.cc.o.d"
+  "/root/repo/tests/fetch/fetch_stats_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/fetch_stats_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/fetch_stats_test.cc.o.d"
+  "/root/repo/tests/fetch/ghr_penalty_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/ghr_penalty_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/ghr_penalty_test.cc.o.d"
+  "/root/repo/tests/fetch/icache_contents_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/icache_contents_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/icache_contents_test.cc.o.d"
+  "/root/repo/tests/fetch/icache_model_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/icache_model_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/icache_model_test.cc.o.d"
+  "/root/repo/tests/fetch/multi_block_engine_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/multi_block_engine_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/multi_block_engine_test.cc.o.d"
+  "/root/repo/tests/fetch/near_block_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/near_block_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/near_block_test.cc.o.d"
+  "/root/repo/tests/fetch/penalty_model_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/penalty_model_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/penalty_model_test.cc.o.d"
+  "/root/repo/tests/fetch/single_block_engine_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/single_block_engine_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/single_block_engine_test.cc.o.d"
+  "/root/repo/tests/fetch/table2_example_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/table2_example_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/table2_example_test.cc.o.d"
+  "/root/repo/tests/fetch/two_ahead_engine_test.cc" "tests/CMakeFiles/fetch_test.dir/fetch/two_ahead_engine_test.cc.o" "gcc" "tests/CMakeFiles/fetch_test.dir/fetch/two_ahead_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

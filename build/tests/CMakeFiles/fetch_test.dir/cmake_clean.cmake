@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_test.dir/fetch/block_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/block_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/dual_block_engine_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/dual_block_engine_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/engine_common_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/engine_common_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/exit_predict_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/exit_predict_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/fetch_stats_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/fetch_stats_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/ghr_penalty_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/ghr_penalty_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/icache_contents_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/icache_contents_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/icache_model_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/icache_model_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/multi_block_engine_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/multi_block_engine_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/near_block_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/near_block_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/penalty_model_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/penalty_model_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/single_block_engine_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/single_block_engine_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/table2_example_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/table2_example_test.cc.o.d"
+  "CMakeFiles/fetch_test.dir/fetch/two_ahead_engine_test.cc.o"
+  "CMakeFiles/fetch_test.dir/fetch/two_ahead_engine_test.cc.o.d"
+  "fetch_test"
+  "fetch_test.pdb"
+  "fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/predict/bbr_test.cc" "tests/CMakeFiles/predict_test.dir/predict/bbr_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/bbr_test.cc.o.d"
+  "/root/repo/tests/predict/bit_table_test.cc" "tests/CMakeFiles/predict_test.dir/predict/bit_table_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/bit_table_test.cc.o.d"
+  "/root/repo/tests/predict/blocked_pht_test.cc" "tests/CMakeFiles/predict_test.dir/predict/blocked_pht_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/blocked_pht_test.cc.o.d"
+  "/root/repo/tests/predict/branch_address_cache_test.cc" "tests/CMakeFiles/predict_test.dir/predict/branch_address_cache_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/branch_address_cache_test.cc.o.d"
+  "/root/repo/tests/predict/btb_test.cc" "tests/CMakeFiles/predict_test.dir/predict/btb_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/btb_test.cc.o.d"
+  "/root/repo/tests/predict/history_test.cc" "tests/CMakeFiles/predict_test.dir/predict/history_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/history_test.cc.o.d"
+  "/root/repo/tests/predict/nls_test.cc" "tests/CMakeFiles/predict_test.dir/predict/nls_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/nls_test.cc.o.d"
+  "/root/repo/tests/predict/ras_test.cc" "tests/CMakeFiles/predict_test.dir/predict/ras_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/ras_test.cc.o.d"
+  "/root/repo/tests/predict/scalar_two_level_test.cc" "tests/CMakeFiles/predict_test.dir/predict/scalar_two_level_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/scalar_two_level_test.cc.o.d"
+  "/root/repo/tests/predict/select_table_test.cc" "tests/CMakeFiles/predict_test.dir/predict/select_table_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/select_table_test.cc.o.d"
+  "/root/repo/tests/predict/two_block_ahead_test.cc" "tests/CMakeFiles/predict_test.dir/predict/two_block_ahead_test.cc.o" "gcc" "tests/CMakeFiles/predict_test.dir/predict/two_block_ahead_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

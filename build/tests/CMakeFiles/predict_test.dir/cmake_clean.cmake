@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_test.dir/predict/bbr_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/bbr_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/bit_table_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/bit_table_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/blocked_pht_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/blocked_pht_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/branch_address_cache_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/branch_address_cache_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/btb_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/btb_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/history_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/history_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/nls_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/nls_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/ras_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/ras_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/scalar_two_level_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/scalar_two_level_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/select_table_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/select_table_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/two_block_ahead_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/two_block_ahead_test.cc.o.d"
+  "predict_test"
+  "predict_test.pdb"
+  "predict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bitops_test.cc" "tests/CMakeFiles/util_test.dir/util/bitops_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/bitops_test.cc.o.d"
+  "/root/repo/tests/util/json_test.cc" "tests/CMakeFiles/util_test.dir/util/json_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/json_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/sat_counter_test.cc" "tests/CMakeFiles/util_test.dir/util/sat_counter_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/sat_counter_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

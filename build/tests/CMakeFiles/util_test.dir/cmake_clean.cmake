@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/bitops_test.cc.o"
+  "CMakeFiles/util_test.dir/util/bitops_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/json_test.cc.o"
+  "CMakeFiles/util_test.dir/util/json_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/sat_counter_test.cc.o"
+  "CMakeFiles/util_test.dir/util/sat_counter_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/stats_test.cc.o"
+  "CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/table_test.cc.o"
+  "CMakeFiles/util_test.dir/util/table_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
