@@ -31,7 +31,7 @@ main()
     AccuracyResult blocked_total;
     BacStats bac_total;
     for (const auto &name : specIntNames()) {
-        InMemoryTrace &t = benchTraces().get(name);
+        const InMemoryTrace &t = benchTraces().get(name);
         blocked_total.accumulate(
             blockedPhtAccuracy(t, 10, ICacheConfig::normal(8)));
         BranchAddressCache bac({ 10, 1024, 2, 8 });
@@ -52,7 +52,9 @@ main()
                        TextTable::fmt(bac_total.phtLookupsPerCycle(),
                                       0),
                        TextTable::fmt(
-                           cost_model.storageBits(30) / 1024.0, 1) });
+                           static_cast<double>(
+                               cost_model.storageBits(30)) / 1024.0,
+                           1) });
     std::cout << out(bac_table) << "\n";
 
     // --- 2. Seznec two-block-ahead vs the select table ------------
@@ -91,7 +93,7 @@ main()
         AccuracyResult blocked, scalar;
         const auto names = is_fp ? specFpNames() : specIntNames();
         for (const auto &name : names) {
-            InMemoryTrace &t = benchTraces().get(name);
+            const InMemoryTrace &t = benchTraces().get(name);
             blocked.accumulate(
                 blockedPhtAccuracy(t, 10, ICacheConfig::normal(8)));
             scalar.accumulate(scalarAccuracy(t, 10, 8));

@@ -34,6 +34,16 @@ benchTraces()
     return cache;
 }
 
+/** Worker threads for sweep-driven harnesses, from
+ *  MBBP_BENCH_THREADS (0 / unset = all hardware threads). */
+inline unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("MBBP_BENCH_THREADS"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return 0;
+}
+
 /** Percent with one decimal, e.g. "91.5". */
 inline std::string
 pct(double frac, int precision = 1)

@@ -7,9 +7,15 @@
  * bits. Sweeps 1..8 blocked PHTs at fixed total storage and at fixed
  * per-table size, plus the gshare-vs-concatenation indexing choice
  * for the scalar baseline.
+ *
+ * Driven by the sweep engine: each table's rows are a SweepSpec
+ * (explicit points for the storage-matched pairs, a grid for the
+ * fixed-table sweep) evaluated in parallel on the shared pool and
+ * printed in deterministic job order.
  */
 
 #include <iostream>
+#include <utility>
 
 #include "bench_util.hh"
 
@@ -26,12 +32,12 @@ blockedWith(unsigned history_bits, unsigned num_phts, bool is_fp)
     AccuracyResult total;
     const auto names = is_fp ? specFpNames() : specIntNames();
     for (const auto &name : names) {
-        InMemoryTrace &t = benchTraces().get(name);
+        const InMemoryTrace &t = benchTraces().get(name);
         ICacheModel cache(ICacheConfig::normal(8));
         BlockedPHT pht({ history_bits, 8, 2, num_phts });
         GlobalHistory ghr(history_bits);
-        t.reset();
-        BlockStream stream(t, cache);
+        TraceCursor cursor(t);
+        BlockStream stream(cursor, cache);
         FetchBlock blk;
         AccuracyResult res;
         while (stream.next(blk)) {
@@ -51,68 +57,117 @@ blockedWith(unsigned history_bits, unsigned num_phts, bool is_fp)
     return total;
 }
 
+/** Int and fp accuracy for one job's (historyBits, numPhts). */
+std::pair<AccuracyResult, AccuracyResult>
+jobAccuracy(const SweepJob &job, std::size_t)
+{
+    unsigned h = job.config.engine.historyBits;
+    unsigned p = job.config.engine.numPhts;
+    return { blockedWith(h, p, false), blockedWith(h, p, true) };
+}
+
 } // namespace
 
 int
 main()
 {
+    ThreadPool pool(benchThreads());
+
+    // p tables of 2^h entries: p * 2^h * 16 bits = 16 Kbits total,
+    // so h shrinks by log2(p) -- derived pairs, hence explicit
+    // points rather than a grid.
+    SweepSpec fixed_total_spec;
+    fixed_total_spec.setName("pht-fixed-total");
+    for (unsigned p : { 1u, 2u, 4u, 8u }) {
+        unsigned h = 10;
+        for (unsigned q = p; q > 1; q >>= 1)
+            --h;
+        fixed_total_spec.addPoint(
+            { { "numPhts", std::to_string(p) },
+              { "historyBits", std::to_string(h) } });
+    }
+    const std::vector<SweepJob> fixed_total_jobs =
+        fixed_total_spec.expand();
+    auto fixed_total_rows =
+        parallelMap(pool, fixed_total_jobs, jobAccuracy);
+
     TextTable fixed_total(
         "Per-block PHT variation at fixed total storage (16 Kbits)");
     fixed_total.setHeader({ "#PHTs", "history", "Int acc%",
                             "FP acc%" });
-    // p tables of 2^h entries: p * 2^h * 16 bits = 16 Kbits total.
-    for (unsigned p : { 1u, 2u, 4u, 8u }) {
-        unsigned h = 10;
-        unsigned shrink = 0;
-        for (unsigned q = p; q > 1; q >>= 1)
-            ++shrink;
-        h -= shrink;
-        fixed_total.addRow({ std::to_string(p), std::to_string(h),
-                             pct(blockedWith(h, p, false).accuracy(),
-                                 2),
-                             pct(blockedWith(h, p, true).accuracy(),
-                                 2) });
+    for (std::size_t i = 0; i < fixed_total_jobs.size(); ++i) {
+        const SimConfig &cfg = fixed_total_jobs[i].config;
+        fixed_total.addRow(
+            { std::to_string(cfg.engine.numPhts),
+              std::to_string(cfg.engine.historyBits),
+              pct(fixed_total_rows[i].first.accuracy(), 2),
+              pct(fixed_total_rows[i].second.accuracy(), 2) });
     }
     std::cout << out(fixed_total) << "\n";
+
+    // Fixed per-table size: a plain one-axis grid at h=10.
+    SweepSpec fixed_table_spec;
+    fixed_table_spec.setName("pht-fixed-table");
+    fixed_table_spec.setBase("historyBits", "10");
+    fixed_table_spec.addAxis("numPhts", { "1", "2", "4", "8" });
+    const std::vector<SweepJob> fixed_table_jobs =
+        fixed_table_spec.expand();
+    auto fixed_table_rows =
+        parallelMap(pool, fixed_table_jobs, jobAccuracy);
 
     TextTable fixed_table(
         "Per-block PHT variation at fixed per-table size (h=10)");
     fixed_table.setHeader({ "#PHTs", "storage Kbits", "Int acc%",
                             "FP acc%" });
-    for (unsigned p : { 1u, 2u, 4u, 8u }) {
+    for (std::size_t i = 0; i < fixed_table_jobs.size(); ++i) {
+        unsigned p = fixed_table_jobs[i].config.engine.numPhts;
         BlockedPHT probe({ 10, 8, 2, p });
         fixed_table.addRow({
             std::to_string(p),
             TextTable::fmt(
                 static_cast<double>(probe.storageBits()) / 1024.0, 0),
-            pct(blockedWith(10, p, false).accuracy(), 2),
-            pct(blockedWith(10, p, true).accuracy(), 2),
+            pct(fixed_table_rows[i].first.accuracy(), 2),
+            pct(fixed_table_rows[i].second.accuracy(), 2),
         });
     }
     std::cout << out(fixed_table) << "\n";
 
-    TextTable scalar_idx("Scalar baseline index schemes (h=10)");
-    scalar_idx.setHeader({ "scheme", "Int acc%", "FP acc%" });
+    // Scalar baseline index schemes: not SimConfig-expressible
+    // (gshare is a scalar-reference knob), so sweep a plain variant
+    // list on the same pool.
     struct Variant
     {
         const char *label;
         unsigned num_phts;
         bool gshare;
     };
-    for (const Variant &v :
-         { Variant{ "per-addr (8 PHTs)", 8, false },
-           Variant{ "single shared (1 PHT)", 1, false },
-           Variant{ "gshare (1 PHT, xor)", 1, true } }) {
-        AccuracyResult int_total, fp_total;
-        for (const auto &name : specIntNames())
-            int_total.accumulate(scalarAccuracy(
-                benchTraces().get(name), 10, v.num_phts, v.gshare));
-        for (const auto &name : specFpNames())
-            fp_total.accumulate(scalarAccuracy(
-                benchTraces().get(name), 10, v.num_phts, v.gshare));
-        scalar_idx.addRow({ v.label, pct(int_total.accuracy(), 2),
-                            pct(fp_total.accuracy(), 2) });
-    }
+    const std::vector<Variant> variants = {
+        { "per-addr (8 PHTs)", 8, false },
+        { "single shared (1 PHT)", 1, false },
+        { "gshare (1 PHT, xor)", 1, true },
+    };
+    auto scalar_rows = parallelMap(
+        pool, variants, [&](const Variant &v, std::size_t) {
+            AccuracyResult int_total, fp_total;
+            for (const auto &name : specIntNames())
+                int_total.accumulate(scalarAccuracy(
+                    benchTraces().get(name), 10, v.num_phts,
+                    v.gshare));
+            for (const auto &name : specFpNames())
+                fp_total.accumulate(scalarAccuracy(
+                    benchTraces().get(name), 10, v.num_phts,
+                    v.gshare));
+            return std::pair<AccuracyResult, AccuracyResult>(
+                int_total, fp_total);
+        });
+
+    TextTable scalar_idx("Scalar baseline index schemes (h=10)");
+    scalar_idx.setHeader({ "scheme", "Int acc%", "FP acc%" });
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        scalar_idx.addRow({ variants[i].label,
+                            pct(scalar_rows[i].first.accuracy(), 2),
+                            pct(scalar_rows[i].second.accuracy(),
+                                2) });
     std::cout << out(scalar_idx);
     return 0;
 }

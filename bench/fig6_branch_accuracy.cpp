@@ -4,37 +4,80 @@
  * versus a size-matched scalar per-address two-level predictor, for
  * branch history lengths 6..12, on SPECint and SPECfp.
  *
+ * Driven by the sweep engine: the history axis is a SweepSpec grid
+ * and every measurement runs on the shared thread pool; rows are
+ * assembled in deterministic job order, so the printed tables are
+ * identical at any thread count (MBBP_BENCH_THREADS sets the pool).
+ *
  * Paper result: the difference is small (hundredths of a percent for
  * fp, tenths for int) and mostly favors the blocked scheme; at h=10
  * SPECint averages 91.5% accuracy and SPECfp 97.3%.
  */
 
 #include <iostream>
+#include <utility>
 
 #include "bench_util.hh"
 
 using namespace mbbp;
 using namespace mbbp::bench;
 
+namespace
+{
+
+/** Both predictors over one benchmark class at one history length. */
+struct ClassAccuracy
+{
+    AccuracyResult blocked;
+    AccuracyResult scalar;
+};
+
+ClassAccuracy
+classAccuracy(unsigned history_bits, bool is_fp)
+{
+    ClassAccuracy acc;
+    const auto names = is_fp ? specFpNames() : specIntNames();
+    for (const auto &name : names) {
+        const InMemoryTrace &t = benchTraces().get(name);
+        acc.blocked.accumulate(blockedPhtAccuracy(
+            t, history_bits, ICacheConfig::normal(8)));
+        acc.scalar.accumulate(scalarAccuracy(t, history_bits, 8));
+    }
+    return acc;
+}
+
+} // namespace
+
 int
 main()
 {
+    ThreadPool pool(benchThreads());
+
+    // The figure's x-axis as a sweep grid: one job per history
+    // length; each job measures both benchmark classes.
+    SweepSpec spec;
+    spec.setName("fig6");
+    spec.addAxis("historyBits",
+                 { "6", "7", "8", "9", "10", "11", "12" });
+    const std::vector<SweepJob> jobs = spec.expand();
+
+    auto rows = parallelMap(
+        pool, jobs, [&](const SweepJob &job, std::size_t) {
+            unsigned h = job.config.engine.historyBits;
+            return std::pair<ClassAccuracy, ClassAccuracy>(
+                classAccuracy(h, false), classAccuracy(h, true));
+        });
+
     TextTable table("Figure 6: blocked vs scalar PHT misprediction");
     table.setHeader({ "history", "class", "miss-blocked%",
                       "miss-scalar%", "improvement%" });
-
-    for (unsigned h = 6; h <= 12; ++h) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        unsigned h = jobs[i].config.engine.historyBits;
         for (bool is_fp : { false, true }) {
-            AccuracyResult blocked_total, scalar_total;
-            const auto names = is_fp ? specFpNames() : specIntNames();
-            for (const auto &name : names) {
-                InMemoryTrace &t = benchTraces().get(name);
-                blocked_total.accumulate(blockedPhtAccuracy(
-                    t, h, ICacheConfig::normal(8)));
-                scalar_total.accumulate(scalarAccuracy(t, h, 8));
-            }
-            double mb = blocked_total.missRate();
-            double ms = scalar_total.missRate();
+            const ClassAccuracy &acc =
+                is_fp ? rows[i].second : rows[i].first;
+            double mb = acc.blocked.missRate();
+            double ms = acc.scalar.missRate();
             table.addRow({ std::to_string(h), is_fp ? "FP" : "Int",
                            pct(mb, 2), pct(ms, 2),
                            pct(ms - mb, 3) });
@@ -43,17 +86,26 @@ main()
     std::cout << out(table) << "\n";
 
     // Per-program detail at h=10 (the figure's bars are drawn per
-    // benchmark).
+    // benchmark); one pool task per program.
+    const std::vector<std::string> all_names = specAllNames();
+    auto detail_rows = parallelMap(
+        pool, all_names,
+        [&](const std::string &name, std::size_t) {
+            const InMemoryTrace &t = benchTraces().get(name);
+            return std::pair<AccuracyResult, AccuracyResult>(
+                blockedPhtAccuracy(t, 10, ICacheConfig::normal(8)),
+                scalarAccuracy(t, 10, 8));
+        });
+
     TextTable detail("Figure 6 detail: per program, h=10");
     detail.setHeader({ "program", "class", "miss-blocked%",
                        "miss-scalar%", "improvement%" });
-    for (const auto &name : specAllNames()) {
-        InMemoryTrace &t = benchTraces().get(name);
-        AccuracyResult blocked =
-            blockedPhtAccuracy(t, 10, ICacheConfig::normal(8));
-        AccuracyResult scalar = scalarAccuracy(t, 10, 8);
-        detail.addRow({ name,
-                        specProfile(name).isFloat ? "fp" : "int",
+    AccuracyResult int10, fp10;
+    for (std::size_t i = 0; i < all_names.size(); ++i) {
+        const auto &[blocked, scalar] = detail_rows[i];
+        bool is_fp = specProfile(all_names[i]).isFloat;
+        (is_fp ? fp10 : int10).accumulate(blocked);
+        detail.addRow({ all_names[i], is_fp ? "fp" : "int",
                         pct(blocked.missRate(), 2),
                         pct(scalar.missRate(), 2),
                         pct(scalar.missRate() - blocked.missRate(),
@@ -62,13 +114,6 @@ main()
     std::cout << out(detail) << "\n";
 
     // The headline h=10 accuracies the paper quotes.
-    AccuracyResult int10, fp10;
-    for (const auto &name : specIntNames())
-        int10.accumulate(blockedPhtAccuracy(
-            benchTraces().get(name), 10, ICacheConfig::normal(8)));
-    for (const auto &name : specFpNames())
-        fp10.accumulate(blockedPhtAccuracy(
-            benchTraces().get(name), 10, ICacheConfig::normal(8)));
     std::cout << "h=10 blocked accuracy: SPECint "
               << pct(int10.accuracy(), 1) << "% (paper 91.5%), SPECfp "
               << pct(fp10.accuracy(), 1) << "% (paper 97.3%)\n";

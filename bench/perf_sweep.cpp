@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sweep-engine performance and determinism check (the subsystem's
+ * acceptance harness): a 16-configuration grid (historyBits x
+ * numSelectTables) over 4 benchmarks, executed single-threaded and
+ * on 8 threads. Prints both wall-clock times and the speedup, and
+ * verifies the aggregate JSON + CSV reports are byte-identical --
+ * scheduling must never leak into results.
+ *
+ * The speedup is bounded by the physical cores of the host
+ * (hardware_concurrency is printed for context); on a >= 8-core
+ * machine the sweep is embarrassingly parallel and approaches 8x.
+ *
+ * MBBP_BENCH_INSTS scales the per-program trace length.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mbbp;
+using namespace mbbp::bench;
+
+int
+main()
+{
+    SweepSpec spec;
+    spec.setName("perf-sweep");
+    spec.setBenchmarks({ "gcc", "compress", "swim", "tomcatv" });
+    spec.addAxis("historyBits", { "6", "8", "10", "12" });
+    spec.addAxis("numSelectTables", { "1", "2", "4", "8" });
+
+    std::cout << "perf_sweep: " << spec.jobCount()
+              << " configurations x " << spec.benchmarks().size()
+              << " benchmarks, " << benchInstructions()
+              << " insts/program, hardware threads: "
+              << ThreadPool::defaultThreads() << "\n";
+
+    // Generate every trace up front so both timed runs measure pure
+    // simulation, not first-touch workload generation.
+    for (const auto &name : spec.benchmarks())
+        (void)benchTraces().get(name);
+
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepResult r1 = runSweep(spec, benchTraces(), serial);
+
+    SweepOptions parallel8;
+    parallel8.threads = 8;
+    SweepResult r8 = runSweep(spec, benchTraces(), parallel8);
+
+    SweepReportOptions stable;      // no timings: byte-stable
+    bool json_identical =
+        sweepToJson(r1, stable) == sweepToJson(r8, stable);
+    bool csv_identical =
+        sweepToCsv(r1, stable) == sweepToCsv(r8, stable);
+
+    TextTable table("sweep wall clock, 1 vs 8 threads");
+    table.setHeader({ "threads", "wall seconds", "jobs/s" });
+    for (const SweepResult *r : { &r1, &r8 })
+        table.addRow(
+            { std::to_string(r->threads),
+              TextTable::fmt(r->wallSeconds, 3),
+              TextTable::fmt(static_cast<double>(r->jobs.size()) /
+                                 r->wallSeconds,
+                             2) });
+    std::cout << out(table);
+
+    double speedup = r1.wallSeconds / r8.wallSeconds;
+    std::cout << "speedup: " << TextTable::fmt(speedup, 2)
+              << "x\naggregate output byte-identical: "
+              << (json_identical && csv_identical ? "yes" : "NO")
+              << "\n";
+
+    if (!json_identical || !csv_identical) {
+        std::cerr << "FAIL: thread count changed the results\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,12 +1,12 @@
 /**
  * @file
- * Command-line driver: run any front-end configuration over a named
- * synthetic benchmark or an external binary trace file and print the
+ * Command-line driver: run any front-end configuration over named
+ * synthetic benchmarks or an external binary trace file and print the
  * full metric report. The adoption path for users with their own
  * traces.
  *
  * Usage:
- *   simulate_cli [options] <workload>
+ *   simulate_cli [options] <workload...>
  *     <workload>            spec95 name (e.g. gcc) or path to a
  *                           .trc file written by TraceFileWriter
  *   --blocks N              1..4 blocks per cycle        [2]
@@ -19,11 +19,16 @@
  *   --near-block            enable 3-bit near-block codes
  *   --double-select         dual select table, no BIT
  *   --insts N               instructions (synthetic)     [400000]
+ *   --json                  raw FetchStats JSON to stdout
+ *   --threads N             workers for multi-workload runs [all]
+ *   --out FILE              sweep-report JSON to FILE ("-"=stdout);
+ *                           accepts several spec95 workloads
  */
 
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/mbbp.hh"
 
@@ -36,10 +41,18 @@ void
 usage()
 {
     std::cerr <<
-        "usage: simulate_cli [options] <spec95-name | trace.trc>\n"
+        "usage: simulate_cli [options] <spec95-name | trace.trc>...\n"
         "  --blocks N --history H --sts N --cache normal|extend|align\n"
         "  --target nls|btb --target-entries N --bit-entries N\n"
-        "  --near-block --double-select --insts N --json\n";
+        "  --near-block --double-select --insts N --json\n"
+        "  --threads N --out FILE\n";
+}
+
+bool
+isTraceFile(const std::string &name)
+{
+    return name.size() > 4 &&
+           name.compare(name.size() - 4, 4, ".trc") == 0;
 }
 
 } // namespace
@@ -50,8 +63,10 @@ main(int argc, char **argv)
     SimConfig cfg;
     cfg.numBlocks = 2;
     std::size_t insts = 400000;
-    std::string workload;
+    std::vector<std::string> workloads;
     bool json = false;
+    unsigned threads = 0;
+    std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -99,6 +114,10 @@ main(int argc, char **argv)
             insts = std::stoull(next());
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out") {
+            out_path = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -107,19 +126,62 @@ main(int argc, char **argv)
             usage();
             return 1;
         } else {
-            workload = arg;
+            workloads.push_back(arg);
         }
     }
-    if (workload.empty()) {
+    if (workloads.empty()) {
         usage();
         return 1;
     }
 
+    // Report mode: run the configuration as a one-job sweep over the
+    // named benchmarks (traces generated in parallel on --threads
+    // workers) and emit the sweep JSON report.
+    if (!out_path.empty()) {
+        for (const auto &w : workloads) {
+            if (isTraceFile(w)) {
+                std::cerr << "--out aggregates spec95 workloads; "
+                          << "use --json for trace files\n";
+                return 1;
+            }
+        }
+        try {
+            TraceCache traces(insts);
+            {
+                ThreadPool pool(threads);
+                parallelMap(pool, workloads,
+                            [&](const std::string &name, std::size_t) {
+                                traces.get(name);
+                                return 0;
+                            });
+            }
+            SweepJob job;
+            job.config = cfg;
+            SweepOptions opts;
+            opts.threads = threads;
+            SweepResult result =
+                runSweepJobs({ job }, traces, workloads, opts);
+            result.name = "simulate_cli";
+            writeTextFile(out_path, sweepToJson(result));
+            if (out_path != "-")
+                std::cerr << "wrote " << out_path << "\n";
+        } catch (const std::exception &e) {
+            std::cerr << "simulate_cli: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    if (workloads.size() > 1) {
+        std::cerr << "multiple workloads need --out FILE\n";
+        return 1;
+    }
+    const std::string &workload = workloads.front();
+
     // Load the stream: a trace file if the name looks like one,
     // otherwise a synthetic benchmark.
     InMemoryTrace trace;
-    if (workload.size() > 4 &&
-        workload.compare(workload.size() - 4, 4, ".trc") == 0) {
+    if (isTraceFile(workload)) {
         TraceFileReader reader(workload);
         trace = captureTrace(reader);
     } else {

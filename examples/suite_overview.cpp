@@ -34,7 +34,7 @@ main(int argc, char **argv)
     two.engine.numSelectTables = 8;
 
     for (const auto &name : specAllNames()) {
-        InMemoryTrace &trace = traces.get(name);
+        const InMemoryTrace &trace = traces.get(name);
         auto sum = trace.summarize();
         AccuracyResult blk =
             blockedPhtAccuracy(trace, 10, ICacheConfig::normal(8));

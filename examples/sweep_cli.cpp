@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Design-space exploration driver: expand a JSON sweep spec, run
+ * every configuration on a thread pool, and emit the results as JSON
+ * and/or CSV for plotting. The adoption path for exploring front-end
+ * geometries beyond what the checked-in benches cover.
+ *
+ * Usage:
+ *   sweep_cli spec.json [options]
+ *   --threads N        worker threads            [hardware]
+ *   --out FILE         JSON results ("-" = stdout)  [-]
+ *   --csv FILE         also write CSV results
+ *   --no-per-program   aggregates only (smaller output)
+ *   --timings          include per-job and wall-clock seconds
+ *                      (output is no longer byte-stable across runs)
+ *   --quiet            no progress on stderr
+ *   --list-fields      print the sweepable config fields and exit
+ */
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "core/mbbp.hh"
+
+using namespace mbbp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: sweep_cli spec.json [--threads N] [--out FILE]\n"
+        "                 [--csv FILE] [--no-per-program] "
+        "[--timings]\n"
+        "                 [--quiet] [--list-fields]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path;
+    std::string out_path = "-";
+    std::string csv_path;
+    unsigned threads = 0;
+    bool quiet = false;
+    SweepReportOptions report;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--no-per-program") {
+            report.perProgram = false;
+        } else if (arg == "--timings") {
+            report.timings = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-fields") {
+            for (const std::string &f : sweepFieldNames())
+                std::cout << f << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 1;
+        } else {
+            spec_path = arg;
+        }
+    }
+    if (spec_path.empty()) {
+        usage();
+        return 1;
+    }
+
+    try {
+        SweepSpec spec = SweepSpec::fromJsonFile(spec_path);
+        TraceCache traces(spec.instructions() != 0
+                              ? spec.instructions()
+                              : 400000);
+
+        SweepOptions opts;
+        opts.threads = threads;
+        if (!quiet) {
+            opts.progress = [](const SweepProgress &p) {
+                std::cerr << "[" << p.completed << "/" << p.total
+                          << "] job " << p.job->index;
+                for (const auto &[field, value] : p.job->params)
+                    std::cerr << " " << field << "=" << value;
+                std::cerr << " (" << p.jobSeconds << "s)\n";
+            };
+        }
+
+        SweepResult result = runSweep(spec, traces, opts);
+        if (!quiet)
+            std::cerr << result.jobs.size() << " jobs on "
+                      << result.threads << " threads in "
+                      << result.wallSeconds << "s\n";
+
+        writeTextFile(out_path, sweepToJson(result, report) + "\n");
+        if (!csv_path.empty())
+            writeTextFile(csv_path, sweepToCsv(result, report));
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_cli: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -29,7 +29,7 @@ AccuracyResult::accumulate(const AccuracyResult &other)
 }
 
 AccuracyResult
-blockedPhtAccuracy(InMemoryTrace &trace, unsigned history_bits,
+blockedPhtAccuracy(const InMemoryTrace &trace, unsigned history_bits,
                    const ICacheConfig &icache)
 {
     AccuracyResult res;
@@ -37,8 +37,8 @@ blockedPhtAccuracy(InMemoryTrace &trace, unsigned history_bits,
     BlockedPHT pht({ history_bits, icache.blockWidth, 2, 1 });
     GlobalHistory ghr(history_bits);
 
-    trace.reset();
-    BlockStream stream(trace, cache);
+    TraceCursor cursor(trace);
+    BlockStream stream(cursor, cache);
     FetchBlock blk;
     while (stream.next(blk)) {
         std::size_t idx = pht.index(ghr, blk.startPc);
@@ -56,15 +56,15 @@ blockedPhtAccuracy(InMemoryTrace &trace, unsigned history_bits,
 }
 
 AccuracyResult
-scalarAccuracy(InMemoryTrace &trace, unsigned history_bits,
+scalarAccuracy(const InMemoryTrace &trace, unsigned history_bits,
                unsigned num_phts, bool gshare)
 {
     AccuracyResult res;
     ScalarTwoLevel pred({ history_bits, num_phts, 2, gshare });
 
-    trace.reset();
+    TraceCursor cursor(trace);
     DynInst inst;
-    while (trace.next(inst)) {
+    while (cursor.next(inst)) {
         if (!isCondBranch(inst.cls))
             continue;
         ++res.condBranches;

@@ -31,7 +31,7 @@ struct AccuracyResult
  * lookup, GHR updated per block. Blocks are segmented with the given
  * cache geometry (the paper's default: normal, b = 8).
  */
-AccuracyResult blockedPhtAccuracy(InMemoryTrace &trace,
+AccuracyResult blockedPhtAccuracy(const InMemoryTrace &trace,
                                   unsigned history_bits,
                                   const ICacheConfig &icache);
 
@@ -42,7 +42,7 @@ AccuracyResult blockedPhtAccuracy(InMemoryTrace &trace,
  * the blocked PHT exactly. With @p gshare, a single table indexed by
  * GHR XOR address is used instead (McFarling).
  */
-AccuracyResult scalarAccuracy(InMemoryTrace &trace,
+AccuracyResult scalarAccuracy(const InMemoryTrace &trace,
                               unsigned history_bits,
                               unsigned num_phts,
                               bool gshare = false);

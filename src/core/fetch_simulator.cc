@@ -23,7 +23,7 @@ FetchSimulator::FetchSimulator(const SimConfig &cfg)
 }
 
 FetchStats
-FetchSimulator::run(InMemoryTrace &trace) const
+FetchSimulator::run(const InMemoryTrace &trace) const
 {
     switch (cfg_.numBlocks) {
       case 1: {

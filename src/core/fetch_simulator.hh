@@ -42,7 +42,7 @@ class FetchSimulator
     explicit FetchSimulator(const SimConfig &cfg);
 
     /** Run the trace and return the fetch metrics. */
-    FetchStats run(InMemoryTrace &trace) const;
+    FetchStats run(const InMemoryTrace &trace) const;
 
     const SimConfig &config() const { return cfg_; }
 

@@ -39,6 +39,12 @@
 #include "workload/generator.hh"
 #include "workload/spec95.hh"
 
+// Design-space sweeps
+#include "sweep/sweep_report.hh"
+#include "sweep/sweep_runner.hh"
+#include "sweep/sweep_spec.hh"
+#include "sweep/thread_pool.hh"
+
 // Reporting
 #include "core/report.hh"
 #include "util/stats.hh"

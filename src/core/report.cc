@@ -5,11 +5,8 @@
 namespace mbbp
 {
 
-namespace
-{
-
 void
-writeStats(JsonWriter &w, const FetchStats &s)
+writeStatsJson(JsonWriter &w, const FetchStats &s)
 {
     w.value("instructions", s.instructions);
     w.value("fetch_requests", s.fetchRequests);
@@ -38,14 +35,12 @@ writeStats(JsonWriter &w, const FetchStats &s)
     w.endObject();
 }
 
-} // namespace
-
 std::string
 statsToJson(const FetchStats &stats)
 {
     JsonWriter w;
     w.beginObject();
-    writeStats(w, stats);
+    writeStatsJson(w, stats);
     w.endObject();
     return w.str();
 }
@@ -58,18 +53,18 @@ suiteResultToJson(const SuiteResult &result)
     w.beginObject("programs");
     for (const auto &[name, stats] : result.perProgram) {
         w.beginObject(name);
-        writeStats(w, stats);
+        writeStatsJson(w, stats);
         w.endObject();
     }
     w.endObject();
     w.beginObject("int_total");
-    writeStats(w, result.intTotal);
+    writeStatsJson(w, result.intTotal);
     w.endObject();
     w.beginObject("fp_total");
-    writeStats(w, result.fpTotal);
+    writeStatsJson(w, result.fpTotal);
     w.endObject();
     w.beginObject("all_total");
-    writeStats(w, result.allTotal);
+    writeStatsJson(w, result.allTotal);
     w.endObject();
     w.endObject();
     return w.str();

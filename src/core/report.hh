@@ -12,12 +12,20 @@
 
 #include "core/suite_runner.hh"
 #include "fetch/fetch_stats.hh"
+#include "util/json.hh"
 
 namespace mbbp
 {
 
 /** One run's metrics as a JSON object string. */
 std::string statsToJson(const FetchStats &stats);
+
+/**
+ * Emit the metric fields of @p stats into the currently-open object
+ * of @p w -- for embedding run metrics inside larger documents (the
+ * sweep report uses this for every job/program pair).
+ */
+void writeStatsJson(JsonWriter &w, const FetchStats &stats);
 
 /** A whole suite run: per-program objects plus int/fp/all totals. */
 std::string suiteResultToJson(const SuiteResult &result);

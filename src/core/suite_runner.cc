@@ -8,13 +8,24 @@ TraceCache::TraceCache(std::size_t instructions_per_program)
 {
 }
 
-InMemoryTrace &
+const InMemoryTrace &
 TraceCache::get(const std::string &name)
 {
-    auto it = traces_.find(name);
-    if (it == traces_.end())
-        it = traces_.emplace(name, specTrace(name, ninsts_)).first;
-    return it->second;
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = traces_.find(name);
+        if (it == traces_.end())
+            it = traces_.emplace(name, std::make_unique<Entry>())
+                     .first;
+        entry = it->second.get();
+    }
+    // Generate outside the map lock so distinct traces can be built
+    // concurrently; call_once serializes builders of the same trace.
+    std::call_once(entry->once, [&] {
+        entry->trace = specTrace(name, ninsts_);
+    });
+    return entry->trace;
 }
 
 SuiteResult

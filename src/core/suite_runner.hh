@@ -9,6 +9,8 @@
 #define MBBP_CORE_SUITE_RUNNER_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,20 +20,35 @@
 namespace mbbp
 {
 
-/** Generates each benchmark trace once and replays it on demand. */
+/**
+ * Generates each benchmark trace once and replays it on demand.
+ *
+ * Safe for concurrent use: any number of threads may call get() --
+ * each trace is generated exactly once (different traces generate in
+ * parallel, callers of the same trace block until it is ready), and
+ * the returned reference is const and stable for the cache's
+ * lifetime, so replays need no further locking (use a TraceCursor).
+ */
 class TraceCache
 {
   public:
     explicit TraceCache(std::size_t instructions_per_program = 400000);
 
     /** The trace for @p name (generated on first use). */
-    InMemoryTrace &get(const std::string &name);
+    const InMemoryTrace &get(const std::string &name);
 
     std::size_t instructionsPerProgram() const { return ninsts_; }
 
   private:
+    struct Entry
+    {
+        std::once_flag once;
+        InMemoryTrace trace;
+    };
+
     std::size_t ninsts_;
-    std::map<std::string, InMemoryTrace> traces_;
+    std::mutex mutex_;      //!< guards the map, not the traces
+    std::map<std::string, std::unique_ptr<Entry>> traces_;
 };
 
 /** Per-program results plus int/fp/all aggregates. */

@@ -52,7 +52,7 @@ DualBlockEngine::DualBlockEngine(const FetchEngineConfig &cfg)
 }
 
 FetchStats
-DualBlockEngine::run(InMemoryTrace &trace)
+DualBlockEngine::run(const InMemoryTrace &trace)
 {
     FetchStats stats;
 
@@ -82,8 +82,8 @@ DualBlockEngine::run(InMemoryTrace &trace)
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
 
-    trace.reset();
-    BlockStream stream(trace, cache);
+    TraceCursor cursor(trace);
+    BlockStream stream(cursor, cache);
 
     // B is the second block of the currently-fetching pair -- the one
     // whose information predicts the next pair. The very first block

@@ -38,7 +38,7 @@ class DualBlockEngine
     explicit DualBlockEngine(const FetchEngineConfig &cfg);
 
     /** Run the whole trace and return the metrics. */
-    FetchStats run(InMemoryTrace &trace);
+    FetchStats run(const InMemoryTrace &trace);
 
     const FetchEngineConfig &config() const { return cfg_; }
 

@@ -21,7 +21,7 @@ MultiBlockEngine::MultiBlockEngine(const FetchEngineConfig &cfg,
 }
 
 FetchStats
-MultiBlockEngine::run(InMemoryTrace &trace)
+MultiBlockEngine::run(const InMemoryTrace &trace)
 {
     FetchStats stats;
 
@@ -52,8 +52,8 @@ MultiBlockEngine::run(InMemoryTrace &trace)
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
 
-    trace.reset();
-    BlockStream stream(trace, cache);
+    TraceCursor cursor(trace);
+    BlockStream stream(cursor, cache);
 
     // B: last block of the currently fetching group; its information
     // drives every prediction for the next group.

@@ -38,7 +38,7 @@ class MultiBlockEngine
     MultiBlockEngine(const FetchEngineConfig &cfg, unsigned num_blocks);
 
     /** Run the whole trace and return the metrics. */
-    FetchStats run(InMemoryTrace &trace);
+    FetchStats run(const InMemoryTrace &trace);
 
     unsigned numBlocks() const { return numBlocks_; }
 

@@ -20,7 +20,7 @@ SingleBlockEngine::SingleBlockEngine(const FetchEngineConfig &cfg)
 }
 
 FetchStats
-SingleBlockEngine::run(InMemoryTrace &trace)
+SingleBlockEngine::run(const InMemoryTrace &trace)
 {
     FetchStats stats;
 
@@ -51,8 +51,8 @@ SingleBlockEngine::run(InMemoryTrace &trace)
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
 
-    trace.reset();
-    BlockStream stream(trace, cache);
+    TraceCursor cursor(trace);
+    BlockStream stream(cursor, cache);
 
     FetchBlock cur;
     if (!stream.next(cur))

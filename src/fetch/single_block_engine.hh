@@ -31,7 +31,7 @@ class SingleBlockEngine
      * Run the whole trace (correct-path; mispredictions charge the
      * Table 3 block-1 penalties) and return the metrics.
      */
-    FetchStats run(InMemoryTrace &trace);
+    FetchStats run(const InMemoryTrace &trace);
 
     const FetchEngineConfig &config() const { return cfg_; }
 

@@ -17,7 +17,7 @@ TwoAheadEngine::TwoAheadEngine(const FetchEngineConfig &cfg)
 }
 
 FetchStats
-TwoAheadEngine::run(InMemoryTrace &trace)
+TwoAheadEngine::run(const InMemoryTrace &trace)
 {
     FetchStats stats;
 
@@ -36,8 +36,8 @@ TwoAheadEngine::run(InMemoryTrace &trace)
     };
     std::vector<Entry> table(std::size_t{1} << cfg_.historyBits);
 
-    trace.reset();
-    BlockStream stream(trace, cache);
+    TraceCursor cursor(trace);
+    BlockStream stream(cursor, cache);
 
     // Predictions in flight: made at block i, scored at block i + 2.
     struct Pending

@@ -41,7 +41,7 @@ class TwoAheadEngine
     explicit TwoAheadEngine(const FetchEngineConfig &cfg);
 
     /** Run the whole trace and return the metrics. */
-    FetchStats run(InMemoryTrace &trace);
+    FetchStats run(const InMemoryTrace &trace);
 
   private:
     FetchEngineConfig cfg_;

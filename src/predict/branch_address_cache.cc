@@ -59,10 +59,10 @@ BranchAddressCache::storageBits(unsigned addr_bits) const
 }
 
 BacStats
-BranchAddressCache::simulate(InMemoryTrace &trace)
+BranchAddressCache::simulate(const InMemoryTrace &trace)
 {
     BacStats st;
-    trace.reset();
+    TraceCursor cursor(trace);
 
     // Segment the stream into basic blocks: a block ends at the first
     // control instruction (taken or not) or at the width cap.
@@ -78,7 +78,7 @@ BranchAddressCache::simulate(InMemoryTrace &trace)
     };
 
     DynInst inst;
-    bool pending = trace.next(inst);
+    bool pending = cursor.next(inst);
     unsigned blocks_this_cycle = 0;
 
     while (pending) {
@@ -94,10 +94,10 @@ BranchAddressCache::simulate(InMemoryTrace &trace)
                 bb.isCond = isCondBranch(inst.cls);
                 bb.taken = inst.taken;
                 bb.takenTarget = inst.target;
-                pending = trace.next(inst);
+                pending = cursor.next(inst);
                 break;
             }
-            pending = trace.next(inst);
+            pending = cursor.next(inst);
         }
         if (!pending)
             break;      // cannot score the final partial block

@@ -60,7 +60,7 @@ class BranchAddressCache
      * Walk @p trace at basic-block granularity predicting
      * cfg.branchesPerCycle branches per cycle, training as it goes.
      */
-    BacStats simulate(InMemoryTrace &trace);
+    BacStats simulate(const InMemoryTrace &trace);
 
     /** PHT reads needed per cycle for k predictions: 2^k - 1. */
     static uint64_t lookupsPerCycle(unsigned k);

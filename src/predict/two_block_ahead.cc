@@ -32,10 +32,10 @@ TwoBlockAhead::indexOf(Addr block_start) const
 }
 
 TwoBlockAheadStats
-TwoBlockAhead::simulate(InMemoryTrace &trace)
+TwoBlockAhead::simulate(const InMemoryTrace &trace)
 {
     TwoBlockAheadStats st;
-    trace.reset();
+    TraceCursor cursor(trace);
 
     // Pending predictions: (table index it was made from, predicted
     // address, valid). A prediction made at block n scores at n+2.
@@ -48,7 +48,7 @@ TwoBlockAhead::simulate(InMemoryTrace &trace)
     std::deque<Pending> pending;
 
     DynInst inst;
-    bool more = trace.next(inst);
+    bool more = cursor.next(inst);
     while (more) {
         // Build one fetch block.
         Addr start = inst.pc;
@@ -63,7 +63,7 @@ TwoBlockAhead::simulate(InMemoryTrace &trace)
                 ++nconds;
             }
             ended = inst.taken;
-            more = trace.next(inst);
+            more = cursor.next(inst);
         }
         if (!more)
             break;

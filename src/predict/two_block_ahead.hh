@@ -52,7 +52,7 @@ class TwoBlockAhead
      * transfers or the width cap) and score predictions of block n+2
      * made from block n.
      */
-    TwoBlockAheadStats simulate(InMemoryTrace &trace);
+    TwoBlockAheadStats simulate(const InMemoryTrace &trace);
 
   private:
     struct Entry

@@ -1,0 +1,204 @@
+#include "sweep/sweep_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "core/report.hh"
+#include "util/json.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+/** Swept field names, first-seen order across jobs. */
+std::vector<std::string>
+paramColumns(const SweepResult &result)
+{
+    std::vector<std::string> cols;
+    for (const SweepJobResult &jr : result.jobs)
+        for (const SweepParam &p : jr.job.params)
+            if (std::find(cols.begin(), cols.end(), p.first) ==
+                cols.end())
+                cols.push_back(p.first);
+    return cols;
+}
+
+const std::string *
+paramValue(const SweepJob &job, const std::string &field)
+{
+    for (const SweepParam &p : job.params)
+        if (p.first == field)
+            return &p.second;
+    return nullptr;
+}
+
+/** Fixed-notation double with stable formatting across platforms. */
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+double
+condMissRate(const FetchStats &s)
+{
+    return s.condExecuted == 0
+               ? 0.0
+               : static_cast<double>(s.condDirectionWrong) /
+                     static_cast<double>(s.condExecuted);
+}
+
+void
+csvCell(std::string &out, const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+        out += cell;
+        return;
+    }
+    out += '"';
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+csvStatsRow(std::string &out, const SweepJobResult &jr,
+            const std::vector<std::string> &params,
+            const std::string &scope, const FetchStats &s,
+            const SweepReportOptions &opts)
+{
+    out += std::to_string(jr.job.index);
+    for (const std::string &field : params) {
+        out += ',';
+        if (const std::string *v = paramValue(jr.job, field))
+            csvCell(out, *v);
+    }
+    out += ',';
+    csvCell(out, scope);
+    out += ',' + std::to_string(s.instructions);
+    out += ',' + std::to_string(s.fetchRequests);
+    out += ',' + std::to_string(s.fetchCycles());
+    out += ',' + std::to_string(s.blocksFetched);
+    out += ',' + std::to_string(s.branchesExecuted);
+    out += ',' + std::to_string(s.condExecuted);
+    out += ',' + std::to_string(s.condDirectionWrong);
+    out += ',' + fmtDouble(s.ipcF());
+    out += ',' + fmtDouble(s.ipb());
+    out += ',' + fmtDouble(s.bep());
+    out += ',' + fmtDouble(condMissRate(s));
+    if (opts.timings)
+        out += ',' + fmtDouble(jr.seconds);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("name", result.name);
+    w.beginArray("benchmarks");
+    for (const std::string &b : result.benchmarks)
+        w.element(b);
+    w.endArray();
+    if (opts.timings) {
+        // Timing (and thread count) varies run to run, so it is
+        // opt-in: the default document is byte-stable.
+        w.value("threads", uint64_t{ result.threads });
+        w.value("wall_seconds", result.wallSeconds);
+    }
+    w.beginArray("jobs");
+    for (const SweepJobResult &jr : result.jobs) {
+        w.beginObject();
+        w.value("index", uint64_t{ jr.job.index });
+        w.beginObject("params");
+        for (const SweepParam &p : jr.job.params)
+            w.value(p.first, p.second);
+        w.endObject();
+        w.beginObject("aggregates");
+        w.beginObject("int");
+        writeStatsJson(w, jr.result.intTotal);
+        w.endObject();
+        w.beginObject("fp");
+        writeStatsJson(w, jr.result.fpTotal);
+        w.endObject();
+        w.beginObject("all");
+        writeStatsJson(w, jr.result.allTotal);
+        w.endObject();
+        w.endObject();
+        if (opts.perProgram) {
+            w.beginObject("programs");
+            for (const auto &[name, stats] : jr.result.perProgram) {
+                w.beginObject(name);
+                writeStatsJson(w, stats);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        if (opts.timings)
+            w.value("seconds", jr.seconds);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+sweepToCsv(const SweepResult &result, const SweepReportOptions &opts)
+{
+    std::vector<std::string> params = paramColumns(result);
+
+    std::string out = "job";
+    for (const std::string &field : params) {
+        out += ',';
+        csvCell(out, field);
+    }
+    out += ",scope,instructions,fetch_requests,fetch_cycles,"
+           "blocks_fetched,branches_executed,cond_executed,"
+           "cond_direction_wrong,ipc_f,ipb,bep,cond_miss_rate";
+    if (opts.timings)
+        out += ",seconds";
+    out += '\n';
+
+    for (const SweepJobResult &jr : result.jobs) {
+        csvStatsRow(out, jr, params, "int", jr.result.intTotal,
+                    opts);
+        csvStatsRow(out, jr, params, "fp", jr.result.fpTotal, opts);
+        csvStatsRow(out, jr, params, "all", jr.result.allTotal,
+                    opts);
+        if (opts.perProgram)
+            for (const auto &[name, stats] : jr.result.perProgram)
+                csvStatsRow(out, jr, params, name, stats, opts);
+    }
+    return out;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::cout << content;
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open for writing: " + path);
+    out << content;
+    if (!out.flush())
+        throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace mbbp

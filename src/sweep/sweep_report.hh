@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sweep result export, keyed by the swept config fields, in the two
+ * shapes plotting tooling wants:
+ *
+ *  - JSON: one object per job with its params, per-class aggregates
+ *    and (optionally) per-program metrics -- the paper's figures are
+ *    direct selections over this;
+ *  - CSV: one row per (job, scope) where scope is int/fp/all plus
+ *    each program, with one column per swept field.
+ *
+ * Both emitters visit jobs in deterministic job order and, by
+ * default, exclude timing data, so the bytes a sweep produces are
+ * identical regardless of thread count -- the property the
+ * determinism tests and perf_sweep assert.
+ */
+
+#ifndef MBBP_SWEEP_SWEEP_REPORT_HH
+#define MBBP_SWEEP_SWEEP_REPORT_HH
+
+#include <string>
+
+#include "sweep/sweep_runner.hh"
+
+namespace mbbp
+{
+
+/** Emitter knobs. */
+struct SweepReportOptions
+{
+    bool perProgram = true;     //!< include per-program rows/objects
+    bool timings = false;       //!< include per-job + wall seconds
+};
+
+/** The whole sweep as a JSON document. */
+std::string sweepToJson(const SweepResult &result,
+                        const SweepReportOptions &opts = {});
+
+/** The whole sweep as CSV (header + data rows). */
+std::string sweepToCsv(const SweepResult &result,
+                       const SweepReportOptions &opts = {});
+
+/**
+ * Write @p content to @p path (or stdout when path is "-").
+ * Throws std::runtime_error if the file cannot be written.
+ */
+void writeTextFile(const std::string &path,
+                   const std::string &content);
+
+} // namespace mbbp
+
+#endif // MBBP_SWEEP_SWEEP_REPORT_HH

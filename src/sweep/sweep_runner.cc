@@ -1,0 +1,81 @@
+#include "sweep/sweep_runner.hh"
+
+#include <chrono>
+#include <mutex>
+
+#include "sweep/thread_pool.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+SweepResult
+runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
+             const std::vector<std::string> &benchmarks,
+             const SweepOptions &opts)
+{
+    SweepResult result;
+    result.benchmarks = benchmarks;
+
+    ThreadPool pool(opts.threads);
+    result.threads = pool.numWorkers();
+
+    Clock::time_point sweep_start = Clock::now();
+
+    // Results land in their job's slot, so aggregation order is the
+    // deterministic job order no matter which worker finishes first.
+    result.jobs.resize(jobs.size());
+
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&, i] {
+            Clock::time_point job_start = Clock::now();
+            SweepJobResult &slot = result.jobs[i];
+            slot.job = jobs[i];
+            slot.result =
+                runSuite(jobs[i].config, traces, benchmarks);
+            slot.seconds = secondsSince(job_start);
+            if (opts.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ++completed;
+                SweepProgress p;
+                p.completed = completed;
+                p.total = jobs.size();
+                p.job = &slot.job;
+                p.jobSeconds = slot.seconds;
+                opts.progress(p);
+            }
+        });
+    }
+    pool.wait();
+
+    result.wallSeconds = secondsSince(sweep_start);
+    return result;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, TraceCache &traces,
+         const SweepOptions &opts)
+{
+    SweepResult result =
+        runSweepJobs(spec.expand(), traces, spec.benchmarks(), opts);
+    result.name = spec.name();
+    return result;
+}
+
+} // namespace mbbp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel sweep execution: expand a SweepSpec into jobs, run each
+ * job's whole-suite simulation on a work-stealing thread pool with
+ * shared read-only access to one TraceCache, and collect results in
+ * deterministic (job-index) order, so the aggregate output of an
+ * 8-thread run is byte-identical to the single-threaded one.
+ */
+
+#ifndef MBBP_SWEEP_SWEEP_RUNNER_HH
+#define MBBP_SWEEP_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/suite_runner.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace mbbp
+{
+
+/** Completion notification for one job (serialized by the runner). */
+struct SweepProgress
+{
+    std::size_t completed = 0;      //!< jobs finished so far
+    std::size_t total = 0;
+    const SweepJob *job = nullptr;  //!< the job that just finished
+    double jobSeconds = 0.0;
+};
+
+/** Execution knobs. */
+struct SweepOptions
+{
+    unsigned threads = 0;           //!< 0 = ThreadPool default
+
+    /** Called after each job completes; never concurrently. */
+    std::function<void(const SweepProgress &)> progress;
+};
+
+/** One job's configuration and measured suite results. */
+struct SweepJobResult
+{
+    SweepJob job;
+    SuiteResult result;
+    double seconds = 0.0;           //!< this job's wall clock
+};
+
+/** All jobs of one sweep, in deterministic job order. */
+struct SweepResult
+{
+    std::string name;
+    std::vector<std::string> benchmarks;    //!< empty = whole suite
+    unsigned threads = 0;
+    std::vector<SweepJobResult> jobs;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Expand and execute @p spec. Traces come from @p traces (shared by
+ * every worker; generated at most once each). Exceptions thrown by a
+ * job -- including SweepError from late validation -- propagate to
+ * the caller after in-flight jobs drain.
+ */
+SweepResult runSweep(const SweepSpec &spec, TraceCache &traces,
+                     const SweepOptions &opts = {});
+
+/**
+ * Execute pre-expanded @p jobs over @p benchmarks (empty = whole
+ * suite). The building block for benches that need custom job lists.
+ */
+SweepResult runSweepJobs(const std::vector<SweepJob> &jobs,
+                         TraceCache &traces,
+                         const std::vector<std::string> &benchmarks,
+                         const SweepOptions &opts = {});
+
+} // namespace mbbp
+
+#endif // MBBP_SWEEP_SWEEP_RUNNER_HH

@@ -1,0 +1,445 @@
+#include "sweep/sweep_spec.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Field registry: every SimConfig knob a sweep can set, with a
+// textual setter so JSON scalars, CLI flags, and bench code all go
+// through the same validation.
+// ---------------------------------------------------------------
+
+uint64_t
+parseUnsigned(const std::string &field, const std::string &value,
+              uint64_t min_value, uint64_t max_value)
+{
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    uint64_t v = std::strtoull(begin, &end, 10);
+    if (end == begin || *end != '\0' ||
+        value.find('-') != std::string::npos)
+        throw SweepError("field \"" + field +
+                         "\" expects a non-negative integer, got \"" +
+                         value + "\"");
+    if (v < min_value || v > max_value)
+        throw SweepError("field \"" + field + "\" must be in [" +
+                         std::to_string(min_value) + ", " +
+                         std::to_string(max_value) + "], got " +
+                         value);
+    return v;
+}
+
+bool
+parseBool(const std::string &field, const std::string &value)
+{
+    if (value == "true" || value == "1")
+        return true;
+    if (value == "false" || value == "0")
+        return false;
+    throw SweepError("field \"" + field +
+                     "\" expects true or false, got \"" + value +
+                     "\"");
+}
+
+struct Field
+{
+    const char *name;
+    void (*apply)(SimConfig &, const std::string &);
+};
+
+// Rebuilders for the i-cache geometry: blockWidth and cacheType each
+// preserve the other, so assignment order does not matter.
+void
+rebuildICache(SimConfig &cfg, CacheType type, unsigned width)
+{
+    switch (type) {
+      case CacheType::Normal:
+        cfg.engine.icache = ICacheConfig::normal(width);
+        break;
+      case CacheType::Extended:
+        cfg.engine.icache = ICacheConfig::extended(width);
+        break;
+      case CacheType::SelfAligned:
+        cfg.engine.icache = ICacheConfig::selfAligned(width);
+        break;
+    }
+}
+
+const Field kFields[] = {
+    { "numBlocks",
+      [](SimConfig &c, const std::string &v) {
+          c.numBlocks = static_cast<unsigned>(
+              parseUnsigned("numBlocks", v, 1, 4));
+      } },
+    { "historyBits",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.historyBits = static_cast<unsigned>(
+              parseUnsigned("historyBits", v, 1, 30));
+      } },
+    { "numPhts",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.numPhts = static_cast<unsigned>(
+              parseUnsigned("numPhts", v, 1, 1u << 16));
+      } },
+    { "numSelectTables",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.numSelectTables = static_cast<unsigned>(
+              parseUnsigned("numSelectTables", v, 1, 1u << 16));
+      } },
+    { "doubleSelect",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.doubleSelect = parseBool("doubleSelect", v);
+      } },
+    { "nearBlock",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.nearBlock = parseBool("nearBlock", v);
+      } },
+    { "nearBlockStoredOffset",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.nearBlockStoredOffset =
+              parseBool("nearBlockStoredOffset", v);
+      } },
+    { "delayedPhtUpdate",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.delayedPhtUpdate =
+              parseBool("delayedPhtUpdate", v);
+      } },
+    { "targetKind",
+      [](SimConfig &c, const std::string &v) {
+          if (v == "nls")
+              c.engine.targetKind = TargetKind::Nls;
+          else if (v == "btb")
+              c.engine.targetKind = TargetKind::Btb;
+          else
+              throw SweepError("field \"targetKind\" expects \"nls\" "
+                               "or \"btb\", got \"" + v + "\"");
+      } },
+    { "targetEntries",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.targetEntries = parseUnsigned(
+              "targetEntries", v, 1, uint64_t{1} << 24);
+      } },
+    { "btbAssoc",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.btbAssoc = static_cast<unsigned>(
+              parseUnsigned("btbAssoc", v, 1, 64));
+      } },
+    { "rasEntries",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.rasEntries = parseUnsigned(
+              "rasEntries", v, 0, uint64_t{1} << 20);
+      } },
+    { "bitEntries",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.bitEntries = parseUnsigned(
+              "bitEntries", v, 0, uint64_t{1} << 24);
+      } },
+    { "bbrCapacity",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.bbrCapacity = parseUnsigned(
+              "bbrCapacity", v, 1, 1u << 12);
+      } },
+    { "blockWidth",
+      [](SimConfig &c, const std::string &v) {
+          unsigned width = static_cast<unsigned>(
+              parseUnsigned("blockWidth", v, 1, 64));
+          rebuildICache(c, c.engine.icache.type, width);
+      } },
+    { "cacheType",
+      [](SimConfig &c, const std::string &v) {
+          unsigned width = c.engine.icache.blockWidth;
+          if (v == "normal")
+              rebuildICache(c, CacheType::Normal, width);
+          else if (v == "extend" || v == "extended")
+              rebuildICache(c, CacheType::Extended, width);
+          else if (v == "align" || v == "selfAligned")
+              rebuildICache(c, CacheType::SelfAligned, width);
+          else
+              throw SweepError(
+                  "field \"cacheType\" expects \"normal\", "
+                  "\"extend\" or \"align\", got \"" + v + "\"");
+      } },
+    { "icacheLines",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.icacheLines = parseUnsigned(
+              "icacheLines", v, 0, uint64_t{1} << 24);
+      } },
+    { "icacheAssoc",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.icacheAssoc = static_cast<unsigned>(
+              parseUnsigned("icacheAssoc", v, 1, 64));
+      } },
+    { "icacheMissPenalty",
+      [](SimConfig &c, const std::string &v) {
+          c.engine.icacheMissPenalty = static_cast<unsigned>(
+              parseUnsigned("icacheMissPenalty", v, 0, 1u << 12));
+      } },
+};
+
+} // namespace
+
+void
+applyConfigField(SimConfig &cfg, const std::string &field,
+                 const std::string &value)
+{
+    for (const Field &f : kFields) {
+        if (field == f.name) {
+            f.apply(cfg, value);
+            return;
+        }
+    }
+    std::string known;
+    for (const std::string &name : sweepFieldNames())
+        known += (known.empty() ? "" : ", ") + name;
+    throw SweepError("unknown config field \"" + field +
+                     "\" (known fields: " + known + ")");
+}
+
+const std::vector<std::string> &
+sweepFieldNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Field &f : kFields)
+            v.push_back(f.name);
+        std::sort(v.begin(), v.end());
+        return v;
+    }();
+    return names;
+}
+
+// ---------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------
+
+void
+SweepSpec::setBenchmarks(std::vector<std::string> names)
+{
+    const auto &all = specAllNames();
+    for (const std::string &name : names)
+        if (std::find(all.begin(), all.end(), name) == all.end())
+            throw SweepError("unknown benchmark \"" + name + "\"");
+    benchmarks_ = std::move(names);
+}
+
+void
+SweepSpec::setBase(const std::string &field, const std::string &value)
+{
+    base_.emplace_back(field, value);
+}
+
+void
+SweepSpec::addAxis(const std::string &field,
+                   std::vector<std::string> values)
+{
+    for (const Axis &axis : axes_)
+        if (axis.field == field)
+            throw SweepError("grid axis \"" + field +
+                             "\" appears twice");
+    axes_.push_back({ field, std::move(values) });
+}
+
+void
+SweepSpec::addPoint(std::vector<SweepParam> assignments)
+{
+    points_.push_back(std::move(assignments));
+}
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    std::size_t grid = axes_.empty() && !points_.empty() ? 0 : 1;
+    for (const Axis &axis : axes_)
+        grid *= axis.values.size();
+    return grid + points_.size();
+}
+
+std::vector<SweepJob>
+SweepSpec::expand() const
+{
+    for (const Axis &axis : axes_)
+        if (axis.values.empty())
+            throw SweepError("grid axis \"" + axis.field +
+                             "\" has no values");
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(jobCount());
+
+    auto makeJob = [&](const std::vector<SweepParam> &assignments) {
+        SweepJob job;
+        job.index = jobs.size();
+        for (const SweepParam &p : base_)
+            applyConfigField(job.config, p.first, p.second);
+        for (const SweepParam &p : assignments)
+            applyConfigField(job.config, p.first, p.second);
+        job.params = assignments;
+        jobs.push_back(std::move(job));
+    };
+
+    // Grid: declaration order, last axis fastest (row-major), so the
+    // job list reads like the nested loops it replaces.
+    if (!axes_.empty() || points_.empty()) {
+        std::vector<std::size_t> idx(axes_.size(), 0);
+        for (;;) {
+            std::vector<SweepParam> assignments;
+            assignments.reserve(axes_.size());
+            for (std::size_t a = 0; a < axes_.size(); ++a)
+                assignments.emplace_back(axes_[a].field,
+                                         axes_[a].values[idx[a]]);
+            makeJob(assignments);
+            // Advance the odometer; full wrap = done.
+            std::size_t a = axes_.size();
+            while (a > 0 &&
+                   ++idx[a - 1] == axes_[a - 1].values.size()) {
+                idx[a - 1] = 0;
+                --a;
+            }
+            if (a == 0)
+                break;
+        }
+    }
+
+    for (const auto &point : points_)
+        makeJob(point);
+
+    return jobs;
+}
+
+// ---------------------------------------------------------------
+// JSON front end
+// ---------------------------------------------------------------
+
+namespace
+{
+
+std::string
+scalarOrThrow(const JsonValue &v, const std::string &where)
+{
+    if (v.isArray() || v.isObject())
+        throw SweepError(where + " must be a scalar, got " +
+                         JsonValue::kindName(v.kind()));
+    return v.scalarText();
+}
+
+} // namespace
+
+SweepSpec
+SweepSpec::fromJson(const std::string &text)
+{
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(text);
+    } catch (const JsonParseError &e) {
+        throw SweepError(e.what());
+    }
+    if (!doc.isObject())
+        throw SweepError("sweep spec must be a JSON object");
+
+    SweepSpec spec;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const std::string &key = doc.keyAt(i);
+        const JsonValue &v = doc.memberAt(i);
+        if (key == "name") {
+            if (!v.isString())
+                throw SweepError("\"name\" must be a string");
+            spec.setName(v.asString());
+        } else if (key == "benchmarks") {
+            if (!v.isArray())
+                throw SweepError(
+                    "\"benchmarks\" must be an array of names");
+            std::vector<std::string> names;
+            for (const JsonValue &b : v.items()) {
+                if (!b.isString())
+                    throw SweepError(
+                        "\"benchmarks\" entries must be strings");
+                names.push_back(b.asString());
+            }
+            spec.setBenchmarks(std::move(names));
+        } else if (key == "instructions") {
+            if (!v.isNumber() || v.asNumber() < 1 ||
+                v.asNumber() != static_cast<double>(
+                                    static_cast<uint64_t>(
+                                        v.asNumber())))
+                throw SweepError(
+                    "\"instructions\" must be a positive integer");
+            spec.setInstructions(
+                static_cast<std::size_t>(v.asNumber()));
+        } else if (key == "base") {
+            if (!v.isObject())
+                throw SweepError("\"base\" must be an object of "
+                                 "field assignments");
+            for (std::size_t m = 0; m < v.size(); ++m)
+                spec.setBase(v.keyAt(m),
+                             scalarOrThrow(v.memberAt(m),
+                                           "base." + v.keyAt(m)));
+        } else if (key == "grid") {
+            if (!v.isObject())
+                throw SweepError("\"grid\" must be an object mapping "
+                                 "fields to value arrays");
+            for (std::size_t m = 0; m < v.size(); ++m) {
+                const JsonValue &vals = v.memberAt(m);
+                if (!vals.isArray())
+                    throw SweepError("grid axis \"" + v.keyAt(m) +
+                                     "\" must be an array of values");
+                std::vector<std::string> values;
+                for (const JsonValue &e : vals.items())
+                    values.push_back(scalarOrThrow(
+                        e, "grid." + v.keyAt(m) + " entry"));
+                spec.addAxis(v.keyAt(m), std::move(values));
+            }
+        } else if (key == "points") {
+            if (!v.isArray())
+                throw SweepError(
+                    "\"points\" must be an array of objects");
+            for (const JsonValue &pt : v.items()) {
+                if (!pt.isObject())
+                    throw SweepError(
+                        "\"points\" entries must be objects");
+                std::vector<SweepParam> assignments;
+                for (std::size_t m = 0; m < pt.size(); ++m)
+                    assignments.emplace_back(
+                        pt.keyAt(m),
+                        scalarOrThrow(pt.memberAt(m),
+                                      "point field " + pt.keyAt(m)));
+                spec.addPoint(std::move(assignments));
+            }
+        } else {
+            throw SweepError(
+                "unknown sweep spec key \"" + key +
+                "\" (expected name, benchmarks, instructions, base, "
+                "grid, points)");
+        }
+    }
+
+    // Surface bad fields/values now, with the full spec context,
+    // rather than from inside a worker thread mid-sweep.
+    spec.expand();
+    return spec;
+}
+
+SweepSpec
+SweepSpec::fromJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SweepError("cannot open sweep spec file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return fromJson(buffer.str());
+    } catch (const SweepError &e) {
+        throw SweepError(path + ": " + e.what());
+    }
+}
+
+} // namespace mbbp

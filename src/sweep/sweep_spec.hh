@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Declarative design-space sweep specifications.
+ *
+ * A sweep spec names a set of SimConfig field assignments to explore:
+ * a `base` configuration, a `grid` of axes expanded as a cartesian
+ * product, and/or an explicit `points` list. Expansion is fully
+ * deterministic: jobs are ordered grid-first (axes vary in
+ * declaration order, last axis fastest, like a row-major array),
+ * then explicit points, so results can be aggregated byte-identically
+ * regardless of how many threads execute them.
+ *
+ * JSON form (all sections optional except at least one job source):
+ * @code{.json}
+ * {
+ *   "name": "history-sweep",
+ *   "benchmarks": ["gcc", "compress", "swim", "tomcatv"],
+ *   "instructions": 200000,
+ *   "base": { "numBlocks": 2 },
+ *   "grid": { "historyBits": [6, 8, 10, 12],
+ *             "numSelectTables": [1, 4] },
+ *   "points": [ { "numBlocks": 1, "historyBits": 10 } ]
+ * }
+ * @endcode
+ */
+
+#ifndef MBBP_SWEEP_SWEEP_SPEC_HH
+#define MBBP_SWEEP_SWEEP_SPEC_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fetch_simulator.hh"
+
+namespace mbbp
+{
+
+/** Invalid spec: unknown field, bad value, malformed JSON, ... */
+class SweepError : public std::runtime_error
+{
+  public:
+    explicit SweepError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One (field, printable value) assignment, e.g. historyBits=10. */
+using SweepParam = std::pair<std::string, std::string>;
+
+/** One expanded configuration to simulate. */
+struct SweepJob
+{
+    std::size_t index = 0;      //!< position in deterministic order
+    SimConfig config;
+    std::vector<SweepParam> params;     //!< the varying assignments
+};
+
+/**
+ * Set @p field (e.g. "historyBits", "targetKind") on @p cfg from its
+ * textual @p value. Throws SweepError on unknown fields or
+ * unparseable values, naming the field and the accepted form.
+ */
+void applyConfigField(SimConfig &cfg, const std::string &field,
+                      const std::string &value);
+
+/** Every field name applyConfigField accepts, sorted. */
+const std::vector<std::string> &sweepFieldNames();
+
+/** A parsed, validated sweep specification. */
+class SweepSpec
+{
+  public:
+    /** Parse the JSON text; throws SweepError with context. */
+    static SweepSpec fromJson(const std::string &text);
+
+    /** Read and parse @p path; throws SweepError. */
+    static SweepSpec fromJsonFile(const std::string &path);
+
+    /** @{ Programmatic construction (what the benches use). */
+    void setName(const std::string &name) { name_ = name; }
+    void setBenchmarks(std::vector<std::string> names);
+    void setInstructions(std::size_t n) { instructions_ = n; }
+    void setBase(const std::string &field, const std::string &value);
+    void addAxis(const std::string &field,
+                 std::vector<std::string> values);
+    void addPoint(std::vector<SweepParam> assignments);
+    /** @} */
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::string> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+    std::size_t instructions() const { return instructions_; }
+
+    /** Jobs this spec expands to (validated on the way). */
+    std::size_t jobCount() const;
+
+    /**
+     * Expand into the deterministic job list, validating every
+     * assignment. Throws SweepError on empty axes, duplicate axis
+     * fields, unknown fields, or bad values.
+     */
+    std::vector<SweepJob> expand() const;
+
+  private:
+    struct Axis
+    {
+        std::string field;
+        std::vector<std::string> values;
+    };
+
+    std::string name_ = "sweep";
+    std::vector<std::string> benchmarks_;   //!< empty = whole suite
+    std::size_t instructions_ = 0;          //!< 0 = cache default
+    std::vector<SweepParam> base_;
+    std::vector<Axis> axes_;
+    std::vector<std::vector<SweepParam>> points_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_SWEEP_SWEEP_SPEC_HH

@@ -1,0 +1,136 @@
+#include "sweep/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Worker>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    mbbp_assert(task != nullptr, "empty task submitted");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        mbbp_assert(!stopping_, "submit on a stopping pool");
+        target = nextQueue_;
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    }
+    {
+        Worker &q = *queues_[target];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    // Publish the task only after it is visible in a deque, so a
+    // worker that observes pending_ > 0 is guaranteed to find it.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++outstanding_;
+        ++pending_;
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()> &task)
+{
+    {
+        // Own work first, newest first: best cache locality.
+        Worker &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    // Steal oldest-first from the siblings.
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        Worker &q = *queues_[(self + i) % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || pending_ > 0;
+            });
+            if (pending_ == 0) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            --pending_;     // claim one task; it exists in a deque
+        }
+        std::function<void()> task;
+        while (!takeTask(self, task))
+            std::this_thread::yield();  // racing claimant, rare
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--outstanding_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+} // namespace mbbp

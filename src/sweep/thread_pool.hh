@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A fixed-size work-stealing thread pool for design-space sweeps.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (hot
+ * caches) and steals FIFO from a sibling when empty (oldest work
+ * first, the classic Chase-Lev discipline without the lock-free
+ * machinery -- sweep jobs are milliseconds to seconds long, so a
+ * per-deque mutex is invisible in profile). Tasks submitted from
+ * outside the pool are distributed round-robin.
+ *
+ * The first exception a task throws is captured and rethrown from
+ * wait(); remaining tasks still drain so the pool is reusable.
+ */
+
+#ifndef MBBP_SWEEP_THREAD_POOL_HH
+#define MBBP_SWEEP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbbp
+{
+
+/** Fixed worker pool with per-worker deques and stealing. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 = defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Safe from any thread, including workers. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first captured task exception (if any). The pool stays
+     * usable afterwards.
+     */
+    void wait();
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Hardware concurrency, with a sane floor of 1. */
+    static unsigned defaultThreads();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool takeTask(std::size_t self, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;              //!< state below
+    std::condition_variable wake_;  //!< work available / shutdown
+    std::condition_variable idle_;  //!< outstanding reached zero
+    std::size_t outstanding_ = 0;   //!< submitted, not yet finished
+    std::size_t pending_ = 0;       //!< submitted, not yet claimed
+    std::size_t nextQueue_ = 0;     //!< round-robin submit target
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run @p fn over every element of @p items on @p pool and collect
+ * the results in input order -- the deterministic-aggregation
+ * primitive the sweep runner builds on. @p fn receives (item, index).
+ * Exceptions propagate out of the call (via ThreadPool::wait).
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool &pool, const std::vector<T> &items, Fn fn)
+    -> std::vector<decltype(fn(items.front(), std::size_t{0}))>
+{
+    using R = decltype(fn(items.front(), std::size_t{0}));
+    std::vector<R> results(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        pool.submit([&, i] { results[i] = fn(items[i], i); });
+    pool.wait();
+    return results;
+}
+
+} // namespace mbbp
+
+#endif // MBBP_SWEEP_THREAD_POOL_HH

@@ -76,6 +76,38 @@ class InMemoryTrace : public TraceSource
 };
 
 /**
+ * A private replay position over a shared, immutable InMemoryTrace.
+ *
+ * InMemoryTrace carries its own cursor (`pos_`), which makes replay a
+ * mutating operation -- unusable when many simulations share one
+ * cached trace across threads. A TraceCursor keeps the position in
+ * the reader instead, so any number of cursors can walk the same
+ * trace concurrently with no synchronization.
+ */
+class TraceCursor : public TraceSource
+{
+  public:
+    explicit TraceCursor(const InMemoryTrace &trace)
+        : insts_(&trace.insts())
+    {
+    }
+
+    bool next(DynInst &inst) override
+    {
+        if (pos_ >= insts_->size())
+            return false;
+        inst = (*insts_)[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    const std::vector<DynInst> *insts_;
+    std::size_t pos_ = 0;
+};
+
+/**
  * Drain up to @p limit instructions of @p src into an InMemoryTrace
  * (limit 0 = drain everything).
  */

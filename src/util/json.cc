@@ -1,6 +1,8 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -161,6 +163,393 @@ JsonWriter::str() const
     mbbp_assert(needComma_.empty(),
                 "JSON document has unclosed containers");
     return out_;
+}
+
+JsonParseError::JsonParseError(const std::string &what,
+                               std::size_t line, std::size_t column)
+    : std::runtime_error("JSON parse error at line " +
+                         std::to_string(line) + ", column " +
+                         std::to_string(column) + ": " + what),
+      line_(line), column_(column)
+{
+}
+
+const char *
+JsonValue::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "boolean";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace
+{
+
+[[noreturn]] void
+wrongKind(const char *wanted, JsonValue::Kind got)
+{
+    throw std::logic_error(std::string("JSON value is ") +
+                           JsonValue::kindName(got) + ", not " +
+                           wanted);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        wrongKind("boolean", kind_);
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        wrongKind("string", kind_);
+    return text_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        wrongKind("array", kind_);
+    return items_;
+}
+
+const std::string &
+JsonValue::keyAt(std::size_t i) const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    return keys_.at(i);
+}
+
+const JsonValue &
+JsonValue::memberAt(std::size_t i) const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    return items_.at(i);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+        if (keys_[i] == key)
+            return &items_[i];
+    return nullptr;
+}
+
+std::string
+JsonValue::scalarText() const
+{
+    switch (kind_) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return bool_ ? "true" : "false";
+      case Kind::Number: return text_;      // the source lexeme
+      case Kind::String: return text_;
+      default: wrongKind("scalar", kind_);
+    }
+}
+
+/** Recursive-descent parser over the whole document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text)
+        : text_(text)
+    {
+    }
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw JsonParseError(what, line, col);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skipWhitespace()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    void expect(char c)
+    {
+        if (atEnd() || peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (!atEnd() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (atEnd() || peek() != *p)
+                fail(std::string("invalid literal (expected \"") +
+                     word + "\")");
+            ++pos_;
+        }
+    }
+
+    JsonValue parseValue()
+    {
+        skipWhitespace();
+        if (atEnd())
+            fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': {
+            literal("true");
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::Bool;
+            v.bool_ = true;
+            return v;
+          }
+          case 'f': {
+            literal("false");
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::Bool;
+            return v;
+          }
+          case 'n':
+            literal("null");
+            return JsonValue();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        skipWhitespace();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipWhitespace();
+            if (atEnd() || peek() != '"')
+                fail("expected object key (a string)");
+            std::string key = parseString().asString();
+            if (v.find(key))
+                fail("duplicate object key \"" + key + "\"");
+            skipWhitespace();
+            expect(':');
+            v.keys_.push_back(std::move(key));
+            v.items_.push_back(parseValue());
+            skipWhitespace();
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        skipWhitespace();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.items_.push_back(parseValue());
+            skipWhitespace();
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: fail("invalid escape sequence");
+            }
+        }
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        v.text_ = std::move(out);
+        return v;
+    }
+
+    /** \uXXXX, encoded back to UTF-8 (surrogate pairs supported). */
+    std::string parseUnicodeEscape()
+    {
+        uint32_t cp = parseHex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: require the low half.
+            if (!consume('\\') || !consume('u'))
+                fail("unpaired surrogate escape");
+            uint32_t lo = parseHex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+                fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate escape");
+        }
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    uint32_t parseHex4()
+    {
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                fail("truncated \\u escape");
+            char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return value;
+    }
+
+    JsonValue parseNumber()
+    {
+        std::size_t start = pos_;
+        consume('-');
+        if (atEnd() || !std::isdigit(
+                           static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        if (!consume('0'))
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        if (consume('.')) {
+            if (atEnd() || !std::isdigit(
+                               static_cast<unsigned char>(peek())))
+                fail("digits required after decimal point");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (consume('e') || consume('E')) {
+            if (!consume('+'))
+                consume('-');
+            if (atEnd() || !std::isdigit(
+                               static_cast<unsigned char>(peek())))
+                fail("digits required in exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.text_ = text_.substr(start, pos_ - start);
+        v.number_ = std::strtod(v.text_.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 std::string

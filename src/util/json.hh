@@ -1,14 +1,16 @@
 /**
  * @file
- * A minimal JSON writer (objects, arrays, scalars, escaping) so
- * simulation results can be exported to downstream tooling without a
- * third-party dependency. Write-only by design.
+ * Minimal JSON support with no third-party dependency: a streaming
+ * writer (objects, arrays, scalars, escaping) for exporting
+ * simulation results, and a small recursive-descent parser
+ * (JsonValue) for reading configuration such as sweep specifications.
  */
 
 #ifndef MBBP_UTIL_JSON_HH
 #define MBBP_UTIL_JSON_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,93 @@ class JsonWriter
 
     std::string out_;
     std::vector<bool> needComma_;   //!< per open container
+};
+
+/** Parse failure, with 1-based source position. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t line,
+                   std::size_t column);
+
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+
+  private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/**
+ * A parsed JSON document node.
+ *
+ * Objects preserve the member order of the source text, which gives
+ * downstream consumers (e.g. sweep-grid expansion) a deterministic
+ * iteration order that matches what the user wrote.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() = default;      //!< null
+
+    /** Parse a complete document; throws JsonParseError. */
+    static JsonValue parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Human-readable name of @p kind ("object", "number", ...). */
+    static const char *kindName(Kind kind);
+
+    /** @{ Scalar access; throws std::logic_error on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Array elements; throws unless isArray(). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Number of members (object) or elements (array). */
+    std::size_t size() const { return items_.size(); }
+
+    /** Key of the i-th member in source order; requires isObject(). */
+    const std::string &keyAt(std::size_t i) const;
+
+    /** Value of the i-th member in source order. */
+    const JsonValue &memberAt(std::size_t i) const;
+
+    /** Member lookup; nullptr if absent. Throws unless isObject(). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** The source text of a number ("0.25"), or a rendering of any
+     *  scalar -- what sweep params print as. */
+    std::string scalarText() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string text_;          //!< string value, or number lexeme
+    std::vector<std::string> keys_;     //!< object member keys
+    std::vector<JsonValue> items_;      //!< elements / member values
 };
 
 } // namespace mbbp

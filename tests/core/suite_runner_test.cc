@@ -12,8 +12,8 @@ namespace
 TEST(TraceCache, GeneratesOnceAndReplays)
 {
     TraceCache cache(5000);
-    InMemoryTrace &a = cache.get("compress");
-    InMemoryTrace &b = cache.get("compress");
+    const InMemoryTrace &a = cache.get("compress");
+    const InMemoryTrace &b = cache.get("compress");
     EXPECT_EQ(&a, &b);          // same object, not regenerated
     EXPECT_EQ(a.size(), 5000u);
 }

@@ -153,7 +153,7 @@ TEST_F(EndToEnd, TraceFileRoundTripGivesIdenticalResults)
 {
     // The binary trace format is a faithful transport: running the
     // simulator on a re-read trace reproduces every metric.
-    InMemoryTrace &orig = traces().get("perl");
+    const InMemoryTrace &orig = traces().get("perl");
     std::string path = ::testing::TempDir() + "mbbp_e2e_trace.bin";
     {
         TraceFileWriter w(path);

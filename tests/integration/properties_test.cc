@@ -65,7 +65,7 @@ TEST_P(EngineSweep, InvariantsHold)
         break;
     }
 
-    InMemoryTrace &trace = traces().get(p.program);
+    const InMemoryTrace &trace = traces().get(p.program);
     FetchStats s = FetchSimulator(cfg).run(trace);
 
     // Every instruction of every fetched block is accounted for.

@@ -1,0 +1,136 @@
+/** @file Runner + report tests: determinism across thread counts. */
+
+#include "sweep/sweep_runner.hh"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "sweep/sweep_report.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+// Short traces keep the whole suite-of-sweeps fast.
+constexpr std::size_t kInsts = 6000;
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.setName("determinism");
+    spec.setBenchmarks({ "gcc", "compress", "swim" });
+    spec.addAxis("historyBits", { "6", "8" });
+    spec.addAxis("numBlocks", { "1", "2" });
+    return spec;
+}
+
+TEST(SweepRunner, ProducesOneResultPerJobInOrder)
+{
+    TraceCache traces(kInsts);
+    SweepResult r = runSweep(smallSpec(), traces);
+    ASSERT_EQ(r.jobs.size(), 4u);
+    for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+        EXPECT_EQ(r.jobs[i].job.index, i);
+        EXPECT_GT(r.jobs[i].result.allTotal.instructions, 0u);
+        EXPECT_GE(r.jobs[i].seconds, 0.0);
+    }
+    EXPECT_EQ(r.name, "determinism");
+    EXPECT_GT(r.wallSeconds, 0.0);
+}
+
+TEST(SweepRunner, ReportsAreByteIdenticalAcrossThreadCounts)
+{
+    TraceCache traces(kInsts);
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions wide;
+    wide.threads = 8;
+
+    SweepResult r1 = runSweep(smallSpec(), traces, serial);
+    SweepResult r8 = runSweep(smallSpec(), traces, wide);
+
+    EXPECT_EQ(sweepToJson(r1), sweepToJson(r8));
+    EXPECT_EQ(sweepToCsv(r1), sweepToCsv(r8));
+
+    SweepReportOptions aggregates_only;
+    aggregates_only.perProgram = false;
+    EXPECT_EQ(sweepToJson(r1, aggregates_only),
+              sweepToJson(r8, aggregates_only));
+}
+
+TEST(SweepRunner, TimedReportsRecordThreadCount)
+{
+    TraceCache traces(kInsts);
+    SweepOptions wide;
+    wide.threads = 3;
+    SweepResult r = runSweep(smallSpec(), traces, wide);
+    EXPECT_EQ(r.threads, 3u);
+
+    SweepReportOptions timed;
+    timed.timings = true;
+    std::string json = sweepToJson(r, timed);
+    EXPECT_NE(json.find("\"threads\":3"), std::string::npos);
+    EXPECT_NE(json.find("wall_seconds"), std::string::npos);
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryJobSerialized)
+{
+    TraceCache traces(kInsts);
+    SweepOptions opts;
+    opts.threads = 4;
+    std::atomic<int> in_callback{ 0 };
+    std::size_t calls = 0, last_completed = 0;
+    bool overlapped = false;
+    opts.progress = [&](const SweepProgress &p) {
+        if (++in_callback != 1)
+            overlapped = true;
+        ++calls;
+        last_completed = p.completed;
+        EXPECT_EQ(p.total, 4u);
+        EXPECT_NE(p.job, nullptr);
+        --in_callback;
+    };
+    runSweep(smallSpec(), traces, opts);
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(last_completed, 4u);
+    EXPECT_FALSE(overlapped);
+}
+
+TEST(SweepRunner, WorkerExceptionsPropagateToTheCaller)
+{
+    // The progress callback runs inside pool tasks, so a throw here
+    // exercises the same capture-and-rethrow path a failing job
+    // would take: it must surface from runSweep, not kill a worker.
+    TraceCache traces(kInsts);
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.progress = [](const SweepProgress &) {
+        throw std::runtime_error("observer failed");
+    };
+    EXPECT_THROW(runSweep(smallSpec(), traces, opts),
+                 std::runtime_error);
+}
+
+TEST(SweepReport, CsvHasHeaderPlusRowPerScope)
+{
+    TraceCache traces(kInsts);
+    SweepSpec spec;
+    spec.setBenchmarks({ "gcc", "swim" });
+    spec.addAxis("historyBits", { "6" });
+    SweepResult r = runSweep(spec, traces);
+
+    std::string csv = sweepToCsv(r);
+    std::size_t lines = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++lines;
+    // header + (int, fp, all, gcc, swim) for the single job
+    EXPECT_EQ(lines, 6u);
+    EXPECT_EQ(csv.compare(0, 16, "job,historyBits,"), 0);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,238 @@
+/** @file Unit tests for sweep specifications and grid expansion. */
+
+#include "sweep/sweep_spec.hh"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(ApplyConfigField, SetsKnownFields)
+{
+    SimConfig cfg;
+    applyConfigField(cfg, "historyBits", "12");
+    applyConfigField(cfg, "numBlocks", "3");
+    applyConfigField(cfg, "targetKind", "btb");
+    applyConfigField(cfg, "nearBlock", "true");
+    EXPECT_EQ(cfg.engine.historyBits, 12u);
+    EXPECT_EQ(cfg.numBlocks, 3u);
+    EXPECT_EQ(cfg.engine.targetKind, TargetKind::Btb);
+    EXPECT_TRUE(cfg.engine.nearBlock);
+}
+
+TEST(ApplyConfigField, UnknownFieldNamesTheField)
+{
+    SimConfig cfg;
+    try {
+        applyConfigField(cfg, "historyBitz", "10");
+        FAIL() << "expected SweepError";
+    } catch (const SweepError &e) {
+        EXPECT_NE(std::string(e.what()).find("historyBitz"),
+                  std::string::npos);
+    }
+}
+
+TEST(ApplyConfigField, BadValueNamesTheField)
+{
+    SimConfig cfg;
+    EXPECT_THROW(applyConfigField(cfg, "historyBits", "many"),
+                 SweepError);
+    EXPECT_THROW(applyConfigField(cfg, "nearBlock", "maybe"),
+                 SweepError);
+    EXPECT_THROW(applyConfigField(cfg, "cacheType", "fancy"),
+                 SweepError);
+}
+
+TEST(SweepFieldNames, SortedAndNonEmpty)
+{
+    const auto &names = sweepFieldNames();
+    ASSERT_FALSE(names.empty());
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_NE(std::find(names.begin(), names.end(), "historyBits"),
+              names.end());
+}
+
+TEST(SweepSpec, GridExpandsRowMajorLastAxisFastest)
+{
+    SweepSpec spec;
+    spec.addAxis("historyBits", { "6", "8" });
+    spec.addAxis("numSelectTables", { "1", "2", "4" });
+
+    EXPECT_EQ(spec.jobCount(), 6u);
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 6u);
+
+    const unsigned expect_h[] = { 6, 6, 6, 8, 8, 8 };
+    const unsigned expect_st[] = { 1, 2, 4, 1, 2, 4 };
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].config.engine.historyBits, expect_h[i]);
+        EXPECT_EQ(jobs[i].config.engine.numSelectTables,
+                  expect_st[i]);
+        ASSERT_EQ(jobs[i].params.size(), 2u);
+        EXPECT_EQ(jobs[i].params[0].first, "historyBits");
+        EXPECT_EQ(jobs[i].params[1].first, "numSelectTables");
+    }
+}
+
+TEST(SweepSpec, PointsFollowTheGrid)
+{
+    SweepSpec spec;
+    spec.addAxis("historyBits", { "6", "8" });
+    spec.addPoint({ { "numBlocks", "4" } });
+
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[2].config.numBlocks, 4u);
+    ASSERT_EQ(jobs[2].params.size(), 1u);
+    EXPECT_EQ(jobs[2].params[0].first, "numBlocks");
+}
+
+TEST(SweepSpec, BaseAppliesToEveryJob)
+{
+    SweepSpec spec;
+    spec.setBase("numBlocks", "3");
+    spec.addAxis("historyBits", { "6", "8" });
+
+    for (const auto &job : spec.expand()) {
+        EXPECT_EQ(job.config.numBlocks, 3u);
+        // base assignments are not sweep params
+        ASSERT_EQ(job.params.size(), 1u);
+        EXPECT_EQ(job.params[0].first, "historyBits");
+    }
+}
+
+TEST(SweepSpec, EmptySpecIsOneBaselineJob)
+{
+    // A grid of zero axes is the cartesian identity: one job with
+    // the base (default) configuration and no sweep params.
+    SweepSpec spec;
+    EXPECT_EQ(spec.jobCount(), 1u);
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_TRUE(jobs[0].params.empty());
+}
+
+TEST(SweepSpec, PointsAloneSkipTheBaselineJob)
+{
+    SweepSpec spec;
+    spec.addPoint({ { "historyBits", "8" } });
+    EXPECT_EQ(spec.jobCount(), 1u);
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].config.engine.historyBits, 8u);
+}
+
+TEST(SweepSpec, EmptyAxisIsAnError)
+{
+    SweepSpec spec;
+    spec.addAxis("historyBits", {});
+    EXPECT_THROW(spec.expand(), SweepError);
+}
+
+TEST(SweepSpec, DuplicateAxisFieldIsAnError)
+{
+    SweepSpec spec;
+    spec.addAxis("historyBits", { "6" });
+    EXPECT_THROW(spec.addAxis("historyBits", { "8" }), SweepError);
+}
+
+TEST(SweepSpec, UnknownBenchmarkIsAnError)
+{
+    SweepSpec spec;
+    EXPECT_THROW(spec.setBenchmarks({ "gcc", "no-such-benchmark" }),
+                 SweepError);
+}
+
+TEST(SweepSpec, SingleValueAxesDegenerateToOneJob)
+{
+    SweepSpec spec;
+    spec.addAxis("historyBits", { "10" });
+    spec.addAxis("numBlocks", { "2" });
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].config.engine.historyBits, 10u);
+    EXPECT_EQ(jobs[0].config.numBlocks, 2u);
+}
+
+TEST(SweepSpec, BlockWidthAndCacheTypeComposeInEitherOrder)
+{
+    SweepSpec a, b;
+    a.setBase("blockWidth", "16");
+    a.addAxis("cacheType", { "extend" });
+    b.setBase("cacheType", "extend");
+    b.addAxis("blockWidth", { "16" });
+    auto ja = a.expand(), jb = b.expand();
+    ASSERT_EQ(ja.size(), 1u);
+    ASSERT_EQ(jb.size(), 1u);
+    EXPECT_EQ(ja[0].config.engine.icache.blockWidth, 16u);
+    EXPECT_EQ(ja[0].config.engine.icache.blockWidth,
+              jb[0].config.engine.icache.blockWidth);
+    EXPECT_EQ(ja[0].config.engine.icache.type, CacheType::Extended);
+    EXPECT_EQ(ja[0].config.engine.icache.type,
+              jb[0].config.engine.icache.type);
+}
+
+TEST(SweepSpecJson, ParsesTheDocumentedForm)
+{
+    SweepSpec spec = SweepSpec::fromJson(R"({
+        "name": "history-sweep",
+        "benchmarks": ["gcc", "swim"],
+        "instructions": 12345,
+        "base": { "numBlocks": 2 },
+        "grid": { "historyBits": [6, 8, 10] },
+        "points": [ { "numBlocks": 1, "historyBits": 10 } ]
+    })");
+    EXPECT_EQ(spec.name(), "history-sweep");
+    ASSERT_EQ(spec.benchmarks().size(), 2u);
+    EXPECT_EQ(spec.benchmarks()[0], "gcc");
+    EXPECT_EQ(spec.instructions(), 12345u);
+
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].config.engine.historyBits, 6u);
+    EXPECT_EQ(jobs[0].config.numBlocks, 2u);
+    EXPECT_EQ(jobs[3].config.numBlocks, 1u);
+    EXPECT_EQ(jobs[3].config.engine.historyBits, 10u);
+}
+
+TEST(SweepSpecJson, RejectsUnknownTopLevelKeys)
+{
+    EXPECT_THROW(SweepSpec::fromJson(R"({ "grid": {}, "axes": {} })"),
+                 SweepError);
+}
+
+TEST(SweepSpecJson, RejectsUnknownConfigFieldsAtParseTime)
+{
+    EXPECT_THROW(
+        SweepSpec::fromJson(R"({ "grid": { "notAField": [1] } })"),
+        SweepError);
+}
+
+TEST(SweepSpecJson, WrapsMalformedJsonInSweepError)
+{
+    try {
+        SweepSpec::fromJson("{ \"grid\": ");
+        FAIL() << "expected SweepError";
+    } catch (const SweepError &e) {
+        EXPECT_FALSE(std::string(e.what()).empty());
+    }
+}
+
+TEST(SweepSpecJson, MissingFileNamesThePath)
+{
+    try {
+        SweepSpec::fromJsonFile("/nonexistent/sweep.json");
+        FAIL() << "expected SweepError";
+    } catch (const SweepError &e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/sweep.json"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mbbp

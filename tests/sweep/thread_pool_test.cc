@@ -1,0 +1,138 @@
+/** @file Unit tests for the work-stealing thread pool. */
+
+#include "sweep/thread_pool.hh"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ZeroRequestsDefaultWorkerCount)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numWorkers(), 1u);
+    EXPECT_EQ(pool.numWorkers(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait();
+}
+
+TEST(ThreadPool, WorkersMaySubmitMoreWork)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] {
+            ++count;
+            pool.submit([&] { ++count; });
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&, i] {
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+            ++count;
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure must not cancel the rest of the batch.
+    EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 5; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();    // the old exception must not resurface
+    EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, OneExceptionPerBatchAndThenCleared)
+{
+    // Which of several failing tasks runs first depends on stealing
+    // order; exactly one exception must surface, and wait() must
+    // clear it for the next batch.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("alpha"); });
+    pool.submit([] { throw std::runtime_error("beta"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have thrown";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_TRUE(what == "alpha" || what == "beta") << what;
+    }
+    pool.wait();    // nothing outstanding, nothing to rethrow
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> count{ 0 };
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelMap, ResultsLandInInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items;
+    for (int i = 0; i < 100; ++i)
+        items.push_back(i);
+    auto out = parallelMap(pool, items, [](int v, std::size_t idx) {
+        EXPECT_EQ(static_cast<std::size_t>(v), idx);
+        return v * v;
+    });
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, EmptyInputYieldsEmptyOutput)
+{
+    ThreadPool pool(2);
+    std::vector<std::string> none;
+    auto out = parallelMap(pool, none,
+                           [](const std::string &s, std::size_t) {
+                               return s.size();
+                           });
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace mbbp

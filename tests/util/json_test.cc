@@ -1,8 +1,9 @@
-/** @file Unit tests for the JSON writer. */
+/** @file Unit tests for the JSON writer and parser. */
 
 #include "util/json.hh"
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -75,6 +76,116 @@ TEST(JsonWriterDeath, UnbalancedEndPanics)
 {
     JsonWriter w;
     EXPECT_DEATH(w.endObject(), "nothing open");
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").asNumber(), -250.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NumberLexemeIsPreserved)
+{
+    // 0.30000000000000004-style drift must not leak into sweep
+    // params: scalarText is the source spelling, not a round-trip.
+    EXPECT_EQ(JsonValue::parse("0.1").scalarText(), "0.1");
+    EXPECT_EQ(JsonValue::parse("1e3").scalarText(), "1e3");
+    EXPECT_EQ(JsonValue::parse("true").scalarText(), "true");
+    EXPECT_EQ(JsonValue::parse("\"x\"").scalarText(), "x");
+}
+
+TEST(JsonParse, ArraysAndNesting)
+{
+    JsonValue v = JsonValue::parse("[1, [2, 3], {\"k\": 4}]");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.items()[0].asNumber(), 1.0);
+    EXPECT_EQ(v.items()[1].size(), 2u);
+    EXPECT_DOUBLE_EQ(v.items()[2].find("k")->asNumber(), 4.0);
+}
+
+TEST(JsonParse, ObjectsPreserveSourceOrder)
+{
+    JsonValue v = JsonValue::parse(
+        "{\"zebra\": 1, \"apple\": 2, \"mango\": 3}");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.keyAt(0), "zebra");
+    EXPECT_EQ(v.keyAt(1), "apple");
+    EXPECT_EQ(v.keyAt(2), "mango");
+    EXPECT_DOUBLE_EQ(v.memberAt(1).asNumber(), 2.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\t")").asString(),
+              "a\"b\\c\nd\t");
+    EXPECT_EQ(JsonValue::parse(R"("Aé")").asString(),
+              "A\xc3\xa9");
+    // surrogate pair: U+1F600
+    EXPECT_EQ(JsonValue::parse(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, DuplicateObjectKeyRejected)
+{
+    EXPECT_THROW(JsonValue::parse("{\"a\": 1, \"a\": 2}"),
+                 JsonParseError);
+}
+
+TEST(JsonParse, ErrorsCarrySourcePosition)
+{
+    try {
+        JsonValue::parse("{\n  \"a\": 1,\n  oops\n}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.line(), 3u);
+        EXPECT_GT(e.column(), 1u);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("1 2"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("nul"), JsonParseError);
+    EXPECT_THROW(JsonValue::parse("01"), JsonParseError);
+}
+
+TEST(JsonParse, KindMismatchThrowsLogicError)
+{
+    JsonValue v = JsonValue::parse("42");
+    EXPECT_THROW(v.asString(), std::logic_error);
+    EXPECT_THROW(v.items(), std::logic_error);
+    EXPECT_THROW(v.find("k"), std::logic_error);
+    EXPECT_STREQ(JsonValue::kindName(JsonValue::Kind::Number),
+                 "number");
+}
+
+TEST(JsonParse, WriterOutputRoundTrips)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("n", uint64_t{ 7 });
+    w.beginArray("xs");
+    w.element(1.5);
+    w.element(std::string("two"));
+    w.endArray();
+    w.endObject();
+
+    JsonValue v = JsonValue::parse(w.str());
+    EXPECT_DOUBLE_EQ(v.find("n")->asNumber(), 7.0);
+    EXPECT_EQ(v.find("xs")->items()[1].asString(), "two");
 }
 
 } // namespace
