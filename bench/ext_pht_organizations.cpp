@@ -38,7 +38,7 @@ blockedWith(unsigned history_bits, unsigned num_phts, bool is_fp)
         GlobalHistory ghr(history_bits);
         TraceCursor cursor(t);
         BlockStream stream(cursor, cache);
-        FetchBlock blk;
+        OwnedBlock blk;
         AccuracyResult res;
         while (stream.next(blk)) {
             std::size_t idx = pht.index(ghr, blk.startPc);

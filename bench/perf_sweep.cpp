@@ -2,24 +2,43 @@
  * @file
  * Sweep-engine performance and determinism check (the subsystem's
  * acceptance harness): a 16-configuration grid (historyBits x
- * numSelectTables) over 4 benchmarks, executed single-threaded and
- * on 8 threads. Prints both wall-clock times and the speedup, and
- * verifies the aggregate JSON + CSV reports are byte-identical --
- * scheduling must never leak into results.
+ * numSelectTables) over 4 benchmarks, executed in four modes --
+ * {per-run decode, shared decode} x {1 thread, 8 threads}. Per-run
+ * decode rebuilds the replay artifact inside every job (the
+ * pre-artifact behavior); shared decode replays the TraceCache's
+ * memoized DecodedTrace. The bench prints wall clocks and the
+ * decode-once speedup, verifies that all four modes emit byte-
+ * identical aggregate JSON + CSV (neither scheduling nor the replay
+ * path may leak into results), and writes the measurements to
+ * BENCH_perf_sweep.json for regression tooling.
  *
- * The speedup is bounded by the physical cores of the host
- * (hardware_concurrency is printed for context); on a >= 8-core
- * machine the sweep is embarrassingly parallel and approaches 8x.
+ * The thread speedup is bounded by the physical cores of the host
+ * (hardware_concurrency is printed for context); the decode-once
+ * speedup is host-independent, since it removes whole decode passes.
  *
  * MBBP_BENCH_INSTS scales the per-program trace length.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 
 using namespace mbbp;
 using namespace mbbp::bench;
+
+namespace
+{
+
+struct Mode
+{
+    const char *label;
+    bool sharedDecode;
+    unsigned threads;
+    SweepResult result;
+};
+
+} // namespace
 
 int
 main()
@@ -36,44 +55,93 @@ main()
               << " insts/program, hardware threads: "
               << ThreadPool::defaultThreads() << "\n";
 
-    // Generate every trace up front so both timed runs measure pure
-    // simulation, not first-touch workload generation.
+    // Generate every trace -- and the shared replay artifacts -- up
+    // front so the timed runs measure pure simulation against decode
+    // work, not first-touch workload generation.
+    ICacheConfig geom = SimConfig::paperDefault().engine.icache;
     for (const auto &name : spec.benchmarks())
-        (void)benchTraces().get(name);
+        (void)benchTraces().decoded(name, geom);
 
-    SweepOptions serial;
-    serial.threads = 1;
-    SweepResult r1 = runSweep(spec, benchTraces(), serial);
+    Mode modes[] = {
+        { "per-run 1T", false, 1, {} },
+        { "per-run 8T", false, 8, {} },
+        { "shared 1T", true, 1, {} },
+        { "shared 8T", true, 8, {} },
+    };
+    for (Mode &m : modes) {
+        SweepOptions opts;
+        opts.threads = m.threads;
+        opts.sharedDecode = m.sharedDecode;
+        m.result = runSweep(spec, benchTraces(), opts);
+    }
 
-    SweepOptions parallel8;
-    parallel8.threads = 8;
-    SweepResult r8 = runSweep(spec, benchTraces(), parallel8);
-
+    // Every mode must emit the same bytes.
     SweepReportOptions stable;      // no timings: byte-stable
-    bool json_identical =
-        sweepToJson(r1, stable) == sweepToJson(r8, stable);
-    bool csv_identical =
-        sweepToCsv(r1, stable) == sweepToCsv(r8, stable);
+    const std::string ref_json = sweepToJson(modes[0].result, stable);
+    const std::string ref_csv = sweepToCsv(modes[0].result, stable);
+    bool identical = true;
+    for (const Mode &m : modes)
+        identical = identical &&
+                    sweepToJson(m.result, stable) == ref_json &&
+                    sweepToCsv(m.result, stable) == ref_csv;
 
-    TextTable table("sweep wall clock, 1 vs 8 threads");
-    table.setHeader({ "threads", "wall seconds", "jobs/s" });
-    for (const SweepResult *r : { &r1, &r8 })
+    TextTable table("sweep wall clock by decode mode and threads");
+    table.setHeader({ "mode", "wall seconds", "jobs/s" });
+    for (const Mode &m : modes)
         table.addRow(
-            { std::to_string(r->threads),
-              TextTable::fmt(r->wallSeconds, 3),
-              TextTable::fmt(static_cast<double>(r->jobs.size()) /
-                                 r->wallSeconds,
-                             2) });
+            { m.label, TextTable::fmt(m.result.wallSeconds, 3),
+              TextTable::fmt(
+                  static_cast<double>(m.result.jobs.size()) /
+                      m.result.wallSeconds,
+                  2) });
     std::cout << out(table);
 
-    double speedup = r1.wallSeconds / r8.wallSeconds;
-    std::cout << "speedup: " << TextTable::fmt(speedup, 2)
+    double decode_once_1t =
+        modes[0].result.wallSeconds / modes[2].result.wallSeconds;
+    double decode_once_8t =
+        modes[1].result.wallSeconds / modes[3].result.wallSeconds;
+    double threads_shared =
+        modes[2].result.wallSeconds / modes[3].result.wallSeconds;
+    std::cout << "decode-once speedup, 1 thread:  "
+              << TextTable::fmt(decode_once_1t, 2) << "x\n"
+              << "decode-once speedup, 8 threads: "
+              << TextTable::fmt(decode_once_8t, 2) << "x\n"
+              << "thread speedup (shared decode): "
+              << TextTable::fmt(threads_shared, 2)
               << "x\naggregate output byte-identical: "
-              << (json_identical && csv_identical ? "yes" : "NO")
-              << "\n";
+              << (identical ? "yes" : "NO") << "\n";
 
-    if (!json_identical || !csv_identical) {
-        std::cerr << "FAIL: thread count changed the results\n";
+    JsonWriter w;
+    w.beginObject();
+    w.value("bench", "perf_sweep");
+    w.value("jobs", static_cast<uint64_t>(spec.jobCount()));
+    w.value("benchmarks",
+            static_cast<uint64_t>(spec.benchmarks().size()));
+    w.value("instsPerProgram",
+            static_cast<uint64_t>(benchInstructions()));
+    w.value("hardwareThreads",
+            static_cast<uint64_t>(ThreadPool::defaultThreads()));
+    w.beginArray("modes");
+    for (const Mode &m : modes) {
+        w.beginObject();
+        w.value("label", m.label);
+        w.value("sharedDecode", m.sharedDecode);
+        w.value("threads", static_cast<uint64_t>(m.threads));
+        w.value("wallSeconds", m.result.wallSeconds);
+        w.endObject();
+    }
+    w.endArray();
+    w.value("decodeOnceSpeedup1T", decode_once_1t);
+    w.value("decodeOnceSpeedup8T", decode_once_8t);
+    w.value("threadSpeedupShared", threads_shared);
+    w.value("byteIdentical", identical);
+    w.endObject();
+    writeTextFile("BENCH_perf_sweep.json", w.str());
+    std::cout << "wrote BENCH_perf_sweep.json\n";
+
+    if (!identical) {
+        std::cerr << "FAIL: decode mode or thread count changed "
+                     "the results\n";
         return 1;
     }
     return 0;

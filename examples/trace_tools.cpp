@@ -84,7 +84,7 @@ cmdBlocks(int argc, char **argv)
     ICacheModel cache(ICacheConfig::selfAligned(8));
     BlockStream stream(trace, cache);
     Histogram hist("block sizes", 9);
-    FetchBlock blk;
+    OwnedBlock blk;
     while (stream.next(blk))
         hist.sample(blk.size());
 

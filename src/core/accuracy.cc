@@ -39,7 +39,7 @@ blockedPhtAccuracy(const InMemoryTrace &trace, unsigned history_bits,
 
     TraceCursor cursor(trace);
     BlockStream stream(cursor, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     while (stream.next(blk)) {
         std::size_t idx = pht.index(ghr, blk.startPc);
         for (const auto &inst : blk.insts) {

@@ -25,18 +25,24 @@ FetchSimulator::FetchSimulator(const SimConfig &cfg)
 FetchStats
 FetchSimulator::run(const InMemoryTrace &trace) const
 {
+    return run(DecodedTrace::build(trace, cfg_.engine.icache));
+}
+
+FetchStats
+FetchSimulator::run(const DecodedTrace &dec) const
+{
     switch (cfg_.numBlocks) {
       case 1: {
         SingleBlockEngine engine(cfg_.engine);
-        return engine.run(trace);
+        return engine.run(dec);
       }
       case 2: {
         DualBlockEngine engine(cfg_.engine);
-        return engine.run(trace);
+        return engine.run(dec);
       }
       default: {
         MultiBlockEngine engine(cfg_.engine, cfg_.numBlocks);
-        return engine.run(trace);
+        return engine.run(dec);
       }
     }
 }

@@ -41,8 +41,16 @@ class FetchSimulator
   public:
     explicit FetchSimulator(const SimConfig &cfg);
 
-    /** Run the trace and return the fetch metrics. */
+    /**
+     * Run the trace and return the fetch metrics. Decodes a
+     * throwaway replay artifact; when simulating many configurations
+     * over the same trace, build one DecodedTrace and use the other
+     * overload to amortize the decode.
+     */
     FetchStats run(const InMemoryTrace &trace) const;
+
+    /** Replay a precomputed artifact (byte-identical results). */
+    FetchStats run(const DecodedTrace &dec) const;
 
     const SimConfig &config() const { return cfg_; }
 

@@ -34,6 +34,7 @@
 #include "fetch/penalty_model.hh"
 
 // Workloads and traces
+#include "trace/decoded_trace.hh"
 #include "trace/trace.hh"
 #include "trace/trace_file.hh"
 #include "workload/generator.hh"

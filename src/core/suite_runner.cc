@@ -28,9 +28,33 @@ TraceCache::get(const std::string &name)
     return entry->trace;
 }
 
+const DecodedTrace &
+TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
+{
+    DecodedKey key{ name, static_cast<uint8_t>(geom.type),
+                    geom.blockWidth, geom.lineSize };
+    DecodedEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = decoded_.find(key);
+        if (it == decoded_.end())
+            it = decoded_
+                     .emplace(std::move(key),
+                              std::make_unique<DecodedEntry>())
+                     .first;
+        entry = it->second.get();
+    }
+    // get() is itself thread-safe, so decoding may trigger trace
+    // generation; distinct artifacts decode concurrently.
+    std::call_once(entry->once, [&] {
+        entry->dec = DecodedTrace::build(get(name), geom);
+    });
+    return entry->dec;
+}
+
 SuiteResult
 runSuite(const SimConfig &cfg, TraceCache &traces,
-         const std::vector<std::string> &names)
+         const std::vector<std::string> &names, bool shared_decode)
 {
     SuiteResult result;
     FetchSimulator sim(cfg);
@@ -38,7 +62,9 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
     const std::vector<std::string> &run_names =
         names.empty() ? specAllNames() : names;
     for (const auto &name : run_names) {
-        FetchStats s = sim.run(traces.get(name));
+        FetchStats s = shared_decode
+            ? sim.run(traces.decoded(name, cfg.engine.icache))
+            : sim.run(traces.get(name));
         result.perProgram[name] = s;
         result.allTotal.accumulate(s);
         if (specProfile(name).isFloat)

@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/fetch_simulator.hh"
@@ -21,13 +22,14 @@ namespace mbbp
 {
 
 /**
- * Generates each benchmark trace once and replays it on demand.
+ * Generates each benchmark trace once and replays it on demand, and
+ * memoizes the DecodedTrace replay artifact per (trace, geometry).
  *
- * Safe for concurrent use: any number of threads may call get() --
- * each trace is generated exactly once (different traces generate in
- * parallel, callers of the same trace block until it is ready), and
- * the returned reference is const and stable for the cache's
- * lifetime, so replays need no further locking (use a TraceCursor).
+ * Safe for concurrent use: any number of threads may call get() or
+ * decoded() -- each trace / artifact is built exactly once (distinct
+ * entries build in parallel, callers of the same entry block until it
+ * is ready), and the returned reference is const and stable for the
+ * cache's lifetime, so replays need no further locking.
  */
 class TraceCache
 {
@@ -36,6 +38,16 @@ class TraceCache
 
     /** The trace for @p name (generated on first use). */
     const InMemoryTrace &get(const std::string &name);
+
+    /**
+     * The replay artifact for @p name cut for @p geom (decoded on
+     * first use). Artifacts are keyed by the geometry fields that
+     * affect segmentation (type, block width, line size), so sweep
+     * jobs differing only in predictor tables -- or bank counts --
+     * share one artifact.
+     */
+    const DecodedTrace &decoded(const std::string &name,
+                                const ICacheConfig &geom);
 
     std::size_t instructionsPerProgram() const { return ninsts_; }
 
@@ -46,9 +58,20 @@ class TraceCache
         InMemoryTrace trace;
     };
 
+    struct DecodedEntry
+    {
+        std::once_flag once;
+        DecodedTrace dec;
+    };
+
+    /** (name, type, blockWidth, lineSize). */
+    using DecodedKey = std::tuple<std::string, uint8_t, unsigned,
+                                  unsigned>;
+
     std::size_t ninsts_;
-    std::mutex mutex_;      //!< guards the map, not the traces
+    std::mutex mutex_;      //!< guards the maps, not the payloads
     std::map<std::string, std::unique_ptr<Entry>> traces_;
+    std::map<DecodedKey, std::unique_ptr<DecodedEntry>> decoded_;
 };
 
 /** Per-program results plus int/fp/all aggregates. */
@@ -60,9 +83,17 @@ struct SuiteResult
     FetchStats allTotal;
 };
 
-/** Run @p cfg over the whole suite (or a subset of names). */
+/**
+ * Run @p cfg over the whole suite (or a subset of names).
+ *
+ * With @p shared_decode (the default) each program replays the
+ * cache's memoized DecodedTrace artifact; pass false to decode a
+ * private artifact per run (the pre-artifact behavior -- results are
+ * byte-identical either way, only the wall clock differs).
+ */
 SuiteResult runSuite(const SimConfig &cfg, TraceCache &traces,
-                     const std::vector<std::string> &names = {});
+                     const std::vector<std::string> &names = {},
+                     bool shared_decode = true);
 
 } // namespace mbbp
 

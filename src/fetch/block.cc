@@ -9,7 +9,7 @@ unsigned
 FetchBlock::numConds() const
 {
     unsigned n = 0;
-    for (const auto &inst : insts)
+    for (const auto &inst : *this)
         if (isCondBranch(inst.cls))
             ++n;
     return n;
@@ -19,7 +19,7 @@ unsigned
 FetchBlock::numNotTakenConds() const
 {
     unsigned n = 0;
-    for (const auto &inst : insts)
+    for (const auto &inst : *this)
         if (isCondBranch(inst.cls) && !inst.taken)
             ++n;
     return n;
@@ -30,7 +30,7 @@ FetchBlock::condOutcomes() const
 {
     uint64_t bits_ = 0;
     unsigned n = 0;
-    for (const auto &inst : insts) {
+    for (const auto &inst : *this) {
         if (isCondBranch(inst.cls) && n < 63) {
             bits_ |= static_cast<uint64_t>(inst.taken) << n;
             ++n;
@@ -45,7 +45,7 @@ BlockStream::BlockStream(TraceSource &trace, const ICacheModel &cache)
 }
 
 bool
-BlockStream::next(FetchBlock &blk)
+BlockStream::next(OwnedBlock &blk)
 {
     if (exhausted_)
         return false;

@@ -6,6 +6,11 @@
  * by the first taken control transfer. Not-taken conditional branches
  * stay inside a block, which is exactly why multiple branch prediction
  * is needed.
+ *
+ * FetchBlock is a *non-owning view*: it points into instruction
+ * storage held elsewhere -- the shared flat array of a DecodedTrace
+ * replay artifact, or an OwnedBlock's vector. Engines pass these
+ * views around with no per-block allocation.
  */
 
 #ifndef MBBP_FETCH_BLOCK_HH
@@ -20,25 +25,27 @@
 namespace mbbp
 {
 
-/** One dynamic fetch block. */
+/** One dynamic fetch block: a borrowed span of the dynamic stream. */
 struct FetchBlock
 {
     Addr startPc = 0;
-    std::vector<DynInst> insts;
+    const DynInst *data = nullptr;  //!< borrowed instruction storage
+    unsigned count = 0;
     int exitIdx = -1;       //!< index of the taken transfer, or -1
     Addr nextPc = 0;        //!< actual start of the following block
 
-    unsigned size() const
-    {
-        return static_cast<unsigned>(insts.size());
-    }
+    unsigned size() const { return count; }
+
+    const DynInst *begin() const { return data; }
+    const DynInst *end() const { return data + count; }
+    const DynInst &operator[](unsigned i) const { return data[i]; }
 
     bool endsTaken() const { return exitIdx >= 0; }
 
     /** The taken control transfer that ends the block (if any). */
     const DynInst *exitInst() const
     {
-        return endsTaken() ? &insts[exitIdx] : nullptr;
+        return endsTaken() ? data + exitIdx : nullptr;
     }
 
     /** Conditional branches executed in the block. */
@@ -49,6 +56,47 @@ struct FetchBlock
 
     /** Bit i = outcome of the i-th executed conditional branch. */
     uint64_t condOutcomes() const;
+};
+
+/**
+ * A fetch block that owns its instruction storage. The building form
+ * used by BlockStream, tests, and tools; view() borrows it as a
+ * FetchBlock for the engine-facing helpers.
+ */
+struct OwnedBlock
+{
+    Addr startPc = 0;
+    std::vector<DynInst> insts;
+    int exitIdx = -1;
+    Addr nextPc = 0;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(insts.size());
+    }
+
+    /** Borrow as a FetchBlock (valid while *this is unchanged). */
+    FetchBlock view() const
+    {
+        return { startPc, insts.data(),
+                 static_cast<unsigned>(insts.size()), exitIdx,
+                 nextPc };
+    }
+
+    bool endsTaken() const { return exitIdx >= 0; }
+
+    /** The taken control transfer that ends the block (if any). */
+    const DynInst *exitInst() const
+    {
+        return endsTaken() ? insts.data() + exitIdx : nullptr;
+    }
+
+    unsigned numConds() const { return view().numConds(); }
+    unsigned numNotTakenConds() const
+    {
+        return view().numNotTakenConds();
+    }
+    uint64_t condOutcomes() const { return view().condOutcomes(); }
 };
 
 /** Segments a trace into consecutive fetch blocks. */
@@ -65,7 +113,7 @@ class BlockStream
      * Produce the next *complete* block (one whose successor address
      * is known). Returns false at end of stream.
      */
-    bool next(FetchBlock &blk);
+    bool next(OwnedBlock &blk);
 
     uint64_t blocksProduced() const { return produced_; }
 

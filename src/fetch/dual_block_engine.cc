@@ -1,7 +1,7 @@
 #include "fetch/dual_block_engine.hh"
 
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "predict/bbr.hh"
 #include "predict/btb.hh"
@@ -15,13 +15,13 @@ namespace
 {
 
 /** Allocate a recovery entry per conditional branch in a block. */
-std::vector<std::size_t>
-allocBbrForBlock(BbrPool &pool, const FetchBlock &blk, bool block_two,
+void
+allocBbrForBlock(BbrPool &pool, std::vector<std::size_t> &ids,
+                 const FetchBlock &blk, bool block_two,
                  const BlockedPHT &pht, std::size_t pht_idx,
                  uint64_t ghr_value, unsigned line_size)
 {
-    std::vector<std::size_t> ids;
-    for (const auto &inst : blk.insts) {
+    for (const auto &inst : blk) {
         if (!isCondBranch(inst.cls))
             continue;
         const SatCounter &ctr =
@@ -41,7 +41,6 @@ allocBbrForBlock(BbrPool &pool, const FetchBlock &blk, bool block_two,
                       static_cast<uint8_t>(inst.pc % line_size) };
         ids.push_back(pool.allocate(e));
     }
-    return ids;
 }
 
 } // namespace
@@ -54,9 +53,17 @@ DualBlockEngine::DualBlockEngine(const FetchEngineConfig &cfg)
 FetchStats
 DualBlockEngine::run(const InMemoryTrace &trace)
 {
-    FetchStats stats;
+    return run(DecodedTrace::build(trace, cfg_.icache));
+}
 
-    StaticImage image = StaticImage::fromTrace(trace);
+FetchStats
+DualBlockEngine::run(const DecodedTrace &dec)
+{
+    FetchStats stats;
+    mbbp_assert(dec.geometryCompatible(cfg_.icache),
+                "decoded trace was cut for another geometry");
+
+    const StaticImage &image = dec.image();
     ICacheModel cache(cfg_.icache);
     const unsigned line_size = cache.lineSize();
 
@@ -81,42 +88,45 @@ DualBlockEngine::run(const InMemoryTrace &trace)
 
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
+    BitVector stale;        //!< scratch for finite-BIT codes
 
-    TraceCursor cursor(trace);
-    BlockStream stream(cursor, cache);
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return stats;
 
     // B is the second block of the currently-fetching pair -- the one
     // whose information predicts the next pair. The very first block
     // is fetched alone to prime the pipeline (Figure 3's b0).
-    FetchBlock B;
-    if (!stream.next(B))
-        return stats;
+    std::size_t bi = 0;
+    FetchBlock B = dec.block(bi);
     ++stats.fetchRequests;
-    countBlockStats(stats, B, line_size);
+    countBlockStats(stats, dec, bi);
     touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
 
     // Recovery entries stay live for the 4-cycle resolution window
     // (two pair-fetch cycles).
-    std::deque<std::vector<std::size_t>> bbr_inflight;
+    BbrInflight bbr_inflight(bbr, 4);
 
     for (;;) {
-        FetchBlock C;
-        if (!stream.next(C))
+        const std::size_t ci = bi + 1;
+        if (ci >= nblocks)
             break;
-        mbbp_assert(C.startPc == B.nextPc, "block stream out of sync");
-        FetchBlock D;
-        bool have_d = stream.next(D);
+        const FetchBlock C = dec.block(ci);
+        mbbp_assert(C.startPc == B.nextPc, "block index out of sync");
+        const std::size_t di = ci + 1;
+        const bool have_d = di < nblocks;
+        const FetchBlock D = have_d ? dec.block(di) : FetchBlock{};
         if (have_d)
             mbbp_assert(D.startPc == C.nextPc,
-                        "block stream out of sync");
+                        "block index out of sync");
 
         ++stats.fetchRequests;
         trainer.tick();
-        countBlockStats(stats, C, line_size);
+        countBlockStats(stats, dec, ci);
         touchICache(contents, cache, C, stats,
                     cfg_.icacheMissPenalty);
         if (have_d) {
-            countBlockStats(stats, D, line_size);
+            countBlockStats(stats, dec, di);
             touchICache(contents, cache, D, stats,
                         cfg_.icacheMissPenalty);
             if (cache.bankConflict(C.startPc, C.size(), D.startPc,
@@ -128,12 +138,11 @@ DualBlockEngine::run(const InMemoryTrace &trace)
         }
 
         // ===== Block 1: B's exit prediction (the address of C). ====
-        unsigned cap_b = cache.capacityAt(B.startPc);
+        unsigned cap_b = dec.windowLen(bi);
         std::size_t idx1 = pht.index(ghr, B.startPc);
-        BitVector true_b = trueWindowCodes(image, B.startPc, cap_b,
-                                           line_size, cfg_.nearBlock);
-        ExitPrediction pred_b = predictExit(true_b, B.startPc, cap_b,
-                                            pht, idx1);
+        const BitCode *true_b = dec.windowCodes(bi, cfg_.nearBlock);
+        ExitPrediction pred_b = predictExit(true_b, cap_b, B.startPc,
+                                            cap_b, pht, idx1);
         bool blk1_penalized = false;
 
         if (cfg_.doubleSelect) {
@@ -158,9 +167,8 @@ DualBlockEngine::run(const InMemoryTrace &trace)
                        static_cast<uint8_t>(C.startPc % line_size),
                        true });
         } else if (!bit.perfect()) {
-            BitVector stale = bitWindowCodes(bit, image, B.startPc,
-                                             cap_b, line_size,
-                                             cfg_.nearBlock);
+            bitWindowCodesInto(bit, image, B.startPc, cap_b,
+                               line_size, cfg_.nearBlock, stale);
             ExitPrediction pred_stale =
                 predictExit(stale, B.startPc, cap_b, pht, idx1);
             if (pred_stale.selector(line_size) !=
@@ -189,12 +197,13 @@ DualBlockEngine::run(const InMemoryTrace &trace)
 
         // Recovery entries for B's conditionals (before training so
         // the stored prediction matches what was predicted).
-        bbr_inflight.push_back(allocBbrForBlock(
-            bbr, B, false, pht, idx1, ghr.value(), line_size));
+        allocBbrForBlock(bbr, bbr_inflight.beginBlock(), B, false,
+                         pht, idx1, ghr.value(), line_size);
+        bbr_inflight.commit();
 
         // Train with B's actual outcomes; the GHR now precedes C.
         trainer.train(idx1, B);
-        ghr.shiftInBlock(B.condOutcomes(), B.numConds());
+        ghr.shiftInBlock(dec.condOutcomes(bi), dec.numConds(bi));
         applyRasOp(ras, B);
 
         if (!have_d) {
@@ -206,12 +215,11 @@ DualBlockEngine::run(const InMemoryTrace &trace)
         }
 
         // ===== Block 2: C's exit prediction via the select table ===
-        unsigned cap_c = cache.capacityAt(C.startPc);
+        unsigned cap_c = dec.windowLen(ci);
         std::size_t idx2 = pht.index(ghr, C.startPc);
-        BitVector true_c = trueWindowCodes(image, C.startPc, cap_c,
-                                           line_size, cfg_.nearBlock);
-        ExitPrediction pred_c = predictExit(true_c, C.startPc, cap_c,
-                                            pht, idx2);
+        const BitCode *true_c = dec.windowCodes(ci, cfg_.nearBlock);
+        ExitPrediction pred_c = predictExit(true_c, cap_c, C.startPc,
+                                            cap_c, pht, idx2);
         Selector sel_true = pred_c.selector(line_size);
         GhrInfo ghr_true = pred_c.ghrInfo();
 
@@ -273,21 +281,19 @@ DualBlockEngine::run(const InMemoryTrace &trace)
         updateTargetArray(*ta, B.startPc, 1, C, line_size,
                           cfg_.nearBlock);
 
-        bbr_inflight.push_back(allocBbrForBlock(
-            bbr, C, true, pht, idx2, ghr.value(), line_size));
-
-        trainer.train(idx2, C);
-        ghr.shiftInBlock(C.condOutcomes(), C.numConds());
-        applyRasOp(ras, C);
+        allocBbrForBlock(bbr, bbr_inflight.beginBlock(), C, true,
+                         pht, idx2, ghr.value(), line_size);
+        bbr_inflight.commit();
 
         // Resolution frees recovery entries two pair-cycles later.
-        while (bbr_inflight.size() > 4) {
-            for (std::size_t id : bbr_inflight.front())
-                bbr.release(id);
-            bbr_inflight.pop_front();
-        }
+        bbr_inflight.expire();
 
-        B = std::move(D);
+        trainer.train(idx2, C);
+        ghr.shiftInBlock(dec.condOutcomes(ci), dec.numConds(ci));
+        applyRasOp(ras, C);
+
+        bi = di;
+        B = D;
     }
 
     stats.rasOverflows = ras.overflows();

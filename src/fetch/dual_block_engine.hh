@@ -37,8 +37,15 @@ class DualBlockEngine
   public:
     explicit DualBlockEngine(const FetchEngineConfig &cfg);
 
-    /** Run the whole trace and return the metrics. */
+    /**
+     * Run the whole trace and return the metrics. Decodes a
+     * throwaway replay artifact; use the DecodedTrace overload to
+     * amortize the decode across runs.
+     */
     FetchStats run(const InMemoryTrace &trace);
+
+    /** Replay a precomputed artifact (byte-identical results). */
+    FetchStats run(const DecodedTrace &dec);
 
     const FetchEngineConfig &config() const { return cfg_; }
 

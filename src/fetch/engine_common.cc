@@ -80,7 +80,7 @@ compareWithActual(const ExitPrediction &pred,
 void
 trainBlockPht(BlockedPHT &pht, std::size_t idx, const FetchBlock &blk)
 {
-    for (const auto &inst : blk.insts)
+    for (const auto &inst : blk)
         if (isCondBranch(inst.cls))
             pht.updateAt(idx, inst.pc, inst.taken);
 }
@@ -120,7 +120,12 @@ touchICache(ICacheContents &contents, const ICacheModel &cache,
             const FetchBlock &blk, FetchStats &stats,
             unsigned miss_penalty)
 {
-    for (Addr line : cache.linesTouched(blk.startPc, blk.size())) {
+    // Blocks touch a contiguous line range; iterate it directly
+    // instead of materializing a per-block vector.
+    unsigned len = blk.size() ? blk.size() : 1;
+    Addr first = cache.lineOf(blk.startPc);
+    Addr last = cache.lineOf(blk.startPc + len - 1);
+    for (Addr line = first; line <= last; ++line) {
         ++stats.icacheAccesses;
         if (!contents.access(line)) {
             ++stats.icacheMisses;
@@ -142,14 +147,12 @@ PhtTrainer::train(std::size_t idx, const FetchBlock &blk)
         trainBlockPht(pht_, idx, blk);
         return;
     }
-    std::vector<Update> batch;
-    for (const auto &inst : blk.insts)
-        if (isCondBranch(inst.cls))
-            batch.push_back({ idx, inst.pc, inst.taken });
     if (pending_.empty())
         pending_.emplace_back();
-    pending_.back().insert(pending_.back().end(), batch.begin(),
-                           batch.end());
+    std::vector<Update> &batch = pending_.back();
+    for (const auto &inst : blk)
+        if (isCondBranch(inst.cls))
+            batch.push_back({ idx, inst.pc, inst.taken });
 }
 
 void
@@ -180,13 +183,45 @@ PhtTrainer::apply(const std::vector<Update> &batch)
         pht_.updateAt(u.idx, u.pc, u.taken);
 }
 
+BbrInflight::BbrInflight(BbrPool &pool, unsigned depth)
+    : pool_(pool), depth_(depth), slots_(depth + 2)
+{
+}
+
+std::vector<std::size_t> &
+BbrInflight::beginBlock()
+{
+    mbbp_assert(live_ < slots_.size(), "inflight ring overrun");
+    std::vector<std::size_t> &batch =
+        slots_[(head_ + live_) % slots_.size()];
+    batch.clear();
+    return batch;
+}
+
+void
+BbrInflight::commit()
+{
+    ++live_;
+}
+
+void
+BbrInflight::expire()
+{
+    while (live_ > depth_) {
+        for (std::size_t id : slots_[head_])
+            pool_.release(id);
+        head_ = (head_ + 1) % slots_.size();
+        --live_;
+    }
+}
+
 void
 countBlockStats(FetchStats &stats, const FetchBlock &blk,
                 unsigned line_size)
 {
     stats.instructions += blk.size();
     stats.blocksFetched += 1;
-    for (const auto &inst : blk.insts) {
+    for (const auto &inst : blk) {
         if (!isControl(inst.cls))
             continue;
         ++stats.branchesExecuted;
@@ -198,6 +233,17 @@ countBlockStats(FetchStats &stats, const FetchBlock &blk,
                 ++stats.nearBlockConds;
         }
     }
+}
+
+void
+countBlockStats(FetchStats &stats, const DecodedTrace &dec,
+                std::size_t block)
+{
+    stats.instructions += dec.numInsts(block);
+    stats.blocksFetched += 1;
+    stats.branchesExecuted += dec.numBranches(block);
+    stats.condExecuted += dec.numConds(block);
+    stats.nearBlockConds += dec.numNearConds(block);
 }
 
 } // namespace mbbp

@@ -15,8 +15,10 @@
 #include "fetch/block.hh"
 #include "fetch/exit_predict.hh"
 #include "fetch/fetch_stats.hh"
+#include "predict/bbr.hh"
 #include "predict/ras.hh"
 #include "predict/target_array.hh"
+#include "trace/decoded_trace.hh"
 
 namespace mbbp
 {
@@ -86,6 +88,13 @@ void countBlockStats(FetchStats &stats, const FetchBlock &blk,
                      unsigned line_size);
 
 /**
+ * Per-block counting from the precomputed index: O(1) adds, no
+ * instruction rescan. Equivalent to the FetchBlock overload.
+ */
+void countBlockStats(FetchStats &stats, const DecodedTrace &dec,
+                     std::size_t block);
+
+/**
  * Touch every line a block reads in the (optional) finite i-cache
  * contents model; each miss stalls fetch for @p miss_penalty cycles.
  */
@@ -134,6 +143,36 @@ class PhtTrainer
     bool delayed_;
     unsigned depth_;
     std::deque<std::vector<Update>> pending_;
+};
+
+/**
+ * The recovery-entry resolution window: BBR ids allocated per block
+ * stay live for @p depth blocks, then release. A fixed ring of
+ * reused id batches -- identical allocate/release order to the deque
+ * the engines used to keep, with zero steady-state allocation.
+ * Engines choose when to expire: the single-block engine expires
+ * after every block, the dual-block engine once per block pair.
+ */
+class BbrInflight
+{
+  public:
+    explicit BbrInflight(BbrPool &pool, unsigned depth = 4);
+
+    /** A cleared batch to fill with this block's allocated ids. */
+    std::vector<std::size_t> &beginBlock();
+
+    /** Commit the batch started by beginBlock(). */
+    void commit();
+
+    /** Release batches older than the resolution window. */
+    void expire();
+
+  private:
+    BbrPool &pool_;
+    unsigned depth_;
+    std::vector<std::vector<std::size_t>> slots_;
+    std::size_t head_ = 0;      //!< oldest live batch
+    std::size_t live_ = 0;
 };
 
 } // namespace mbbp

@@ -38,16 +38,28 @@ bitWindowCodes(const BitTable &bit, const StaticImage &image,
                Addr start, unsigned len, unsigned line_size,
                bool near_block)
 {
-    if (bit.perfect())
-        return trueWindowCodes(image, start, len, line_size,
-                               near_block);
-    BitVector codes(len);
+    BitVector codes;
+    bitWindowCodesInto(bit, image, start, len, line_size, near_block,
+                       codes);
+    return codes;
+}
+
+void
+bitWindowCodesInto(const BitTable &bit, const StaticImage &image,
+                   Addr start, unsigned len, unsigned line_size,
+                   bool near_block, BitVector &out)
+{
+    if (bit.perfect()) {
+        out = trueWindowCodes(image, start, len, line_size,
+                              near_block);
+        return;
+    }
+    out.resize(len);
     for (unsigned i = 0; i < len; ++i) {
         Addr pc = start + i;
         const BitVector *line = bit.lookup(pc / line_size);
-        codes[i] = (*line)[pc % line_size];
+        out[i] = (*line)[pc % line_size];
     }
-    return codes;
 }
 
 void
@@ -66,10 +78,10 @@ refreshBitEntries(BitTable &bit, const StaticImage &image, Addr start,
 }
 
 ExitPrediction
-predictExit(const BitVector &codes, Addr start, unsigned len,
-            const BlockedPHT &pht, std::size_t pht_idx)
+predictExit(const BitCode *codes, std::size_t ncodes, Addr start,
+            unsigned len, const BlockedPHT &pht, std::size_t pht_idx)
 {
-    mbbp_assert(codes.size() >= len, "window codes too short");
+    mbbp_assert(ncodes >= len, "window codes too short");
 
     ExitPrediction p;
     for (unsigned i = 0; i < len; ++i) {

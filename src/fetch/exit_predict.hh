@@ -53,6 +53,15 @@ BitVector bitWindowCodes(const BitTable &bit, const StaticImage &image,
                          Addr start, unsigned len, unsigned line_size,
                          bool near_block);
 
+/**
+ * bitWindowCodes into a caller-owned buffer (resized to @p len), so a
+ * fetch loop reuses one scratch vector instead of allocating per
+ * block.
+ */
+void bitWindowCodesInto(const BitTable &bit, const StaticImage &image,
+                        Addr start, unsigned len, unsigned line_size,
+                        bool near_block, BitVector &out);
+
 /** Refresh the BIT entries for every line the window touches. */
 void refreshBitEntries(BitTable &bit, const StaticImage &image,
                        Addr start, unsigned len, unsigned line_size,
@@ -61,15 +70,26 @@ void refreshBitEntries(BitTable &bit, const StaticImage &image,
 /**
  * Scan the window for the predicted exit.
  *
- * @param codes Window-relative type codes (size >= len).
+ * @param codes Window-relative type codes (>= len entries).
+ * @param ncodes Entries available at @p codes.
  * @param start First instruction address of the block.
  * @param len Window length (block capacity).
  * @param pht Blocked pattern history.
  * @param pht_idx Entry selected for this block.
  */
-ExitPrediction predictExit(const BitVector &codes, Addr start,
-                           unsigned len, const BlockedPHT &pht,
+ExitPrediction predictExit(const BitCode *codes, std::size_t ncodes,
+                           Addr start, unsigned len,
+                           const BlockedPHT &pht,
                            std::size_t pht_idx);
+
+/** predictExit over an owned code vector. */
+inline ExitPrediction
+predictExit(const BitVector &codes, Addr start, unsigned len,
+            const BlockedPHT &pht, std::size_t pht_idx)
+{
+    return predictExit(codes.data(), codes.size(), start, len, pht,
+                       pht_idx);
+}
 
 } // namespace mbbp
 

@@ -70,6 +70,9 @@ struct FetchStats
 
     /** Merge another run (suite averaging by totals). */
     void accumulate(const FetchStats &other);
+
+    /** Field-exact comparison (replay-equivalence tests). */
+    bool operator==(const FetchStats &other) const = default;
 };
 
 } // namespace mbbp

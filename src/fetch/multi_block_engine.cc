@@ -23,9 +23,17 @@ MultiBlockEngine::MultiBlockEngine(const FetchEngineConfig &cfg,
 FetchStats
 MultiBlockEngine::run(const InMemoryTrace &trace)
 {
-    FetchStats stats;
+    return run(DecodedTrace::build(trace, cfg_.icache));
+}
 
-    StaticImage image = StaticImage::fromTrace(trace);
+FetchStats
+MultiBlockEngine::run(const DecodedTrace &dec)
+{
+    FetchStats stats;
+    mbbp_assert(dec.geometryCompatible(cfg_.icache),
+                "decoded trace was cut for another geometry");
+
+    const StaticImage &image = dec.image();
     ICacheModel cache(cfg_.icache);
     const unsigned line_size = cache.lineSize();
     const unsigned n = numBlocks_;
@@ -51,50 +59,50 @@ MultiBlockEngine::run(const InMemoryTrace &trace)
 
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
+    BitVector stale;        //!< scratch for finite-BIT codes
 
-    TraceCursor cursor(trace);
-    BlockStream stream(cursor, cache);
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return stats;
 
     // B: last block of the currently fetching group; its information
-    // drives every prediction for the next group.
-    FetchBlock B;
-    if (!stream.next(B))
-        return stats;
+    // drives every prediction for the next group. The group itself is
+    // just an index range into the precomputed block index -- no
+    // per-cycle gathering or copying.
+    std::size_t bi = 0;
+    FetchBlock B = dec.block(bi);
     ++stats.fetchRequests;
-    countBlockStats(stats, B, line_size);
+    countBlockStats(stats, dec, bi);
     touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
 
     for (;;) {
-        // Gather the next group.
-        std::vector<FetchBlock> group;
-        group.reserve(n);
-        for (unsigned k = 0; k < n; ++k) {
-            FetchBlock blk;
-            if (!stream.next(blk))
-                break;
-            group.push_back(std::move(blk));
-        }
-        if (group.empty())
+        // The next group: blocks [g_first, g_first + g_count).
+        const std::size_t g_first = bi + 1;
+        const std::size_t g_count =
+            g_first < nblocks
+                ? std::min<std::size_t>(n, nblocks - g_first) : 0;
+        if (g_count == 0)
             break;
-        mbbp_assert(group[0].startPc == B.nextPc,
-                    "block stream out of sync");
+        mbbp_assert(dec.startPc(g_first) == B.nextPc,
+                    "block index out of sync");
 
         ++stats.fetchRequests;
         trainer.tick();
-        for (const auto &blk : group) {
-            countBlockStats(stats, blk, line_size);
-            touchICache(contents, cache, blk, stats,
-                        cfg_.icacheMissPenalty);
+        for (std::size_t j = 0; j < g_count; ++j) {
+            countBlockStats(stats, dec, g_first + j);
+            touchICache(contents, cache, dec.block(g_first + j),
+                        stats, cfg_.icacheMissPenalty);
         }
 
         // Bank conflicts: each later block colliding with any earlier
         // block in the same cycle reads one cycle later.
-        for (std::size_t j = 1; j < group.size(); ++j) {
+        for (std::size_t j = 1; j < g_count; ++j) {
             bool conflict = false;
             for (std::size_t i = 0; i < j && !conflict; ++i)
                 conflict = cache.bankConflict(
-                    group[i].startPc, group[i].size(),
-                    group[j].startPc, group[j].size());
+                    dec.startPc(g_first + i), dec.numInsts(g_first + i),
+                    dec.startPc(g_first + j),
+                    dec.numInsts(g_first + j));
             if (conflict) {
                 stats.charge(PenaltyKind::BankConflict,
                              penalties.cycles(
@@ -103,20 +111,18 @@ MultiBlockEngine::run(const InMemoryTrace &trace)
             }
         }
 
-        // Slot 0: B's own exit via BIT+PHT, predicting group[0].
+        // Slot 0: B's own exit via BIT+PHT, predicting the group's
+        // first block.
         std::size_t idx1 = pht.index(ghr, B.startPc);
         bool squashed = false;
         {
-            unsigned cap = cache.capacityAt(B.startPc);
-            BitVector codes = trueWindowCodes(image, B.startPc, cap,
-                                              line_size,
-                                              cfg_.nearBlock);
-            ExitPrediction pred = predictExit(codes, B.startPc, cap,
-                                              pht, idx1);
+            unsigned cap = dec.windowLen(bi);
+            const BitCode *codes = dec.windowCodes(bi, cfg_.nearBlock);
+            ExitPrediction pred = predictExit(codes, cap, B.startPc,
+                                              cap, pht, idx1);
             if (!bit.perfect()) {
-                BitVector stale = bitWindowCodes(bit, image, B.startPc,
-                                                 cap, line_size,
-                                                 cfg_.nearBlock);
+                bitWindowCodesInto(bit, image, B.startPc, cap,
+                                   line_size, cfg_.nearBlock, stale);
                 ExitPrediction pred_stale = predictExit(
                     stale, B.startPc, cap, pht, idx1);
                 if (pred_stale.selector(line_size) !=
@@ -142,23 +148,23 @@ MultiBlockEngine::run(const InMemoryTrace &trace)
                 squashed = true;
             }
             trainer.train(idx1, B);
-            ghr.shiftInBlock(B.condOutcomes(), B.numConds());
+            ghr.shiftInBlock(dec.condOutcomes(bi), dec.numConds(bi));
             applyRasOp(ras, B);
             updateTargetArray(*ta, B.startPc, 0, B, line_size,
                               cfg_.nearBlock);
         }
 
-        // Slots k = 1..: select-table predictions of group[k-1]'s
-        // exit (the address of group[k]), all indexed by idx1.
-        for (std::size_t k = 1; k < group.size(); ++k) {
-            const FetchBlock &prev = group[k - 1];
-            unsigned cap = cache.capacityAt(prev.startPc);
+        // Slots k = 1..: select-table predictions of the group's
+        // (k-1)th block's exit (the kth block's address), all indexed
+        // by idx1.
+        for (std::size_t k = 1; k < g_count; ++k) {
+            const std::size_t pi = g_first + k - 1;
+            const FetchBlock prev = dec.block(pi);
+            unsigned cap = dec.windowLen(pi);
             std::size_t idxk = pht.index(ghr, prev.startPc);
-            BitVector codes = trueWindowCodes(image, prev.startPc, cap,
-                                              line_size,
-                                              cfg_.nearBlock);
-            ExitPrediction pred = predictExit(codes, prev.startPc, cap,
-                                              pht, idxk);
+            const BitCode *codes = dec.windowCodes(pi, cfg_.nearBlock);
+            ExitPrediction pred = predictExit(codes, cap, prev.startPc,
+                                              cap, pht, idxk);
             Selector sel_true = pred.selector(line_size);
             GhrInfo ghr_true = pred.ghrInfo();
             unsigned tab = st.tableOf(prev.startPc);
@@ -201,13 +207,14 @@ MultiBlockEngine::run(const InMemoryTrace &trace)
                               line_size, cfg_.nearBlock);
 
             trainer.train(idxk, prev);
-            ghr.shiftInBlock(prev.condOutcomes(), prev.numConds());
+            ghr.shiftInBlock(dec.condOutcomes(pi), dec.numConds(pi));
             applyRasOp(ras, prev);
         }
 
-        if (group.size() < n)
-            break;      // stream exhausted mid-group
-        B = std::move(group.back());
+        if (g_count < n)
+            break;      // block index exhausted mid-group
+        bi = g_first + g_count - 1;
+        B = dec.block(bi);
     }
 
     stats.rasOverflows = ras.overflows();

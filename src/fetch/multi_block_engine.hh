@@ -37,8 +37,15 @@ class MultiBlockEngine
      */
     MultiBlockEngine(const FetchEngineConfig &cfg, unsigned num_blocks);
 
-    /** Run the whole trace and return the metrics. */
+    /**
+     * Run the whole trace and return the metrics. Decodes a
+     * throwaway replay artifact; use the DecodedTrace overload to
+     * amortize the decode across runs.
+     */
     FetchStats run(const InMemoryTrace &trace);
+
+    /** Replay a precomputed artifact (byte-identical results). */
+    FetchStats run(const DecodedTrace &dec);
 
     unsigned numBlocks() const { return numBlocks_; }
 

@@ -1,6 +1,5 @@
 #include "fetch/single_block_engine.hh"
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -22,9 +21,17 @@ SingleBlockEngine::SingleBlockEngine(const FetchEngineConfig &cfg)
 FetchStats
 SingleBlockEngine::run(const InMemoryTrace &trace)
 {
-    FetchStats stats;
+    return run(DecodedTrace::build(trace, cfg_.icache));
+}
 
-    StaticImage image = StaticImage::fromTrace(trace);
+FetchStats
+SingleBlockEngine::run(const DecodedTrace &dec)
+{
+    FetchStats stats;
+    mbbp_assert(dec.geometryCompatible(cfg_.icache),
+                "decoded trace was cut for another geometry");
+
+    const StaticImage &image = dec.image();
     ICacheModel cache(cfg_.icache);
     const unsigned line_size = cache.lineSize();
 
@@ -46,39 +53,38 @@ SingleBlockEngine::run(const InMemoryTrace &trace)
 
     // Recovery entries live across the four-cycle resolution window.
     BbrPool bbr(cfg_.bbrCapacity);
-    std::deque<std::vector<std::size_t>> bbr_inflight;
+    BbrInflight bbr_inflight(bbr, 4);
+    BitVector stale;        //!< scratch for finite-BIT codes
 
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
 
-    TraceCursor cursor(trace);
-    BlockStream stream(cursor, cache);
-
-    FetchBlock cur;
-    if (!stream.next(cur))
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
         return stats;
 
-    for (;;) {
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const FetchBlock cur = dec.block(b);
+
         ++stats.fetchRequests;
         trainer.tick();
-        countBlockStats(stats, cur, line_size);
+        countBlockStats(stats, dec, b);
         touchICache(contents, cache, cur, stats,
                     cfg_.icacheMissPenalty);
 
-        unsigned capacity = cache.capacityAt(cur.startPc);
+        const unsigned capacity = dec.windowLen(b);
         std::size_t idx = pht.index(ghr, cur.startPc);
 
         // Prediction with (possibly stale) BIT codes, then with the
         // decoded truth; a divergence is the one-cycle BIT penalty.
-        BitVector true_codes = trueWindowCodes(image, cur.startPc,
-                                               capacity, line_size,
-                                               cfg_.nearBlock);
-        ExitPrediction pred = predictExit(true_codes, cur.startPc,
-                                          capacity, pht, idx);
+        const BitCode *true_codes =
+            dec.windowCodes(b, cfg_.nearBlock);
+        ExitPrediction pred = predictExit(true_codes, capacity,
+                                          cur.startPc, capacity, pht,
+                                          idx);
         if (!bit.perfect()) {
-            BitVector stale = bitWindowCodes(bit, image, cur.startPc,
-                                             capacity, line_size,
-                                             cfg_.nearBlock);
+            bitWindowCodesInto(bit, image, cur.startPc, capacity,
+                               line_size, cfg_.nearBlock, stale);
             ExitPrediction pred_stale = predictExit(stale, cur.startPc,
                                                     capacity, pht, idx);
             if (pred_stale.selector(line_size) !=
@@ -108,8 +114,8 @@ SingleBlockEngine::run(const InMemoryTrace &trace)
         // before training, so the stored prediction matches what was
         // actually predicted (Table 4).
         {
-            std::vector<std::size_t> ids;
-            for (const auto &inst : cur.insts) {
+            std::vector<std::size_t> &ids = bbr_inflight.beginBlock();
+            for (const auto &inst : cur) {
                 if (!isCondBranch(inst.cls))
                     continue;
                 const SatCounter &ctr =
@@ -127,27 +133,21 @@ SingleBlockEngine::run(const InMemoryTrace &trace)
                                                    line_size) };
                 ids.push_back(bbr.allocate(entry));
             }
-            bbr_inflight.push_back(std::move(ids));
-            while (bbr_inflight.size() > 4) {
-                for (std::size_t id : bbr_inflight.front())
-                    bbr.release(id);
-                bbr_inflight.pop_front();
-            }
+            bbr_inflight.commit();
+            bbr_inflight.expire();
         }
 
         // Train with the actual block.
         trainer.train(idx, cur);
-        ghr.shiftInBlock(cur.condOutcomes(), cur.numConds());
+        ghr.shiftInBlock(dec.condOutcomes(b), dec.numConds(b));
         updateTargetArray(*ta, cur.startPc, 0, cur, line_size,
                           cfg_.nearBlock);
         applyRasOp(ras, cur);
 
-        FetchBlock next;
-        if (!stream.next(next))
-            break;
-        mbbp_assert(next.startPc == cur.nextPc,
-                    "block stream out of sync");
-        cur = std::move(next);
+        if (b + 1 < nblocks) {
+            mbbp_assert(dec.startPc(b + 1) == cur.nextPc,
+                        "block index out of sync");
+        }
     }
 
     stats.rasOverflows = ras.overflows();

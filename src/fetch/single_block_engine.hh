@@ -29,9 +29,14 @@ class SingleBlockEngine
 
     /**
      * Run the whole trace (correct-path; mispredictions charge the
-     * Table 3 block-1 penalties) and return the metrics.
+     * Table 3 block-1 penalties) and return the metrics. Decodes a
+     * throwaway replay artifact; use the DecodedTrace overload to
+     * amortize the decode across runs.
      */
     FetchStats run(const InMemoryTrace &trace);
+
+    /** Replay a precomputed artifact (byte-identical results). */
+    FetchStats run(const DecodedTrace &dec);
 
     const FetchEngineConfig &config() const { return cfg_; }
 

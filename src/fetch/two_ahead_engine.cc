@@ -1,6 +1,5 @@
 #include "fetch/two_ahead_engine.hh"
 
-#include <deque>
 #include <vector>
 
 #include "util/bitops.hh"
@@ -19,7 +18,15 @@ TwoAheadEngine::TwoAheadEngine(const FetchEngineConfig &cfg)
 FetchStats
 TwoAheadEngine::run(const InMemoryTrace &trace)
 {
+    return run(DecodedTrace::build(trace, cfg_.icache));
+}
+
+FetchStats
+TwoAheadEngine::run(const DecodedTrace &dec)
+{
     FetchStats stats;
+    mbbp_assert(dec.geometryCompatible(cfg_.icache),
+                "decoded trace was cut for another geometry");
 
     ICacheModel cache(cfg_.icache);
     const unsigned line_size = cache.lineSize();
@@ -36,27 +43,29 @@ TwoAheadEngine::run(const InMemoryTrace &trace)
     };
     std::vector<Entry> table(std::size_t{1} << cfg_.historyBits);
 
-    TraceCursor cursor(trace);
-    BlockStream stream(cursor, cache);
-
     // Predictions in flight: made at block i, scored at block i + 2.
+    // Never more than two outstanding -- a fixed two-slot ring.
     struct Pending
     {
         std::size_t idx;    //!< table entry to retrain
         Addr predicted;
         bool valid;
     };
-    std::deque<Pending> pending;
+    Pending pending[2];
+    std::size_t pcount = 0;
+    std::size_t phead = 0;
 
     // The previous block, whose exit classifies a wrong prediction.
     FetchBlock prev;
     bool have_prev = false;
     uint64_t block_index = 0;
-    FetchBlock blk;
     FetchBlock stash;       // second block of the current pair
     bool have_stash = false;
 
-    while (stream.next(blk)) {
+    const std::size_t nblocks = dec.numBlocks();
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const FetchBlock blk = dec.block(b);
+
         // Fetch-cycle accounting: the first block primes the
         // pipeline alone, then one request covers two blocks.
         if (block_index == 0) {
@@ -74,12 +83,13 @@ TwoAheadEngine::run(const InMemoryTrace &trace)
                                  PenaltyKind::BankConflict, 1));
             }
         }
-        countBlockStats(stats, blk, line_size);
+        countBlockStats(stats, dec, b);
 
         // Score the prediction made two blocks ago.
-        if (pending.size() == 2) {
-            Pending p = pending.front();
-            pending.pop_front();
+        if (pcount == 2) {
+            Pending p = pending[phead];
+            phead ^= 1;
+            --pcount;
             unsigned slot = block_index % 2 == 1 ? 0u : 1u;
             if (!p.valid || p.predicted != blk.startPc) {
                 // Classify by the exit of the block this address
@@ -114,10 +124,11 @@ TwoAheadEngine::run(const InMemoryTrace &trace)
             (ghr.value() ^
              xorFold(blk.startPc / line_size, cfg_.historyBits)) &
             mask(cfg_.historyBits);
-        pending.push_back({ idx, table[idx].twoAhead,
-                            table[idx].valid });
+        pending[(phead + pcount) % 2] =
+            { idx, table[idx].twoAhead, table[idx].valid };
+        ++pcount;
 
-        ghr.shiftInBlock(blk.condOutcomes(), blk.numConds());
+        ghr.shiftInBlock(dec.condOutcomes(b), dec.numConds(b));
         prev = blk;
         have_prev = true;
         if (block_index % 2 == 1) {

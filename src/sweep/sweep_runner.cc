@@ -47,8 +47,8 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
             Clock::time_point job_start = Clock::now();
             SweepJobResult &slot = result.jobs[i];
             slot.job = jobs[i];
-            slot.result =
-                runSuite(jobs[i].config, traces, benchmarks);
+            slot.result = runSuite(jobs[i].config, traces, benchmarks,
+                                   opts.sharedDecode);
             slot.seconds = secondsSince(job_start);
             if (opts.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);

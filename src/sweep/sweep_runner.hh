@@ -34,6 +34,14 @@ struct SweepOptions
 {
     unsigned threads = 0;           //!< 0 = ThreadPool default
 
+    /**
+     * Replay the TraceCache's shared DecodedTrace artifacts (decode
+     * once per (trace, geometry), share read-only across workers).
+     * False decodes privately inside every job -- same results,
+     * pre-artifact wall clock. Benchmarking knob; leave on.
+     */
+    bool sharedDecode = true;
+
     /** Called after each job completes; never concurrently. */
     std::function<void(const SweepProgress &)> progress;
 };

@@ -1,0 +1,123 @@
+#include "trace/decoded_trace.hh"
+
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+DecodedTrace
+DecodedTrace::build(const InMemoryTrace &trace,
+                    const ICacheConfig &geom)
+{
+    DecodedTrace dec;
+    dec.geom_ = geom;
+    dec.insts_ = trace.insts();
+    dec.image_ = StaticImage::fromTrace(trace);
+
+    const ICacheModel cache(geom);
+    const unsigned line_size = cache.lineSize();
+    const std::vector<DynInst> &insts = dec.insts_;
+    const std::size_t n = insts.size();
+
+    // Segmentation, identical to BlockStream: consecutive slices of
+    // the stream, cut at capacity or the first taken transfer; the
+    // final block (successor unknown) is dropped.
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t first = i;
+        const Addr start = insts[first].pc;
+        const unsigned capacity = cache.capacityAt(start);
+
+        unsigned cnt = 0;
+        int exit_idx = -1;
+        bool complete = false;
+        while (cnt < capacity) {
+            const bool ended = insts[i].taken;
+            ++cnt;
+            ++i;
+            if (i >= n)
+                break;      // successor unknown: drop this block
+            mbbp_assert(ended || insts[i].pc == insts[i - 1].pc + 1,
+                        "trace is not sequential within a block");
+            if (ended) {
+                exit_idx = static_cast<int>(cnt) - 1;
+                complete = true;
+                break;
+            }
+            if (cnt == capacity)
+                complete = true;
+        }
+        if (!complete)
+            break;
+
+        // Per-block derived facts, computed once here so the engines
+        // never rescan the instructions.
+        uint64_t mask = 0;
+        unsigned conds = 0, not_taken = 0, branches = 0, near = 0;
+        for (unsigned j = 0; j < cnt; ++j) {
+            const DynInst &inst = insts[first + j];
+            if (!isControl(inst.cls))
+                continue;
+            ++branches;
+            if (!isCondBranch(inst.cls))
+                continue;
+            if (conds < 63)
+                mask |= static_cast<uint64_t>(inst.taken) << conds;
+            ++conds;
+            if (!inst.taken)
+                ++not_taken;
+            BitCode c = computeBitCode(inst.cls, inst.pc, inst.target,
+                                       line_size, true);
+            if (bitCodeIsNear(c))
+                ++near;
+        }
+
+        RasOp ras_op = RasOp::None;
+        if (exit_idx >= 0) {
+            const DynInst &e = insts[first + exit_idx];
+            if (isCall(e.cls))
+                ras_op = RasOp::Push;
+            else if (isReturn(e.cls))
+                ras_op = RasOp::Pop;
+        }
+
+        // Window codes cover the whole capacity window, including the
+        // static instructions past a taken exit.
+        const uint32_t codes_off =
+            static_cast<uint32_t>(dec.codesNear_.size());
+        for (unsigned j = 0; j < capacity; ++j) {
+            const Addr pc = start + j;
+            const StaticInfo info = dec.image_.lookup(pc);
+            const BitCode cn = computeBitCode(info.cls, pc, info.target,
+                                              line_size, true);
+            dec.codesNear_.push_back(cn);
+            dec.codesPlain_.push_back(
+                bitCodeIsCond(cn) ? BitCode::CondLong : cn);
+        }
+
+        dec.startPc_.push_back(start);
+        dec.nextPc_.push_back(insts[first + cnt].pc);
+        dec.firstInst_.push_back(static_cast<uint32_t>(first));
+        dec.numInsts_.push_back(static_cast<uint16_t>(cnt));
+        dec.exitIdx_.push_back(static_cast<int16_t>(exit_idx));
+        dec.condMask_.push_back(mask);
+        dec.numConds_.push_back(static_cast<uint16_t>(conds));
+        dec.numNotTaken_.push_back(static_cast<uint16_t>(not_taken));
+        dec.branches_.push_back(static_cast<uint16_t>(branches));
+        dec.nearConds_.push_back(static_cast<uint16_t>(near));
+        dec.rasOp_.push_back(static_cast<uint8_t>(ras_op));
+        dec.windowLen_.push_back(static_cast<uint16_t>(capacity));
+        dec.codesOffset_.push_back(codes_off);
+    }
+    return dec;
+}
+
+bool
+DecodedTrace::geometryCompatible(const ICacheConfig &other) const
+{
+    return geom_.type == other.type &&
+           geom_.blockWidth == other.blockWidth &&
+           geom_.lineSize == other.lineSize;
+}
+
+} // namespace mbbp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The shared replay artifact: a trace decoded once per (trace,
+ * i-cache geometry) pair into everything the fetch engines consume
+ * per block, so a design-space sweep replays the same decode from
+ * read-only memory instead of re-deriving it for every
+ * configuration.
+ *
+ * A DecodedTrace holds
+ *  - the flat dynamic instruction array (a self-contained copy),
+ *  - a structure-of-arrays block index, exactly the segmentation
+ *    BlockStream produces: per block the start/next PC, the borrowed
+ *    instruction span, the exit index, the conditional-outcome
+ *    bitmask and counts, the RAS operation of the exit, and the
+ *    per-category branch counts the statistics need,
+ *  - the per-instruction BIT window codes of every block window (both
+ *    the 3-bit near-block encoding and the 2-bit long form), laid out
+ *    in one arena, and
+ *  - the frozen (sorted flat array) StaticImage.
+ *
+ * Everything here is a pure function of (trace, geometry): engines
+ * that differ in history bits, select tables, target arrays, BIT
+ * size, penalties, ... all iterate the same artifact read-only, which
+ * also makes it safe to share across sweep worker threads. Replaying
+ * through a DecodedTrace is byte-identical to decoding per run.
+ */
+
+#ifndef MBBP_TRACE_DECODED_TRACE_HH
+#define MBBP_TRACE_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fetch/block.hh"
+#include "fetch/icache_model.hh"
+#include "predict/bit_table.hh"
+#include "trace/static_image.hh"
+#include "trace/trace.hh"
+
+namespace mbbp
+{
+
+/** What a block's exit does to the return address stack. */
+enum class RasOp : uint8_t
+{
+    None = 0,
+    Push,       //!< exit is a call: push exit PC + 1
+    Pop         //!< exit is a return
+};
+
+/** A trace decoded once for a given i-cache geometry. */
+class DecodedTrace
+{
+  public:
+    DecodedTrace() = default;
+
+    /**
+     * Decode @p trace for @p geom. The artifact is self-contained
+     * (the instruction stream is copied), so it may outlive the
+     * source trace.
+     */
+    static DecodedTrace build(const InMemoryTrace &trace,
+                              const ICacheConfig &geom);
+
+    /** The geometry the index was cut for. */
+    const ICacheConfig &geometry() const { return geom_; }
+
+    /**
+     * Does @p other segment identically? Banking never affects the
+     * decode, so artifacts are shared across bank counts.
+     */
+    bool geometryCompatible(const ICacheConfig &other) const;
+
+    const std::vector<DynInst> &insts() const { return insts_; }
+    const StaticImage &image() const { return image_; }
+
+    /** @{ The block index. */
+    std::size_t numBlocks() const { return startPc_.size(); }
+
+    /** Borrow block @p i as a view into the shared array. */
+    FetchBlock block(std::size_t i) const
+    {
+        return { startPc_[i], insts_.data() + firstInst_[i],
+                 numInsts_[i], exitIdx_[i], nextPc_[i] };
+    }
+
+    Addr startPc(std::size_t i) const { return startPc_[i]; }
+    Addr nextPc(std::size_t i) const { return nextPc_[i]; }
+    uint64_t condOutcomes(std::size_t i) const { return condMask_[i]; }
+    unsigned numInsts(std::size_t i) const { return numInsts_[i]; }
+    unsigned numConds(std::size_t i) const { return numConds_[i]; }
+
+    unsigned numNotTakenConds(std::size_t i) const
+    {
+        return numNotTaken_[i];
+    }
+
+    /** Control-transfer instructions executed in block @p i. */
+    unsigned numBranches(std::size_t i) const { return branches_[i]; }
+
+    /** Executed conditionals with near-block targets in block @p i. */
+    unsigned numNearConds(std::size_t i) const { return nearConds_[i]; }
+
+    RasOp rasOp(std::size_t i) const
+    {
+        return static_cast<RasOp>(rasOp_[i]);
+    }
+    /** @} */
+
+    /** @{ Precomputed BIT window codes. */
+
+    /** Window length = block capacity at the block's start address. */
+    unsigned windowLen(std::size_t i) const { return windowLen_[i]; }
+
+    /**
+     * The true (pre-decoded) codes of block @p i's whole window, in
+     * the near-block encoding when @p near_block, else with every
+     * conditional reported as CondLong. windowLen(i) entries.
+     */
+    const BitCode *windowCodes(std::size_t i, bool near_block) const
+    {
+        const std::vector<BitCode> &arena =
+            near_block ? codesNear_ : codesPlain_;
+        return arena.data() + codesOffset_[i];
+    }
+    /** @} */
+
+  private:
+    ICacheConfig geom_;
+    std::vector<DynInst> insts_;
+    StaticImage image_;
+
+    // Block index, one SoA slot per block (BlockStream order).
+    std::vector<Addr> startPc_;
+    std::vector<Addr> nextPc_;
+    std::vector<uint32_t> firstInst_;   //!< offset into insts_
+    std::vector<uint16_t> numInsts_;
+    std::vector<int16_t> exitIdx_;      //!< -1 = fall-through
+    std::vector<uint64_t> condMask_;
+    std::vector<uint16_t> numConds_;
+    std::vector<uint16_t> numNotTaken_;
+    std::vector<uint16_t> branches_;
+    std::vector<uint16_t> nearConds_;
+    std::vector<uint8_t> rasOp_;
+    std::vector<uint16_t> windowLen_;
+    std::vector<uint32_t> codesOffset_; //!< offset into the arenas
+
+    // Window-code arenas, indexed by codesOffset_; both encodings are
+    // materialized so no per-block translation happens at replay.
+    std::vector<BitCode> codesNear_;
+    std::vector<BitCode> codesPlain_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_TRACE_DECODED_TRACE_HH

@@ -1,5 +1,7 @@
 #include "trace/static_image.hh"
 
+#include <algorithm>
+
 namespace mbbp
 {
 
@@ -18,6 +20,7 @@ StaticImage::add(const DynInst &inst)
         // transfer; callers must not rely on it being static.
         info.target = inst.target;
     }
+    frozen_ = false;
 }
 
 StaticImage
@@ -26,14 +29,45 @@ StaticImage::fromTrace(const InMemoryTrace &trace)
     StaticImage img;
     for (const auto &inst : trace.insts())
         img.add(inst);
+    img.freeze();
     return img;
+}
+
+void
+StaticImage::freeze()
+{
+    keys_.clear();
+    keys_.reserve(map_.size());
+    for (const auto &kv : map_)
+        keys_.push_back(kv.first);
+    std::sort(keys_.begin(), keys_.end());
+    infos_.clear();
+    infos_.reserve(keys_.size());
+    for (Addr pc : keys_)
+        infos_.push_back(map_.find(pc)->second);
+    frozen_ = true;
 }
 
 StaticInfo
 StaticImage::lookup(Addr pc) const
 {
-    auto it = map_.find(pc);
-    return it == map_.end() ? StaticInfo{} : it->second;
+    if (!frozen_) {
+        auto it = map_.find(pc);
+        return it == map_.end() ? StaticInfo{} : it->second;
+    }
+    if (keys_.empty())
+        return {};
+    // Branchless lower bound: every iteration halves the range with a
+    // conditional move, no unpredictable compare-and-jump.
+    const Addr *base = keys_.data();
+    std::size_t len = keys_.size();
+    while (len > 1) {
+        std::size_t half = len / 2;
+        base += (base[half - 1] < pc) ? half : 0;
+        len -= half;
+    }
+    std::size_t idx = static_cast<std::size_t>(base - keys_.data());
+    return *base == pc ? infos_[idx] : StaticInfo{};
 }
 
 } // namespace mbbp

@@ -10,12 +10,20 @@
  * knowledge; StaticImage provides it to the simulator. PCs never seen
  * report NonBranch, which matches what a pre-decoder would emit for
  * data or padding.
+ *
+ * Two representations share the class: a hash map while the image is
+ * being built incrementally with add(), and -- after freeze() -- a
+ * sorted flat (keys, infos) pair searched with a branchless binary
+ * search. The frozen form is what the replay artifact ships to the
+ * engines: lookup() in the fetch inner loop touches two small dense
+ * arrays instead of chasing hash buckets.
  */
 
 #ifndef MBBP_TRACE_STATIC_IMAGE_HH
 #define MBBP_TRACE_STATIC_IMAGE_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "trace/trace.hh"
 
@@ -39,8 +47,18 @@ class StaticImage
     /** Record one instruction (later records win for target info). */
     void add(const DynInst &inst);
 
-    /** Scan a whole trace. */
+    /** Scan a whole trace; the result is frozen. */
     static StaticImage fromTrace(const InMemoryTrace &trace);
+
+    /**
+     * Convert to the sorted flat representation. lookup() afterwards
+     * is a branchless binary search; a subsequent add() falls back to
+     * the map until freeze() is called again.
+     */
+    void freeze();
+
+    /** Is the flat representation current? */
+    bool frozen() const { return frozen_; }
 
     /** Look up a PC; unknown PCs are NonBranch. */
     StaticInfo lookup(Addr pc) const;
@@ -49,6 +67,9 @@ class StaticImage
 
   private:
     std::unordered_map<Addr, StaticInfo> map_;
+    std::vector<Addr> keys_;            //!< sorted PCs (frozen form)
+    std::vector<StaticInfo> infos_;     //!< parallel to keys_
+    bool frozen_ = false;
 };
 
 } // namespace mbbp

@@ -23,7 +23,7 @@ TEST(BlockStream, CapacityCutsStraightLineCode)
     InMemoryTrace t = straightLine(0x40, 20);
     ICacheModel cache(ICacheConfig::normal(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.startPc, 0x40u);
     EXPECT_EQ(blk.size(), 8u);
@@ -41,7 +41,7 @@ TEST(BlockStream, MisalignedEntryShortensBlock)
     InMemoryTrace t = straightLine(0x45, 16);
     ICacheModel cache(ICacheConfig::normal(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.size(), 3u);      // 0x45..0x47
     EXPECT_EQ(blk.nextPc, 0x48u);
@@ -56,7 +56,7 @@ TEST(BlockStream, TakenTransferEndsBlock)
     t.append({ 0x81, InstClass::NonBranch, false, 0 });
     ICacheModel cache(ICacheConfig::normal(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.size(), 2u);
     EXPECT_TRUE(blk.endsTaken());
@@ -76,7 +76,7 @@ TEST(BlockStream, NotTakenCondStaysInside)
     t.append({ 0x100, InstClass::NonBranch, false, 0 });
     ICacheModel cache(ICacheConfig::normal(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.size(), 3u);
     EXPECT_EQ(blk.exitIdx, 2);
@@ -91,7 +91,7 @@ TEST(BlockStream, SelfAlignedSpansLines)
     InMemoryTrace t = straightLine(0x44, 20);
     ICacheModel cache(ICacheConfig::selfAligned(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.size(), 8u);      // full width despite offset 4
     EXPECT_EQ(blk.nextPc, 0x4cu);
@@ -102,7 +102,7 @@ TEST(BlockStream, ExtendedLineHoldsMisalignedBlock)
     InMemoryTrace t = straightLine(0x44, 20);
     ICacheModel cache(ICacheConfig::extended(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     ASSERT_TRUE(bs.next(blk));
     EXPECT_EQ(blk.size(), 8u);      // 0x44..0x4b within the 16-line
 }
@@ -112,13 +112,13 @@ TEST(BlockStream, EmptyTrace)
     InMemoryTrace t;
     ICacheModel cache(ICacheConfig::normal(8));
     BlockStream bs(t, cache);
-    FetchBlock blk;
+    OwnedBlock blk;
     EXPECT_FALSE(bs.next(blk));
 }
 
 TEST(FetchBlock, ExitInstNullWhenFallThrough)
 {
-    FetchBlock blk;
+    OwnedBlock blk;
     blk.insts.push_back({ 0x1, InstClass::NonBranch, false, 0 });
     blk.exitIdx = -1;
     EXPECT_EQ(blk.exitInst(), nullptr);

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Replay-equivalence tests: every engine must produce field-exact
+ * FetchStats whether it decodes its own throwaway artifact from the
+ * raw trace or replays a shared precomputed DecodedTrace -- across
+ * the configuration corners that exercise different per-block state
+ * (near-block encoding, finite BIT, delayed PHT training, double
+ * selection, finite i-cache contents).
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "core/suite_runner.hh"
+#include "fetch/dual_block_engine.hh"
+#include "fetch/multi_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+#include "fetch/two_ahead_engine.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** Configuration corners worth replaying. */
+std::vector<FetchEngineConfig>
+corners(bool allow_double_select)
+{
+    std::vector<FetchEngineConfig> cfgs;
+
+    cfgs.emplace_back();                    // paper defaults
+
+    FetchEngineConfig near;
+    near.nearBlock = true;
+    cfgs.push_back(near);
+
+    FetchEngineConfig finite_bit;
+    finite_bit.bitEntries = 64;
+    cfgs.push_back(finite_bit);
+
+    FetchEngineConfig delayed;
+    delayed.delayedPhtUpdate = true;
+    cfgs.push_back(delayed);
+
+    FetchEngineConfig near_delayed;
+    near_delayed.nearBlock = true;
+    near_delayed.nearBlockStoredOffset = true;
+    near_delayed.delayedPhtUpdate = true;
+    cfgs.push_back(near_delayed);
+
+    FetchEngineConfig finite_cache;
+    finite_cache.icacheLines = 64;
+    finite_cache.icacheAssoc = 2;
+    finite_cache.icacheMissPenalty = 6;
+    cfgs.push_back(finite_cache);
+
+    FetchEngineConfig self_aligned;
+    self_aligned.icache = ICacheConfig::selfAligned(8);
+    cfgs.push_back(self_aligned);
+
+    if (allow_double_select) {
+        FetchEngineConfig dsel;
+        dsel.doubleSelect = true;
+        cfgs.push_back(dsel);
+
+        FetchEngineConfig dsel_near;
+        dsel_near.doubleSelect = true;
+        dsel_near.nearBlock = true;
+        cfgs.push_back(dsel_near);
+    }
+    return cfgs;
+}
+
+class DecodeEquivalenceTest : public ::testing::Test
+{
+  protected:
+    DecodeEquivalenceTest() : trace_(specTrace("go", 30000)) {}
+
+    /** One shared artifact per geometry, as the sweep runner keeps. */
+    const DecodedTrace &shared(const ICacheConfig &geom)
+    {
+        for (auto &d : artifacts_)
+            if (d.geometryCompatible(geom))
+                return d;
+        artifacts_.push_back(DecodedTrace::build(trace_, geom));
+        return artifacts_.back();
+    }
+
+    InMemoryTrace trace_;
+    std::list<DecodedTrace> artifacts_;
+};
+
+TEST_F(DecodeEquivalenceTest, SingleBlockEngine)
+{
+    for (const FetchEngineConfig &cfg : corners(false)) {
+        SingleBlockEngine engine(cfg);
+        FetchStats per_run = engine.run(trace_);
+        FetchStats replay = engine.run(shared(cfg.icache));
+        EXPECT_EQ(per_run, replay);
+    }
+}
+
+TEST_F(DecodeEquivalenceTest, DualBlockEngine)
+{
+    for (const FetchEngineConfig &cfg : corners(true)) {
+        DualBlockEngine engine(cfg);
+        FetchStats per_run = engine.run(trace_);
+        FetchStats replay = engine.run(shared(cfg.icache));
+        EXPECT_EQ(per_run, replay);
+    }
+}
+
+TEST_F(DecodeEquivalenceTest, MultiBlockEngine)
+{
+    for (unsigned n = 1; n <= 4; ++n) {
+        for (const FetchEngineConfig &cfg : corners(false)) {
+            MultiBlockEngine engine(cfg, n);
+            FetchStats per_run = engine.run(trace_);
+            FetchStats replay = engine.run(shared(cfg.icache));
+            EXPECT_EQ(per_run, replay) << "n=" << n;
+        }
+    }
+}
+
+TEST_F(DecodeEquivalenceTest, TwoAheadEngine)
+{
+    for (const FetchEngineConfig &cfg : corners(false)) {
+        TwoAheadEngine engine(cfg);
+        FetchStats per_run = engine.run(trace_);
+        FetchStats replay = engine.run(shared(cfg.icache));
+        EXPECT_EQ(per_run, replay);
+    }
+}
+
+TEST(DecodeEquivalenceSuite, TraceCacheMemoizesPerGeometry)
+{
+    TraceCache traces(20000);
+    ICacheConfig geom = ICacheConfig::normal(8);
+    const DecodedTrace &a = traces.decoded("li", geom);
+
+    // Same key -> the same artifact object, even across bank counts.
+    ICacheConfig banked = geom;
+    banked.numBanks = 2;
+    EXPECT_EQ(&a, &traces.decoded("li", banked));
+
+    // Different geometry or trace -> a different artifact.
+    EXPECT_NE(&a, &traces.decoded("li", ICacheConfig::extended(8)));
+    EXPECT_NE(&a, &traces.decoded("perl", geom));
+
+    // The artifact replays the cached trace.
+    EXPECT_EQ(a.insts().size(), traces.get("li").insts().size());
+}
+
+TEST(DecodeEquivalenceSuite, RunSuiteSharedDecodeIsByteIdentical)
+{
+    TraceCache traces(20000);
+    SimConfig cfg = SimConfig::paperDefault();
+    const std::vector<std::string> names{ "gcc", "swim" };
+
+    SuiteResult shared = runSuite(cfg, traces, names, true);
+    SuiteResult per_run = runSuite(cfg, traces, names, false);
+
+    ASSERT_EQ(shared.perProgram.size(), per_run.perProgram.size());
+    for (const auto &[name, stats] : shared.perProgram)
+        EXPECT_EQ(stats, per_run.perProgram.at(name)) << name;
+    EXPECT_EQ(shared.allTotal, per_run.allTotal);
+    EXPECT_EQ(shared.intTotal, per_run.intTotal);
+    EXPECT_EQ(shared.fpTotal, per_run.fpTotal);
+}
+
+} // namespace
+} // namespace mbbp

@@ -11,11 +11,11 @@ namespace mbbp
 namespace
 {
 
-FetchBlock
+OwnedBlock
 blockEndingWith(Addr start, unsigned body, InstClass cls, bool taken,
                 Addr target)
 {
-    FetchBlock blk;
+    OwnedBlock blk;
     blk.startPc = start;
     for (unsigned i = 0; i < body; ++i)
         blk.insts.push_back({ start + i, InstClass::NonBranch, false,
@@ -95,7 +95,7 @@ TEST_F(EngineCommonTest, ResolveNearUsesExactStaticTarget)
 
 TEST_F(EngineCommonTest, BothFallThroughIsCorrect)
 {
-    FetchBlock blk;
+    OwnedBlock blk;
     blk.startPc = 0x40;
     for (unsigned i = 0; i < 8; ++i)
         blk.insts.push_back({ 0x40 + i, InstClass::NonBranch, false,
@@ -103,7 +103,7 @@ TEST_F(EngineCommonTest, BothFallThroughIsCorrect)
     blk.exitIdx = -1;
     blk.nextPc = 0x48;
     ExitPrediction p;
-    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk);
+    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk.view());
     EXPECT_TRUE(out.correct);
 }
 
@@ -112,7 +112,7 @@ TEST_F(EngineCommonTest, PredictedTakenTooEarlyIsCondWithRefetch)
     // Predicted exit at offset 1; the branch there was actually not
     // taken and the block continued: mispredicted-taken, plus the
     // Table 3 footnote re-fetch.
-    FetchBlock blk;
+    OwnedBlock blk;
     blk.startPc = 0x40;
     blk.insts.push_back({ 0x40, InstClass::NonBranch, false, 0 });
     blk.insts.push_back({ 0x41, InstClass::CondBranch, false, 0x99 });
@@ -124,7 +124,7 @@ TEST_F(EngineCommonTest, PredictedTakenTooEarlyIsCondWithRefetch)
     p.offset = 1;
     p.pc = 0x41;
     p.src = SelSrc::Target;
-    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk);
+    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk.view());
     EXPECT_FALSE(out.correct);
     EXPECT_EQ(out.kind, PenaltyKind::CondMispredict);
     EXPECT_TRUE(out.refetchExtra);
@@ -132,10 +132,10 @@ TEST_F(EngineCommonTest, PredictedTakenTooEarlyIsCondWithRefetch)
 
 TEST_F(EngineCommonTest, MissedTakenExitIsCondNoRefetch)
 {
-    FetchBlock blk = blockEndingWith(0x40, 2, InstClass::CondBranch,
+    OwnedBlock blk = blockEndingWith(0x40, 2, InstClass::CondBranch,
                                      true, 0x99);
     ExitPrediction p;   // predicted fall-through
-    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk);
+    PredictOutcome out = compareWithActual(p, { 0x48, true }, blk.view());
     EXPECT_FALSE(out.correct);
     EXPECT_EQ(out.kind, PenaltyKind::CondMispredict);
     EXPECT_FALSE(out.refetchExtra);
@@ -156,14 +156,14 @@ TEST_F(EngineCommonTest, WrongTargetClassifiesByExitClass)
         { InstClass::CondBranch, PenaltyKind::MisfetchImmediate },
     };
     for (auto &c : cases) {
-        FetchBlock blk = blockEndingWith(0x40, 2, c.cls, true, 0x99);
+        OwnedBlock blk = blockEndingWith(0x40, 2, c.cls, true, 0x99);
         ExitPrediction p;
         p.found = true;
         p.offset = 2;
         p.pc = 0x42;
         p.src = c.cls == InstClass::Return ? SelSrc::Ras
                                            : SelSrc::Target;
-        PredictOutcome out = compareWithActual(p, { 0x55, true }, blk);
+        PredictOutcome out = compareWithActual(p, { 0x55, true }, blk.view());
         EXPECT_FALSE(out.correct);
         EXPECT_EQ(out.kind, c.kind) << instClassName(c.cls);
     }
@@ -171,58 +171,58 @@ TEST_F(EngineCommonTest, WrongTargetClassifiesByExitClass)
 
 TEST_F(EngineCommonTest, RightExitRightTargetIsCorrect)
 {
-    FetchBlock blk = blockEndingWith(0x40, 2, InstClass::Jump, true,
+    OwnedBlock blk = blockEndingWith(0x40, 2, InstClass::Jump, true,
                                      0x99);
     ExitPrediction p;
     p.found = true;
     p.offset = 2;
     p.pc = 0x42;
     p.src = SelSrc::Target;
-    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk);
+    PredictOutcome out = compareWithActual(p, { 0x99, true }, blk.view());
     EXPECT_TRUE(out.correct);
 }
 
 TEST_F(EngineCommonTest, ApplyRasOps)
 {
-    FetchBlock call = blockEndingWith(0x40, 1, InstClass::Call, true,
+    OwnedBlock call = blockEndingWith(0x40, 1, InstClass::Call, true,
                                       0x100);
-    applyRasOp(ras_, call);
+    applyRasOp(ras_, call.view());
     EXPECT_EQ(ras_.depth(), 1u);
     EXPECT_EQ(ras_.top(), 0x42u);   // address after the call
 
-    FetchBlock ret = blockEndingWith(0x100, 0, InstClass::Return, true,
+    OwnedBlock ret = blockEndingWith(0x100, 0, InstClass::Return, true,
                                      0x42);
-    applyRasOp(ras_, ret);
+    applyRasOp(ras_, ret.view());
     EXPECT_EQ(ras_.depth(), 0u);
 
-    FetchBlock plain = blockEndingWith(0x42, 1, InstClass::Jump, true,
+    OwnedBlock plain = blockEndingWith(0x42, 1, InstClass::Jump, true,
                                        0x60);
-    applyRasOp(ras_, plain);
+    applyRasOp(ras_, plain.view());
     EXPECT_EQ(ras_.depth(), 0u);
 }
 
 TEST_F(EngineCommonTest, TargetArrayUpdateSkipsReturnsAndNear)
 {
     // Returns are RAS-predicted: never stored.
-    FetchBlock ret = blockEndingWith(0x40, 1, InstClass::Return, true,
+    OwnedBlock ret = blockEndingWith(0x40, 1, InstClass::Return, true,
                                      0x99);
-    updateTargetArray(nls_, 0x40, 0, ret, 8, false);
+    updateTargetArray(nls_, 0x40, 0, ret.view(), 8, false);
     EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0u);
 
     // Near conditional targets are computed, not stored -- but only
     // when near-block encoding is on.
-    FetchBlock near = blockEndingWith(0x40, 1, InstClass::CondBranch,
+    OwnedBlock near = blockEndingWith(0x40, 1, InstClass::CondBranch,
                                       true, 0x44);
-    updateTargetArray(nls_, 0x40, 0, near, 8, true);
+    updateTargetArray(nls_, 0x40, 0, near.view(), 8, true);
     EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0u);
-    updateTargetArray(nls_, 0x40, 0, near, 8, false);
+    updateTargetArray(nls_, 0x40, 0, near.view(), 8, false);
     EXPECT_EQ(nls_.predict(0x40, 1, 0).target, 0x44u);
 }
 
 TEST_F(EngineCommonTest, CountBlockStats)
 {
     FetchStats stats;
-    FetchBlock blk;
+    OwnedBlock blk;
     blk.startPc = 0x40;
     blk.insts.push_back({ 0x40, InstClass::NonBranch, false, 0 });
     blk.insts.push_back({ 0x41, InstClass::CondBranch, false, 0x44 });
@@ -230,7 +230,7 @@ TEST_F(EngineCommonTest, CountBlockStats)
     blk.insts.push_back({ 0x43, InstClass::Call, true, 0x200 });
     blk.exitIdx = 3;
     blk.nextPc = 0x200;
-    countBlockStats(stats, blk, 8);
+    countBlockStats(stats, blk.view(), 8);
     EXPECT_EQ(stats.instructions, 4u);
     EXPECT_EQ(stats.blocksFetched, 1u);
     EXPECT_EQ(stats.branchesExecuted, 3u);

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the DecodedTrace replay artifact: the precomputed block
+ * index, derived per-block facts, and BIT window codes must agree
+ * exactly with the reference per-run decomposition (BlockStream +
+ * FetchBlock helpers + trueWindowCodes), and the frozen StaticImage
+ * must answer lookups identically to the hash-map path.
+ */
+
+#include "trace/decoded_trace.hh"
+
+#include <gtest/gtest.h>
+
+#include "fetch/engine_common.hh"
+#include "fetch/exit_predict.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** The three Table 6 geometries for a given width. */
+std::vector<ICacheConfig>
+geometries()
+{
+    return { ICacheConfig::normal(8), ICacheConfig::extended(8),
+             ICacheConfig::selfAligned(8), ICacheConfig::normal(16) };
+}
+
+class DecodedTraceTest : public ::testing::Test
+{
+  protected:
+    DecodedTraceTest() : trace_(specTrace("gcc", 40000)) {}
+
+    InMemoryTrace trace_;
+};
+
+TEST_F(DecodedTraceTest, BlockIndexMatchesBlockStream)
+{
+    for (const ICacheConfig &geom : geometries()) {
+        DecodedTrace dec = DecodedTrace::build(trace_, geom);
+
+        ICacheModel cache(geom);
+        TraceCursor cursor(trace_);
+        BlockStream stream(cursor, cache);
+        OwnedBlock ref;
+        std::size_t i = 0;
+        while (stream.next(ref)) {
+            ASSERT_LT(i, dec.numBlocks());
+            const FetchBlock got = dec.block(i);
+            EXPECT_EQ(got.startPc, ref.startPc);
+            EXPECT_EQ(got.nextPc, ref.nextPc);
+            EXPECT_EQ(got.exitIdx, ref.exitIdx);
+            ASSERT_EQ(got.size(), ref.size());
+            for (unsigned j = 0; j < got.size(); ++j) {
+                EXPECT_EQ(got[j].pc, ref.insts[j].pc);
+                EXPECT_EQ(got[j].cls, ref.insts[j].cls);
+                EXPECT_EQ(got[j].taken, ref.insts[j].taken);
+                EXPECT_EQ(got[j].target, ref.insts[j].target);
+            }
+            ++i;
+        }
+        EXPECT_EQ(i, dec.numBlocks());
+        ASSERT_GT(i, 0u);
+    }
+}
+
+TEST_F(DecodedTraceTest, DerivedFactsMatchBlockHelpers)
+{
+    const ICacheConfig geom = ICacheConfig::normal(8);
+    DecodedTrace dec = DecodedTrace::build(trace_, geom);
+    const unsigned line_size = geom.lineSize;
+
+    for (std::size_t i = 0; i < dec.numBlocks(); ++i) {
+        const FetchBlock blk = dec.block(i);
+        EXPECT_EQ(dec.condOutcomes(i), blk.condOutcomes());
+        EXPECT_EQ(dec.numConds(i), blk.numConds());
+        EXPECT_EQ(dec.numNotTakenConds(i), blk.numNotTakenConds());
+        EXPECT_EQ(dec.numInsts(i), blk.size());
+
+        FetchStats ref, got;
+        countBlockStats(ref, blk, line_size);
+        got.instructions = dec.numInsts(i);
+        got.blocksFetched = 1;
+        got.branchesExecuted = dec.numBranches(i);
+        got.condExecuted = dec.numConds(i);
+        got.nearBlockConds = dec.numNearConds(i);
+        EXPECT_EQ(got, ref);
+
+        RasOp expect_op = RasOp::None;
+        if (const DynInst *e = blk.exitInst()) {
+            if (isCall(e->cls))
+                expect_op = RasOp::Push;
+            else if (isReturn(e->cls))
+                expect_op = RasOp::Pop;
+        }
+        EXPECT_EQ(dec.rasOp(i), expect_op);
+    }
+}
+
+TEST_F(DecodedTraceTest, WindowCodesMatchTrueWindowCodes)
+{
+    for (const ICacheConfig &geom : geometries()) {
+        DecodedTrace dec = DecodedTrace::build(trace_, geom);
+        ICacheModel cache(geom);
+        const unsigned line_size = cache.lineSize();
+
+        for (std::size_t i = 0; i < dec.numBlocks(); ++i) {
+            const Addr start = dec.startPc(i);
+            const unsigned cap = dec.windowLen(i);
+            ASSERT_EQ(cap, cache.capacityAt(start));
+            for (bool near_block : { false, true }) {
+                BitVector ref = trueWindowCodes(
+                    dec.image(), start, cap, line_size, near_block);
+                const BitCode *got = dec.windowCodes(i, near_block);
+                ASSERT_EQ(ref.size(), cap);
+                for (unsigned j = 0; j < cap; ++j)
+                    EXPECT_EQ(got[j], ref[j])
+                        << "block " << i << " slot " << j
+                        << " near=" << near_block;
+            }
+        }
+    }
+}
+
+TEST_F(DecodedTraceTest, FrozenImageMatchesMapLookups)
+{
+    // The artifact's image is frozen (sorted flat array, branchless
+    // lookup); an incrementally built image answers through the map.
+    StaticImage reference;
+    for (const auto &inst : trace_.insts())
+        reference.add({ inst.pc, inst.cls, inst.taken, inst.target });
+    ASSERT_FALSE(reference.frozen());
+
+    DecodedTrace dec =
+        DecodedTrace::build(trace_, ICacheConfig::normal(8));
+    ASSERT_TRUE(dec.image().frozen());
+
+    for (const auto &inst : trace_.insts()) {
+        // Probe the PC itself and its neighbors (misses exercise the
+        // not-found path of the branchless search).
+        for (Addr pc : { inst.pc, inst.pc + 1, inst.pc - 1 }) {
+            StaticInfo a = dec.image().lookup(pc);
+            StaticInfo b = reference.lookup(pc);
+            EXPECT_EQ(a.cls, b.cls);
+            EXPECT_EQ(a.target, b.target);
+        }
+    }
+    StaticInfo miss = dec.image().lookup(0);
+    EXPECT_EQ(miss.cls, InstClass::NonBranch);
+}
+
+TEST_F(DecodedTraceTest, GeometryCompatibilityIgnoresBanks)
+{
+    ICacheConfig geom = ICacheConfig::normal(8);
+    DecodedTrace dec = DecodedTrace::build(trace_, geom);
+
+    ICacheConfig banks = geom;
+    banks.numBanks = 2;
+    EXPECT_TRUE(dec.geometryCompatible(banks));
+
+    EXPECT_FALSE(dec.geometryCompatible(ICacheConfig::extended(8)));
+    EXPECT_FALSE(dec.geometryCompatible(ICacheConfig::normal(16)));
+}
+
+TEST_F(DecodedTraceTest, ArtifactIsSelfContained)
+{
+    // The artifact must survive its source trace: views point into
+    // the artifact's own instruction copy.
+    DecodedTrace dec;
+    {
+        InMemoryTrace local = specTrace("compress", 20000);
+        dec = DecodedTrace::build(local, ICacheConfig::normal(8));
+    }
+    ASSERT_GT(dec.numBlocks(), 0u);
+    uint64_t insts = 0;
+    for (std::size_t i = 0; i < dec.numBlocks(); ++i)
+        insts += dec.block(i).size();
+    EXPECT_LE(insts, dec.insts().size());
+}
+
+} // namespace
+} // namespace mbbp
