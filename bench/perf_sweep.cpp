@@ -2,15 +2,18 @@
  * @file
  * Sweep-engine performance and determinism check (the subsystem's
  * acceptance harness): a 16-configuration grid (historyBits x
- * numSelectTables) over 4 benchmarks, executed in four modes --
- * {per-run decode, shared decode} x {1 thread, 8 threads}. Per-run
- * decode rebuilds the replay artifact inside every job (the
+ * numSelectTables) over 4 benchmarks, executed in five modes --
+ * {per-run decode, shared decode} x {1 thread, 8 threads}, plus
+ * shared decode at 8 threads with the obs metrics layer enabled.
+ * Per-run decode rebuilds the replay artifact inside every job (the
  * pre-artifact behavior); shared decode replays the TraceCache's
- * memoized DecodedTrace. The bench prints wall clocks and the
- * decode-once speedup, verifies that all four modes emit byte-
- * identical aggregate JSON + CSV (neither scheduling nor the replay
- * path may leak into results), and writes the measurements to
- * BENCH_perf_sweep.json for regression tooling.
+ * memoized DecodedTrace. The bench prints wall clocks, the
+ * decode-once speedup, and the metrics overhead ratio, verifies that
+ * all modes emit byte-identical aggregate JSON + CSV (neither
+ * scheduling, the replay path, nor metrics collection may leak into
+ * results), and writes the measurements -- including the obs counter
+ * snapshot from the metrics mode -- to BENCH_perf_sweep.json for
+ * regression tooling.
  *
  * The thread speedup is bounded by the physical cores of the host
  * (hardware_concurrency is printed for context); the decode-once
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/obs.hh"
 
 using namespace mbbp;
 using namespace mbbp::bench;
@@ -35,6 +39,7 @@ struct Mode
     const char *label;
     bool sharedDecode;
     unsigned threads;
+    bool metrics;
     SweepResult result;
 };
 
@@ -63,19 +68,30 @@ main()
         (void)benchTraces().decoded(name, geom);
 
     Mode modes[] = {
-        { "per-run 1T", false, 1, {} },
-        { "per-run 8T", false, 8, {} },
-        { "shared 1T", true, 1, {} },
-        { "shared 8T", true, 8, {} },
+        { "per-run 1T", false, 1, false, {} },
+        { "per-run 8T", false, 8, false, {} },
+        { "shared 1T", true, 1, false, {} },
+        { "shared 8T", true, 8, false, {} },
+        { "shared 8T+metrics", true, 8, true, {} },
     };
+    obs::Snapshot metrics_snap;
     for (Mode &m : modes) {
         SweepOptions opts;
         opts.threads = m.threads;
         opts.sharedDecode = m.sharedDecode;
+        if (m.metrics) {
+            obs::resetAll();
+            obs::setEnabled(true);
+        }
         m.result = runSweep(spec, benchTraces(), opts);
+        if (m.metrics) {
+            obs::setEnabled(false);
+            metrics_snap = obs::snapshot();
+        }
     }
 
-    // Every mode must emit the same bytes.
+    // Every mode must emit the same bytes -- including the metrics
+    // run when reported with the metrics block off.
     SweepReportOptions stable;      // no timings: byte-stable
     const std::string ref_json = sweepToJson(modes[0].result, stable);
     const std::string ref_csv = sweepToCsv(modes[0].result, stable);
@@ -102,12 +118,16 @@ main()
         modes[1].result.wallSeconds / modes[3].result.wallSeconds;
     double threads_shared =
         modes[2].result.wallSeconds / modes[3].result.wallSeconds;
+    double metrics_overhead =
+        modes[4].result.wallSeconds / modes[3].result.wallSeconds;
     std::cout << "decode-once speedup, 1 thread:  "
               << TextTable::fmt(decode_once_1t, 2) << "x\n"
               << "decode-once speedup, 8 threads: "
               << TextTable::fmt(decode_once_8t, 2) << "x\n"
               << "thread speedup (shared decode): "
-              << TextTable::fmt(threads_shared, 2)
+              << TextTable::fmt(threads_shared, 2) << "x\n"
+              << "metrics-enabled overhead:       "
+              << TextTable::fmt(metrics_overhead, 3)
               << "x\naggregate output byte-identical: "
               << (identical ? "yes" : "NO") << "\n";
 
@@ -127,6 +147,7 @@ main()
         w.value("label", m.label);
         w.value("sharedDecode", m.sharedDecode);
         w.value("threads", static_cast<uint64_t>(m.threads));
+        w.value("metrics", m.metrics);
         w.value("wallSeconds", m.result.wallSeconds);
         w.endObject();
     }
@@ -134,14 +155,29 @@ main()
     w.value("decodeOnceSpeedup1T", decode_once_1t);
     w.value("decodeOnceSpeedup8T", decode_once_8t);
     w.value("threadSpeedupShared", threads_shared);
+    w.value("metricsOverhead", metrics_overhead);
     w.value("byteIdentical", identical);
+    w.beginObject("metrics");
+    w.beginObject("counters");
+    for (const auto &c : metrics_snap.counters)
+        w.value(c.name, c.value);
+    w.endObject();
+    w.beginObject("timers");
+    for (const auto &t : metrics_snap.timers) {
+        w.beginObject(t.name);
+        w.value("calls", t.calls);
+        w.value("totalNs", t.totalNs);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
     w.endObject();
     writeTextFile("BENCH_perf_sweep.json", w.str());
     std::cout << "wrote BENCH_perf_sweep.json\n";
 
     if (!identical) {
-        std::cerr << "FAIL: decode mode or thread count changed "
-                     "the results\n";
+        std::cerr << "FAIL: decode mode, thread count, or metrics "
+                     "collection changed the results\n";
         return 1;
     }
     return 0;

@@ -23,14 +23,21 @@
  *   --threads N             workers for multi-workload runs [all]
  *   --out FILE              sweep-report JSON to FILE ("-"=stdout);
  *                           accepts several spec95 workloads
+ *   --metrics               obs counters/timers in the --out report
+ *   --trace-out FILE        chrome://tracing span dump of the run
  */
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/mbbp.hh"
+#include "obs/obs.hh"
 
 using namespace mbbp;
 
@@ -45,7 +52,7 @@ usage()
         "  --blocks N --history H --sts N --cache normal|extend|align\n"
         "  --target nls|btb --target-entries N --bit-entries N\n"
         "  --near-block --double-select --insts N --json\n"
-        "  --threads N --out FILE\n";
+        "  --threads N --out FILE --metrics --trace-out FILE\n";
 }
 
 bool
@@ -67,6 +74,8 @@ main(int argc, char **argv)
     bool json = false;
     unsigned threads = 0;
     std::string out_path;
+    std::string trace_out;
+    bool metrics = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -118,6 +127,13 @@ main(int argc, char **argv)
             threads = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--metrics") {
+            metrics = true;
+            obs::setEnabled(true);
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+            obs::setEnabled(true);
+            obs::setTracing(true);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -159,10 +175,38 @@ main(int argc, char **argv)
             job.config = cfg;
             SweepOptions opts;
             opts.threads = threads;
+            using Clock = std::chrono::steady_clock;
+            Clock::time_point start = Clock::now();
+            if (isatty(fileno(stderr)) != 0) {
+                opts.progress = [start](const SweepProgress &p) {
+                    double elapsed =
+                        std::chrono::duration<double>(Clock::now() -
+                                                      start)
+                            .count();
+                    double eta = p.completed > 0
+                        ? elapsed /
+                              static_cast<double>(p.completed) *
+                              static_cast<double>(p.total -
+                                                  p.completed)
+                        : 0.0;
+                    char buf[128];
+                    std::snprintf(
+                        buf, sizeof buf,
+                        "\r[%zu/%zu] elapsed %.1fs eta %.1fs   ",
+                        p.completed, p.total, elapsed, eta);
+                    std::cerr << buf;
+                    if (p.completed == p.total)
+                        std::cerr << "\n";
+                };
+            }
             SweepResult result =
                 runSweepJobs({ job }, traces, workloads, opts);
             result.name = "simulate_cli";
-            writeTextFile(out_path, sweepToJson(result));
+            SweepReportOptions report;
+            report.metrics = metrics;
+            writeTextFile(out_path, sweepToJson(result, report));
+            if (!trace_out.empty())
+                obs::writeChromeTrace(trace_out);
             if (out_path != "-")
                 std::cerr << "wrote " << out_path << "\n";
         } catch (const std::exception &e) {
@@ -191,6 +235,8 @@ main(int argc, char **argv)
     if (json) {
         FetchStats js = FetchSimulator(cfg).run(trace);
         std::cout << statsToJson(js) << "\n";
+        if (!trace_out.empty())
+            obs::writeChromeTrace(trace_out);
         return 0;
     }
 
@@ -230,5 +276,7 @@ main(int argc, char **argv)
                             " events" });
     }
     std::cout << report.render();
+    if (!trace_out.empty())
+        obs::writeChromeTrace(trace_out);
     return 0;
 }

@@ -13,15 +13,23 @@
  *   --no-per-program   aggregates only (smaller output)
  *   --timings          include per-job and wall-clock seconds
  *                      (output is no longer byte-stable across runs)
+ *   --metrics          include the obs counter/timer snapshot in the
+ *                      JSON report (not byte-stable either)
+ *   --trace-out FILE   write a chrome://tracing span dump of the run
  *   --quiet            no progress on stderr
  *   --list-fields      print the sweepable config fields and exit
  */
 
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "core/mbbp.hh"
+#include "obs/obs.hh"
 
 using namespace mbbp;
 
@@ -35,7 +43,27 @@ usage()
         "usage: sweep_cli spec.json [--threads N] [--out FILE]\n"
         "                 [--csv FILE] [--no-per-program] "
         "[--timings]\n"
-        "                 [--quiet] [--list-fields]\n";
+        "                 [--metrics] [--trace-out FILE] [--quiet]\n"
+        "                 [--list-fields]\n";
+}
+
+/** "[12/40] 30% elapsed 2.1s eta 4.9s" -- overwritten in place. */
+void
+ttyProgress(const SweepProgress &p, double elapsed)
+{
+    double eta = p.completed > 0
+        ? elapsed / static_cast<double>(p.completed) *
+              static_cast<double>(p.total - p.completed)
+        : 0.0;
+    unsigned pct = p.total > 0
+        ? static_cast<unsigned>(100 * p.completed / p.total) : 100;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\r[%zu/%zu] %u%% elapsed %.1fs eta %.1fs   ",
+                  p.completed, p.total, pct, elapsed, eta);
+    std::cerr << buf;
+    if (p.completed == p.total)
+        std::cerr << "\n";
 }
 
 } // namespace
@@ -46,6 +74,7 @@ main(int argc, char **argv)
     std::string spec_path;
     std::string out_path = "-";
     std::string csv_path;
+    std::string trace_out;
     unsigned threads = 0;
     bool quiet = false;
     SweepReportOptions report;
@@ -69,6 +98,13 @@ main(int argc, char **argv)
             report.perProgram = false;
         } else if (arg == "--timings") {
             report.timings = true;
+        } else if (arg == "--metrics") {
+            report.metrics = true;
+            obs::setEnabled(true);
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+            obs::setEnabled(true);
+            obs::setTracing(true);
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list-fields") {
@@ -99,8 +135,21 @@ main(int argc, char **argv)
 
         SweepOptions opts;
         opts.threads = threads;
+        using Clock = std::chrono::steady_clock;
+        Clock::time_point start = Clock::now();
         if (!quiet) {
-            opts.progress = [](const SweepProgress &p) {
+            // A tty gets one live line with an ETA; a pipe gets the
+            // classic one-line-per-job log.
+            bool tty = isatty(fileno(stderr)) != 0;
+            opts.progress = [start, tty](const SweepProgress &p) {
+                if (tty) {
+                    double elapsed =
+                        std::chrono::duration<double>(Clock::now() -
+                                                      start)
+                            .count();
+                    ttyProgress(p, elapsed);
+                    return;
+                }
                 std::cerr << "[" << p.completed << "/" << p.total
                           << "] job " << p.job->index;
                 for (const auto &[field, value] : p.job->params)
@@ -118,6 +167,12 @@ main(int argc, char **argv)
         writeTextFile(out_path, sweepToJson(result, report) + "\n");
         if (!csv_path.empty())
             writeTextFile(csv_path, sweepToCsv(result, report));
+        if (!trace_out.empty()) {
+            obs::writeChromeTrace(trace_out);
+            if (!quiet)
+                std::cerr << "wrote " << trace_out << " ("
+                          << obs::spanCount() << " spans)\n";
+        }
     } catch (const std::exception &e) {
         std::cerr << "sweep_cli: " << e.what() << "\n";
         return 1;

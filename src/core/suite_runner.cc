@@ -1,5 +1,7 @@
 #include "core/suite_runner.hh"
 
+#include "obs/obs.hh"
+
 namespace mbbp
 {
 
@@ -11,6 +13,7 @@ TraceCache::TraceCache(std::size_t instructions_per_program)
 const InMemoryTrace &
 TraceCache::get(const std::string &name)
 {
+    obs::flushCounter("trace.cache.requests", 1);
     Entry *entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -23,7 +26,10 @@ TraceCache::get(const std::string &name)
     // Generate outside the map lock so distinct traces can be built
     // concurrently; call_once serializes builders of the same trace.
     std::call_once(entry->once, [&] {
+        static obs::Timer &gen_t = obs::timer("trace.generate");
+        obs::ScopedTimer span(gen_t, "generate " + name);
         entry->trace = specTrace(name, ninsts_);
+        obs::flushCounter("trace.cache.builds", 1);
     });
     return entry->trace;
 }
@@ -31,6 +37,7 @@ TraceCache::get(const std::string &name)
 const DecodedTrace &
 TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
 {
+    obs::flushCounter("trace.cache.decoded_requests", 1);
     DecodedKey key{ name, static_cast<uint8_t>(geom.type),
                     geom.blockWidth, geom.lineSize };
     DecodedEntry *entry;
@@ -47,7 +54,10 @@ TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
     // get() is itself thread-safe, so decoding may trigger trace
     // generation; distinct artifacts decode concurrently.
     std::call_once(entry->once, [&] {
+        static obs::Timer &dec_t = obs::timer("trace.decode");
+        obs::ScopedTimer span(dec_t, "decode " + name);
         entry->dec = DecodedTrace::build(get(name), geom);
+        obs::flushCounter("trace.cache.decoded_builds", 1);
     });
     return entry->dec;
 }
@@ -59,12 +69,17 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
     SuiteResult result;
     FetchSimulator sim(cfg);
 
+    static obs::Timer &replay_t = obs::timer("suite.replay");
     const std::vector<std::string> &run_names =
         names.empty() ? specAllNames() : names;
     for (const auto &name : run_names) {
-        FetchStats s = shared_decode
-            ? sim.run(traces.decoded(name, cfg.engine.icache))
-            : sim.run(traces.get(name));
+        FetchStats s;
+        {
+            obs::ScopedTimer span(replay_t);
+            s = shared_decode
+                ? sim.run(traces.decoded(name, cfg.engine.icache))
+                : sim.run(traces.get(name));
+        }
         result.perProgram[name] = s;
         result.allTotal.accumulate(s);
         if (specProfile(name).isFloat)

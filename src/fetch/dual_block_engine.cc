@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "predict/bbr.hh"
 #include "predict/btb.hh"
 #include "predict/nls.hh"
@@ -298,6 +299,11 @@ DualBlockEngine::run(const DecodedTrace &dec)
 
     stats.rasOverflows = ras.overflows();
     stats.bbrPeak = bbr.peakInFlight();
+    pht.obsFlush();
+    bit.obsFlush();
+    ras.obsFlush();
+    st.obsFlush();
+    obs::flushCounter("engine.dual.runs", 1);
     return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "predict/btb.hh"
 #include "predict/nls.hh"
 #include "util/logging.hh"
@@ -218,6 +219,11 @@ MultiBlockEngine::run(const DecodedTrace &dec)
     }
 
     stats.rasOverflows = ras.overflows();
+    pht.obsFlush();
+    bit.obsFlush();
+    ras.obsFlush();
+    st.obsFlush();
+    obs::flushCounter("engine.multi.runs", 1);
     return stats;
 }
 

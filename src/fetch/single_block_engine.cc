@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "predict/bbr.hh"
 #include "predict/btb.hh"
 #include "predict/nls.hh"
@@ -152,6 +153,10 @@ SingleBlockEngine::run(const DecodedTrace &dec)
 
     stats.rasOverflows = ras.overflows();
     stats.bbrPeak = bbr.peakInFlight();
+    pht.obsFlush();
+    bit.obsFlush();
+    ras.obsFlush();
+    obs::flushCounter("engine.single.runs", 1);
     return stats;
 }
 

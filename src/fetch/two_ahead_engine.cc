@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/obs.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -137,6 +138,7 @@ TwoAheadEngine::run(const DecodedTrace &dec)
         }
         ++block_index;
     }
+    obs::flushCounter("engine.two_ahead.runs", 1);
     return stats;
 }
 

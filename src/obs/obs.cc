@@ -1,0 +1,311 @@
+#include "obs/obs.hh"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/json.hh"
+
+namespace mbbp::obs
+{
+
+#ifndef MBBP_OBS_DISABLED
+
+namespace detail
+{
+
+unsigned
+threadSlot()
+{
+    static std::atomic<unsigned> next{ 0 };
+    thread_local unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+namespace
+{
+
+/** One span, recorded when tracing() is on. */
+struct Span
+{
+    std::string name;
+    unsigned tid = 0;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+};
+
+/**
+ * The process-wide registry. Instruments are keyed (and therefore
+ * snapshot-ordered) by name; references handed out are stable
+ * because entries are heap-allocated and never erased.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Timer>> timers;
+    std::vector<Span> spans;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+template <typename T>
+T &
+lookup(std::map<std::string, std::unique_ptr<T>> &map,
+       const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = map.find(name);
+    if (it == map.end())
+        it = map.emplace(name, std::make_unique<T>(name)).first;
+    return *it->second;
+}
+
+} // namespace
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setTracing(bool on)
+{
+    detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+uint64_t
+Counter::value() const
+{
+    uint64_t sum = 0;
+    for (const detail::Cell &c : cells_)
+        sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+Counter::reset()
+{
+    for (detail::Cell &c : cells_)
+        c.v.store(0, std::memory_order_relaxed);
+}
+
+void
+Gauge::reset()
+{
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+Timer::calls() const
+{
+    uint64_t sum = 0;
+    for (const detail::TimerCell &c : cells_)
+        sum += c.calls.load(std::memory_order_relaxed);
+    return sum;
+}
+
+uint64_t
+Timer::totalNs() const
+{
+    uint64_t sum = 0;
+    for (const detail::TimerCell &c : cells_)
+        sum += c.ns.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+Timer::reset()
+{
+    for (detail::TimerCell &c : cells_) {
+        c.calls.store(0, std::memory_order_relaxed);
+        c.ns.store(0, std::memory_order_relaxed);
+    }
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return detail::lookup(detail::registry().counters, name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return detail::lookup(detail::registry().gauges, name);
+}
+
+Timer &
+timer(const std::string &name)
+{
+    return detail::lookup(detail::registry().timers, name);
+}
+
+uint64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (startNs_ == UINT64_MAX)     // constructed while disabled
+        return;
+    uint64_t end = nowNs();
+    uint64_t dur = end - startNs_;
+    timer_.record(dur);
+    if (!tracing())
+        return;
+    detail::Span span;
+    span.name = label_.empty() ? timer_.name() : label_;
+    span.tid = detail::threadSlot();
+    span.startNs = startNs_;
+    span.durNs = dur;
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.spans.push_back(std::move(span));
+}
+
+Snapshot
+snapshot()
+{
+    // The maps are never mutated except to insert, and values are
+    // internally synchronized; the lock only pins the map shape.
+    Snapshot snap;
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto &[name, c] : r.counters)
+        snap.counters.push_back({ name, c->value() });
+    for (const auto &[name, g] : r.gauges)
+        snap.gauges.push_back({ name, g->value(), g->peak() });
+    for (const auto &[name, t] : r.timers)
+        snap.timers.push_back({ name, t->calls(), t->totalNs() });
+    return snap;
+}
+
+void
+resetAll()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &[name, c] : r.counters)
+        c->reset();
+    for (auto &[name, g] : r.gauges)
+        g->reset();
+    for (auto &[name, t] : r.timers)
+        t->reset();
+    r.spans.clear();
+}
+
+std::size_t
+spanCount()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.spans.size();
+}
+
+std::string
+chromeTraceJson()
+{
+    std::vector<detail::Span> spans;
+    {
+        detail::Registry &r = detail::registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        spans = r.spans;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (const detail::Span &s : spans) {
+        w.beginObject();
+        w.value("name", s.name);
+        w.value("cat", "mbbp");
+        w.value("ph", "X");
+        // chrome://tracing wants microseconds.
+        w.value("ts", static_cast<double>(s.startNs) / 1e3);
+        w.value("dur", static_cast<double>(s.durNs) / 1e3);
+        w.value("pid", uint64_t{ 1 });
+        w.value("tid", uint64_t{ s.tid });
+        w.endObject();
+    }
+    w.endArray();
+    w.value("displayTimeUnit", "ms");
+    w.endObject();
+    return w.str();
+}
+
+#else // MBBP_OBS_DISABLED
+
+Counter &
+counter(const std::string &)
+{
+    static Counter c;
+    return c;
+}
+
+Gauge &
+gauge(const std::string &)
+{
+    static Gauge g;
+    return g;
+}
+
+Timer &
+timer(const std::string &)
+{
+    static Timer t;
+    return t;
+}
+
+uint64_t
+nowNs()
+{
+    return 0;
+}
+
+std::string
+chromeTraceJson()
+{
+    return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+}
+
+#endif // MBBP_OBS_DISABLED
+
+void
+writeChromeTrace(const std::string &path)
+{
+    std::string doc = chromeTraceJson() + "\n";
+    if (path == "-") {
+        std::cout << doc;
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open for writing: " + path);
+    out << doc;
+    if (!out.flush())
+        throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace mbbp::obs

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Observability layer: named counters, gauges and timers in a
+ * process-wide registry, plus RAII scoped timers that double as
+ * Chrome-trace spans. Designed so measurement never distorts what it
+ * measures:
+ *
+ *  - everything is OFF by default; a disabled Counter::add() is one
+ *    relaxed load and a predictable branch;
+ *  - counters/timers stripe their cells per thread (no contended
+ *    RMW on the hot path -- plain load/add/store on the thread's own
+ *    cache line);
+ *  - hot components (PHT, BIT, RAS, select table) accumulate into
+ *    plain members and flush once per run via obs::flushCounter();
+ *  - the whole layer compiles to no-ops under -DMBBP_OBS_DISABLED
+ *    (CMake option MBBP_OBS=OFF), for deployments that want the
+ *    instrumentation text gone, not just dormant.
+ *
+ * Snapshots are name-sorted and deterministic for a given code path;
+ * spans export as a chrome://tracing "traceEvents" JSON document.
+ *
+ * Counts are exact for up to kStripes (64) concurrently counting
+ * threads; beyond that, colliding threads may lose increments (the
+ * cells are plain read-modify-write, by design -- this is a
+ * measurement layer, not an accounting ledger).
+ */
+
+#ifndef MBBP_OBS_OBS_HH
+#define MBBP_OBS_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbbp::obs
+{
+
+/** @{ One registry entry as seen by snapshot(). */
+struct CounterSample
+{
+    std::string name;
+    uint64_t value = 0;
+};
+
+struct GaugeSample
+{
+    std::string name;
+    uint64_t value = 0;     //!< last set
+    uint64_t peak = 0;      //!< max ever set
+};
+
+struct TimerSample
+{
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t totalNs = 0;
+};
+/** @} */
+
+/** Name-sorted copy of every registered instrument. */
+struct Snapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<TimerSample> timers;
+};
+
+#ifndef MBBP_OBS_DISABLED
+
+namespace detail
+{
+
+inline std::atomic<bool> g_enabled{ false };
+inline std::atomic<bool> g_tracing{ false };
+
+/** Small dense id for the calling thread, stable for its lifetime. */
+unsigned threadSlot();
+
+constexpr unsigned kStripes = 64;
+
+struct alignas(64) Cell
+{
+    std::atomic<uint64_t> v{ 0 };
+};
+
+struct alignas(64) TimerCell
+{
+    std::atomic<uint64_t> calls{ 0 };
+    std::atomic<uint64_t> ns{ 0 };
+};
+
+/** Non-RMW striped bump: single-writer per stripe by construction. */
+inline void
+bump(std::atomic<uint64_t> &cell, uint64_t n)
+{
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+/** @{ Runtime master switch (and the tracing sub-switch). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void setEnabled(bool on);
+
+inline bool
+tracing()
+{
+    return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+void setTracing(bool on);
+/** @} */
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void add(uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        detail::bump(cells_[detail::threadSlot() &
+                            (detail::kStripes - 1)].v, n);
+    }
+
+    uint64_t value() const;
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    detail::Cell cells_[detail::kStripes];
+};
+
+/** Last-value-wins level with a high-water mark. */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void set(uint64_t v)
+    {
+        if (!enabled())
+            return;
+        value_.store(v, std::memory_order_relaxed);
+        uint64_t p = peak_.load(std::memory_order_relaxed);
+        while (p < v && !peak_.compare_exchange_weak(
+                            p, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    uint64_t peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::atomic<uint64_t> value_{ 0 };
+    std::atomic<uint64_t> peak_{ 0 };
+};
+
+/** Accumulated duration (ns) and call count. */
+class Timer
+{
+  public:
+    explicit Timer(std::string name) : name_(std::move(name)) {}
+
+    void record(uint64_t ns)
+    {
+        if (!enabled())
+            return;
+        detail::TimerCell &c =
+            cells_[detail::threadSlot() & (detail::kStripes - 1)];
+        detail::bump(c.calls, 1);
+        detail::bump(c.ns, ns);
+    }
+
+    uint64_t calls() const;
+    uint64_t totalNs() const;
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    detail::TimerCell cells_[detail::kStripes];
+};
+
+/** @{ Registry lookup: creates on first use, reference is stable for
+ *  the process lifetime. Call sites should cache it in a
+ *  function-local static. */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Timer &timer(const std::string &name);
+/** @} */
+
+/**
+ * One-shot bulk add for components that accumulate into plain
+ * members on the hot path and publish once per run: a no-op (and no
+ * registration) while disabled or when @p n is zero.
+ */
+inline void
+flushCounter(const std::string &name, uint64_t n)
+{
+    if (!enabled() || n == 0)
+        return;
+    counter(name).add(n);
+}
+
+/** Nanoseconds since the process-local epoch (steady clock). */
+uint64_t nowNs();
+
+/**
+ * RAII interval: records into @p t and, when tracing() is on, emits
+ * a Chrome-trace span named after the timer (or @p label if given).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &t) : timer_(t)
+    {
+        if (enabled())
+            startNs_ = nowNs();
+    }
+
+    ScopedTimer(Timer &t, std::string label)
+        : timer_(t), label_(std::move(label))
+    {
+        if (enabled())
+            startNs_ = nowNs();
+    }
+
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer &timer_;
+    std::string label_;
+    uint64_t startNs_ = UINT64_MAX;     //!< MAX = was disabled
+};
+
+/** Name-sorted copy of every registered instrument's current value. */
+Snapshot snapshot();
+
+/** Zero every instrument and drop recorded spans. */
+void resetAll();
+
+/** The recorded spans as a chrome://tracing JSON document. */
+std::string chromeTraceJson();
+
+/** Write chromeTraceJson() to @p path ("-" = stdout). */
+void writeChromeTrace(const std::string &path);
+
+/** Number of spans recorded so far (test/introspection hook). */
+std::size_t spanCount();
+
+#else // MBBP_OBS_DISABLED: the whole layer is inert and inlineable.
+
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+inline bool tracing() { return false; }
+inline void setTracing(bool) {}
+
+class Counter
+{
+  public:
+    void add(uint64_t = 1) {}
+    uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    void set(uint64_t) {}
+    uint64_t value() const { return 0; }
+    uint64_t peak() const { return 0; }
+    void reset() {}
+};
+
+class Timer
+{
+  public:
+    void record(uint64_t) {}
+    uint64_t calls() const { return 0; }
+    uint64_t totalNs() const { return 0; }
+    void reset() {}
+};
+
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Timer &timer(const std::string &name);
+
+inline void flushCounter(const std::string &, uint64_t) {}
+
+uint64_t nowNs();
+
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &) {}
+    ScopedTimer(Timer &, std::string) {}
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+};
+
+inline Snapshot snapshot() { return {}; }
+inline void resetAll() {}
+std::string chromeTraceJson();
+void writeChromeTrace(const std::string &path);
+inline std::size_t spanCount() { return 0; }
+
+#endif // MBBP_OBS_DISABLED
+
+} // namespace mbbp::obs
+
+#endif // MBBP_OBS_OBS_HH

@@ -1,5 +1,6 @@
 #include "predict/bit_table.hh"
 
+#include "obs/obs.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -95,6 +96,7 @@ BitTable::lookup(Addr line_addr) const
 {
     if (perfect())
         return nullptr;
+    ++statProbes_;
     return &entries_[indexOf(line_addr)].codes;
 }
 
@@ -111,11 +113,21 @@ BitTable::update(Addr line_addr, const BitVector &codes)
 {
     if (perfect())
         return;
+    ++statUpdates_;
     mbbp_assert(codes.size() == lineSize_,
                 "BIT update with wrong line width");
     Entry &e = entries_[indexOf(line_addr)];
     e.codes = codes;
     e.writer = line_addr;
+}
+
+void
+BitTable::obsFlush()
+{
+    obs::flushCounter("predict.bit.probe", statProbes_);
+    obs::flushCounter("predict.bit.update", statUpdates_);
+    statProbes_ = 0;
+    statUpdates_ = 0;
 }
 
 uint64_t

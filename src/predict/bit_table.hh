@@ -108,6 +108,10 @@ class BitTable
     std::size_t numEntries() const { return entries_.size(); }
     unsigned lineSize() const { return lineSize_; }
 
+    /** Publish probe/update counts (predict.bit.*) and zero them;
+     *  see BlockedPHT::obsFlush for the discipline. */
+    void obsFlush();
+
   private:
     struct Entry
     {
@@ -119,6 +123,8 @@ class BitTable
 
     unsigned lineSize_;
     std::vector<Entry> entries_;
+    mutable uint64_t statProbes_ = 0;
+    uint64_t statUpdates_ = 0;
 };
 
 } // namespace mbbp

@@ -1,5 +1,6 @@
 #include "predict/blocked_pht.hh"
 
+#include "obs/obs.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -42,13 +43,24 @@ BlockedPHT::position(Addr pc) const
 bool
 BlockedPHT::predictAt(std::size_t idx, Addr pc) const
 {
+    ++statLookups_;
     return counterAt(idx, position(pc)).predictTaken();
 }
 
 void
 BlockedPHT::updateAt(std::size_t idx, Addr pc, bool taken)
 {
+    ++statUpdates_;
     counters_[idx * cfg_.blockWidth + position(pc)].update(taken);
+}
+
+void
+BlockedPHT::obsFlush()
+{
+    obs::flushCounter("predict.pht.lookup", statLookups_);
+    obs::flushCounter("predict.pht.update", statUpdates_);
+    statLookups_ = 0;
+    statUpdates_ = 0;
 }
 
 const SatCounter &

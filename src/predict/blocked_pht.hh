@@ -72,9 +72,19 @@ class BlockedPHT
 
     unsigned blockWidth() const { return cfg_.blockWidth; }
 
+    /**
+     * Publish the accumulated lookup/update event counts to the obs
+     * registry (predict.pht.*) and zero them. Events accumulate in
+     * plain members so the hot path stays free of atomics; engines
+     * flush once per run.
+     */
+    void obsFlush();
+
   private:
     BlockedPhtConfig cfg_;
     std::vector<SatCounter> counters_;  //!< [entry * b + pos]
+    mutable uint64_t statLookups_ = 0;
+    uint64_t statUpdates_ = 0;
 };
 
 } // namespace mbbp

@@ -1,5 +1,6 @@
 #include "predict/ras.hh"
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace mbbp
@@ -14,6 +15,7 @@ ReturnAddressStack::ReturnAddressStack(std::size_t capacity)
 void
 ReturnAddressStack::push(Addr ret_addr)
 {
+    ++statPushes_;
     ring_[topIdx_] = ret_addr;
     topIdx_ = (topIdx_ + 1) % ring_.size();
     if (depth_ == ring_.size())
@@ -25,6 +27,7 @@ ReturnAddressStack::push(Addr ret_addr)
 Addr
 ReturnAddressStack::pop()
 {
+    ++statPops_;
     if (depth_ == 0) {
         ++underflows_;
         return 0;
@@ -37,8 +40,9 @@ ReturnAddressStack::pop()
 Addr
 ReturnAddressStack::top() const
 {
+    ++statPeeks_;
     if (depth_ == 0) {
-        ++underflows_;
+        ++peekUnderflows_;
         return 0;
     }
     return ring_[(topIdx_ + ring_.size() - 1) % ring_.size()];
@@ -47,11 +51,23 @@ ReturnAddressStack::top() const
 Addr
 ReturnAddressStack::second() const
 {
+    ++statPeeks_;
     if (depth_ < 2) {
-        ++underflows_;
+        ++peekUnderflows_;
         return 0;
     }
     return ring_[(topIdx_ + ring_.size() - 2) % ring_.size()];
+}
+
+void
+ReturnAddressStack::obsFlush()
+{
+    obs::flushCounter("predict.ras.push", statPushes_);
+    obs::flushCounter("predict.ras.pop", statPops_);
+    obs::flushCounter("predict.ras.bypass", statPeeks_);
+    statPushes_ = 0;
+    statPops_ = 0;
+    statPeeks_ = 0;
 }
 
 } // namespace mbbp

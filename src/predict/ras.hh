@@ -50,15 +50,30 @@ class ReturnAddressStack
     /** Times a push overwrote a live entry (overflow events). */
     uint64_t overflows() const { return overflows_; }
 
-    /** Times a pop or peek hit an empty stack (returns 0 then). */
+    /**
+     * Times a pop() hit an empty stack (returns 0 then). Peeks do
+     * not count here: a speculative top()/second() followed by the
+     * architectural pop() is one underflow event, not two.
+     */
     uint64_t underflows() const { return underflows_; }
+
+    /** Times a top()/second() peek found too few live entries. */
+    uint64_t peekUnderflows() const { return peekUnderflows_; }
+
+    /** Publish push/pop/bypass-peek counts (predict.ras.*) and zero
+     *  them; see BlockedPHT::obsFlush for the discipline. */
+    void obsFlush();
 
   private:
     std::vector<Addr> ring_;
     std::size_t topIdx_ = 0;    //!< index of the next free slot
     std::size_t depth_ = 0;
     uint64_t overflows_ = 0;
-    mutable uint64_t underflows_ = 0;
+    uint64_t underflows_ = 0;
+    mutable uint64_t peekUnderflows_ = 0;
+    uint64_t statPushes_ = 0;
+    uint64_t statPops_ = 0;
+    mutable uint64_t statPeeks_ = 0;
 };
 
 } // namespace mbbp

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -83,6 +84,7 @@ SelectTable::flatIndex(unsigned table, std::size_t idx,
 const SelectEntry &
 SelectTable::read(unsigned table, std::size_t idx, unsigned slot) const
 {
+    ++statReads_;
     return store_[flatIndex(table, idx, slot)];
 }
 
@@ -90,7 +92,17 @@ void
 SelectTable::write(unsigned table, std::size_t idx, unsigned slot,
                    const SelectEntry &entry)
 {
+    ++statWrites_;
     store_[flatIndex(table, idx, slot)] = entry;
+}
+
+void
+SelectTable::obsFlush()
+{
+    obs::flushCounter("predict.select.read", statReads_);
+    obs::flushCounter("predict.select.write", statWrites_);
+    statReads_ = 0;
+    statWrites_ = 0;
 }
 
 uint64_t

@@ -133,6 +133,10 @@ class SelectTable
     unsigned slots() const { return slots_; }
     std::size_t entriesPerTable() const { return entries_; }
 
+    /** Publish read/write counts (predict.select.*) and zero them;
+     *  see BlockedPHT::obsFlush for the discipline. */
+    void obsFlush();
+
   private:
     std::size_t flatIndex(unsigned table, std::size_t idx,
                           unsigned slot) const;
@@ -142,6 +146,8 @@ class SelectTable
     unsigned slots_;
     std::size_t entries_;
     std::vector<SelectEntry> store_;
+    mutable uint64_t statReads_ = 0;
+    uint64_t statWrites_ = 0;
 };
 
 } // namespace mbbp

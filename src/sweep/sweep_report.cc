@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "core/report.hh"
+#include "obs/obs.hh"
 #include "util/json.hh"
+#include "util/number_format.hh"
 
 namespace mbbp
 {
@@ -37,13 +39,12 @@ paramValue(const SweepJob &job, const std::string &field)
     return nullptr;
 }
 
-/** Fixed-notation double with stable formatting across platforms. */
+/** 9-significant-digit double, stable across platforms *and*
+ *  locales (snprintf %g honors LC_NUMERIC; to_chars does not). */
 std::string
 fmtDouble(double v)
 {
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%.9g", v);
-    return buf;
+    return formatDouble(v, 9);
 }
 
 double
@@ -53,6 +54,20 @@ condMissRate(const FetchStats &s)
                ? 0.0
                : static_cast<double>(s.condDirectionWrong) /
                      static_cast<double>(s.condExecuted);
+}
+
+/**
+ * CSV scope label for a per-program row. Program names that collide
+ * with the aggregate scopes (int/fp/all) are prefixed so the two row
+ * kinds stay distinguishable; real suite names never collide, so
+ * ordinary reports are unaffected.
+ */
+std::string
+programScope(const std::string &name)
+{
+    if (name == "int" || name == "fp" || name == "all")
+        return "program:" + name;
+    return name;
 }
 
 void
@@ -103,9 +118,46 @@ csvStatsRow(std::string &out, const SweepJobResult &jr,
 
 } // namespace
 
+namespace
+{
+
+/** The registry snapshot as the report's opt-in "metrics" block. */
+void
+writeMetricsJson(JsonWriter &w)
+{
+    obs::Snapshot snap = obs::snapshot();
+    w.beginObject("metrics");
+    w.beginObject("counters");
+    for (const obs::CounterSample &c : snap.counters)
+        w.value(c.name, c.value);
+    w.endObject();
+    w.beginObject("gauges");
+    for (const obs::GaugeSample &g : snap.gauges) {
+        w.beginObject(g.name);
+        w.value("value", g.value);
+        w.value("peak", g.peak);
+        w.endObject();
+    }
+    w.endObject();
+    w.beginObject("timers");
+    for (const obs::TimerSample &t : snap.timers) {
+        w.beginObject(t.name);
+        w.value("calls", t.calls);
+        w.value("total_ns", t.totalNs);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
 std::string
 sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
 {
+    static obs::Timer &report_t = obs::timer("sweep.report.json");
+    obs::ScopedTimer span(report_t);
+
     JsonWriter w;
     w.beginObject();
     w.value("name", result.name);
@@ -152,6 +204,8 @@ sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
         w.endObject();
     }
     w.endArray();
+    if (opts.metrics)
+        writeMetricsJson(w);
     w.endObject();
     return w.str();
 }
@@ -159,6 +213,9 @@ sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
 std::string
 sweepToCsv(const SweepResult &result, const SweepReportOptions &opts)
 {
+    static obs::Timer &report_t = obs::timer("sweep.report.csv");
+    obs::ScopedTimer span(report_t);
+
     std::vector<std::string> params = paramColumns(result);
 
     std::string out = "job";
@@ -181,7 +238,8 @@ sweepToCsv(const SweepResult &result, const SweepReportOptions &opts)
                     opts);
         if (opts.perProgram)
             for (const auto &[name, stats] : jr.result.perProgram)
-                csvStatsRow(out, jr, params, name, stats, opts);
+                csvStatsRow(out, jr, params, programScope(name),
+                            stats, opts);
     }
     return out;
 }

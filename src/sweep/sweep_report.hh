@@ -30,6 +30,14 @@ struct SweepReportOptions
 {
     bool perProgram = true;     //!< include per-program rows/objects
     bool timings = false;       //!< include per-job + wall seconds
+
+    /**
+     * Append the obs registry snapshot (counters/gauges/timers) as a
+     * "metrics" object (JSON only). Off by default: values vary with
+     * thread count and host speed, and the byte-stability guarantee
+     * covers the default document.
+     */
+    bool metrics = false;
 };
 
 /** The whole sweep as a JSON document. */

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <mutex>
+#include <string>
 
+#include "obs/obs.hh"
 #include "sweep/thread_pool.hh"
 
 namespace mbbp
@@ -33,6 +35,10 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     ThreadPool pool(opts.threads);
     result.threads = pool.numWorkers();
 
+    static obs::Timer &sweep_t = obs::timer("sweep.run");
+    obs::ScopedTimer sweep_span(sweep_t, "sweep run");
+    static obs::Timer &job_t = obs::timer("sweep.job");
+
     Clock::time_point sweep_start = Clock::now();
 
     // Results land in their job's slot, so aggregation order is the
@@ -44,6 +50,8 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&, i] {
+            obs::ScopedTimer job_span(
+                job_t, "job " + std::to_string(i));
             Clock::time_point job_start = Clock::now();
             SweepJobResult &slot = result.jobs[i];
             slot.job = jobs[i];

@@ -1,9 +1,53 @@
 #include "sweep/thread_pool.hh"
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace mbbp
 {
+
+namespace
+{
+
+/** Yields between takeTask() retries before giving the claim back. */
+constexpr int kTakeSpins = 64;
+
+obs::Counter &
+submitCounter()
+{
+    static obs::Counter &c = obs::counter("sweep.pool.submit");
+    return c;
+}
+
+obs::Counter &
+stealCounter()
+{
+    static obs::Counter &c = obs::counter("sweep.pool.steal");
+    return c;
+}
+
+obs::Counter &
+idleWaitCounter()
+{
+    static obs::Counter &c = obs::counter("sweep.pool.idle_wait");
+    return c;
+}
+
+obs::Counter &
+takeRetryCounter()
+{
+    static obs::Counter &c = obs::counter("sweep.pool.take_retry");
+    return c;
+}
+
+obs::Gauge &
+queueDepthGauge()
+{
+    static obs::Gauge &g = obs::gauge("sweep.pool.queue_depth");
+    return g;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
 {
@@ -57,7 +101,9 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(mutex_);
         ++outstanding_;
         ++pending_;
+        queueDepthGauge().set(pending_);
     }
+    submitCounter().add();
     wake_.notify_one();
 }
 
@@ -81,6 +127,7 @@ ThreadPool::takeTask(std::size_t self, std::function<void()> &task)
         if (!q.tasks.empty()) {
             task = std::move(q.tasks.front());
             q.tasks.pop_front();
+            stealCounter().add();
             return true;
         }
     }
@@ -93,6 +140,8 @@ ThreadPool::workerLoop(std::size_t self)
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            if (!stopping_ && pending_ == 0)
+                idleWaitCounter().add();
             wake_.wait(lock, [this] {
                 return stopping_ || pending_ > 0;
             });
@@ -104,8 +153,26 @@ ThreadPool::workerLoop(std::size_t self)
             --pending_;     // claim one task; it exists in a deque
         }
         std::function<void()> task;
-        while (!takeTask(self, task))
-            std::this_thread::yield();  // racing claimant, rare
+        bool got = takeTask(self, task);
+        for (int spin = 0; !got && spin < kTakeSpins; ++spin) {
+            // A racing claimant popped the task this claim mapped
+            // to; its own task is still mid-publish. Rare and short.
+            std::this_thread::yield();
+            got = takeTask(self, task);
+        }
+        if (!got) {
+            // Bounded spin exhausted: give the claim back and go
+            // around through the condition variable, which re-checks
+            // pending_/stopping_ under the lock instead of burning
+            // the core until the racing submitter publishes.
+            takeRetryCounter().add();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++pending_;
+            }
+            wake_.notify_one();
+            continue;
+        }
         try {
             task();
         } catch (...) {

@@ -2,10 +2,9 @@
 
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
-#include <sstream>
 
 #include "util/logging.hh"
+#include "util/number_format.hh"
 
 namespace mbbp
 {
@@ -98,13 +97,14 @@ void
 JsonWriter::value(const std::string &k, double v)
 {
     key(k);
-    if (std::isfinite(v)) {
-        std::ostringstream os;
-        os << v;
-        out_ += os.str();
-    } else {
+    // Shortest round-trip form, '.'-decimal under any locale: the
+    // stream/printf paths honor LC_NUMERIC and default to 6
+    // significant digits, which loses data and can emit invalid
+    // JSON under a ","-decimal locale.
+    if (std::isfinite(v))
+        out_ += formatDouble(v);
+    else
         out_ += "null";
-    }
 }
 
 void
@@ -141,13 +141,10 @@ void
 JsonWriter::element(double v)
 {
     comma();
-    if (std::isfinite(v)) {
-        std::ostringstream os;
-        os << v;
-        out_ += os.str();
-    } else {
+    if (std::isfinite(v))
+        out_ += formatDouble(v);
+    else
         out_ += "null";
-    }
 }
 
 void
@@ -538,7 +535,10 @@ class JsonParser
         JsonValue v;
         v.kind_ = JsonValue::Kind::Number;
         v.text_ = text_.substr(start, pos_ - start);
-        v.number_ = std::strtod(v.text_.c_str(), nullptr);
+        // Locale-independent strtod: under a ","-decimal locale,
+        // strtod("0.25") would stop at the '.' and yield 0.
+        v.number_ = parseDouble(v.text_.data(),
+                                v.text_.data() + v.text_.size());
         return v;
     }
 

@@ -1,0 +1,35 @@
+#include "util/number_format.hh"
+
+#include <cmath>
+
+namespace mbbp
+{
+
+double
+parseDouble(const char *first, const char *last)
+{
+    double d = 0.0;
+    std::from_chars_result res = std::from_chars(first, last, d);
+    if (res.ec == std::errc())
+        return d;
+    if (res.ec == std::errc::result_out_of_range) {
+        // Mirror strtod's saturation: overflow gives +/-HUGE_VAL,
+        // underflow flushes toward zero. from_chars leaves the value
+        // unspecified, so classify by shape: a sub-range magnitude
+        // either starts "0." or carries a negative exponent.
+        const char *p = first;
+        bool neg = p != last && *p == '-';
+        if (neg)
+            ++p;
+        bool tiny = (last - p >= 2 && p[0] == '0' && p[1] == '.');
+        for (const char *q = p; !tiny && q + 1 < last; ++q)
+            if ((*q == 'e' || *q == 'E') && q[1] == '-')
+                tiny = true;
+        double mag = tiny ? 0.0 : HUGE_VAL;
+        return neg ? -mag : mag;
+    }
+    // Malformed input; callers validate the grammar before calling.
+    return 0.0;
+}
+
+} // namespace mbbp

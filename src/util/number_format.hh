@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Locale-independent floating-point rendering for machine-readable
+ * exports. The C and C++ standard formatting entry points
+ * (ostringstream, snprintf, strtod) all honor LC_NUMERIC, so a
+ * ","-decimal locale silently corrupts JSON/CSV documents;
+ * std::to_chars / std::from_chars are defined to use '.' regardless
+ * of locale, and the default to_chars form is the *shortest* string
+ * that round-trips to the same double.
+ */
+
+#ifndef MBBP_UTIL_NUMBER_FORMAT_HH
+#define MBBP_UTIL_NUMBER_FORMAT_HH
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+namespace mbbp
+{
+
+/** Shortest locale-independent form that parses back bit-exactly. */
+inline std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::to_chars_result res =
+        std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+/** printf "%.Pg"-equivalent, but locale-independent. */
+inline std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::to_chars_result res =
+        std::to_chars(buf, buf + sizeof buf, v,
+                      std::chars_format::general, precision);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * Locale-independent strtod over exactly [first, last): parses what
+ * the JSON grammar produces. Out-of-range magnitudes saturate to
+ * +/-HUGE_VAL (matching strtod), so callers keep their semantics
+ * under any locale.
+ */
+double parseDouble(const char *first, const char *last);
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_NUMBER_FORMAT_HH

@@ -52,7 +52,33 @@ TEST(Ras, UnderflowReturnsZeroAndCounts)
     EXPECT_EQ(ras.pop(), 0u);
     EXPECT_EQ(ras.top(), 0u);
     EXPECT_EQ(ras.second(), 0u);
-    EXPECT_EQ(ras.underflows(), 3u);
+    // Only the pop consumed an entry that wasn't there; the const
+    // peeks are tracked separately (they used to double-count).
+    EXPECT_EQ(ras.underflows(), 1u);
+    EXPECT_EQ(ras.peekUnderflows(), 2u);
+}
+
+TEST(Ras, PeekThenPopUnderflowCountsOnce)
+{
+    // The engine's common pattern: consult top() speculatively, then
+    // pop() at resolution. On an empty stack that is ONE underflow
+    // event, not two.
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.top(), 0u);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows(), 1u);
+    EXPECT_EQ(ras.peekUnderflows(), 1u);
+}
+
+TEST(Ras, SecondPeekUnderflowsWithOneEntry)
+{
+    // One live entry: top() succeeds, second() peeks past the bottom.
+    ReturnAddressStack ras(4);
+    ras.push(0x40);
+    EXPECT_EQ(ras.top(), 0x40u);
+    EXPECT_EQ(ras.second(), 0u);
+    EXPECT_EQ(ras.underflows(), 0u);
+    EXPECT_EQ(ras.peekUnderflows(), 1u);
 }
 
 TEST(Ras, DeepCallChainWithWrap)

@@ -1,0 +1,185 @@
+/** @file Unit tests for the sweep report writers (CSV edge cases,
+ *  metrics block). */
+
+#include "sweep/sweep_report.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+#include "util/json.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** Minimal RFC-4180 reader: one record per inner vector. */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(cell);
+            cell.clear();
+        } else if (c == '\n') {
+            row.push_back(cell);
+            cell.clear();
+            rows.push_back(row);
+            row.clear();
+        } else {
+            cell += c;
+        }
+    }
+    EXPECT_FALSE(quoted) << "unterminated quoted cell";
+    if (!cell.empty() || !row.empty()) {
+        row.push_back(cell);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+SweepResult
+oneJobResult(std::vector<SweepParam> params,
+             std::vector<std::pair<std::string, FetchStats>> programs)
+{
+    SweepResult result;
+    result.name = "report-test";
+    SweepJobResult jr;
+    jr.job.index = 0;
+    jr.job.params = std::move(params);
+    for (auto &[name, stats] : programs) {
+        jr.result.perProgram[name] = stats;
+        jr.result.allTotal.accumulate(stats);
+        jr.result.intTotal.accumulate(stats);
+        result.benchmarks.push_back(name);
+    }
+    result.jobs.push_back(std::move(jr));
+    return result;
+}
+
+TEST(SweepCsv, SpecialCharParamsRoundTrip)
+{
+    // Field names and values with the three RFC-4180 troublemakers:
+    // comma, double quote, newline. Every cell must survive a parse.
+    SweepResult result = oneJobResult(
+        { { "weird,field", "a,b" },
+          { "quote\"field", "say \"hi\"" },
+          { "multi\nline", "two\nlines" } },
+        { { "gcc", FetchStats{} } });
+
+    std::string csv = sweepToCsv(result, {});
+    auto rows = parseCsv(csv);
+    ASSERT_GE(rows.size(), 2u);
+    const auto &header = rows[0];
+    ASSERT_GE(header.size(), 4u);
+    EXPECT_EQ(header[0], "job");
+    EXPECT_EQ(header[1], "weird,field");
+    EXPECT_EQ(header[2], "quote\"field");
+    EXPECT_EQ(header[3], "multi\nline");
+    // Every data row carries the escaped values back verbatim.
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        ASSERT_EQ(rows[r].size(), header.size()) << "row " << r;
+        EXPECT_EQ(rows[r][1], "a,b");
+        EXPECT_EQ(rows[r][2], "say \"hi\"");
+        EXPECT_EQ(rows[r][3], "two\nlines");
+    }
+}
+
+TEST(SweepCsv, PlainCellsStayUnquoted)
+{
+    SweepResult result = oneJobResult({ { "historyBits", "10" } },
+                                      { { "gcc", FetchStats{} } });
+    std::string csv = sweepToCsv(result, {});
+    EXPECT_EQ(csv.find('"'), std::string::npos) << csv;
+}
+
+TEST(SweepCsv, ProgramNamedAllDistinctFromAggregateScope)
+{
+    // A benchmark literally named "all" must not produce a row that
+    // collides with the all-programs aggregate scope.
+    SweepResult result = oneJobResult(
+        {}, { { "all", FetchStats{} }, { "gcc", FetchStats{} } });
+
+    std::string csv = sweepToCsv(result, {});
+    auto rows = parseCsv(csv);
+    std::size_t scope_col = 1;      // no params: job,scope,...
+    std::vector<std::string> scopes;
+    for (std::size_t r = 1; r < rows.size(); ++r)
+        scopes.push_back(rows[r][scope_col]);
+    // Aggregates first (int, fp, all), then the programs.
+    ASSERT_EQ(scopes.size(), 5u);
+    EXPECT_EQ(scopes[0], "int");
+    EXPECT_EQ(scopes[1], "fp");
+    EXPECT_EQ(scopes[2], "all");
+    EXPECT_EQ(scopes[3], "program:all");
+    EXPECT_EQ(scopes[4], "gcc");
+    // Exactly one bare "all" -- the aggregate.
+    EXPECT_EQ(std::count(scopes.begin(), scopes.end(), "all"), 1);
+}
+
+TEST(SweepJson, MetricsBlockIsOptIn)
+{
+    SweepResult result =
+        oneJobResult({}, { { "gcc", FetchStats{} } });
+
+    std::string plain = sweepToJson(result, {});
+    EXPECT_EQ(JsonValue::parse(plain).find("metrics"), nullptr);
+
+    SweepReportOptions opts;
+    opts.metrics = true;
+    JsonValue doc = JsonValue::parse(sweepToJson(result, opts));
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isObject());
+    EXPECT_NE(metrics->find("counters"), nullptr);
+    EXPECT_NE(metrics->find("gauges"), nullptr);
+    EXPECT_NE(metrics->find("timers"), nullptr);
+}
+
+TEST(SweepJson, EngineCountersReachTheMetricsBlock)
+{
+    obs::setEnabled(true);
+    obs::resetAll();
+    obs::flushCounter("engine.test.synthetic", 3);
+
+    SweepResult result =
+        oneJobResult({}, { { "gcc", FetchStats{} } });
+    SweepReportOptions opts;
+    opts.metrics = true;
+    JsonValue doc = JsonValue::parse(sweepToJson(result, opts));
+    obs::setEnabled(false);
+    obs::resetAll();
+
+#ifndef MBBP_OBS_DISABLED
+    const JsonValue *counters = doc.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *c = counters->find("engine.test.synthetic");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->asNumber(), 3.0);
+#endif
+}
+
+} // namespace
+} // namespace mbbp

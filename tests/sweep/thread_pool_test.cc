@@ -108,6 +108,50 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
     EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPool, StressManyTinyTasksFromManyThreads)
+{
+    // Thousands of near-empty tasks submitted from workers and the
+    // driver at once: the claim/publish race in workerLoop fires
+    // constantly under this load, so the bounded-spin path (give the
+    // claim back and re-wait) gets exercised without livelock. Run
+    // under TSan/ASan in CI.
+    ThreadPool pool(8);
+    std::atomic<int> count{ 0 };
+    constexpr int kOuter = 500;
+    for (int i = 0; i < kOuter; ++i)
+        pool.submit([&] {
+            ++count;
+            // Fan out from inside the pool: submits race the
+            // claimants of their own tasks.
+            for (int j = 0; j < 4; ++j)
+                pool.submit([&] { ++count; });
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), kOuter * 5);
+}
+
+TEST(ThreadPool, StressThrowingTasksAmongTinyTasks)
+{
+    // Throwing tasks interleaved with thousands of tiny ones: every
+    // non-throwing task still runs, exactly one error surfaces, and
+    // the pool drains cleanly afterwards.
+    ThreadPool pool(8);
+    std::atomic<int> count{ 0 };
+    constexpr int kTasks = 2000;
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&, i] {
+            if (i % 97 == 0)
+                throw std::runtime_error("stress");
+            ++count;
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), kTasks - (kTasks + 96) / 97);
+
+    // Reusable after the storm.
+    pool.submit([&] { ++count; });
+    pool.wait();
+}
+
 TEST(ParallelMap, ResultsLandInInputOrder)
 {
     ThreadPool pool(4);

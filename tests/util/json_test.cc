@@ -2,7 +2,10 @@
 
 #include "util/json.hh"
 
+#include <clocale>
 #include <cmath>
+#include <iterator>
+#include <locale>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -170,6 +173,88 @@ TEST(JsonParse, KindMismatchThrowsLogicError)
     EXPECT_THROW(v.find("k"), std::logic_error);
     EXPECT_STREQ(JsonValue::kindName(JsonValue::Kind::Number),
                  "number");
+}
+
+/** A numpunct facet with ',' as decimal point and '.' grouping --
+ *  the de_DE convention, available regardless of installed locales. */
+struct CommaDecimal : std::numpunct<char>
+{
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+/** RAII: comma-decimal C++ global locale plus, when the container
+ *  has one installed, a comma-decimal C locale (LC_NUMERIC drives
+ *  strtod/snprintf/ostringstream -- the historical corruption path
+ *  for JSON numbers). */
+class CommaLocaleGuard
+{
+  public:
+    CommaLocaleGuard()
+        : old_(std::locale::global(
+              std::locale(std::locale::classic(),
+                          new CommaDecimal)))
+    {
+        const char *current = std::setlocale(LC_NUMERIC, nullptr);
+        savedC_ = current != nullptr ? current : "C";
+        for (const char *name :
+             { "de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+               "fr_FR.utf8", "de_DE", "fr_FR" }) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr)
+                break;
+        }
+    }
+
+    ~CommaLocaleGuard()
+    {
+        std::setlocale(LC_NUMERIC, savedC_.c_str());
+        std::locale::global(old_);
+    }
+
+  private:
+    std::locale old_;
+    std::string savedC_;
+};
+
+TEST(JsonLocale, NumbersRoundTripUnderCommaDecimalLocale)
+{
+    CommaLocaleGuard guard;
+
+    const double vals[] = { 0.1,        -2.5,       1e-9,
+                            6.02214076e23, 4.08601199, 1.0 / 3.0 };
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("xs");
+    for (double v : vals)
+        w.element(v);
+    w.endArray();
+    w.value("k", 0.25);
+    w.endObject();
+    const std::string doc = w.str();
+
+    // The writer must use '.' regardless of locale...
+    EXPECT_NE(doc.find("\"k\":0.25"), std::string::npos) << doc;
+
+    // ...and the parser must read the full lexeme back bit-exactly
+    // (a locale-sensitive strtod would stop at the '.').
+    JsonValue v = JsonValue::parse(doc);
+    const auto &xs = v.find("xs")->items();
+    ASSERT_EQ(xs.size(), std::size(vals));
+    for (std::size_t i = 0; i < std::size(vals); ++i)
+        EXPECT_EQ(xs[i].asNumber(), vals[i]) << doc;
+    EXPECT_EQ(v.find("k")->asNumber(), 0.25);
+}
+
+TEST(JsonParse, OverflowSaturatesLikeStrtod)
+{
+    // Out-of-range lexemes keep the classic strtod saturation: huge
+    // exponents pin to +/-infinity, tiny ones flush to zero.
+    EXPECT_TRUE(std::isinf(JsonValue::parse("1e999").asNumber()));
+    EXPECT_GT(JsonValue::parse("1e999").asNumber(), 0.0);
+    EXPECT_LT(JsonValue::parse("-1e999").asNumber(), 0.0);
+    EXPECT_EQ(JsonValue::parse("1e-999").asNumber(), 0.0);
+    EXPECT_EQ(JsonValue::parse("0.0000").asNumber(), 0.0);
 }
 
 TEST(JsonParse, WriterOutputRoundTrips)
