@@ -170,6 +170,18 @@ main()
         w.endObject();
     }
     w.endObject();
+    w.beginObject("histograms");
+    for (const auto &h : metrics_snap.histograms) {
+        w.beginObject(h.name);
+        w.value("count", h.count);
+        w.value("sum", h.sum);
+        w.value("max", h.max);
+        w.value("p50", h.quantile(0.50));
+        w.value("p90", h.quantile(0.90));
+        w.value("p99", h.quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
     w.endObject();
     w.endObject();
     writeTextFile("BENCH_perf_sweep.json", w.str());

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bench regression gate CLI: compare a current BENCH_*.json against
+ * a committed baseline and fail (exit 1) when a gated metric
+ * regresses beyond its noise threshold.
+ *
+ * Usage:
+ *   bench_diff BASELINE.json CURRENT.json [options]
+ *   --rules FILE   gate rules (JSON); default: the built-in
+ *                  perf_sweep policy
+ *   --out FILE     write the full diff report as JSON
+ *   --quiet        suppress the text report on stdout
+ *
+ * Exit status: 0 = no regressions, 1 = regressions, 2 = bad input.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_diff.hh"
+#include "sweep/sweep_report.hh"
+#include "util/json.hh"
+
+using namespace mbbp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr << "usage: bench_diff BASELINE.json CURRENT.json "
+                 "[--rules FILE] [--out FILE] [--quiet]\n";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string current_path;
+    std::string rules_path;
+    std::string out_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--rules") {
+            rules_path = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        JsonValue baseline =
+            JsonValue::parse(readFile(baseline_path));
+        JsonValue current = JsonValue::parse(readFile(current_path));
+        std::vector<obs::MetricRule> rules =
+            rules_path.empty()
+                ? obs::defaultPerfSweepRules()
+                : obs::parseRules(
+                      JsonValue::parse(readFile(rules_path)));
+
+        obs::BenchDiffResult result =
+            obs::diffBenchJson(baseline, current, rules);
+
+        if (!out_path.empty())
+            writeTextFile(out_path,
+                          obs::benchDiffReportJson(result) + "\n");
+        if (!quiet)
+            std::cout << obs::benchDiffReportText(result);
+
+        return result.hasRegression() ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "bench_diff: " << e.what() << "\n";
+        return 2;
+    }
+}

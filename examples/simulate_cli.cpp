@@ -24,6 +24,9 @@
  *   --out FILE              sweep-report JSON to FILE ("-"=stdout);
  *                           accepts several spec95 workloads
  *   --metrics               obs counters/timers in the --out report
+ *   --attribution[=N]       per-branch misprediction attribution:
+ *                           top-N offenders (default 20) in the
+ *                           --out report, or a text table otherwise
  *   --trace-out FILE        chrome://tracing span dump of the run
  */
 
@@ -37,6 +40,7 @@
 #include <unistd.h>
 
 #include "core/mbbp.hh"
+#include "obs/attribution.hh"
 #include "obs/obs.hh"
 
 using namespace mbbp;
@@ -52,7 +56,8 @@ usage()
         "  --blocks N --history H --sts N --cache normal|extend|align\n"
         "  --target nls|btb --target-entries N --bit-entries N\n"
         "  --near-block --double-select --insts N --json\n"
-        "  --threads N --out FILE --metrics --trace-out FILE\n";
+        "  --threads N --out FILE --metrics --attribution[=N]\n"
+        "  --trace-out FILE\n";
 }
 
 bool
@@ -76,6 +81,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::string trace_out;
     bool metrics = false;
+    unsigned attribution_n = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -130,6 +136,16 @@ main(int argc, char **argv)
         } else if (arg == "--metrics") {
             metrics = true;
             obs::setEnabled(true);
+        } else if (arg == "--attribution" ||
+                   arg.rfind("--attribution=", 0) == 0) {
+            attribution_n = 20;
+            if (arg.size() > 14 && arg[13] == '=') {
+                attribution_n = static_cast<unsigned>(
+                    std::stoul(arg.substr(14)));
+                if (attribution_n == 0)
+                    attribution_n = 20;
+            }
+            obs::setAttributionEnabled(true);
         } else if (arg == "--trace-out") {
             trace_out = next();
             obs::setEnabled(true);
@@ -177,6 +193,8 @@ main(int argc, char **argv)
             opts.threads = threads;
             using Clock = std::chrono::steady_clock;
             Clock::time_point start = Clock::now();
+            // Progress is tty-only (reporting flags never force it
+            // into piped logs) and every division is guarded.
             if (isatty(fileno(stderr)) != 0) {
                 opts.progress = [start](const SweepProgress &p) {
                     double elapsed =
@@ -204,6 +222,7 @@ main(int argc, char **argv)
             result.name = "simulate_cli";
             SweepReportOptions report;
             report.metrics = metrics;
+            report.attributionTopN = attribution_n;
             writeTextFile(out_path, sweepToJson(result, report));
             if (!trace_out.empty())
                 obs::writeChromeTrace(trace_out);
@@ -276,6 +295,26 @@ main(int argc, char **argv)
                             " events" });
     }
     std::cout << report.render();
+
+    if (attribution_n != 0) {
+        TextTable offenders("top misprediction offenders");
+        offenders.setHeader(
+            { "block", "slot", "events", "cycles", "dominant" });
+        for (const obs::AttributionRow &r :
+             obs::attributionRows(attribution_n)) {
+            char pc[32];
+            std::snprintf(pc, sizeof pc, "0x%llx",
+                          static_cast<unsigned long long>(
+                              r.blockPc));
+            offenders.addRow({ pc, TextTable::fmt(uint64_t{ r.slot }),
+                               TextTable::fmt(r.events),
+                               TextTable::fmt(r.cycles),
+                               obs::lossCauseName(
+                                   r.dominantCause()) });
+        }
+        std::cout << "\n" << offenders.render();
+    }
+
     if (!trace_out.empty())
         obs::writeChromeTrace(trace_out);
     return 0;

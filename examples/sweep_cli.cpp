@@ -13,11 +13,19 @@
  *   --no-per-program   aggregates only (smaller output)
  *   --timings          include per-job and wall-clock seconds
  *                      (output is no longer byte-stable across runs)
- *   --metrics          include the obs counter/timer snapshot in the
- *                      JSON report (not byte-stable either)
+ *   --metrics          include the obs counter/timer/histogram
+ *                      snapshot in the JSON report (not byte-stable
+ *                      either)
+ *   --attribution[=N]  record per-branch misprediction attribution
+ *                      and append the top-N offenders (default 20)
+ *                      to the JSON report
+ *   --attribution-csv FILE  also write the offender table as CSV
  *   --trace-out FILE   write a chrome://tracing span dump of the run
  *   --quiet            no progress on stderr
  *   --list-fields      print the sweepable config fields and exit
+ *
+ * Progress is written to stderr only when stderr is a tty; piped
+ * runs (CI logs) stay clean no matter which reporting flags are on.
  */
 
 #include <chrono>
@@ -29,6 +37,7 @@
 #include <unistd.h>
 
 #include "core/mbbp.hh"
+#include "obs/attribution.hh"
 #include "obs/obs.hh"
 
 using namespace mbbp;
@@ -43,11 +52,16 @@ usage()
         "usage: sweep_cli spec.json [--threads N] [--out FILE]\n"
         "                 [--csv FILE] [--no-per-program] "
         "[--timings]\n"
-        "                 [--metrics] [--trace-out FILE] [--quiet]\n"
-        "                 [--list-fields]\n";
+        "                 [--metrics] [--attribution[=N]]\n"
+        "                 [--attribution-csv FILE] "
+        "[--trace-out FILE]\n"
+        "                 [--quiet] [--list-fields]\n";
 }
 
-/** "[12/40] 30% elapsed 2.1s eta 4.9s" -- overwritten in place. */
+/** "[12/40] 30% elapsed 2.1s eta 4.9s" -- overwritten in place.
+ *  Every division is guarded: the pool may invoke the progress
+ *  callback before any job has finished (completed == 0) and a
+ *  degenerate spec can have total == 0. */
 void
 ttyProgress(const SweepProgress &p, double elapsed)
 {
@@ -74,6 +88,7 @@ main(int argc, char **argv)
     std::string spec_path;
     std::string out_path = "-";
     std::string csv_path;
+    std::string attribution_csv;
     std::string trace_out;
     unsigned threads = 0;
     bool quiet = false;
@@ -101,6 +116,17 @@ main(int argc, char **argv)
         } else if (arg == "--metrics") {
             report.metrics = true;
             obs::setEnabled(true);
+        } else if (arg == "--attribution" ||
+                   arg.rfind("--attribution=", 0) == 0) {
+            unsigned n = 20;
+            if (arg.size() > 14 && arg[13] == '=')
+                n = static_cast<unsigned>(
+                    std::stoul(arg.substr(14)));
+            report.attributionTopN = n == 0 ? 20 : n;
+            obs::setAttributionEnabled(true);
+        } else if (arg == "--attribution-csv") {
+            attribution_csv = next();
+            obs::setAttributionEnabled(true);
         } else if (arg == "--trace-out") {
             trace_out = next();
             obs::setEnabled(true);
@@ -137,24 +163,17 @@ main(int argc, char **argv)
         opts.threads = threads;
         using Clock = std::chrono::steady_clock;
         Clock::time_point start = Clock::now();
-        if (!quiet) {
-            // A tty gets one live line with an ETA; a pipe gets the
-            // classic one-line-per-job log.
-            bool tty = isatty(fileno(stderr)) != 0;
-            opts.progress = [start, tty](const SweepProgress &p) {
-                if (tty) {
-                    double elapsed =
-                        std::chrono::duration<double>(Clock::now() -
-                                                      start)
-                            .count();
-                    ttyProgress(p, elapsed);
-                    return;
-                }
-                std::cerr << "[" << p.completed << "/" << p.total
-                          << "] job " << p.job->index;
-                for (const auto &[field, value] : p.job->params)
-                    std::cerr << " " << field << "=" << value;
-                std::cerr << " (" << p.jobSeconds << "s)\n";
+        // The live progress line exists for humans watching a
+        // terminal. When stderr is a pipe (CI, redirection) it is
+        // suppressed entirely -- regardless of --metrics or any
+        // other reporting flag -- so captured logs stay clean.
+        if (!quiet && isatty(fileno(stderr)) != 0) {
+            opts.progress = [start](const SweepProgress &p) {
+                double elapsed =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  start)
+                        .count();
+                ttyProgress(p, elapsed);
             };
         }
 
@@ -167,6 +186,9 @@ main(int argc, char **argv)
         writeTextFile(out_path, sweepToJson(result, report) + "\n");
         if (!csv_path.empty())
             writeTextFile(csv_path, sweepToCsv(result, report));
+        if (!attribution_csv.empty())
+            writeTextFile(attribution_csv,
+                          attributionToCsv(report.attributionTopN));
         if (!trace_out.empty()) {
             obs::writeChromeTrace(trace_out);
             if (!quiet)

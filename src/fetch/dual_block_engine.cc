@@ -91,6 +91,9 @@ DualBlockEngine::run(const DecodedTrace &dec)
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
     BitVector stale;        //!< scratch for finite-BIT codes
 
+    obs::AttributionSink attr;
+    FetchBandwidth bw("engine.dual");
+
     const std::size_t nblocks = dec.numBlocks();
     if (nblocks == 0)
         return stats;
@@ -103,6 +106,7 @@ DualBlockEngine::run(const DecodedTrace &dec)
     ++stats.fetchRequests;
     countBlockStats(stats, dec, bi);
     touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
+    bw.endRequest(stats.instructions, 1, false);
 
     // Recovery entries stay live for the 4-cycle resolution window
     // (two pair-fetch cycles).
@@ -122,6 +126,8 @@ DualBlockEngine::run(const DecodedTrace &dec)
                         "block index out of sync");
 
         ++stats.fetchRequests;
+        const uint64_t ev0 = mispredictEvents(stats);
+        const uint64_t insts0 = stats.instructions;
         trainer.tick();
         countBlockStats(stats, dec, ci);
         touchICache(contents, cache, C, stats,
@@ -153,14 +159,16 @@ DualBlockEngine::run(const DecodedTrace &dec)
             const SelectEntry &e0 = st.read(tab_b, idx1, 0);
             Selector sel_true_b = pred_b.selector(line_size);
             if (e0.sel != sel_true_b) {
-                stats.charge(PenaltyKind::Misselect,
-                             penalties.cycles(PenaltyKind::Misselect,
-                                              0));
+                chargeMispredict(stats, attr, B.startPc, 0,
+                                 PenaltyKind::Misselect,
+                                 penalties.cycles(
+                                     PenaltyKind::Misselect, 0));
                 blk1_penalized = true;
             } else if (e0.ghr != pred_b.ghrInfo()) {
-                stats.charge(PenaltyKind::GhrMispredict,
-                             penalties.cycles(
-                                 PenaltyKind::GhrMispredict, 0));
+                chargeMispredict(stats, attr, B.startPc, 0,
+                                 PenaltyKind::GhrMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::GhrMispredict, 0));
                 blk1_penalized = true;
             }
             st.write(tab_b, idx1, 0,
@@ -174,9 +182,10 @@ DualBlockEngine::run(const DecodedTrace &dec)
                 predictExit(stale, B.startPc, cap_b, pht, idx1);
             if (pred_stale.selector(line_size) !=
                 pred_b.selector(line_size)) {
-                stats.charge(PenaltyKind::BitMispredict,
-                             penalties.cycles(
-                                 PenaltyKind::BitMispredict, 0));
+                chargeMispredict(stats, attr, B.startPc, 0,
+                                 PenaltyKind::BitMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::BitMispredict, 0));
             }
             refreshBitEntries(bit, image, B.startPc, cap_b, line_size,
                               cfg_.nearBlock);
@@ -190,7 +199,8 @@ DualBlockEngine::run(const DecodedTrace &dec)
             unsigned cycles = penalties.cycles(out1.kind, 0);
             if (out1.refetchExtra)
                 cycles += penalties.refetchExtra();
-            stats.charge(out1.kind, cycles);
+            chargeMispredict(stats, attr, B.startPc, 0, out1.kind,
+                             cycles);
             if (out1.kind == PenaltyKind::CondMispredict)
                 ++stats.condDirectionWrong;
             blk1_penalized = true;
@@ -212,6 +222,8 @@ DualBlockEngine::run(const DecodedTrace &dec)
             // scored. Finish bookkeeping and stop.
             updateTargetArray(*ta, B.startPc, 0, B, line_size,
                               cfg_.nearBlock);
+            bw.endRequest(stats.instructions - insts0, 1,
+                          mispredictEvents(stats) != ev0);
             break;
         }
 
@@ -230,13 +242,15 @@ DualBlockEngine::run(const DecodedTrace &dec)
 
         if (!blk1_penalized) {
             if (e.sel != sel_true) {
-                stats.charge(PenaltyKind::Misselect,
-                             penalties.cycles(PenaltyKind::Misselect,
-                                              1));
+                chargeMispredict(stats, attr, C.startPc, 1,
+                                 PenaltyKind::Misselect,
+                                 penalties.cycles(
+                                     PenaltyKind::Misselect, 1));
             } else if (e.ghr != ghr_true) {
-                stats.charge(PenaltyKind::GhrMispredict,
-                             penalties.cycles(
-                                 PenaltyKind::GhrMispredict, 1));
+                chargeMispredict(stats, attr, C.startPc, 1,
+                                 PenaltyKind::GhrMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::GhrMispredict, 1));
             } else if (cfg_.nearBlockStoredOffset &&
                        sel_true.src != SelSrc::Target &&
                        sel_true.src != SelSrc::FallThrough &&
@@ -248,9 +262,10 @@ DualBlockEngine::run(const DecodedTrace &dec)
                 // bits: the line index was right but the stale offset
                 // fetched the wrong slot of it -- one more misselect
                 // flavor (Section 3.1's trade-off).
-                stats.charge(PenaltyKind::Misselect,
-                             penalties.cycles(PenaltyKind::Misselect,
-                                              1));
+                chargeMispredict(stats, attr, C.startPc, 1,
+                                 PenaltyKind::Misselect,
+                                 penalties.cycles(
+                                     PenaltyKind::Misselect, 1));
             }
             // The verified (BIT+PHT) selection is what ultimately
             // fetches; compare its result against the actual D.
@@ -262,7 +277,8 @@ DualBlockEngine::run(const DecodedTrace &dec)
                 unsigned cycles = penalties.cycles(out2.kind, 1);
                 if (out2.refetchExtra)
                     cycles += penalties.refetchExtra();
-                stats.charge(out2.kind, cycles);
+                chargeMispredict(stats, attr, C.startPc, 1, out2.kind,
+                                 cycles);
                 if (out2.kind == PenaltyKind::CondMispredict)
                     ++stats.condDirectionWrong;
             }
@@ -293,6 +309,9 @@ DualBlockEngine::run(const DecodedTrace &dec)
         ghr.shiftInBlock(dec.condOutcomes(ci), dec.numConds(ci));
         applyRasOp(ras, C);
 
+        bw.endRequest(stats.instructions - insts0, 2,
+                      mispredictEvents(stats) != ev0);
+
         bi = di;
         B = D;
     }
@@ -303,6 +322,8 @@ DualBlockEngine::run(const DecodedTrace &dec)
     bit.obsFlush();
     ras.obsFlush();
     st.obsFlush();
+    attr.flush();
+    bw.flush();
     obs::flushCounter("engine.dual.runs", 1);
     return stats;
 }

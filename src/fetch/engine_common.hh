@@ -9,12 +9,16 @@
 #ifndef MBBP_FETCH_ENGINE_COMMON_HH
 #define MBBP_FETCH_ENGINE_COMMON_HH
 
+#include <cassert>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "fetch/block.hh"
 #include "fetch/exit_predict.hh"
 #include "fetch/fetch_stats.hh"
+#include "obs/attribution.hh"
+#include "obs/obs.hh"
 #include "predict/bbr.hh"
 #include "predict/ras.hh"
 #include "predict/target_array.hh"
@@ -82,6 +86,120 @@ void applyRasOp(ReturnAddressStack &ras, const FetchBlock &blk);
 void updateTargetArray(TargetArray &ta, Addr index_addr,
                        unsigned which, const FetchBlock &blk,
                        unsigned line_size, bool near_block);
+
+/**
+ * The predictor component a Table 3 penalty category blames: this
+ * mapping lives in the fetch layer (not obs) so obs stays below
+ * fetch in the link order. BankConflict is a structural stall, not a
+ * misprediction, and has no cause.
+ */
+inline obs::LossCause
+lossCauseOf(PenaltyKind kind)
+{
+    switch (kind) {
+    case PenaltyKind::CondMispredict:
+        return obs::LossCause::PhtDirection;
+    case PenaltyKind::ReturnMispredict:
+        return obs::LossCause::Ras;
+    case PenaltyKind::MisfetchIndirect:
+    case PenaltyKind::MisfetchImmediate:
+        return obs::LossCause::Target;
+    case PenaltyKind::Misselect:
+        return obs::LossCause::Select;
+    case PenaltyKind::GhrMispredict:
+        return obs::LossCause::Ghr;
+    case PenaltyKind::BitMispredict:
+        return obs::LossCause::BitType;
+    case PenaltyKind::BankConflict:
+    case PenaltyKind::NumKinds:
+        break;
+    }
+    assert(false && "no loss cause for structural stalls");
+    return obs::LossCause::PhtDirection;
+}
+
+/** Attributed mispredictions in @p s: every penalty event except
+ *  bank conflicts. The attribution invariant is that the table's
+ *  event total equals this, field-exact. */
+inline uint64_t
+mispredictEvents(const FetchStats &s)
+{
+    uint64_t n = 0;
+    for (unsigned k = 0; k < numPenaltyKinds; ++k)
+        if (static_cast<PenaltyKind>(k) != PenaltyKind::BankConflict)
+            n += s.penaltyEvents[k];
+    return n;
+}
+
+/**
+ * The one charge path for real mispredictions: updates the aggregate
+ * FetchStats AND the per-branch attribution table, so the two can
+ * never drift apart. Bank conflicts keep calling stats.charge()
+ * directly.
+ */
+inline void
+chargeMispredict(FetchStats &stats, obs::AttributionSink &attr,
+                 Addr block_pc, unsigned slot, PenaltyKind kind,
+                 unsigned cycles)
+{
+    assert(kind != PenaltyKind::BankConflict);
+    stats.charge(kind, cycles);
+    attr.record(block_pc, slot, lossCauseOf(kind), cycles);
+}
+
+/**
+ * Fetch-bandwidth distributions, one instance per engine run:
+ * instructions and blocks delivered per fetch request (a request is
+ * a cycle, so blocks/request is the paper's blocks-per-cycle), and
+ * the length of each clean run of requests ended by a misprediction.
+ * Accumulates unconditionally (same discipline as the predictors'
+ * stat members) and publishes once via flush(); the trailing clean
+ * run at end of trace is not a mispredict-terminated run and is
+ * dropped.
+ */
+class FetchBandwidth
+{
+  public:
+    /** @param prefix Histogram name prefix, e.g. "engine.single". */
+    explicit FetchBandwidth(std::string prefix)
+        : prefix_(std::move(prefix))
+    {
+    }
+
+    /** One fetch request completed. */
+    void endRequest(uint64_t insts, uint64_t blocks,
+                    bool mispredicted)
+    {
+        insts_.record(insts);
+        blocks_.record(blocks);
+        if (mispredicted) {
+            runs_.record(cleanRun_);
+            cleanRun_ = 0;
+        } else {
+            ++cleanRun_;
+        }
+    }
+
+    /** Publish the distributions (no-op while obs is disabled). */
+    void flush()
+    {
+        obs::flushHistogram(prefix_ + ".insts_per_request", insts_);
+        obs::flushHistogram(prefix_ + ".blocks_per_request",
+                            blocks_);
+        obs::flushHistogram(prefix_ + ".mispredict_run", runs_);
+        insts_ = {};
+        blocks_ = {};
+        runs_ = {};
+        cleanRun_ = 0;
+    }
+
+  private:
+    std::string prefix_;
+    obs::HistogramData insts_;
+    obs::HistogramData blocks_;
+    obs::HistogramData runs_;
+    uint64_t cleanRun_ = 0;
+};
 
 /** Per-block instruction/branch counting. */
 void countBlockStats(FetchStats &stats, const FetchBlock &blk,

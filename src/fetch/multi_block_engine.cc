@@ -62,6 +62,9 @@ MultiBlockEngine::run(const DecodedTrace &dec)
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
     BitVector stale;        //!< scratch for finite-BIT codes
 
+    obs::AttributionSink attr;
+    FetchBandwidth bw("engine.multi");
+
     const std::size_t nblocks = dec.numBlocks();
     if (nblocks == 0)
         return stats;
@@ -75,6 +78,7 @@ MultiBlockEngine::run(const DecodedTrace &dec)
     ++stats.fetchRequests;
     countBlockStats(stats, dec, bi);
     touchICache(contents, cache, B, stats, cfg_.icacheMissPenalty);
+    bw.endRequest(stats.instructions, 1, false);
 
     for (;;) {
         // The next group: blocks [g_first, g_first + g_count).
@@ -88,6 +92,8 @@ MultiBlockEngine::run(const DecodedTrace &dec)
                     "block index out of sync");
 
         ++stats.fetchRequests;
+        const uint64_t ev0 = mispredictEvents(stats);
+        const uint64_t insts0 = stats.instructions;
         trainer.tick();
         for (std::size_t j = 0; j < g_count; ++j) {
             countBlockStats(stats, dec, g_first + j);
@@ -128,9 +134,11 @@ MultiBlockEngine::run(const DecodedTrace &dec)
                     stale, B.startPc, cap, pht, idx1);
                 if (pred_stale.selector(line_size) !=
                     pred.selector(line_size)) {
-                    stats.charge(PenaltyKind::BitMispredict,
-                                 penalties.cycles(
-                                     PenaltyKind::BitMispredict, 0));
+                    chargeMispredict(
+                        stats, attr, B.startPc, 0,
+                        PenaltyKind::BitMispredict,
+                        penalties.cycles(PenaltyKind::BitMispredict,
+                                         0));
                 }
                 refreshBitEntries(bit, image, B.startPc, cap,
                                   line_size, cfg_.nearBlock);
@@ -143,7 +151,8 @@ MultiBlockEngine::run(const DecodedTrace &dec)
                 unsigned cycles = penalties.cycles(out.kind, 0);
                 if (out.refetchExtra)
                     cycles += penalties.refetchExtra();
-                stats.charge(out.kind, cycles);
+                chargeMispredict(stats, attr, B.startPc, 0, out.kind,
+                                 cycles);
                 if (out.kind == PenaltyKind::CondMispredict)
                     ++stats.condDirectionWrong;
                 squashed = true;
@@ -174,15 +183,19 @@ MultiBlockEngine::run(const DecodedTrace &dec)
 
             if (!squashed) {
                 if (e.sel != sel_true) {
-                    stats.charge(PenaltyKind::Misselect,
-                                 penalties.cycles(
-                                     PenaltyKind::Misselect,
-                                     static_cast<unsigned>(k)));
+                    chargeMispredict(
+                        stats, attr, prev.startPc,
+                        static_cast<unsigned>(k),
+                        PenaltyKind::Misselect,
+                        penalties.cycles(PenaltyKind::Misselect,
+                                         static_cast<unsigned>(k)));
                 } else if (e.ghr != ghr_true) {
-                    stats.charge(PenaltyKind::GhrMispredict,
-                                 penalties.cycles(
-                                     PenaltyKind::GhrMispredict,
-                                     static_cast<unsigned>(k)));
+                    chargeMispredict(
+                        stats, attr, prev.startPc,
+                        static_cast<unsigned>(k),
+                        PenaltyKind::GhrMispredict,
+                        penalties.cycles(PenaltyKind::GhrMispredict,
+                                         static_cast<unsigned>(k)));
                 }
                 ResolvedTarget r = resolveAddress(
                     pred, prev.startPc, cap, image, ras, *ta,
@@ -193,7 +206,9 @@ MultiBlockEngine::run(const DecodedTrace &dec)
                         out.kind, static_cast<unsigned>(k));
                     if (out.refetchExtra)
                         cycles += penalties.refetchExtra();
-                    stats.charge(out.kind, cycles);
+                    chargeMispredict(stats, attr, prev.startPc,
+                                     static_cast<unsigned>(k),
+                                     out.kind, cycles);
                     if (out.kind == PenaltyKind::CondMispredict)
                         ++stats.condDirectionWrong;
                     squashed = true;
@@ -212,6 +227,9 @@ MultiBlockEngine::run(const DecodedTrace &dec)
             applyRasOp(ras, prev);
         }
 
+        bw.endRequest(stats.instructions - insts0, g_count,
+                      mispredictEvents(stats) != ev0);
+
         if (g_count < n)
             break;      // block index exhausted mid-group
         bi = g_first + g_count - 1;
@@ -223,6 +241,8 @@ MultiBlockEngine::run(const DecodedTrace &dec)
     bit.obsFlush();
     ras.obsFlush();
     st.obsFlush();
+    attr.flush();
+    bw.flush();
     obs::flushCounter("engine.multi.runs", 1);
     return stats;
 }

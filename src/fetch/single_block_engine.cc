@@ -60,6 +60,9 @@ SingleBlockEngine::run(const DecodedTrace &dec)
     ICacheContents contents(cfg_.icacheLines, cfg_.icacheAssoc);
     PhtTrainer trainer(pht, cfg_.delayedPhtUpdate);
 
+    obs::AttributionSink attr;
+    FetchBandwidth bw("engine.single");
+
     const std::size_t nblocks = dec.numBlocks();
     if (nblocks == 0)
         return stats;
@@ -68,6 +71,8 @@ SingleBlockEngine::run(const DecodedTrace &dec)
         const FetchBlock cur = dec.block(b);
 
         ++stats.fetchRequests;
+        const uint64_t ev0 = mispredictEvents(stats);
+        const uint64_t insts0 = stats.instructions;
         trainer.tick();
         countBlockStats(stats, dec, b);
         touchICache(contents, cache, cur, stats,
@@ -90,9 +95,10 @@ SingleBlockEngine::run(const DecodedTrace &dec)
                                                     capacity, pht, idx);
             if (pred_stale.selector(line_size) !=
                 pred.selector(line_size)) {
-                stats.charge(PenaltyKind::BitMispredict,
-                             penalties.cycles(
-                                 PenaltyKind::BitMispredict, 0));
+                chargeMispredict(stats, attr, cur.startPc, 0,
+                                 PenaltyKind::BitMispredict,
+                                 penalties.cycles(
+                                     PenaltyKind::BitMispredict, 0));
             }
             refreshBitEntries(bit, image, cur.startPc, capacity,
                               line_size, cfg_.nearBlock);
@@ -106,7 +112,8 @@ SingleBlockEngine::run(const DecodedTrace &dec)
             unsigned cycles = penalties.cycles(out.kind, 0);
             if (out.refetchExtra)
                 cycles += penalties.refetchExtra();
-            stats.charge(out.kind, cycles);
+            chargeMispredict(stats, attr, cur.startPc, 0, out.kind,
+                             cycles);
             if (out.kind == PenaltyKind::CondMispredict)
                 ++stats.condDirectionWrong;
         }
@@ -149,6 +156,9 @@ SingleBlockEngine::run(const DecodedTrace &dec)
             mbbp_assert(dec.startPc(b + 1) == cur.nextPc,
                         "block index out of sync");
         }
+
+        bw.endRequest(stats.instructions - insts0, 1,
+                      mispredictEvents(stats) != ev0);
     }
 
     stats.rasOverflows = ras.overflows();
@@ -156,6 +166,8 @@ SingleBlockEngine::run(const DecodedTrace &dec)
     pht.obsFlush();
     bit.obsFlush();
     ras.obsFlush();
+    attr.flush();
+    bw.flush();
     obs::flushCounter("engine.single.runs", 1);
     return stats;
 }

@@ -63,6 +63,11 @@ TwoAheadEngine::run(const DecodedTrace &dec)
     FetchBlock stash;       // second block of the current pair
     bool have_stash = false;
 
+    obs::AttributionSink attr;
+    FetchBandwidth bw("engine.two_ahead");
+    bool req_open = false;
+    uint64_t req_ev0 = 0, req_insts0 = 0, req_blocks = 0;
+
     const std::size_t nblocks = dec.numBlocks();
     for (std::size_t b = 0; b < nblocks; ++b) {
         const FetchBlock blk = dec.block(b);
@@ -71,8 +76,18 @@ TwoAheadEngine::run(const DecodedTrace &dec)
         // pipeline alone, then one request covers two blocks.
         if (block_index == 0) {
             ++stats.fetchRequests;
+            req_open = true;
+            req_ev0 = mispredictEvents(stats);
+            req_insts0 = stats.instructions;
+            req_blocks = 0;
         } else if (block_index % 2 == 1) {
+            bw.endRequest(stats.instructions - req_insts0,
+                          req_blocks,
+                          mispredictEvents(stats) != req_ev0);
             ++stats.fetchRequests;
+            req_ev0 = mispredictEvents(stats);
+            req_insts0 = stats.instructions;
+            req_blocks = 0;
             have_stash = false;
         } else {
             // Second slot of the request: bank-conflict check.
@@ -85,6 +100,7 @@ TwoAheadEngine::run(const DecodedTrace &dec)
             }
         }
         countBlockStats(stats, dec, b);
+        ++req_blocks;
 
         // Score the prediction made two blocks ago.
         if (pcount == 2) {
@@ -111,7 +127,10 @@ TwoAheadEngine::run(const DecodedTrace &dec)
                         ? PenaltyKind::CondMispredict
                         : PenaltyKind::MisfetchImmediate;
                 }
-                stats.charge(kind, penalties.cycles(kind, slot));
+                // The offender is the block whose exit produced the
+                // two-ahead address (the previous block).
+                chargeMispredict(stats, attr, prev.startPc, slot,
+                                 kind, penalties.cycles(kind, slot));
                 if (kind == PenaltyKind::CondMispredict)
                     ++stats.condDirectionWrong;
             }
@@ -138,6 +157,11 @@ TwoAheadEngine::run(const DecodedTrace &dec)
         }
         ++block_index;
     }
+    if (req_open)
+        bw.endRequest(stats.instructions - req_insts0, req_blocks,
+                      mispredictEvents(stats) != req_ev0);
+    attr.flush();
+    bw.flush();
     obs::flushCounter("engine.two_ahead.runs", 1);
     return stats;
 }

@@ -1,0 +1,164 @@
+#include "obs/attribution.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace mbbp::obs
+{
+
+const char *
+lossCauseName(LossCause c)
+{
+    switch (c) {
+    case LossCause::PhtDirection:
+        return "pht_direction";
+    case LossCause::BitType:
+        return "bit_type";
+    case LossCause::Target:
+        return "target";
+    case LossCause::Ras:
+        return "ras";
+    case LossCause::Select:
+        return "select";
+    case LossCause::Ghr:
+        return "ghr";
+    case LossCause::NumCauses:
+        break;
+    }
+    return "unknown";
+}
+
+LossCause
+AttributionRow::dominantCause() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kNumLossCauses; ++i)
+        if (byCause[i] > byCause[best])
+            best = i;
+    return static_cast<LossCause>(best);
+}
+
+#ifndef MBBP_OBS_DISABLED
+
+namespace
+{
+
+std::atomic<bool> g_attribution{ false };
+
+struct Table
+{
+    std::mutex mutex;
+    // Ordered by key so iteration (and therefore tie-free slices of
+    // attributionRows) is deterministic regardless of insert order.
+    std::map<uint64_t, AttributionRow> rows;
+};
+
+Table &
+table()
+{
+    static Table t;
+    return t;
+}
+
+} // namespace
+
+bool
+attributionEnabled()
+{
+    return g_attribution.load(std::memory_order_relaxed);
+}
+
+void
+setAttributionEnabled(bool on)
+{
+    g_attribution.store(on, std::memory_order_relaxed);
+}
+
+AttributionSink::AttributionSink() : enabled_(attributionEnabled()) {}
+
+AttributionSink::~AttributionSink()
+{
+    flush();
+}
+
+void
+AttributionSink::flush()
+{
+    if (cells_.empty())
+        return;
+    Table &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    for (const auto &[key, cell] : cells_) {
+        AttributionRow &row = t.rows[key];
+        row.blockPc = key >> 3;
+        row.slot = static_cast<unsigned>(key & 7u);
+        row.events += cell.events;
+        row.cycles += cell.cycles;
+        for (std::size_t i = 0; i < kNumLossCauses; ++i)
+            row.byCause[i] += cell.byCause[i];
+    }
+    cells_.clear();
+}
+
+std::vector<AttributionRow>
+attributionRows(std::size_t top_n)
+{
+    std::vector<AttributionRow> rows;
+    {
+        Table &t = table();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        rows.reserve(t.rows.size());
+        for (const auto &[key, row] : t.rows)
+            rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const AttributionRow &a, const AttributionRow &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  if (a.events != b.events)
+                      return a.events > b.events;
+                  if (a.blockPc != b.blockPc)
+                      return a.blockPc < b.blockPc;
+                  return a.slot < b.slot;
+              });
+    if (top_n != 0 && rows.size() > top_n)
+        rows.resize(top_n);
+    return rows;
+}
+
+void
+resetAttribution()
+{
+    Table &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.rows.clear();
+}
+
+uint64_t
+attributedEvents()
+{
+    Table &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    uint64_t n = 0;
+    for (const auto &[key, row] : t.rows)
+        n += row.events;
+    return n;
+}
+
+std::array<uint64_t, kNumLossCauses>
+attributedEventsByCause()
+{
+    Table &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    std::array<uint64_t, kNumLossCauses> out{};
+    for (const auto &[key, row] : t.rows)
+        for (std::size_t i = 0; i < kNumLossCauses; ++i)
+            out[i] += row.byCause[i];
+    return out;
+}
+
+#endif // MBBP_OBS_DISABLED
+
+} // namespace mbbp::obs

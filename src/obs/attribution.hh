@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Per-static-branch misprediction attribution: which predictor
+ * component lost each prediction, keyed by (block start address,
+ * exit slot within the fetch group). Lin & Tarsa's observation --
+ * that a handful of static branches dominate misprediction cost --
+ * is invisible in aggregate FetchStats; this table surfaces it.
+ *
+ * Discipline mirrors the rest of the obs layer:
+ *
+ *  - OFF by default; engines consult attributionEnabled() once per
+ *    run when they construct their AttributionSink, so a disabled
+ *    sink is a dead branch on the hot path;
+ *  - sinks accumulate into a thread-local map and flush into the
+ *    process-wide table once per run (accumulate-then-flush);
+ *  - under -DMBBP_OBS_DISABLED everything here is an inline no-op.
+ *
+ * The table is additive and order-independent, so sweeps merging
+ * from a thread pool stay deterministic: attributionRows() imposes a
+ * total order (cycles desc, events desc, blockPc asc, slot asc).
+ */
+
+#ifndef MBBP_OBS_ATTRIBUTION_HH
+#define MBBP_OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mbbp::obs
+{
+
+/**
+ * The component that lost a prediction. The fetch layer maps its
+ * PenaltyKind taxonomy (Table 3) onto these; bank conflicts are
+ * structural stalls, not mispredictions, and are never attributed.
+ */
+enum class LossCause : uint8_t
+{
+    PhtDirection = 0,   //!< blocked PHT predicted the wrong direction
+    BitType,            //!< BIT missed or held the wrong branch type
+    Target,             //!< NLS/BTB target array gave a wrong address
+    Ras,                //!< return address stack mismatch
+    Select,             //!< select table picked the wrong successor
+    Ghr,                //!< stale global history (BBR group effects)
+    NumCauses
+};
+
+constexpr std::size_t kNumLossCauses =
+    static_cast<std::size_t>(LossCause::NumCauses);
+
+/** Stable lower-case token for reports ("pht_direction", ...). */
+const char *lossCauseName(LossCause c);
+
+/** One static (block, exit-slot) site in the offender report. */
+struct AttributionRow
+{
+    uint64_t blockPc = 0;   //!< block start address
+    unsigned slot = 0;      //!< exit slot within the fetch group
+    uint64_t events = 0;    //!< attributed mispredictions
+    uint64_t cycles = 0;    //!< penalty cycles those events cost
+    std::array<uint64_t, kNumLossCauses> byCause{};
+
+    /** The cause with the most events (lowest enum wins ties). */
+    LossCause dominantCause() const;
+};
+
+#ifndef MBBP_OBS_DISABLED
+
+/** @{ Attribution is opt-in separately from the metrics switch: the
+ *  table costs a hash-map touch per mispredict, which sweeps that
+ *  only want counters should not pay. */
+bool attributionEnabled();
+void setAttributionEnabled(bool on);
+/** @} */
+
+/**
+ * A per-run accumulator owned by one engine run (single writer, no
+ * locking on the hot path). Captures the enabled flag at
+ * construction so one run is attributed all-or-nothing; flushes into
+ * the process-wide table on flush() or destruction.
+ */
+class AttributionSink
+{
+  public:
+    AttributionSink();
+    ~AttributionSink();
+
+    AttributionSink(const AttributionSink &) = delete;
+    AttributionSink &operator=(const AttributionSink &) = delete;
+
+    bool enabled() const { return enabled_; }
+
+    /** Charge one misprediction at (block_pc, slot) to @p cause. */
+    void record(uint64_t block_pc, unsigned slot, LossCause cause,
+                uint64_t penalty_cycles)
+    {
+        if (!enabled_)
+            return;
+        Cell &cell = cells_[key(block_pc, slot)];
+        ++cell.events;
+        cell.cycles += penalty_cycles;
+        ++cell.byCause[static_cast<std::size_t>(cause)];
+    }
+
+    /** Merge into the global table and clear the local map. */
+    void flush();
+
+  private:
+    struct Cell
+    {
+        uint64_t events = 0;
+        uint64_t cycles = 0;
+        std::array<uint64_t, kNumLossCauses> byCause{};
+    };
+
+    /** Slots are tiny (< 8 across every engine configuration). */
+    static uint64_t key(uint64_t block_pc, unsigned slot)
+    {
+        return (block_pc << 3) | (slot & 7u);
+    }
+
+    bool enabled_;
+    std::unordered_map<uint64_t, Cell> cells_;
+};
+
+/**
+ * The top @p top_n sites by penalty cycles (0 = all), in the
+ * deterministic total order documented above. Merging across sink
+ * flushes is commutative, so the result is thread-count-invariant.
+ */
+std::vector<AttributionRow> attributionRows(std::size_t top_n);
+
+/** Drop every attributed site (sweep-to-sweep hygiene). */
+void resetAttribution();
+
+/** @{ Test hooks: totals across the whole table, for checking the
+ *  attributed == aggregate-FetchStats invariant field-exactly. */
+uint64_t attributedEvents();
+std::array<uint64_t, kNumLossCauses> attributedEventsByCause();
+/** @} */
+
+#else // MBBP_OBS_DISABLED
+
+inline bool attributionEnabled() { return false; }
+inline void setAttributionEnabled(bool) {}
+
+class AttributionSink
+{
+  public:
+    bool enabled() const { return false; }
+    void record(uint64_t, unsigned, LossCause, uint64_t) {}
+    void flush() {}
+};
+
+inline std::vector<AttributionRow> attributionRows(std::size_t)
+{
+    return {};
+}
+
+inline void resetAttribution() {}
+inline uint64_t attributedEvents() { return 0; }
+
+inline std::array<uint64_t, kNumLossCauses>
+attributedEventsByCause()
+{
+    return {};
+}
+
+#endif // MBBP_OBS_DISABLED
+
+} // namespace mbbp::obs
+
+#endif // MBBP_OBS_ATTRIBUTION_HH

@@ -1,0 +1,356 @@
+#include "obs/bench_diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/json.hh"
+#include "util/number_format.hh"
+
+namespace mbbp::obs
+{
+
+const char *
+diffDirectionName(DiffDirection d)
+{
+    switch (d) {
+    case DiffDirection::HigherBetter:
+        return "higher_better";
+    case DiffDirection::LowerBetter:
+        return "lower_better";
+    case DiffDirection::Exact:
+        return "exact";
+    case DiffDirection::Ignore:
+        return "ignore";
+    }
+    return "unknown";
+}
+
+const char *
+diffStatusName(DiffStatus s)
+{
+    switch (s) {
+    case DiffStatus::Ok:
+        return "ok";
+    case DiffStatus::Improved:
+        return "improved";
+    case DiffStatus::Regression:
+        return "regression";
+    case DiffStatus::Missing:
+        return "missing";
+    case DiffStatus::Added:
+        return "added";
+    case DiffStatus::Ignored:
+        return "ignored";
+    case DiffStatus::Info:
+        return "info";
+    }
+    return "unknown";
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative '*' glob with single-star backtracking: linear in
+    // pattern + text, no recursion.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+namespace
+{
+
+void
+flattenInto(const JsonValue &v, const std::string &path,
+            std::vector<std::pair<std::string, double>> &out)
+{
+    switch (v.kind()) {
+    case JsonValue::Kind::Number:
+        out.emplace_back(path, v.asNumber());
+        break;
+    case JsonValue::Kind::Bool:
+        out.emplace_back(path, v.asBool() ? 1.0 : 0.0);
+        break;
+    case JsonValue::Kind::Object:
+        for (std::size_t i = 0; i < v.size(); ++i)
+            flattenInto(v.memberAt(i),
+                        path.empty() ? v.keyAt(i)
+                                     : path + '.' + v.keyAt(i),
+                        out);
+        break;
+    case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.items().size(); ++i)
+            flattenInto(v.items()[i],
+                        path + '[' + std::to_string(i) + ']', out);
+        break;
+    case JsonValue::Kind::String:
+    case JsonValue::Kind::Null:
+        break;
+    }
+}
+
+const MetricRule *
+matchRule(const std::vector<MetricRule> &rules,
+          const std::string &path)
+{
+    for (const MetricRule &r : rules)
+        if (globMatch(r.pattern, path))
+            return &r;
+    return nullptr;
+}
+
+DiffStatus
+judge(const MetricRule &rule, double base, double cur)
+{
+    double tol = rule.tolerance;
+    switch (rule.dir) {
+    case DiffDirection::Ignore:
+        return DiffStatus::Ignored;
+    case DiffDirection::Exact: {
+        double slack = std::abs(base) * tol;
+        if (std::abs(cur - base) <= slack)
+            return DiffStatus::Ok;
+        return DiffStatus::Regression;
+    }
+    case DiffDirection::HigherBetter:
+        if (cur < base * (1.0 - tol))
+            return DiffStatus::Regression;
+        if (cur > base * (1.0 + tol))
+            return DiffStatus::Improved;
+        return DiffStatus::Ok;
+    case DiffDirection::LowerBetter:
+        if (cur > base * (1.0 + tol))
+            return DiffStatus::Regression;
+        if (cur < base * (1.0 - tol))
+            return DiffStatus::Improved;
+        return DiffStatus::Ok;
+    }
+    return DiffStatus::Info;
+}
+
+std::string
+fmt(double v)
+{
+    return formatDouble(v, 9);
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+flattenScalars(const JsonValue &doc)
+{
+    std::vector<std::pair<std::string, double>> out;
+    flattenInto(doc, "", out);
+    return out;
+}
+
+std::vector<MetricRule>
+defaultPerfSweepRules()
+{
+    // Specific to general; first match wins.
+    return {
+        { "byteIdentical", DiffDirection::Exact, 0.0 },
+        { "jobs", DiffDirection::Exact, 0.0 },
+        { "benchmarks", DiffDirection::Exact, 0.0 },
+        { "instsPerProgram", DiffDirection::Exact, 0.0 },
+        { "hardwareThreads", DiffDirection::Ignore, 0.0 },
+        { "modes[*].wallSeconds", DiffDirection::Ignore, 0.0 },
+        { "modes[*].*", DiffDirection::Exact, 0.0 },
+        { "threadSpeedupShared", DiffDirection::Ignore, 0.0 },
+        // Wall-clock ratios on a shared box: generous noise bands.
+        { "decodeOnceSpeedup1T", DiffDirection::HigherBetter, 0.35 },
+        { "decodeOnceSpeedup8T", DiffDirection::HigherBetter, 0.45 },
+        { "metricsOverhead", DiffDirection::LowerBetter, 0.50 },
+        // Pool scheduling counters depend on thread timing.
+        { "metrics.counters.sweep.pool.*", DiffDirection::Ignore,
+          0.0 },
+        { "metrics.timers.*", DiffDirection::Ignore, 0.0 },
+        // Job-duration histograms are wall-clock shaped too.
+        { "metrics.histograms.sweep.*", DiffDirection::Ignore, 0.0 },
+        // Everything else the obs layer counts is deterministic
+        // (fixed traces, deterministic RNG): gate it exactly.
+        { "metrics.counters.*", DiffDirection::Exact, 0.0 },
+        { "metrics.histograms.*", DiffDirection::Exact, 0.0 },
+    };
+}
+
+std::vector<MetricRule>
+parseRules(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        throw std::runtime_error("rules file: expected an object");
+    const JsonValue *list = doc.find("rules");
+    if (list == nullptr || !list->isArray())
+        throw std::runtime_error(
+            "rules file: expected a \"rules\" array");
+    std::vector<MetricRule> rules;
+    for (const JsonValue &e : list->items()) {
+        if (!e.isObject())
+            throw std::runtime_error(
+                "rules file: each rule must be an object");
+        MetricRule r;
+        const JsonValue *pat = e.find("pattern");
+        if (pat == nullptr || !pat->isString())
+            throw std::runtime_error(
+                "rules file: rule needs a string \"pattern\"");
+        r.pattern = pat->asString();
+        if (const JsonValue *dir = e.find("direction")) {
+            const std::string &d = dir->asString();
+            if (d == "higher_better")
+                r.dir = DiffDirection::HigherBetter;
+            else if (d == "lower_better")
+                r.dir = DiffDirection::LowerBetter;
+            else if (d == "exact")
+                r.dir = DiffDirection::Exact;
+            else if (d == "ignore")
+                r.dir = DiffDirection::Ignore;
+            else
+                throw std::runtime_error(
+                    "rules file: unknown direction \"" + d + '"');
+        }
+        if (const JsonValue *tol = e.find("tolerance"))
+            r.tolerance = tol->asNumber();
+        if (r.tolerance < 0.0)
+            throw std::runtime_error(
+                "rules file: tolerance must be >= 0");
+        rules.push_back(std::move(r));
+    }
+    return rules;
+}
+
+BenchDiffResult
+diffBenchJson(const JsonValue &baseline, const JsonValue &current,
+              const std::vector<MetricRule> &rules)
+{
+    // A path-sorted merge of both flattened documents: iteration
+    // order (and therefore every report) is input-order-independent.
+    struct Pair
+    {
+        bool hasBase = false, hasCur = false;
+        double base = 0.0, cur = 0.0;
+    };
+    std::map<std::string, Pair> merged;
+    for (const auto &[path, v] : flattenScalars(baseline)) {
+        merged[path].hasBase = true;
+        merged[path].base = v;
+    }
+    for (const auto &[path, v] : flattenScalars(current)) {
+        merged[path].hasCur = true;
+        merged[path].cur = v;
+    }
+
+    BenchDiffResult result;
+    result.diffs.reserve(merged.size());
+    for (const auto &[path, p] : merged) {
+        MetricDiff d;
+        d.path = path;
+        d.hasBaseline = p.hasBase;
+        d.hasCurrent = p.hasCur;
+        d.baseline = p.base;
+        d.current = p.cur;
+        const MetricRule *rule = matchRule(rules, path);
+        if (rule != nullptr)
+            d.rule = rule->pattern;
+        if (!p.hasCur) {
+            // A gated metric that vanished is a regression; an
+            // ignored or ungated one is informational.
+            d.status = (rule == nullptr ||
+                        rule->dir == DiffDirection::Ignore)
+                           ? DiffStatus::Ignored
+                           : DiffStatus::Missing;
+        } else if (!p.hasBase) {
+            d.status = DiffStatus::Added;
+        } else {
+            if (p.base != 0.0)
+                d.relDelta = (p.cur - p.base) / std::abs(p.base);
+            d.status = rule == nullptr ? DiffStatus::Info
+                                       : judge(*rule, p.base, p.cur);
+        }
+        if (d.status == DiffStatus::Regression ||
+            d.status == DiffStatus::Missing)
+            ++result.regressions;
+        if (d.status == DiffStatus::Improved)
+            ++result.improvements;
+        result.diffs.push_back(std::move(d));
+    }
+    return result;
+}
+
+std::string
+benchDiffReportJson(const BenchDiffResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("regressions", uint64_t{ result.regressions });
+    w.value("improvements", uint64_t{ result.improvements });
+    w.value("checked", static_cast<uint64_t>(result.diffs.size()));
+    w.beginArray("diffs");
+    for (const MetricDiff &d : result.diffs) {
+        w.beginObject();
+        w.value("path", d.path);
+        w.value("status", diffStatusName(d.status));
+        if (d.hasBaseline)
+            w.value("baseline", d.baseline);
+        if (d.hasCurrent)
+            w.value("current", d.current);
+        if (d.hasBaseline && d.hasCurrent)
+            w.value("relDelta", d.relDelta);
+        if (!d.rule.empty())
+            w.value("rule", d.rule);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+benchDiffReportText(const BenchDiffResult &result)
+{
+    std::string out;
+    auto line = [&out](const MetricDiff &d, const char *tag) {
+        out += tag;
+        out += ' ' + d.path + ": " + fmt(d.baseline) + " -> " +
+               fmt(d.current);
+        if (d.hasBaseline && d.hasCurrent && d.baseline != 0.0)
+            out += " (" + formatDouble(d.relDelta * 100.0, 3) + "%)";
+        if (!d.rule.empty())
+            out += " [" + d.rule + ']';
+        out += '\n';
+    };
+    for (const MetricDiff &d : result.diffs)
+        if (d.status == DiffStatus::Regression)
+            line(d, "REGRESSION");
+        else if (d.status == DiffStatus::Missing)
+            out += "MISSING " + d.path + " [" + d.rule + "]\n";
+    for (const MetricDiff &d : result.diffs)
+        if (d.status == DiffStatus::Improved)
+            line(d, "improved");
+    out += "bench_diff: " + std::to_string(result.diffs.size()) +
+           " metrics, " + std::to_string(result.regressions) +
+           " regression(s), " +
+           std::to_string(result.improvements) +
+           " improvement(s)\n";
+    return out;
+}
+
+} // namespace mbbp::obs

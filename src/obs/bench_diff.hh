@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bench regression gate: compare two BENCH_*.json measurement files
+ * (baseline vs current), apply per-metric noise rules, and report
+ * which metrics regressed. This is offline tooling -- it runs in
+ * every build flavor, including MBBP_OBS=OFF, because it never
+ * touches the live registry; it only reads documents that
+ * perf_sweep already wrote.
+ *
+ * Both documents are flattened into dotted scalar paths
+ * ("modes[3].wallSeconds", "metrics.counters.engine.single.runs")
+ * and each path is judged by the first matching rule; paths with no
+ * rule are reported but can never fail the gate, so new metrics can
+ * land before the baseline is regenerated.
+ */
+
+#ifndef MBBP_OBS_BENCH_DIFF_HH
+#define MBBP_OBS_BENCH_DIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mbbp
+{
+class JsonValue;
+}
+
+namespace mbbp::obs
+{
+
+/** How a metric's movement maps to pass/fail. */
+enum class DiffDirection
+{
+    HigherBetter,   //!< fails when current < baseline * (1 - tol)
+    LowerBetter,    //!< fails when current > baseline * (1 + tol)
+    Exact,          //!< fails on any difference beyond tol
+    Ignore          //!< never fails (host-dependent noise)
+};
+
+const char *diffDirectionName(DiffDirection d);
+
+/**
+ * One gate rule: a glob over flattened paths ('*' matches any run of
+ * characters, dots included) plus a direction and a fractional noise
+ * tolerance. First matching rule wins, so order from specific to
+ * general.
+ */
+struct MetricRule
+{
+    std::string pattern;
+    DiffDirection dir = DiffDirection::Exact;
+    double tolerance = 0.0;
+};
+
+/** Verdict for one flattened path. */
+enum class DiffStatus
+{
+    Ok,             //!< within tolerance
+    Improved,       //!< moved beyond tolerance in the good direction
+    Regression,     //!< moved beyond tolerance in the bad direction
+    Missing,        //!< gated metric absent from current (fails)
+    Added,          //!< present only in current (informational)
+    Ignored,        //!< matched an Ignore rule
+    Info            //!< no rule matched (informational)
+};
+
+const char *diffStatusName(DiffStatus s);
+
+struct MetricDiff
+{
+    std::string path;
+    bool hasBaseline = false;
+    bool hasCurrent = false;
+    double baseline = 0.0;
+    double current = 0.0;
+    double relDelta = 0.0;      //!< (cur - base) / |base|, 0 if n/a
+    DiffStatus status = DiffStatus::Info;
+    std::string rule;           //!< matched pattern, empty if none
+};
+
+struct BenchDiffResult
+{
+    std::vector<MetricDiff> diffs;      //!< path-sorted
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+
+    bool hasRegression() const { return regressions != 0; }
+};
+
+/** '*'-glob match over a whole string (no implicit anchors needed --
+ *  the pattern must cover the full text). */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/**
+ * Flatten every number/bool scalar in @p doc to (dotted path, value)
+ * pairs in document order; strings are skipped (labels are not
+ * metrics). Bools flatten to 0/1 so Exact rules can gate them.
+ */
+std::vector<std::pair<std::string, double>>
+flattenScalars(const JsonValue &doc);
+
+/**
+ * The shipped gate policy for BENCH_perf_sweep.json: deterministic
+ * counters and result-shape fields are exact, decode-once speedups
+ * and the metrics overhead get generous noise bands (they are ratios
+ * of wall clocks on a shared CI box), and anything host-dependent --
+ * absolute wall clocks, thread speedup, pool scheduling counters,
+ * timer nanoseconds -- is ignored.
+ */
+std::vector<MetricRule> defaultPerfSweepRules();
+
+/**
+ * Rules from a JSON document of the form
+ *   { "rules": [ { "pattern": "...", "direction":
+ *     "higher_better|lower_better|exact|ignore",
+ *     "tolerance": 0.2 }, ... ] }
+ * Throws std::runtime_error on malformed input.
+ */
+std::vector<MetricRule> parseRules(const JsonValue &doc);
+
+/** Diff two parsed BENCH documents under @p rules. */
+BenchDiffResult diffBenchJson(const JsonValue &baseline,
+                              const JsonValue &current,
+                              const std::vector<MetricRule> &rules);
+
+/** Machine-readable report (path-sorted, byte-stable). */
+std::string benchDiffReportJson(const BenchDiffResult &result);
+
+/** Human-readable report: regressions first, then improvements,
+ *  then a one-line summary. */
+std::string benchDiffReportText(const BenchDiffResult &result);
+
+} // namespace mbbp::obs
+
+#endif // MBBP_OBS_BENCH_DIFF_HH

@@ -1,6 +1,7 @@
 #include "obs/obs.hh"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -50,6 +51,7 @@ struct Registry
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Timer>> timers;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
     std::vector<Span> spans;
 };
 
@@ -138,6 +140,63 @@ Timer::reset()
     }
 }
 
+void
+Histogram::add(const HistogramData &d)
+{
+    if (d.empty())
+        return;
+    // Bulk-merge into the calling thread's stripe; single-writer per
+    // stripe keeps the non-RMW bump() safe, same as Counter.
+    detail::HistStripe &s =
+        stripes_[detail::threadSlot() & (detail::kStripes - 1)];
+    for (unsigned b = 0; b < kHistogramBuckets; ++b)
+        if (d.buckets[b] != 0)
+            detail::bump(s.buckets[b], d.buckets[b]);
+    detail::bump(s.sum, d.sum);
+    if (d.max > s.max.load(std::memory_order_relaxed))
+        s.max.store(d.max, std::memory_order_relaxed);
+}
+
+HistogramSample
+Histogram::sample() const
+{
+    HistogramSample out;
+    out.name = name_;
+    for (const detail::HistStripe &s : stripes_) {
+        for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+            uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+            out.buckets[b] += n;
+            out.count += n;
+        }
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        uint64_t m = s.max.load(std::memory_order_relaxed);
+        if (m > out.max)
+            out.max = m;
+    }
+    return out;
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t n = 0;
+    for (const detail::HistStripe &s : stripes_)
+        for (unsigned b = 0; b < kHistogramBuckets; ++b)
+            n += s.buckets[b].load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+Histogram::reset()
+{
+    for (detail::HistStripe &s : stripes_) {
+        for (unsigned b = 0; b < kHistogramBuckets; ++b)
+            s.buckets[b].store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+    }
+}
+
 Counter &
 counter(const std::string &name)
 {
@@ -154,6 +213,12 @@ Timer &
 timer(const std::string &name)
 {
     return detail::lookup(detail::registry().timers, name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return detail::lookup(detail::registry().histograms, name);
 }
 
 uint64_t
@@ -200,6 +265,8 @@ snapshot()
         snap.gauges.push_back({ name, g->value(), g->peak() });
     for (const auto &[name, t] : r.timers)
         snap.timers.push_back({ name, t->calls(), t->totalNs() });
+    for (const auto &[name, h] : r.histograms)
+        snap.histograms.push_back(h->sample());
     return snap;
 }
 
@@ -214,6 +281,8 @@ resetAll()
         g->reset();
     for (auto &[name, t] : r.timers)
         t->reset();
+    for (auto &[name, h] : r.histograms)
+        h->reset();
     r.spans.clear();
 }
 
@@ -278,6 +347,13 @@ timer(const std::string &)
     return t;
 }
 
+Histogram &
+histogram(const std::string &)
+{
+    static Histogram h;
+    return h;
+}
+
 uint64_t
 nowNs()
 {
@@ -291,6 +367,32 @@ chromeTraceJson()
 }
 
 #endif // MBBP_OBS_DISABLED
+
+double
+HistogramSample::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            // The bucket's upper bound overestimates within the top
+            // bucket; the tracked exact max tightens it.
+            uint64_t bound = histogramBucketMax(b);
+            return static_cast<double>(bound < max ? bound : max);
+        }
+    }
+    return static_cast<double>(max);
+}
 
 void
 writeChromeTrace(const std::string &path)

@@ -28,13 +28,64 @@
 #ifndef MBBP_OBS_OBS_HH
 #define MBBP_OBS_OBS_HH
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace mbbp::obs
 {
+
+/**
+ * Histograms bucket values by magnitude: bucket 0 holds zeros and
+ * bucket b >= 1 holds [2^(b-1), 2^b). 65 buckets cover uint64_t.
+ */
+constexpr unsigned kHistogramBuckets = 65;
+
+/** The log2 bucket @p v lands in. */
+inline unsigned
+histogramBucket(uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v));
+}
+
+/** Inclusive upper bound of bucket @p b (the quantile estimate). */
+inline uint64_t
+histogramBucketMax(unsigned b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= 64)
+        return UINT64_MAX;
+    return (uint64_t{ 1 } << b) - 1;
+}
+
+/**
+ * Plain (non-atomic) histogram accumulator for hot paths: components
+ * record into a local HistogramData and publish once per run via
+ * obs::flushHistogram(), the same accumulate-then-flush discipline
+ * the counters use. Also the exchange format for merging.
+ */
+struct HistogramData
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    void record(uint64_t v)
+    {
+        ++count;
+        sum += v;
+        if (v > max)
+            max = v;
+        ++buckets[histogramBucket(v)];
+    }
+
+    bool empty() const { return count == 0; }
+};
 
 /** @{ One registry entry as seen by snapshot(). */
 struct CounterSample
@@ -56,6 +107,31 @@ struct TimerSample
     uint64_t calls = 0;
     uint64_t totalNs = 0;
 };
+
+struct HistogramSample
+{
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;       //!< exact largest recorded value
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    /**
+     * Quantile estimate from the log2 buckets: the upper bound of
+     * the bucket where the cumulative count crosses @p q, clamped to
+     * the exact max. Accurate to within a factor of two -- the right
+     * resolution for "is p99 an order of magnitude past p50".
+     */
+    double quantile(double q) const;
+
+    double mean() const
+    {
+        return count == 0
+                   ? 0.0
+                   : static_cast<double>(sum) /
+                         static_cast<double>(count);
+    }
+};
 /** @} */
 
 /** Name-sorted copy of every registered instrument. */
@@ -64,6 +140,7 @@ struct Snapshot
     std::vector<CounterSample> counters;
     std::vector<GaugeSample> gauges;
     std::vector<TimerSample> timers;
+    std::vector<HistogramSample> histograms;
 };
 
 #ifndef MBBP_OBS_DISABLED
@@ -88,6 +165,13 @@ struct alignas(64) TimerCell
 {
     std::atomic<uint64_t> calls{ 0 };
     std::atomic<uint64_t> ns{ 0 };
+};
+
+struct alignas(64) HistStripe
+{
+    std::atomic<uint64_t> buckets[kHistogramBuckets]{};
+    std::atomic<uint64_t> sum{ 0 };
+    std::atomic<uint64_t> max{ 0 };
 };
 
 /** Non-RMW striped bump: single-writer per stripe by construction. */
@@ -201,12 +285,51 @@ class Timer
     detail::TimerCell cells_[detail::kStripes];
 };
 
+/**
+ * Magnitude distribution: log2-bucketed counts plus exact sum and
+ * max, striped like Counter so concurrent record() calls touch only
+ * the calling thread's cache lines. Snapshots carry the merged
+ * buckets and derive p50/p90/p99 from them.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    void record(uint64_t v)
+    {
+        if (!enabled())
+            return;
+        detail::HistStripe &s =
+            stripes_[detail::threadSlot() & (detail::kStripes - 1)];
+        detail::bump(s.buckets[histogramBucket(v)], 1);
+        detail::bump(s.sum, v);
+        if (v > s.max.load(std::memory_order_relaxed))
+            s.max.store(v, std::memory_order_relaxed);
+    }
+
+    /** Bulk-merge a locally accumulated distribution (one stripe). */
+    void add(const HistogramData &d);
+
+    /** Merged view across all stripes. */
+    HistogramSample sample() const;
+
+    uint64_t count() const;
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    detail::HistStripe stripes_[detail::kStripes];
+};
+
 /** @{ Registry lookup: creates on first use, reference is stable for
  *  the process lifetime. Call sites should cache it in a
  *  function-local static. */
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Timer &timer(const std::string &name);
+Histogram &histogram(const std::string &name);
 /** @} */
 
 /**
@@ -220,6 +343,15 @@ flushCounter(const std::string &name, uint64_t n)
     if (!enabled() || n == 0)
         return;
     counter(name).add(n);
+}
+
+/** flushCounter's histogram sibling: one bulk merge per run. */
+inline void
+flushHistogram(const std::string &name, const HistogramData &d)
+{
+    if (!enabled() || d.empty())
+        return;
+    histogram(name).add(d);
 }
 
 /** Nanoseconds since the process-local epoch (steady clock). */
@@ -304,11 +436,24 @@ class Timer
     void reset() {}
 };
 
+class Histogram
+{
+  public:
+    void record(uint64_t) {}
+    void add(const HistogramData &) {}
+    HistogramSample sample() const { return {}; }
+    uint64_t count() const { return 0; }
+    void reset() {}
+};
+
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Timer &timer(const std::string &name);
+Histogram &histogram(const std::string &name);
 
 inline void flushCounter(const std::string &, uint64_t) {}
+inline void flushHistogram(const std::string &,
+                           const HistogramData &) {}
 
 uint64_t nowNs();
 

@@ -1,12 +1,14 @@
 #include "sweep/sweep_report.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "core/report.hh"
+#include "obs/attribution.hh"
 #include "obs/obs.hh"
 #include "util/json.hh"
 #include "util/number_format.hh"
@@ -121,6 +123,17 @@ csvStatsRow(std::string &out, const SweepJobResult &jr,
 namespace
 {
 
+/** 0x-prefixed lower-case hex, the offender table's address form. */
+std::string
+fmtHex(uint64_t v)
+{
+    char buf[16 + 1];
+    auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v, 16);
+    (void)ec;       // 17 bytes always fit a 64-bit hex value
+    return "0x" + std::string(buf, end);
+}
+
 /** The registry snapshot as the report's opt-in "metrics" block. */
 void
 writeMetricsJson(JsonWriter &w)
@@ -147,7 +160,46 @@ writeMetricsJson(JsonWriter &w)
         w.endObject();
     }
     w.endObject();
+    w.beginObject("histograms");
+    for (const obs::HistogramSample &h : snap.histograms) {
+        w.beginObject(h.name);
+        w.value("count", h.count);
+        w.value("sum", h.sum);
+        w.value("max", h.max);
+        w.value("mean", h.mean());
+        w.value("p50", h.quantile(0.50));
+        w.value("p90", h.quantile(0.90));
+        w.value("p99", h.quantile(0.99));
+        w.endObject();
+    }
     w.endObject();
+    w.endObject();
+}
+
+/** The offender table as the report's opt-in "attribution" array. */
+void
+writeAttributionJson(JsonWriter &w, unsigned top_n)
+{
+    std::vector<obs::AttributionRow> rows =
+        obs::attributionRows(top_n);
+    w.beginArray("attribution");
+    for (const obs::AttributionRow &r : rows) {
+        w.beginObject();
+        w.value("block", fmtHex(r.blockPc));
+        w.value("slot", uint64_t{ r.slot });
+        w.value("events", r.events);
+        w.value("cycles", r.cycles);
+        w.value("dominant", obs::lossCauseName(r.dominantCause()));
+        w.beginObject("causes");
+        for (std::size_t i = 0; i < obs::kNumLossCauses; ++i)
+            if (r.byCause[i] != 0)
+                w.value(obs::lossCauseName(
+                            static_cast<obs::LossCause>(i)),
+                        r.byCause[i]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
 }
 
 } // namespace
@@ -206,6 +258,8 @@ sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
     w.endArray();
     if (opts.metrics)
         writeMetricsJson(w);
+    if (opts.attributionTopN != 0)
+        writeAttributionJson(w, opts.attributionTopN);
     w.endObject();
     return w.str();
 }
@@ -240,6 +294,30 @@ sweepToCsv(const SweepResult &result, const SweepReportOptions &opts)
             for (const auto &[name, stats] : jr.result.perProgram)
                 csvStatsRow(out, jr, params, programScope(name),
                             stats, opts);
+    }
+    return out;
+}
+
+std::string
+attributionToCsv(unsigned top_n)
+{
+    std::string out = "block,slot,events,cycles,dominant";
+    for (std::size_t i = 0; i < obs::kNumLossCauses; ++i) {
+        out += ',';
+        out += obs::lossCauseName(static_cast<obs::LossCause>(i));
+    }
+    out += '\n';
+    for (const obs::AttributionRow &r :
+         obs::attributionRows(top_n)) {
+        out += fmtHex(r.blockPc);
+        out += ',' + std::to_string(r.slot);
+        out += ',' + std::to_string(r.events);
+        out += ',' + std::to_string(r.cycles);
+        out += ',';
+        out += obs::lossCauseName(r.dominantCause());
+        for (std::size_t i = 0; i < obs::kNumLossCauses; ++i)
+            out += ',' + std::to_string(r.byCause[i]);
+        out += '\n';
     }
     return out;
 }

@@ -32,12 +32,22 @@ struct SweepReportOptions
     bool timings = false;       //!< include per-job + wall seconds
 
     /**
-     * Append the obs registry snapshot (counters/gauges/timers) as a
-     * "metrics" object (JSON only). Off by default: values vary with
-     * thread count and host speed, and the byte-stability guarantee
-     * covers the default document.
+     * Append the obs registry snapshot (counters/gauges/timers/
+     * histograms) as a "metrics" object (JSON only). Off by default:
+     * values vary with thread count and host speed, and the
+     * byte-stability guarantee covers the default document.
      */
     bool metrics = false;
+
+    /**
+     * Append the top-N misprediction offenders from the attribution
+     * table as an "attribution" array (JSON only). 0 (the default)
+     * omits the block entirely, keeping the document byte-identical
+     * to pre-attribution reports. Rows are totally ordered (cycles
+     * desc, events desc, address asc, slot asc), so the output is
+     * thread-count-invariant.
+     */
+    unsigned attributionTopN = 0;
 };
 
 /** The whole sweep as a JSON document. */
@@ -47,6 +57,14 @@ std::string sweepToJson(const SweepResult &result,
 /** The whole sweep as CSV (header + data rows). */
 std::string sweepToCsv(const SweepResult &result,
                        const SweepReportOptions &opts = {});
+
+/**
+ * The attribution table's top @p top_n offenders (0 = all) as a
+ * standalone CSV document: one row per (block, exit slot) with the
+ * per-cause event split and the dominant cause. Deterministic order,
+ * same as the JSON block.
+ */
+std::string attributionToCsv(unsigned top_n);
 
 /**
  * Write @p content to @p path (or stdout when path is "-").

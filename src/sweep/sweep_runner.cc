@@ -58,6 +58,13 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
             slot.result = runSuite(jobs[i].config, traces, benchmarks,
                                    opts.sharedDecode);
             slot.seconds = secondsSince(job_start);
+            // Job-duration distribution: p99 vs p50 shows whether
+            // stragglers limit the pool (wall-clock shaped, so the
+            // bench gate ignores it).
+            static obs::Histogram &job_h =
+                obs::histogram("sweep.job_ns");
+            job_h.record(static_cast<uint64_t>(
+                slot.seconds * 1e9));
             if (opts.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 ++completed;

@@ -1,0 +1,314 @@
+/** @file Per-branch attribution tests: sink discipline, report
+ *  ordering, and the table == aggregate-FetchStats invariant across
+ *  every fetch engine. */
+
+#include "obs/attribution.hh"
+
+#include <gtest/gtest.h>
+
+#include "fetch/dual_block_engine.hh"
+#include "fetch/engine_common.hh"
+#include "fetch/multi_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+#include "fetch/two_ahead_engine.hh"
+#include "sweep/sweep_runner.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+using obs::LossCause;
+
+TEST(LossCause, NamesAreStableTokens)
+{
+    EXPECT_STREQ(obs::lossCauseName(LossCause::PhtDirection),
+                 "pht_direction");
+    EXPECT_STREQ(obs::lossCauseName(LossCause::BitType), "bit_type");
+    EXPECT_STREQ(obs::lossCauseName(LossCause::Target), "target");
+    EXPECT_STREQ(obs::lossCauseName(LossCause::Ras), "ras");
+    EXPECT_STREQ(obs::lossCauseName(LossCause::Select), "select");
+    EXPECT_STREQ(obs::lossCauseName(LossCause::Ghr), "ghr");
+}
+
+TEST(LossCause, DominantCausePicksMaxAndBreaksTiesLow)
+{
+    obs::AttributionRow row;
+    row.byCause[static_cast<std::size_t>(LossCause::Ras)] = 5;
+    row.byCause[static_cast<std::size_t>(LossCause::Select)] = 9;
+    EXPECT_EQ(row.dominantCause(), LossCause::Select);
+
+    obs::AttributionRow tie;
+    tie.byCause[static_cast<std::size_t>(LossCause::Target)] = 4;
+    tie.byCause[static_cast<std::size_t>(LossCause::Ghr)] = 4;
+    EXPECT_EQ(tie.dominantCause(), LossCause::Target);
+}
+
+TEST(LossCause, PenaltyKindsMapOntoCauses)
+{
+    EXPECT_EQ(lossCauseOf(PenaltyKind::CondMispredict),
+              LossCause::PhtDirection);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::ReturnMispredict),
+              LossCause::Ras);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::MisfetchIndirect),
+              LossCause::Target);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::MisfetchImmediate),
+              LossCause::Target);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::Misselect),
+              LossCause::Select);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::GhrMispredict),
+              LossCause::Ghr);
+    EXPECT_EQ(lossCauseOf(PenaltyKind::BitMispredict),
+              LossCause::BitType);
+}
+
+TEST(Attribution, MispredictEventsExcludeBankConflicts)
+{
+    FetchStats s;
+    s.charge(PenaltyKind::CondMispredict, 4);
+    s.charge(PenaltyKind::Misselect, 1);
+    s.charge(PenaltyKind::BankConflict, 1);
+    s.charge(PenaltyKind::BankConflict, 1);
+    EXPECT_EQ(mispredictEvents(s), 2u);
+}
+
+#ifndef MBBP_OBS_DISABLED
+
+/** Attribution off and empty before and after every test. */
+class Attr : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setAttributionEnabled(false);
+        obs::resetAttribution();
+    }
+
+    void TearDown() override
+    {
+        obs::setAttributionEnabled(false);
+        obs::resetAttribution();
+    }
+};
+
+TEST_F(Attr, DisabledSinkRecordsNothing)
+{
+    obs::AttributionSink sink;
+    EXPECT_FALSE(sink.enabled());
+    sink.record(0x1000, 0, LossCause::PhtDirection, 4);
+    sink.flush();
+    EXPECT_EQ(obs::attributedEvents(), 0u);
+    EXPECT_TRUE(obs::attributionRows(0).empty());
+}
+
+TEST_F(Attr, SinkCapturesTheSwitchAtConstruction)
+{
+    obs::AttributionSink sink;
+    obs::setAttributionEnabled(true);
+    // Enabled after construction: this run stays unattributed.
+    sink.record(0x1000, 0, LossCause::PhtDirection, 4);
+    sink.flush();
+    EXPECT_EQ(obs::attributedEvents(), 0u);
+}
+
+TEST_F(Attr, RecordFlushAndRowsRoundTrip)
+{
+    obs::setAttributionEnabled(true);
+    {
+        obs::AttributionSink sink;
+        ASSERT_TRUE(sink.enabled());
+        sink.record(0x1000, 0, LossCause::PhtDirection, 3);
+        sink.record(0x1000, 0, LossCause::PhtDirection, 3);
+        sink.record(0x2000, 1, LossCause::Ras, 7);
+        // Destructor flushes.
+    }
+    EXPECT_EQ(obs::attributedEvents(), 3u);
+    auto by_cause = obs::attributedEventsByCause();
+    EXPECT_EQ(
+        by_cause[static_cast<std::size_t>(LossCause::PhtDirection)],
+        2u);
+    EXPECT_EQ(by_cause[static_cast<std::size_t>(LossCause::Ras)],
+              1u);
+
+    std::vector<obs::AttributionRow> rows = obs::attributionRows(0);
+    ASSERT_EQ(rows.size(), 2u);
+    // Cycles-descending: 0x2000 (7 cycles) before 0x1000 (6).
+    EXPECT_EQ(rows[0].blockPc, 0x2000u);
+    EXPECT_EQ(rows[0].slot, 1u);
+    EXPECT_EQ(rows[0].events, 1u);
+    EXPECT_EQ(rows[0].cycles, 7u);
+    EXPECT_EQ(rows[0].dominantCause(), LossCause::Ras);
+    EXPECT_EQ(rows[1].blockPc, 0x1000u);
+    EXPECT_EQ(rows[1].events, 2u);
+    EXPECT_EQ(rows[1].cycles, 6u);
+
+    // top_n truncates after ordering.
+    EXPECT_EQ(obs::attributionRows(1).size(), 1u);
+    EXPECT_EQ(obs::attributionRows(1)[0].blockPc, 0x2000u);
+
+    obs::resetAttribution();
+    EXPECT_EQ(obs::attributedEvents(), 0u);
+    EXPECT_TRUE(obs::attributionRows(0).empty());
+}
+
+TEST_F(Attr, RowOrderBreaksTiesByEventsThenAddressThenSlot)
+{
+    obs::setAttributionEnabled(true);
+    obs::AttributionSink sink;
+    // All three sites cost 4 cycles total.
+    sink.record(0x3000, 0, LossCause::Select, 2);
+    sink.record(0x3000, 0, LossCause::Select, 2);   // 2 events
+    sink.record(0x2000, 1, LossCause::Select, 4);   // 1 event
+    sink.record(0x2000, 0, LossCause::Select, 4);   // 1 event
+    sink.flush();
+
+    std::vector<obs::AttributionRow> rows = obs::attributionRows(0);
+    ASSERT_EQ(rows.size(), 3u);
+    // More events first; then lower address; then lower slot.
+    EXPECT_EQ(rows[0].blockPc, 0x3000u);
+    EXPECT_EQ(rows[1].blockPc, 0x2000u);
+    EXPECT_EQ(rows[1].slot, 0u);
+    EXPECT_EQ(rows[2].blockPc, 0x2000u);
+    EXPECT_EQ(rows[2].slot, 1u);
+}
+
+TEST_F(Attr, SlotsAreMaskedIntoTheKey)
+{
+    obs::setAttributionEnabled(true);
+    obs::AttributionSink sink;
+    sink.record(0x4000, 9, LossCause::Ghr, 1);  // 9 & 7 == 1
+    sink.flush();
+    std::vector<obs::AttributionRow> rows = obs::attributionRows(0);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].blockPc, 0x4000u);
+    EXPECT_EQ(rows[0].slot, 1u);
+}
+
+/** The acceptance invariant: for any engine and trace, the table's
+ *  event total equals the aggregate FetchStats mispredict count, and
+ *  each cause bucket matches the corresponding penalty categories. */
+void
+expectTableMatchesStats(const FetchStats &s, const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(obs::attributedEvents(), mispredictEvents(s));
+
+    auto by_cause = obs::attributedEventsByCause();
+    auto ev = [&s](PenaltyKind k) {
+        return s.penaltyEvents[static_cast<std::size_t>(k)];
+    };
+    auto at = [&by_cause](LossCause c) {
+        return by_cause[static_cast<std::size_t>(c)];
+    };
+    EXPECT_EQ(at(LossCause::PhtDirection),
+              ev(PenaltyKind::CondMispredict));
+    EXPECT_EQ(at(LossCause::Ras), ev(PenaltyKind::ReturnMispredict));
+    EXPECT_EQ(at(LossCause::Target),
+              ev(PenaltyKind::MisfetchIndirect) +
+                  ev(PenaltyKind::MisfetchImmediate));
+    EXPECT_EQ(at(LossCause::Select), ev(PenaltyKind::Misselect));
+    EXPECT_EQ(at(LossCause::Ghr), ev(PenaltyKind::GhrMispredict));
+    EXPECT_EQ(at(LossCause::BitType),
+              ev(PenaltyKind::BitMispredict));
+}
+
+TEST_F(Attr, EveryEngineAttributesExactlyItsMispredicts)
+{
+    obs::setAttributionEnabled(true);
+    constexpr std::size_t kInsts = 40000;
+    for (const char *bench : { "gcc", "compress" }) {
+        InMemoryTrace t = specTrace(bench, kInsts);
+
+        struct Case
+        {
+            const char *label;
+            FetchStats stats;
+        };
+        std::vector<Case> cases;
+
+        FetchEngineConfig cfg;
+        cases.push_back(
+            { "single", SingleBlockEngine(cfg).run(t) });
+        cases.push_back({ "dual", DualBlockEngine(cfg).run(t) });
+        FetchEngineConfig dsel = cfg;
+        dsel.doubleSelect = true;
+        cases.push_back(
+            { "dual+doubleSelect", DualBlockEngine(dsel).run(t) });
+        cases.push_back(
+            { "multi-3", MultiBlockEngine(cfg, 3).run(t) });
+        cases.push_back(
+            { "two-ahead", TwoAheadEngine(cfg).run(t) });
+
+        // Each engine flushed its sink at end of run; the runs above
+        // accumulate into one table, so check incrementally.
+        uint64_t expected_events = 0;
+        FetchStats combined;
+        for (const Case &c : cases) {
+            expected_events += mispredictEvents(c.stats);
+            for (unsigned k = 0; k < numPenaltyKinds; ++k) {
+                combined.penaltyEvents[k] += c.stats.penaltyEvents[k];
+                combined.penaltyCycles[k] += c.stats.penaltyCycles[k];
+            }
+            SCOPED_TRACE(bench);
+            SCOPED_TRACE(c.label);
+            EXPECT_GT(mispredictEvents(c.stats), 0u)
+                << "trace too tame to exercise attribution";
+        }
+        {
+            SCOPED_TRACE(bench);
+            expectTableMatchesStats(combined, "all engines");
+        }
+        obs::resetAttribution();
+    }
+}
+
+TEST_F(Attr, SweepMergesAreThreadCountInvariant)
+{
+    obs::setAttributionEnabled(true);
+    SweepSpec spec;
+    spec.setName("attr-determinism");
+    spec.setBenchmarks({ "gcc", "compress" });
+    spec.addAxis("numBlocks", { "1", "2" });
+    TraceCache traces(6000);
+
+    SweepOptions serial;
+    serial.threads = 1;
+    runSweep(spec, traces, serial);
+    std::vector<obs::AttributionRow> rows1 = obs::attributionRows(0);
+    ASSERT_FALSE(rows1.empty());
+
+    obs::resetAttribution();
+    SweepOptions wide;
+    wide.threads = 4;
+    runSweep(spec, traces, wide);
+    std::vector<obs::AttributionRow> rows4 = obs::attributionRows(0);
+
+    ASSERT_EQ(rows1.size(), rows4.size());
+    for (std::size_t i = 0; i < rows1.size(); ++i) {
+        EXPECT_EQ(rows1[i].blockPc, rows4[i].blockPc);
+        EXPECT_EQ(rows1[i].slot, rows4[i].slot);
+        EXPECT_EQ(rows1[i].events, rows4[i].events);
+        EXPECT_EQ(rows1[i].cycles, rows4[i].cycles);
+        EXPECT_EQ(rows1[i].byCause, rows4[i].byCause);
+    }
+}
+
+#else // MBBP_OBS_DISABLED
+
+TEST(Attr, CompiledOutAttributionIsInert)
+{
+    obs::setAttributionEnabled(true);
+    EXPECT_FALSE(obs::attributionEnabled());
+    obs::AttributionSink sink;
+    EXPECT_FALSE(sink.enabled());
+    sink.record(0x1000, 0, LossCause::PhtDirection, 4);
+    sink.flush();
+    EXPECT_EQ(obs::attributedEvents(), 0u);
+    EXPECT_TRUE(obs::attributionRows(0).empty());
+}
+
+#endif // MBBP_OBS_DISABLED
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,310 @@
+/** @file Bench regression gate tests: glob matching, document
+ *  flattening, rule judgment in both directions, and the report
+ *  writers. */
+
+#include "obs/bench_diff.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+using obs::DiffDirection;
+using obs::DiffStatus;
+using obs::MetricRule;
+
+TEST(GlobMatch, CoversWholeTextWithStars)
+{
+    EXPECT_TRUE(obs::globMatch("abc", "abc"));
+    EXPECT_FALSE(obs::globMatch("abc", "abcd"));
+    EXPECT_FALSE(obs::globMatch("abc", "ab"));
+    EXPECT_TRUE(obs::globMatch("*", ""));
+    EXPECT_TRUE(obs::globMatch("*", "anything.at[3].all"));
+    EXPECT_TRUE(obs::globMatch("modes[*].wallSeconds",
+                               "modes[3].wallSeconds"));
+    EXPECT_FALSE(obs::globMatch("modes[*].wallSeconds",
+                                "modes[3].threads"));
+    EXPECT_TRUE(obs::globMatch("metrics.counters.*",
+                               "metrics.counters.engine.dual.runs"));
+    // '*' crosses dots: one star spans whole dotted tails.
+    EXPECT_TRUE(obs::globMatch("a.*.z", "a.b.c.d.z"));
+    EXPECT_FALSE(obs::globMatch("a.*.z", "a.b.c.d.y"));
+    // Multiple stars backtrack; matching is case-sensitive.
+    EXPECT_TRUE(obs::globMatch("*Seconds*", "modes[0].wallSeconds"));
+    EXPECT_FALSE(obs::globMatch("*seconds*", "modes[0].wallSeconds"));
+    EXPECT_FALSE(obs::globMatch("*Seconds*x", "wallSeconds"));
+}
+
+TEST(FlattenScalars, WalksObjectsArraysAndBools)
+{
+    JsonValue doc = JsonValue::parse(R"({
+        "a": 1.5,
+        "nested": { "b": 2, "deep": { "c": 3 } },
+        "arr": [ 10, { "d": 11 } ],
+        "flag": true,
+        "label": "skipped",
+        "nothing": null
+    })");
+    auto flat = obs::flattenScalars(doc);
+    ASSERT_EQ(flat.size(), 6u);
+    EXPECT_EQ(flat[0].first, "a");
+    EXPECT_EQ(flat[0].second, 1.5);
+    EXPECT_EQ(flat[1].first, "nested.b");
+    EXPECT_EQ(flat[2].first, "nested.deep.c");
+    EXPECT_EQ(flat[3].first, "arr[0]");
+    EXPECT_EQ(flat[3].second, 10.0);
+    EXPECT_EQ(flat[4].first, "arr[1].d");
+    EXPECT_EQ(flat[5].first, "flag");
+    EXPECT_EQ(flat[5].second, 1.0);     // bools gate as 0/1
+}
+
+/** Find one path's verdict in a diff result. */
+const obs::MetricDiff *
+diffFor(const obs::BenchDiffResult &r, const std::string &path)
+{
+    for (const auto &d : r.diffs)
+        if (d.path == path)
+            return &d;
+    return nullptr;
+}
+
+obs::BenchDiffResult
+diffDocs(const std::string &baseline, const std::string &current,
+         const std::vector<MetricRule> &rules)
+{
+    return obs::diffBenchJson(JsonValue::parse(baseline),
+                              JsonValue::parse(current), rules);
+}
+
+TEST(BenchDiff, ExactRuleFailsOnAnyDrift)
+{
+    std::vector<MetricRule> rules = {
+        { "count", DiffDirection::Exact, 0.0 },
+    };
+    EXPECT_FALSE(diffDocs(R"({"count": 7})", R"({"count": 7})", rules)
+                     .hasRegression());
+    obs::BenchDiffResult r =
+        diffDocs(R"({"count": 7})", R"({"count": 8})", rules);
+    EXPECT_TRUE(r.hasRegression());
+    ASSERT_NE(diffFor(r, "count"), nullptr);
+    EXPECT_EQ(diffFor(r, "count")->status, DiffStatus::Regression);
+}
+
+TEST(BenchDiff, HigherBetterToleratesNoiseBothWays)
+{
+    std::vector<MetricRule> rules = {
+        { "speedup", DiffDirection::HigherBetter, 0.20 },
+    };
+    // Within the band either way: Ok.
+    EXPECT_EQ(
+        diffFor(diffDocs(R"({"speedup": 2.0})", R"({"speedup": 1.7})",
+                         rules),
+                "speedup")
+            ->status,
+        DiffStatus::Ok);
+    // Below baseline * (1 - tol): Regression.
+    obs::BenchDiffResult worse = diffDocs(R"({"speedup": 2.0})",
+                                          R"({"speedup": 1.5})",
+                                          rules);
+    EXPECT_EQ(diffFor(worse, "speedup")->status,
+              DiffStatus::Regression);
+    EXPECT_EQ(worse.regressions, 1u);
+    EXPECT_LT(diffFor(worse, "speedup")->relDelta, 0.0);
+    // Above baseline * (1 + tol): Improved, never fails.
+    obs::BenchDiffResult better = diffDocs(R"({"speedup": 2.0})",
+                                           R"({"speedup": 2.6})",
+                                           rules);
+    EXPECT_EQ(diffFor(better, "speedup")->status,
+              DiffStatus::Improved);
+    EXPECT_FALSE(better.hasRegression());
+    EXPECT_EQ(better.improvements, 1u);
+}
+
+TEST(BenchDiff, LowerBetterIsTheMirrorImage)
+{
+    std::vector<MetricRule> rules = {
+        { "overhead", DiffDirection::LowerBetter, 0.10 },
+    };
+    EXPECT_EQ(diffFor(diffDocs(R"({"overhead": 1.0})",
+                               R"({"overhead": 1.2})", rules),
+                      "overhead")
+                  ->status,
+              DiffStatus::Regression);
+    EXPECT_EQ(diffFor(diffDocs(R"({"overhead": 1.0})",
+                               R"({"overhead": 0.8})", rules),
+                      "overhead")
+                  ->status,
+              DiffStatus::Improved);
+}
+
+TEST(BenchDiff, FirstMatchingRuleWins)
+{
+    std::vector<MetricRule> rules = {
+        { "m.wall", DiffDirection::Ignore, 0.0 },
+        { "m.*", DiffDirection::Exact, 0.0 },
+    };
+    obs::BenchDiffResult r =
+        diffDocs(R"({"m": {"wall": 1, "jobs": 4}})",
+                 R"({"m": {"wall": 99, "jobs": 4}})", rules);
+    EXPECT_FALSE(r.hasRegression());
+    EXPECT_EQ(diffFor(r, "m.wall")->status, DiffStatus::Ignored);
+    EXPECT_EQ(diffFor(r, "m.wall")->rule, "m.wall");
+    EXPECT_EQ(diffFor(r, "m.jobs")->status, DiffStatus::Ok);
+    EXPECT_EQ(diffFor(r, "m.jobs")->rule, "m.*");
+}
+
+TEST(BenchDiff, MissingGatedMetricIsARegression)
+{
+    std::vector<MetricRule> rules = {
+        { "gone", DiffDirection::Exact, 0.0 },
+    };
+    obs::BenchDiffResult r =
+        diffDocs(R"({"gone": 1, "kept": 2})", R"({"kept": 2})",
+                 rules);
+    EXPECT_TRUE(r.hasRegression());
+    ASSERT_NE(diffFor(r, "gone"), nullptr);
+    EXPECT_EQ(diffFor(r, "gone")->status, DiffStatus::Missing);
+    EXPECT_FALSE(diffFor(r, "gone")->hasCurrent);
+    // Unruled metrics never gate, present or not.
+    EXPECT_EQ(diffFor(r, "kept")->status, DiffStatus::Info);
+}
+
+TEST(BenchDiff, NewMetricsAreInformationalOnly)
+{
+    std::vector<MetricRule> rules = {
+        { "*", DiffDirection::Exact, 0.0 },
+    };
+    obs::BenchDiffResult r =
+        diffDocs(R"({"old": 1})", R"({"old": 1, "new": 5})", rules);
+    EXPECT_FALSE(r.hasRegression());
+    ASSERT_NE(diffFor(r, "new"), nullptr);
+    EXPECT_EQ(diffFor(r, "new")->status, DiffStatus::Added);
+    EXPECT_FALSE(diffFor(r, "new")->hasBaseline);
+}
+
+TEST(BenchDiff, DefaultRulesGateACraftedPerfSweepDoc)
+{
+    // A miniature BENCH_perf_sweep.json shape: deterministic fields
+    // exact, wall clocks free, speedups banded.
+    const std::string baseline = R"({
+        "jobs": 16, "byteIdentical": true,
+        "hardwareThreads": 8,
+        "modes": [ { "threads": 1, "wallSeconds": 2.0 } ],
+        "decodeOnceSpeedup1T": 2.0,
+        "threadSpeedupShared": 3.5,
+        "metrics": { "counters": { "engine.single.runs": 64,
+                                   "sweep.pool.steal": 17 },
+                     "timers": { "sweep.job": { "calls": 64,
+                                                "totalNs": 5 } } }
+    })";
+    const std::string current = R"({
+        "jobs": 16, "byteIdentical": true,
+        "hardwareThreads": 2,
+        "modes": [ { "threads": 1, "wallSeconds": 9.0 } ],
+        "decodeOnceSpeedup1T": 0.9,
+        "threadSpeedupShared": 1.1,
+        "metrics": { "counters": { "engine.single.runs": 65,
+                                   "sweep.pool.steal": 99 },
+                     "timers": { "sweep.job": { "calls": 64,
+                                                "totalNs": 9999 } } }
+    })";
+    obs::BenchDiffResult r =
+        diffDocs(baseline, current, obs::defaultPerfSweepRules());
+
+    // Regressions: the speedup collapse and the counter drift.
+    EXPECT_EQ(diffFor(r, "decodeOnceSpeedup1T")->status,
+              DiffStatus::Regression);
+    EXPECT_EQ(
+        diffFor(r, "metrics.counters.engine.single.runs")->status,
+        DiffStatus::Regression);
+    // Host-dependent noise never gates.
+    EXPECT_EQ(diffFor(r, "hardwareThreads")->status,
+              DiffStatus::Ignored);
+    EXPECT_EQ(diffFor(r, "modes[0].wallSeconds")->status,
+              DiffStatus::Ignored);
+    EXPECT_EQ(diffFor(r, "threadSpeedupShared")->status,
+              DiffStatus::Ignored);
+    EXPECT_EQ(diffFor(r, "metrics.counters.sweep.pool.steal")->status,
+              DiffStatus::Ignored);
+    EXPECT_EQ(diffFor(r, "metrics.timers.sweep.job.totalNs")->status,
+              DiffStatus::Ignored);
+    // Shape fields stayed exact.
+    EXPECT_EQ(diffFor(r, "jobs")->status, DiffStatus::Ok);
+    EXPECT_EQ(diffFor(r, "byteIdentical")->status, DiffStatus::Ok);
+    EXPECT_EQ(r.regressions, 2u);
+}
+
+TEST(BenchDiff, SelfDiffIsAlwaysClean)
+{
+    const std::string doc = R"({
+        "jobs": 4, "decodeOnceSpeedup1T": 1.8,
+        "metrics": { "counters": { "a.b": 3 } }
+    })";
+    obs::BenchDiffResult r =
+        diffDocs(doc, doc, obs::defaultPerfSweepRules());
+    EXPECT_FALSE(r.hasRegression());
+    EXPECT_EQ(r.improvements, 0u);
+    for (const auto &d : r.diffs)
+        EXPECT_NE(d.status, DiffStatus::Regression) << d.path;
+}
+
+TEST(BenchDiff, ParseRulesRoundTripsAndValidates)
+{
+    JsonValue doc = JsonValue::parse(R"({ "rules": [
+        { "pattern": "a.*", "direction": "higher_better",
+          "tolerance": 0.25 },
+        { "pattern": "b", "direction": "ignore" },
+        { "pattern": "c", "direction": "exact" },
+        { "pattern": "d", "direction": "lower_better",
+          "tolerance": 0.5 }
+    ] })");
+    std::vector<MetricRule> rules = obs::parseRules(doc);
+    ASSERT_EQ(rules.size(), 4u);
+    EXPECT_EQ(rules[0].pattern, "a.*");
+    EXPECT_EQ(rules[0].dir, DiffDirection::HigherBetter);
+    EXPECT_DOUBLE_EQ(rules[0].tolerance, 0.25);
+    EXPECT_EQ(rules[1].dir, DiffDirection::Ignore);
+    EXPECT_EQ(rules[2].dir, DiffDirection::Exact);
+    EXPECT_EQ(rules[3].dir, DiffDirection::LowerBetter);
+
+    EXPECT_THROW(obs::parseRules(JsonValue::parse(R"({"x": 1})")),
+                 std::runtime_error);
+    EXPECT_THROW(obs::parseRules(JsonValue::parse(
+                     R"({"rules": [ { "direction": "exact" } ]})")),
+                 std::runtime_error);
+    EXPECT_THROW(obs::parseRules(JsonValue::parse(
+                     R"({"rules": [ { "pattern": "p",
+                                      "direction": "sideways" } ]})")),
+                 std::runtime_error);
+}
+
+TEST(BenchDiff, ReportsAreStableAndParseable)
+{
+    std::vector<MetricRule> rules = {
+        { "up", DiffDirection::HigherBetter, 0.1 },
+        { "n", DiffDirection::Exact, 0.0 },
+    };
+    obs::BenchDiffResult r = diffDocs(R"({"up": 2.0, "n": 3})",
+                                      R"({"up": 1.0, "n": 3})",
+                                      rules);
+    std::string json = obs::benchDiffReportJson(r);
+    EXPECT_EQ(json, obs::benchDiffReportJson(r));    // byte-stable
+
+    JsonValue parsed = JsonValue::parse(json);
+    ASSERT_TRUE(parsed.isObject());
+    ASSERT_NE(parsed.find("regressions"), nullptr);
+    EXPECT_EQ(parsed.find("regressions")->asNumber(), 1.0);
+    ASSERT_NE(parsed.find("diffs"), nullptr);
+    EXPECT_TRUE(parsed.find("diffs")->isArray());
+
+    std::string text = obs::benchDiffReportText(r);
+    EXPECT_NE(text.find("up"), std::string::npos);
+    EXPECT_NE(text.find("regression"), std::string::npos);
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,287 @@
+/** @file Histogram metric tests: bucket math, quantiles, striping,
+ *  the accumulate-then-flush discipline, and snapshot plumbing. */
+
+#include "obs/obs.hh"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbbp
+{
+namespace
+{
+
+/** Every test starts and ends with a quiet, empty registry. */
+class Histo : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(false);
+        obs::resetAll();
+    }
+
+    void TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::resetAll();
+    }
+};
+
+TEST_F(Histo, BucketIndexIsLogTwoMagnitude)
+{
+    // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b).
+    EXPECT_EQ(obs::histogramBucket(0), 0u);
+    EXPECT_EQ(obs::histogramBucket(1), 1u);
+    EXPECT_EQ(obs::histogramBucket(2), 2u);
+    EXPECT_EQ(obs::histogramBucket(3), 2u);
+    EXPECT_EQ(obs::histogramBucket(4), 3u);
+    EXPECT_EQ(obs::histogramBucket(7), 3u);
+    EXPECT_EQ(obs::histogramBucket(8), 4u);
+    EXPECT_EQ(obs::histogramBucket(255), 8u);
+    EXPECT_EQ(obs::histogramBucket(256), 9u);
+    EXPECT_EQ(obs::histogramBucket(UINT64_MAX), 64u);
+    // 65 buckets cover the whole range.
+    EXPECT_LT(obs::histogramBucket(UINT64_MAX),
+              obs::kHistogramBuckets);
+}
+
+TEST_F(Histo, BucketMaxIsInclusiveUpperBound)
+{
+    EXPECT_EQ(obs::histogramBucketMax(0), 0u);
+    EXPECT_EQ(obs::histogramBucketMax(1), 1u);
+    EXPECT_EQ(obs::histogramBucketMax(2), 3u);
+    EXPECT_EQ(obs::histogramBucketMax(3), 7u);
+    EXPECT_EQ(obs::histogramBucketMax(10), 1023u);
+    EXPECT_EQ(obs::histogramBucketMax(64), UINT64_MAX);
+    // Every value lands in the bucket whose bound covers it.
+    for (uint64_t v : { 0ull, 1ull, 5ull, 100ull, 65536ull }) {
+        unsigned b = obs::histogramBucket(v);
+        EXPECT_LE(v, obs::histogramBucketMax(b));
+        if (b > 0) {
+            EXPECT_GT(v, obs::histogramBucketMax(b - 1));
+        }
+    }
+}
+
+TEST_F(Histo, HistogramDataAccumulatesLocally)
+{
+    obs::HistogramData d;
+    EXPECT_TRUE(d.empty());
+    d.record(0);
+    d.record(3);
+    d.record(1000);
+    EXPECT_FALSE(d.empty());
+    EXPECT_EQ(d.count, 3u);
+    EXPECT_EQ(d.sum, 1003u);
+    EXPECT_EQ(d.max, 1000u);
+    EXPECT_EQ(d.buckets[0], 1u);
+    EXPECT_EQ(d.buckets[obs::histogramBucket(3)], 1u);
+    EXPECT_EQ(d.buckets[obs::histogramBucket(1000)], 1u);
+}
+
+TEST_F(Histo, EmptySampleQuantilesAreZero)
+{
+    obs::HistogramSample s;
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.quantile(0.99), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST_F(Histo, QuantileReturnsBucketBoundClampedToMax)
+{
+    obs::HistogramSample s;
+    obs::HistogramData d;
+    for (uint64_t v = 1; v <= 100; ++v)
+        d.record(v);
+    s.count = d.count;
+    s.sum = d.sum;
+    s.max = d.max;
+    s.buckets = d.buckets;
+
+    // rank 50 falls in bucket 6 ([32, 64), cumulative 63): the
+    // estimate is that bucket's inclusive bound.
+    EXPECT_EQ(s.quantile(0.50), 63.0);
+    // High quantiles land in the last occupied bucket, whose bound
+    // (127) clamps to the exact recorded max.
+    EXPECT_EQ(s.quantile(0.90), 100.0);
+    EXPECT_EQ(s.quantile(0.99), 100.0);
+    EXPECT_EQ(s.quantile(1.00), 100.0);
+    // Below-range q clamps to the first recorded value's bucket.
+    EXPECT_EQ(s.quantile(0.0), 1.0);
+    EXPECT_EQ(s.quantile(-3.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5050.0 / 100.0);
+}
+
+TEST_F(Histo, QuantileOfAllZerosIsZero)
+{
+    obs::HistogramSample s;
+    s.count = 5;
+    s.buckets[0] = 5;
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.quantile(0.99), 0.0);
+}
+
+#ifndef MBBP_OBS_DISABLED
+
+/** Registry lookup in a snapshot: registrations persist for the
+ *  process lifetime, so tests must key on their own names rather
+ *  than assume an otherwise-empty registry. */
+const obs::HistogramSample *
+findHist(const obs::Snapshot &snap, const std::string &name)
+{
+    for (const auto &h : snap.histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+TEST_F(Histo, DisabledRecordIsDropped)
+{
+    obs::Histogram &h = obs::histogram("test.hist.disabled");
+    h.record(42);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(Histo, RecordSampleRoundTrips)
+{
+    obs::setEnabled(true);
+    obs::Histogram &h = obs::histogram("test.hist.basic");
+    h.record(0);
+    h.record(1);
+    h.record(6);
+    h.record(100000);
+    obs::HistogramSample s = h.sample();
+    EXPECT_EQ(s.name, "test.hist.basic");
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(s.sum, 100007u);
+    EXPECT_EQ(s.max, 100000u);
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[obs::histogramBucket(6)], 1u);
+    EXPECT_EQ(s.buckets[obs::histogramBucket(100000)], 1u);
+}
+
+TEST_F(Histo, BulkAddMergesADistribution)
+{
+    obs::setEnabled(true);
+    obs::Histogram &h = obs::histogram("test.hist.add");
+    h.record(5);
+
+    obs::HistogramData d;
+    d.record(5);
+    d.record(200);
+    h.add(d);
+
+    obs::HistogramSample s = h.sample();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.sum, 210u);
+    EXPECT_EQ(s.max, 200u);
+    EXPECT_EQ(s.buckets[obs::histogramBucket(5)], 2u);
+}
+
+TEST_F(Histo, FlushHistogramSkipsDisabledAndEmpty)
+{
+    obs::HistogramData d;
+    d.record(7);
+
+    // Disabled: nothing registers under this name.
+    obs::flushHistogram("test.hist.flush", d);
+    EXPECT_EQ(findHist(obs::snapshot(), "test.hist.flush"), nullptr);
+
+    // Enabled but empty: still nothing.
+    obs::setEnabled(true);
+    obs::flushHistogram("test.hist.flush", obs::HistogramData{});
+    EXPECT_EQ(findHist(obs::snapshot(), "test.hist.flush"), nullptr);
+
+    // Enabled and non-empty: one merge.
+    obs::flushHistogram("test.hist.flush", d);
+    obs::Snapshot snap = obs::snapshot();
+    const obs::HistogramSample *s =
+        findHist(snap, "test.hist.flush");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->count, 1u);
+    EXPECT_EQ(s->sum, 7u);
+}
+
+TEST_F(Histo, SnapshotSortsHistogramsByName)
+{
+    obs::setEnabled(true);
+    obs::histogram("test.hist.zz").record(1);
+    obs::histogram("test.hist.aa").record(2);
+    obs::histogram("test.hist.mm").record(3);
+    obs::Snapshot snap = obs::snapshot();
+    ASSERT_NE(findHist(snap, "test.hist.aa"), nullptr);
+    ASSERT_NE(findHist(snap, "test.hist.mm"), nullptr);
+    ASSERT_NE(findHist(snap, "test.hist.zz"), nullptr);
+    EXPECT_TRUE(std::is_sorted(
+        snap.histograms.begin(), snap.histograms.end(),
+        [](const auto &a, const auto &b) { return a.name < b.name; }));
+}
+
+TEST_F(Histo, ResetZeroesEverything)
+{
+    obs::setEnabled(true);
+    obs::Histogram &h = obs::histogram("test.hist.reset");
+    h.record(9);
+    h.record(1 << 20);
+    h.reset();
+    obs::HistogramSample s = h.sample();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.max, 0u);
+
+    h.record(3);
+    obs::resetAll();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(Histo, StripedRecordsSurviveManyThreads)
+{
+    obs::setEnabled(true);
+    obs::Histogram &h = obs::histogram("test.hist.threads");
+    constexpr unsigned kThreads = 8;    // < kStripes: counts exact
+    constexpr uint64_t kPerThread = 5000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t)
+        workers.emplace_back([&h] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                h.record(i & 1023);
+        });
+    for (auto &w : workers)
+        w.join();
+
+    obs::HistogramSample s = h.sample();
+    EXPECT_EQ(s.count, kThreads * kPerThread);
+    EXPECT_EQ(s.max, 1023u);
+    // Each thread records the same value set, so the merged sum is
+    // exactly kThreads times one thread's.
+    uint64_t one = 0;
+    for (uint64_t i = 0; i < kPerThread; ++i)
+        one += i & 1023;
+    EXPECT_EQ(s.sum, kThreads * one);
+}
+
+#else // MBBP_OBS_DISABLED
+
+TEST_F(Histo, CompiledOutLayerIsInert)
+{
+    obs::Histogram &h = obs::histogram("test.hist.off");
+    obs::setEnabled(true);      // must stay off
+    h.record(42);
+    obs::HistogramData d;
+    d.record(7);
+    h.add(d);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sample().count, 0u);
+    obs::flushHistogram("test.hist.off", d);
+    EXPECT_TRUE(obs::snapshot().histograms.empty());
+}
+
+#endif // MBBP_OBS_DISABLED
+
+} // namespace
+} // namespace mbbp

@@ -2,6 +2,10 @@
 
 #include "obs/obs.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -187,6 +191,54 @@ TEST_F(Obs, ChromeTraceIsValidJson)
 #else
     EXPECT_EQ(events->size(), 0u);
 #endif
+}
+
+TEST_F(Obs, ChromeTraceFileRoundTripsThroughTheParser)
+{
+    // --trace-out writes via writeChromeTrace: parse the FILE back
+    // through JsonValue, with labels chosen to catch escaping and
+    // trailing-comma bugs that a string-level check can miss.
+    obs::setEnabled(true);
+    obs::setTracing(true);
+    obs::Timer &t = obs::timer("test.trace.file");
+    {
+        obs::ScopedTimer a(t, "back\\slash");
+        obs::ScopedTimer b(t, "multi\nline\ttabbed");
+        obs::ScopedTimer c(t, "quoted \"name\" {with, commas}");
+    }
+
+    std::string path =
+        ::testing::TempDir() + "mbbp_obs_trace_roundtrip.json";
+    obs::writeChromeTrace(path);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc = JsonValue::parse(ss.str());
+
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+#ifndef MBBP_OBS_DISABLED
+    ASSERT_EQ(events->size(), 3u);
+    // The awkward labels must survive the write/parse cycle intact.
+    std::vector<std::string> names;
+    for (const JsonValue &e : events->items())
+        names.push_back(e.find("name")->asString());
+    std::sort(names.begin(), names.end());
+    std::vector<std::string> expected = {
+        "back\\slash",
+        "multi\nline\ttabbed",
+        "quoted \"name\" {with, commas}",
+    };
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(names, expected);
+#else
+    EXPECT_EQ(events->size(), 0u);
+#endif
+    std::remove(path.c_str());
 }
 
 TEST_F(Obs, TracingOffRecordsNoSpans)

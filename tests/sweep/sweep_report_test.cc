@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/attribution.hh"
 #include "obs/obs.hh"
 #include "util/json.hh"
 
@@ -156,6 +157,55 @@ TEST(SweepJson, MetricsBlockIsOptIn)
     EXPECT_NE(metrics->find("counters"), nullptr);
     EXPECT_NE(metrics->find("gauges"), nullptr);
     EXPECT_NE(metrics->find("timers"), nullptr);
+}
+
+TEST(SweepJson, AttributionBlockIsOptInAndBytePreserving)
+{
+    SweepResult result =
+        oneJobResult({}, { { "gcc", FetchStats{} } });
+
+    // Populate the attribution table: a default report must still be
+    // byte-identical to one produced with an empty table, because
+    // attributionTopN == 0 omits the block entirely.
+    std::string before = sweepToJson(result, {});
+#ifndef MBBP_OBS_DISABLED
+    obs::setAttributionEnabled(true);
+    {
+        obs::AttributionSink sink;
+        sink.record(0x1f80, 1, obs::LossCause::Select, 5);
+        sink.record(0x2000, 0, obs::LossCause::PhtDirection, 4);
+    }
+    obs::setAttributionEnabled(false);
+#endif
+    EXPECT_EQ(sweepToJson(result, {}), before);
+    EXPECT_EQ(JsonValue::parse(before).find("attribution"), nullptr);
+
+    SweepReportOptions opts;
+    opts.attributionTopN = 10;
+    JsonValue doc = JsonValue::parse(sweepToJson(result, opts));
+    const JsonValue *attr = doc.find("attribution");
+    ASSERT_NE(attr, nullptr);
+    ASSERT_TRUE(attr->isArray());
+#ifndef MBBP_OBS_DISABLED
+    ASSERT_EQ(attr->size(), 2u);
+    // Cycles-descending: the select-loss site leads.
+    const JsonValue &top = attr->items()[0];
+    EXPECT_EQ(top.find("block")->asString(), "0x1f80");
+    EXPECT_DOUBLE_EQ(top.find("slot")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(top.find("cycles")->asNumber(), 5.0);
+    EXPECT_EQ(top.find("dominant")->asString(), "select");
+
+    // The standalone CSV shows the same rows in the same order.
+    std::string csv = attributionToCsv(10);
+    auto rows = parseCsv(csv);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0], "block");
+    EXPECT_EQ(rows[1][0], "0x1f80");
+    EXPECT_EQ(rows[2][0], "0x2000");
+    obs::resetAttribution();
+#else
+    EXPECT_EQ(attr->size(), 0u);
+#endif
 }
 
 TEST(SweepJson, EngineCountersReachTheMetricsBlock)

@@ -3,10 +3,16 @@
 #include "sweep/sweep_runner.hh"
 
 #include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/bench_diff.hh"
+#include "obs/obs.hh"
 #include "sweep/sweep_report.hh"
+#include "util/json.hh"
 
 namespace mbbp
 {
@@ -113,6 +119,71 @@ TEST(SweepRunner, WorkerExceptionsPropagateToTheCaller)
     EXPECT_THROW(runSweep(smallSpec(), traces, opts),
                  std::runtime_error);
 }
+
+#ifndef MBBP_OBS_DISABLED
+
+/** The "counters" subobject of a metrics-bearing report, filtered to
+ *  the per-run-deterministic engine and predictor counts. Timers,
+ *  pool scheduling counters and the trace cache's build counts are
+ *  wall-clock or warmup shaped, so reset hygiene is asserted on the
+ *  simulation counters only. */
+std::vector<std::pair<std::string, double>>
+reportSimCounters(const SweepResult &r)
+{
+    SweepReportOptions with_metrics;
+    with_metrics.metrics = true;
+    JsonValue doc = JsonValue::parse(sweepToJson(r, with_metrics));
+    const JsonValue *metrics = doc.find("metrics");
+    if (metrics == nullptr)
+        return {};
+    const JsonValue *counters = metrics->find("counters");
+    if (counters == nullptr)
+        return {};
+    std::vector<std::pair<std::string, double>> sim;
+    for (auto &[name, v] : obs::flattenScalars(*counters))
+        if (name.rfind("engine.", 0) == 0 ||
+            name.rfind("predict.", 0) == 0)
+            sim.emplace_back(name, v);
+    return sim;
+}
+
+TEST(SweepRunner, RegistryResetBetweenRunsKeepsMetricsFresh)
+{
+    // Two identical runs with an obs::resetAll() between them must
+    // report identical counters: stale counts from the first run
+    // must not leak into the second report's metrics block. A third
+    // run WITHOUT the reset shows the leak this hygiene prevents.
+    TraceCache traces(kInsts);
+    SweepOptions serial;    // one thread: pool counters deterministic
+    serial.threads = 1;
+
+    obs::resetAll();
+    obs::setEnabled(true);
+    SweepResult r1 = runSweep(smallSpec(), traces, serial);
+    auto counters1 = reportSimCounters(r1);
+    ASSERT_FALSE(counters1.empty());
+
+    obs::resetAll();
+    SweepResult r2 = runSweep(smallSpec(), traces, serial);
+    auto counters2 = reportSimCounters(r2);
+    EXPECT_EQ(counters1, counters2);
+
+    // No reset: the registry now reports two runs' worth of events
+    // -- every simulation counter exactly doubles.
+    SweepResult r3 = runSweep(smallSpec(), traces, serial);
+    auto counters3 = reportSimCounters(r3);
+    ASSERT_EQ(counters3.size(), counters1.size());
+    for (std::size_t i = 0; i < counters1.size(); ++i) {
+        EXPECT_EQ(counters3[i].first, counters1[i].first);
+        EXPECT_EQ(counters3[i].second, 2.0 * counters1[i].second)
+            << counters1[i].first;
+    }
+
+    obs::setEnabled(false);
+    obs::resetAll();
+}
+
+#endif // MBBP_OBS_DISABLED
 
 TEST(SweepReport, CsvHasHeaderPlusRowPerScope)
 {
