@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/mbbp.hh"
+#include "sweep/batch_replay.hh"
 #include "workload/interpreter.hh"
 
 namespace
@@ -59,6 +60,64 @@ BM_BtbProbe(benchmark::State &state)
 }
 BENCHMARK(BM_BtbProbe);
 
+/**
+ * The batched kernel's inner loop in isolation: N per-lane PHTs
+ * stepped in lockstep through one branch stream. items/sec is
+ * counter updates per second summed over lanes, so comparing the
+ * lanes=1/4/16 rows shows how much lane state the cache tolerates
+ * before the lockstep walk stops scaling (the basis for the tiler's
+ * footprint budget).
+ */
+void
+BM_TiledPhtLaneUpdate(benchmark::State &state)
+{
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    std::vector<BlockedPHT> phts;
+    std::vector<GlobalHistory> ghrs;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        phts.push_back(BlockedPHT({ 10, 8, 2, 1 }));
+        ghrs.push_back(GlobalHistory(10));
+    }
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const bool taken = (pc >> 3) & 1;
+        for (std::size_t i = 0; i < lanes; ++i) {
+            std::size_t idx = phts[i].index(ghrs[i], pc);
+            benchmark::DoNotOptimize(phts[i].predictAt(idx, pc));
+            phts[i].updateAt(idx, pc, taken);
+            ghrs[i].shiftIn(taken);
+        }
+        pc += 8;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_TiledPhtLaneUpdate)->Arg(1)->Arg(4)->Arg(16);
+
+/** Same shape for the finite BIT table: lockstep lookup + refresh
+ *  across N lanes (the laneStaleBitCheck hot path). */
+void
+BM_TiledBitLaneUpdate(benchmark::State &state)
+{
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    std::vector<BitTable> bits;
+    for (std::size_t i = 0; i < lanes; ++i)
+        bits.push_back(BitTable(64, 8));
+    BitVector codes(8, BitCode::CondLong);
+    Addr line = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < lanes; ++i) {
+            benchmark::DoNotOptimize(bits[i].lookup(line));
+            if (!bits[i].entryMatches(line))
+                bits[i].update(line, codes);
+        }
+        line = (line + 1) & 255;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_TiledBitLaneUpdate)->Arg(1)->Arg(4)->Arg(16);
+
 void
 BM_InterpreterThroughput(benchmark::State &state)
 {
@@ -103,6 +162,40 @@ BM_DualBlockEngine(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50000);
 }
 BENCHMARK(BM_DualBlockEngine)->Unit(benchmark::kMillisecond);
+
+/**
+ * The full batched replay kernel at 1/4/16 lanes over one decoded
+ * trace. items/sec is instructions simulated per second summed over
+ * lanes; the lanes=1 row is the kernel's solo overhead and the wider
+ * rows show the per-lane amortization the sweep runner buys.
+ */
+void
+BM_BatchReplayLanes(benchmark::State &state)
+{
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    const SimConfig base = SimConfig::paperDefault();
+    DecodedTrace dec = DecodedTrace::build(specTrace("li", 50000),
+                                           base.engine.icache);
+    std::vector<FetchEngineConfig> cfgs;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        FetchEngineConfig c = base.engine;
+        c.historyBits = 6 + static_cast<unsigned>(i % 4) * 2;
+        c.numSelectTables = 1u << (i / 4 % 4);
+        cfgs.push_back(c);
+    }
+    for (auto _ : state) {
+        std::vector<FetchStats> stats = batchReplayKind(
+            BatchEngineKind::Dual, cfgs, 2, dec, {});
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetItemsProcessed(state.iterations() * 50000 *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_BatchReplayLanes)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

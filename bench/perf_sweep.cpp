@@ -2,18 +2,21 @@
  * @file
  * Sweep-engine performance and determinism check (the subsystem's
  * acceptance harness): a 16-configuration grid (historyBits x
- * numSelectTables) over 4 benchmarks, executed in five modes --
- * {per-run decode, shared decode} x {1 thread, 8 threads}, plus
- * shared decode at 8 threads with the obs metrics layer enabled.
- * Per-run decode rebuilds the replay artifact inside every job (the
- * pre-artifact behavior); shared decode replays the TraceCache's
- * memoized DecodedTrace. The bench prints wall clocks, the
- * decode-once speedup, and the metrics overhead ratio, verifies that
- * all modes emit byte-identical aggregate JSON + CSV (neither
- * scheduling, the replay path, nor metrics collection may leak into
- * results), and writes the measurements -- including the obs counter
- * snapshot from the metrics mode -- to BENCH_perf_sweep.json for
- * regression tooling.
+ * numSelectTables) over 4 benchmarks, executed in seven modes --
+ * {per-run decode, shared decode} x {1 thread, 8 threads}, shared
+ * decode at 8 threads with the obs metrics layer enabled, and the
+ * config-batched replay kernel at 1 and 8 threads. Per-run decode
+ * rebuilds the replay artifact inside every job (the pre-artifact
+ * behavior); shared decode replays the TraceCache's memoized
+ * DecodedTrace; batched groups compatible configurations and
+ * advances them in lockstep through one trace pass per tile. The
+ * bench prints wall clocks, the decode-once, batched, and thread
+ * speedups, and the metrics overhead ratio, verifies that all modes
+ * emit byte-identical aggregate JSON + CSV (neither scheduling, the
+ * replay path, the batched kernel, nor metrics collection may leak
+ * into results), and writes the measurements -- including the obs
+ * counter snapshot from the metrics mode -- to BENCH_perf_sweep.json
+ * for regression tooling.
  *
  * The thread speedup is bounded by the physical cores of the host
  * (hardware_concurrency is printed for context); the decode-once
@@ -40,6 +43,7 @@ struct Mode
     bool sharedDecode;
     unsigned threads;
     bool metrics;
+    bool batched;
     SweepResult result;
 };
 
@@ -68,17 +72,20 @@ main()
         (void)benchTraces().decoded(name, geom);
 
     Mode modes[] = {
-        { "per-run 1T", false, 1, false, {} },
-        { "per-run 8T", false, 8, false, {} },
-        { "shared 1T", true, 1, false, {} },
-        { "shared 8T", true, 8, false, {} },
-        { "shared 8T+metrics", true, 8, true, {} },
+        { "per-run 1T", false, 1, false, false, {} },
+        { "per-run 8T", false, 8, false, false, {} },
+        { "shared 1T", true, 1, false, false, {} },
+        { "shared 8T", true, 8, false, false, {} },
+        { "shared 8T+metrics", true, 8, true, false, {} },
+        { "batched 1T", true, 1, false, true, {} },
+        { "batched 8T", true, 8, false, true, {} },
     };
     obs::Snapshot metrics_snap;
     for (Mode &m : modes) {
         SweepOptions opts;
         opts.threads = m.threads;
         opts.sharedDecode = m.sharedDecode;
+        opts.batchedReplay = m.batched;
         if (m.metrics) {
             obs::resetAll();
             obs::setEnabled(true);
@@ -120,12 +127,20 @@ main()
         modes[2].result.wallSeconds / modes[3].result.wallSeconds;
     double metrics_overhead =
         modes[4].result.wallSeconds / modes[3].result.wallSeconds;
+    double batched_1t =
+        modes[2].result.wallSeconds / modes[5].result.wallSeconds;
+    double batched_8t =
+        modes[3].result.wallSeconds / modes[6].result.wallSeconds;
     std::cout << "decode-once speedup, 1 thread:  "
               << TextTable::fmt(decode_once_1t, 2) << "x\n"
               << "decode-once speedup, 8 threads: "
               << TextTable::fmt(decode_once_8t, 2) << "x\n"
               << "thread speedup (shared decode): "
               << TextTable::fmt(threads_shared, 2) << "x\n"
+              << "batched speedup, 1 thread:      "
+              << TextTable::fmt(batched_1t, 2) << "x\n"
+              << "batched speedup, 8 threads:     "
+              << TextTable::fmt(batched_8t, 2) << "x\n"
               << "metrics-enabled overhead:       "
               << TextTable::fmt(metrics_overhead, 3)
               << "x\naggregate output byte-identical: "
@@ -148,6 +163,7 @@ main()
         w.value("sharedDecode", m.sharedDecode);
         w.value("threads", static_cast<uint64_t>(m.threads));
         w.value("metrics", m.metrics);
+        w.value("batched", m.batched);
         w.value("wallSeconds", m.result.wallSeconds);
         w.endObject();
     }
@@ -155,6 +171,8 @@ main()
     w.value("decodeOnceSpeedup1T", decode_once_1t);
     w.value("decodeOnceSpeedup8T", decode_once_8t);
     w.value("threadSpeedupShared", threads_shared);
+    w.value("batchedSpeedup1T", batched_1t);
+    w.value("batchedSpeedup8T", batched_8t);
     w.value("metricsOverhead", metrics_overhead);
     w.value("byteIdentical", identical);
     w.beginObject("metrics");

@@ -23,6 +23,8 @@
  *   --threads N             workers for multi-workload runs [all]
  *   --out FILE              sweep-report JSON to FILE ("-"=stdout);
  *                           accepts several spec95 workloads
+ *   --decoded-budget B      cap resident decoded-trace bytes at B
+ *                           (LRU eviction; 0 = unbounded) [0]
  *   --metrics               obs counters/timers in the --out report
  *   --attribution[=N]       per-branch misprediction attribution:
  *                           top-N offenders (default 20) in the
@@ -56,8 +58,8 @@ usage()
         "  --blocks N --history H --sts N --cache normal|extend|align\n"
         "  --target nls|btb --target-entries N --bit-entries N\n"
         "  --near-block --double-select --insts N --json\n"
-        "  --threads N --out FILE --metrics --attribution[=N]\n"
-        "  --trace-out FILE\n";
+        "  --threads N --out FILE --decoded-budget BYTES\n"
+        "  --metrics --attribution[=N] --trace-out FILE\n";
 }
 
 bool
@@ -78,6 +80,7 @@ main(int argc, char **argv)
     std::vector<std::string> workloads;
     bool json = false;
     unsigned threads = 0;
+    std::size_t decoded_budget = 0;
     std::string out_path;
     std::string trace_out;
     bool metrics = false;
@@ -133,6 +136,8 @@ main(int argc, char **argv)
             threads = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--decoded-budget") {
+            decoded_budget = std::stoul(next());
         } else if (arg == "--metrics") {
             metrics = true;
             obs::setEnabled(true);
@@ -178,7 +183,7 @@ main(int argc, char **argv)
             }
         }
         try {
-            TraceCache traces(insts);
+            TraceCache traces(insts, decoded_budget);
             {
                 ThreadPool pool(threads);
                 parallelMap(pool, workloads,

@@ -8,6 +8,13 @@
  * Usage:
  *   sweep_cli spec.json [options]
  *   --threads N        worker threads            [hardware]
+ *   --batched          config-batched replay: group compatible
+ *                      sweep points and advance them in lockstep
+ *                      through one trace pass per tile (identical
+ *                      output, less wall clock)
+ *   --decoded-budget B cap resident decoded-trace bytes at B;
+ *                      least-recently-used artifacts are evicted
+ *                      (0 = unbounded)                [0]
  *   --out FILE         JSON results ("-" = stdout)  [-]
  *   --csv FILE         also write CSV results
  *   --no-per-program   aggregates only (smaller output)
@@ -49,7 +56,8 @@ void
 usage()
 {
     std::cerr <<
-        "usage: sweep_cli spec.json [--threads N] [--out FILE]\n"
+        "usage: sweep_cli spec.json [--threads N] [--batched]\n"
+        "                 [--decoded-budget BYTES] [--out FILE]\n"
         "                 [--csv FILE] [--no-per-program] "
         "[--timings]\n"
         "                 [--metrics] [--attribution[=N]]\n"
@@ -91,6 +99,8 @@ main(int argc, char **argv)
     std::string attribution_csv;
     std::string trace_out;
     unsigned threads = 0;
+    bool batched = false;
+    std::size_t decoded_budget = 0;
     bool quiet = false;
     SweepReportOptions report;
 
@@ -105,6 +115,10 @@ main(int argc, char **argv)
         };
         if (arg == "--threads") {
             threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--batched") {
+            batched = true;
+        } else if (arg == "--decoded-budget") {
+            decoded_budget = std::stoul(next());
         } else if (arg == "--out") {
             out_path = next();
         } else if (arg == "--csv") {
@@ -157,10 +171,12 @@ main(int argc, char **argv)
         SweepSpec spec = SweepSpec::fromJsonFile(spec_path);
         TraceCache traces(spec.instructions() != 0
                               ? spec.instructions()
-                              : 400000);
+                              : 400000,
+                          decoded_budget);
 
         SweepOptions opts;
         opts.threads = threads;
+        opts.batchedReplay = batched;
         using Clock = std::chrono::steady_clock;
         Clock::time_point start = Clock::now();
         // The live progress line exists for humans watching a

@@ -5,8 +5,10 @@
 namespace mbbp
 {
 
-TraceCache::TraceCache(std::size_t instructions_per_program)
-    : ninsts_(instructions_per_program)
+TraceCache::TraceCache(std::size_t instructions_per_program,
+                       std::size_t decoded_budget_bytes)
+    : ninsts_(instructions_per_program),
+      budget_(decoded_budget_bytes)
 {
 }
 
@@ -34,32 +36,79 @@ TraceCache::get(const std::string &name)
     return entry->trace;
 }
 
-const DecodedTrace &
+std::shared_ptr<const DecodedTrace>
 TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
 {
     obs::flushCounter("trace.cache.decoded_requests", 1);
     DecodedKey key{ name, static_cast<uint8_t>(geom.type),
                     geom.blockWidth, geom.lineSize };
-    DecodedEntry *entry;
+    std::shared_ptr<DecodedEntry> entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = decoded_.find(key);
         if (it == decoded_.end())
             it = decoded_
                      .emplace(std::move(key),
-                              std::make_unique<DecodedEntry>())
+                              std::make_shared<DecodedEntry>())
                      .first;
-        entry = it->second.get();
+        entry = it->second;
+        entry->lastUse = ++useClock_;
     }
     // get() is itself thread-safe, so decoding may trigger trace
-    // generation; distinct artifacts decode concurrently.
+    // generation; distinct artifacts decode concurrently. The entry
+    // is held by shared_ptr: eviction only unlinks it from the map,
+    // so a build racing an eviction still completes safely and its
+    // caller replays the (now unlinked) artifact it was promised.
     std::call_once(entry->once, [&] {
         static obs::Timer &dec_t = obs::timer("trace.decode");
         obs::ScopedTimer span(dec_t, "decode " + name);
-        entry->dec = DecodedTrace::build(get(name), geom);
+        auto dec = std::make_shared<const DecodedTrace>(
+            DecodedTrace::build(get(name), geom));
         obs::flushCounter("trace.cache.decoded_builds", 1);
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->bytes = dec->bytes();
+        entry->dec = std::move(dec);
+        resident_ += entry->bytes;
+        evictLocked(entry.get());
     });
     return entry->dec;
+}
+
+void
+TraceCache::evictLocked(const DecodedEntry *keep)
+{
+    while (budget_ != 0 && resident_ > budget_) {
+        auto victim = decoded_.end();
+        for (auto it = decoded_.begin(); it != decoded_.end(); ++it) {
+            const DecodedEntry &e = *it->second;
+            if (e.bytes == 0 || it->second.get() == keep)
+                continue;   // still building, or the fresh artifact
+            if (victim == decoded_.end() ||
+                e.lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == decoded_.end())
+            break;          // nothing evictable: stay over budget
+        resident_ -= victim->second->bytes;
+        decoded_.erase(victim);
+        ++evictions_;
+        obs::flushCounter("trace.cache.evictions", 1);
+    }
+    obs::gauge("trace.cache.resident_bytes").set(resident_);
+}
+
+std::size_t
+TraceCache::decodedResidentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_;
+}
+
+std::size_t
+TraceCache::decodedEvictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
 }
 
 SuiteResult
@@ -77,7 +126,7 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
         {
             obs::ScopedTimer span(replay_t);
             s = shared_decode
-                ? sim.run(traces.decoded(name, cfg.engine.icache))
+                ? sim.run(*traces.decoded(name, cfg.engine.icache))
                 : sim.run(traces.get(name));
         }
         result.perProgram[name] = s;

@@ -28,13 +28,22 @@ namespace mbbp
  * Safe for concurrent use: any number of threads may call get() or
  * decoded() -- each trace / artifact is built exactly once (distinct
  * entries build in parallel, callers of the same entry block until it
- * is ready), and the returned reference is const and stable for the
- * cache's lifetime, so replays need no further locking.
+ * is ready). decoded() hands out shared ownership, so an artifact a
+ * replay is iterating stays alive even if the cache evicts it.
+ *
+ * Artifacts can dominate memory on wide sweeps (one per trace and
+ * geometry), so the cache takes an optional byte budget: when the
+ * resident decoded set exceeds it, least-recently-used artifacts are
+ * dropped (and rebuilt on demand if requested again). Budget 0 keeps
+ * everything, the pre-budget behavior. The resident total is
+ * published on the "trace.cache.resident_bytes" gauge and drops are
+ * counted on "trace.cache.evictions".
  */
 class TraceCache
 {
   public:
-    explicit TraceCache(std::size_t instructions_per_program = 400000);
+    explicit TraceCache(std::size_t instructions_per_program = 400000,
+                        std::size_t decoded_budget_bytes = 0);
 
     /** The trace for @p name (generated on first use). */
     const InMemoryTrace &get(const std::string &name);
@@ -44,12 +53,19 @@ class TraceCache
      * first use). Artifacts are keyed by the geometry fields that
      * affect segmentation (type, block width, line size), so sweep
      * jobs differing only in predictor tables -- or bank counts --
-     * share one artifact.
+     * share one artifact. The returned pointer keeps the artifact
+     * alive across eviction; hold it for the duration of the replay.
      */
-    const DecodedTrace &decoded(const std::string &name,
-                                const ICacheConfig &geom);
+    std::shared_ptr<const DecodedTrace>
+    decoded(const std::string &name, const ICacheConfig &geom);
 
     std::size_t instructionsPerProgram() const { return ninsts_; }
+
+    /** @{ Budget introspection (0 budget = unbounded). */
+    std::size_t decodedBudgetBytes() const { return budget_; }
+    std::size_t decodedResidentBytes() const;
+    std::size_t decodedEvictions() const;
+    /** @} */
 
   private:
     struct Entry
@@ -61,17 +77,26 @@ class TraceCache
     struct DecodedEntry
     {
         std::once_flag once;
-        DecodedTrace dec;
+        std::shared_ptr<const DecodedTrace> dec;
+        std::size_t bytes = 0;      //!< 0 until the build completes
+        uint64_t lastUse = 0;
     };
 
     /** (name, type, blockWidth, lineSize). */
     using DecodedKey = std::tuple<std::string, uint8_t, unsigned,
                                   unsigned>;
 
+    /** Drop LRU artifacts (never @p keep) until within budget. */
+    void evictLocked(const DecodedEntry *keep);
+
     std::size_t ninsts_;
-    std::mutex mutex_;      //!< guards the maps, not the payloads
+    std::size_t budget_;
+    mutable std::mutex mutex_;  //!< guards the maps, not the payloads
     std::map<std::string, std::unique_ptr<Entry>> traces_;
-    std::map<DecodedKey, std::unique_ptr<DecodedEntry>> decoded_;
+    std::map<DecodedKey, std::shared_ptr<DecodedEntry>> decoded_;
+    std::size_t resident_ = 0;  //!< bytes of completed entries
+    std::size_t evictions_ = 0;
+    uint64_t useClock_ = 0;     //!< LRU stamp source
 };
 
 /** Per-program results plus int/fp/all aggregates. */

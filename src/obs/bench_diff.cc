@@ -37,8 +37,8 @@ diffStatusName(DiffStatus s)
         return "improved";
     case DiffStatus::Regression:
         return "regression";
-    case DiffStatus::Missing:
-        return "missing";
+    case DiffStatus::Removed:
+        return "removed";
     case DiffStatus::Added:
         return "added";
     case DiffStatus::Ignored:
@@ -179,6 +179,8 @@ defaultPerfSweepRules()
         // Wall-clock ratios on a shared box: generous noise bands.
         { "decodeOnceSpeedup1T", DiffDirection::HigherBetter, 0.35 },
         { "decodeOnceSpeedup8T", DiffDirection::HigherBetter, 0.45 },
+        { "batchedSpeedup1T", DiffDirection::HigherBetter, 0.35 },
+        { "batchedSpeedup8T", DiffDirection::HigherBetter, 0.45 },
         { "metricsOverhead", DiffDirection::LowerBetter, 0.50 },
         // Pool scheduling counters depend on thread timing.
         { "metrics.counters.sweep.pool.*", DiffDirection::Ignore,
@@ -271,12 +273,12 @@ diffBenchJson(const JsonValue &baseline, const JsonValue &current,
         if (rule != nullptr)
             d.rule = rule->pattern;
         if (!p.hasCur) {
-            // A gated metric that vanished is a regression; an
-            // ignored or ungated one is informational.
-            d.status = (rule == nullptr ||
-                        rule->dir == DiffDirection::Ignore)
+            // One-sided either way is informational: renames read as
+            // removed + new, and the gate judges measured pairs only.
+            d.status = rule != nullptr &&
+                               rule->dir == DiffDirection::Ignore
                            ? DiffStatus::Ignored
-                           : DiffStatus::Missing;
+                           : DiffStatus::Removed;
         } else if (!p.hasBase) {
             d.status = DiffStatus::Added;
         } else {
@@ -285,8 +287,7 @@ diffBenchJson(const JsonValue &baseline, const JsonValue &current,
             d.status = rule == nullptr ? DiffStatus::Info
                                        : judge(*rule, p.base, p.cur);
         }
-        if (d.status == DiffStatus::Regression ||
-            d.status == DiffStatus::Missing)
+        if (d.status == DiffStatus::Regression)
             ++result.regressions;
         if (d.status == DiffStatus::Improved)
             ++result.improvements;
@@ -340,11 +341,16 @@ benchDiffReportText(const BenchDiffResult &result)
     for (const MetricDiff &d : result.diffs)
         if (d.status == DiffStatus::Regression)
             line(d, "REGRESSION");
-        else if (d.status == DiffStatus::Missing)
-            out += "MISSING " + d.path + " [" + d.rule + "]\n";
     for (const MetricDiff &d : result.diffs)
         if (d.status == DiffStatus::Improved)
             line(d, "improved");
+    // One-sided metrics: informational, never part of the verdict.
+    for (const MetricDiff &d : result.diffs)
+        if (d.status == DiffStatus::Removed)
+            out += "removed " + d.path + ": was " + fmt(d.baseline) +
+                   '\n';
+        else if (d.status == DiffStatus::Added)
+            out += "new " + d.path + ": " + fmt(d.current) + '\n';
     out += "bench_diff: " + std::to_string(result.diffs.size()) +
            " metrics, " + std::to_string(result.regressions) +
            " regression(s), " +

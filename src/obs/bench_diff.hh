@@ -53,13 +53,19 @@ struct MetricRule
     double tolerance = 0.0;
 };
 
-/** Verdict for one flattened path. */
+/**
+ * Verdict for one flattened path. One-sided metrics -- present in
+ * only one document -- are reported (Removed / Added) but never fail
+ * the gate: benches gain and retire metrics across revisions, and a
+ * rename should read as "removed + new", not as a regression. The
+ * gate judges only metrics both documents measured.
+ */
 enum class DiffStatus
 {
     Ok,             //!< within tolerance
     Improved,       //!< moved beyond tolerance in the good direction
     Regression,     //!< moved beyond tolerance in the bad direction
-    Missing,        //!< gated metric absent from current (fails)
+    Removed,        //!< present only in baseline (informational)
     Added,          //!< present only in current (informational)
     Ignored,        //!< matched an Ignore rule
     Info            //!< no rule matched (informational)

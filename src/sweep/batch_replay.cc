@@ -1,0 +1,1072 @@
+#include "sweep/batch_replay.hh"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <tuple>
+
+#include "fetch/batch_engine_state.hh"
+#include "obs/obs.hh"
+#include "predict/btb.hh"
+#include "predict/nls.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+namespace
+{
+
+/**
+ * Occupancy-only BBR model. FetchStats reads nothing from the pool
+ * but peakInFlight(), and the engines never read an entry back (the
+ * trace resolves every branch immediately), so a lane tracks just
+ * the per-block allocation counts in the same (depth + 2)-slot ring
+ * BbrInflight uses -- skipping entry construction, the pool's free
+ * list, and per-conditional PHT counter reads. The live/peak
+ * sequence is exactly the reference pool's: within a block live only
+ * grows, so the batch-end maximum equals the per-allocate maximum.
+ */
+class BbrOccupancy
+{
+  public:
+    explicit BbrOccupancy(unsigned depth)
+        : depth_(depth), counts_(depth + 2, 0)
+    {
+    }
+
+    /** beginBlock + one allocate per conditional + commit. */
+    void addBlock(std::size_t nconds)
+    {
+        mbbp_assert(liveSlots_ < counts_.size(),
+                    "inflight ring overrun");
+        counts_[(head_ + liveSlots_) % counts_.size()] = nconds;
+        ++liveSlots_;
+        live_ += nconds;
+        if (live_ > peak_)
+            peak_ = live_;
+    }
+
+    /** Release batches older than the resolution window. */
+    void expire()
+    {
+        while (liveSlots_ > depth_) {
+            mbbp_assert(live_ >= counts_[head_],
+                        "BBR release with none in flight");
+            live_ -= counts_[head_];
+            head_ = (head_ + 1) % counts_.size();
+            --liveSlots_;
+        }
+    }
+
+    std::size_t peakInFlight() const { return peak_; }
+
+  private:
+    unsigned depth_;
+    std::vector<std::size_t> counts_;   //!< allocations per batch
+    std::size_t head_ = 0;              //!< oldest live batch
+    std::size_t liveSlots_ = 0;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+};
+
+/**
+ * One configuration's complete predictor state. Heap-allocated (the
+ * trainer holds a reference into the lane, and AttributionSink is
+ * non-copyable), constructed once per tile.
+ *
+ * `events` mirrors mispredictEvents(stats) incrementally: every
+ * non-BankConflict charge goes through laneCharge, so the reference
+ * engines' `mispredictEvents(stats) != ev0` request-level check
+ * becomes a plain counter compare.
+ */
+struct BatchLane
+{
+    const FetchEngineConfig cfg;
+    FetchStats stats;
+    BlockedPHT pht;
+    GlobalHistory ghr;
+    BitTable bit;
+    ReturnAddressStack ras;
+    PenaltyModel penalties;
+    std::optional<SelectTable> st;
+    std::unique_ptr<TargetArray> ta;
+    std::optional<BbrOccupancy> bbr;
+    ICacheContents contents;
+    PhtTrainer trainer;
+    BitVector stale;        //!< scratch for finite-BIT codes
+    obs::AttributionSink attr;
+    FetchBandwidth bw;
+    uint64_t events = 0;
+
+    BatchLane(BatchEngineKind kind, const FetchEngineConfig &c,
+              unsigned num_blocks, unsigned line_size)
+        : cfg(c),
+          pht({ c.historyBits, c.icache.blockWidth, 2, c.numPhts }),
+          ghr(c.historyBits),
+          bit(c.bitEntries, line_size),
+          ras(c.rasEntries),
+          penalties(kind == BatchEngineKind::Dual ? c.doubleSelect
+                                                  : false),
+          contents(c.icacheLines, c.icacheAssoc),
+          trainer(pht, c.delayedPhtUpdate),
+          bw(kind == BatchEngineKind::Single   ? "engine.single"
+             : kind == BatchEngineKind::Dual   ? "engine.dual"
+                                               : "engine.multi")
+    {
+        switch (kind) {
+          case BatchEngineKind::Single:
+            mbbp_assert(!cfg.doubleSelect,
+                        "double selection needs the dual-block engine");
+            break;
+          case BatchEngineKind::Dual:
+            st.emplace(cfg.historyBits, cfg.numSelectTables,
+                       cfg.doubleSelect);
+            break;
+          case BatchEngineKind::Multi:
+            mbbp_assert(num_blocks >= 1 && num_blocks <= 4,
+                        "1..4 blocks per cycle supported");
+            mbbp_assert(!cfg.doubleSelect,
+                        "the multi-block engine models single "
+                        "selection");
+            st.emplace(SelectTable::withSlots(
+                cfg.historyBits, cfg.numSelectTables,
+                num_blocks > 1 ? num_blocks - 1 : 1));
+            break;
+          case BatchEngineKind::TwoAhead:
+            mbbp_assert(false, "two-ahead lanes use TwoAheadLane");
+            break;
+        }
+
+        if (cfg.targetKind == TargetKind::Nls) {
+            if (kind == BatchEngineKind::Multi) {
+                ta = std::make_unique<NlsTargetArray>(
+                    NlsTargetArray::withArrays(cfg.targetEntries,
+                                               line_size, num_blocks));
+            } else {
+                ta = std::make_unique<NlsTargetArray>(
+                    cfg.targetEntries, line_size,
+                    kind == BatchEngineKind::Dual);
+            }
+        } else {
+            ta = std::make_unique<Btb>(cfg.targetEntries,
+                                       cfg.btbAssoc, line_size);
+        }
+
+        if (kind == BatchEngineKind::Single ||
+            kind == BatchEngineKind::Dual)
+            bbr.emplace(4);
+    }
+};
+
+/** The one charge path: aggregate stats + attribution + the
+ *  incremental mispredict-event counter. */
+inline void
+laneCharge(FetchStats &stats, obs::AttributionSink &attr,
+           uint64_t &events, Addr block_pc, unsigned slot,
+           PenaltyKind kind, unsigned cycles)
+{
+    chargeMispredict(stats, attr, block_pc, slot, kind, cycles);
+    ++events;
+}
+
+/** allocBbrForBlock, reduced to its observable effect: occupancy. */
+inline void
+batchAllocBbr(BatchLane &ln, const BatchBlockCtx &ctx)
+{
+    ln.bbr->addBlock(ctx.conds.size());
+}
+
+/** PhtTrainer::train without re-scanning the block when immediate. */
+inline void
+batchTrain(BatchLane &ln, std::size_t idx, const BatchBlockCtx &ctx)
+{
+    if (ln.cfg.delayedPhtUpdate)
+        ln.trainer.train(idx, ctx.blk);
+    else
+        batchTrainPht(ln.pht, idx, ctx);
+}
+
+/** Stale-BIT verification of a finite-BIT lane's prediction. */
+inline void
+laneStaleBitCheck(BatchLane &ln, const BatchBlockCtx &ctx,
+                  const StaticImage &image, const BatchPrediction &bp,
+                  std::size_t idx, unsigned line_size)
+{
+    bitWindowCodesInto(ln.bit, image, ctx.blk.startPc, ctx.capacity,
+                       line_size, ln.cfg.nearBlock, ln.stale);
+    ExitPrediction pred_stale = predictExit(
+        ln.stale, ctx.blk.startPc, ctx.capacity, ln.pht, idx);
+    if (pred_stale.selector(line_size) !=
+        bp.pred.selector(line_size)) {
+        laneCharge(ln.stats, ln.attr, ln.events, ctx.blk.startPc, 0,
+                   PenaltyKind::BitMispredict,
+                   ln.penalties.cycles(PenaltyKind::BitMispredict,
+                                       0));
+    }
+    refreshBitEntries(ln.bit, image, ctx.blk.startPc, ctx.capacity,
+                      line_size, ln.cfg.nearBlock);
+}
+
+void
+runSingleTile(const DecodedTrace &dec,
+              std::vector<std::unique_ptr<BatchLane>> &lanes)
+{
+    const unsigned line_size = lanes[0]->cfg.icache.lineSize;
+    const StaticImage &image = dec.image();
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;     // the reference returns before any flush
+
+    BatchBlockCtx ctx;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        ctx.build(dec, b, line_size);
+        if (b + 1 < nblocks) {
+            mbbp_assert(dec.startPc(b + 1) == ctx.blk.nextPc,
+                        "block index out of sync");
+        }
+
+        for (auto &lp : lanes) {
+            BatchLane &ln = *lp;
+            ++ln.stats.fetchRequests;
+            const uint64_t ev0 = ln.events;
+            const uint64_t insts0 = ln.stats.instructions;
+            ln.trainer.tick();
+            batchCountBlockStats(ln.stats, ctx);
+            batchTouchICache(ln.contents, ctx, ln.stats,
+                             ln.cfg.icacheMissPenalty);
+
+            std::size_t idx = ln.pht.index(ln.ghr, ctx.blk.startPc);
+            BatchPrediction bp =
+                batchPredictExit(ctx, ln.cfg.nearBlock, ln.pht, idx);
+            if (!ln.bit.perfect())
+                laneStaleBitCheck(ln, ctx, image, bp, idx, line_size);
+
+            ResolvedTarget resolved = batchResolveAddress(
+                bp, ctx, ln.ras, *ln.ta, ctx.blk.startPc, 0,
+                line_size);
+            PredictOutcome out =
+                batchCompareWithActual(bp.pred, resolved, ctx);
+            if (!out.correct) {
+                unsigned cycles = ln.penalties.cycles(out.kind, 0);
+                if (out.refetchExtra)
+                    cycles += ln.penalties.refetchExtra();
+                laneCharge(ln.stats, ln.attr, ln.events,
+                           ctx.blk.startPc, 0, out.kind, cycles);
+                if (out.kind == PenaltyKind::CondMispredict)
+                    ++ln.stats.condDirectionWrong;
+            }
+
+            batchAllocBbr(ln, ctx);
+            ln.bbr->expire();
+
+            batchTrain(ln, idx, ctx);
+            ln.ghr.shiftInBlock(ctx.condMask, ctx.numConds);
+            batchUpdateTargetArray(*ln.ta, ctx.blk.startPc, 0, ctx,
+                                   line_size, ln.cfg.nearBlock);
+            batchApplyRasOp(ln.ras, ctx);
+
+            ln.bw.endRequest(ln.stats.instructions - insts0, 1,
+                             ln.events != ev0);
+        }
+    }
+
+    for (auto &lp : lanes) {
+        BatchLane &ln = *lp;
+        ln.stats.rasOverflows = ln.ras.overflows();
+        ln.stats.bbrPeak = ln.bbr->peakInFlight();
+        ln.pht.obsFlush();
+        ln.bit.obsFlush();
+        ln.ras.obsFlush();
+        ln.attr.flush();
+        ln.bw.flush();
+        obs::flushCounter("engine.single.runs", 1);
+    }
+}
+
+void
+runDualTile(const DecodedTrace &dec,
+            std::vector<std::unique_ptr<BatchLane>> &lanes)
+{
+    const unsigned line_size = lanes[0]->cfg.icache.lineSize;
+    const unsigned num_banks = lanes[0]->cfg.icache.numBanks;
+    const StaticImage &image = dec.image();
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;
+
+    // ctxB: second block of the currently-fetching pair -- the one
+    // whose information predicts the next pair (Figure 3's b0 primes
+    // the pipeline alone).
+    BatchBlockCtx ctxB, ctxC, ctxD;
+    std::size_t bi = 0;
+    ctxB.build(dec, bi, line_size);
+    for (auto &lp : lanes) {
+        BatchLane &ln = *lp;
+        ++ln.stats.fetchRequests;
+        batchCountBlockStats(ln.stats, ctxB);
+        batchTouchICache(ln.contents, ctxB, ln.stats,
+                         ln.cfg.icacheMissPenalty);
+        ln.bw.endRequest(ln.stats.instructions, 1, false);
+    }
+
+    for (;;) {
+        const std::size_t ci = bi + 1;
+        if (ci >= nblocks)
+            break;
+        ctxC.build(dec, ci, line_size);
+        mbbp_assert(ctxC.blk.startPc == ctxB.blk.nextPc,
+                    "block index out of sync");
+        const std::size_t di = ci + 1;
+        const bool have_d = di < nblocks;
+        bool conflict_cd = false;
+        uint8_t d_offset = 0;
+        if (have_d) {
+            ctxD.build(dec, di, line_size);
+            mbbp_assert(ctxD.blk.startPc == ctxC.blk.nextPc,
+                        "block index out of sync");
+            conflict_cd = batchBankConflict(ctxC, ctxD, num_banks);
+            d_offset = static_cast<uint8_t>(ctxD.blk.startPc %
+                                            line_size);
+        }
+
+        for (auto &lp : lanes) {
+            BatchLane &ln = *lp;
+            ++ln.stats.fetchRequests;
+            const uint64_t ev0 = ln.events;
+            const uint64_t insts0 = ln.stats.instructions;
+            ln.trainer.tick();
+            batchCountBlockStats(ln.stats, ctxC);
+            batchTouchICache(ln.contents, ctxC, ln.stats,
+                             ln.cfg.icacheMissPenalty);
+            if (have_d) {
+                batchCountBlockStats(ln.stats, ctxD);
+                batchTouchICache(ln.contents, ctxD, ln.stats,
+                                 ln.cfg.icacheMissPenalty);
+                if (conflict_cd) {
+                    ln.stats.charge(PenaltyKind::BankConflict,
+                                    ln.penalties.cycles(
+                                        PenaltyKind::BankConflict,
+                                        1));
+                }
+            }
+
+            // ===== Block 1: B's exit prediction (C's address). =====
+            std::size_t idx1 = ln.pht.index(ln.ghr, ctxB.blk.startPc);
+            BatchPrediction bp_b =
+                batchPredictExit(ctxB, ln.cfg.nearBlock, ln.pht,
+                                 idx1);
+            bool blk1_penalized = false;
+
+            if (ln.cfg.doubleSelect) {
+                unsigned tab_b = ln.st->tableOf(ctxB.blk.startPc);
+                const SelectEntry &e0 = ln.st->read(tab_b, idx1, 0);
+                Selector sel_true_b = bp_b.pred.selector(line_size);
+                if (e0.sel != sel_true_b) {
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxB.blk.startPc, 0,
+                               PenaltyKind::Misselect,
+                               ln.penalties.cycles(
+                                   PenaltyKind::Misselect, 0));
+                    blk1_penalized = true;
+                } else if (e0.ghr != bp_b.pred.ghrInfo()) {
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxB.blk.startPc, 0,
+                               PenaltyKind::GhrMispredict,
+                               ln.penalties.cycles(
+                                   PenaltyKind::GhrMispredict, 0));
+                    blk1_penalized = true;
+                }
+                ln.st->write(tab_b, idx1, 0,
+                             { sel_true_b, bp_b.pred.ghrInfo(),
+                               static_cast<uint8_t>(
+                                   ctxC.blk.startPc % line_size),
+                               true });
+            } else if (!ln.bit.perfect()) {
+                laneStaleBitCheck(ln, ctxB, image, bp_b, idx1,
+                                  line_size);
+            }
+
+            ResolvedTarget r1 = batchResolveAddress(
+                bp_b, ctxB, ln.ras, *ln.ta, ctxB.blk.startPc, 0,
+                line_size);
+            PredictOutcome out1 =
+                batchCompareWithActual(bp_b.pred, r1, ctxB);
+            if (!out1.correct) {
+                unsigned cycles = ln.penalties.cycles(out1.kind, 0);
+                if (out1.refetchExtra)
+                    cycles += ln.penalties.refetchExtra();
+                laneCharge(ln.stats, ln.attr, ln.events,
+                           ctxB.blk.startPc, 0, out1.kind, cycles);
+                if (out1.kind == PenaltyKind::CondMispredict)
+                    ++ln.stats.condDirectionWrong;
+                blk1_penalized = true;
+            }
+
+            batchAllocBbr(ln, ctxB);
+
+            batchTrain(ln, idx1, ctxB);
+            ln.ghr.shiftInBlock(ctxB.condMask, ctxB.numConds);
+            batchApplyRasOp(ln.ras, ctxB);
+
+            if (!have_d) {
+                // C is the last complete block; its exit cannot be
+                // scored.
+                batchUpdateTargetArray(*ln.ta, ctxB.blk.startPc, 0,
+                                       ctxB, line_size,
+                                       ln.cfg.nearBlock);
+                ln.bw.endRequest(ln.stats.instructions - insts0, 1,
+                                 ln.events != ev0);
+                continue;
+            }
+
+            // ===== Block 2: C's exit via the select table. =====
+            std::size_t idx2 = ln.pht.index(ln.ghr, ctxC.blk.startPc);
+            BatchPrediction bp_c =
+                batchPredictExit(ctxC, ln.cfg.nearBlock, ln.pht,
+                                 idx2);
+            Selector sel_true = bp_c.pred.selector(line_size);
+            GhrInfo ghr_true = bp_c.pred.ghrInfo();
+
+            unsigned tab = ln.st->tableOf(ctxC.blk.startPc);
+            unsigned slot = ln.cfg.doubleSelect ? 1 : 0;
+            const SelectEntry &e = ln.st->read(tab, idx1, slot);
+
+            if (!blk1_penalized) {
+                if (e.sel != sel_true) {
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxC.blk.startPc, 1,
+                               PenaltyKind::Misselect,
+                               ln.penalties.cycles(
+                                   PenaltyKind::Misselect, 1));
+                } else if (e.ghr != ghr_true) {
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxC.blk.startPc, 1,
+                               PenaltyKind::GhrMispredict,
+                               ln.penalties.cycles(
+                                   PenaltyKind::GhrMispredict, 1));
+                } else if (ln.cfg.nearBlockStoredOffset &&
+                           sel_true.src != SelSrc::Target &&
+                           sel_true.src != SelSrc::FallThrough &&
+                           sel_true.src != SelSrc::Ras &&
+                           e.startOffset != d_offset) {
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxC.blk.startPc, 1,
+                               PenaltyKind::Misselect,
+                               ln.penalties.cycles(
+                                   PenaltyKind::Misselect, 1));
+                }
+                ResolvedTarget r2 = batchResolveAddress(
+                    bp_c, ctxC, ln.ras, *ln.ta, ctxB.blk.startPc, 1,
+                    line_size);
+                PredictOutcome out2 =
+                    batchCompareWithActual(bp_c.pred, r2, ctxC);
+                if (!out2.correct) {
+                    unsigned cycles =
+                        ln.penalties.cycles(out2.kind, 1);
+                    if (out2.refetchExtra)
+                        cycles += ln.penalties.refetchExtra();
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxC.blk.startPc, 1, out2.kind,
+                               cycles);
+                    if (out2.kind == PenaltyKind::CondMispredict)
+                        ++ln.stats.condDirectionWrong;
+                }
+            }
+            ln.st->write(tab, idx1, slot,
+                         { sel_true, ghr_true, d_offset, true });
+
+            batchUpdateTargetArray(*ln.ta, ctxB.blk.startPc, 0, ctxB,
+                                   line_size, ln.cfg.nearBlock);
+            batchUpdateTargetArray(*ln.ta, ctxB.blk.startPc, 1, ctxC,
+                                   line_size, ln.cfg.nearBlock);
+
+            batchAllocBbr(ln, ctxC);
+            ln.bbr->expire();
+
+            batchTrain(ln, idx2, ctxC);
+            ln.ghr.shiftInBlock(ctxC.condMask, ctxC.numConds);
+            batchApplyRasOp(ln.ras, ctxC);
+
+            ln.bw.endRequest(ln.stats.instructions - insts0, 2,
+                             ln.events != ev0);
+        }
+
+        if (!have_d)
+            break;
+        bi = di;
+        std::swap(ctxB, ctxD);
+    }
+
+    for (auto &lp : lanes) {
+        BatchLane &ln = *lp;
+        ln.stats.rasOverflows = ln.ras.overflows();
+        ln.stats.bbrPeak = ln.bbr->peakInFlight();
+        ln.pht.obsFlush();
+        ln.bit.obsFlush();
+        ln.ras.obsFlush();
+        ln.st->obsFlush();
+        ln.attr.flush();
+        ln.bw.flush();
+        obs::flushCounter("engine.dual.runs", 1);
+    }
+}
+
+void
+runMultiTile(const DecodedTrace &dec,
+             std::vector<std::unique_ptr<BatchLane>> &lanes,
+             unsigned n)
+{
+    const unsigned line_size = lanes[0]->cfg.icache.lineSize;
+    const unsigned num_banks = lanes[0]->cfg.icache.numBanks;
+    const StaticImage &image = dec.image();
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;
+
+    // ctxs[0]: last block of the currently fetching group; ctxs[1..]
+    // the next group's blocks.
+    std::vector<BatchBlockCtx> ctxs(n + 1);
+    std::array<bool, 4> conflict{};
+    std::size_t bi = 0;
+    ctxs[0].build(dec, bi, line_size);
+    for (auto &lp : lanes) {
+        BatchLane &ln = *lp;
+        ++ln.stats.fetchRequests;
+        batchCountBlockStats(ln.stats, ctxs[0]);
+        batchTouchICache(ln.contents, ctxs[0], ln.stats,
+                         ln.cfg.icacheMissPenalty);
+        ln.bw.endRequest(ln.stats.instructions, 1, false);
+    }
+
+    for (;;) {
+        const std::size_t g_first = bi + 1;
+        const std::size_t g_count =
+            g_first < nblocks
+                ? std::min<std::size_t>(n, nblocks - g_first) : 0;
+        if (g_count == 0)
+            break;
+        mbbp_assert(dec.startPc(g_first) == ctxs[0].blk.nextPc,
+                    "block index out of sync");
+        for (std::size_t j = 0; j < g_count; ++j)
+            ctxs[j + 1].build(dec, g_first + j, line_size);
+        for (std::size_t j = 1; j < g_count; ++j) {
+            bool c = false;
+            for (std::size_t i = 0; i < j && !c; ++i)
+                c = batchBankConflict(ctxs[i + 1], ctxs[j + 1],
+                                      num_banks);
+            conflict[j] = c;
+        }
+
+        for (auto &lp : lanes) {
+            BatchLane &ln = *lp;
+            ++ln.stats.fetchRequests;
+            const uint64_t ev0 = ln.events;
+            const uint64_t insts0 = ln.stats.instructions;
+            ln.trainer.tick();
+            for (std::size_t j = 0; j < g_count; ++j) {
+                batchCountBlockStats(ln.stats, ctxs[j + 1]);
+                batchTouchICache(ln.contents, ctxs[j + 1], ln.stats,
+                                 ln.cfg.icacheMissPenalty);
+            }
+            for (std::size_t j = 1; j < g_count; ++j) {
+                if (conflict[j]) {
+                    ln.stats.charge(PenaltyKind::BankConflict,
+                                    ln.penalties.cycles(
+                                        PenaltyKind::BankConflict,
+                                        static_cast<unsigned>(j)));
+                }
+            }
+
+            // Slot 0: B's own exit via BIT+PHT.
+            std::size_t idx1 =
+                ln.pht.index(ln.ghr, ctxs[0].blk.startPc);
+            bool squashed = false;
+            {
+                BatchPrediction bp = batchPredictExit(
+                    ctxs[0], ln.cfg.nearBlock, ln.pht, idx1);
+                if (!ln.bit.perfect())
+                    laneStaleBitCheck(ln, ctxs[0], image, bp, idx1,
+                                      line_size);
+                ResolvedTarget r = batchResolveAddress(
+                    bp, ctxs[0], ln.ras, *ln.ta,
+                    ctxs[0].blk.startPc, 0, line_size);
+                PredictOutcome out =
+                    batchCompareWithActual(bp.pred, r, ctxs[0]);
+                if (!out.correct) {
+                    unsigned cycles = ln.penalties.cycles(out.kind,
+                                                          0);
+                    if (out.refetchExtra)
+                        cycles += ln.penalties.refetchExtra();
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               ctxs[0].blk.startPc, 0, out.kind,
+                               cycles);
+                    if (out.kind == PenaltyKind::CondMispredict)
+                        ++ln.stats.condDirectionWrong;
+                    squashed = true;
+                }
+                batchTrain(ln, idx1, ctxs[0]);
+                ln.ghr.shiftInBlock(ctxs[0].condMask,
+                                    ctxs[0].numConds);
+                batchApplyRasOp(ln.ras, ctxs[0]);
+                batchUpdateTargetArray(*ln.ta, ctxs[0].blk.startPc,
+                                       0, ctxs[0], line_size,
+                                       ln.cfg.nearBlock);
+            }
+
+            // Slots k = 1..: select-table predictions, all indexed
+            // by idx1.
+            for (std::size_t k = 1; k < g_count; ++k) {
+                const BatchBlockCtx &prev = ctxs[k];
+                std::size_t idxk =
+                    ln.pht.index(ln.ghr, prev.blk.startPc);
+                BatchPrediction bp = batchPredictExit(
+                    prev, ln.cfg.nearBlock, ln.pht, idxk);
+                Selector sel_true = bp.pred.selector(line_size);
+                GhrInfo ghr_true = bp.pred.ghrInfo();
+                unsigned tab = ln.st->tableOf(prev.blk.startPc);
+                unsigned slot = static_cast<unsigned>(k - 1);
+                const SelectEntry &e = ln.st->read(tab, idx1, slot);
+
+                if (!squashed) {
+                    if (e.sel != sel_true) {
+                        laneCharge(
+                            ln.stats, ln.attr, ln.events,
+                            prev.blk.startPc,
+                            static_cast<unsigned>(k),
+                            PenaltyKind::Misselect,
+                            ln.penalties.cycles(
+                                PenaltyKind::Misselect,
+                                static_cast<unsigned>(k)));
+                    } else if (e.ghr != ghr_true) {
+                        laneCharge(
+                            ln.stats, ln.attr, ln.events,
+                            prev.blk.startPc,
+                            static_cast<unsigned>(k),
+                            PenaltyKind::GhrMispredict,
+                            ln.penalties.cycles(
+                                PenaltyKind::GhrMispredict,
+                                static_cast<unsigned>(k)));
+                    }
+                    ResolvedTarget r = batchResolveAddress(
+                        bp, prev, ln.ras, *ln.ta,
+                        ctxs[0].blk.startPc,
+                        static_cast<unsigned>(k), line_size);
+                    PredictOutcome out =
+                        batchCompareWithActual(bp.pred, r, prev);
+                    if (!out.correct) {
+                        unsigned cycles = ln.penalties.cycles(
+                            out.kind, static_cast<unsigned>(k));
+                        if (out.refetchExtra)
+                            cycles += ln.penalties.refetchExtra();
+                        laneCharge(ln.stats, ln.attr, ln.events,
+                                   prev.blk.startPc,
+                                   static_cast<unsigned>(k),
+                                   out.kind, cycles);
+                        if (out.kind == PenaltyKind::CondMispredict)
+                            ++ln.stats.condDirectionWrong;
+                        squashed = true;
+                    }
+                }
+                ln.st->write(tab, idx1, slot,
+                             { sel_true, ghr_true,
+                               static_cast<uint8_t>(
+                                   prev.blk.nextPc % line_size),
+                               true });
+                batchUpdateTargetArray(*ln.ta, ctxs[0].blk.startPc,
+                                       static_cast<unsigned>(k),
+                                       prev, line_size,
+                                       ln.cfg.nearBlock);
+
+                batchTrain(ln, idxk, prev);
+                ln.ghr.shiftInBlock(prev.condMask, prev.numConds);
+                batchApplyRasOp(ln.ras, prev);
+            }
+
+            ln.bw.endRequest(ln.stats.instructions - insts0, g_count,
+                             ln.events != ev0);
+        }
+
+        if (g_count < n)
+            break;      // block index exhausted mid-group
+        bi = g_first + g_count - 1;
+        std::swap(ctxs[0], ctxs[g_count]);
+    }
+
+    for (auto &lp : lanes) {
+        BatchLane &ln = *lp;
+        ln.stats.rasOverflows = ln.ras.overflows();
+        ln.pht.obsFlush();
+        ln.bit.obsFlush();
+        ln.ras.obsFlush();
+        ln.st->obsFlush();
+        ln.attr.flush();
+        ln.bw.flush();
+        obs::flushCounter("engine.multi.runs", 1);
+    }
+}
+
+/** Two-block-ahead lane: the table + pending ring are the whole
+ *  predictor state. */
+struct TwoAheadLane
+{
+    struct Entry
+    {
+        Addr twoAhead = 0;
+        bool valid = false;
+    };
+    struct Pending
+    {
+        std::size_t idx = 0;
+        Addr predicted = 0;
+        bool valid = false;
+    };
+
+    const FetchEngineConfig cfg;
+    FetchStats stats;
+    GlobalHistory ghr;
+    PenaltyModel penalties;
+    std::vector<Entry> table;
+    Pending pending[2];
+    std::size_t pcount = 0;
+    std::size_t phead = 0;
+    obs::AttributionSink attr;
+    FetchBandwidth bw;
+    bool req_open = false;
+    uint64_t req_ev0 = 0, req_insts0 = 0, req_blocks = 0;
+    uint64_t events = 0;
+
+    explicit TwoAheadLane(const FetchEngineConfig &c)
+        : cfg(c), ghr(c.historyBits), penalties(false),
+          table(std::size_t{ 1 } << c.historyBits),
+          bw("engine.two_ahead")
+    {
+        mbbp_assert(!cfg.doubleSelect,
+                    "double selection is a select-table concept");
+    }
+};
+
+void
+runTwoAheadTile(const DecodedTrace &dec,
+                std::vector<std::unique_ptr<TwoAheadLane>> &lanes)
+{
+    const unsigned line_size = lanes[0]->cfg.icache.lineSize;
+    const unsigned num_banks = lanes[0]->cfg.icache.numBanks;
+    const std::size_t nblocks = dec.numBlocks();
+
+    BatchBlockCtx cur, prevCtx;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        cur.build(dec, b, line_size);
+        // Second slot of a request: stash (= block b-1) vs this one.
+        const bool conflict =
+            (b >= 2 && b % 2 == 0)
+                ? batchBankConflict(prevCtx, cur, num_banks) : false;
+
+        for (auto &lp : lanes) {
+            TwoAheadLane &ln = *lp;
+            if (b == 0) {
+                ++ln.stats.fetchRequests;
+                ln.req_open = true;
+                ln.req_ev0 = ln.events;
+                ln.req_insts0 = ln.stats.instructions;
+                ln.req_blocks = 0;
+            } else if (b % 2 == 1) {
+                ln.bw.endRequest(ln.stats.instructions -
+                                     ln.req_insts0,
+                                 ln.req_blocks,
+                                 ln.events != ln.req_ev0);
+                ++ln.stats.fetchRequests;
+                ln.req_ev0 = ln.events;
+                ln.req_insts0 = ln.stats.instructions;
+                ln.req_blocks = 0;
+            } else if (conflict) {
+                ln.stats.charge(PenaltyKind::BankConflict,
+                                ln.penalties.cycles(
+                                    PenaltyKind::BankConflict, 1));
+            }
+            batchCountBlockStats(ln.stats, cur);
+            ++ln.req_blocks;
+
+            // Score the prediction made two blocks ago.
+            if (ln.pcount == 2) {
+                TwoAheadLane::Pending p = ln.pending[ln.phead];
+                ln.phead ^= 1;
+                --ln.pcount;
+                unsigned slot = b % 2 == 1 ? 0u : 1u;
+                if (!p.valid || p.predicted != cur.blk.startPc) {
+                    PenaltyKind kind =
+                        PenaltyKind::MisfetchImmediate;
+                    if (prevCtx.endsTaken) {
+                        if (prevCtx.exitIsCond)
+                            kind = PenaltyKind::CondMispredict;
+                        else if (prevCtx.exitIsReturn)
+                            kind = PenaltyKind::ReturnMispredict;
+                        else if (prevCtx.exitIsIndirect)
+                            kind = PenaltyKind::MisfetchIndirect;
+                    } else {
+                        kind = prevCtx.numConds > 0
+                            ? PenaltyKind::CondMispredict
+                            : PenaltyKind::MisfetchImmediate;
+                    }
+                    laneCharge(ln.stats, ln.attr, ln.events,
+                               prevCtx.blk.startPc, slot, kind,
+                               ln.penalties.cycles(kind, slot));
+                    if (kind == PenaltyKind::CondMispredict)
+                        ++ln.stats.condDirectionWrong;
+                }
+                ln.table[p.idx] = { cur.blk.startPc, true };
+            }
+
+            // Make this block's two-ahead prediction.
+            std::size_t idx =
+                (ln.ghr.value() ^
+                 xorFold(cur.lineAddr, ln.cfg.historyBits)) &
+                mask(ln.cfg.historyBits);
+            ln.pending[(ln.phead + ln.pcount) % 2] =
+                { idx, ln.table[idx].twoAhead, ln.table[idx].valid };
+            ++ln.pcount;
+
+            ln.ghr.shiftInBlock(cur.condMask, cur.numConds);
+        }
+
+        std::swap(prevCtx, cur);
+    }
+
+    for (auto &lp : lanes) {
+        TwoAheadLane &ln = *lp;
+        if (ln.req_open)
+            ln.bw.endRequest(ln.stats.instructions - ln.req_insts0,
+                             ln.req_blocks,
+                             ln.events != ln.req_ev0);
+        ln.attr.flush();
+        ln.bw.flush();
+        obs::flushCounter("engine.two_ahead.runs", 1);
+    }
+}
+
+/** Greedy consecutive tiling under the footprint budget + lane cap.
+ *  A single oversized lane still gets its own tile. */
+template <typename FootprintFn>
+std::vector<std::pair<std::size_t, std::size_t>>
+greedyTiles(std::size_t n, const BatchTileOptions &opts,
+            FootprintFn &&footprint)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> tiles;
+    std::size_t first = 0;
+    while (first < n) {
+        std::size_t count = 0;
+        std::size_t bytes = 0;
+        while (first + count < n && count < opts.maxLanes) {
+            std::size_t fp = footprint(first + count);
+            if (count > 0 && bytes + fp > opts.cacheBudgetBytes)
+                break;
+            bytes += fp;
+            ++count;
+        }
+        tiles.emplace_back(first, count);
+        first += count;
+    }
+    return tiles;
+}
+
+std::vector<FetchStats>
+runTile(BatchEngineKind kind, unsigned num_blocks,
+        const std::vector<const FetchEngineConfig *> &cfgs,
+        const DecodedTrace &dec)
+{
+    const unsigned line_size = cfgs[0]->icache.lineSize;
+    std::vector<FetchStats> out;
+    out.reserve(cfgs.size());
+
+    if (kind == BatchEngineKind::TwoAhead) {
+        std::vector<std::unique_ptr<TwoAheadLane>> lanes;
+        lanes.reserve(cfgs.size());
+        for (const FetchEngineConfig *c : cfgs)
+            lanes.push_back(std::make_unique<TwoAheadLane>(*c));
+        runTwoAheadTile(dec, lanes);
+        for (auto &l : lanes)
+            out.push_back(l->stats);
+        return out;
+    }
+
+    std::vector<std::unique_ptr<BatchLane>> lanes;
+    lanes.reserve(cfgs.size());
+    for (const FetchEngineConfig *c : cfgs)
+        lanes.push_back(std::make_unique<BatchLane>(kind, *c,
+                                                    num_blocks,
+                                                    line_size));
+    switch (kind) {
+      case BatchEngineKind::Single:
+        runSingleTile(dec, lanes);
+        break;
+      case BatchEngineKind::Dual:
+        runDualTile(dec, lanes);
+        break;
+      default:
+        runMultiTile(dec, lanes, num_blocks);
+        break;
+    }
+    for (auto &l : lanes)
+        out.push_back(l->stats);
+    return out;
+}
+
+} // namespace
+
+const char *
+batchEngineKindName(BatchEngineKind k)
+{
+    switch (k) {
+      case BatchEngineKind::Single:
+        return "single";
+      case BatchEngineKind::Dual:
+        return "dual";
+      case BatchEngineKind::Multi:
+        return "multi";
+      case BatchEngineKind::TwoAhead:
+        return "two_ahead";
+    }
+    return "?";
+}
+
+BatchKey
+BatchKey::of(const SimConfig &cfg)
+{
+    BatchKey k;
+    k.kind = cfg.numBlocks == 1 ? BatchEngineKind::Single
+           : cfg.numBlocks == 2 ? BatchEngineKind::Dual
+                                : BatchEngineKind::Multi;
+    k.numBlocks = cfg.numBlocks;
+    k.cacheType = cfg.engine.icache.type;
+    k.blockWidth = cfg.engine.icache.blockWidth;
+    k.lineSize = cfg.engine.icache.lineSize;
+    k.numBanks = cfg.engine.icache.numBanks;
+    return k;
+}
+
+bool
+BatchKey::operator<(const BatchKey &o) const
+{
+    return std::make_tuple(kind, numBlocks, cacheType, blockWidth,
+                           lineSize, numBanks) <
+        std::make_tuple(o.kind, o.numBlocks, o.cacheType,
+                        o.blockWidth, o.lineSize, o.numBanks);
+}
+
+std::size_t
+batchLaneFootprintBytes(BatchEngineKind kind,
+                        const FetchEngineConfig &cfg,
+                        unsigned num_blocks)
+{
+    std::size_t bytes = 4096;   // lane object + scratch overhead
+    const std::size_t entries = std::size_t{ 1 } << cfg.historyBits;
+    if (kind == BatchEngineKind::TwoAhead)
+        return bytes + entries * 16;
+
+    bytes += entries * cfg.numPhts * cfg.icache.blockWidth *
+        sizeof(SatCounter);
+    bytes += cfg.bitEntries *
+        (cfg.icache.lineSize * sizeof(BitCode) + 16);
+
+    unsigned slots = 0;
+    if (kind == BatchEngineKind::Dual)
+        slots = cfg.doubleSelect ? 2 : 1;
+    else if (kind == BatchEngineKind::Multi)
+        slots = num_blocks > 1 ? num_blocks - 1 : 1;
+    bytes += entries * cfg.numSelectTables * slots *
+        sizeof(SelectEntry);
+
+    const unsigned arrays =
+        kind == BatchEngineKind::Multi ? num_blocks
+        : kind == BatchEngineKind::Dual ? 2u : 1u;
+    if (cfg.targetKind == TargetKind::Nls)
+        bytes += cfg.targetEntries * arrays * 16;
+    else
+        bytes += cfg.targetEntries * 32;
+
+    bytes += cfg.icacheLines * 24;
+    bytes += cfg.rasEntries * sizeof(Addr);
+    return bytes;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+planBatchTiles(const std::vector<SimConfig> &configs,
+               const BatchTileOptions &opts)
+{
+    if (configs.empty())
+        return {};
+    const BatchKey key = BatchKey::of(configs[0]);
+    return greedyTiles(configs.size(), opts, [&](std::size_t i) {
+        return batchLaneFootprintBytes(key.kind, configs[i].engine,
+                                       configs[i].numBlocks);
+    });
+}
+
+std::vector<FetchStats>
+batchReplay(const std::vector<SimConfig> &configs,
+            const DecodedTrace &dec, const BatchTileOptions &opts)
+{
+    std::vector<FetchStats> out(configs.size());
+    if (configs.empty())
+        return out;
+
+    const BatchKey key = BatchKey::of(configs[0]);
+    for (const SimConfig &c : configs)
+        mbbp_assert(BatchKey::of(c) == key,
+                    "batched configs must share one BatchKey");
+    mbbp_assert(dec.geometryCompatible(configs[0].engine.icache),
+                "decoded trace was cut for another geometry");
+
+    for (auto [first, count] : planBatchTiles(configs, opts)) {
+        std::vector<const FetchEngineConfig *> cfgs;
+        cfgs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            cfgs.push_back(&configs[first + i].engine);
+        std::vector<FetchStats> tile =
+            runTile(key.kind, key.numBlocks, cfgs, dec);
+        for (std::size_t i = 0; i < count; ++i)
+            out[first + i] = tile[i];
+    }
+    return out;
+}
+
+std::vector<FetchStats>
+batchReplayKind(BatchEngineKind kind,
+                const std::vector<FetchEngineConfig> &configs,
+                unsigned num_blocks, const DecodedTrace &dec,
+                const BatchTileOptions &opts)
+{
+    std::vector<FetchStats> out(configs.size());
+    if (configs.empty())
+        return out;
+
+    const ICacheConfig &g = configs[0].icache;
+    for (const FetchEngineConfig &c : configs)
+        mbbp_assert(c.icache.type == g.type &&
+                        c.icache.blockWidth == g.blockWidth &&
+                        c.icache.lineSize == g.lineSize &&
+                        c.icache.numBanks == g.numBanks,
+                    "batched configs must share the i-cache "
+                    "geometry");
+    mbbp_assert(dec.geometryCompatible(g),
+                "decoded trace was cut for another geometry");
+
+    auto tiles = greedyTiles(configs.size(), opts,
+                             [&](std::size_t i) {
+        return batchLaneFootprintBytes(kind, configs[i], num_blocks);
+    });
+    for (auto [first, count] : tiles) {
+        std::vector<const FetchEngineConfig *> cfgs;
+        cfgs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            cfgs.push_back(&configs[first + i]);
+        std::vector<FetchStats> tile =
+            runTile(kind, num_blocks, cfgs, dec);
+        for (std::size_t i = 0; i < count; ++i)
+            out[first + i] = tile[i];
+    }
+    return out;
+}
+
+} // namespace mbbp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Config-batched replay: advance N predictor configurations in
+ * lockstep through a single pass over a shared DecodedTrace.
+ *
+ * A design-space sweep replays the same trace once per sweep point;
+ * after PR 2's decode-once artifacts the remaining cost is the
+ * replay itself, which re-streams the block index -- and re-derives
+ * every lane-independent per-block fact -- once per configuration.
+ * The batched kernel reads each block exactly once per *tile* of
+ * configurations (building one BatchBlockCtx), then steps every
+ * lane's predictor state through it, so the trace walk and the
+ * decode-adjacent work are amortized across the tile.
+ *
+ * Tiling: lanes are grouped so their aggregate predictor-table
+ * footprint (PHT + select table + BIT + target array + RAS + cache
+ * tags) fits a cache budget (default 1.5 MiB, sized for a small
+ * L2), with a hard lane cap as a second bound. Oversized grids are
+ * split into consecutive tiles; a single lane larger than the
+ * budget still gets its own tile.
+ *
+ * Compatibility: lanes in one tile must share the trace, the engine
+ * kind (numBlocks dispatch), and the full i-cache geometry
+ * *including numBanks* -- geometry decides block segmentation and
+ * window shape, and the bank count decides the shared bank-conflict
+ * precomputation. Everything else (historyBits, numPhts, select
+ * tables, doubleSelect, near-block flags, BIT size, target arrays,
+ * RAS depth, finite i-cache contents, delayed PHT update) is lane
+ * state and may vary freely within a tile. BatchKey captures the
+ * shareable part; SweepRunner groups sweep points by it and falls
+ * back to the per-config path for singleton groups.
+ *
+ * Every lane produces field-exact FetchStats -- and identical obs
+ * counter/histogram and attribution output -- versus running the
+ * corresponding engine alone (see fetch/batch_engine_state.hh for
+ * the discipline, tests/sweep/batch_replay_test.cc for the proof).
+ */
+
+#ifndef MBBP_SWEEP_BATCH_REPLAY_HH
+#define MBBP_SWEEP_BATCH_REPLAY_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/fetch_simulator.hh"
+#include "trace/decoded_trace.hh"
+
+namespace mbbp
+{
+
+/** Which lockstep kernel a configuration maps to. */
+enum class BatchEngineKind : uint8_t
+{
+    Single = 0, //!< numBlocks == 1
+    Dual,       //!< numBlocks == 2 (select table, double selection)
+    Multi,      //!< numBlocks == 3..4 (Section 5 extension)
+    TwoAhead    //!< the two-block-ahead alternative (bench/tests)
+};
+
+const char *batchEngineKindName(BatchEngineKind k);
+
+/** The shareable part of a sweep point: lanes tile together iff
+ *  their keys compare equal (trace identity is the caller's job). */
+struct BatchKey
+{
+    BatchEngineKind kind = BatchEngineKind::Dual;
+    unsigned numBlocks = 2;
+    CacheType cacheType = CacheType::Normal;
+    unsigned blockWidth = 8;
+    unsigned lineSize = 8;
+    unsigned numBanks = 8;
+
+    static BatchKey of(const SimConfig &cfg);
+
+    bool operator==(const BatchKey &other) const = default;
+    bool operator<(const BatchKey &other) const;
+};
+
+/** Tile sizing knobs. */
+struct BatchTileOptions
+{
+    /** Aggregate lane-footprint budget per tile (bytes). */
+    std::size_t cacheBudgetBytes = 1536 * 1024;
+    /** Hard cap on lanes per tile. */
+    unsigned maxLanes = 16;
+};
+
+/**
+ * Rough per-lane predictor-state footprint in bytes (tables only;
+ * used solely for tiling, so precision beyond cache-pressure scale
+ * is not needed).
+ */
+std::size_t batchLaneFootprintBytes(BatchEngineKind kind,
+                                    const FetchEngineConfig &cfg,
+                                    unsigned num_blocks);
+
+/**
+ * Split @p configs (all sharing one BatchKey) into consecutive
+ * (first, count) tiles under the cache budget and lane cap.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+planBatchTiles(const std::vector<SimConfig> &configs,
+               const BatchTileOptions &opts = {});
+
+/**
+ * Replay @p dec once per tile, stepping every configuration in
+ * lockstep. All configs must share BatchKey::of and be compatible
+ * with @p dec's geometry. Returns one FetchStats per config, in
+ * input order -- field-exact versus FetchSimulator::run(dec).
+ */
+std::vector<FetchStats>
+batchReplay(const std::vector<SimConfig> &configs,
+            const DecodedTrace &dec,
+            const BatchTileOptions &opts = {});
+
+/**
+ * Kernel-selecting variant for engines FetchSimulator does not
+ * dispatch to (the two-block-ahead engine); @p num_blocks is only
+ * meaningful for BatchEngineKind::Multi.
+ */
+std::vector<FetchStats>
+batchReplayKind(BatchEngineKind kind,
+                const std::vector<FetchEngineConfig> &configs,
+                unsigned num_blocks, const DecodedTrace &dec,
+                const BatchTileOptions &opts = {});
+
+} // namespace mbbp
+
+#endif // MBBP_SWEEP_BATCH_REPLAY_HH

@@ -1,11 +1,15 @@
 #include "sweep/sweep_runner.hh"
 
 #include <chrono>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "obs/obs.hh"
 #include "sweep/thread_pool.hh"
+#include "workload/spec95.hh"
 
 namespace mbbp
 {
@@ -21,6 +25,34 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start)
         .count();
 }
+
+/** Fold one program's stats into a job's SuiteResult, in the exact
+ *  order runSuite does. */
+void
+accumulateProgram(SuiteResult &result, const std::string &name,
+                  const FetchStats &s)
+{
+    result.perProgram[name] = s;
+    result.allTotal.accumulate(s);
+    if (specProfile(name).isFloat)
+        result.fpTotal.accumulate(s);
+    else
+        result.intTotal.accumulate(s);
+}
+
+/**
+ * One tile of the batched schedule: a run of compatible jobs that
+ * replay together, with a (program -> per-lane stats) buffer filled
+ * by one pool task per program.
+ */
+struct BatchedTile
+{
+    std::vector<std::size_t> jobIdx;    //!< lanes, ascending job index
+    std::vector<SimConfig> configs;
+    std::size_t remaining = 0;          //!< program tasks outstanding
+    double seconds = 0.0;               //!< summed task wall clock
+    std::map<std::string, std::vector<FetchStats>> stats;
+};
 
 } // namespace
 
@@ -48,7 +80,22 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     std::mutex progress_mutex;
     std::size_t completed = 0;
 
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Serialized job-completion bookkeeping (call under the mutex).
+    auto finishJob = [&](std::size_t i, double seconds) {
+        static obs::Histogram &job_h = obs::histogram("sweep.job_ns");
+        job_h.record(static_cast<uint64_t>(seconds * 1e9));
+        if (opts.progress) {
+            ++completed;
+            SweepProgress p;
+            p.completed = completed;
+            p.total = jobs.size();
+            p.job = &result.jobs[i].job;
+            p.jobSeconds = seconds;
+            opts.progress(p);
+        }
+    };
+
+    auto submitPerConfig = [&](std::size_t i) {
         pool.submit([&, i] {
             obs::ScopedTimer job_span(
                 job_t, "job " + std::to_string(i));
@@ -58,24 +105,100 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
             slot.result = runSuite(jobs[i].config, traces, benchmarks,
                                    opts.sharedDecode);
             slot.seconds = secondsSince(job_start);
-            // Job-duration distribution: p99 vs p50 shows whether
-            // stragglers limit the pool (wall-clock shaped, so the
-            // bench gate ignores it).
-            static obs::Histogram &job_h =
-                obs::histogram("sweep.job_ns");
-            job_h.record(static_cast<uint64_t>(
-                slot.seconds * 1e9));
-            if (opts.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                ++completed;
-                SweepProgress p;
-                p.completed = completed;
-                p.total = jobs.size();
-                p.job = &slot.job;
-                p.jobSeconds = slot.seconds;
-                opts.progress(p);
-            }
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            finishJob(i, slot.seconds);
         });
+    };
+
+    if (!opts.batchedReplay) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            submitPerConfig(i);
+        pool.wait();
+        result.wallSeconds = secondsSince(sweep_start);
+        return result;
+    }
+
+    // ===== Batched schedule =====
+    // Group jobs by BatchKey, tile each group under the cache
+    // budget, and replay every trace once per tile. A key shared by
+    // no other job gains nothing from lockstep; those jobs keep the
+    // per-config path (the "incompatible grid" fallback).
+    const std::vector<std::string> run_names =
+        benchmarks.empty() ? specAllNames() : benchmarks;
+
+    std::map<BatchKey, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        groups[BatchKey::of(jobs[i].config)].push_back(i);
+
+    std::deque<BatchedTile> tiles;      //!< stable addresses
+    for (auto &[key, idxs] : groups) {
+        if (idxs.size() < 2) {
+            for (std::size_t i : idxs)
+                submitPerConfig(i);
+            continue;
+        }
+        std::vector<SimConfig> cfgs;
+        cfgs.reserve(idxs.size());
+        for (std::size_t i : idxs)
+            cfgs.push_back(jobs[i].config);
+        for (auto [first, count] :
+             planBatchTiles(cfgs, opts.batchTile)) {
+            BatchedTile t;
+            for (std::size_t k = 0; k < count; ++k) {
+                t.jobIdx.push_back(idxs[first + k]);
+                t.configs.push_back(cfgs[first + k]);
+            }
+            t.remaining = run_names.size();
+            for (const std::string &name : run_names)
+                t.stats[name].resize(count);
+            tiles.push_back(std::move(t));
+        }
+    }
+
+    for (BatchedTile &tile : tiles) {
+        for (const std::string &name : run_names) {
+            pool.submit([&, name] {
+                obs::ScopedTimer job_span(job_t, "tile " + name);
+                Clock::time_point t0 = Clock::now();
+                const ICacheConfig &geom =
+                    tile.configs[0].engine.icache;
+                std::vector<FetchStats> lane_stats;
+                if (opts.sharedDecode) {
+                    lane_stats =
+                        batchReplay(tile.configs,
+                                    *traces.decoded(name, geom),
+                                    opts.batchTile);
+                } else {
+                    DecodedTrace dec =
+                        DecodedTrace::build(traces.get(name), geom);
+                    lane_stats = batchReplay(tile.configs, dec,
+                                             opts.batchTile);
+                }
+                double secs = secondsSince(t0);
+
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                tile.stats[name] = std::move(lane_stats);
+                tile.seconds += secs;
+                if (--tile.remaining != 0)
+                    return;
+                // Last program of the tile: assemble every lane's
+                // SuiteResult (we own the tile now) and complete its
+                // jobs in deterministic lane order.
+                double per_job = tile.seconds /
+                    static_cast<double>(tile.jobIdx.size());
+                for (std::size_t l = 0; l < tile.jobIdx.size();
+                     ++l) {
+                    std::size_t i = tile.jobIdx[l];
+                    SweepJobResult &slot = result.jobs[i];
+                    slot.job = jobs[i];
+                    for (const std::string &nm : run_names)
+                        accumulateProgram(slot.result, nm,
+                                          tile.stats[nm][l]);
+                    slot.seconds = per_job;
+                    finishJob(i, per_job);
+                }
+            });
+        }
     }
     pool.wait();
 

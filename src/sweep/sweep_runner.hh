@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/suite_runner.hh"
+#include "sweep/batch_replay.hh"
 #include "sweep/sweep_spec.hh"
 
 namespace mbbp
@@ -41,6 +42,19 @@ struct SweepOptions
      * pre-artifact wall clock. Benchmarking knob; leave on.
      */
     bool sharedDecode = true;
+
+    /**
+     * Group compatible sweep points (same BatchKey: engine kind +
+     * full i-cache geometry) and advance each group in lockstep
+     * through one trace pass per cache-budgeted tile, instead of
+     * replaying the trace once per job (see sweep/batch_replay.hh).
+     * Results are field-exact versus the per-config path; jobs whose
+     * key matches no other job fall back to that path automatically.
+     */
+    bool batchedReplay = false;
+
+    /** Tile sizing when batchedReplay is on. */
+    BatchTileOptions batchTile;
 
     /** Called after each job completes; never concurrently. */
     std::function<void(const SweepProgress &)> progress;

@@ -112,6 +112,20 @@ DecodedTrace::build(const InMemoryTrace &trace,
     return dec;
 }
 
+std::size_t
+DecodedTrace::bytes() const
+{
+    auto vec = [](const auto &v) {
+        return v.capacity() * sizeof(v[0]);
+    };
+    return vec(insts_) + image_.bytes() + vec(startPc_) +
+           vec(nextPc_) + vec(firstInst_) + vec(numInsts_) +
+           vec(exitIdx_) + vec(condMask_) + vec(numConds_) +
+           vec(numNotTaken_) + vec(branches_) + vec(nearConds_) +
+           vec(rasOp_) + vec(windowLen_) + vec(codesOffset_) +
+           vec(codesNear_) + vec(codesPlain_);
+}
+
 bool
 DecodedTrace::geometryCompatible(const ICacheConfig &other) const
 {

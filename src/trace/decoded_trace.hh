@@ -74,6 +74,9 @@ class DecodedTrace
     const std::vector<DynInst> &insts() const { return insts_; }
     const StaticImage &image() const { return image_; }
 
+    /** Approximate heap footprint -- what a cache budget charges. */
+    std::size_t bytes() const;
+
     /** @{ The block index. */
     std::size_t numBlocks() const { return startPc_.size(); }
 

@@ -48,6 +48,18 @@ StaticImage::freeze()
     frozen_ = true;
 }
 
+std::size_t
+StaticImage::bytes() const
+{
+    // The map's nodes carry bucket/next-pointer overhead the standard
+    // does not expose; 2 pointers per node is a fair estimate.
+    std::size_t map_bytes =
+        map_.size() *
+        (sizeof(Addr) + sizeof(StaticInfo) + 2 * sizeof(void *));
+    return map_bytes + keys_.capacity() * sizeof(Addr) +
+           infos_.capacity() * sizeof(StaticInfo);
+}
+
 StaticInfo
 StaticImage::lookup(Addr pc) const
 {

@@ -65,6 +65,9 @@ class StaticImage
 
     std::size_t size() const { return map_.size(); }
 
+    /** Approximate heap footprint (both representations). */
+    std::size_t bytes() const;
+
   private:
     std::unordered_map<Addr, StaticInfo> map_;
     std::vector<Addr> keys_;            //!< sorted PCs (frozen form)

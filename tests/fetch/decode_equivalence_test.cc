@@ -138,19 +138,20 @@ TEST(DecodeEquivalenceSuite, TraceCacheMemoizesPerGeometry)
 {
     TraceCache traces(20000);
     ICacheConfig geom = ICacheConfig::normal(8);
-    const DecodedTrace &a = traces.decoded("li", geom);
+    std::shared_ptr<const DecodedTrace> a = traces.decoded("li", geom);
 
     // Same key -> the same artifact object, even across bank counts.
     ICacheConfig banked = geom;
     banked.numBanks = 2;
-    EXPECT_EQ(&a, &traces.decoded("li", banked));
+    EXPECT_EQ(a.get(), traces.decoded("li", banked).get());
 
     // Different geometry or trace -> a different artifact.
-    EXPECT_NE(&a, &traces.decoded("li", ICacheConfig::extended(8)));
-    EXPECT_NE(&a, &traces.decoded("perl", geom));
+    EXPECT_NE(a.get(),
+              traces.decoded("li", ICacheConfig::extended(8)).get());
+    EXPECT_NE(a.get(), traces.decoded("perl", geom).get());
 
     // The artifact replays the cached trace.
-    EXPECT_EQ(a.insts().size(), traces.get("li").insts().size());
+    EXPECT_EQ(a->insts().size(), traces.get("li").insts().size());
 }
 
 TEST(DecodeEquivalenceSuite, RunSuiteSharedDecodeIsByteIdentical)

@@ -157,20 +157,52 @@ TEST(BenchDiff, FirstMatchingRuleWins)
     EXPECT_EQ(diffFor(r, "m.jobs")->rule, "m.*");
 }
 
-TEST(BenchDiff, MissingGatedMetricIsARegression)
+TEST(BenchDiff, RemovedMetricsAreInformationalOnly)
 {
+    // A metric that vanished -- even a gated one -- reads as
+    // "removed", not as a regression: the gate judges only metrics
+    // both documents measured, so renames and retired metrics never
+    // fail the build.
     std::vector<MetricRule> rules = {
         { "gone", DiffDirection::Exact, 0.0 },
     };
     obs::BenchDiffResult r =
         diffDocs(R"({"gone": 1, "kept": 2})", R"({"kept": 2})",
                  rules);
-    EXPECT_TRUE(r.hasRegression());
+    EXPECT_FALSE(r.hasRegression());
     ASSERT_NE(diffFor(r, "gone"), nullptr);
-    EXPECT_EQ(diffFor(r, "gone")->status, DiffStatus::Missing);
+    EXPECT_EQ(diffFor(r, "gone")->status, DiffStatus::Removed);
     EXPECT_FALSE(diffFor(r, "gone")->hasCurrent);
     // Unruled metrics never gate, present or not.
     EXPECT_EQ(diffFor(r, "kept")->status, DiffStatus::Info);
+
+    // The human-readable report calls both sides out.
+    std::string text = obs::benchDiffReportText(r);
+    EXPECT_NE(text.find("removed gone"), std::string::npos);
+    EXPECT_NE(text.find("0 regression(s)"), std::string::npos);
+}
+
+TEST(BenchDiff, RemovedUnderIgnoreRuleStaysIgnored)
+{
+    std::vector<MetricRule> rules = {
+        { "wall", DiffDirection::Ignore, 0.0 },
+    };
+    obs::BenchDiffResult r =
+        diffDocs(R"({"wall": 1.5})", R"({})", rules);
+    EXPECT_EQ(diffFor(r, "wall")->status, DiffStatus::Ignored);
+    EXPECT_FALSE(r.hasRegression());
+}
+
+TEST(BenchDiff, DefaultRulesBandTheBatchedSpeedups)
+{
+    obs::BenchDiffResult r = diffDocs(
+        R"({"batchedSpeedup1T": 4.0, "batchedSpeedup8T": 4.0})",
+        R"({"batchedSpeedup1T": 3.5, "batchedSpeedup8T": 1.5})",
+        obs::defaultPerfSweepRules());
+    // Within the noise band: fine. Collapsed: a regression.
+    EXPECT_EQ(diffFor(r, "batchedSpeedup1T")->status, DiffStatus::Ok);
+    EXPECT_EQ(diffFor(r, "batchedSpeedup8T")->status,
+              DiffStatus::Regression);
 }
 
 TEST(BenchDiff, NewMetricsAreInformationalOnly)

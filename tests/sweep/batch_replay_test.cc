@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Batched-vs-per-config equivalence: the config-batched replay
+ * kernel must produce field-exact FetchStats and identical
+ * attribution tables versus running each engine alone, across all
+ * four engine kinds, multiple traces, ragged tiles, and the
+ * configuration corners that exercise different lane state.
+ */
+
+#include "sweep/batch_replay.hh"
+
+#include <gtest/gtest.h>
+
+#include "fetch/dual_block_engine.hh"
+#include "fetch/multi_block_engine.hh"
+#include "fetch/single_block_engine.hh"
+#include "fetch/two_ahead_engine.hh"
+#include "obs/attribution.hh"
+#include "workload/spec95.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+constexpr std::size_t kInsts = 25000;
+
+/** Lane-state corners: everything that may vary within a tile. */
+std::vector<FetchEngineConfig>
+laneCorners(bool allow_double_select)
+{
+    std::vector<FetchEngineConfig> cfgs;
+
+    cfgs.emplace_back();                    // paper defaults
+
+    FetchEngineConfig small;
+    small.historyBits = 6;
+    small.numSelectTables = 4;
+    cfgs.push_back(small);
+
+    FetchEngineConfig near;
+    near.nearBlock = true;
+    cfgs.push_back(near);
+
+    FetchEngineConfig finite_bit;
+    finite_bit.bitEntries = 64;
+    cfgs.push_back(finite_bit);
+
+    FetchEngineConfig delayed;
+    delayed.delayedPhtUpdate = true;
+    cfgs.push_back(delayed);
+
+    FetchEngineConfig near_delayed;
+    near_delayed.nearBlock = true;
+    near_delayed.nearBlockStoredOffset = true;
+    near_delayed.delayedPhtUpdate = true;
+    cfgs.push_back(near_delayed);
+
+    FetchEngineConfig finite_cache;
+    finite_cache.icacheLines = 64;
+    finite_cache.icacheAssoc = 2;
+    finite_cache.icacheMissPenalty = 6;
+    cfgs.push_back(finite_cache);
+
+    FetchEngineConfig btb;
+    btb.targetKind = TargetKind::Btb;
+    btb.targetEntries = 128;
+    btb.btbAssoc = 4;
+    cfgs.push_back(btb);
+
+    if (allow_double_select) {
+        FetchEngineConfig dsel;
+        dsel.doubleSelect = true;
+        cfgs.push_back(dsel);
+
+        FetchEngineConfig dsel_near;
+        dsel_near.doubleSelect = true;
+        dsel_near.nearBlock = true;
+        cfgs.push_back(dsel_near);
+    }
+    return cfgs;
+}
+
+std::vector<SimConfig>
+simConfigs(const std::vector<FetchEngineConfig> &engines,
+           unsigned num_blocks)
+{
+    std::vector<SimConfig> cfgs;
+    for (const FetchEngineConfig &e : engines) {
+        SimConfig c;
+        c.engine = e;
+        c.numBlocks = num_blocks;
+        cfgs.push_back(c);
+    }
+    return cfgs;
+}
+
+class BatchReplayTest : public ::testing::Test
+{
+  protected:
+    BatchReplayTest()
+        : go_(specTrace("go", kInsts)),
+          compress_(specTrace("compress", kInsts))
+    {
+    }
+
+    const std::vector<const InMemoryTrace *> traces() const
+    {
+        return { &go_, &compress_ };
+    }
+
+    InMemoryTrace go_;
+    InMemoryTrace compress_;
+};
+
+TEST_F(BatchReplayTest, SingleEngineFieldExact)
+{
+    for (const InMemoryTrace *trace : traces()) {
+        std::vector<SimConfig> cfgs =
+            simConfigs(laneCorners(false), 1);
+        DecodedTrace dec =
+            DecodedTrace::build(*trace, cfgs[0].engine.icache);
+        std::vector<FetchStats> batched = batchReplay(cfgs, dec);
+        ASSERT_EQ(batched.size(), cfgs.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            SingleBlockEngine engine(cfgs[i].engine);
+            EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, DualEngineFieldExact)
+{
+    for (const InMemoryTrace *trace : traces()) {
+        std::vector<SimConfig> cfgs = simConfigs(laneCorners(true), 2);
+        DecodedTrace dec =
+            DecodedTrace::build(*trace, cfgs[0].engine.icache);
+        std::vector<FetchStats> batched = batchReplay(cfgs, dec);
+        ASSERT_EQ(batched.size(), cfgs.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            DualBlockEngine engine(cfgs[i].engine);
+            EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, MultiEngineFieldExact)
+{
+    for (unsigned n = 3; n <= 4; ++n) {
+        for (const InMemoryTrace *trace : traces()) {
+            std::vector<SimConfig> cfgs =
+                simConfigs(laneCorners(false), n);
+            DecodedTrace dec =
+                DecodedTrace::build(*trace, cfgs[0].engine.icache);
+            std::vector<FetchStats> batched = batchReplay(cfgs, dec);
+            ASSERT_EQ(batched.size(), cfgs.size());
+            for (std::size_t i = 0; i < cfgs.size(); ++i) {
+                MultiBlockEngine engine(cfgs[i].engine, n);
+                EXPECT_EQ(engine.run(dec), batched[i])
+                    << "n=" << n << " lane " << i;
+            }
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, TwoAheadEngineFieldExact)
+{
+    for (const InMemoryTrace *trace : traces()) {
+        std::vector<FetchEngineConfig> cfgs = laneCorners(false);
+        DecodedTrace dec =
+            DecodedTrace::build(*trace, cfgs[0].icache);
+        std::vector<FetchStats> batched = batchReplayKind(
+            BatchEngineKind::TwoAhead, cfgs, 2, dec);
+        ASSERT_EQ(batched.size(), cfgs.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            TwoAheadEngine engine(cfgs[i]);
+            EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, RaggedTileIsStillExact)
+{
+    // 5 lanes, max tile width 2: tiles (0,2) (2,2) (4,1) -- the last
+    // tile is deliberately ragged.
+    std::vector<FetchEngineConfig> engines;
+    for (unsigned h : { 6u, 8u, 10u, 12u, 7u }) {
+        FetchEngineConfig e;
+        e.historyBits = h;
+        engines.push_back(e);
+    }
+    std::vector<SimConfig> cfgs = simConfigs(engines, 2);
+    DecodedTrace dec =
+        DecodedTrace::build(go_, cfgs[0].engine.icache);
+
+    BatchTileOptions opts;
+    opts.maxLanes = 2;
+    auto tiles = planBatchTiles(cfgs, opts);
+    ASSERT_EQ(tiles.size(), 3u);
+    EXPECT_EQ(tiles.back().second, 1u);
+
+    std::vector<FetchStats> batched = batchReplay(cfgs, dec, opts);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        DualBlockEngine engine(cfgs[i].engine);
+        EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+    }
+}
+
+TEST_F(BatchReplayTest, TinyBudgetDegradesToOneLanePerTile)
+{
+    std::vector<SimConfig> cfgs =
+        simConfigs(laneCorners(false), 1);
+    BatchTileOptions opts;
+    opts.cacheBudgetBytes = 1;  // even one lane exceeds this
+    auto tiles = planBatchTiles(cfgs, opts);
+    ASSERT_EQ(tiles.size(), cfgs.size());
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        EXPECT_EQ(tiles[i].first, i);
+        EXPECT_EQ(tiles[i].second, 1u);
+    }
+
+    DecodedTrace dec =
+        DecodedTrace::build(compress_, cfgs[0].engine.icache);
+    std::vector<FetchStats> batched = batchReplay(cfgs, dec, opts);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        SingleBlockEngine engine(cfgs[i].engine);
+        EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+    }
+}
+
+TEST_F(BatchReplayTest, SingleBankGeometryKeepsConflictsExact)
+{
+    // numBanks=1 makes every distinct-line pair conflict, stressing
+    // the shared bank-conflict precompute on all engine kinds.
+    FetchEngineConfig banked;
+    banked.icache.numBanks = 1;
+    FetchEngineConfig banked_small = banked;
+    banked_small.historyBits = 7;
+    std::vector<FetchEngineConfig> engines{ banked, banked_small };
+
+    for (unsigned n : { 2u, 4u }) {
+        std::vector<SimConfig> cfgs = simConfigs(engines, n);
+        DecodedTrace dec =
+            DecodedTrace::build(go_, cfgs[0].engine.icache);
+        std::vector<FetchStats> batched = batchReplay(cfgs, dec);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            FetchSimulator sim(cfgs[i]);
+            EXPECT_EQ(sim.run(dec), batched[i])
+                << "n=" << n << " lane " << i;
+        }
+    }
+}
+
+void
+expectSameRows(const std::vector<obs::AttributionRow> &a,
+               const std::vector<obs::AttributionRow> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].blockPc, b[i].blockPc) << "row " << i;
+        EXPECT_EQ(a[i].slot, b[i].slot) << "row " << i;
+        EXPECT_EQ(a[i].events, b[i].events) << "row " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "row " << i;
+        EXPECT_EQ(a[i].byCause, b[i].byCause) << "row " << i;
+    }
+}
+
+TEST_F(BatchReplayTest, AttributionTablesMatchPerConfig)
+{
+    std::vector<SimConfig> cfgs = simConfigs(laneCorners(true), 2);
+    DecodedTrace dec =
+        DecodedTrace::build(go_, cfgs[0].engine.icache);
+
+    obs::setAttributionEnabled(true);
+    obs::resetAttribution();
+    for (const SimConfig &c : cfgs) {
+        DualBlockEngine engine(c.engine);
+        (void)engine.run(dec);
+    }
+    std::vector<obs::AttributionRow> per_config =
+        obs::attributionRows(0);
+
+    obs::resetAttribution();
+    (void)batchReplay(cfgs, dec);
+    std::vector<obs::AttributionRow> batched =
+        obs::attributionRows(0);
+
+    obs::setAttributionEnabled(false);
+    obs::resetAttribution();
+
+    EXPECT_FALSE(per_config.empty());
+    expectSameRows(per_config, batched);
+}
+
+TEST(BatchKeyTest, GroupsByEngineKindAndGeometry)
+{
+    SimConfig dual;
+    SimConfig dual_other_lane = dual;
+    dual_other_lane.engine.historyBits = 6;
+    dual_other_lane.engine.nearBlock = true;
+    EXPECT_EQ(BatchKey::of(dual), BatchKey::of(dual_other_lane));
+
+    SimConfig single = dual;
+    single.numBlocks = 1;
+    EXPECT_NE(BatchKey::of(dual), BatchKey::of(single));
+
+    SimConfig banked = dual;
+    banked.engine.icache.numBanks = 2;
+    EXPECT_NE(BatchKey::of(dual), BatchKey::of(banked));
+
+    SimConfig extended = dual;
+    extended.engine.icache = ICacheConfig::extended(8);
+    EXPECT_NE(BatchKey::of(dual), BatchKey::of(extended));
+
+    // operator< is a strict weak order consistent with ==.
+    EXPECT_FALSE(BatchKey::of(dual) < BatchKey::of(dual_other_lane));
+    EXPECT_TRUE(BatchKey::of(dual) < BatchKey::of(single) ||
+                BatchKey::of(single) < BatchKey::of(dual));
+}
+
+TEST(BatchTilerTest, BudgetSplitsWideGrids)
+{
+    std::vector<SimConfig> cfgs;
+    for (unsigned i = 0; i < 12; ++i) {
+        SimConfig c;
+        c.engine.historyBits = 12;      // ~16 KiB PHT + 64 KiB ST
+        cfgs.push_back(c);
+    }
+    std::size_t lane =
+        batchLaneFootprintBytes(BatchEngineKind::Dual,
+                                cfgs[0].engine, 2);
+    BatchTileOptions opts;
+    opts.cacheBudgetBytes = 3 * lane;
+    auto tiles = planBatchTiles(cfgs, opts);
+    ASSERT_EQ(tiles.size(), 4u);
+    std::size_t covered = 0;
+    for (auto [first, count] : tiles) {
+        EXPECT_EQ(first, covered);
+        EXPECT_LE(count, 3u);
+        covered += count;
+    }
+    EXPECT_EQ(covered, cfgs.size());
+}
+
+} // namespace
+} // namespace mbbp

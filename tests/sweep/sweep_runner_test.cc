@@ -67,6 +67,108 @@ TEST(SweepRunner, ReportsAreByteIdenticalAcrossThreadCounts)
               sweepToJson(r8, aggregates_only));
 }
 
+TEST(SweepRunner, BatchedReplayReportsAreByteIdentical)
+{
+    // Three engine kinds x two history depths: the batched schedule
+    // folds each kind's pair of jobs into one lockstep tile, and the
+    // reports must come out byte-identical to the per-config path --
+    // at one thread and at eight.
+    TraceCache traces(kInsts);
+    SweepSpec spec;
+    spec.setName("batched-equivalence");
+    spec.setBenchmarks({ "gcc", "compress", "swim" });
+    spec.addAxis("numBlocks", { "1", "2", "4" });
+    spec.addAxis("historyBits", { "6", "8" });
+
+    SweepOptions plain;
+    plain.threads = 1;
+    SweepResult ref = runSweep(spec, traces, plain);
+
+    SweepOptions batched1 = plain;
+    batched1.batchedReplay = true;
+    SweepOptions batched8 = batched1;
+    batched8.threads = 8;
+
+    SweepResult b1 = runSweep(spec, traces, batched1);
+    SweepResult b8 = runSweep(spec, traces, batched8);
+
+    EXPECT_EQ(sweepToJson(ref), sweepToJson(b1));
+    EXPECT_EQ(sweepToJson(ref), sweepToJson(b8));
+    EXPECT_EQ(sweepToCsv(ref), sweepToCsv(b1));
+    EXPECT_EQ(sweepToCsv(ref), sweepToCsv(b8));
+}
+
+TEST(SweepRunner, BatchedReplayFallsBackOnMixedGeometry)
+{
+    // Every (numBlocks, blockWidth) point has a unique BatchKey, so
+    // no tile forms and every job takes the per-config fallback; the
+    // run must still succeed and match the plain path exactly.
+    TraceCache traces(kInsts);
+    SweepSpec spec;
+    spec.setName("batched-fallback");
+    spec.setBenchmarks({ "gcc", "swim" });
+    spec.addAxis("numBlocks", { "1", "2" });
+    spec.addAxis("blockWidth", { "4", "16" });
+
+    SweepOptions plain;
+    plain.threads = 2;
+    SweepOptions batched = plain;
+    batched.batchedReplay = true;
+
+    SweepResult ref = runSweep(spec, traces, plain);
+    SweepResult b = runSweep(spec, traces, batched);
+
+    EXPECT_EQ(sweepToJson(ref), sweepToJson(b));
+    EXPECT_EQ(sweepToCsv(ref), sweepToCsv(b));
+}
+
+TEST(SweepRunner, BatchedReplayRaggedTilesStayExact)
+{
+    // maxLanes=2 over a 3-lane group forces a ragged trailing tile;
+    // mixing in a singleton geometry exercises tiles and fallback in
+    // the same run.
+    TraceCache traces(kInsts);
+    SweepSpec spec;
+    spec.setName("batched-ragged");
+    spec.setBenchmarks({ "gcc", "compress" });
+    spec.addAxis("numBlocks", { "2" });
+    spec.addAxis("historyBits", { "4", "6", "8" });
+
+    SweepOptions plain;
+    plain.threads = 1;
+    SweepOptions batched = plain;
+    batched.batchedReplay = true;
+    batched.batchTile.maxLanes = 2;
+
+    SweepResult ref = runSweep(spec, traces, plain);
+    SweepResult b = runSweep(spec, traces, batched);
+    EXPECT_EQ(sweepToJson(ref), sweepToJson(b));
+}
+
+TEST(SweepRunner, BatchedProgressSeesEveryJobSerialized)
+{
+    TraceCache traces(kInsts);
+    SweepOptions opts;
+    opts.threads = 4;
+    opts.batchedReplay = true;
+    std::atomic<int> in_callback{ 0 };
+    std::size_t calls = 0, last_completed = 0;
+    bool overlapped = false;
+    opts.progress = [&](const SweepProgress &p) {
+        if (++in_callback != 1)
+            overlapped = true;
+        ++calls;
+        last_completed = p.completed;
+        EXPECT_EQ(p.total, 4u);
+        EXPECT_NE(p.job, nullptr);
+        --in_callback;
+    };
+    runSweep(smallSpec(), traces, opts);
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(last_completed, 4u);
+    EXPECT_FALSE(overlapped);
+}
+
 TEST(SweepRunner, TimedReportsRecordThreadCount)
 {
     TraceCache traces(kInsts);
