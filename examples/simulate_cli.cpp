@@ -30,11 +30,20 @@
  *                           top-N offenders (default 20) in the
  *                           --out report, or a text table otherwise
  *   --trace-out FILE        chrome://tracing span dump of the run
+ *   --artifact-dir DIR      mmap-persist decoded traces under DIR
+ *                           (report mode; shared with sweep_serverd)
+ *
+ * Exit codes (shared with the sweep tools, see serve/exit_codes.hh):
+ * 0 ok, 1 usage, 3 unknown benchmark / unreadable trace file,
+ * 4 runtime failure, 130 interrupted mid-run. Every nonzero exit
+ * prints exactly one diagnostic line to stderr.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,6 +53,8 @@
 #include "core/mbbp.hh"
 #include "obs/attribution.hh"
 #include "obs/obs.hh"
+#include "serve/exit_codes.hh"
+#include "serve/shutdown.hh"
 
 using namespace mbbp;
 
@@ -59,7 +70,8 @@ usage()
         "  --target nls|btb --target-entries N --bit-entries N\n"
         "  --near-block --double-select --insts N --json\n"
         "  --threads N --out FILE --decoded-budget BYTES\n"
-        "  --metrics --attribution[=N] --trace-out FILE\n";
+        "  --metrics --attribution[=N] --trace-out FILE\n"
+        "  --artifact-dir DIR\n";
 }
 
 bool
@@ -83,6 +95,7 @@ main(int argc, char **argv)
     std::size_t decoded_budget = 0;
     std::string out_path;
     std::string trace_out;
+    std::string artifact_dir;
     bool metrics = false;
     unsigned attribution_n = 0;
 
@@ -155,6 +168,8 @@ main(int argc, char **argv)
             trace_out = next();
             obs::setEnabled(true);
             obs::setTracing(true);
+        } else if (arg == "--artifact-dir") {
+            artifact_dir = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -171,6 +186,30 @@ main(int argc, char **argv)
         return 1;
     }
 
+    using namespace mbbp::serve;
+
+    // Diagnose bad workload names before any simulation starts, so
+    // "you typoed gcc" exits 3 with one line instead of dying deep
+    // inside trace generation.
+    {
+        const std::vector<std::string> known = specAllNames();
+        for (const std::string &w : workloads) {
+            if (isTraceFile(w)) {
+                std::ifstream probe(w, std::ios::binary);
+                if (!probe) {
+                    std::cerr << "simulate_cli: cannot read trace "
+                              << "file: " << w << "\n";
+                    return kExitMissingTrace;
+                }
+            } else if (std::find(known.begin(), known.end(), w) ==
+                       known.end()) {
+                std::cerr << "simulate_cli: unknown benchmark: "
+                          << w << "\n";
+                return kExitMissingTrace;
+            }
+        }
+    }
+
     // Report mode: run the configuration as a one-job sweep over the
     // named benchmarks (traces generated in parallel on --threads
     // workers) and emit the sweep JSON report.
@@ -183,7 +222,11 @@ main(int argc, char **argv)
             }
         }
         try {
-            TraceCache traces(insts, decoded_budget);
+            std::shared_ptr<const ArtifactStore> store;
+            if (!artifact_dir.empty())
+                store = std::make_shared<const ArtifactStore>(
+                    artifact_dir);
+            TraceCache traces(insts, decoded_budget, store);
             {
                 ThreadPool pool(threads);
                 parallelMap(pool, workloads,
@@ -196,6 +239,7 @@ main(int argc, char **argv)
             job.config = cfg;
             SweepOptions opts;
             opts.threads = threads;
+            installShutdownHandlers(opts.cancel);
             using Clock = std::chrono::steady_clock;
             Clock::time_point start = Clock::now();
             // Progress is tty-only (reporting flags never force it
@@ -233,9 +277,16 @@ main(int argc, char **argv)
                 obs::writeChromeTrace(trace_out);
             if (out_path != "-")
                 std::cerr << "wrote " << out_path << "\n";
+        } catch (const CancelledError &) {
+            if (!trace_out.empty())
+                obs::writeChromeTrace(trace_out);
+            std::cerr << "simulate_cli: interrupted (signal "
+                      << shutdownSignal() << "), partial results "
+                      << "discarded\n";
+            return kExitInterrupted;
         } catch (const std::exception &e) {
             std::cerr << "simulate_cli: " << e.what() << "\n";
-            return 1;
+            return kExitRuntime;
         }
         return 0;
     }
@@ -249,11 +300,17 @@ main(int argc, char **argv)
     // Load the stream: a trace file if the name looks like one,
     // otherwise a synthetic benchmark.
     InMemoryTrace trace;
-    if (isTraceFile(workload)) {
-        TraceFileReader reader(workload);
-        trace = captureTrace(reader);
-    } else {
-        trace = specTrace(workload, insts);
+    try {
+        if (isTraceFile(workload)) {
+            TraceFileReader reader(workload);
+            trace = captureTrace(reader);
+        } else {
+            trace = specTrace(workload, insts);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "simulate_cli: cannot load " << workload
+                  << ": " << e.what() << "\n";
+        return kExitMissingTrace;
     }
 
     if (json) {

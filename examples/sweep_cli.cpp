@@ -28,11 +28,20 @@
  *                      to the JSON report
  *   --attribution-csv FILE  also write the offender table as CSV
  *   --trace-out FILE   write a chrome://tracing span dump of the run
+ *   --artifact-dir DIR mmap-persist decoded traces under DIR and
+ *                      reuse them across runs (shared with
+ *                      sweep_serverd)
  *   --quiet            no progress on stderr
  *   --list-fields      print the sweepable config fields and exit
  *
  * Progress is written to stderr only when stderr is a tty; piped
  * runs (CI logs) stay clean no matter which reporting flags are on.
+ *
+ * Exit codes (shared with sweep_serverd/sweep_client, see
+ * serve/exit_codes.hh): 0 ok, 1 usage, 2 invalid sweep spec,
+ * 3 unknown benchmark name, 4 runtime failure, 130 interrupted
+ * (SIGINT/SIGTERM; the sweep drains, reports are not written).
+ * Every nonzero exit prints exactly one diagnostic line to stderr.
  */
 
 #include <chrono>
@@ -46,6 +55,8 @@
 #include "core/mbbp.hh"
 #include "obs/attribution.hh"
 #include "obs/obs.hh"
+#include "serve/exit_codes.hh"
+#include "serve/shutdown.hh"
 
 using namespace mbbp;
 
@@ -63,7 +74,8 @@ usage()
         "                 [--metrics] [--attribution[=N]]\n"
         "                 [--attribution-csv FILE] "
         "[--trace-out FILE]\n"
-        "                 [--quiet] [--list-fields]\n";
+        "                 [--artifact-dir DIR] [--quiet] "
+        "[--list-fields]\n";
 }
 
 /** "[12/40] 30% elapsed 2.1s eta 4.9s" -- overwritten in place.
@@ -98,6 +110,7 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string attribution_csv;
     std::string trace_out;
+    std::string artifact_dir;
     unsigned threads = 0;
     bool batched = false;
     std::size_t decoded_budget = 0;
@@ -145,6 +158,8 @@ main(int argc, char **argv)
             trace_out = next();
             obs::setEnabled(true);
             obs::setTracing(true);
+        } else if (arg == "--artifact-dir") {
+            artifact_dir = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list-fields") {
@@ -167,16 +182,35 @@ main(int argc, char **argv)
         return 1;
     }
 
+    using namespace mbbp::serve;
+
+    SweepSpec spec;
     try {
-        SweepSpec spec = SweepSpec::fromJsonFile(spec_path);
+        spec = SweepSpec::fromJsonFile(spec_path);
+        (void)spec.expand();    // surface late validation up front
+    } catch (const UnknownBenchmarkError &e) {
+        std::cerr << "sweep_cli: " << e.what() << "\n";
+        return kExitMissingTrace;
+    } catch (const SweepError &e) {
+        std::cerr << "sweep_cli: invalid spec: " << e.what()
+                  << "\n";
+        return kExitBadSpec;
+    }
+
+    try {
+        std::shared_ptr<const ArtifactStore> store;
+        if (!artifact_dir.empty())
+            store =
+                std::make_shared<const ArtifactStore>(artifact_dir);
         TraceCache traces(spec.instructions() != 0
                               ? spec.instructions()
                               : 400000,
-                          decoded_budget);
+                          decoded_budget, store);
 
         SweepOptions opts;
         opts.threads = threads;
         opts.batchedReplay = batched;
+        installShutdownHandlers(opts.cancel);
         using Clock = std::chrono::steady_clock;
         Clock::time_point start = Clock::now();
         // The live progress line exists for humans watching a
@@ -211,9 +245,23 @@ main(int argc, char **argv)
                 std::cerr << "wrote " << trace_out << " ("
                           << obs::spanCount() << " spans)\n";
         }
+    } catch (const CancelledError &) {
+        // The sweep drained at its cancellation checkpoint; flush
+        // whatever observability the user asked for, then report
+        // the interruption the conventional way.
+        if (!trace_out.empty())
+            obs::writeChromeTrace(trace_out);
+        std::cerr << "sweep_cli: interrupted (signal "
+                  << shutdownSignal() << "), partial results "
+                  << "discarded\n";
+        return kExitInterrupted;
+    } catch (const SweepError &e) {
+        std::cerr << "sweep_cli: invalid spec: " << e.what()
+                  << "\n";
+        return kExitBadSpec;
     } catch (const std::exception &e) {
         std::cerr << "sweep_cli: " << e.what() << "\n";
-        return 1;
+        return kExitRuntime;
     }
-    return 0;
+    return kExitOk;
 }

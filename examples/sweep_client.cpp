@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Command-line client for sweep_serverd. Speaks the daemon's
+ * loopback HTTP API; never simulates anything itself.
+ *
+ * Usage:
+ *   sweep_client --port N <command> [args]
+ *     submit SPEC.json [--wait] [--out FILE]
+ *                    submit a sweep; prints {"id":...}. With
+ *                    --wait, follow progress until the job ends and
+ *                    write the result document to FILE ("-"=stdout)
+ *     status ID      one status document
+ *     result ID [--out FILE]
+ *                    fetch a finished job's report (byte-identical
+ *                    to sweep_cli's default JSON output)
+ *     cancel ID      request cancellation
+ *     watch ID       stream ndjson status lines until terminal
+ *     metrics        the server's obs snapshot
+ *     health         liveness probe
+ *     shutdown       ask the daemon to exit gracefully
+ *
+ * Exit codes: 0 ok; 1 usage; 2 the server rejected the spec as
+ * invalid; 3 the spec named an unknown benchmark; 4 the job failed
+ * (or the server answered an error for status/result/cancel);
+ * 5 server unreachable or busy (queue full / over budget /
+ * shutting down); 130 the awaited job was cancelled.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/exit_codes.hh"
+#include "serve/http.hh"
+#include "sweep/sweep_report.hh"
+#include "util/json.hh"
+
+using namespace mbbp;
+using namespace mbbp::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: sweep_client --port N <command>\n"
+        "  submit SPEC.json [--wait] [--out FILE]\n"
+        "  status ID | result ID [--out FILE] | cancel ID\n"
+        "  watch ID | metrics | health | shutdown\n";
+}
+
+/** Read a whole file; empty optional when unreadable. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** "error" member of a JSON error body, or "" if unparseable. */
+std::string
+errorCode(const std::string &body)
+{
+    try {
+        JsonValue doc = JsonValue::parse(body);
+        if (const JsonValue *e = doc.find("error"))
+            return e->asString();
+    } catch (const std::exception &) {
+    }
+    return "";
+}
+
+/** Map a non-2xx submit response onto the shared exit codes. */
+int
+submitExitCode(int status, const std::string &body)
+{
+    if (status == 400)
+        return errorCode(body) == "unknown_benchmark"
+                   ? kExitMissingTrace
+                   : kExitBadSpec;
+    if (status == 413 || status == 429 || status == 503)
+        return kExitUnavailable;
+    return kExitRuntime;
+}
+
+/** "state" member of a status line; "" if unparseable. */
+std::string
+lineState(const std::string &line)
+{
+    try {
+        JsonValue doc = JsonValue::parse(line);
+        if (const JsonValue *s = doc.find("state"))
+            return s->asString();
+    } catch (const std::exception &) {
+    }
+    return "";
+}
+
+bool
+terminalState(const std::string &state)
+{
+    return state == "done" || state == "failed" ||
+           state == "cancelled";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint16_t port = 0;
+    std::string command;
+    std::vector<std::string> args;
+    std::string out_path = "-";
+    bool wait = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(kExitUsage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            try {
+                port = static_cast<uint16_t>(std::stoul(next()));
+            } catch (const std::exception &) {
+                std::cerr << "sweep_client: bad --port value\n";
+                return kExitUsage;
+            }
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--wait") {
+            wait = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return kExitOk;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "sweep_client: unknown option: " << arg
+                      << "\n";
+            usage();
+            return kExitUsage;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (port == 0 || command.empty()) {
+        usage();
+        return kExitUsage;
+    }
+
+    try {
+        if (command == "health" || command == "metrics") {
+            HttpResult res = httpRequest(
+                port, "GET",
+                command == "health" ? "/healthz" : "/metrics");
+            std::cout << res.body;
+            return res.status == 200 ? kExitOk : kExitRuntime;
+        }
+
+        if (command == "shutdown") {
+            HttpResult res = httpRequest(port, "POST", "/shutdown");
+            std::cout << res.body;
+            return res.status == 200 ? kExitOk : kExitRuntime;
+        }
+
+        if (command == "submit") {
+            if (args.size() != 1) {
+                usage();
+                return kExitUsage;
+            }
+            std::string spec;
+            if (!readFile(args[0], spec)) {
+                std::cerr << "sweep_client: cannot read " << args[0]
+                          << "\n";
+                return kExitUsage;
+            }
+            HttpResult res =
+                httpRequest(port, "POST", "/jobs", spec);
+            if (res.status != 202) {
+                std::cerr << "sweep_client: submit rejected: "
+                          << res.body;
+                return submitExitCode(res.status, res.body);
+            }
+            if (!wait) {
+                std::cout << res.body;
+                return kExitOk;
+            }
+
+            JsonValue doc = JsonValue::parse(res.body);
+            uint64_t id = static_cast<uint64_t>(
+                doc.find("id")->asNumber());
+            std::string idText = std::to_string(id);
+
+            std::string last_state;
+            std::string err;
+            httpStreamLines(
+                port, "/jobs/" + idText + "/stream",
+                [&](const std::string &line) {
+                    last_state = lineState(line);
+                    return !terminalState(last_state);
+                },
+                err);
+            if (last_state == "cancelled") {
+                std::cerr << "sweep_client: job " << idText
+                          << " was cancelled\n";
+                return kExitInterrupted;
+            }
+            if (last_state != "done") {
+                HttpResult st = httpRequest(port, "GET",
+                                            "/jobs/" + idText);
+                std::cerr << "sweep_client: job " << idText
+                          << " did not finish: " << st.body;
+                return kExitRuntime;
+            }
+            HttpResult result = httpRequest(
+                port, "GET", "/jobs/" + idText + "/result");
+            if (result.status != 200) {
+                std::cerr << "sweep_client: " << result.body;
+                return kExitRuntime;
+            }
+            writeTextFile(out_path, result.body);
+            return kExitOk;
+        }
+
+        if (command == "status" || command == "result" ||
+            command == "cancel") {
+            if (args.size() != 1) {
+                usage();
+                return kExitUsage;
+            }
+            std::string target = "/jobs/" + args[0];
+            std::string method = "GET";
+            if (command == "result")
+                target += "/result";
+            if (command == "cancel") {
+                target += "/cancel";
+                method = "POST";
+            }
+            HttpResult res = httpRequest(port, method, target);
+            if (res.status != 200) {
+                std::cerr << "sweep_client: " << res.body;
+                return kExitRuntime;
+            }
+            if (command == "result")
+                writeTextFile(out_path, res.body);
+            else
+                std::cout << res.body;
+            return kExitOk;
+        }
+
+        if (command == "watch") {
+            if (args.size() != 1) {
+                usage();
+                return kExitUsage;
+            }
+            std::string err;
+            int status = httpStreamLines(
+                port, "/jobs/" + args[0] + "/stream",
+                [](const std::string &line) {
+                    std::cout << line << "\n";
+                    return true;
+                },
+                err);
+            if (status != 200) {
+                std::cerr << "sweep_client: " << err;
+                return kExitRuntime;
+            }
+            return kExitOk;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_client: " << e.what() << "\n";
+        return kExitUnavailable;
+    }
+
+    std::cerr << "sweep_client: unknown command: " << command
+              << "\n";
+    usage();
+    return kExitUsage;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The sweep service daemon: a long-running process that accepts
+ * SweepSpec JSON jobs over a loopback HTTP endpoint, runs them on a
+ * shared work-stealing thread pool, and keeps decoded replay
+ * artifacts in an mmap-persistent store so a restarted daemon warms
+ * up from disk instead of re-decoding.
+ *
+ * Usage:
+ *   sweep_serverd [options]
+ *   --port N           listen port (0 = ephemeral)       [0]
+ *   --port-file FILE   write the bound port to FILE (for scripts
+ *                      that start us with --port 0)
+ *   --threads N        pool workers                      [hardware]
+ *   --artifact-dir DIR persist decoded traces under DIR (created
+ *                      on first save); omit to keep artifacts
+ *                      memory-only
+ *   --max-queue N      queued-job admission bound        [8]
+ *   --max-active N     concurrently dispatched sweeps    [1]
+ *   --max-jobs N       max expanded configs per sweep    [4096]
+ *   --max-insts N      max instructions per program      [4000000]
+ *   --decoded-budget B LRU byte budget for resident decoded
+ *                      artifacts (0 = unbounded)         [0]
+ *   --batched          config-batched replay inside sweeps
+ *   --quiet            no startup/shutdown chatter on stderr
+ *
+ * The daemon exits 0 after POST /shutdown and 130 after SIGINT or
+ * SIGTERM; both paths drain identically (stop accepting, cancel
+ * in-flight sweeps at their next checkpoint, join every thread).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hh"
+#include "serve/exit_codes.hh"
+#include "serve/server.hh"
+#include "serve/shutdown.hh"
+
+using namespace mbbp;
+using namespace mbbp::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: sweep_serverd [--port N] [--port-file FILE]\n"
+        "                     [--threads N] [--artifact-dir DIR]\n"
+        "                     [--max-queue N] [--max-active N]\n"
+        "                     [--max-jobs N] [--max-insts N]\n"
+        "                     [--decoded-budget BYTES] [--batched]\n"
+        "                     [--quiet]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    std::string port_file;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(kExitUsage);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--port") {
+                cfg.port = static_cast<uint16_t>(std::stoul(next()));
+            } else if (arg == "--port-file") {
+                port_file = next();
+            } else if (arg == "--threads") {
+                cfg.limits.threads =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--artifact-dir") {
+                cfg.artifactDir = next();
+            } else if (arg == "--max-queue") {
+                cfg.limits.maxQueuedJobs = std::stoul(next());
+            } else if (arg == "--max-active") {
+                cfg.limits.maxActiveJobs = std::stoul(next());
+            } else if (arg == "--max-jobs") {
+                cfg.limits.maxSweepJobs = std::stoul(next());
+            } else if (arg == "--max-insts") {
+                cfg.limits.maxInstructions = std::stoul(next());
+            } else if (arg == "--decoded-budget") {
+                cfg.limits.decodedBudgetBytes = std::stoul(next());
+            } else if (arg == "--batched") {
+                cfg.limits.batchedReplay = true;
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return kExitOk;
+            } else {
+                std::cerr << "sweep_serverd: unknown option: " << arg
+                          << "\n";
+                usage();
+                return kExitUsage;
+            }
+        } catch (const std::exception &) {
+            std::cerr << "sweep_serverd: bad value for " << arg
+                      << "\n";
+            return kExitUsage;
+        }
+    }
+
+    // The service's own counters should always be live on /metrics,
+    // whatever the obs default is for batch tools.
+    obs::setEnabled(true);
+
+    CancelToken stop_token;
+    installShutdownHandlers(stop_token);
+
+    SweepServer server(cfg);
+    uint16_t port = 0;
+    try {
+        port = server.start();
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_serverd: " << e.what() << "\n";
+        return kExitRuntime;
+    }
+
+    if (!port_file.empty()) {
+        std::ofstream pf(port_file, std::ios::trunc);
+        pf << port << "\n";
+        if (!pf.flush()) {
+            std::cerr << "sweep_serverd: cannot write " << port_file
+                      << "\n";
+            server.stop();
+            return kExitRuntime;
+        }
+    }
+    // Parseable by scripts that scrape stdout instead of --port-file.
+    std::cout << "listening 127.0.0.1:" << port << std::endl;
+
+    while (!stop_token.cancelled() && !server.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    bool signalled = stop_token.cancelled();
+    if (!quiet)
+        std::cerr << "sweep_serverd: "
+                  << (signalled ? "signal received" : "/shutdown")
+                  << ", draining\n";
+    server.stop();
+
+    if (signalled) {
+        std::cerr << "sweep_serverd: interrupted\n";
+        return kExitInterrupted;
+    }
+    return kExitOk;
+}

@@ -6,9 +6,11 @@ namespace mbbp
 {
 
 TraceCache::TraceCache(std::size_t instructions_per_program,
-                       std::size_t decoded_budget_bytes)
+                       std::size_t decoded_budget_bytes,
+                       std::shared_ptr<const ArtifactStore> artifacts)
     : ninsts_(instructions_per_program),
-      budget_(decoded_budget_bytes)
+      budget_(decoded_budget_bytes),
+      artifacts_(std::move(artifacts))
 {
 }
 
@@ -60,11 +62,23 @@ TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
     // so a build racing an eviction still completes safely and its
     // caller replays the (now unlinked) artifact it was promised.
     std::call_once(entry->once, [&] {
-        static obs::Timer &dec_t = obs::timer("trace.decode");
-        obs::ScopedTimer span(dec_t, "decode " + name);
-        auto dec = std::make_shared<const DecodedTrace>(
-            DecodedTrace::build(get(name), geom));
-        obs::flushCounter("trace.cache.decoded_builds", 1);
+        // Persistence first: a valid artifact file is mmapped
+        // zero-copy and skips trace generation entirely (the cold-
+        // start path); corrupt or stale files come back null and we
+        // rebuild -- then write back so the next process hits.
+        std::shared_ptr<const DecodedTrace> dec;
+        ArtifactKey akey = ArtifactKey::of(name, ninsts_, geom);
+        if (artifacts_)
+            dec = artifacts_->load(akey, geom);
+        if (!dec) {
+            static obs::Timer &dec_t = obs::timer("trace.decode");
+            obs::ScopedTimer span(dec_t, "decode " + name);
+            dec = std::make_shared<const DecodedTrace>(
+                DecodedTrace::build(get(name), geom));
+            obs::flushCounter("trace.cache.decoded_builds", 1);
+            if (artifacts_)
+                artifacts_->save(akey, *dec);
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         entry->bytes = dec->bytes();
         entry->dec = std::move(dec);
@@ -113,7 +127,8 @@ TraceCache::decodedEvictions() const
 
 SuiteResult
 runSuite(const SimConfig &cfg, TraceCache &traces,
-         const std::vector<std::string> &names, bool shared_decode)
+         const std::vector<std::string> &names, bool shared_decode,
+         const CancelToken *cancel)
 {
     SuiteResult result;
     FetchSimulator sim(cfg);
@@ -122,6 +137,8 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
     const std::vector<std::string> &run_names =
         names.empty() ? specAllNames() : names;
     for (const auto &name : run_names) {
+        if (cancel)
+            cancel->throwIfCancelled("suite run cancelled");
         FetchStats s;
         {
             obs::ScopedTimer span(replay_t);

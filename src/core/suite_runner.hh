@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/fetch_simulator.hh"
+#include "trace/artifact_file.hh"
+#include "util/cancel.hh"
 #include "workload/spec95.hh"
 
 namespace mbbp
@@ -38,12 +40,21 @@ namespace mbbp
  * everything, the pre-budget behavior. The resident total is
  * published on the "trace.cache.resident_bytes" gauge and drops are
  * counted on "trace.cache.evictions".
+ *
+ * With an ArtifactStore attached the cache also persists: a decode
+ * miss first tries to mmap the store's artifact file for the key
+ * (zero-copy, skipping trace generation entirely), and freshly built
+ * artifacts are written back best-effort. Corrupt or stale files are
+ * rejected by the store and simply rebuilt. This is what lets the
+ * sweep service restart without losing its warm decoded set.
  */
 class TraceCache
 {
   public:
     explicit TraceCache(std::size_t instructions_per_program = 400000,
-                        std::size_t decoded_budget_bytes = 0);
+                        std::size_t decoded_budget_bytes = 0,
+                        std::shared_ptr<const ArtifactStore>
+                            artifacts = nullptr);
 
     /** The trace for @p name (generated on first use). */
     const InMemoryTrace &get(const std::string &name);
@@ -66,6 +77,12 @@ class TraceCache
     std::size_t decodedResidentBytes() const;
     std::size_t decodedEvictions() const;
     /** @} */
+
+    /** The attached persistence layer, if any. */
+    const ArtifactStore *artifactStore() const
+    {
+        return artifacts_.get();
+    }
 
   private:
     struct Entry
@@ -91,6 +108,7 @@ class TraceCache
 
     std::size_t ninsts_;
     std::size_t budget_;
+    std::shared_ptr<const ArtifactStore> artifacts_;
     mutable std::mutex mutex_;  //!< guards the maps, not the payloads
     std::map<std::string, std::unique_ptr<Entry>> traces_;
     std::map<DecodedKey, std::shared_ptr<DecodedEntry>> decoded_;
@@ -115,10 +133,15 @@ struct SuiteResult
  * cache's memoized DecodedTrace artifact; pass false to decode a
  * private artifact per run (the pre-artifact behavior -- results are
  * byte-identical either way, only the wall clock differs).
+ *
+ * If @p cancel is given it is polled between program replays;
+ * cancellation throws CancelledError, bounding the abort latency of
+ * a multi-program job to roughly one replay.
  */
 SuiteResult runSuite(const SimConfig &cfg, TraceCache &traces,
                      const std::vector<std::string> &names = {},
-                     bool shared_decode = true);
+                     bool shared_decode = true,
+                     const CancelToken *cancel = nullptr);
 
 } // namespace mbbp
 

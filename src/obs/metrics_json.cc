@@ -1,0 +1,60 @@
+#include "obs/metrics_json.hh"
+
+#include "obs/obs.hh"
+#include "util/json.hh"
+
+namespace mbbp::obs
+{
+
+void
+writeMetricsJson(JsonWriter &w)
+{
+    Snapshot snap = snapshot();
+    w.beginObject("metrics");
+    w.beginObject("counters");
+    for (const CounterSample &c : snap.counters)
+        w.value(c.name, c.value);
+    w.endObject();
+    w.beginObject("gauges");
+    for (const GaugeSample &g : snap.gauges) {
+        w.beginObject(g.name);
+        w.value("value", g.value);
+        w.value("peak", g.peak);
+        w.endObject();
+    }
+    w.endObject();
+    w.beginObject("timers");
+    for (const TimerSample &t : snap.timers) {
+        w.beginObject(t.name);
+        w.value("calls", t.calls);
+        w.value("total_ns", t.totalNs);
+        w.endObject();
+    }
+    w.endObject();
+    w.beginObject("histograms");
+    for (const HistogramSample &h : snap.histograms) {
+        w.beginObject(h.name);
+        w.value("count", h.count);
+        w.value("sum", h.sum);
+        w.value("max", h.max);
+        w.value("mean", h.mean());
+        w.value("p50", h.quantile(0.50));
+        w.value("p90", h.quantile(0.90));
+        w.value("p99", h.quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+snapshotJson()
+{
+    JsonWriter w;
+    w.beginObject();
+    writeMetricsJson(w);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+} // namespace mbbp::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * One JSON rendering of the obs registry, shared by every consumer:
+ * the CLIs' --metrics report block and the sweep service's /metrics
+ * endpoint both call these helpers, so the two can never drift --
+ * a dashboard scraping the daemon parses the exact bytes a CLI run
+ * would have put in its report.
+ */
+
+#ifndef MBBP_OBS_METRICS_JSON_HH
+#define MBBP_OBS_METRICS_JSON_HH
+
+#include <string>
+
+namespace mbbp
+{
+
+class JsonWriter;
+
+namespace obs
+{
+
+/**
+ * Append the registry snapshot as a "metrics" object member to an
+ * open object in @p w: counters (name -> value), gauges (value +
+ * peak), timers (calls + total_ns) and histograms (count/sum/max/
+ * mean/p50/p90/p99). Name-sorted, deterministic for a given code
+ * path.
+ */
+void writeMetricsJson(JsonWriter &w);
+
+/**
+ * The snapshot as a standalone document: `{"metrics":{...}}` with a
+ * trailing newline -- the /metrics response body.
+ */
+std::string snapshotJson();
+
+} // namespace obs
+
+} // namespace mbbp
+
+#endif // MBBP_OBS_METRICS_JSON_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Process exit codes shared by the sweep tools (sweep_cli,
+ * simulate_cli, sweep_serverd, sweep_client), so scripts and CI can
+ * distinguish "you passed garbage" from "the simulator blew up"
+ * without parsing stderr. Every nonzero exit also prints exactly one
+ * diagnostic line to stderr.
+ */
+
+#ifndef MBBP_SERVE_EXIT_CODES_HH
+#define MBBP_SERVE_EXIT_CODES_HH
+
+namespace mbbp::serve
+{
+
+enum ExitCode : int
+{
+    kExitOk = 0,
+    kExitUsage = 1,         //!< bad flags / unreadable input file
+    kExitBadSpec = 2,       //!< malformed or invalid SweepSpec JSON
+    kExitMissingTrace = 3,  //!< spec names an unknown benchmark
+    kExitRuntime = 4,       //!< simulation / IO failure mid-run
+    kExitUnavailable = 5,   //!< server unreachable or rejected the job
+    kExitInterrupted = 130, //!< aborted by SIGINT/SIGTERM (128 + 2)
+};
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_EXIT_CODES_HH

@@ -1,0 +1,509 @@
+#include "serve/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace mbbp::serve
+{
+
+namespace
+{
+
+constexpr const char *kCrlf = "\r\n";
+
+ssize_t
+sendNoSignal(int fd, const char *data, std::size_t len)
+{
+    return ::send(fd, data, len, MSG_NOSIGNAL);
+}
+
+/** Read until @p terminator appears in @p buf or limits are hit.
+ *  @return false on EOF/error/overflow before the terminator. */
+bool
+readUntil(int fd, std::string &buf, const char *terminator,
+          std::size_t maxBytes)
+{
+    while (buf.find(terminator) == std::string::npos) {
+        if (buf.size() > maxBytes)
+            return false;
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/** Case-insensitive "Content-Length" lookup in a raw header block. */
+bool
+contentLength(const std::string &headers, std::size_t &out)
+{
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+        std::size_t eol = headers.find(kCrlf, pos);
+        if (eol == std::string::npos)
+            eol = headers.size();
+        std::size_t colon = headers.find(':', pos);
+        if (colon != std::string::npos && colon < eol) {
+            std::string name = headers.substr(pos, colon - pos);
+            for (char &c : name)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            if (name == "content-length") {
+                std::size_t vbegin =
+                    headers.find_first_not_of(' ', colon + 1);
+                if (vbegin == std::string::npos || vbegin >= eol)
+                    return false;
+                out = 0;
+                for (std::size_t i = vbegin; i < eol; ++i) {
+                    char c = headers[i];
+                    if (c < '0' || c > '9')
+                        return false;
+                    if (out > (SIZE_MAX - 9) / 10)
+                        return false;
+                    out = out * 10 +
+                          static_cast<std::size_t>(c - '0');
+                }
+                return true;
+            }
+        }
+        if (eol == headers.size())
+            break;
+        pos = eol + 2;
+    }
+    out = 0;
+    return true;                // absent = no body
+}
+
+int
+connectLoopback(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Read a full response off @p fd (EOF-delimited; we always send
+ *  Connection: close). @return false on a protocol error. */
+bool
+readResponse(int fd, HttpResult &out)
+{
+    std::string raw;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        raw.append(chunk, static_cast<std::size_t>(n));
+
+    // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+    std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos || raw.compare(0, 5, "HTTP/") != 0)
+        return false;
+    out.status = std::atoi(raw.c_str() + sp + 1);
+    if (out.status < 100 || out.status > 599)
+        return false;
+    std::size_t split = raw.find("\r\n\r\n");
+    if (split == std::string::npos)
+        return false;
+    out.body = raw.substr(split + 4);
+    return true;
+}
+
+} // namespace
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default:  return "Unknown";
+    }
+}
+
+bool
+HttpConn::sendAll(const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = sendNoSignal(fd_, data, len);
+        if (n <= 0)
+            return false;
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+HttpConn::respond(int status, const std::string &contentType,
+                  const std::string &body)
+{
+    responded_ = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       httpStatusText(status) + kCrlf;
+    head += "Content-Type: " + contentType + kCrlf;
+    head += "Content-Length: " + std::to_string(body.size()) + kCrlf;
+    head += "Connection: close";
+    head += kCrlf;
+    head += kCrlf;
+    return sendAll(head.data(), head.size()) &&
+           sendAll(body.data(), body.size());
+}
+
+bool
+HttpConn::beginStream(int status, const std::string &contentType)
+{
+    responded_ = true;
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       httpStatusText(status) + kCrlf;
+    head += "Content-Type: " + contentType + kCrlf;
+    head += "Connection: close";    // body ends at EOF
+    head += kCrlf;
+    head += kCrlf;
+    return sendAll(head.data(), head.size());
+}
+
+bool
+HttpConn::writeChunk(const std::string &data)
+{
+    return sendAll(data.data(), data.size());
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+uint16_t
+HttpServer::start(HttpServerConfig cfg, HttpHandler handler)
+{
+    cfg_ = cfg;
+    handler_ = std::move(handler);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("socket() failed: " +
+                                 std::string(std::strerror(errno)));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        std::string err = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("cannot listen on 127.0.0.1:" +
+                                 std::to_string(cfg_.port) + ": " +
+                                 err);
+    }
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wakePipe_) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("pipe() failed");
+    }
+
+    stopping_.store(false);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return port_;
+}
+
+void
+HttpServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stopping_.store(true);
+    char byte = 'x';
+    (void)!::write(wakePipe_[1], &byte, 1);
+    acceptThread_.join();
+
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::close(wakePipe_[0]);
+    ::close(wakePipe_[1]);
+    wakePipe_[0] = wakePipe_[1] = -1;
+
+    // Force any still-streaming connection off its socket, then
+    // wait for every connection thread.
+    std::vector<Conn> leftover;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (Conn &c : conns_)
+            if (!c.done->load())
+                ::shutdown(c.fd, SHUT_RDWR);
+        leftover.swap(conns_);
+    }
+    for (Conn &c : leftover)
+        c.thread.join();
+}
+
+void
+HttpServer::reapFinishedLocked()
+{
+    for (std::size_t i = 0; i < conns_.size();) {
+        if (conns_[i].done->load()) {
+            conns_[i].thread.join();
+            conns_[i] = std::move(conns_.back());
+            conns_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd fds[2] = { { listenFd_, POLLIN, 0 },
+                          { wakePipe_[0], POLLIN, 0 } };
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0 || stopping_.load())
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        std::lock_guard<std::mutex> lock(connMutex_);
+        reapFinishedLocked();
+        Conn conn;
+        conn.fd = fd;
+        conn.done = std::make_shared<std::atomic<bool>>(false);
+        std::shared_ptr<std::atomic<bool>> done = conn.done;
+        conn.thread = std::thread([this, fd, done] {
+            serveConnection(fd);
+            done->store(true);
+        });
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    HttpConn conn(fd);
+    std::string buf;
+    if (!readUntil(fd, buf, "\r\n\r\n", cfg_.maxHeaderBytes)) {
+        if (buf.size() > cfg_.maxHeaderBytes)
+            conn.respond(431, "application/json",
+                         "{\"error\":\"headers_too_large\"}\n");
+        ::close(fd);
+        return;
+    }
+
+    std::size_t headEnd = buf.find("\r\n\r\n");
+    std::string head = buf.substr(0, headEnd);
+    std::string rest = buf.substr(headEnd + 4);
+
+    HttpRequest req;
+    std::size_t lineEnd = head.find(kCrlf);
+    std::string reqLine = head.substr(
+        0, lineEnd == std::string::npos ? head.size() : lineEnd);
+    std::size_t sp1 = reqLine.find(' ');
+    std::size_t sp2 = reqLine.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+        conn.respond(400, "application/json",
+                     "{\"error\":\"malformed_request\"}\n");
+        ::close(fd);
+        return;
+    }
+    req.method = reqLine.substr(0, sp1);
+    req.target = reqLine.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::size_t bodyLen = 0;
+    if (!contentLength(head, bodyLen)) {
+        conn.respond(400, "application/json",
+                     "{\"error\":\"bad_content_length\"}\n");
+        ::close(fd);
+        return;
+    }
+    if (bodyLen > cfg_.maxBodyBytes) {
+        conn.respond(413, "application/json",
+                     "{\"error\":\"body_too_large\"}\n");
+        ::close(fd);
+        return;
+    }
+    req.body = std::move(rest);
+    while (req.body.size() < bodyLen) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        req.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (req.body.size() < bodyLen) {
+        conn.respond(400, "application/json",
+                     "{\"error\":\"truncated_body\"}\n");
+        ::close(fd);
+        return;
+    }
+    req.body.resize(bodyLen);
+
+    try {
+        handler_(req, conn);
+        if (!conn.responded())
+            conn.respond(500, "application/json",
+                         "{\"error\":\"no_response\"}\n");
+    } catch (const std::exception &e) {
+        mbbp_warn("http handler failed for ", req.method, " ",
+                  req.target, ": ", e.what());
+        if (!conn.responded())
+            conn.respond(500, "application/json",
+                         "{\"error\":\"internal\"}\n");
+    }
+    ::close(fd);
+}
+
+HttpResult
+httpRequest(uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body)
+{
+    int fd = connectLoopback(port);
+    if (fd < 0)
+        throw std::runtime_error(
+            "cannot connect to 127.0.0.1:" + std::to_string(port) +
+            ": " + std::strerror(errno));
+
+    std::string req = method + " " + target + " HTTP/1.1" + kCrlf;
+    req += "Host: 127.0.0.1" + std::string(kCrlf);
+    req += "Content-Length: " + std::to_string(body.size()) + kCrlf;
+    req += "Connection: close";
+    req += kCrlf;
+    req += kCrlf;
+    req += body;
+
+    HttpResult res;
+    bool sent = true;
+    const char *p = req.data();
+    std::size_t left = req.size();
+    while (left > 0) {
+        ssize_t n = sendNoSignal(fd, p, left);
+        if (n <= 0) {
+            sent = false;
+            break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    bool ok = sent && readResponse(fd, res);
+    ::close(fd);
+    if (!ok)
+        throw std::runtime_error("malformed response from 127.0.0.1:" +
+                                 std::to_string(port));
+    return res;
+}
+
+int
+httpStreamLines(uint16_t port, const std::string &target,
+                const std::function<bool(const std::string &)> &onLine,
+                std::string &errorBody)
+{
+    int fd = connectLoopback(port);
+    if (fd < 0)
+        throw std::runtime_error(
+            "cannot connect to 127.0.0.1:" + std::to_string(port) +
+            ": " + std::strerror(errno));
+
+    std::string req = "GET " + target + " HTTP/1.1" + kCrlf;
+    req += "Host: 127.0.0.1" + std::string(kCrlf);
+    req += "Connection: close";
+    req += kCrlf;
+    req += kCrlf;
+    if (sendNoSignal(fd, req.data(), req.size()) !=
+        static_cast<ssize_t>(req.size())) {
+        ::close(fd);
+        throw std::runtime_error("send failed");
+    }
+
+    std::string buf;
+    if (!readUntil(fd, buf, "\r\n\r\n", 16u << 10)) {
+        ::close(fd);
+        throw std::runtime_error("malformed response from 127.0.0.1:" +
+                                 std::to_string(port));
+    }
+    std::size_t sp = buf.find(' ');
+    int status = std::atoi(buf.c_str() + sp + 1);
+    std::size_t headEnd = buf.find("\r\n\r\n");
+    std::string pending = buf.substr(headEnd + 4);
+
+    if (status != 200) {
+        // Error bodies are small and buffered: drain to EOF.
+        char chunk[4096];
+        ssize_t n;
+        while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+            pending.append(chunk, static_cast<std::size_t>(n));
+        errorBody = pending;
+        ::close(fd);
+        return status;
+    }
+
+    bool more = true;
+    for (;;) {
+        std::size_t nl;
+        while (more && (nl = pending.find('\n')) !=
+                           std::string::npos) {
+            more = onLine(pending.substr(0, nl));
+            pending.erase(0, nl + 1);
+        }
+        if (!more)
+            break;
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        pending.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return status;
+}
+
+} // namespace mbbp::serve

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A deliberately small loopback HTTP layer over POSIX sockets -- just
+ * enough protocol for the sweep service and its client, with no
+ * third-party dependency.
+ *
+ * Server model: one accept loop (poll on the listener plus a
+ * self-pipe for wakeup), one short-lived thread per connection, one
+ * request per connection (`Connection: close`). Responses are either
+ * a buffered body with Content-Length or an EOF-delimited stream of
+ * newline-terminated records (application/x-ndjson) for progress
+ * watching. The server binds 127.0.0.1 only; there is no TLS, no
+ * auth, no keep-alive -- it is an IPC endpoint, not a web server.
+ */
+
+#ifndef MBBP_SERVE_HTTP_HH
+#define MBBP_SERVE_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mbbp::serve
+{
+
+/** One parsed request (target is the raw path, no query support). */
+struct HttpRequest
+{
+    std::string method;     //!< "GET", "POST", ...
+    std::string target;     //!< "/jobs/7/result"
+    std::string body;
+};
+
+/** Standard reason phrase for the handful of codes we emit. */
+const char *httpStatusText(int status);
+
+/**
+ * The server side of one connection. A handler must produce exactly
+ * one response: either respond() (buffered, Content-Length) or
+ * beginStream() followed by any number of writeChunk() calls (the
+ * response ends when the connection closes). Write failures -- the
+ * peer went away -- are reported by return value and otherwise
+ * ignored; SIGPIPE is suppressed.
+ */
+class HttpConn
+{
+  public:
+    explicit HttpConn(int fd) : fd_(fd) {}
+
+    bool respond(int status, const std::string &contentType,
+                 const std::string &body);
+
+    bool beginStream(int status, const std::string &contentType);
+
+    /** One streamed record; call after beginStream(). @return false
+     *  once the client has disconnected (stop streaming). */
+    bool writeChunk(const std::string &data);
+
+    bool responded() const { return responded_; }
+
+  private:
+    bool sendAll(const char *data, std::size_t len);
+
+    int fd_;
+    bool responded_ = false;
+};
+
+/** Server knobs. */
+struct HttpServerConfig
+{
+    uint16_t port = 0;              //!< 0 = ephemeral, see port()
+    std::size_t maxBodyBytes = 1u << 20;
+    std::size_t maxHeaderBytes = 16u << 10;
+};
+
+using HttpHandler =
+    std::function<void(const HttpRequest &, HttpConn &)>;
+
+/**
+ * Loopback-only threaded HTTP server. start() binds and spawns the
+ * accept loop; stop() (or destruction) wakes it, closes every open
+ * connection and joins all threads. Oversized or malformed requests
+ * are answered 400/413/431 before the handler is ever involved.
+ */
+class HttpServer
+{
+  public:
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind 127.0.0.1 and start accepting; @return the bound port.
+     *  Throws std::runtime_error if the port is unavailable. */
+    uint16_t start(HttpServerConfig cfg, HttpHandler handler);
+
+    /** Idempotent; blocks until every connection thread exits. */
+    void stop();
+
+    uint16_t port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void reapFinishedLocked();
+
+    HttpServerConfig cfg_;
+    HttpHandler handler_;
+    int listenFd_ = -1;
+    int wakePipe_[2] = { -1, -1 };
+    uint16_t port_ = 0;
+    std::atomic<bool> stopping_{ false };
+    std::thread acceptThread_;
+
+    std::mutex connMutex_;
+    struct Conn
+    {
+        std::thread thread;
+        int fd = -1;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Conn> conns_;
+};
+
+/** A buffered client response. */
+struct HttpResult
+{
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * One buffered loopback request; throws std::runtime_error when the
+ * server is unreachable or the response is unparseable.
+ */
+HttpResult httpRequest(uint16_t port, const std::string &method,
+                       const std::string &target,
+                       const std::string &body = "");
+
+/**
+ * Streaming GET: invoke @p onLine for every newline-terminated
+ * record as it arrives; stop early when it returns false. @return
+ * the response status. Non-200 responses are buffered into @p
+ * errorBody instead of streamed.
+ */
+int httpStreamLines(uint16_t port, const std::string &target,
+                    const std::function<bool(const std::string &)>
+                        &onLine,
+                    std::string &errorBody);
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_HTTP_HH

@@ -1,0 +1,369 @@
+#include "serve/job_manager.hh"
+
+#include <algorithm>
+
+#include "obs/obs.hh"
+#include "sweep/sweep_report.hh"
+#include "sweep/sweep_runner.hh"
+
+namespace mbbp::serve
+{
+
+namespace
+{
+
+obs::Counter &submitted_c = obs::counter("serve.jobs.submitted");
+obs::Counter &rejected_c = obs::counter("serve.jobs.rejected");
+obs::Counter &completed_c = obs::counter("serve.jobs.completed");
+obs::Counter &failed_c = obs::counter("serve.jobs.failed");
+obs::Counter &cancelled_c = obs::counter("serve.jobs.cancelled");
+obs::Gauge &queue_g = obs::gauge("serve.queue.depth");
+obs::Gauge &active_g = obs::gauge("serve.jobs.active");
+
+/** Matches the TraceCache constructor default, and sweep_cli. */
+constexpr std::size_t kDefaultInstructions = 400000;
+
+/** First line only -- diagnostics are one-line by contract. */
+std::string
+firstLine(const std::string &text)
+{
+    std::size_t nl = text.find('\n');
+    return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+SubmitOutcome
+rejection(int status, const std::string &code,
+          const std::string &message)
+{
+    rejected_c.add(1);
+    obs::counter("serve.reject." + code).add(1);
+    SubmitOutcome out;
+    out.httpStatus = status;
+    out.error = code;
+    out.message = message;
+    return out;
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:    return "queued";
+      case JobState::Running:   return "running";
+      case JobState::Done:      return "done";
+      case JobState::Failed:    return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+JobManager::JobManager(ServiceLimits limits,
+                       std::shared_ptr<const ArtifactStore> artifacts)
+    : limits_(limits), artifacts_(std::move(artifacts)),
+      pool_(limits.threads)
+{
+    std::size_t n = std::max<std::size_t>(1, limits_.maxActiveJobs);
+    dispatchers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    shutdown();
+}
+
+SubmitOutcome
+JobManager::submit(const std::string &specJson)
+{
+    if (specJson.size() > limits_.maxSpecBytes)
+        return rejection(413, "spec_too_large",
+                         "spec is " +
+                             std::to_string(specJson.size()) +
+                             " bytes; limit " +
+                             std::to_string(limits_.maxSpecBytes));
+
+    SweepSpec spec;
+    std::size_t total = 0;
+    try {
+        spec = SweepSpec::fromJson(specJson);
+        total = spec.jobCount();
+        (void)spec.expand();        // surface late validation now
+    } catch (const UnknownBenchmarkError &e) {
+        return rejection(400, "unknown_benchmark",
+                         firstLine(e.what()));
+    } catch (const SweepError &e) {
+        return rejection(400, "bad_spec", firstLine(e.what()));
+    }
+
+    if (total == 0)
+        return rejection(400, "bad_spec", "spec expands to 0 jobs");
+    if (total > limits_.maxSweepJobs)
+        return rejection(429, "sweep_too_large",
+                         "spec expands to " + std::to_string(total) +
+                             " configs; limit " +
+                             std::to_string(limits_.maxSweepJobs));
+
+    std::size_t insts = spec.instructions() != 0
+                            ? spec.instructions()
+                            : kDefaultInstructions;
+    if (insts > limits_.maxInstructions)
+        return rejection(429, "instructions_too_large",
+                         std::to_string(insts) +
+                             " instructions per program; limit " +
+                             std::to_string(limits_.maxInstructions));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return rejection(503, "shutting_down",
+                         "server is shutting down");
+    if (queue_.size() >= limits_.maxQueuedJobs)
+        return rejection(429, "queue_full",
+                         std::to_string(queue_.size()) +
+                             " jobs queued; limit " +
+                             std::to_string(limits_.maxQueuedJobs));
+
+    auto job = std::make_unique<Job>();
+    job->id = nextId_++;
+    job->spec = std::move(spec);
+    job->totalJobs = total;
+
+    SubmitOutcome out;
+    out.id = job->id;
+    queue_.push_back(job->id);
+    jobs_.emplace(job->id, std::move(job));
+    queue_g.set(static_cast<uint64_t>(queue_.size()));
+    submitted_c.add(1);
+    dispatchCv_.notify_one();
+    return out;
+}
+
+std::optional<JobStatus>
+JobManager::status(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &j = *it->second;
+    JobStatus st;
+    st.id = j.id;
+    st.state = j.state;
+    st.name = j.spec.name();
+    st.totalJobs = j.totalJobs;
+    st.completedJobs = j.completedJobs;
+    st.error = j.error;
+    st.seq = j.seq;
+    return st;
+}
+
+std::optional<std::string>
+JobManager::result(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->state != JobState::Done)
+        return std::nullopt;
+    return it->second->resultJson;
+}
+
+bool
+JobManager::cancel(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &j = *it->second;
+    if (jobStateTerminal(j.state))
+        return true;            // idempotent
+    j.cancel.request();
+    if (j.state == JobState::Queued) {
+        // Never started: finish it here, no dispatcher involved.
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                     queue_.end());
+        queue_g.set(static_cast<uint64_t>(queue_.size()));
+        j.state = JobState::Cancelled;
+        cancelled_c.add(1);
+        bumpLocked(j);
+    }
+    return true;
+}
+
+std::optional<JobStatus>
+JobManager::waitChange(uint64_t id, uint64_t lastSeq)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    Job *j = it->second.get();
+    changeCv_.wait(lock, [&] {
+        return j->seq != lastSeq || jobStateTerminal(j->state) ||
+               closed_;
+    });
+    JobStatus st;
+    st.id = j->id;
+    st.state = j->state;
+    st.name = j->spec.name();
+    st.totalJobs = j->totalJobs;
+    st.completedJobs = j->completedJobs;
+    st.error = j->error;
+    st.seq = j->seq;
+    return st;
+}
+
+void
+JobManager::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+        // Cancel everything still queued...
+        for (uint64_t id : queue_) {
+            Job &j = *jobs_.at(id);
+            j.state = JobState::Cancelled;
+            j.cancel.request();
+            cancelled_c.add(1);
+            bumpLocked(j);
+        }
+        queue_.clear();
+        queue_g.set(0);
+        // ...and ask running sweeps to stop at their checkpoints.
+        for (auto &[id, j] : jobs_)
+            if (j->state == JobState::Running)
+                j->cancel.request();
+    }
+    dispatchCv_.notify_all();
+    changeCv_.notify_all();
+    for (std::thread &t : dispatchers_)
+        t.join();
+    dispatchers_.clear();
+}
+
+std::size_t
+JobManager::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t
+JobManager::activeJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+void
+JobManager::setPaused(bool paused)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = paused;
+    }
+    dispatchCv_.notify_all();
+}
+
+void
+JobManager::bumpLocked(Job &job)
+{
+    ++job.seq;
+    changeCv_.notify_all();
+}
+
+TraceCache &
+JobManager::cacheFor(std::size_t instructions)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    std::unique_ptr<TraceCache> &slot = caches_[instructions];
+    if (!slot)
+        slot = std::make_unique<TraceCache>(
+            instructions, limits_.decodedBudgetBytes, artifacts_);
+    return *slot;
+}
+
+void
+JobManager::dispatcherLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            dispatchCv_.wait(lock, [&] {
+                return closed_ || (!paused_ && !queue_.empty());
+            });
+            if (closed_)
+                return;
+            uint64_t id = queue_.front();
+            queue_.pop_front();
+            queue_g.set(static_cast<uint64_t>(queue_.size()));
+            job = jobs_.at(id).get();
+            job->state = JobState::Running;
+            ++active_;
+            active_g.set(static_cast<uint64_t>(active_));
+            bumpLocked(*job);
+        }
+
+        runJob(*job);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            active_g.set(static_cast<uint64_t>(active_));
+            bumpLocked(*job);
+        }
+    }
+}
+
+void
+JobManager::runJob(Job &job)
+{
+    static obs::Timer &run_t = obs::timer("serve.job.run");
+    obs::ScopedTimer span(run_t);
+
+    std::size_t insts = job.spec.instructions() != 0
+                            ? job.spec.instructions()
+                            : kDefaultInstructions;
+    try {
+        TraceCache &traces = cacheFor(insts);
+
+        SweepOptions opts;
+        opts.pool = &pool_;
+        opts.cancel = job.cancel;
+        opts.batchedReplay = limits_.batchedReplay;
+        opts.progress = [this, &job](const SweepProgress &p) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job.completedJobs = p.completed;
+            bumpLocked(job);
+        };
+
+        SweepResult result = runSweep(job.spec, traces, opts);
+
+        // The exact bytes sweep_cli would write for the default
+        // report options -- the service's parity contract.
+        std::string doc =
+            sweepToJson(result, SweepReportOptions{}) + "\n";
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.resultJson = std::move(doc);
+        job.state = JobState::Done;
+        completed_c.add(1);
+    } catch (const CancelledError &) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.state = JobState::Cancelled;
+        cancelled_c.add(1);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.state = JobState::Failed;
+        job.error = firstLine(e.what());
+        failed_c.add(1);
+    }
+    // The final seq bump happens in dispatcherLoop, under lock.
+}
+
+} // namespace mbbp::serve

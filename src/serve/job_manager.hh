@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The sweep service's job engine: admission control, a bounded FIFO
+ * of queued sweeps, dispatcher threads that multiplex accepted jobs
+ * onto one shared work-stealing ThreadPool (each sweep isolated in
+ * its own TaskGroup), per-job cooperative cancellation, and result
+ * retention.
+ *
+ * Admission is checked synchronously at submit() so a client gets an
+ * immediate, typed rejection instead of a queued failure: malformed
+ * or invalid specs are 400s, jobs exceeding the service's per-job
+ * budgets (expanded config count, instruction count) or arriving
+ * with a full queue are 429s, and submissions after shutdown begins
+ * are 503s.
+ *
+ * Everything observable is exported through obs: serve.jobs.*
+ * counters, serve.reject.* per-reason counters, and the
+ * serve.queue.depth / serve.jobs.active gauges -- all visible via
+ * the /metrics endpoint.
+ */
+
+#ifndef MBBP_SERVE_JOB_MANAGER_HH
+#define MBBP_SERVE_JOB_MANAGER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/suite_runner.hh"
+#include "sweep/sweep_spec.hh"
+#include "sweep/thread_pool.hh"
+#include "util/cancel.hh"
+
+namespace mbbp::serve
+{
+
+/** Admission-control and execution budgets. */
+struct ServiceLimits
+{
+    std::size_t maxQueuedJobs = 8;      //!< beyond running ones
+    std::size_t maxActiveJobs = 1;      //!< dispatcher threads
+    std::size_t maxSweepJobs = 4096;    //!< expanded configs / sweep
+    std::size_t maxInstructions = 4000000;  //!< per program
+    std::size_t maxSpecBytes = 1u << 20;
+    unsigned threads = 0;               //!< pool size; 0 = default
+    std::size_t decodedBudgetBytes = 0; //!< TraceCache LRU budget
+    bool batchedReplay = false;
+};
+
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+};
+
+/** Lower-case wire name ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+/** True once a job can no longer change state. */
+inline bool
+jobStateTerminal(JobState s)
+{
+    return s == JobState::Done || s == JobState::Failed ||
+           s == JobState::Cancelled;
+}
+
+/** A point-in-time public view of one job. */
+struct JobStatus
+{
+    uint64_t id = 0;
+    JobState state = JobState::Queued;
+    std::string name;               //!< the spec's "name"
+    std::size_t totalJobs = 0;      //!< expanded configs
+    std::size_t completedJobs = 0;
+    std::string error;              //!< Failed: one-line cause
+    uint64_t seq = 0;               //!< bumps on every change
+};
+
+/** Typed submit() outcome; httpStatus 202 means accepted. */
+struct SubmitOutcome
+{
+    uint64_t id = 0;
+    int httpStatus = 202;
+    std::string error;              //!< stable code ("queue_full")
+    std::string message;            //!< one-line human detail
+
+    bool ok() const { return httpStatus == 202; }
+};
+
+/**
+ * Owns the ThreadPool, the per-instruction-count TraceCaches (all
+ * sharing one optional ArtifactStore for mmap persistence), the job
+ * table and the dispatcher threads. Thread-safe throughout.
+ */
+class JobManager
+{
+  public:
+    JobManager(ServiceLimits limits,
+               std::shared_ptr<const ArtifactStore> artifacts);
+    ~JobManager();                  //!< implies shutdown()
+
+    JobManager(const JobManager &) = delete;
+    JobManager &operator=(const JobManager &) = delete;
+
+    /** Validate, admit and enqueue @p specJson. */
+    SubmitOutcome submit(const std::string &specJson);
+
+    std::optional<JobStatus> status(uint64_t id) const;
+
+    /** The finished report document (sweepToJson + '\n'), only once
+     *  the job is Done. */
+    std::optional<std::string> result(uint64_t id) const;
+
+    /**
+     * Request cancellation: a Queued job is cancelled immediately, a
+     * Running one at its next checkpoint; terminal jobs are left
+     * untouched (cancel is idempotent). @return false for unknown
+     * ids.
+     */
+    bool cancel(uint64_t id);
+
+    /**
+     * Block until @p id changes past @p lastSeq (or turns terminal,
+     * or the manager shuts down). Returns the fresh status; nullopt
+     * for unknown ids. The building block for progress streaming.
+     */
+    std::optional<JobStatus> waitChange(uint64_t id,
+                                        uint64_t lastSeq);
+
+    /**
+     * Stop admitting (submit => 503), cancel queued and running
+     * jobs, and join the dispatchers. Idempotent.
+     */
+    void shutdown();
+
+    /** @{ Introspection (racy snapshots, for tests and /metrics). */
+    std::size_t queueDepth() const;
+    std::size_t activeJobs() const;
+    const ServiceLimits &limits() const { return limits_; }
+    /** @} */
+
+    /**
+     * Test hook: while paused, dispatchers do not start new jobs
+     * (running ones continue). Lets tests fill the queue
+     * deterministically.
+     */
+    void setPaused(bool paused);
+
+  private:
+    struct Job
+    {
+        uint64_t id = 0;
+        JobState state = JobState::Queued;
+        SweepSpec spec;
+        std::size_t totalJobs = 0;
+        std::size_t completedJobs = 0;
+        std::string error;
+        std::string resultJson;
+        CancelToken cancel;
+        uint64_t seq = 0;
+    };
+
+    void dispatcherLoop();
+    void runJob(Job &job);
+    TraceCache &cacheFor(std::size_t instructions);
+    void bumpLocked(Job &job);
+
+    const ServiceLimits limits_;
+    std::shared_ptr<const ArtifactStore> artifacts_;
+    ThreadPool pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable dispatchCv_;    //!< queue / pause / stop
+    std::condition_variable changeCv_;      //!< any job seq bump
+    std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+    std::deque<uint64_t> queue_;
+    uint64_t nextId_ = 1;
+    std::size_t active_ = 0;
+    bool paused_ = false;
+    bool closed_ = false;
+
+    std::mutex cacheMutex_;
+    std::map<std::size_t, std::unique_ptr<TraceCache>> caches_;
+
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_JOB_MANAGER_HH

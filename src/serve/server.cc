@@ -1,0 +1,241 @@
+#include "serve/server.hh"
+
+#include <cstdlib>
+
+#include "obs/metrics_json.hh"
+#include "trace/artifact_file.hh"
+#include "util/json.hh"
+
+namespace mbbp::serve
+{
+
+namespace
+{
+
+constexpr const char *kJson = "application/json";
+constexpr const char *kNdjson = "application/x-ndjson";
+
+std::string
+errorJson(const std::string &code, const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("error", code);
+    if (!message.empty())
+        w.value("message", message);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+/** Parse "<digits>" strictly; false on anything else. */
+bool
+parseId(const std::string &text, uint64_t &out)
+{
+    if (text.empty() || text.size() > 19)
+        return false;
+    out = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        out = out * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+jobStatusJson(const JobStatus &st)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.value("id", st.id);
+    w.value("name", st.name);
+    w.value("state", jobStateName(st.state));
+    w.value("total", static_cast<uint64_t>(st.totalJobs));
+    w.value("completed", static_cast<uint64_t>(st.completedJobs));
+    if (!st.error.empty())
+        w.value("error", st.error);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+SweepServer::SweepServer(ServerConfig cfg) : cfg_(std::move(cfg)) {}
+
+SweepServer::~SweepServer()
+{
+    stop();
+}
+
+uint16_t
+SweepServer::start()
+{
+    std::shared_ptr<const ArtifactStore> store;
+    if (!cfg_.artifactDir.empty())
+        store = std::make_shared<const ArtifactStore>(
+            cfg_.artifactDir);
+    jobs_ = std::make_unique<JobManager>(cfg_.limits,
+                                         std::move(store));
+
+    HttpServerConfig hcfg;
+    hcfg.port = cfg_.port;
+    // Admission rejects oversized specs with a typed error; the raw
+    // HTTP cap just needs to sit above it.
+    hcfg.maxBodyBytes = cfg_.limits.maxSpecBytes * 2 + 4096;
+    return http_.start(hcfg,
+                       [this](const HttpRequest &req,
+                              HttpConn &conn) { handle(req, conn); });
+}
+
+void
+SweepServer::stop()
+{
+    // Close the job engine first: that wakes any /stream handler
+    // blocked in waitChange(), so the connection threads http_.stop()
+    // is about to join can actually exit.
+    if (jobs_)
+        jobs_->shutdown();
+    http_.stop();
+}
+
+void
+SweepServer::handle(const HttpRequest &req, HttpConn &conn)
+{
+    const std::string &t = req.target;
+
+    if (t == "/healthz") {
+        conn.respond(200, kJson, "{\"status\":\"ok\"}\n");
+        return;
+    }
+    if (t == "/metrics") {
+        conn.respond(200, kJson, obs::snapshotJson());
+        return;
+    }
+    if (t == "/shutdown") {
+        if (req.method != "POST") {
+            conn.respond(405, kJson,
+                         errorJson("method_not_allowed", ""));
+            return;
+        }
+        conn.respond(200, kJson,
+                     "{\"status\":\"shutting-down\"}\n");
+        shutdownRequested_.store(true);
+        return;
+    }
+    if (t == "/jobs" || t.rfind("/jobs/", 0) == 0) {
+        handleJobs(req, conn,
+                   t == "/jobs" ? std::string() : t.substr(6));
+        return;
+    }
+    conn.respond(404, kJson, errorJson("not_found", ""));
+}
+
+void
+SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
+                        const std::string &rest)
+{
+    if (rest.empty()) {         // POST /jobs
+        if (req.method != "POST") {
+            conn.respond(405, kJson,
+                         errorJson("method_not_allowed", ""));
+            return;
+        }
+        SubmitOutcome out = jobs_->submit(req.body);
+        if (!out.ok()) {
+            conn.respond(out.httpStatus, kJson,
+                         errorJson(out.error, out.message));
+            return;
+        }
+        JsonWriter w;
+        w.beginObject();
+        w.value("id", out.id);
+        w.value("state", "queued");
+        w.endObject();
+        conn.respond(202, kJson, w.str() + "\n");
+        return;
+    }
+
+    std::string idText = rest;
+    std::string action;
+    std::size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+        idText = rest.substr(0, slash);
+        action = rest.substr(slash + 1);
+    }
+    uint64_t id = 0;
+    if (!parseId(idText, id)) {
+        conn.respond(400, kJson, errorJson("bad_job_id", ""));
+        return;
+    }
+
+    if (action.empty()) {       // GET /jobs/<id>
+        std::optional<JobStatus> st = jobs_->status(id);
+        if (!st) {
+            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            return;
+        }
+        conn.respond(200, kJson, jobStatusJson(*st));
+        return;
+    }
+
+    if (action == "result") {
+        std::optional<JobStatus> st = jobs_->status(id);
+        if (!st) {
+            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            return;
+        }
+        if (st->state != JobState::Done) {
+            conn.respond(
+                409, kJson,
+                errorJson("not_done",
+                          std::string("job is ") +
+                              jobStateName(st->state) +
+                              (st->error.empty()
+                                   ? ""
+                                   : ": " + st->error)));
+            return;
+        }
+        std::optional<std::string> doc = jobs_->result(id);
+        conn.respond(200, kJson, *doc);
+        return;
+    }
+
+    if (action == "cancel") {
+        if (req.method != "POST") {
+            conn.respond(405, kJson,
+                         errorJson("method_not_allowed", ""));
+            return;
+        }
+        if (!jobs_->cancel(id)) {
+            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            return;
+        }
+        conn.respond(200, kJson, jobStatusJson(*jobs_->status(id)));
+        return;
+    }
+
+    if (action == "stream") {
+        std::optional<JobStatus> st = jobs_->status(id);
+        if (!st) {
+            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            return;
+        }
+        if (!conn.beginStream(200, kNdjson))
+            return;
+        for (;;) {
+            if (!conn.writeChunk(jobStatusJson(*st)))
+                return;         // client went away
+            if (jobStateTerminal(st->state))
+                return;
+            uint64_t prev = st->seq;
+            st = jobs_->waitChange(id, prev);
+            if (!st || (st->seq == prev &&
+                        !jobStateTerminal(st->state)))
+                return;         // manager shut down mid-stream
+        }
+    }
+
+    conn.respond(404, kJson, errorJson("not_found", ""));
+}
+
+} // namespace mbbp::serve

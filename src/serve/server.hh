@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The sweep service's HTTP face: routes requests onto a JobManager.
+ *
+ * API (all bodies JSON, one request per connection):
+ *
+ *   GET  /healthz            -> 200 {"status":"ok"}
+ *   GET  /metrics            -> 200 obs snapshot (same bytes as a
+ *                               CLI --metrics block)
+ *   POST /jobs               -> 202 {"id":N,"state":"queued"}
+ *                               400/413/429/503 {"error","message"}
+ *   GET  /jobs/<id>          -> 200 status document
+ *   GET  /jobs/<id>/result   -> 200 the sweep report, byte-identical
+ *                               to sweep_cli's default JSON output;
+ *                               409 until the job is done
+ *   POST /jobs/<id>/cancel   -> 200 status document (idempotent)
+ *   GET  /jobs/<id>/stream   -> 200 ndjson: one status document per
+ *                               change, ending with a terminal state
+ *   POST /shutdown           -> 200, then the daemon's main loop
+ *                               observes shutdownRequested()
+ */
+
+#ifndef MBBP_SERVE_SERVER_HH
+#define MBBP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/http.hh"
+#include "serve/job_manager.hh"
+
+namespace mbbp::serve
+{
+
+/** Everything a daemon instance needs. */
+struct ServerConfig
+{
+    uint16_t port = 0;          //!< 0 = ephemeral
+    ServiceLimits limits;
+    std::string artifactDir;    //!< "" = no persistent artifacts
+};
+
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServerConfig cfg);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Bind and serve; @return the bound port. */
+    uint16_t start();
+
+    /** Graceful: stop accepting, cancel jobs, join everything. */
+    void stop();
+
+    uint16_t port() const { return http_.port(); }
+    JobManager &jobs() { return *jobs_; }
+
+    /** True once POST /shutdown has been received. */
+    bool shutdownRequested() const
+    {
+        return shutdownRequested_.load();
+    }
+
+  private:
+    void handle(const HttpRequest &req, HttpConn &conn);
+    void handleJobs(const HttpRequest &req, HttpConn &conn,
+                    const std::string &rest);
+
+    ServerConfig cfg_;
+    std::unique_ptr<JobManager> jobs_;
+    HttpServer http_;
+    std::atomic<bool> shutdownRequested_{ false };
+};
+
+/** One status document line: `{"id":...,"state":...}` + '\n'. */
+std::string jobStatusJson(const JobStatus &st);
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_SERVER_HH

@@ -1,0 +1,60 @@
+#include "serve/shutdown.hh"
+
+#include <csignal>
+
+namespace mbbp::serve
+{
+
+namespace
+{
+
+/**
+ * The handler may run on any thread at any instant, so it only ever
+ * reads this pointer-stable slot; installShutdownHandlers() fills it
+ * exactly once before sigaction() makes the handler reachable.
+ */
+CancelToken &
+tokenSlot()
+{
+    static CancelToken token;
+    return token;
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onShutdownSignal(int signo)
+{
+    if (g_signal != 0) {
+        // Second request: the cooperative path is apparently stuck.
+        // Re-raise with the default disposition so ^C still kills.
+        std::signal(signo, SIG_DFL);
+        std::raise(signo);
+        return;
+    }
+    g_signal = signo;
+    tokenSlot().request();      // async-signal-safe (relaxed store)
+}
+
+} // namespace
+
+void
+installShutdownHandlers(const CancelToken &token)
+{
+    tokenSlot() = token;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;            // no SA_RESTART: wake blocking IO
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+shutdownSignal()
+{
+    return static_cast<int>(g_signal);
+}
+
+} // namespace mbbp::serve

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * One SIGINT/SIGTERM story for every sweep tool: install handlers
+ * that request() a CancelToken, then let the normal cancellation
+ * path unwind -- the sweep drains its in-flight pool tasks, reports
+ * are flushed, and the process exits 130 instead of dying mid-write.
+ */
+
+#ifndef MBBP_SERVE_SHUTDOWN_HH
+#define MBBP_SERVE_SHUTDOWN_HH
+
+#include "util/cancel.hh"
+
+namespace mbbp::serve
+{
+
+/**
+ * Route SIGINT and SIGTERM to @p token.request(). The handler does
+ * nothing else (request() is async-signal-safe), so all real
+ * shutdown work happens at the callers' cancellation checkpoints.
+ * A second signal while cancellation is already pending restores the
+ * default disposition, so a stuck process can still be killed with
+ * the same key. Call once, from the main thread, before starting
+ * work.
+ */
+void installShutdownHandlers(const CancelToken &token);
+
+/** The last shutdown signal received, or 0 if none fired yet. */
+int shutdownSignal();
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_SHUTDOWN_HH

@@ -9,6 +9,7 @@
 
 #include "core/report.hh"
 #include "obs/attribution.hh"
+#include "obs/metrics_json.hh"
 #include "obs/obs.hh"
 #include "util/json.hh"
 #include "util/number_format.hh"
@@ -134,48 +135,6 @@ fmtHex(uint64_t v)
     return "0x" + std::string(buf, end);
 }
 
-/** The registry snapshot as the report's opt-in "metrics" block. */
-void
-writeMetricsJson(JsonWriter &w)
-{
-    obs::Snapshot snap = obs::snapshot();
-    w.beginObject("metrics");
-    w.beginObject("counters");
-    for (const obs::CounterSample &c : snap.counters)
-        w.value(c.name, c.value);
-    w.endObject();
-    w.beginObject("gauges");
-    for (const obs::GaugeSample &g : snap.gauges) {
-        w.beginObject(g.name);
-        w.value("value", g.value);
-        w.value("peak", g.peak);
-        w.endObject();
-    }
-    w.endObject();
-    w.beginObject("timers");
-    for (const obs::TimerSample &t : snap.timers) {
-        w.beginObject(t.name);
-        w.value("calls", t.calls);
-        w.value("total_ns", t.totalNs);
-        w.endObject();
-    }
-    w.endObject();
-    w.beginObject("histograms");
-    for (const obs::HistogramSample &h : snap.histograms) {
-        w.beginObject(h.name);
-        w.value("count", h.count);
-        w.value("sum", h.sum);
-        w.value("max", h.max);
-        w.value("mean", h.mean());
-        w.value("p50", h.quantile(0.50));
-        w.value("p90", h.quantile(0.90));
-        w.value("p99", h.quantile(0.99));
-        w.endObject();
-    }
-    w.endObject();
-    w.endObject();
-}
-
 /** The offender table as the report's opt-in "attribution" array. */
 void
 writeAttributionJson(JsonWriter &w, unsigned top_n)
@@ -257,7 +216,8 @@ sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
     }
     w.endArray();
     if (opts.metrics)
-        writeMetricsJson(w);
+        obs::writeMetricsJson(w);   // same bytes as the /metrics
+                                    // endpoint, by construction
     if (opts.attributionTopN != 0)
         writeAttributionJson(w, opts.attributionTopN);
     w.endObject();

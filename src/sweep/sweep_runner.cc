@@ -64,7 +64,14 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     SweepResult result;
     result.benchmarks = benchmarks;
 
-    ThreadPool pool(opts.threads);
+    // Private pool unless the caller multiplexes us onto a shared
+    // one; either way every task goes through the TaskGroup, so this
+    // sweep waits on (and sees the errors of) its own tasks only.
+    std::unique_ptr<ThreadPool> own_pool;
+    if (!opts.pool)
+        own_pool = std::make_unique<ThreadPool>(opts.threads);
+    ThreadPool &pool = opts.pool ? *opts.pool : *own_pool;
+    TaskGroup group(pool);
     result.threads = pool.numWorkers();
 
     static obs::Timer &sweep_t = obs::timer("sweep.run");
@@ -96,14 +103,15 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     };
 
     auto submitPerConfig = [&](std::size_t i) {
-        pool.submit([&, i] {
+        group.submit([&, i] {
+            opts.cancel.throwIfCancelled("sweep cancelled");
             obs::ScopedTimer job_span(
                 job_t, "job " + std::to_string(i));
             Clock::time_point job_start = Clock::now();
             SweepJobResult &slot = result.jobs[i];
             slot.job = jobs[i];
             slot.result = runSuite(jobs[i].config, traces, benchmarks,
-                                   opts.sharedDecode);
+                                   opts.sharedDecode, &opts.cancel);
             slot.seconds = secondsSince(job_start);
             std::lock_guard<std::mutex> lock(progress_mutex);
             finishJob(i, slot.seconds);
@@ -113,7 +121,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     if (!opts.batchedReplay) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
             submitPerConfig(i);
-        pool.wait();
+        group.wait();
         result.wallSeconds = secondsSince(sweep_start);
         return result;
     }
@@ -157,7 +165,8 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
 
     for (BatchedTile &tile : tiles) {
         for (const std::string &name : run_names) {
-            pool.submit([&, name] {
+            group.submit([&, name] {
+                opts.cancel.throwIfCancelled("sweep cancelled");
                 obs::ScopedTimer job_span(job_t, "tile " + name);
                 Clock::time_point t0 = Clock::now();
                 const ICacheConfig &geom =
@@ -200,7 +209,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
             });
         }
     }
-    pool.wait();
+    group.wait();
 
     result.wallSeconds = secondsSince(sweep_start);
     return result;

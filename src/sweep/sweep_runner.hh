@@ -17,9 +17,12 @@
 #include "core/suite_runner.hh"
 #include "sweep/batch_replay.hh"
 #include "sweep/sweep_spec.hh"
+#include "util/cancel.hh"
 
 namespace mbbp
 {
+
+class ThreadPool;
 
 /** Completion notification for one job (serialized by the runner). */
 struct SweepProgress
@@ -58,6 +61,24 @@ struct SweepOptions
 
     /** Called after each job completes; never concurrently. */
     std::function<void(const SweepProgress &)> progress;
+
+    /**
+     * Run on this shared pool instead of constructing a private one
+     * (`threads` is then ignored). The sweep's tasks join whatever
+     * else the pool is running; completion is tracked per sweep via
+     * a TaskGroup, so concurrent sweeps on one pool do not observe
+     * each other. This is how the sweep service multiplexes jobs.
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * Cooperative cancellation. Checked before each job starts and
+     * between per-program replays inside a job, so a cancel request
+     * is honored within roughly one program replay's latency. A
+     * cancelled sweep drains its in-flight tasks (freeing the pool
+     * slots) and then throws CancelledError from runSweep*.
+     */
+    CancelToken cancel;
 };
 
 /** One job's configuration and measured suite results. */

@@ -228,7 +228,7 @@ SweepSpec::setBenchmarks(std::vector<std::string> names)
     const auto &all = specAllNames();
     for (const std::string &name : names)
         if (std::find(all.begin(), all.end(), name) == all.end())
-            throw SweepError("unknown benchmark \"" + name + "\"");
+            throw UnknownBenchmarkError(name);
     benchmarks_ = std::move(names);
 }
 
@@ -437,6 +437,8 @@ SweepSpec::fromJsonFile(const std::string &path)
     buffer << in.rdbuf();
     try {
         return fromJson(buffer.str());
+    } catch (const UnknownBenchmarkError &) {
+        throw;      // already self-describing; keep the subtype
     } catch (const SweepError &e) {
         throw SweepError(path + ": " + e.what());
     }

@@ -48,6 +48,27 @@ class SweepError : public std::runtime_error
     }
 };
 
+/**
+ * The spec itself is well-formed but names a benchmark the suite
+ * does not provide. Split from plain SweepError so tools can report
+ * "your trace is missing" (exit 3 / HTTP unknown_benchmark)
+ * distinctly from "your spec is malformed" (exit 2 / bad_spec).
+ */
+class UnknownBenchmarkError : public SweepError
+{
+  public:
+    explicit UnknownBenchmarkError(const std::string &name)
+        : SweepError("unknown benchmark \"" + name + "\""),
+          benchmark_(name)
+    {
+    }
+
+    const std::string &benchmark() const { return benchmark_; }
+
+  private:
+    std::string benchmark_;
+};
+
 /** One (field, printable value) assignment, e.g. historyBits=10. */
 using SweepParam = std::pair<std::string, std::string>;
 

@@ -200,4 +200,47 @@ ThreadPool::wait()
     }
 }
 
+TaskGroup::~TaskGroup()
+{
+    // A group abandoned with tasks in flight would leave them
+    // writing through a dangling `this`; that is a caller bug.
+    std::lock_guard<std::mutex> lock(mutex_);
+    mbbp_assert(outstanding_ == 0,
+                "TaskGroup destroyed with tasks in flight");
+}
+
+void
+TaskGroup::submit(std::function<void()> task)
+{
+    mbbp_assert(task != nullptr, "empty task submitted");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++outstanding_;
+    }
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--outstanding_ == 0)
+            idle_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
 } // namespace mbbp

@@ -84,6 +84,50 @@ class ThreadPool
 };
 
 /**
+ * A completion scope over a *shared* ThreadPool: tasks submitted
+ * through a TaskGroup are tracked by the group, so wait() blocks only
+ * on this group's tasks -- not on whatever else (other sweeps, other
+ * service jobs) the pool is running. The first exception thrown by a
+ * member task is captured per group and rethrown from wait(), which
+ * keeps independent jobs' failures from cross-contaminating the
+ * pool-wide error slot.
+ *
+ * This is what lets a long-running service multiplex many concurrent
+ * sweeps onto one work-stealing pool: each job gets its own group,
+ * its own wait, and its own error.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** wait() must have drained the group before destruction. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue one task on the underlying pool, tracked here. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted through this group finished,
+     * then rethrow the group's first captured exception (if any).
+     * The group is reusable afterwards.
+     */
+    void wait();
+
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    ThreadPool &pool_;
+    std::mutex mutex_;
+    std::condition_variable idle_;
+    std::size_t outstanding_ = 0;
+    std::exception_ptr firstError_;
+};
+
+/**
  * Run @p fn over every element of @p items on @p pool and collect
  * the results in input order -- the deterministic-aggregation
  * primitive the sweep runner builds on. @p fn receives (item, index).

@@ -1,9 +1,53 @@
 #include "trace/decoded_trace.hh"
 
+#include <type_traits>
+
 #include "util/logging.hh"
 
 namespace mbbp
 {
+
+std::size_t
+DecodedTrace::Arrays::bytes() const
+{
+    auto vec = [](const auto &v) {
+        return v.capacity() * sizeof(v[0]);
+    };
+    return vec(insts) + vec(startPc) + vec(nextPc) + vec(firstInst) +
+           vec(numInsts) + vec(exitIdx) + vec(condMask) +
+           vec(numConds) + vec(numNotTaken) + vec(branches) +
+           vec(nearConds) + vec(rasOp) + vec(windowLen) +
+           vec(codesOffset) + vec(codesNear) + vec(codesPlain);
+}
+
+void
+DecodedTrace::adopt(std::shared_ptr<const Arrays> arrays)
+{
+    const Arrays &a = *arrays;
+    auto ref = [](const auto &v) {
+        using T = std::remove_reference_t<decltype(v[0])>;
+        return ColumnRef<std::remove_const_t<T>>(v.data(), v.size());
+    };
+    insts_ = ref(a.insts);
+    startPc_ = ref(a.startPc);
+    nextPc_ = ref(a.nextPc);
+    firstInst_ = ref(a.firstInst);
+    numInsts_ = ref(a.numInsts);
+    exitIdx_ = ref(a.exitIdx);
+    condMask_ = ref(a.condMask);
+    numConds_ = ref(a.numConds);
+    numNotTaken_ = ref(a.numNotTaken);
+    branches_ = ref(a.branches);
+    nearConds_ = ref(a.nearConds);
+    rasOp_ = ref(a.rasOp);
+    windowLen_ = ref(a.windowLen);
+    codesOffset_ = ref(a.codesOffset);
+    codesNear_ = ref(a.codesNear);
+    codesPlain_ = ref(a.codesPlain);
+    ownedBytes_ = a.bytes();
+    mappedBytes_ = 0;
+    storage_ = std::move(arrays);
+}
 
 DecodedTrace
 DecodedTrace::build(const InMemoryTrace &trace,
@@ -11,12 +55,15 @@ DecodedTrace::build(const InMemoryTrace &trace,
 {
     DecodedTrace dec;
     dec.geom_ = geom;
-    dec.insts_ = trace.insts();
     dec.image_ = StaticImage::fromTrace(trace);
+
+    auto arrays = std::make_shared<Arrays>();
+    Arrays &a = *arrays;
+    a.insts = trace.insts();
 
     const ICacheModel cache(geom);
     const unsigned line_size = cache.lineSize();
-    const std::vector<DynInst> &insts = dec.insts_;
+    const std::vector<DynInst> &insts = a.insts;
     const std::size_t n = insts.size();
 
     // Segmentation, identical to BlockStream: consecutive slices of
@@ -84,46 +131,39 @@ DecodedTrace::build(const InMemoryTrace &trace,
         // Window codes cover the whole capacity window, including the
         // static instructions past a taken exit.
         const uint32_t codes_off =
-            static_cast<uint32_t>(dec.codesNear_.size());
+            static_cast<uint32_t>(a.codesNear.size());
         for (unsigned j = 0; j < capacity; ++j) {
             const Addr pc = start + j;
             const StaticInfo info = dec.image_.lookup(pc);
             const BitCode cn = computeBitCode(info.cls, pc, info.target,
                                               line_size, true);
-            dec.codesNear_.push_back(cn);
-            dec.codesPlain_.push_back(
+            a.codesNear.push_back(cn);
+            a.codesPlain.push_back(
                 bitCodeIsCond(cn) ? BitCode::CondLong : cn);
         }
 
-        dec.startPc_.push_back(start);
-        dec.nextPc_.push_back(insts[first + cnt].pc);
-        dec.firstInst_.push_back(static_cast<uint32_t>(first));
-        dec.numInsts_.push_back(static_cast<uint16_t>(cnt));
-        dec.exitIdx_.push_back(static_cast<int16_t>(exit_idx));
-        dec.condMask_.push_back(mask);
-        dec.numConds_.push_back(static_cast<uint16_t>(conds));
-        dec.numNotTaken_.push_back(static_cast<uint16_t>(not_taken));
-        dec.branches_.push_back(static_cast<uint16_t>(branches));
-        dec.nearConds_.push_back(static_cast<uint16_t>(near));
-        dec.rasOp_.push_back(static_cast<uint8_t>(ras_op));
-        dec.windowLen_.push_back(static_cast<uint16_t>(capacity));
-        dec.codesOffset_.push_back(codes_off);
+        a.startPc.push_back(start);
+        a.nextPc.push_back(insts[first + cnt].pc);
+        a.firstInst.push_back(static_cast<uint32_t>(first));
+        a.numInsts.push_back(static_cast<uint16_t>(cnt));
+        a.exitIdx.push_back(static_cast<int16_t>(exit_idx));
+        a.condMask.push_back(mask);
+        a.numConds.push_back(static_cast<uint16_t>(conds));
+        a.numNotTaken.push_back(static_cast<uint16_t>(not_taken));
+        a.branches.push_back(static_cast<uint16_t>(branches));
+        a.nearConds.push_back(static_cast<uint16_t>(near));
+        a.rasOp.push_back(static_cast<uint8_t>(ras_op));
+        a.windowLen.push_back(static_cast<uint16_t>(capacity));
+        a.codesOffset.push_back(codes_off);
     }
+    dec.adopt(std::move(arrays));
     return dec;
 }
 
 std::size_t
 DecodedTrace::bytes() const
 {
-    auto vec = [](const auto &v) {
-        return v.capacity() * sizeof(v[0]);
-    };
-    return vec(insts_) + image_.bytes() + vec(startPc_) +
-           vec(nextPc_) + vec(firstInst_) + vec(numInsts_) +
-           vec(exitIdx_) + vec(condMask_) + vec(numConds_) +
-           vec(numNotTaken_) + vec(branches_) + vec(nearConds_) +
-           vec(rasOp_) + vec(windowLen_) + vec(codesOffset_) +
-           vec(codesNear_) + vec(codesPlain_);
+    return (mapped() ? mappedBytes_ : ownedBytes_) + image_.bytes();
 }
 
 bool

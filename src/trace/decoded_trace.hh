@@ -23,12 +23,20 @@
  * size, penalties, ... all iterate the same artifact read-only, which
  * also makes it safe to share across sweep worker threads. Replaying
  * through a DecodedTrace is byte-identical to decoding per run.
+ *
+ * Storage is column-oriented and *borrowable*: the accessors read
+ * through spans whose backing memory is either heap vectors (the
+ * build() path) or a read-only file mapping (the artifact-file path,
+ * trace/artifact_file.hh). One shared_ptr keeps whichever backing
+ * store alive, so a mapped artifact replays zero-copy straight out
+ * of the page cache.
  */
 
 #ifndef MBBP_TRACE_DECODED_TRACE_HH
 #define MBBP_TRACE_DECODED_TRACE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fetch/block.hh"
@@ -52,6 +60,28 @@ enum class RasOp : uint8_t
 class DecodedTrace
 {
   public:
+    /** A borrowed read-only column (heap- or mmap-backed). */
+    template <typename T>
+    class ColumnRef
+    {
+      public:
+        ColumnRef() = default;
+        ColumnRef(const T *data, std::size_t size)
+            : data_(data), size_(size)
+        {
+        }
+
+        const T &operator[](std::size_t i) const { return data_[i]; }
+        const T *data() const { return data_; }
+        std::size_t size() const { return size_; }
+        const T *begin() const { return data_; }
+        const T *end() const { return data_ + size_; }
+
+      private:
+        const T *data_ = nullptr;
+        std::size_t size_ = 0;
+    };
+
     DecodedTrace() = default;
 
     /**
@@ -71,11 +101,19 @@ class DecodedTrace
      */
     bool geometryCompatible(const ICacheConfig &other) const;
 
-    const std::vector<DynInst> &insts() const { return insts_; }
+    const ColumnRef<DynInst> &insts() const { return insts_; }
     const StaticImage &image() const { return image_; }
 
-    /** Approximate heap footprint -- what a cache budget charges. */
+    /**
+     * Approximate footprint a cache budget charges. Heap-backed
+     * artifacts report their vector bytes; mapped artifacts report
+     * the mapped file size (shared, evictable pages -- but they
+     * occupy address space and, when hot, page-cache memory).
+     */
     std::size_t bytes() const;
+
+    /** Is this artifact backed by a read-only file mapping? */
+    bool mapped() const { return mappedBytes_ != 0; }
 
     /** @{ The block index. */
     std::size_t numBlocks() const { return startPc_.size(); }
@@ -122,36 +160,69 @@ class DecodedTrace
      */
     const BitCode *windowCodes(std::size_t i, bool near_block) const
     {
-        const std::vector<BitCode> &arena =
+        const ColumnRef<BitCode> &arena =
             near_block ? codesNear_ : codesPlain_;
         return arena.data() + codesOffset_[i];
     }
     /** @} */
 
   private:
+    friend class ArtifactCodec;     //!< (de)serializer, artifact_file.cc
+
+    /** Owned column storage, the build() path's backing store. */
+    struct Arrays
+    {
+        std::vector<DynInst> insts;
+        std::vector<Addr> startPc;
+        std::vector<Addr> nextPc;
+        std::vector<uint32_t> firstInst;    //!< offset into insts
+        std::vector<uint16_t> numInsts;
+        std::vector<int16_t> exitIdx;       //!< -1 = fall-through
+        std::vector<uint64_t> condMask;
+        std::vector<uint16_t> numConds;
+        std::vector<uint16_t> numNotTaken;
+        std::vector<uint16_t> branches;
+        std::vector<uint16_t> nearConds;
+        std::vector<uint8_t> rasOp;
+        std::vector<uint16_t> windowLen;
+        std::vector<uint32_t> codesOffset;  //!< offset into the arenas
+
+        // Window-code arenas, indexed by codesOffset; both encodings
+        // are materialized so no per-block translation happens at
+        // replay.
+        std::vector<BitCode> codesNear;
+        std::vector<BitCode> codesPlain;
+
+        std::size_t bytes() const;
+    };
+
+    /** Point the spans at @p arrays and take (shared) ownership. */
+    void adopt(std::shared_ptr<const Arrays> arrays);
+
     ICacheConfig geom_;
-    std::vector<DynInst> insts_;
     StaticImage image_;
 
-    // Block index, one SoA slot per block (BlockStream order).
-    std::vector<Addr> startPc_;
-    std::vector<Addr> nextPc_;
-    std::vector<uint32_t> firstInst_;   //!< offset into insts_
-    std::vector<uint16_t> numInsts_;
-    std::vector<int16_t> exitIdx_;      //!< -1 = fall-through
-    std::vector<uint64_t> condMask_;
-    std::vector<uint16_t> numConds_;
-    std::vector<uint16_t> numNotTaken_;
-    std::vector<uint16_t> branches_;
-    std::vector<uint16_t> nearConds_;
-    std::vector<uint8_t> rasOp_;
-    std::vector<uint16_t> windowLen_;
-    std::vector<uint32_t> codesOffset_; //!< offset into the arenas
+    /** Keeps the span backing alive: Arrays or a file mapping. */
+    std::shared_ptr<const void> storage_;
+    std::size_t ownedBytes_ = 0;    //!< heap column bytes (build path)
+    std::size_t mappedBytes_ = 0;   //!< file size (artifact path)
 
-    // Window-code arenas, indexed by codesOffset_; both encodings are
-    // materialized so no per-block translation happens at replay.
-    std::vector<BitCode> codesNear_;
-    std::vector<BitCode> codesPlain_;
+    ColumnRef<DynInst> insts_;
+    ColumnRef<Addr> startPc_;
+    ColumnRef<Addr> nextPc_;
+    ColumnRef<uint32_t> firstInst_;
+    ColumnRef<uint16_t> numInsts_;
+    ColumnRef<int16_t> exitIdx_;
+    ColumnRef<uint64_t> condMask_;
+    ColumnRef<uint16_t> numConds_;
+    ColumnRef<uint16_t> numNotTaken_;
+    ColumnRef<uint16_t> branches_;
+    ColumnRef<uint16_t> nearConds_;
+    ColumnRef<uint8_t> rasOp_;
+    ColumnRef<uint16_t> windowLen_;
+    ColumnRef<uint32_t> codesOffset_;
+    ColumnRef<BitCode> codesNear_;
+    ColumnRef<BitCode> codesPlain_;
 };
 
 } // namespace mbbp

@@ -48,6 +48,17 @@ StaticImage::freeze()
     frozen_ = true;
 }
 
+StaticImage
+StaticImage::fromFlat(const std::vector<Addr> &keys,
+                      const std::vector<StaticInfo> &infos)
+{
+    StaticImage img;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        img.map_.emplace(keys[i], infos[i]);
+    img.freeze();
+    return img;
+}
+
 std::size_t
 StaticImage::bytes() const
 {

@@ -60,6 +60,23 @@ class StaticImage
     /** Is the flat representation current? */
     bool frozen() const { return frozen_; }
 
+    /** @{ Flat-form access for (de)serialization; require frozen(). */
+    const std::vector<Addr> &frozenKeys() const { return keys_; }
+    const std::vector<StaticInfo> &frozenInfos() const
+    {
+        return infos_;
+    }
+
+    /**
+     * Rebuild a frozen image from parallel (keys, infos) arrays, the
+     * inverse of frozenKeys()/frozenInfos(). The artifact-file loader
+     * uses this; both representations are populated so a later add()
+     * still behaves.
+     */
+    static StaticImage fromFlat(const std::vector<Addr> &keys,
+                                const std::vector<StaticInfo> &infos);
+    /** @} */
+
     /** Look up a PC; unknown PCs are NonBranch. */
     StaticInfo lookup(Addr pc) const;
 

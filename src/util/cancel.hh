@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cooperative cancellation: a CancelToken is a cheap, copyable handle
+ * on one shared "stop requested" flag. Producers (a signal handler, a
+ * service's cancel endpoint) call cancel(); long-running work checks
+ * cancelled() at natural safe points -- between sweep jobs, between
+ * per-program replays -- and unwinds by throwing CancelledError.
+ *
+ * request() is async-signal-safe (one relaxed atomic store on a
+ * lock-free flag), so a SIGINT/SIGTERM handler may cancel the same
+ * token the sweep runner is polling.
+ */
+
+#ifndef MBBP_UTIL_CANCEL_HH
+#define MBBP_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace mbbp
+{
+
+/** Thrown by cancellation-aware work when its token fires. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Copyable handle on a shared cancellation flag (never null). */
+class CancelToken
+{
+  public:
+    CancelToken()
+        : flag_(std::make_shared<std::atomic<bool>>(false))
+    {
+    }
+
+    /** Request cancellation. Idempotent; async-signal-safe. */
+    void request() const
+    {
+        flag_->store(true, std::memory_order_relaxed);
+    }
+
+    bool cancelled() const
+    {
+        return flag_->load(std::memory_order_relaxed);
+    }
+
+    /** Throw CancelledError(@p what) if cancellation was requested. */
+    void throwIfCancelled(const char *what) const
+    {
+        if (cancelled())
+            throw CancelledError(what);
+    }
+
+    /** Do @p a and @p b observe the same flag? */
+    bool sameAs(const CancelToken &other) const
+    {
+        return flag_ == other.flag_;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace mbbp
+
+#endif // MBBP_UTIL_CANCEL_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Loopback HTTP layer tests: request/response round trips, routing
+ * of raw bytes, hostile input (malformed request lines, oversized
+ * bodies, truncated requests) answered with errors instead of
+ * crashes, and ndjson streaming.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hh"
+
+using namespace mbbp::serve;
+
+namespace
+{
+
+/** An echo server: responds with "METHOD TARGET|BODY". */
+class HttpTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        HttpServerConfig cfg;
+        cfg.maxBodyBytes = 1024;
+        port_ = server_.start(
+            cfg, [](const HttpRequest &req, HttpConn &conn) {
+                if (req.target == "/stream") {
+                    conn.beginStream(200, "application/x-ndjson");
+                    conn.writeChunk("one\n");
+                    conn.writeChunk("two\n");
+                    conn.writeChunk("three\n");
+                    return;
+                }
+                if (req.target == "/throws")
+                    throw std::runtime_error("handler exploded");
+                conn.respond(200, "text/plain",
+                             req.method + " " + req.target + "|" +
+                                 req.body);
+            });
+    }
+
+    /** Write raw bytes, read everything back. */
+    std::string rawExchange(const std::string &bytes)
+    {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port_);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return "";
+        }
+        (void)!::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        ::shutdown(fd, SHUT_WR);
+        std::string out;
+        char chunk[4096];
+        ssize_t n;
+        while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+            out.append(chunk, static_cast<std::size_t>(n));
+        ::close(fd);
+        return out;
+    }
+
+    HttpServer server_;
+    uint16_t port_ = 0;
+};
+
+TEST_F(HttpTest, GetRoundTrip)
+{
+    HttpResult res = httpRequest(port_, "GET", "/hello");
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "GET /hello|");
+}
+
+TEST_F(HttpTest, PostBodyRoundTrip)
+{
+    std::string body = "{\"k\":\"v with \\n and spaces\"}";
+    HttpResult res = httpRequest(port_, "POST", "/jobs", body);
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "POST /jobs|" + body);
+}
+
+TEST_F(HttpTest, LargeBodyWithinLimitSurvives)
+{
+    std::string body(1000, 'x');
+    HttpResult res = httpRequest(port_, "POST", "/big", body);
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, "POST /big|" + body);
+}
+
+TEST_F(HttpTest, OversizedBodyRejected413)
+{
+    HttpResult res =
+        httpRequest(port_, "POST", "/big", std::string(4096, 'y'));
+    EXPECT_EQ(res.status, 413);
+    EXPECT_NE(res.body.find("body_too_large"), std::string::npos);
+}
+
+TEST_F(HttpTest, MalformedRequestLineRejected400)
+{
+    std::string res = rawExchange("GARBAGE\r\n\r\n");
+    EXPECT_NE(res.find("400"), std::string::npos);
+    EXPECT_NE(res.find("malformed_request"), std::string::npos);
+}
+
+TEST_F(HttpTest, NonNumericContentLengthRejected400)
+{
+    std::string res = rawExchange(
+        "POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+    EXPECT_NE(res.find("400"), std::string::npos);
+    EXPECT_NE(res.find("bad_content_length"), std::string::npos);
+}
+
+TEST_F(HttpTest, TruncatedBodyRejected400)
+{
+    // Claims 100 bytes, sends 5, then half-closes.
+    std::string res = rawExchange(
+        "POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nhello");
+    EXPECT_NE(res.find("400"), std::string::npos);
+    EXPECT_NE(res.find("truncated_body"), std::string::npos);
+}
+
+TEST_F(HttpTest, TruncatedHeadersDropped)
+{
+    // Never finishes the header block; the server must just hang up.
+    std::string res = rawExchange("GET /x HTTP/1.1\r\nHost: h");
+    EXPECT_EQ(res, "");
+}
+
+TEST_F(HttpTest, HandlerExceptionBecomes500)
+{
+    HttpResult res = httpRequest(port_, "GET", "/throws");
+    EXPECT_EQ(res.status, 500);
+    EXPECT_NE(res.body.find("internal"), std::string::npos);
+}
+
+TEST_F(HttpTest, StreamDeliversLinesInOrder)
+{
+    std::vector<std::string> lines;
+    std::string err;
+    int status = httpStreamLines(
+        port_, "/stream",
+        [&](const std::string &line) {
+            lines.push_back(line);
+            return true;
+        },
+        err);
+    EXPECT_EQ(status, 200);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "one");
+    EXPECT_EQ(lines[1], "two");
+    EXPECT_EQ(lines[2], "three");
+}
+
+TEST_F(HttpTest, StreamEarlyStopIsClean)
+{
+    int seen = 0;
+    std::string err;
+    int status = httpStreamLines(
+        port_, "/stream",
+        [&](const std::string &) { return ++seen < 2; }, err);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST_F(HttpTest, ConcurrentRequestsAllAnswered)
+{
+    std::vector<std::thread> threads;
+    std::vector<int> status(8, 0);
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back([this, i, &status] {
+            HttpResult res = httpRequest(
+                port_, "GET", "/c" + std::to_string(i));
+            status[static_cast<std::size_t>(i)] = res.status;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    for (int s : status)
+        EXPECT_EQ(s, 200);
+}
+
+TEST(HttpLifecycleTest, StopThenRestartOnNewPort)
+{
+    HttpServer a;
+    uint16_t pa = a.start({}, [](const HttpRequest &,
+                                 HttpConn &conn) {
+        conn.respond(200, "text/plain", "a");
+    });
+    EXPECT_EQ(httpRequest(pa, "GET", "/").body, "a");
+    a.stop();
+    EXPECT_THROW(httpRequest(pa, "GET", "/"), std::runtime_error);
+
+    HttpServer b;
+    uint16_t pb = b.start({}, [](const HttpRequest &,
+                                 HttpConn &conn) {
+        conn.respond(200, "text/plain", "b");
+    });
+    EXPECT_EQ(httpRequest(pb, "GET", "/").body, "b");
+}
+
+TEST(HttpLifecycleTest, ConnectToClosedPortThrows)
+{
+    HttpServer s;
+    uint16_t port = s.start({}, [](const HttpRequest &,
+                                   HttpConn &conn) {
+        conn.respond(200, "text/plain", "x");
+    });
+    s.stop();
+    EXPECT_THROW(httpRequest(port, "GET", "/healthz"),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * JobManager tests: admission control (typed rejections for
+ * malformed specs, unknown benchmarks, over-budget sweeps and a full
+ * queue), execution to a result byte-identical with an in-process
+ * runSweep, cancellation of queued and running jobs within bounded
+ * time, and shutdown semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/job_manager.hh"
+#include "sweep/sweep_report.hh"
+#include "sweep/sweep_runner.hh"
+
+using namespace mbbp;
+using namespace mbbp::serve;
+
+namespace
+{
+
+/** A tiny sweep that still exercises real simulation. */
+const char *kSpec =
+    "{\"name\":\"jm\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":20000,\"grid\":{\"historyBits\":[4,6]}}";
+
+/** A bigger sweep, used to have something to cancel mid-flight. */
+const char *kSlowSpec =
+    "{\"name\":\"slow\",\"benchmarks\":[\"compress\",\"swim\"],"
+    "\"instructions\":100000,"
+    "\"grid\":{\"historyBits\":[4,6,8,10,12,14]}}";
+
+ServiceLimits
+tinyLimits()
+{
+    ServiceLimits limits;
+    limits.threads = 2;
+    limits.maxQueuedJobs = 2;
+    return limits;
+}
+
+JobStatus
+awaitTerminal(JobManager &jm, uint64_t id)
+{
+    std::optional<JobStatus> st = jm.status(id);
+    while (st && !jobStateTerminal(st->state))
+        st = jm.waitChange(id, st->seq);
+    EXPECT_TRUE(st.has_value());
+    return *st;
+}
+
+TEST(JobManagerTest, RunsToDoneWithParityResult)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    SubmitOutcome out = jm.submit(kSpec);
+    ASSERT_TRUE(out.ok()) << out.message;
+
+    JobStatus st = awaitTerminal(jm, out.id);
+    EXPECT_EQ(st.state, JobState::Done);
+    EXPECT_EQ(st.totalJobs, 2u);
+    EXPECT_EQ(st.completedJobs, 2u);
+    EXPECT_EQ(st.name, "jm");
+
+    std::optional<std::string> doc = jm.result(out.id);
+    ASSERT_TRUE(doc.has_value());
+
+    // Byte-identical to running the same spec in-process.
+    SweepSpec spec = SweepSpec::fromJson(kSpec);
+    TraceCache traces(20000);
+    SweepResult direct = runSweep(spec, traces, {});
+    EXPECT_EQ(*doc, sweepToJson(direct, SweepReportOptions{}) + "\n");
+}
+
+TEST(JobManagerTest, MalformedJsonRejected400)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    SubmitOutcome out = jm.submit("{\"name\": \"trunca");
+    EXPECT_EQ(out.httpStatus, 400);
+    EXPECT_EQ(out.error, "bad_spec");
+    EXPECT_FALSE(out.message.empty());
+}
+
+TEST(JobManagerTest, UnknownBenchmarkRejectedDistinctly)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    SubmitOutcome out = jm.submit(
+        "{\"benchmarks\":[\"not_a_benchmark\"],"
+        "\"grid\":{\"historyBits\":[4]}}");
+    EXPECT_EQ(out.httpStatus, 400);
+    EXPECT_EQ(out.error, "unknown_benchmark");
+}
+
+TEST(JobManagerTest, OversizedSweepRejected429)
+{
+    ServiceLimits limits = tinyLimits();
+    limits.maxSweepJobs = 3;
+    JobManager jm(limits, nullptr);
+    SubmitOutcome out = jm.submit(
+        "{\"benchmarks\":[\"compress\"],\"instructions\":20000,"
+        "\"grid\":{\"historyBits\":[2,4,6,8]}}");
+    EXPECT_EQ(out.httpStatus, 429);
+    EXPECT_EQ(out.error, "sweep_too_large");
+}
+
+TEST(JobManagerTest, OversizedInstructionsRejected429)
+{
+    ServiceLimits limits = tinyLimits();
+    limits.maxInstructions = 50000;
+    JobManager jm(limits, nullptr);
+    SubmitOutcome out = jm.submit(
+        "{\"benchmarks\":[\"compress\"],\"instructions\":60000,"
+        "\"grid\":{\"historyBits\":[4]}}");
+    EXPECT_EQ(out.httpStatus, 429);
+    EXPECT_EQ(out.error, "instructions_too_large");
+}
+
+TEST(JobManagerTest, OversizedSpecTextRejected413)
+{
+    ServiceLimits limits = tinyLimits();
+    limits.maxSpecBytes = 64;
+    JobManager jm(limits, nullptr);
+    SubmitOutcome out = jm.submit(std::string(65, ' '));
+    EXPECT_EQ(out.httpStatus, 413);
+    EXPECT_EQ(out.error, "spec_too_large");
+}
+
+TEST(JobManagerTest, FullQueueRejected429)
+{
+    JobManager jm(tinyLimits(), nullptr);    // maxQueuedJobs = 2
+    jm.setPaused(true);                      // nothing dispatches
+
+    EXPECT_TRUE(jm.submit(kSpec).ok());
+    EXPECT_TRUE(jm.submit(kSpec).ok());
+    SubmitOutcome third = jm.submit(kSpec);
+    EXPECT_EQ(third.httpStatus, 429);
+    EXPECT_EQ(third.error, "queue_full");
+    EXPECT_EQ(jm.queueDepth(), 2u);
+
+    // Draining the queue reopens admission.
+    jm.setPaused(false);
+    SubmitOutcome fourth = jm.submit(kSpec);
+    // Either accepted now or the queue is momentarily still full;
+    // after the drain, admission must succeed.
+    if (!fourth.ok()) {
+        while (jm.queueDepth() > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        EXPECT_TRUE(jm.submit(kSpec).ok());
+    }
+}
+
+TEST(JobManagerTest, CancelQueuedJobIsImmediate)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    jm.setPaused(true);
+    SubmitOutcome out = jm.submit(kSpec);
+    ASSERT_TRUE(out.ok());
+
+    EXPECT_TRUE(jm.cancel(out.id));
+    std::optional<JobStatus> st = jm.status(out.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, JobState::Cancelled);
+    EXPECT_EQ(jm.queueDepth(), 0u);
+
+    jm.setPaused(false);
+    EXPECT_FALSE(jm.result(out.id).has_value());
+}
+
+TEST(JobManagerTest, CancelRunningJobWithinBoundedTime)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    SubmitOutcome out = jm.submit(kSlowSpec);
+    ASSERT_TRUE(out.ok());
+
+    // Wait until it actually starts running.
+    std::optional<JobStatus> st = jm.status(out.id);
+    while (st && st->state == JobState::Queued)
+        st = jm.waitChange(out.id, st->seq);
+    ASSERT_TRUE(st.has_value());
+    ASSERT_EQ(st->state, JobState::Running);
+
+    auto begin = std::chrono::steady_clock::now();
+    EXPECT_TRUE(jm.cancel(out.id));
+    JobStatus final_st = awaitTerminal(jm, out.id);
+    double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+
+    EXPECT_EQ(final_st.state, JobState::Cancelled);
+    // The checkpoint contract bounds the abort latency to roughly
+    // one program replay; 30s is orders of magnitude above that,
+    // while still failing fast if cancellation is broken (the full
+    // sweep would take far longer than the replay it aborts).
+    EXPECT_LT(seconds, 30.0);
+    EXPECT_FALSE(jm.result(out.id).has_value());
+}
+
+TEST(JobManagerTest, CancelUnknownIdReturnsFalse)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    EXPECT_FALSE(jm.cancel(12345));
+    EXPECT_FALSE(jm.status(12345).has_value());
+    EXPECT_FALSE(jm.result(12345).has_value());
+}
+
+TEST(JobManagerTest, ShutdownCancelsQueuedAndRejectsNewJobs)
+{
+    JobManager jm(tinyLimits(), nullptr);
+    jm.setPaused(true);
+    SubmitOutcome queued = jm.submit(kSpec);
+    ASSERT_TRUE(queued.ok());
+
+    jm.shutdown();
+
+    std::optional<JobStatus> st = jm.status(queued.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, JobState::Cancelled);
+
+    SubmitOutcome late = jm.submit(kSpec);
+    EXPECT_EQ(late.httpStatus, 503);
+    EXPECT_EQ(late.error, "shutting_down");
+}
+
+TEST(JobManagerTest, SequentialJobsShareOnePool)
+{
+    // Two jobs through the same manager both finish and agree with
+    // each other (the TraceCache and pool are reused).
+    JobManager jm(tinyLimits(), nullptr);
+    SubmitOutcome a = jm.submit(kSpec);
+    SubmitOutcome b = jm.submit(kSpec);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    EXPECT_EQ(awaitTerminal(jm, b.id).state, JobState::Done);
+    EXPECT_EQ(*jm.result(a.id), *jm.result(b.id));
+}
+
+} // namespace
