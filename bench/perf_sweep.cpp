@@ -30,6 +30,7 @@
 
 #include "bench_util.hh"
 #include "obs/obs.hh"
+#include "util/simd.hh"
 
 using namespace mbbp;
 using namespace mbbp::bench;
@@ -173,6 +174,7 @@ main()
     w.value("threadSpeedupShared", threads_shared);
     w.value("batchedSpeedup1T", batched_1t);
     w.value("batchedSpeedup8T", batched_8t);
+    w.value("simd", simd::levelName(simd::activeLevel()));
     w.value("metricsOverhead", metrics_overhead);
     w.value("byteIdentical", identical);
     w.beginObject("metrics");

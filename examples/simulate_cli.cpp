@@ -25,6 +25,8 @@
  *                           accepts several spec95 workloads
  *   --decoded-budget B      cap resident decoded-trace bytes at B
  *                           (LRU eviction; 0 = unbounded) [0]
+ *   --no-simd               force the scalar replay kernels
+ *                           (identical output; A/B timing aid)
  *   --metrics               obs counters/timers in the --out report
  *   --attribution[=N]       per-branch misprediction attribution:
  *                           top-N offenders (default 20) in the
@@ -55,6 +57,7 @@
 #include "obs/obs.hh"
 #include "serve/exit_codes.hh"
 #include "serve/shutdown.hh"
+#include "util/simd.hh"
 
 using namespace mbbp;
 
@@ -70,7 +73,7 @@ usage()
         "  --target nls|btb --target-entries N --bit-entries N\n"
         "  --near-block --double-select --insts N --json\n"
         "  --threads N --out FILE --decoded-budget BYTES\n"
-        "  --metrics --attribution[=N] --trace-out FILE\n"
+        "  --no-simd --metrics --attribution[=N] --trace-out FILE\n"
         "  --artifact-dir DIR\n";
 }
 
@@ -151,6 +154,8 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--decoded-budget") {
             decoded_budget = std::stoul(next());
+        } else if (arg == "--no-simd") {
+            simd::setLevel(simd::Level::Scalar);
         } else if (arg == "--metrics") {
             metrics = true;
             obs::setEnabled(true);

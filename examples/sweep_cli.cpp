@@ -15,6 +15,10 @@
  *   --decoded-budget B cap resident decoded-trace bytes at B;
  *                      least-recently-used artifacts are evicted
  *                      (0 = unbounded)                [0]
+ *   --no-simd          force the scalar replay kernels instead of
+ *                      the auto-detected AVX2/AVX-512 dispatch
+ *                      (identical output; for A/B timing and
+ *                      debugging)
  *   --out FILE         JSON results ("-" = stdout)  [-]
  *   --csv FILE         also write CSV results
  *   --no-per-program   aggregates only (smaller output)
@@ -57,6 +61,7 @@
 #include "obs/obs.hh"
 #include "serve/exit_codes.hh"
 #include "serve/shutdown.hh"
+#include "util/simd.hh"
 
 using namespace mbbp;
 
@@ -68,7 +73,8 @@ usage()
 {
     std::cerr <<
         "usage: sweep_cli spec.json [--threads N] [--batched]\n"
-        "                 [--decoded-budget BYTES] [--out FILE]\n"
+        "                 [--decoded-budget BYTES] [--no-simd]\n"
+        "                 [--out FILE]\n"
         "                 [--csv FILE] [--no-per-program] "
         "[--timings]\n"
         "                 [--metrics] [--attribution[=N]]\n"
@@ -132,6 +138,8 @@ main(int argc, char **argv)
             batched = true;
         } else if (arg == "--decoded-budget") {
             decoded_budget = std::stoul(next());
+        } else if (arg == "--no-simd") {
+            simd::setLevel(simd::Level::Scalar);
         } else if (arg == "--out") {
             out_path = next();
         } else if (arg == "--csv") {

@@ -22,6 +22,9 @@
  *   --decoded-budget B LRU byte budget for resident decoded
  *                      artifacts (0 = unbounded)         [0]
  *   --batched          config-batched replay inside sweeps
+ *   --no-simd          force the scalar replay kernels (the
+ *                      active dispatch shows on /metrics as the
+ *                      sweep.simd.<name> info gauge)
  *   --quiet            no startup/shutdown chatter on stderr
  *
  * The daemon exits 0 after POST /shutdown and 130 after SIGINT or
@@ -40,6 +43,7 @@
 #include "serve/exit_codes.hh"
 #include "serve/server.hh"
 #include "serve/shutdown.hh"
+#include "util/simd.hh"
 
 using namespace mbbp;
 using namespace mbbp::serve;
@@ -56,7 +60,7 @@ usage()
         "                     [--max-queue N] [--max-active N]\n"
         "                     [--max-jobs N] [--max-insts N]\n"
         "                     [--decoded-budget BYTES] [--batched]\n"
-        "                     [--quiet]\n";
+        "                     [--no-simd] [--quiet]\n";
 }
 
 } // namespace
@@ -99,6 +103,8 @@ main(int argc, char **argv)
                 cfg.limits.decodedBudgetBytes = std::stoul(next());
             } else if (arg == "--batched") {
                 cfg.limits.batchedReplay = true;
+            } else if (arg == "--no-simd") {
+                simd::setLevel(simd::Level::Scalar);
             } else if (arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -120,6 +126,14 @@ main(int argc, char **argv)
     // The service's own counters should always be live on /metrics,
     // whatever the obs default is for batch tools.
     obs::setEnabled(true);
+
+    // Advertise the active replay dispatch on /metrics from startup:
+    // an info-style gauge carries the name, the width gauge the lane
+    // count (batchReplay republishes the latter on every run).
+    const simd::Level lvl = simd::activeLevel();
+    obs::gauge(std::string("sweep.simd.") + simd::levelName(lvl))
+        .set(1);
+    obs::gauge("sweep.simd_width").set(simd::vectorLanes(lvl));
 
     CancelToken stop_token;
     installShutdownHandlers(stop_token);

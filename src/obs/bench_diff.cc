@@ -179,8 +179,11 @@ defaultPerfSweepRules()
         // Wall-clock ratios on a shared box: generous noise bands.
         { "decodeOnceSpeedup1T", DiffDirection::HigherBetter, 0.35 },
         { "decodeOnceSpeedup8T", DiffDirection::HigherBetter, 0.45 },
-        { "batchedSpeedup1T", DiffDirection::HigherBetter, 0.35 },
-        { "batchedSpeedup8T", DiffDirection::HigherBetter, 0.45 },
+        // Batched ratios also vary with the SIMD dispatch the host
+        // supports (the "simd" field records which kernel ran), so
+        // their bands are wider than the decode-once ones.
+        { "batchedSpeedup1T", DiffDirection::HigherBetter, 0.45 },
+        { "batchedSpeedup8T", DiffDirection::HigherBetter, 0.60 },
         { "metricsOverhead", DiffDirection::LowerBetter, 0.50 },
         // Pool scheduling counters depend on thread timing.
         { "metrics.counters.sweep.pool.*", DiffDirection::Ignore,

@@ -1,5 +1,6 @@
 #include "sweep/batch_replay.hh"
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "obs/obs.hh"
 #include "predict/btb.hh"
 #include "predict/nls.hh"
+#include "sweep/lane_soa.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -18,58 +20,8 @@ namespace mbbp
 namespace
 {
 
-/**
- * Occupancy-only BBR model. FetchStats reads nothing from the pool
- * but peakInFlight(), and the engines never read an entry back (the
- * trace resolves every branch immediately), so a lane tracks just
- * the per-block allocation counts in the same (depth + 2)-slot ring
- * BbrInflight uses -- skipping entry construction, the pool's free
- * list, and per-conditional PHT counter reads. The live/peak
- * sequence is exactly the reference pool's: within a block live only
- * grows, so the batch-end maximum equals the per-allocate maximum.
- */
-class BbrOccupancy
-{
-  public:
-    explicit BbrOccupancy(unsigned depth)
-        : depth_(depth), counts_(depth + 2, 0)
-    {
-    }
-
-    /** beginBlock + one allocate per conditional + commit. */
-    void addBlock(std::size_t nconds)
-    {
-        mbbp_assert(liveSlots_ < counts_.size(),
-                    "inflight ring overrun");
-        counts_[(head_ + liveSlots_) % counts_.size()] = nconds;
-        ++liveSlots_;
-        live_ += nconds;
-        if (live_ > peak_)
-            peak_ = live_;
-    }
-
-    /** Release batches older than the resolution window. */
-    void expire()
-    {
-        while (liveSlots_ > depth_) {
-            mbbp_assert(live_ >= counts_[head_],
-                        "BBR release with none in flight");
-            live_ -= counts_[head_];
-            head_ = (head_ + 1) % counts_.size();
-            --liveSlots_;
-        }
-    }
-
-    std::size_t peakInFlight() const { return peak_; }
-
-  private:
-    unsigned depth_;
-    std::vector<std::size_t> counts_;   //!< allocations per batch
-    std::size_t head_ = 0;              //!< oldest live batch
-    std::size_t liveSlots_ = 0;
-    std::size_t live_ = 0;
-    std::size_t peak_ = 0;
-};
+// The occupancy-only BBR model (BbrOccupancy) moved to lane_soa.hh,
+// shared with the structure-of-arrays kernels.
 
 /**
  * One configuration's complete predictor state. Heap-allocated (the
@@ -870,26 +822,14 @@ greedyTiles(std::size_t n, const BatchTileOptions &opts,
     return tiles;
 }
 
+/** The reference (array-of-lane-objects) tile kernels. */
 std::vector<FetchStats>
-runTile(BatchEngineKind kind, unsigned num_blocks,
-        const std::vector<const FetchEngineConfig *> &cfgs,
-        const DecodedTrace &dec)
+runReferenceTile(BatchEngineKind kind, unsigned num_blocks,
+                 const std::vector<const FetchEngineConfig *> &cfgs,
+                 const DecodedTrace &dec, unsigned line_size)
 {
-    const unsigned line_size = cfgs[0]->icache.lineSize;
     std::vector<FetchStats> out;
     out.reserve(cfgs.size());
-
-    if (kind == BatchEngineKind::TwoAhead) {
-        std::vector<std::unique_ptr<TwoAheadLane>> lanes;
-        lanes.reserve(cfgs.size());
-        for (const FetchEngineConfig *c : cfgs)
-            lanes.push_back(std::make_unique<TwoAheadLane>(*c));
-        runTwoAheadTile(dec, lanes);
-        for (auto &l : lanes)
-            out.push_back(l->stats);
-        return out;
-    }
-
     std::vector<std::unique_ptr<BatchLane>> lanes;
     lanes.reserve(cfgs.size());
     for (const FetchEngineConfig *c : cfgs)
@@ -909,6 +849,73 @@ runTile(BatchEngineKind kind, unsigned num_blocks,
     }
     for (auto &l : lanes)
         out.push_back(l->stats);
+    return out;
+}
+
+std::vector<FetchStats>
+runTile(BatchEngineKind kind, unsigned num_blocks,
+        const std::vector<const FetchEngineConfig *> &cfgs,
+        const DecodedTrace &dec)
+{
+    const unsigned line_size = cfgs[0]->icache.lineSize;
+
+    if (kind == BatchEngineKind::TwoAhead) {
+        std::vector<FetchStats> out;
+        out.reserve(cfgs.size());
+        std::vector<std::unique_ptr<TwoAheadLane>> lanes;
+        lanes.reserve(cfgs.size());
+        for (const FetchEngineConfig *c : cfgs)
+            lanes.push_back(std::make_unique<TwoAheadLane>(*c));
+        runTwoAheadTile(dec, lanes);
+        for (auto &l : lanes)
+            out.push_back(l->stats);
+        return out;
+    }
+
+    // Split the tile between the structure-of-arrays kernels
+    // (eligible lanes, in vector-width groups of <= 64) and the
+    // reference kernels, then merge by original position.
+    std::vector<std::size_t> soa_idx, ref_idx;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (laneSoaEligible(kind, *cfgs[i]))
+            soa_idx.push_back(i);
+        else
+            ref_idx.push_back(i);
+    }
+    if (soa_idx.empty()) {
+        return runReferenceTile(kind, num_blocks, cfgs, dec,
+                                line_size);
+    }
+
+    std::vector<FetchStats> out(cfgs.size());
+    const LaneSoaKernels &kern =
+        laneSoaKernelsFor(simd::activeLevel());
+    for (std::size_t first = 0; first < soa_idx.size();
+         first += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, soa_idx.size() - first);
+        std::vector<const FetchEngineConfig *> sub;
+        sub.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            sub.push_back(cfgs[soa_idx[first + i]]);
+        SoaTile tile;
+        tile.build(kind, sub, line_size);
+        (kind == BatchEngineKind::Single ? kern.runSingle
+                                         : kern.runDual)(tile, dec);
+        std::vector<FetchStats> part = tile.finish();
+        for (std::size_t i = 0; i < count; ++i)
+            out[soa_idx[first + i]] = part[i];
+    }
+    if (!ref_idx.empty()) {
+        std::vector<const FetchEngineConfig *> sub;
+        sub.reserve(ref_idx.size());
+        for (std::size_t i : ref_idx)
+            sub.push_back(cfgs[i]);
+        std::vector<FetchStats> part = runReferenceTile(
+            kind, num_blocks, sub, dec, line_size);
+        for (std::size_t i = 0; i < ref_idx.size(); ++i)
+            out[ref_idx[i]] = part[i];
+    }
     return out;
 }
 
@@ -1018,6 +1025,9 @@ batchReplay(const std::vector<SimConfig> &configs,
     mbbp_assert(dec.geometryCompatible(configs[0].engine.icache),
                 "decoded trace was cut for another geometry");
 
+    obs::gauge("sweep.simd_width")
+        .set(simd::vectorLanes(simd::activeLevel()));
+
     for (auto [first, count] : planBatchTiles(configs, opts)) {
         std::vector<const FetchEngineConfig *> cfgs;
         cfgs.reserve(count);
@@ -1051,6 +1061,9 @@ batchReplayKind(BatchEngineKind kind,
                     "geometry");
     mbbp_assert(dec.geometryCompatible(g),
                 "decoded trace was cut for another geometry");
+
+    obs::gauge("sweep.simd_width")
+        .set(simd::vectorLanes(simd::activeLevel()));
 
     auto tiles = greedyTiles(configs.size(), opts,
                              [&](std::size_t i) {

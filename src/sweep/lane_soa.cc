@@ -1,0 +1,251 @@
+/**
+ * @file
+ * SoA tile construction, result folding, eligibility, and the
+ * runtime kernel dispatch table (see lane_soa.hh).
+ */
+
+#include "sweep/lane_soa.hh"
+
+#include <map>
+
+#include "fetch/penalty_model.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace mbbp
+{
+
+// Per-ISA kernel tables, instantiated from lane_soa_impl.hh.
+namespace soa_scalar
+{
+const LaneSoaKernels &kernels();
+}
+#if defined(MBBP_SIMD_X86)
+namespace soa_avx2
+{
+const LaneSoaKernels &kernels();
+}
+namespace soa_avx512
+{
+const LaneSoaKernels &kernels();
+}
+#endif
+
+bool
+laneSoaEligible(BatchEngineKind kind, const FetchEngineConfig &cfg)
+{
+    if (kind != BatchEngineKind::Single &&
+        kind != BatchEngineKind::Dual)
+        return false;
+    // Columnar lanes model the immediate-update, single-selection,
+    // perfect-BIT, perfect-contents, NLS configuration space; every
+    // other feature keeps per-lane structure (or per-probe stat side
+    // effects) that would serialize the staged passes.
+    if (cfg.delayedPhtUpdate || cfg.doubleSelect)
+        return false;
+    if (cfg.bitEntries != 0 || cfg.icacheLines != 0)
+        return false;
+    if (cfg.targetKind != TargetKind::Nls)
+        return false;
+    if (cfg.targetEntries == 0 ||
+        !isPowerOf2(cfg.targetEntries))
+        return false;
+    if (cfg.rasEntries == 0)
+        return false;
+    if (!isPowerOf2(cfg.icache.blockWidth))
+        return false;
+    if (kind == BatchEngineKind::Dual &&
+        (cfg.numPhts != 1 || !isPowerOf2(cfg.numSelectTables)))
+        return false;
+    return true;
+}
+
+void
+SoaTile::build(BatchEngineKind k,
+               const std::vector<const FetchEngineConfig *> &cs,
+               unsigned line_size)
+{
+    kind = k;
+    n = static_cast<unsigned>(cs.size());
+    mbbp_assert(n >= 1 && n <= 64, "SoA tiles carry 1..64 lanes");
+    padN = (n + kPad - 1) / kPad * kPad;
+    allMask = n == 64 ? ~uint64_t{ 0 } : (uint64_t{ 1 } << n) - 1;
+    lineSize = line_size;
+    blockWidth = cs[0]->icache.blockWidth;
+    shift = static_cast<unsigned>(floorLog2(blockWidth));
+    numBanks = cs[0]->icache.numBanks;
+    nlsArrays = kind == BatchEngineKind::Dual ? 2 : 1;
+
+    phtBase.assign(padN, 0);
+    ghr.assign(padN, 0);
+    idxMask.assign(padN, 0);
+    phtTabMask.assign(padN, 0);
+    histBits.assign(padN, 0);
+    stBase.assign(padN, 0);
+    stTabMask.assign(padN, 0);
+    stEntries.assign(padN, 0);
+    nlsBase.assign(padN, 0);
+    nlsIdxMask.assign(padN, 0);
+    rasOf.assign(padN, 0);
+    rasPeeks.assign(n, 0);
+    phtLookups.assign(n, 0);
+    stats.assign(n, FetchStats{});
+    bwRuns.assign(n, obs::HistogramData{});
+    cleanRun.assign(n, 0);
+    attr.clear();
+    for (unsigned l = 0; l < n; ++l)
+        attr.push_back(std::make_unique<obs::AttributionSink>());
+
+    std::size_t pht_words = 0, st_words = 0, nls_words = 0;
+    std::map<std::size_t, uint32_t> group_of;
+    for (unsigned l = 0; l < n; ++l) {
+        const FetchEngineConfig &c = *cs[l];
+        mbbp_assert(laneSoaEligible(kind, c),
+                    "ineligible lane in SoA tile");
+        const std::size_t entries = std::size_t{ 1 }
+            << c.historyBits;
+
+        phtBase[l] = pht_words;
+        pht_words += entries * c.numPhts * blockWidth;
+        idxMask[l] = mask(c.historyBits);
+        phtTabMask[l] = c.numPhts - 1;
+        histBits[l] = c.historyBits;
+        anyMultiPht = anyMultiPht || c.numPhts > 1;
+        if (c.nearBlock)
+            nearMask |= uint64_t{ 1 } << l;
+        if (c.nearBlockStoredOffset)
+            storedOffMask |= uint64_t{ 1 } << l;
+
+        if (kind == BatchEngineKind::Dual) {
+            stBase[l] = st_words;
+            st_words += entries * c.numSelectTables;
+            stTabMask[l] = c.numSelectTables - 1;
+            stEntries[l] = entries;
+        }
+
+        nlsBase[l] = nls_words;
+        nls_words += c.targetEntries * nlsArrays * lineSize;
+        nlsIdxMask[l] = c.targetEntries - 1;
+
+        auto [it, fresh] = group_of.try_emplace(
+            c.rasEntries,
+            static_cast<uint32_t>(rasGroups.size()));
+        if (fresh)
+            rasGroups.push_back(
+                std::make_unique<SoaRasGroup>(c.rasEntries));
+        rasOf[l] = it->second;
+    }
+
+    // Pad lanes alias dedicated scratch slots (their masks are zero,
+    // so every pad-lane access lands inside the scratch region).
+    for (std::size_t l = n; l < padN; ++l) {
+        phtBase[l] = pht_words;
+        stBase[l] = st_words;
+        nlsBase[l] = nls_words;
+    }
+    // PHT arena: + blockWidth scratch bytes for the pad lanes, + 8
+    // trailing bytes so the 8-byte vector gathers never read past
+    // the allocation. Counters start at 2 (SatCounter(2, 2)).
+    pht.assign(pht_words + blockWidth + 8, 2);
+    st.assign(kind == BatchEngineKind::Dual ? st_words + 1 : 0, 0);
+    nls.assign(nls_words + nlsArrays * lineSize, 0);
+
+    const PenaltyModel pm(false);
+    for (unsigned pk = 0; pk < numPenaltyKinds; ++pk)
+        for (unsigned slot = 0; slot < 2; ++slot)
+            pcycles[pk][slot] =
+                pm.cycles(static_cast<PenaltyKind>(pk), slot);
+    refetchExtra = pm.refetchExtra();
+
+    for (SoaTile::Scan *s : { &scanB, &scanC }) {
+        s->src.assign(padN, 0);
+        s->off.assign(padN, 0);
+        s->posByte.assign(padN, 0);
+        s->nnt.assign(padN, 0);
+        s->tgt.assign(padN, 0);
+    }
+    idx1.assign(padN, 0);
+    idx2.assign(padN, 0);
+    gatherOff.assign(padN, 0);
+    gatherVal.assign(padN, 0);
+    stOff.assign(padN, 0);
+    stWord.assign(padN, 0);
+    expWord.assign(padN, 0);
+}
+
+std::vector<FetchStats>
+SoaTile::finish()
+{
+    std::vector<FetchStats> out(n);
+    if (!ran)
+        return out;     // the reference flushes nothing for an
+                        // empty trace
+
+    const bool dual = kind == BatchEngineKind::Dual;
+    const char *prefix = dual ? "engine.dual" : "engine.single";
+    const std::string insts_name =
+        std::string(prefix) + ".insts_per_request";
+    const std::string blocks_name =
+        std::string(prefix) + ".blocks_per_request";
+    const std::string runs_name =
+        std::string(prefix) + ".mispredict_run";
+    const std::string runs_counter =
+        std::string(prefix) + ".runs";
+    const auto bank =
+        static_cast<std::size_t>(PenaltyKind::BankConflict);
+
+    for (unsigned l = 0; l < n; ++l) {
+        FetchStats &s = out[l];
+        s = stats[l];
+        s.instructions = uInstructions;
+        s.fetchRequests = uFetchRequests;
+        s.blocksFetched = uBlocks;
+        s.branchesExecuted = uBranches;
+        s.condExecuted = uConds;
+        s.nearBlockConds = uNearConds;
+        s.icacheAccesses = uIcacheAccesses;
+        s.penaltyCycles[bank] += uBankCycles;
+        s.penaltyEvents[bank] += uBankEvents;
+        const SoaRasGroup &g = *rasGroups[rasOf[l]];
+        s.rasOverflows = g.overflows;
+        s.bbrPeak = bbrPeak;
+
+        // The reference per-lane flush sequence (BatchLane teardown
+        // in runSingleTile/runDualTile).
+        obs::flushCounter("predict.pht.lookup", phtLookups[l]);
+        obs::flushCounter("predict.pht.update", uPhtUpdates);
+        obs::flushCounter("predict.ras.push", g.pushes);
+        obs::flushCounter("predict.ras.pop", g.pops);
+        obs::flushCounter("predict.ras.bypass", rasPeeks[l]);
+        if (dual) {
+            obs::flushCounter("predict.select.read", uSelReads);
+            obs::flushCounter("predict.select.write", uSelWrites);
+        }
+        attr[l]->flush();
+        obs::flushHistogram(insts_name, bwInsts);
+        obs::flushHistogram(blocks_name, bwBlocks);
+        obs::flushHistogram(runs_name, bwRuns[l]);
+        obs::flushCounter(runs_counter, 1);
+    }
+    return out;
+}
+
+const LaneSoaKernels &
+laneSoaKernelsFor(simd::Level level)
+{
+#if defined(MBBP_SIMD_X86)
+    switch (level) {
+      case simd::Level::Avx512:
+        return soa_avx512::kernels();
+      case simd::Level::Avx2:
+        return soa_avx2::kernels();
+      case simd::Level::Scalar:
+        break;
+    }
+#else
+    (void)level;
+#endif
+    return soa_scalar::kernels();
+}
+
+} // namespace mbbp

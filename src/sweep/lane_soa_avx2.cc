@@ -1,0 +1,7 @@
+// AVX2 instantiation of the SoA replay kernels. This translation
+// unit is compiled with -mavx2 (see src/CMakeLists.txt) and only
+// ever entered after util/simd's CPUID dispatch confirms support.
+
+#define MBBP_SOA_NS soa_avx2
+#define MBBP_SOA_LEVEL 1
+#include "sweep/lane_soa_impl.hh"

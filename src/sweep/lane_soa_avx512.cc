@@ -1,0 +1,8 @@
+// AVX-512 instantiation of the SoA replay kernels. This translation
+// unit is compiled with -mavx512f/bw/vl/dq (see src/CMakeLists.txt)
+// and only ever entered after util/simd's CPUID dispatch confirms
+// support for all four extensions.
+
+#define MBBP_SOA_NS soa_avx512
+#define MBBP_SOA_LEVEL 2
+#include "sweep/lane_soa_impl.hh"

@@ -1,0 +1,732 @@
+/**
+ * @file
+ * The staged SoA replay kernels, compiled once per ISA level.
+ *
+ * Included (never installed as a normal header) by
+ * lane_soa_scalar.cc / lane_soa_avx2.cc / lane_soa_avx512.cc with
+ *
+ *   MBBP_SOA_NS     the namespace to emit into (soa_scalar, ...)
+ *   MBBP_SOA_LEVEL  0 scalar, 1 AVX2, 2 AVX-512
+ *
+ * defined. All three instantiations share this exact source; the only
+ * level-specific code is the 8-lane gather primitive (vector gathers
+ * are the one operation gcc will not autovectorize from the plain
+ * loop form). Everything else is written as straight-line loops over
+ * padN lanes so the per-TU -mavx2 / -mavx512* flags vectorize them.
+ * The scalar instantiation is therefore the single source of truth
+ * for semantics, and the SIMD builds must match it bit for bit.
+ *
+ * Exactness ground rules (see lane_soa.hh and batch_replay.cc's
+ * reference kernels, which this file mirrors stage for stage):
+ *
+ *  - Per-block facts come from the same BatchBlockCtx the reference
+ *    kernels use; stage order within a fetch request replicates the
+ *    reference statement order wherever state interacts (PHT trained
+ *    after the block's own lookup, GHR shifted between the pair's two
+ *    index computations, RAS ops applied between the two resolves).
+ *  - Stat side effects happen iff the reference performs them: PHT
+ *    lookups per scanned conditional, RAS peeks only when a lane's
+ *    own prediction selects the RAS (and, for the dual pair's second
+ *    slot, only when slot 1 was not already penalized), select-table
+ *    reads/writes once per pair.
+ *  - Charges (FetchStats::charge + attribution) are per-lane scalar
+ *    fixups driven by bitmasks -- mispredicting lanes are the rare
+ *    case, so the vector path stays branch-free.
+ */
+
+#include <algorithm>
+#include <bit>
+
+#include "fetch/batch_engine_state.hh"
+#include "sweep/lane_soa.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+#if MBBP_SOA_LEVEL >= 1
+#include <immintrin.h>
+#endif
+
+namespace mbbp
+{
+namespace MBBP_SOA_NS
+{
+
+namespace
+{
+
+constexpr uint64_t kNoExit = ~uint64_t{ 0 };
+
+/** out[j] = base[off[j]] for 8 lanes (byte elements, zero-extended).
+ *  Vector forms load 8 bytes per lane and mask, so the byte arena
+ *  must keep 8 trailing pad bytes (SoaTile::build guarantees it). */
+inline void
+gather8Bytes(const uint8_t *base, const uint64_t *off, uint64_t *out)
+{
+#if MBBP_SOA_LEVEL == 2
+    // Masked form with an explicit zero source: the unmasked
+    // intrinsic's undefined pass-through operand trips gcc's
+    // -Wmaybe-uninitialized inside avx512fintrin.h.
+    __m512i vidx = _mm512_loadu_si512(off);
+    __m512i v = _mm512_mask_i64gather_epi64(
+        _mm512_setzero_si512(), 0xff, vidx, base, 1);
+    v = _mm512_and_si512(v, _mm512_set1_epi64(0xff));
+    _mm512_storeu_si512(out, v);
+#elif MBBP_SOA_LEVEL == 1
+    const long long *b = reinterpret_cast<const long long *>(base);
+    for (int half = 0; half < 2; ++half) {
+        __m256i vidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(off + 4 * half));
+        __m256i v = _mm256_i64gather_epi64(b, vidx, 1);
+        v = _mm256_and_si256(v, _mm256_set1_epi64x(0xff));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + 4 * half), v);
+    }
+#else
+    for (unsigned j = 0; j < 8; ++j)
+        out[j] = base[off[j]];
+#endif
+}
+
+/** out[j] = base[off[j]] for 8 lanes (64-bit elements). */
+inline void
+gather8Words(const uint64_t *base, const uint64_t *off, uint64_t *out)
+{
+#if MBBP_SOA_LEVEL == 2
+    __m512i vidx = _mm512_loadu_si512(off);
+    __m512i v = _mm512_mask_i64gather_epi64(
+        _mm512_setzero_si512(), 0xff, vidx, base, 8);
+    _mm512_storeu_si512(out, v);
+#elif MBBP_SOA_LEVEL == 1
+    const long long *b = reinterpret_cast<const long long *>(base);
+    for (int half = 0; half < 2; ++half) {
+        __m256i vidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(off + 4 * half));
+        __m256i v = _mm256_i64gather_epi64(b, vidx, 8);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + 4 * half), v);
+    }
+#else
+    for (unsigned j = 0; j < 8; ++j)
+        out[j] = base[off[j]];
+#endif
+}
+
+inline void
+gatherBytes(const uint8_t *base, const uint64_t *off, uint64_t *out,
+            std::size_t pad_n)
+{
+    for (std::size_t g = 0; g < pad_n; g += 8)
+        gather8Bytes(base, off + g, out + g);
+}
+
+inline void
+gatherWords(const uint64_t *base, const uint64_t *off, uint64_t *out,
+            std::size_t pad_n)
+{
+    for (std::size_t g = 0; g < pad_n; g += 8)
+        gather8Words(base, off + g, out + g);
+}
+
+/** Per-lane PHT entry index for block-address bits @p a
+ *  (start address already shifted by floorLog2(blockWidth)):
+ *  BlockedPHT::index in columnar form. */
+inline void
+phtIndexes(SoaTile &t, uint64_t a, std::vector<uint64_t> &idx)
+{
+    const std::size_t pad_n = t.padN;
+    const uint64_t *g = t.ghr.data();
+    const uint64_t *im = t.idxMask.data();
+    uint64_t *out = idx.data();
+    for (std::size_t l = 0; l < pad_n; ++l)
+        out[l] = (g[l] ^ a) & im[l];
+    if (t.anyMultiPht) {
+        const uint64_t *tm = t.phtTabMask.data();
+        const uint64_t *hb = t.histBits.data();
+        for (std::size_t l = 0; l < pad_n; ++l)
+            out[l] |= (a & tm[l]) << hb[l];
+    }
+}
+
+/** SelSrc a near-block lane selects when a conditional at near code
+ *  @p cn is predicted taken (the reference's predictExit switch). */
+inline uint64_t
+nearCondSrc(BitCode cn)
+{
+    if (cn == BitCode::CondLong)
+        return static_cast<uint64_t>(SelSrc::Target);
+    switch (bitCodeNearDelta(cn)) {
+      case -1:
+        return static_cast<uint64_t>(SelSrc::LinePrev);
+      case 0:
+        return static_cast<uint64_t>(SelSrc::LineSame);
+      case 1:
+        return static_cast<uint64_t>(SelSrc::LineNext);
+      default:
+        return static_cast<uint64_t>(SelSrc::LineNext2);
+    }
+}
+
+/**
+ * batchPredictExit for every lane at once: walk the block's branch
+ * list; unconditional exits resolve all still-scanning lanes
+ * (lane-independent: near and plain codes agree on Return/Other);
+ * conditionals gather each scanning lane's own counter, split the
+ * lanes into taken (exit found here) and not-taken (keep scanning,
+ * numNotTaken += 1 saturating at 255), and stop when none remain.
+ */
+void
+scanBlock(SoaTile &t, const BatchBlockCtx &ctx,
+          const std::vector<uint64_t> &idx, SoaTile::Scan &s)
+{
+    const std::size_t pad_n = t.padN;
+    std::fill_n(s.src.data(), pad_n, 0);
+    std::fill_n(s.off.data(), pad_n, 0);
+    std::fill_n(s.posByte.data(), pad_n, 0);
+    std::fill_n(s.nnt.data(), pad_n, 0);
+    std::fill_n(s.tgt.data(), pad_n, 0);
+    s.found = 0;
+
+    uint64_t active = t.allMask;
+    const uint64_t bw = t.blockWidth;
+    const uint8_t *pht = t.pht.data();
+    const uint64_t *base = t.phtBase.data();
+    const uint64_t *ix = idx.data();
+    uint64_t *goff = t.gatherOff.data();
+    uint64_t *gval = t.gatherVal.data();
+
+    for (const BatchWindowBranch &wb : ctx.wbranches) {
+        const BitCode cn = wb.codeNear;
+        if (cn == BitCode::Return || cn == BitCode::OtherBranch) {
+            const uint64_t src =
+                cn == BitCode::Return
+                    ? static_cast<uint64_t>(SelSrc::Ras)
+                    : static_cast<uint64_t>(SelSrc::Target);
+            const uint64_t pos_byte = wb.pc % t.lineSize;
+            for (uint64_t m = active; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                s.src[l] = src;
+                s.off[l] = wb.offset;
+                s.posByte[l] = pos_byte;
+                s.tgt[l] = wb.staticTarget;
+            }
+            s.found |= active;
+            active = 0;
+            break;
+        }
+
+        // Conditional: every scanning lane performs one PHT lookup.
+        const uint64_t pos = wb.pc & (bw - 1);
+        for (std::size_t l = 0; l < pad_n; ++l)
+            goff[l] = base[l] + ix[l] * bw + pos;
+        gatherBytes(pht, goff, gval, pad_n);
+        for (uint64_t m = active; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            ++t.phtLookups[l];
+        }
+
+        uint64_t taken_m = 0;
+        for (std::size_t l = 0; l < pad_n; ++l)
+            taken_m |= static_cast<uint64_t>(gval[l] >= 2) << l;
+
+        const uint64_t found_now = active & taken_m;
+        const uint64_t not_taken = active & ~taken_m;
+        for (uint64_t m = not_taken; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            if (s.nnt[l] < 255)
+                ++s.nnt[l];
+        }
+        if (found_now) {
+            const uint64_t src_near = nearCondSrc(cn);
+            const uint64_t src_plain =
+                static_cast<uint64_t>(SelSrc::Target);
+            const uint64_t pos_byte = wb.pc % t.lineSize;
+            for (uint64_t m = found_now; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                s.src[l] = (t.nearMask >> l) & 1 ? src_near
+                                                 : src_plain;
+                s.off[l] = wb.offset;
+                s.posByte[l] = pos_byte;
+                s.tgt[l] = wb.staticTarget;
+            }
+            s.found |= found_now;
+        }
+        active = not_taken;
+        if (!active)
+            break;
+    }
+}
+
+/** The one charge path (laneCharge in columnar form). */
+inline void
+chargeLane(SoaTile &t, unsigned l, Addr block_pc, unsigned slot,
+           PenaltyKind kind, unsigned cycles)
+{
+    t.stats[l].charge(kind, cycles);
+    t.attr[l]->record(block_pc, slot, lossCauseOf(kind), cycles);
+    t.reqMispred |= uint64_t{ 1 } << l;
+}
+
+/**
+ * batchResolveAddress + batchCompareWithActual + the mispredict
+ * charges for one scored block, over the lanes in @p gate_m (all
+ * lanes for a single-block request and the pair's first slot;
+ * the not-yet-penalized lanes for the pair's second slot, matching
+ * the reference's blk1_penalized guard).
+ *
+ * @param index_addr Target-array index address (the scored pair's
+ *                   first block for dual fetching).
+ * @param which      NLS array selector (0 or 1).
+ */
+void
+resolveAndCharge(SoaTile &t, const BatchBlockCtx &ctx,
+                 const SoaTile::Scan &s, unsigned slot,
+                 Addr index_addr, unsigned which, uint64_t gate_m)
+{
+    const std::size_t pad_n = t.padN;
+    const uint64_t actual =
+        ctx.endsTaken ? ctx.actualExit : kNoExit;
+
+    // RAS peek side effects: the reference resolves every gated
+    // lane's prediction before comparing, so a lane whose found exit
+    // selects the RAS peeks exactly once regardless of the outcome.
+    uint64_t ras_m = 0;
+    const uint64_t found_gated = s.found & gate_m;
+    for (uint64_t m = found_gated; m; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        if (s.src[l] == static_cast<uint64_t>(SelSrc::Ras)) {
+            ++t.rasPeeks[l];
+            ras_m |= uint64_t{ 1 } << l;
+        }
+    }
+
+    uint64_t less_m = 0, greater_m = 0, equal_m = 0;
+    for (uint64_t m = gate_m; m; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        const uint64_t pred =
+            (s.found >> l) & 1 ? s.off[l] : kNoExit;
+        if (pred < actual)
+            less_m |= uint64_t{ 1 } << l;
+        else if (pred > actual)
+            greater_m |= uint64_t{ 1 } << l;
+        else
+            equal_m |= uint64_t{ 1 } << l;
+    }
+
+    if (less_m | greater_m) {
+        mbbp_assert(greater_m == 0 || ctx.exitIsCond,
+                    "prediction scanned past an unconditional exit");
+        const unsigned cond_cycles =
+            t.pcycles[static_cast<unsigned>(
+                PenaltyKind::CondMispredict)][slot];
+        for (uint64_t m = less_m; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            chargeLane(t, l, ctx.blk.startPc, slot,
+                       PenaltyKind::CondMispredict,
+                       cond_cycles + t.refetchExtra);
+            ++t.stats[l].condDirectionWrong;
+        }
+        for (uint64_t m = greater_m; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            chargeLane(t, l, ctx.blk.startPc, slot,
+                       PenaltyKind::CondMispredict, cond_cycles);
+            ++t.stats[l].condDirectionWrong;
+        }
+    }
+
+    // Equal-offset lanes: the resolved address decides. Lanes that
+    // predicted no exit against a fall-through block are simply
+    // correct (FallThrough resolves without side effects).
+    const uint64_t check_m = equal_m & s.found;
+    if (!check_m)
+        return;
+
+    // NLS probe for every lane at once (the probe is stat-free, so
+    // over-gathering for non-Target lanes is unobservable).
+    const uint64_t line_idx = index_addr / t.lineSize;
+    const uint64_t arrays = t.nlsArrays;
+    const uint64_t *nbase = t.nlsBase.data();
+    const uint64_t *nmask = t.nlsIdxMask.data();
+    uint64_t *goff = t.gatherOff.data();
+    uint64_t *gval = t.gatherVal.data();
+    for (std::size_t l = 0; l < pad_n; ++l)
+        goff[l] = nbase[l] +
+            ((line_idx & nmask[l]) * arrays + which) * t.lineSize +
+            s.posByte[l];
+    gatherWords(t.nls.data(), goff, gval, pad_n);
+
+    // Cached per-group RAS tops (ring contents are group-uniform).
+    Addr group_top[SoaTile::kPad * 8];
+    if (ras_m & check_m) {
+        for (std::size_t gi = 0; gi < t.rasGroups.size(); ++gi)
+            group_top[gi] = t.rasGroups[gi]->top();
+    }
+
+    const Addr next_pc = ctx.blk.nextPc;
+    PenaltyKind wrong_kind = PenaltyKind::MisfetchImmediate;
+    if (ctx.exitIsReturn)
+        wrong_kind = PenaltyKind::ReturnMispredict;
+    else if (ctx.exitIsIndirect)
+        wrong_kind = PenaltyKind::MisfetchIndirect;
+    const unsigned wrong_cycles =
+        t.pcycles[static_cast<unsigned>(wrong_kind)][slot];
+
+    for (uint64_t m = check_m; m; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        Addr addr;
+        const uint64_t src = s.src[l];
+        if (src == static_cast<uint64_t>(SelSrc::Target))
+            addr = gval[l];
+        else if (src == static_cast<uint64_t>(SelSrc::Ras))
+            addr = group_top[t.rasOf[l]];
+        else
+            addr = s.tgt[l];
+        if (addr != next_pc)
+            chargeLane(t, l, ctx.blk.startPc, slot, wrong_kind,
+                       wrong_cycles);
+    }
+}
+
+/** batchTrainPht: gather / saturate +-1 / scalar byte scatter, once
+ *  per conditional (tile-uniform update counts accumulate in
+ *  finish()). */
+void
+trainConds(SoaTile &t, const BatchBlockCtx &ctx,
+           const std::vector<uint64_t> &idx)
+{
+    const std::size_t pad_n = t.padN;
+    const uint64_t bw = t.blockWidth;
+    const uint64_t *base = t.phtBase.data();
+    const uint64_t *ix = idx.data();
+    uint64_t *goff = t.gatherOff.data();
+    uint64_t *gval = t.gatherVal.data();
+    for (const BatchCondInfo &c : ctx.conds) {
+        const uint64_t pos = c.pc & (bw - 1);
+        for (std::size_t l = 0; l < pad_n; ++l)
+            goff[l] = base[l] + ix[l] * bw + pos;
+        gatherBytes(t.pht.data(), goff, gval, pad_n);
+        if (c.taken) {
+            for (std::size_t l = 0; l < pad_n; ++l)
+                gval[l] += static_cast<uint64_t>(gval[l] < 3);
+        } else {
+            for (std::size_t l = 0; l < pad_n; ++l)
+                gval[l] -= static_cast<uint64_t>(gval[l] > 0);
+        }
+        uint8_t *pht = t.pht.data();
+        for (unsigned l = 0; l < t.n; ++l)
+            pht[goff[l]] = static_cast<uint8_t>(gval[l]);
+    }
+}
+
+/** GlobalHistory::shiftInBlock, closed form. @p ins carries the
+ *  block's outcomes bit-reversed so the first executed conditional
+ *  lands oldest, exactly as the reference's per-bit loop leaves
+ *  them. */
+inline void
+ghrShift(SoaTile &t, uint64_t ins, unsigned count)
+{
+    if (count == 0)
+        return;
+    const std::size_t pad_n = t.padN;
+    uint64_t *g = t.ghr.data();
+    const uint64_t *im = t.idxMask.data();
+    for (std::size_t l = 0; l < pad_n; ++l)
+        g[l] = ((g[l] << count) | ins) & im[l];
+}
+
+/** The block's outcomes in insertion order (see ghrShift). */
+inline uint64_t
+ghrInsertBits(const BatchBlockCtx &ctx)
+{
+    uint64_t ins = 0;
+    for (unsigned i = 0; i < ctx.numConds; ++i)
+        ins |= ((ctx.condMask >> i) & 1)
+            << (ctx.numConds - 1 - i);
+    return ins;
+}
+
+/** batchUpdateTargetArray in columnar form. The skip conditions are
+ *  block-uniform except the near-conditional-exit rule, which skips
+ *  exactly the near-block lanes. */
+void
+nlsUpdate(SoaTile &t, const BatchBlockCtx &ctx, Addr index_addr,
+          unsigned which)
+{
+    if (!ctx.endsTaken || ctx.exitIsReturn)
+        return;
+    uint64_t m = t.allMask;
+    if (ctx.exitIsCond && ctx.exitNearCond)
+        m &= ~t.nearMask;
+    if (!m)
+        return;
+    const uint64_t line_idx = index_addr / t.lineSize;
+    const uint64_t pos = ctx.exitPc % t.lineSize;
+    const uint64_t arrays = t.nlsArrays;
+    uint64_t *nls = t.nls.data();
+    const uint64_t *nbase = t.nlsBase.data();
+    const uint64_t *nmask = t.nlsIdxMask.data();
+    for (; m; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        nls[nbase[l] +
+            ((line_idx & nmask[l]) * arrays + which) * t.lineSize +
+            pos] = ctx.exitTarget;
+    }
+}
+
+/** batchApplyRasOp, once per shared RAS group. */
+inline void
+rasApply(SoaTile &t, const BatchBlockCtx &ctx)
+{
+    switch (ctx.rasOp) {
+      case RasOp::Push:
+        for (auto &g : t.rasGroups)
+            g->push(ctx.rasPush);
+        break;
+      case RasOp::Pop:
+        for (auto &g : t.rasGroups)
+            g->pop();
+        break;
+      case RasOp::None:
+        break;
+    }
+}
+
+/** Tile-uniform per-block accounting (countBlockStats + perfect
+ *  i-cache touches), folded per lane at finish(). */
+inline void
+countBlockUniform(SoaTile &t, const BatchBlockCtx &ctx)
+{
+    t.uInstructions += ctx.numInsts;
+    t.uBlocks += 1;
+    t.uBranches += ctx.numBranches;
+    t.uConds += ctx.numConds;
+    t.uNearConds += ctx.numNearConds;
+    t.uIcacheAccesses += ctx.lastLine - ctx.firstLine + 1;
+}
+
+/** FetchBandwidth::endRequest: the insts/blocks distributions are
+ *  request-uniform and shared; the mispredict-run distribution is
+ *  per lane. */
+inline void
+endRequest(SoaTile &t, uint64_t insts, uint64_t blocks)
+{
+    t.bwInsts.record(insts);
+    t.bwBlocks.record(blocks);
+    for (unsigned l = 0; l < t.n; ++l) {
+        if ((t.reqMispred >> l) & 1) {
+            t.bwRuns[l].record(t.cleanRun[l]);
+            t.cleanRun[l] = 0;
+        } else {
+            ++t.cleanRun[l];
+        }
+    }
+}
+
+/** runSingleTile over the SoA tile. */
+void
+runSingleImpl(SoaTile &t, const DecodedTrace &dec)
+{
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;     // the reference returns before any flush
+    t.ran = true;
+
+    BbrOccupancy bbr(4);
+    BatchBlockCtx ctx;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        ctx.build(dec, b, t.lineSize);
+        if (b + 1 < nblocks) {
+            mbbp_assert(dec.startPc(b + 1) == ctx.blk.nextPc,
+                        "block index out of sync");
+        }
+
+        ++t.uFetchRequests;
+        t.reqMispred = 0;
+        countBlockUniform(t, ctx);
+        t.uPhtUpdates += ctx.conds.size();
+
+        phtIndexes(t, ctx.blk.startPc >> t.shift, t.idx1);
+        scanBlock(t, ctx, t.idx1, t.scanB);
+        resolveAndCharge(t, ctx, t.scanB, 0, ctx.blk.startPc, 0,
+                         t.allMask);
+
+        bbr.addBlock(ctx.conds.size());
+        bbr.expire();
+
+        trainConds(t, ctx, t.idx1);
+        ghrShift(t, ghrInsertBits(ctx), ctx.numConds);
+        nlsUpdate(t, ctx, ctx.blk.startPc, 0);
+        rasApply(t, ctx);
+
+        endRequest(t, ctx.numInsts, 1);
+    }
+    t.bbrPeak = bbr.peakInFlight();
+}
+
+/** runDualTile over the SoA tile (single selection only; the
+ *  double-select configurations stay on the reference kernel). */
+void
+runDualImpl(SoaTile &t, const DecodedTrace &dec)
+{
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;
+    t.ran = true;
+
+    BbrOccupancy bbr(4);
+    BatchBlockCtx ctxB, ctxC, ctxD;
+    std::size_t bi = 0;
+    ctxB.build(dec, bi, t.lineSize);
+
+    // Figure 3's b0 primes the pipeline alone.
+    ++t.uFetchRequests;
+    t.reqMispred = 0;
+    countBlockUniform(t, ctxB);
+    endRequest(t, ctxB.numInsts, 1);
+
+    for (;;) {
+        const std::size_t ci = bi + 1;
+        if (ci >= nblocks)
+            break;
+        ctxC.build(dec, ci, t.lineSize);
+        mbbp_assert(ctxC.blk.startPc == ctxB.blk.nextPc,
+                    "block index out of sync");
+        const std::size_t di = ci + 1;
+        const bool have_d = di < nblocks;
+        bool conflict_cd = false;
+        uint64_t d_offset = 0;
+        if (have_d) {
+            ctxD.build(dec, di, t.lineSize);
+            mbbp_assert(ctxD.blk.startPc == ctxC.blk.nextPc,
+                        "block index out of sync");
+            conflict_cd = batchBankConflict(ctxC, ctxD, t.numBanks);
+            // The reference stores startOffset as uint8_t.
+            d_offset = (ctxD.blk.startPc % t.lineSize) & 0xff;
+        }
+
+        ++t.uFetchRequests;
+        t.reqMispred = 0;
+        countBlockUniform(t, ctxC);
+        uint64_t req_insts = ctxC.numInsts;
+        if (have_d) {
+            countBlockUniform(t, ctxD);
+            req_insts += ctxD.numInsts;
+            if (conflict_cd) {
+                const unsigned cycles = t.pcycles[static_cast<
+                    unsigned>(PenaltyKind::BankConflict)][1];
+                ++t.uBankEvents;
+                t.uBankCycles += cycles;
+            }
+        }
+
+        // ===== Block 1: B's exit prediction (C's address). =====
+        phtIndexes(t, ctxB.blk.startPc >> t.shift, t.idx1);
+        scanBlock(t, ctxB, t.idx1, t.scanB);
+        resolveAndCharge(t, ctxB, t.scanB, 0, ctxB.blk.startPc, 0,
+                         t.allMask);
+        const uint64_t pen1 = t.reqMispred;
+
+        bbr.addBlock(ctxB.conds.size());
+        t.uPhtUpdates += ctxB.conds.size();
+        trainConds(t, ctxB, t.idx1);
+        ghrShift(t, ghrInsertBits(ctxB), ctxB.numConds);
+        rasApply(t, ctxB);
+
+        if (!have_d) {
+            // C is the last complete block; its exit cannot be
+            // scored.
+            nlsUpdate(t, ctxB, ctxB.blk.startPc, 0);
+            endRequest(t, req_insts, 1);
+            break;
+        }
+
+        // ===== Block 2: C's exit via the select table. =====
+        phtIndexes(t, ctxC.blk.startPc >> t.shift, t.idx2);
+        scanBlock(t, ctxC, t.idx2, t.scanC);
+
+        // One ST read and one write per pair, for every lane
+        // (tile-uniform counts); entries live at
+        // (tableOf(C) * entries + idx1) in each lane's slab.
+        ++t.uSelReads;
+        ++t.uSelWrites;
+        const uint64_t tab_addr = ctxC.blk.startPc;
+        const std::size_t pad_n = t.padN;
+        // Dedicated offset column: resolveAndCharge clobbers the
+        // shared gather scratch before the write-back below.
+        uint64_t *soff = t.stOff.data();
+        for (std::size_t l = 0; l < pad_n; ++l)
+            soff[l] = t.stBase[l] +
+                (tab_addr & t.stTabMask[l]) * t.stEntries[l] +
+                t.idx1[l];
+        gatherWords(t.st.data(), soff, t.stWord.data(), pad_n);
+        for (std::size_t l = 0; l < pad_n; ++l)
+            t.expWord[l] = t.scanC.src[l] |
+                ((t.scanC.posByte[l] & 0xff) << 8) |
+                (t.scanC.nnt[l] << 16) |
+                (((t.scanC.found >> l) & 1) << 24) |
+                (d_offset << 32) | (uint64_t{ 1 } << 40);
+
+        const unsigned missel_cycles = t.pcycles[static_cast<
+            unsigned>(PenaltyKind::Misselect)][1];
+        const unsigned ghr_cycles = t.pcycles[static_cast<unsigned>(
+            PenaltyKind::GhrMispredict)][1];
+        uint64_t resolve_m = t.allMask & ~pen1;
+        for (uint64_t m = resolve_m; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            const uint64_t diff = t.stWord[l] ^ t.expWord[l];
+            if (diff & 0xffff) {
+                chargeLane(t, l, ctxC.blk.startPc, 1,
+                           PenaltyKind::Misselect, missel_cycles);
+            } else if (diff & 0xffff0000) {
+                chargeLane(t, l, ctxC.blk.startPc, 1,
+                           PenaltyKind::GhrMispredict, ghr_cycles);
+            } else if (((t.storedOffMask >> l) & 1) &&
+                       t.scanC.src[l] >=
+                           static_cast<uint64_t>(SelSrc::LinePrev) &&
+                       ((t.stWord[l] >> 32) & 0xff) != d_offset) {
+                chargeLane(t, l, ctxC.blk.startPc, 1,
+                           PenaltyKind::Misselect, missel_cycles);
+            }
+        }
+        resolveAndCharge(t, ctxC, t.scanC, 1, ctxB.blk.startPc, 1,
+                         resolve_m);
+        uint64_t *st = t.st.data();
+        for (unsigned l = 0; l < t.n; ++l)
+            st[soff[l]] = t.expWord[l];
+
+        nlsUpdate(t, ctxB, ctxB.blk.startPc, 0);
+        nlsUpdate(t, ctxC, ctxB.blk.startPc, 1);
+
+        bbr.addBlock(ctxC.conds.size());
+        bbr.expire();
+
+        t.uPhtUpdates += ctxC.conds.size();
+        trainConds(t, ctxC, t.idx2);
+        ghrShift(t, ghrInsertBits(ctxC), ctxC.numConds);
+        rasApply(t, ctxC);
+
+        endRequest(t, req_insts, 2);
+
+        bi = di;
+        std::swap(ctxB, ctxD);
+    }
+    t.bbrPeak = bbr.peakInFlight();
+}
+
+} // namespace
+
+const LaneSoaKernels &
+kernels()
+{
+    static const LaneSoaKernels k{ &runSingleImpl, &runDualImpl };
+    return k;
+}
+
+} // namespace MBBP_SOA_NS
+} // namespace mbbp

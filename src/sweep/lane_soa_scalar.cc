@@ -1,0 +1,6 @@
+// Portable instantiation of the SoA replay kernels -- the single
+// source of truth for semantics (see lane_soa_impl.hh).
+
+#define MBBP_SOA_NS soa_scalar
+#define MBBP_SOA_LEVEL 0
+#include "sweep/lane_soa_impl.hh"

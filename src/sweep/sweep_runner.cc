@@ -1,5 +1,6 @@
 #include "sweep/sweep_runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -138,7 +139,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     for (std::size_t i = 0; i < jobs.size(); ++i)
         groups[BatchKey::of(jobs[i].config)].push_back(i);
 
-    std::deque<BatchedTile> tiles;      //!< stable addresses
+    std::vector<BatchedTile> planned;
     for (auto &[key, idxs] : groups) {
         if (idxs.size() < 2) {
             for (std::size_t i : idxs)
@@ -156,11 +157,55 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
                 t.jobIdx.push_back(idxs[first + k]);
                 t.configs.push_back(cfgs[first + k]);
             }
-            t.remaining = run_names.size();
-            for (const std::string &name : run_names)
-                t.stats[name].resize(count);
-            tiles.push_back(std::move(t));
+            planned.push_back(std::move(t));
         }
+    }
+
+    // A grid that collapses into few tiles (one BatchKey, small
+    // program list) yields fewer tasks than workers, so a multi-
+    // thread sweep degenerates toward single-thread wall clock.
+    // Halve the widest tile until the task count covers the pool;
+    // narrower tiles replay the trace more often, so split no
+    // further than occupancy demands.
+    const std::size_t per_tile_tasks = run_names.size();
+    while (planned.size() * per_tile_tasks < pool.numWorkers()) {
+        std::size_t widest = planned.size();
+        std::size_t width = 1;
+        for (std::size_t k = 0; k < planned.size(); ++k) {
+            if (planned[k].jobIdx.size() > width) {
+                width = planned[k].jobIdx.size();
+                widest = k;
+            }
+        }
+        if (widest == planned.size())
+            break;      // nothing left to split
+        BatchedTile &src = planned[widest];
+        const std::size_t half = src.jobIdx.size() / 2;
+        BatchedTile rest;
+        rest.jobIdx.assign(src.jobIdx.begin() +
+                               static_cast<std::ptrdiff_t>(half),
+                           src.jobIdx.end());
+        rest.configs.assign(src.configs.begin() +
+                                static_cast<std::ptrdiff_t>(half),
+                            src.configs.end());
+        src.jobIdx.resize(half);
+        src.configs.resize(half);
+        planned.push_back(std::move(rest));
+    }
+
+    // Largest-first: the widest tile bounds the schedule's tail, so
+    // it must never be the last task to start.
+    std::stable_sort(planned.begin(), planned.end(),
+                     [](const BatchedTile &a, const BatchedTile &b) {
+        return a.jobIdx.size() > b.jobIdx.size();
+    });
+
+    std::deque<BatchedTile> tiles;      //!< stable addresses
+    for (BatchedTile &t : planned) {
+        t.remaining = per_tile_tasks;
+        for (const std::string &name : run_names)
+            t.stats[name].resize(t.jobIdx.size());
+        tiles.push_back(std::move(t));
     }
 
     for (BatchedTile &tile : tiles) {

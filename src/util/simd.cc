@@ -1,0 +1,106 @@
+#include "util/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mbbp::simd
+{
+
+namespace
+{
+
+Level
+detectUncached()
+{
+#if defined(MBBP_SIMD_X86)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512dq"))
+        return Level::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+#endif
+    return Level::Scalar;
+}
+
+Level
+clampToDetected(Level level)
+{
+    return level <= detect() ? level : detect();
+}
+
+Level
+initialLevel()
+{
+    if (const char *env = std::getenv("MBBP_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0)
+            return Level::Scalar;
+        if (std::strcmp(env, "avx2") == 0)
+            return clampToDetected(Level::Avx2);
+        if (std::strcmp(env, "avx512") == 0)
+            return clampToDetected(Level::Avx512);
+        // Unknown value: fall through to autodetection.
+    }
+    return detect();
+}
+
+std::atomic<Level> &
+activeSlot()
+{
+    static std::atomic<Level> active{ initialLevel() };
+    return active;
+}
+
+} // namespace
+
+Level
+detect()
+{
+    static const Level detected = detectUncached();
+    return detected;
+}
+
+Level
+activeLevel()
+{
+    return activeSlot().load(std::memory_order_relaxed);
+}
+
+void
+setLevel(Level level)
+{
+    activeSlot().store(clampToDetected(level),
+                       std::memory_order_relaxed);
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return "scalar";
+      case Level::Avx2:
+        return "avx2";
+      case Level::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+unsigned
+vectorLanes(Level level)
+{
+    switch (level) {
+      case Level::Avx512:
+        return 8;
+      case Level::Avx2:
+        return 4;
+      case Level::Scalar:
+        break;
+    }
+    return 1;
+}
+
+} // namespace mbbp::simd

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the structure-of-arrays replay kernels.
+ *
+ * The batched sweep kernel ships three instantiations of the same
+ * lane-state code: a portable scalar build (the single source of
+ * truth for semantics), an AVX2 build, and an AVX-512 build. Which
+ * one runs is decided once per process from CPUID -- never at
+ * compile time -- so one binary serves every x86-64 host and
+ * non-x86 builds simply never leave Level::Scalar.
+ *
+ * setLevel() exists for the --no-simd escape hatch and for tests
+ * that force each kernel variant; it clamps to what the host
+ * actually supports, so forcing a wider level than the CPU has is a
+ * safe no-op. The MBBP_SIMD environment variable (scalar|avx2|
+ * avx512) applies the same override before main() reads any flags,
+ * which is how the CI portable-fallback job pins the scalar path on
+ * hardware that would otherwise dispatch wide.
+ */
+
+#ifndef MBBP_UTIL_SIMD_HH
+#define MBBP_UTIL_SIMD_HH
+
+#include <cstdint>
+
+namespace mbbp::simd
+{
+
+/** Kernel variants, narrowest to widest. */
+enum class Level : uint8_t
+{
+    Scalar = 0, //!< plain loops, any CPU
+    Avx2,       //!< 4 x 64-bit lanes per vector
+    Avx512      //!< 8 x 64-bit lanes per vector (F+BW+VL+DQ)
+};
+
+/** Widest level this host supports (cached CPUID probe). */
+Level detect();
+
+/** The level the kernels dispatch on: detect() unless overridden
+ *  by setLevel() or the MBBP_SIMD environment variable. */
+Level activeLevel();
+
+/** Override the dispatch level, clamped to detect(). */
+void setLevel(Level level);
+
+/** Short name for logs/JSON: "scalar", "avx2", "avx512". */
+const char *levelName(Level level);
+
+/** 64-bit lanes per vector at @p level (1, 4 or 8) -- the value the
+ *  sweep.simd_width gauge reports. */
+unsigned vectorLanes(Level level);
+
+} // namespace mbbp::simd
+
+#endif // MBBP_UTIL_SIMD_HH

@@ -16,6 +16,7 @@
 #include "fetch/single_block_engine.hh"
 #include "fetch/two_ahead_engine.hh"
 #include "obs/attribution.hh"
+#include "util/simd.hh"
 #include "workload/spec95.hh"
 
 namespace mbbp
@@ -290,6 +291,105 @@ TEST_F(BatchReplayTest, AttributionTablesMatchPerConfig)
 
     EXPECT_FALSE(per_config.empty());
     expectSameRows(per_config, batched);
+}
+
+/** SoA-eligible lane variants (immediate update, NLS, perfect BIT/
+ *  cache): the population that actually reaches the vector kernels,
+ *  cycled so every lane differs in table geometry. */
+std::vector<FetchEngineConfig>
+soaVariants(std::size_t count)
+{
+    const unsigned hist[] = { 6, 8, 10, 12 };
+    const unsigned sts[] = { 1, 2, 4, 8 };
+    std::vector<FetchEngineConfig> cfgs;
+    for (std::size_t i = 0; i < count; ++i) {
+        FetchEngineConfig e;
+        e.historyBits = hist[i % 4];
+        e.numSelectTables = sts[(i / 4) % 4];
+        e.nearBlock = i % 2 == 1;
+        e.nearBlockStoredOffset = i % 4 == 3;
+        cfgs.push_back(e);
+    }
+    return cfgs;
+}
+
+/** Restore the process-wide dispatch on scope exit so one failing
+ *  expectation cannot leak a forced level into other tests. */
+struct SimdLevelGuard
+{
+    simd::Level saved = simd::activeLevel();
+    ~SimdLevelGuard() { simd::setLevel(saved); }
+};
+
+TEST_F(BatchReplayTest, SimdVariantsMatchScalarFieldExact)
+{
+    // Every dispatch level the host supports must reproduce the
+    // scalar kernel's FetchStats bit-for-bit, across all four engine
+    // kinds and lane counts spanning sub-vector (1, 3), exactly one
+    // vector (8), and ragged multi-vector (17) tiles.
+    struct KindCase
+    {
+        BatchEngineKind kind;
+        unsigned numBlocks;
+    };
+    const KindCase kinds[] = {
+        { BatchEngineKind::Single, 1 },
+        { BatchEngineKind::Dual, 2 },
+        { BatchEngineKind::Multi, 3 },
+        { BatchEngineKind::TwoAhead, 2 },
+    };
+    const simd::Level wide[] = { simd::Level::Avx2,
+                                 simd::Level::Avx512 };
+
+    SimdLevelGuard guard;
+    for (std::size_t lanes : { 1u, 3u, 8u, 17u }) {
+        std::vector<FetchEngineConfig> engines = soaVariants(lanes);
+        DecodedTrace dec =
+            DecodedTrace::build(go_, engines[0].icache);
+        for (const KindCase &kc : kinds) {
+            simd::setLevel(simd::Level::Scalar);
+            std::vector<FetchStats> base = batchReplayKind(
+                kc.kind, engines, kc.numBlocks, dec);
+            ASSERT_EQ(base.size(), lanes);
+
+            for (simd::Level l : wide) {
+                simd::setLevel(l);
+                if (simd::activeLevel() != l)
+                    continue;       // host lacks this ISA level
+                std::vector<FetchStats> got = batchReplayKind(
+                    kc.kind, engines, kc.numBlocks, dec);
+                ASSERT_EQ(got.size(), lanes);
+                for (std::size_t i = 0; i < lanes; ++i)
+                    EXPECT_EQ(got[i], base[i])
+                        << batchEngineKindName(kc.kind) << " lanes="
+                        << lanes << " level=" << simd::levelName(l)
+                        << " lane " << i;
+            }
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, ScalarForcedStillMatchesSoloEngines)
+{
+    // Forcing the portable kernel must not change results versus the
+    // solo engines -- the scalar SoA path is a distinct code path
+    // from both the vector kernels and the reference BatchLane loop.
+    SimdLevelGuard guard;
+    simd::setLevel(simd::Level::Scalar);
+
+    std::vector<FetchEngineConfig> engines = soaVariants(5);
+    DecodedTrace dec = DecodedTrace::build(go_, engines[0].icache);
+
+    std::vector<FetchStats> single = batchReplayKind(
+        BatchEngineKind::Single, engines, 1, dec);
+    std::vector<FetchStats> dual = batchReplayKind(
+        BatchEngineKind::Dual, engines, 2, dec);
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        SingleBlockEngine se(engines[i]);
+        EXPECT_EQ(se.run(dec), single[i]) << "lane " << i;
+        DualBlockEngine de(engines[i]);
+        EXPECT_EQ(de.run(dec), dual[i]) << "lane " << i;
+    }
 }
 
 TEST(BatchKeyTest, GroupsByEngineKindAndGeometry)

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runtime SIMD dispatch: the name/width tables, detection ordering,
+ * and the setLevel clamp. Every expectation must hold identically on
+ * a portable build (-DMBBP_SIMD=OFF) and on non-x86 hosts, where
+ * detect() never leaves Level::Scalar.
+ */
+
+#include "util/simd.hh"
+
+#include <gtest/gtest.h>
+
+namespace mbbp::simd
+{
+namespace
+{
+
+/** Restore the process-wide dispatch level on scope exit so a
+ *  failing expectation cannot leak a forced level into later
+ *  tests. */
+struct LevelGuard
+{
+    Level saved = activeLevel();
+    ~LevelGuard() { setLevel(saved); }
+};
+
+TEST(SimdTest, LevelNames)
+{
+    EXPECT_STREQ(levelName(Level::Scalar), "scalar");
+    EXPECT_STREQ(levelName(Level::Avx2), "avx2");
+    EXPECT_STREQ(levelName(Level::Avx512), "avx512");
+}
+
+TEST(SimdTest, VectorLanesPerLevel)
+{
+    EXPECT_EQ(vectorLanes(Level::Scalar), 1u);
+    EXPECT_EQ(vectorLanes(Level::Avx2), 4u);
+    EXPECT_EQ(vectorLanes(Level::Avx512), 8u);
+}
+
+TEST(SimdTest, DetectIsStableAndBoundsActive)
+{
+    EXPECT_EQ(detect(), detect());
+    EXPECT_LE(static_cast<int>(activeLevel()),
+              static_cast<int>(detect()));
+}
+
+TEST(SimdTest, SetLevelClampsToDetected)
+{
+    LevelGuard guard;
+    for (Level l : { Level::Scalar, Level::Avx2, Level::Avx512 }) {
+        setLevel(l);
+        Level expected = static_cast<int>(l) <=
+                                 static_cast<int>(detect())
+            ? l
+            : detect();
+        EXPECT_EQ(activeLevel(), expected)
+            << "forced " << levelName(l);
+    }
+}
+
+TEST(SimdTest, ScalarIsAlwaysForceable)
+{
+    LevelGuard guard;
+    setLevel(Level::Scalar);
+    EXPECT_EQ(activeLevel(), Level::Scalar);
+}
+
+} // namespace
+} // namespace mbbp::simd
