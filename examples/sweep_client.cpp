@@ -8,7 +8,12 @@
  *     submit SPEC.json [--wait] [--out FILE]
  *                    submit a sweep; prints {"id":...}. With
  *                    --wait, follow progress until the job ends and
- *                    write the result document to FILE ("-"=stdout)
+ *                    write the result document to FILE ("-"=stdout).
+ *                    A submission the server answers from its
+ *                    result cache ("cached":true) skips the
+ *                    progress stream and fetches the report
+ *                    directly -- resubmitting a finished spec is
+ *                    free.
  *     status ID      one status document
  *     result ID [--out FILE]
  *                    fetch a finished job's report (byte-identical
@@ -205,6 +210,21 @@ main(int argc, char **argv)
             uint64_t id = static_cast<uint64_t>(
                 doc.find("id")->asNumber());
             std::string idText = std::to_string(id);
+
+            // Served from the result cache: the job was born done,
+            // so there is no progress to stream.
+            if (doc.find("cached")) {
+                HttpResult cached = httpRequest(
+                    port, "GET", "/jobs/" + idText + "/result");
+                if (cached.status != 200) {
+                    std::cerr << "sweep_client: " << cached.body;
+                    return kExitRuntime;
+                }
+                std::cerr << "sweep_client: job " << idText
+                          << " served from result cache\n";
+                writeTextFile(out_path, cached.body);
+                return kExitOk;
+            }
 
             std::string last_state;
             std::string err;

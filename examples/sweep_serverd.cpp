@@ -16,11 +16,24 @@
  *                      on first save); omit to keep artifacts
  *                      memory-only
  *   --max-queue N      queued-job admission bound        [8]
- *   --max-active N     concurrently dispatched sweeps    [1]
+ *   --max-active-jobs N  concurrently dispatched sweeps, each on a
+ *                      fair (work-conserving) share of the one
+ *                      thread pool (--max-active is an alias) [1]
  *   --max-jobs N       max expanded configs per sweep    [4096]
  *   --max-insts N      max instructions per program      [4000000]
- *   --decoded-budget B LRU byte budget for resident decoded
- *                      artifacts (0 = unbounded)         [0]
+ *   --decoded-budget B ONE LRU byte budget shared by every
+ *                      per-instruction-count decoded-trace cache
+ *                      (0 = unbounded)                   [0]
+ *   --result-cache-entries N  completed reports cached by canonical
+ *                      spec hash; identical resubmission is served
+ *                      without replaying (0 = off)       [64]
+ *   --result-cache-bytes B    LRU byte bound on those cached
+ *                      reports (0 = unbounded)           [64M]
+ *   --retain-jobs N    terminal job records kept before the oldest
+ *                      are evicted -- evicted ids answer 404
+ *                      {"error":"expired"} (0 = unbounded) [256]
+ *   --retain-bytes B   byte bound on retained result documents
+ *                      (0 = unbounded)                   [256M]
  *   --batched          config-batched replay inside sweeps
  *   --no-simd          force the scalar replay kernels (the
  *                      active dispatch shows on /metrics as the
@@ -57,9 +70,12 @@ usage()
     std::cerr <<
         "usage: sweep_serverd [--port N] [--port-file FILE]\n"
         "                     [--threads N] [--artifact-dir DIR]\n"
-        "                     [--max-queue N] [--max-active N]\n"
+        "                     [--max-queue N] [--max-active-jobs N]\n"
         "                     [--max-jobs N] [--max-insts N]\n"
         "                     [--decoded-budget BYTES] [--batched]\n"
+        "                     [--result-cache-entries N]\n"
+        "                     [--result-cache-bytes BYTES]\n"
+        "                     [--retain-jobs N] [--retain-bytes BYTES]\n"
         "                     [--no-simd] [--quiet]\n";
 }
 
@@ -93,7 +109,8 @@ main(int argc, char **argv)
                 cfg.artifactDir = next();
             } else if (arg == "--max-queue") {
                 cfg.limits.maxQueuedJobs = std::stoul(next());
-            } else if (arg == "--max-active") {
+            } else if (arg == "--max-active-jobs" ||
+                       arg == "--max-active") {
                 cfg.limits.maxActiveJobs = std::stoul(next());
             } else if (arg == "--max-jobs") {
                 cfg.limits.maxSweepJobs = std::stoul(next());
@@ -101,6 +118,14 @@ main(int argc, char **argv)
                 cfg.limits.maxInstructions = std::stoul(next());
             } else if (arg == "--decoded-budget") {
                 cfg.limits.decodedBudgetBytes = std::stoul(next());
+            } else if (arg == "--result-cache-entries") {
+                cfg.limits.resultCacheEntries = std::stoul(next());
+            } else if (arg == "--result-cache-bytes") {
+                cfg.limits.resultCacheBytes = std::stoul(next());
+            } else if (arg == "--retain-jobs") {
+                cfg.limits.retainTerminalJobs = std::stoul(next());
+            } else if (arg == "--retain-bytes") {
+                cfg.limits.retainResultBytes = std::stoul(next());
             } else if (arg == "--batched") {
                 cfg.limits.batchedReplay = true;
             } else if (arg == "--no-simd") {

@@ -1,17 +1,105 @@
 #include "core/suite_runner.hh"
 
+#include <algorithm>
+
 #include "obs/obs.hh"
 
 namespace mbbp
 {
 
+// ---------------------------------------------------------------
+// DecodedBudget
+// ---------------------------------------------------------------
+
+std::size_t
+DecodedBudget::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_;
+}
+
+std::size_t
+DecodedBudget::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+DecodedBudget::attach(TraceCache *cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    caches_.push_back(cache);
+}
+
+void
+DecodedBudget::detach(TraceCache *cache, std::size_t resident_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    caches_.erase(std::remove(caches_.begin(), caches_.end(), cache),
+                  caches_.end());
+    resident_ -= resident_bytes;
+    obs::gauge("trace.cache.resident_bytes").set(resident_);
+}
+
+void
+DecodedBudget::onBuilt(const void *keep, std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    resident_ += bytes;
+    while (budget_ != 0 && resident_ > budget_) {
+        // Globally-LRU victim: the shared use clock makes stamps
+        // comparable across member caches.
+        TraceCache *victim = nullptr;
+        uint64_t oldest = 0;
+        for (TraceCache *c : caches_) {
+            uint64_t stamp = 0;
+            if (c->lruCandidate(keep, stamp) &&
+                (victim == nullptr || stamp < oldest)) {
+                victim = c;
+                oldest = stamp;
+            }
+        }
+        if (victim == nullptr)
+            break;          // nothing evictable: stay over budget
+        std::size_t freed = victim->evictOldest(keep);
+        if (freed == 0)
+            break;          // candidate raced away; do not spin
+        resident_ -= freed;
+        ++evictions_;
+    }
+    obs::gauge("trace.cache.resident_bytes").set(resident_);
+}
+
+// ---------------------------------------------------------------
+// TraceCache
+// ---------------------------------------------------------------
+
 TraceCache::TraceCache(std::size_t instructions_per_program,
                        std::size_t decoded_budget_bytes,
                        std::shared_ptr<const ArtifactStore> artifacts)
+    : TraceCache(instructions_per_program,
+                 std::make_shared<DecodedBudget>(decoded_budget_bytes),
+                 std::move(artifacts))
+{
+}
+
+TraceCache::TraceCache(std::size_t instructions_per_program,
+                       std::shared_ptr<DecodedBudget> budget,
+                       std::shared_ptr<const ArtifactStore> artifacts)
     : ninsts_(instructions_per_program),
-      budget_(decoded_budget_bytes),
+      budget_(budget ? std::move(budget)
+                     : std::make_shared<DecodedBudget>(0)),
       artifacts_(std::move(artifacts))
 {
+    budget_->attach(this);
+}
+
+TraceCache::~TraceCache()
+{
+    // Hand the shared budget back this cache's resident bytes; no
+    // cache lock needed, destruction implies exclusive access.
+    budget_->detach(this, resident_);
 }
 
 const InMemoryTrace &
@@ -54,7 +142,7 @@ TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
                               std::make_shared<DecodedEntry>())
                      .first;
         entry = it->second;
-        entry->lastUse = ++useClock_;
+        entry->lastUse = budget_->touch();
     }
     // get() is itself thread-safe, so decoding may trigger trace
     // generation; distinct artifacts decode concurrently. The entry
@@ -79,36 +167,58 @@ TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
             if (artifacts_)
                 artifacts_->save(akey, *dec);
         }
-        std::lock_guard<std::mutex> lock(mutex_);
-        entry->bytes = dec->bytes();
-        entry->dec = std::move(dec);
-        resident_ += entry->bytes;
-        evictLocked(entry.get());
+        std::size_t bytes = dec->bytes();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entry->bytes = bytes;
+            entry->dec = std::move(dec);
+            resident_ += bytes;
+        }
+        // Account (and evict across the whole budget) without this
+        // cache's mutex held: the budget locks itself first, member
+        // caches second.
+        budget_->onBuilt(entry.get(), bytes);
     });
     return entry->dec;
 }
 
-void
-TraceCache::evictLocked(const DecodedEntry *keep)
+bool
+TraceCache::lruCandidate(const void *keep, uint64_t &stamp) const
 {
-    while (budget_ != 0 && resident_ > budget_) {
-        auto victim = decoded_.end();
-        for (auto it = decoded_.begin(); it != decoded_.end(); ++it) {
-            const DecodedEntry &e = *it->second;
-            if (e.bytes == 0 || it->second.get() == keep)
-                continue;   // still building, or the fresh artifact
-            if (victim == decoded_.end() ||
-                e.lastUse < victim->second->lastUse)
-                victim = it;
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool found = false;
+    for (const auto &[key, e] : decoded_) {
+        if (e->bytes == 0 || e.get() == keep)
+            continue;       // still building, or the fresh artifact
+        if (!found || e->lastUse < stamp) {
+            stamp = e->lastUse;
+            found = true;
         }
-        if (victim == decoded_.end())
-            break;          // nothing evictable: stay over budget
-        resident_ -= victim->second->bytes;
-        decoded_.erase(victim);
-        ++evictions_;
-        obs::flushCounter("trace.cache.evictions", 1);
     }
-    obs::gauge("trace.cache.resident_bytes").set(resident_);
+    return found;
+}
+
+std::size_t
+TraceCache::evictOldest(const void *keep)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto victim = decoded_.end();
+    for (auto it = decoded_.begin(); it != decoded_.end(); ++it) {
+        const DecodedEntry &e = *it->second;
+        if (e.bytes == 0 || it->second.get() == keep)
+            continue;
+        if (victim == decoded_.end() ||
+            e.lastUse < victim->second->lastUse)
+            victim = it;
+    }
+    if (victim == decoded_.end())
+        return 0;
+    std::size_t freed = victim->second->bytes;
+    resident_ -= freed;
+    decoded_.erase(victim);
+    ++evictions_;
+    obs::flushCounter("trace.cache.evictions", 1);
+    return freed;
 }
 
 std::size_t

@@ -8,6 +8,8 @@
 #ifndef MBBP_CORE_SUITE_RUNNER_HH
 #define MBBP_CORE_SUITE_RUNNER_HH
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +25,67 @@
 namespace mbbp
 {
 
+class TraceCache;
+
+/**
+ * One decoded-artifact byte budget shared by any number of
+ * TraceCaches. Each cache accounts its completed artifacts here;
+ * when the *global* resident total exceeds the budget the
+ * least-recently-used evictable artifact across *all* member caches
+ * is dropped (LRU stamps come from one shared clock, so recency is
+ * comparable across caches). This is what keeps a service that holds
+ * one TraceCache per instruction count bounded by a single budget
+ * instead of one budget per cache.
+ *
+ * Budget 0 = unbounded. The global resident total is published on
+ * the "trace.cache.resident_bytes" gauge.
+ */
+class DecodedBudget
+{
+  public:
+    explicit DecodedBudget(std::size_t budget_bytes)
+        : budget_(budget_bytes)
+    {
+    }
+
+    DecodedBudget(const DecodedBudget &) = delete;
+    DecodedBudget &operator=(const DecodedBudget &) = delete;
+
+    std::size_t budgetBytes() const { return budget_; }
+
+    /** @{ Cross-cache totals (0 budget = unbounded). */
+    std::size_t residentBytes() const;
+    std::size_t evictions() const;
+    /** @} */
+
+  private:
+    friend class TraceCache;
+
+    void attach(TraceCache *cache);
+    void detach(TraceCache *cache, std::size_t resident_bytes);
+
+    /** Shared LRU stamp source (comparable across caches). */
+    uint64_t touch()
+    {
+        return useClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    /**
+     * Account a freshly built artifact and evict globally-LRU
+     * artifacts (never @p keep) until back within budget. Callers
+     * must NOT hold any member cache's mutex (this locks the budget
+     * first, member caches second).
+     */
+    void onBuilt(const void *keep, std::size_t bytes);
+
+    const std::size_t budget_;
+    mutable std::mutex mutex_;      //!< guards totals + members
+    std::size_t resident_ = 0;
+    std::size_t evictions_ = 0;
+    std::atomic<uint64_t> useClock_{ 0 };
+    std::vector<TraceCache *> caches_;
+};
+
 /**
  * Generates each benchmark trace once and replays it on demand, and
  * memoizes the DecodedTrace replay artifact per (trace, geometry).
@@ -34,12 +97,15 @@ namespace mbbp
  * replay is iterating stays alive even if the cache evicts it.
  *
  * Artifacts can dominate memory on wide sweeps (one per trace and
- * geometry), so the cache takes an optional byte budget: when the
- * resident decoded set exceeds it, least-recently-used artifacts are
- * dropped (and rebuilt on demand if requested again). Budget 0 keeps
- * everything, the pre-budget behavior. The resident total is
- * published on the "trace.cache.resident_bytes" gauge and drops are
- * counted on "trace.cache.evictions".
+ * geometry), so the cache takes a byte budget -- either its own
+ * private one or a DecodedBudget *shared with other caches* (how the
+ * sweep service bounds its per-instruction-count cache family with
+ * one number): when the budget's resident decoded set exceeds it,
+ * least-recently-used artifacts are dropped (and rebuilt on demand
+ * if requested again). Budget 0 keeps everything, the pre-budget
+ * behavior. The budget-wide resident total is published on the
+ * "trace.cache.resident_bytes" gauge and drops are counted on
+ * "trace.cache.evictions".
  *
  * With an ArtifactStore attached the cache also persists: a decode
  * miss first tries to mmap the store's artifact file for the key
@@ -55,6 +121,21 @@ class TraceCache
                         std::size_t decoded_budget_bytes = 0,
                         std::shared_ptr<const ArtifactStore>
                             artifacts = nullptr);
+
+    /**
+     * Join an existing (possibly shared) budget instead of owning a
+     * private one; @p budget null falls back to a private unbounded
+     * budget.
+     */
+    TraceCache(std::size_t instructions_per_program,
+               std::shared_ptr<DecodedBudget> budget,
+               std::shared_ptr<const ArtifactStore> artifacts =
+                   nullptr);
+
+    ~TraceCache();
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
 
     /** The trace for @p name (generated on first use). */
     const InMemoryTrace &get(const std::string &name);
@@ -72,10 +153,19 @@ class TraceCache
 
     std::size_t instructionsPerProgram() const { return ninsts_; }
 
-    /** @{ Budget introspection (0 budget = unbounded). */
-    std::size_t decodedBudgetBytes() const { return budget_; }
+    /** @{ Budget introspection. Resident/eviction counts are *this
+     *  cache's* share; the (possibly shared) budget tracks the
+     *  cross-cache totals. 0 budget = unbounded. */
+    std::size_t decodedBudgetBytes() const
+    {
+        return budget_->budgetBytes();
+    }
     std::size_t decodedResidentBytes() const;
     std::size_t decodedEvictions() const;
+    const std::shared_ptr<DecodedBudget> &decodedBudget() const
+    {
+        return budget_;
+    }
     /** @} */
 
     /** The attached persistence layer, if any. */
@@ -103,18 +193,27 @@ class TraceCache
     using DecodedKey = std::tuple<std::string, uint8_t, unsigned,
                                   unsigned>;
 
-    /** Drop LRU artifacts (never @p keep) until within budget. */
-    void evictLocked(const DecodedEntry *keep);
+    friend class DecodedBudget;
+
+    /**
+     * @{ Eviction hooks for the budget (which holds its own mutex
+     * first; these take this cache's mutex second -- the one
+     * sanctioned lock order). lruCandidate reports the oldest
+     * evictable entry's stamp; evictOldest unlinks it and returns
+     * the bytes freed (0 if nothing evictable).
+     */
+    bool lruCandidate(const void *keep, uint64_t &stamp) const;
+    std::size_t evictOldest(const void *keep);
+    /** @} */
 
     std::size_t ninsts_;
-    std::size_t budget_;
+    std::shared_ptr<DecodedBudget> budget_;  //!< never null
     std::shared_ptr<const ArtifactStore> artifacts_;
     mutable std::mutex mutex_;  //!< guards the maps, not the payloads
     std::map<std::string, std::unique_ptr<Entry>> traces_;
     std::map<DecodedKey, std::shared_ptr<DecodedEntry>> decoded_;
     std::size_t resident_ = 0;  //!< bytes of completed entries
-    std::size_t evictions_ = 0;
-    uint64_t useClock_ = 0;     //!< LRU stamp source
+    std::size_t evictions_ = 0; //!< this cache's share
 };
 
 /** Per-program results plus int/fp/all aggregates. */

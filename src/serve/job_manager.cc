@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hh"
+#include "serve/spec_hash.hh"
 #include "sweep/sweep_report.hh"
 #include "sweep/sweep_runner.hh"
 
@@ -17,8 +18,16 @@ obs::Counter &rejected_c = obs::counter("serve.jobs.rejected");
 obs::Counter &completed_c = obs::counter("serve.jobs.completed");
 obs::Counter &failed_c = obs::counter("serve.jobs.failed");
 obs::Counter &cancelled_c = obs::counter("serve.jobs.cancelled");
+obs::Counter &expired_c = obs::counter("serve.jobs.expired");
+obs::Counter &cache_hit_c = obs::counter("serve.result_cache.hits");
+obs::Counter &cache_miss_c =
+    obs::counter("serve.result_cache.misses");
 obs::Gauge &queue_g = obs::gauge("serve.queue.depth");
 obs::Gauge &active_g = obs::gauge("serve.jobs.active");
+obs::Gauge &retained_g = obs::gauge("serve.jobs.retained");
+obs::Gauge &cache_entries_g =
+    obs::gauge("serve.result_cache.entries");
+obs::Gauge &cache_bytes_g = obs::gauge("serve.result_cache.bytes");
 
 /** Matches the TraceCache constructor default, and sweep_cli. */
 constexpr std::size_t kDefaultInstructions = 400000;
@@ -62,7 +71,9 @@ jobStateName(JobState state)
 JobManager::JobManager(ServiceLimits limits,
                        std::shared_ptr<const ArtifactStore> artifacts)
     : limits_(limits), artifacts_(std::move(artifacts)),
-      pool_(limits.threads)
+      pool_(limits.threads),
+      decodedBudget_(std::make_shared<DecodedBudget>(
+          limits.decodedBudgetBytes))
 {
     std::size_t n = std::max<std::size_t>(1, limits_.maxActiveJobs);
     dispatchers_.reserve(n);
@@ -115,10 +126,40 @@ JobManager::submit(const std::string &specJson)
                              " instructions per program; limit " +
                              std::to_string(limits_.maxInstructions));
 
+    uint64_t hash =
+        canonicalSpecHash(spec, insts, limits_.batchedReplay);
+
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_)
         return rejection(503, "shutting_down",
                          "server is shutting down");
+
+    // A cached result needs no queue slot, no dispatcher and no
+    // replay: the job is born terminal, report bytes already in
+    // hand.
+    if (const std::string *doc = cacheLookupLocked(hash)) {
+        auto job = std::make_unique<Job>();
+        Job &j = *job;
+        j.id = nextId_++;
+        j.spec = std::move(spec);
+        j.totalJobs = total;
+        j.completedJobs = total;
+        j.state = JobState::Done;
+        j.cached = true;
+        j.specHash = hash;
+        j.resultJson = *doc;
+
+        SubmitOutcome out;
+        out.id = j.id;
+        out.state = JobState::Done;
+        out.cached = true;
+        jobs_.emplace(j.id, std::move(job));
+        submitted_c.add(1);
+        bumpLocked(j);
+        noteTerminalLocked(j);
+        return out;
+    }
+
     if (queue_.size() >= limits_.maxQueuedJobs)
         return rejection(429, "queue_full",
                          std::to_string(queue_.size()) +
@@ -129,6 +170,7 @@ JobManager::submit(const std::string &specJson)
     job->id = nextId_++;
     job->spec = std::move(spec);
     job->totalJobs = total;
+    job->specHash = hash;
 
     SubmitOutcome out;
     out.id = job->id;
@@ -155,8 +197,16 @@ JobManager::status(uint64_t id) const
     st.totalJobs = j.totalJobs;
     st.completedJobs = j.completedJobs;
     st.error = j.error;
+    st.cached = j.cached;
     st.seq = j.seq;
     return st;
+}
+
+bool
+JobManager::expired(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return id != 0 && id < nextId_ && jobs_.find(id) == jobs_.end();
 }
 
 std::optional<std::string>
@@ -188,6 +238,7 @@ JobManager::cancel(uint64_t id)
         j.state = JobState::Cancelled;
         cancelled_c.add(1);
         bumpLocked(j);
+        noteTerminalLocked(j);
     }
     return true;
 }
@@ -196,14 +247,23 @@ std::optional<JobStatus>
 JobManager::waitChange(uint64_t id, uint64_t lastSeq)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    auto it = jobs_.find(id);
-    if (it == jobs_.end())
+    if (jobs_.find(id) == jobs_.end())
         return std::nullopt;
-    Job *j = it->second.get();
+    // Re-find on every wakeup: the retention policy may prune the
+    // record while we sleep, and a cached Job* would dangle.
+    Job *j = nullptr;
     changeCv_.wait(lock, [&] {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            j = nullptr;
+            return true;
+        }
+        j = it->second.get();
         return j->seq != lastSeq || jobStateTerminal(j->state) ||
                closed_;
     });
+    if (!j)
+        return std::nullopt;    // pruned while waiting
     JobStatus st;
     st.id = j->id;
     st.state = j->state;
@@ -211,6 +271,7 @@ JobManager::waitChange(uint64_t id, uint64_t lastSeq)
     st.totalJobs = j->totalJobs;
     st.completedJobs = j->completedJobs;
     st.error = j->error;
+    st.cached = j->cached;
     st.seq = j->seq;
     return st;
 }
@@ -223,13 +284,20 @@ JobManager::shutdown()
         if (closed_)
             return;
         closed_ = true;
-        // Cancel everything still queued...
-        for (uint64_t id : queue_) {
-            Job &j = *jobs_.at(id);
+        // Cancel everything still queued. noteTerminalLocked may
+        // prune an id we cancelled moments ago, so look each one up
+        // fresh instead of trusting the snapshot.
+        std::deque<uint64_t> pending = std::move(queue_);
+        for (uint64_t id : pending) {
+            auto it = jobs_.find(id);
+            if (it == jobs_.end())
+                continue;           // already pruned
+            Job &j = *it->second;
             j.state = JobState::Cancelled;
             j.cancel.request();
             cancelled_c.add(1);
             bumpLocked(j);
+            noteTerminalLocked(j);
         }
         queue_.clear();
         queue_g.set(0);
@@ -259,6 +327,33 @@ JobManager::activeJobs() const
     return active_;
 }
 
+std::size_t
+JobManager::retainedTerminalJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return terminalOrder_.size();
+}
+
+std::size_t
+JobManager::resultCacheEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resultCache_.size();
+}
+
+std::size_t
+JobManager::resultCacheBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resultCacheBytes_;
+}
+
+std::size_t
+JobManager::decodedResidentBytes() const
+{
+    return decodedBudget_->residentBytes();
+}
+
 void
 JobManager::setPaused(bool paused)
 {
@@ -282,8 +377,13 @@ JobManager::cacheFor(std::size_t instructions)
     std::lock_guard<std::mutex> lock(cacheMutex_);
     std::unique_ptr<TraceCache> &slot = caches_[instructions];
     if (!slot)
+        // Every per-instruction-count cache shares decodedBudget_:
+        // total resident decoded bytes stay under ONE limit no
+        // matter how many distinct counts clients submit. (Handing
+        // each cache its own full-size budget let N counts pin N
+        // budgets' worth of memory.)
         slot = std::make_unique<TraceCache>(
-            instructions, limits_.decodedBudgetBytes, artifacts_);
+            instructions, decodedBudget_, artifacts_);
     return *slot;
 }
 
@@ -316,6 +416,10 @@ JobManager::dispatcherLoop()
             --active_;
             active_g.set(static_cast<uint64_t>(active_));
             bumpLocked(*job);
+            // Retention strictly after the final bump: pruning can
+            // erase Job records, and this frame still holds a raw
+            // pointer until here.
+            noteTerminalLocked(*job);
         }
     }
 }
@@ -353,6 +457,7 @@ JobManager::runJob(Job &job)
         job.resultJson = std::move(doc);
         job.state = JobState::Done;
         completed_c.add(1);
+        cacheInsertLocked(job.specHash, job.resultJson);
     } catch (const CancelledError &) {
         std::lock_guard<std::mutex> lock(mutex_);
         job.state = JobState::Cancelled;
@@ -364,6 +469,95 @@ JobManager::runJob(Job &job)
         failed_c.add(1);
     }
     // The final seq bump happens in dispatcherLoop, under lock.
+}
+
+const std::string *
+JobManager::cacheLookupLocked(uint64_t hash)
+{
+    if (limits_.resultCacheEntries == 0)
+        return nullptr;
+    auto it = resultCache_.find(hash);
+    if (it == resultCache_.end()) {
+        cache_miss_c.add(1);
+        return nullptr;
+    }
+    it->second.lastUse = ++cacheClock_;
+    cache_hit_c.add(1);
+    return &it->second.doc;
+}
+
+void
+JobManager::cacheInsertLocked(uint64_t hash, const std::string &doc)
+{
+    if (limits_.resultCacheEntries == 0)
+        return;
+    auto it = resultCache_.find(hash);
+    if (it != resultCache_.end()) {
+        // Two identical specs raced past the lookup and both ran;
+        // keep the bytes already cached (they are identical by
+        // construction) and just refresh recency.
+        it->second.lastUse = ++cacheClock_;
+        return;
+    }
+    resultCache_.emplace(hash,
+                         ResultCacheEntry{doc, ++cacheClock_});
+    resultCacheBytes_ += doc.size();
+    // LRU eviction by entry count and bytes. A single over-budget
+    // document evicts everything including itself -- caching what
+    // can never fit alongside anything is pointless.
+    while (resultCache_.size() > limits_.resultCacheEntries ||
+           (limits_.resultCacheBytes != 0 &&
+            resultCacheBytes_ > limits_.resultCacheBytes)) {
+        auto victim = resultCache_.begin();
+        for (auto jt = resultCache_.begin();
+             jt != resultCache_.end(); ++jt)
+            if (jt->second.lastUse < victim->second.lastUse)
+                victim = jt;
+        resultCacheBytes_ -= victim->second.doc.size();
+        resultCache_.erase(victim);
+    }
+    cache_entries_g.set(static_cast<uint64_t>(resultCache_.size()));
+    cache_bytes_g.set(static_cast<uint64_t>(resultCacheBytes_));
+}
+
+void
+JobManager::noteTerminalLocked(Job &job)
+{
+    terminalOrder_.push_back(job.id);
+    retainedResultBytes_ += job.resultJson.size();
+    retained_g.set(static_cast<uint64_t>(terminalOrder_.size()));
+    pruneTerminalLocked();
+}
+
+void
+JobManager::pruneTerminalLocked()
+{
+    // Oldest-first, but never the newest terminal job: a result
+    // must stay fetchable at least until the next one completes.
+    bool pruned = false;
+    while (terminalOrder_.size() > 1 &&
+           ((limits_.retainTerminalJobs != 0 &&
+             terminalOrder_.size() > limits_.retainTerminalJobs) ||
+            (limits_.retainResultBytes != 0 &&
+             retainedResultBytes_ > limits_.retainResultBytes))) {
+        uint64_t id = terminalOrder_.front();
+        terminalOrder_.pop_front();
+        auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+            retainedResultBytes_ -=
+                it->second->resultJson.size();
+            jobs_.erase(it);
+            expired_c.add(1);
+            pruned = true;
+        }
+    }
+    if (pruned) {
+        retained_g.set(
+            static_cast<uint64_t>(terminalOrder_.size()));
+        // Wake waitChange callers parked on a now-pruned id so
+        // their re-find notices the record is gone.
+        changeCv_.notify_all();
+    }
 }
 
 } // namespace mbbp::serve

@@ -50,8 +50,37 @@ struct ServiceLimits
     std::size_t maxInstructions = 4000000;  //!< per program
     std::size_t maxSpecBytes = 1u << 20;
     unsigned threads = 0;               //!< pool size; 0 = default
-    std::size_t decodedBudgetBytes = 0; //!< TraceCache LRU budget
+
+    /**
+     * ONE decoded-artifact byte budget shared across every
+     * per-instruction-count TraceCache the manager owns (0 =
+     * unbounded): total resident decoded bytes stay under this
+     * however many distinct instruction counts clients submit.
+     */
+    std::size_t decodedBudgetBytes = 0;
     bool batchedReplay = false;
+
+    /**
+     * @{ Result cache: completed report bytes keyed by canonical
+     * spec hash, LRU-bounded by entry count and bytes. Resubmitting
+     * an identical spec is served from here without replaying.
+     * resultCacheEntries 0 disables the cache.
+     */
+    std::size_t resultCacheEntries = 64;
+    std::size_t resultCacheBytes = 64u << 20;
+    /** @} */
+
+    /**
+     * @{ Terminal-job retention: keep at most this many terminal
+     * (Done/Failed/Cancelled) jobs, and at most this many retained
+     * result bytes, evicting oldest-terminal-first (the newest
+     * terminal job is always kept so a just-finished result stays
+     * fetchable). Lookups of an evicted id answer with the typed
+     * "expired" reason. 0 = unbounded (the pre-retention behavior).
+     */
+    std::size_t retainTerminalJobs = 256;
+    std::size_t retainResultBytes = 256u << 20;
+    /** @} */
 };
 
 enum class JobState
@@ -83,6 +112,7 @@ struct JobStatus
     std::size_t totalJobs = 0;      //!< expanded configs
     std::size_t completedJobs = 0;
     std::string error;              //!< Failed: one-line cause
+    bool cached = false;            //!< served from the result cache
     uint64_t seq = 0;               //!< bumps on every change
 };
 
@@ -93,6 +123,8 @@ struct SubmitOutcome
     int httpStatus = 202;
     std::string error;              //!< stable code ("queue_full")
     std::string message;            //!< one-line human detail
+    JobState state = JobState::Queued;  //!< Done on a cache hit
+    bool cached = false;            //!< result-cache hit
 
     bool ok() const { return httpStatus == 202; }
 };
@@ -116,6 +148,13 @@ class JobManager
     SubmitOutcome submit(const std::string &specJson);
 
     std::optional<JobStatus> status(uint64_t id) const;
+
+    /**
+     * True when @p id was once a real job whose record has since
+     * been evicted by the retention policy -- the "expired" face of
+     * a failed lookup, distinct from an id that never existed.
+     */
+    bool expired(uint64_t id) const;
 
     /** The finished report document (sweepToJson + '\n'), only once
      *  the job is Done. */
@@ -146,6 +185,11 @@ class JobManager
     /** @{ Introspection (racy snapshots, for tests and /metrics). */
     std::size_t queueDepth() const;
     std::size_t activeJobs() const;
+    std::size_t retainedTerminalJobs() const;
+    std::size_t resultCacheEntries() const;
+    std::size_t resultCacheBytes() const;
+    /** Resident decoded bytes across ALL per-instruction caches. */
+    std::size_t decodedResidentBytes() const;
     const ServiceLimits &limits() const { return limits_; }
     /** @} */
 
@@ -168,12 +212,28 @@ class JobManager
         std::string resultJson;
         CancelToken cancel;
         uint64_t seq = 0;
+        bool cached = false;        //!< born Done from the cache
+        uint64_t specHash = 0;      //!< canonical result-cache key
+    };
+
+    /** One cached report: the bytes plus an LRU stamp. */
+    struct ResultCacheEntry
+    {
+        std::string doc;
+        uint64_t lastUse = 0;
     };
 
     void dispatcherLoop();
     void runJob(Job &job);
     TraceCache &cacheFor(std::size_t instructions);
     void bumpLocked(Job &job);
+
+    /** @{ All four require mutex_ held. */
+    const std::string *cacheLookupLocked(uint64_t hash);
+    void cacheInsertLocked(uint64_t hash, const std::string &doc);
+    void noteTerminalLocked(Job &job);
+    void pruneTerminalLocked();
+    /** @} */
 
     const ServiceLimits limits_;
     std::shared_ptr<const ArtifactStore> artifacts_;
@@ -189,7 +249,21 @@ class JobManager
     bool paused_ = false;
     bool closed_ = false;
 
+    /** @{ Result cache, under mutex_. */
+    std::map<uint64_t, ResultCacheEntry> resultCache_;
+    std::size_t resultCacheBytes_ = 0;
+    uint64_t cacheClock_ = 0;
+    /** @} */
+
+    /** @{ Terminal-job retention, under mutex_. Terminal ids in
+     *  completion order; retainedResultBytes_ sums their
+     *  resultJson sizes. */
+    std::deque<uint64_t> terminalOrder_;
+    std::size_t retainedResultBytes_ = 0;
+    /** @} */
+
     std::mutex cacheMutex_;
+    std::shared_ptr<DecodedBudget> decodedBudget_;
     std::map<std::size_t, std::unique_ptr<TraceCache>> caches_;
 
     std::vector<std::thread> dispatchers_;

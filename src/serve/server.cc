@@ -42,6 +42,17 @@ parseId(const std::string &text, uint64_t &out)
     return true;
 }
 
+/** The 404 for a job id: "expired" when retention pruned a real
+ *  job's record, "unknown_job" for an id that never existed. */
+std::string
+missingJobJson(const JobManager &jobs, uint64_t id)
+{
+    if (jobs.expired(id))
+        return errorJson("expired",
+                         "job evicted by the retention policy");
+    return errorJson("unknown_job", "");
+}
+
 } // namespace
 
 std::string
@@ -56,6 +67,8 @@ jobStatusJson(const JobStatus &st)
     w.value("completed", static_cast<uint64_t>(st.completedJobs));
     if (!st.error.empty())
         w.value("error", st.error);
+    if (st.cached)
+        w.value("cached", true);
     w.endObject();
     return w.str() + "\n";
 }
@@ -149,7 +162,9 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
         JsonWriter w;
         w.beginObject();
         w.value("id", out.id);
-        w.value("state", "queued");
+        w.value("state", jobStateName(out.state));
+        if (out.cached)
+            w.value("cached", true);
         w.endObject();
         conn.respond(202, kJson, w.str() + "\n");
         return;
@@ -171,7 +186,7 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
     if (action.empty()) {       // GET /jobs/<id>
         std::optional<JobStatus> st = jobs_->status(id);
         if (!st) {
-            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
             return;
         }
         conn.respond(200, kJson, jobStatusJson(*st));
@@ -181,7 +196,7 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
     if (action == "result") {
         std::optional<JobStatus> st = jobs_->status(id);
         if (!st) {
-            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
             return;
         }
         if (st->state != JobState::Done) {
@@ -207,17 +222,24 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
             return;
         }
         if (!jobs_->cancel(id)) {
-            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
             return;
         }
-        conn.respond(200, kJson, jobStatusJson(*jobs_->status(id)));
+        // The record can be pruned between cancel() and status() if
+        // another job finishes in the gap; answer "expired" then.
+        std::optional<JobStatus> st = jobs_->status(id);
+        if (!st) {
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
+            return;
+        }
+        conn.respond(200, kJson, jobStatusJson(*st));
         return;
     }
 
     if (action == "stream") {
         std::optional<JobStatus> st = jobs_->status(id);
         if (!st) {
-            conn.respond(404, kJson, errorJson("unknown_job", ""));
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
             return;
         }
         if (!conn.beginStream(200, kNdjson))

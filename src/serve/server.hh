@@ -7,7 +7,10 @@
  *   GET  /healthz            -> 200 {"status":"ok"}
  *   GET  /metrics            -> 200 obs snapshot (same bytes as a
  *                               CLI --metrics block)
- *   POST /jobs               -> 202 {"id":N,"state":"queued"}
+ *   POST /jobs               -> 202 {"id":N,"state":"queued"}, or
+ *                               {"id":N,"state":"done","cached":true}
+ *                               when an identical spec's report is
+ *                               served from the result cache;
  *                               400/413/429/503 {"error","message"}
  *   GET  /jobs/<id>          -> 200 status document
  *   GET  /jobs/<id>/result   -> 200 the sweep report, byte-identical
@@ -18,6 +21,10 @@
  *                               change, ending with a terminal state
  *   POST /shutdown           -> 200, then the daemon's main loop
  *                               observes shutdownRequested()
+ *
+ * Job-id lookups answer 404 {"error":"unknown_job"} for ids that
+ * never existed and 404 {"error":"expired"} for terminal jobs whose
+ * record the retention policy has since evicted.
  */
 
 #ifndef MBBP_SERVE_SERVER_HH

@@ -1,0 +1,35 @@
+#include "serve/spec_hash.hh"
+
+#include <string>
+
+#include "sweep/sweep_spec.hh"
+
+namespace mbbp::serve
+{
+
+uint64_t
+fnv1a64(std::string_view text, uint64_t seed)
+{
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = seed;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= kPrime;
+    }
+    return h;
+}
+
+uint64_t
+canonicalSpecHash(const SweepSpec &spec, std::size_t instructions,
+                  bool batchedReplay)
+{
+    uint64_t h = fnv1a64(spec.canonicalKey());
+    h = fnv1a64("\x1e""resolved_instructions=" +
+                    std::to_string(instructions),
+                h);
+    h = fnv1a64(batchedReplay ? "\x1e""batched=1" : "\x1e""batched=0",
+                h);
+    return h;
+}
+
+} // namespace mbbp::serve

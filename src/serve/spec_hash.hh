@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Canonical spec hashing for the sweep service's result cache.
+ *
+ * Two submissions deserve the same cached report exactly when they
+ * expand to the same jobs and would emit the same bytes. The hash is
+ * FNV-1a (64-bit) over SweepSpec::canonicalKey() -- the normalized
+ * spec text covering name, benchmarks, instructions, base, grid and
+ * points (and through them every engine/geometry/predictor field) --
+ * folded with the service-level execution knobs that are part of the
+ * result's identity: the resolved per-program instruction count and
+ * the batched-replay setting.
+ */
+
+#ifndef MBBP_SERVE_SPEC_HASH_HH
+#define MBBP_SERVE_SPEC_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mbbp
+{
+class SweepSpec;
+}
+
+namespace mbbp::serve
+{
+
+/** FNV-1a offset basis (64-bit). */
+constexpr uint64_t kFnv1aOffset = 14695981039346656037ull;
+
+/** One FNV-1a round over @p text, chained through @p seed. */
+uint64_t fnv1a64(std::string_view text,
+                 uint64_t seed = kFnv1aOffset);
+
+/**
+ * The result-cache key for @p spec as the service would run it:
+ * @p instructions is the spec's count with the service default
+ * already substituted for 0, @p batchedReplay the daemon's replay
+ * mode (byte-identical either way, but kept in the key so a mode
+ * flip can never serve stale bytes if that invariant ever changes).
+ */
+uint64_t canonicalSpecHash(const SweepSpec &spec,
+                           std::size_t instructions,
+                           bool batchedReplay);
+
+} // namespace mbbp::serve
+
+#endif // MBBP_SERVE_SPEC_HASH_HH

@@ -72,7 +72,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     if (!opts.pool)
         own_pool = std::make_unique<ThreadPool>(opts.threads);
     ThreadPool &pool = opts.pool ? *opts.pool : *own_pool;
-    TaskGroup group(pool);
+    TaskGroup group(pool, opts.groupWeight);
     result.threads = pool.numWorkers();
 
     static obs::Timer &sweep_t = obs::timer("sweep.run");

@@ -72,6 +72,14 @@ struct SweepOptions
     ThreadPool *pool = nullptr;
 
     /**
+     * Relative fair-share weight of this sweep's TaskGroup on a
+     * shared pool (see TaskGroup): with N concurrent sweeps of equal
+     * weight each is released ceil(workers/N) tasks at a time.
+     * Ignored (harmlessly) on a private pool. 0 is clamped to 1.
+     */
+    unsigned groupWeight = 1;
+
+    /**
      * Cooperative cancellation. Checked before each job starts and
      * between per-program replays inside a job, so a cancel request
      * is honored within roughly one program replay's latency. A

@@ -315,6 +315,52 @@ SweepSpec::expand() const
     return jobs;
 }
 
+std::string
+SweepSpec::canonicalKey() const
+{
+    // \x1e separates sections, \x1f separates items within one,
+    // \x1d separates points. Field values are scalar lexemes (no
+    // control characters), so the encoding is unambiguous.
+    std::string key;
+    key += "name=";
+    key += name_;
+    key += "\x1e""benchmarks=";
+    for (const std::string &b : benchmarks_) {
+        key += b;
+        key += '\x1f';
+    }
+    key += "\x1e""instructions=";
+    key += std::to_string(instructions_);
+    key += "\x1e""base=";
+    for (const SweepParam &p : base_) {
+        key += p.first;
+        key += '=';
+        key += p.second;
+        key += '\x1f';
+    }
+    key += "\x1e""grid=";
+    for (const Axis &axis : axes_) {
+        key += axis.field;
+        key += '=';
+        for (const std::string &v : axis.values) {
+            key += v;
+            key += ',';
+        }
+        key += '\x1f';
+    }
+    key += "\x1e""points=";
+    for (const auto &point : points_) {
+        for (const SweepParam &p : point) {
+            key += p.first;
+            key += '=';
+            key += p.second;
+            key += '\x1f';
+        }
+        key += '\x1d';
+    }
+    return key;
+}
+
 // ---------------------------------------------------------------
 // JSON front end
 // ---------------------------------------------------------------

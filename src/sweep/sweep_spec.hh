@@ -128,6 +128,18 @@ class SweepSpec
      */
     std::vector<SweepJob> expand() const;
 
+    /**
+     * Canonical text form of everything that determines this spec's
+     * expanded jobs and report bytes: name, benchmarks,
+     * instructions, base assignments, grid axes and points, each in
+     * declaration order, joined with control-character separators so
+     * distinct specs cannot collide by concatenation. Two JSON texts
+     * differing only in whitespace or unrelated formatting produce
+     * the same key -- the normalization under the sweep service's
+     * spec-hash result cache.
+     */
+    std::string canonicalKey() const;
+
   private:
     struct Axis
     {

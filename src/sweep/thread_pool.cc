@@ -200,45 +200,140 @@ ThreadPool::wait()
     }
 }
 
+namespace
+{
+
+obs::Gauge &
+activeGroupsGauge()
+{
+    static obs::Gauge &g = obs::gauge("sweep.pool.active_groups");
+    return g;
+}
+
+obs::Counter &
+groupThrottledCounter()
+{
+    static obs::Counter &c =
+        obs::counter("sweep.pool.group_throttled");
+    return c;
+}
+
+} // namespace
+
+TaskGroup::TaskGroup(ThreadPool &pool, unsigned weight)
+    : pool_(pool), weight_(weight == 0 ? 1 : weight),
+      st_(std::make_shared<State>(pool, weight == 0 ? 1 : weight))
+{
+}
+
 TaskGroup::~TaskGroup()
 {
-    // A group abandoned with tasks in flight would leave them
-    // writing through a dangling `this`; that is a caller bug.
-    std::lock_guard<std::mutex> lock(mutex_);
-    mbbp_assert(outstanding_ == 0,
+    // A group abandoned with tasks in flight would complete into a
+    // state nobody will ever wait on; that is a caller bug.
+    std::lock_guard<std::mutex> lock(st_->mutex);
+    mbbp_assert(st_->outstanding == 0,
                 "TaskGroup destroyed with tasks in flight");
+}
+
+std::size_t
+TaskGroup::peakReleased() const
+{
+    std::lock_guard<std::mutex> lock(st_->mutex);
+    return st_->peakReleased;
+}
+
+void
+TaskGroup::pumpLocked(const std::shared_ptr<State> &st)
+{
+    ThreadPool &pool = st->pool;
+    while (!st->held.empty()) {
+        // The share is re-read per release: competitors activating
+        // or draining move it, and the ceiling keeps the split
+        // work-conserving on worker counts that do not divide evenly
+        // (3 workers / 2 groups = 2 each, never an idle worker while
+        // both have work). The max() guarantees progress even when
+        // more groups are active than there are workers.
+        std::size_t total =
+            pool.activeWeight_.load(std::memory_order_relaxed);
+        if (total < st->weight)
+            total = st->weight;     // racing activation; self counts
+        std::size_t share = (pool.numWorkers() * st->weight +
+                             total - 1) / total;
+        if (share == 0)
+            share = 1;
+        if (st->released >= share) {
+            groupThrottledCounter().add();
+            return;
+        }
+        std::function<void()> task = std::move(st->held.front());
+        st->held.pop_front();
+        ++st->released;
+        if (st->released > st->peakReleased)
+            st->peakReleased = st->released;
+        pool.submit([st, task = std::move(task)]() mutable {
+            runOne(st, task);
+        });
+    }
+}
+
+void
+TaskGroup::runOne(const std::shared_ptr<State> &st,
+                  std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        if (!st->firstError)
+            st->firstError = std::current_exception();
+    }
+    bool idle = false;
+    {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        --st->released;
+        --st->outstanding;
+        if (st->outstanding == 0) {
+            st->active = false;
+            st->pool.activeWeight_.fetch_sub(
+                st->weight, std::memory_order_relaxed);
+            activeGroupsGauge().set(
+                st->pool.activeGroups_.fetch_sub(
+                    1, std::memory_order_relaxed) - 1);
+            idle = true;
+        } else {
+            pumpLocked(st);
+        }
+    }
+    if (idle)
+        st->idle.notify_all();
 }
 
 void
 TaskGroup::submit(std::function<void()> task)
 {
     mbbp_assert(task != nullptr, "empty task submitted");
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++outstanding_;
+    std::lock_guard<std::mutex> lock(st_->mutex);
+    ++st_->outstanding;
+    st_->held.push_back(std::move(task));
+    if (!st_->active) {
+        st_->active = true;
+        pool_.activeWeight_.fetch_add(st_->weight,
+                                      std::memory_order_relaxed);
+        activeGroupsGauge().set(
+            pool_.activeGroups_.fetch_add(
+                1, std::memory_order_relaxed) + 1);
     }
-    pool_.submit([this, task = std::move(task)] {
-        try {
-            task();
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!firstError_)
-                firstError_ = std::current_exception();
-        }
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--outstanding_ == 0)
-            idle_.notify_all();
-    });
+    pumpLocked(st_);
 }
 
 void
 TaskGroup::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return outstanding_ == 0; });
-    if (firstError_) {
-        std::exception_ptr err = firstError_;
-        firstError_ = nullptr;
+    std::unique_lock<std::mutex> lock(st_->mutex);
+    st_->idle.wait(lock, [this] { return st_->outstanding == 0; });
+    if (st_->firstError) {
+        std::exception_ptr err = st_->firstError;
+        st_->firstError = nullptr;
         std::rethrow_exception(err);
     }
 }

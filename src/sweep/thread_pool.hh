@@ -16,6 +16,7 @@
 #ifndef MBBP_SWEEP_THREAD_POOL_HH
 #define MBBP_SWEEP_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,7 +61,15 @@ class ThreadPool
     /** Hardware concurrency, with a sane floor of 1. */
     static unsigned defaultThreads();
 
+    /** TaskGroups currently holding unfinished work on this pool. */
+    std::size_t activeGroupCount() const
+    {
+        return activeGroups_.load(std::memory_order_relaxed);
+    }
+
   private:
+    friend class TaskGroup;
+
     struct Worker
     {
         std::mutex mutex;
@@ -81,6 +90,15 @@ class ThreadPool
     std::size_t nextQueue_ = 0;     //!< round-robin submit target
     std::exception_ptr firstError_;
     bool stopping_ = false;
+
+    /**
+     * Fair-share bookkeeping for TaskGroups. The sum of the weights
+     * of groups with unfinished work; a group's share of the workers
+     * is proportional to its weight. Atomics, not the pool mutex:
+     * groups read these on every release decision.
+     */
+    std::atomic<std::size_t> activeWeight_{ 0 };
+    std::atomic<std::size_t> activeGroups_{ 0 };
 };
 
 /**
@@ -92,14 +110,25 @@ class ThreadPool
  * keeps independent jobs' failures from cross-contaminating the
  * pool-wide error slot.
  *
+ * Groups also enforce *fair pool sharing*: a group buffers its tasks
+ * and releases at most its weighted share of the workers,
+ * ceil(workers * weight / totalActiveWeight), into the pool at a
+ * time (always at least one, so progress is guaranteed). Only groups
+ * with unfinished work count toward the total, which makes the
+ * discipline work-conserving: a lone group still gets the whole
+ * pool, and when a competitor drains, the survivors grow back to the
+ * full width as their own tasks complete. Nothing is preempted --
+ * shares converge at task granularity.
+ *
  * This is what lets a long-running service multiplex many concurrent
  * sweeps onto one work-stealing pool: each job gets its own group,
- * its own wait, and its own error.
+ * its own budget, its own wait, and its own error.
  */
 class TaskGroup
 {
   public:
-    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+    /** @param weight Relative share of the pool; 0 is clamped to 1. */
+    explicit TaskGroup(ThreadPool &pool, unsigned weight = 1);
 
     /** wait() must have drained the group before destruction. */
     ~TaskGroup();
@@ -107,7 +136,10 @@ class TaskGroup
     TaskGroup(const TaskGroup &) = delete;
     TaskGroup &operator=(const TaskGroup &) = delete;
 
-    /** Enqueue one task on the underlying pool, tracked here. */
+    /**
+     * Enqueue one task, tracked by this group and released to the
+     * pool when the group is within its fair share.
+     */
     void submit(std::function<void()> task);
 
     /**
@@ -119,12 +151,46 @@ class TaskGroup
 
     ThreadPool &pool() { return pool_; }
 
+    unsigned weight() const { return weight_; }
+
+    /**
+     * Largest number of this group's tasks ever simultaneously
+     * released to the pool -- the observable face of the budget
+     * (never exceeds the group's share while competitors are
+     * active). Test/diagnostic introspection.
+     */
+    std::size_t peakReleased() const;
+
   private:
+    /**
+     * Heap-allocated so the completion callbacks of in-flight tasks
+     * can outlive any individual stack frame; the group itself still
+     * asserts it is drained before destruction.
+     */
+    struct State
+    {
+        ThreadPool &pool;
+        const unsigned weight;
+        std::mutex mutex;
+        std::condition_variable idle;
+        std::deque<std::function<void()>> held;  //!< not yet released
+        std::size_t released = 0;    //!< on the pool, unfinished
+        std::size_t peakReleased = 0;
+        std::size_t outstanding = 0; //!< held + released
+        bool active = false;         //!< counted in the pool totals
+        std::exception_ptr firstError;
+
+        State(ThreadPool &p, unsigned w) : pool(p), weight(w) {}
+    };
+
+    /** Release held tasks up to the fair share. Call locked. */
+    static void pumpLocked(const std::shared_ptr<State> &st);
+    static void runOne(const std::shared_ptr<State> &st,
+                       std::function<void()> &task);
+
     ThreadPool &pool_;
-    std::mutex mutex_;
-    std::condition_variable idle_;
-    std::size_t outstanding_ = 0;
-    std::exception_ptr firstError_;
+    unsigned weight_;
+    std::shared_ptr<State> st_;
 };
 
 /**

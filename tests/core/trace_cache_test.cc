@@ -106,6 +106,94 @@ TEST(TraceCacheBudget, FreshArtifactIsNeverTheVictim)
     EXPECT_EQ(a.get(), traces.decoded("gcc", geom).get());
 }
 
+TEST(SharedDecodedBudget, OneBudgetBoundsSeveralCaches)
+{
+    ICacheConfig geom = ICacheConfig::normal(8);
+    std::size_t gccB = oneArtifactBytes("gcc", geom);
+    std::size_t swimB = oneArtifactBytes("swim", geom);
+    std::size_t liB = oneArtifactBytes("li", geom);
+    ASSERT_GT(gccB, 0u);
+
+    // Two caches, ONE budget one byte too small for all three
+    // artifacts: the *global* resident total is what eviction
+    // bounds, however the artifacts distribute across the members.
+    auto budget =
+        std::make_shared<DecodedBudget>(gccB + swimB + liB - 1);
+    TraceCache a(kInsts, budget);
+    TraceCache b(kInsts, budget);
+    EXPECT_EQ(a.decodedBudgetBytes(), budget->budgetBytes());
+
+    (void)a.decoded("gcc", geom);
+    (void)b.decoded("swim", geom);
+    EXPECT_EQ(budget->residentBytes(), gccB + swimB);
+    EXPECT_EQ(budget->evictions(), 0u);
+
+    // The third artifact overflows the shared budget by one byte;
+    // the victim is the globally-oldest (gcc, which lives in the
+    // OTHER cache), and one eviction restores the bound.
+    (void)b.decoded("li", geom);
+    EXPECT_EQ(budget->evictions(), 1u);
+    EXPECT_LE(budget->residentBytes(), budget->budgetBytes());
+    EXPECT_EQ(a.decodedEvictions(), 1u);
+    EXPECT_EQ(b.decodedEvictions(), 0u);
+    EXPECT_EQ(a.decodedResidentBytes() + b.decodedResidentBytes(),
+              budget->residentBytes());
+}
+
+TEST(SharedDecodedBudget, RecencyIsComparableAcrossCaches)
+{
+    ICacheConfig geom = ICacheConfig::normal(8);
+    std::size_t gccB = oneArtifactBytes("gcc", geom);
+    std::size_t swimB = oneArtifactBytes("swim", geom);
+    std::size_t liB = oneArtifactBytes("li", geom);
+
+    auto budget =
+        std::make_shared<DecodedBudget>(gccB + swimB + liB - 1);
+    TraceCache a(kInsts, budget);
+    TraceCache b(kInsts, budget);
+
+    auto gcc = a.decoded("gcc", geom);
+    (void)b.decoded("swim", geom);
+    (void)a.decoded("gcc", geom);   // refresh: swim is now global LRU
+    (void)a.decoded("li", geom);    // over budget: b's swim evicted
+
+    EXPECT_EQ(a.decodedEvictions(), 0u);
+    EXPECT_EQ(b.decodedEvictions(), 1u);
+    // The refreshed artifact survived in place in its home cache.
+    EXPECT_EQ(gcc.get(), a.decoded("gcc", geom).get());
+}
+
+TEST(SharedDecodedBudget, DetachReturnsResidentBytes)
+{
+    ICacheConfig geom = ICacheConfig::normal(8);
+    std::size_t gccB = oneArtifactBytes("gcc", geom);
+    std::size_t swimB = oneArtifactBytes("swim", geom);
+
+    auto budget =
+        std::make_shared<DecodedBudget>(10 * (gccB + swimB));
+    TraceCache keeper(kInsts, budget);
+    (void)keeper.decoded("gcc", geom);
+    EXPECT_EQ(budget->residentBytes(), gccB);
+
+    {
+        TraceCache temp(kInsts, budget);
+        (void)temp.decoded("swim", geom);
+        EXPECT_EQ(budget->residentBytes(), gccB + swimB);
+    }
+    // A destroyed member hands its resident bytes back.
+    EXPECT_EQ(budget->residentBytes(), gccB);
+}
+
+TEST(SharedDecodedBudget, NullBudgetFallsBackToPrivateUnbounded)
+{
+    TraceCache traces(kInsts, std::shared_ptr<DecodedBudget>());
+    EXPECT_EQ(traces.decodedBudgetBytes(), 0u);
+    ICacheConfig geom = ICacheConfig::normal(8);
+    auto a = traces.decoded("gcc", geom);
+    EXPECT_EQ(traces.decodedEvictions(), 0u);
+    EXPECT_EQ(traces.decodedResidentBytes(), a->bytes());
+}
+
 #ifndef MBBP_OBS_DISABLED
 
 TEST(TraceCacheBudget, PublishesResidentBytesGauge)
@@ -124,6 +212,32 @@ TEST(TraceCacheBudget, PublishesResidentBytesGauge)
     EXPECT_EQ(obs::gauge("trace.cache.resident_bytes").value(),
               traces.decodedResidentBytes());
     EXPECT_GE(traces.decodedEvictions(), 1u);
+
+    obs::setEnabled(false);
+    obs::resetAll();
+}
+
+TEST(SharedDecodedBudget, GaugeCarriesTheCrossCacheTotal)
+{
+    obs::resetAll();
+    obs::setEnabled(true);
+
+    ICacheConfig geom = ICacheConfig::normal(8);
+    std::size_t one = oneArtifactBytes("gcc", geom);
+    auto budget = std::make_shared<DecodedBudget>(2 * one + one / 2);
+    TraceCache a(kInsts, budget);
+    TraceCache b(kInsts, budget);
+
+    (void)a.decoded("gcc", geom);
+    (void)b.decoded("swim", geom);
+    EXPECT_EQ(obs::gauge("trace.cache.resident_bytes").value(),
+              budget->residentBytes());
+
+    (void)b.decoded("li", geom);    // cross-cache eviction
+    EXPECT_EQ(obs::gauge("trace.cache.resident_bytes").value(),
+              budget->residentBytes());
+    EXPECT_LE(obs::gauge("trace.cache.resident_bytes").value(),
+              budget->budgetBytes());
 
     obs::setEnabled(false);
     obs::resetAll();

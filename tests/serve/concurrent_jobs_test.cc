@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Multi-tenant JobManager tests: concurrently dispatched sweeps stay
+ * byte-identical to serial in-process runs, identical resubmission is
+ * served from the result cache without replaying, terminal-job
+ * retention prunes oldest-first with a typed "expired" answer, and
+ * ONE decoded-trace budget bounds the whole per-instruction-count
+ * cache family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/suite_runner.hh"
+#include "serve/job_manager.hh"
+#include "sweep/sweep_report.hh"
+#include "sweep/sweep_runner.hh"
+
+using namespace mbbp;
+using namespace mbbp::serve;
+
+namespace
+{
+
+const char *kSpecA =
+    "{\"name\":\"cj-a\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":20000,\"grid\":{\"historyBits\":[4,6]}}";
+
+const char *kSpecB =
+    "{\"name\":\"cj-b\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":20000,\"grid\":{\"historyBits\":[8,10]}}";
+
+/** kSpecA with different instructions: a second TraceCache entry. */
+const char *kSpecHalf =
+    "{\"name\":\"cj-half\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":10000,\"grid\":{\"historyBits\":[4,6]}}";
+
+ServiceLimits
+concurrentLimits()
+{
+    ServiceLimits limits;
+    limits.threads = 2;
+    limits.maxActiveJobs = 2;
+    limits.maxQueuedJobs = 8;
+    return limits;
+}
+
+JobStatus
+awaitTerminal(JobManager &jm, uint64_t id)
+{
+    std::optional<JobStatus> st = jm.status(id);
+    while (st && !jobStateTerminal(st->state))
+        st = jm.waitChange(id, st->seq);
+    EXPECT_TRUE(st.has_value());
+    return *st;
+}
+
+/** The exact bytes the daemon promises for @p specJson. */
+std::string
+serialReport(const char *specJson)
+{
+    SweepSpec spec = SweepSpec::fromJson(specJson);
+    TraceCache traces(spec.instructions());
+    SweepResult direct = runSweep(spec, traces, {});
+    return sweepToJson(direct, SweepReportOptions{}) + "\n";
+}
+
+TEST(ConcurrentJobs, TwoConcurrentSweepsMatchSerialRuns)
+{
+    JobManager jm(concurrentLimits(), nullptr);
+    SubmitOutcome a = jm.submit(kSpecA);
+    SubmitOutcome b = jm.submit(kSpecB);
+    ASSERT_TRUE(a.ok()) << a.message;
+    ASSERT_TRUE(b.ok()) << b.message;
+
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    EXPECT_EQ(awaitTerminal(jm, b.id).state, JobState::Done);
+
+    // Concurrency must not leak into the bytes: each report is
+    // byte-identical to a serial in-process run of its spec.
+    EXPECT_EQ(*jm.result(a.id), serialReport(kSpecA));
+    EXPECT_EQ(*jm.result(b.id), serialReport(kSpecB));
+}
+
+TEST(ConcurrentJobs, ManyInterleavedJobsAllFinishCorrectly)
+{
+    JobManager jm(concurrentLimits(), nullptr);
+    std::string expectA = serialReport(kSpecA);
+    std::string expectB = serialReport(kSpecB);
+
+    std::vector<SubmitOutcome> outs;
+    for (int i = 0; i < 6; ++i)
+        outs.push_back(jm.submit(i % 2 ? kSpecB : kSpecA));
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(outs[i].ok()) << outs[i].message;
+        EXPECT_EQ(awaitTerminal(jm, outs[i].id).state,
+                  JobState::Done);
+        EXPECT_EQ(*jm.result(outs[i].id), i % 2 ? expectB : expectA);
+    }
+}
+
+TEST(ConcurrentJobs, IdenticalResubmissionServedFromCache)
+{
+    JobManager jm(concurrentLimits(), nullptr);
+    SubmitOutcome first = jm.submit(kSpecA);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(first.cached);
+    JobStatus done = awaitTerminal(jm, first.id);
+    ASSERT_EQ(done.state, JobState::Done);
+    EXPECT_FALSE(done.cached);
+
+    // The identical spec again: born Done, no queue, no replay.
+    SubmitOutcome second = jm.submit(kSpecA);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.cached);
+    EXPECT_EQ(second.state, JobState::Done);
+    EXPECT_NE(second.id, first.id);
+
+    JobStatus st = *jm.status(second.id);
+    EXPECT_EQ(st.state, JobState::Done);
+    EXPECT_TRUE(st.cached);
+    EXPECT_EQ(st.completedJobs, st.totalJobs);
+
+    // Byte-identical to the first run's report.
+    EXPECT_EQ(*jm.result(second.id), *jm.result(first.id));
+    EXPECT_EQ(jm.resultCacheEntries(), 1u);
+    EXPECT_GT(jm.resultCacheBytes(), 0u);
+
+    // A different spec is NOT a hit.
+    SubmitOutcome other = jm.submit(kSpecB);
+    ASSERT_TRUE(other.ok());
+    EXPECT_FALSE(other.cached);
+    awaitTerminal(jm, other.id);
+}
+
+TEST(ConcurrentJobs, CacheDisabledByZeroEntries)
+{
+    ServiceLimits limits = concurrentLimits();
+    limits.resultCacheEntries = 0;
+    JobManager jm(limits, nullptr);
+    SubmitOutcome first = jm.submit(kSpecA);
+    ASSERT_TRUE(first.ok());
+    awaitTerminal(jm, first.id);
+
+    SubmitOutcome second = jm.submit(kSpecA);
+    ASSERT_TRUE(second.ok());
+    EXPECT_FALSE(second.cached);
+    EXPECT_EQ(jm.resultCacheEntries(), 0u);
+    awaitTerminal(jm, second.id);
+}
+
+TEST(ConcurrentJobs, CacheEvictsByEntryCount)
+{
+    ServiceLimits limits = concurrentLimits();
+    limits.maxActiveJobs = 1;       // deterministic completion order
+    limits.resultCacheEntries = 1;
+    JobManager jm(limits, nullptr);
+
+    SubmitOutcome a = jm.submit(kSpecA);
+    awaitTerminal(jm, a.id);
+    SubmitOutcome b = jm.submit(kSpecB);
+    awaitTerminal(jm, b.id);
+    EXPECT_EQ(jm.resultCacheEntries(), 1u);
+
+    // kSpecA's entry was the LRU victim: resubmission re-runs.
+    SubmitOutcome a2 = jm.submit(kSpecA);
+    ASSERT_TRUE(a2.ok());
+    EXPECT_FALSE(a2.cached);
+    awaitTerminal(jm, a2.id);
+
+    // kSpecA now re-cached; it serves the next resubmission.
+    SubmitOutcome a3 = jm.submit(kSpecA);
+    ASSERT_TRUE(a3.ok());
+    EXPECT_TRUE(a3.cached);
+}
+
+TEST(ConcurrentJobs, RetentionPrunesOldestTerminalWithTypedExpiry)
+{
+    ServiceLimits limits = concurrentLimits();
+    limits.maxActiveJobs = 1;
+    limits.retainTerminalJobs = 1;
+    limits.resultCacheEntries = 0;  // isolate retention behavior
+    JobManager jm(limits, nullptr);
+
+    SubmitOutcome a = jm.submit(kSpecA);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    EXPECT_TRUE(jm.result(a.id).has_value());
+    EXPECT_FALSE(jm.expired(a.id));
+
+    SubmitOutcome b = jm.submit(kSpecB);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(awaitTerminal(jm, b.id).state, JobState::Done);
+
+    // The older terminal job is gone -- and says so distinctly.
+    EXPECT_FALSE(jm.status(a.id).has_value());
+    EXPECT_FALSE(jm.result(a.id).has_value());
+    EXPECT_TRUE(jm.expired(a.id));
+    EXPECT_FALSE(jm.cancel(a.id));
+
+    // The newest terminal job is always kept.
+    EXPECT_TRUE(jm.status(b.id).has_value());
+    EXPECT_TRUE(jm.result(b.id).has_value());
+    EXPECT_FALSE(jm.expired(b.id));
+    EXPECT_EQ(jm.retainedTerminalJobs(), 1u);
+
+    // Ids that never existed are unknown, not expired.
+    EXPECT_FALSE(jm.expired(9999));
+    EXPECT_FALSE(jm.expired(0));
+}
+
+TEST(ConcurrentJobs, RetentionByBytesKeepsNewestResult)
+{
+    ServiceLimits limits = concurrentLimits();
+    limits.maxActiveJobs = 1;
+    limits.resultCacheEntries = 0;
+    limits.retainResultBytes = 1;   // any report overflows this
+    JobManager jm(limits, nullptr);
+
+    SubmitOutcome a = jm.submit(kSpecA);
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    // Over byte budget, but the sole (= newest) result survives.
+    EXPECT_TRUE(jm.result(a.id).has_value());
+
+    SubmitOutcome b = jm.submit(kSpecB);
+    EXPECT_EQ(awaitTerminal(jm, b.id).state, JobState::Done);
+    EXPECT_TRUE(jm.expired(a.id));
+    EXPECT_TRUE(jm.result(b.id).has_value());
+}
+
+TEST(ConcurrentJobs, OneDecodedBudgetAcrossInstructionCounts)
+{
+    // Measure each instruction count's decoded footprint with a
+    // private cache first.
+    std::size_t fullBytes = 0;
+    std::size_t halfBytes = 0;
+    {
+        SweepSpec spec = SweepSpec::fromJson(kSpecA);
+        TraceCache traces(20000);
+        (void)runSweep(spec, traces, {});
+        fullBytes = traces.decodedResidentBytes();
+    }
+    {
+        SweepSpec spec = SweepSpec::fromJson(kSpecHalf);
+        TraceCache traces(10000);
+        (void)runSweep(spec, traces, {});
+        halfBytes = traces.decodedResidentBytes();
+    }
+    ASSERT_GT(fullBytes, 0u);
+    ASSERT_GT(halfBytes, 0u);
+
+    // A budget that fits either footprint alone but not both: the
+    // manager's whole cache family must stay within it even though
+    // the two jobs hit two distinct per-instruction-count caches.
+    ServiceLimits limits = concurrentLimits();
+    limits.maxActiveJobs = 1;
+    limits.decodedBudgetBytes = fullBytes + halfBytes / 2;
+    JobManager jm(limits, nullptr);
+
+    SubmitOutcome a = jm.submit(kSpecA);
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    SubmitOutcome h = jm.submit(kSpecHalf);
+    EXPECT_EQ(awaitTerminal(jm, h.id).state, JobState::Done);
+
+    EXPECT_LE(jm.decodedResidentBytes(), limits.decodedBudgetBytes);
+    EXPECT_GT(jm.decodedResidentBytes(), 0u);
+
+    // Bounded memory must not corrupt results.
+    EXPECT_EQ(*jm.result(a.id), serialReport(kSpecA));
+    EXPECT_EQ(*jm.result(h.id), serialReport(kSpecHalf));
+}
+
+} // namespace

@@ -221,6 +221,93 @@ TEST(SweepServerTest, HealthzAndShutdownEndpoint)
     server.stop();
 }
 
+TEST(SweepServerTest, CachedResubmissionOverHttp)
+{
+    // Daemons always enable obs; the result-cache counters need it.
+    obs::setEnabled(true);
+
+    ServerConfig cfg = testConfig();
+    cfg.limits.maxActiveJobs = 2;
+    SweepServer server(cfg);
+    uint16_t port = server.start();
+
+    std::string state;
+    uint64_t first = submitAndWait(port, kSpec, &state);
+    ASSERT_EQ(state, "done");
+    std::string firstDoc =
+        httpRequest(port, "GET",
+                    "/jobs/" + std::to_string(first) + "/result")
+            .body;
+
+    // Identical bytes again: the 202 body says done + cached, and
+    // the result is available immediately without streaming.
+    HttpResult res = httpRequest(port, "POST", "/jobs", kSpec);
+    ASSERT_EQ(res.status, 202) << res.body;
+    JsonValue doc = JsonValue::parse(res.body);
+    EXPECT_EQ(doc.find("state")->asString(), "done");
+    ASSERT_NE(doc.find("cached"), nullptr);
+    EXPECT_TRUE(doc.find("cached")->asBool());
+    uint64_t second =
+        static_cast<uint64_t>(doc.find("id")->asNumber());
+
+    HttpResult status = httpRequest(
+        port, "GET", "/jobs/" + std::to_string(second));
+    ASSERT_EQ(status.status, 200);
+    JsonValue st = JsonValue::parse(status.body);
+    EXPECT_EQ(st.find("state")->asString(), "done");
+    ASSERT_NE(st.find("cached"), nullptr);
+
+    HttpResult result = httpRequest(
+        port, "GET", "/jobs/" + std::to_string(second) + "/result");
+    ASSERT_EQ(result.status, 200);
+    EXPECT_EQ(result.body, firstDoc);
+
+    std::string metrics = httpRequest(port, "GET", "/metrics").body;
+    EXPECT_NE(metrics.find("serve.result_cache.hits"),
+              std::string::npos);
+}
+
+TEST(SweepServerTest, ExpiredJobIdAnswers404WithTypedReason)
+{
+    ServerConfig cfg = testConfig();
+    cfg.limits.retainTerminalJobs = 1;
+    cfg.limits.resultCacheEntries = 0;
+    SweepServer server(cfg);
+    uint16_t port = server.start();
+
+    uint64_t a = submitAndWait(port, kSpec);
+    uint64_t b = submitAndWait(port, kSpec);
+    ASSERT_NE(a, b);
+
+    // The older terminal job was pruned: 404, but distinctly typed.
+    for (const std::string &suffix :
+         { std::string(), std::string("/result") }) {
+        HttpResult res = httpRequest(
+            port, "GET", "/jobs/" + std::to_string(a) + suffix);
+        EXPECT_EQ(res.status, 404);
+        JsonValue doc = JsonValue::parse(res.body);
+        EXPECT_EQ(doc.find("error")->asString(), "expired");
+    }
+    HttpResult cancel = httpRequest(
+        port, "POST", "/jobs/" + std::to_string(a) + "/cancel");
+    EXPECT_EQ(cancel.status, 404);
+    EXPECT_EQ(JsonValue::parse(cancel.body).find("error")->asString(),
+              "expired");
+
+    // A never-issued id stays "unknown_job".
+    HttpResult unknown = httpRequest(port, "GET", "/jobs/777777");
+    EXPECT_EQ(unknown.status, 404);
+    EXPECT_EQ(
+        JsonValue::parse(unknown.body).find("error")->asString(),
+        "unknown_job");
+
+    // The newest job's report is still there.
+    EXPECT_EQ(httpRequest(port, "GET",
+                          "/jobs/" + std::to_string(b) + "/result")
+                  .status,
+              200);
+}
+
 TEST(SweepServerTest, MetricsBodyIsTheSharedSnapshotShape)
 {
     SweepServer server(testConfig());

@@ -3,8 +3,12 @@
 #include "sweep/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -150,6 +154,217 @@ TEST(ThreadPool, StressThrowingTasksAmongTinyTasks)
     // Reusable after the storm.
     pool.submit([&] { ++count; });
     pool.wait();
+}
+
+/** A manually-released latch for pinning a group "active". */
+class Gate
+{
+  public:
+    void open()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    void await()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return open_; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool open_ = false;
+};
+
+TEST(TaskGroup, RunsTasksAndWaitsOnlyForItsOwn)
+{
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 100; ++i)
+        group.submit([&] { ++count; });
+    group.wait();
+    EXPECT_EQ(count.load(), 100);
+    EXPECT_EQ(pool.activeGroupCount(), 0u);
+
+    // Reusable after the drain.
+    group.submit([&] { ++count; });
+    group.wait();
+    EXPECT_EQ(count.load(), 101);
+}
+
+TEST(TaskGroup, ExceptionIsPerGroupNotPoolWide)
+{
+    ThreadPool pool(2);
+    TaskGroup bad(pool);
+    TaskGroup good(pool);
+    std::atomic<int> count{ 0 };
+    bad.submit([] { throw std::runtime_error("group error"); });
+    for (int i = 0; i < 10; ++i)
+        good.submit([&] { ++count; });
+    EXPECT_THROW(bad.wait(), std::runtime_error);
+    good.wait();                // must NOT rethrow bad's error
+    EXPECT_EQ(count.load(), 10);
+    bad.wait();                 // cleared after the rethrow
+}
+
+TEST(TaskGroup, LoneGroupGetsTheWholePool)
+{
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    Gate gate;
+    std::atomic<int> running{ 0 };
+    std::atomic<int> peak{ 0 };
+    for (int i = 0; i < 8; ++i)
+        group.submit([&] {
+            int now = ++running;
+            int prev = peak.load();
+            while (now > prev && !peak.compare_exchange_weak(prev,
+                                                             now))
+                ;
+            gate.await();
+            --running;
+        });
+    // All four workers should eventually be busy with this group;
+    // a lone group's share is the full pool.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (peak.load() < 4 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    gate.open();
+    group.wait();
+    EXPECT_EQ(peak.load(), 4);
+    EXPECT_EQ(group.peakReleased(), 4u);
+}
+
+TEST(TaskGroup, ConcurrentGroupsAreBoundedToTheirShare)
+{
+    ThreadPool pool(4);
+
+    // Pin one competitor active for the whole measurement.
+    TaskGroup other(pool);
+    Gate gate;
+    other.submit([&] { gate.await(); });
+
+    // With two equal-weight active groups on four workers each share
+    // is ceil(4/2) = 2: however many tasks this group floods in, at
+    // most two may ever be on the pool at once.
+    TaskGroup group(pool);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 64; ++i)
+        group.submit([&] { ++count; });
+    group.wait();
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_LE(group.peakReleased(), 2u);
+
+    gate.open();
+    other.wait();
+    EXPECT_EQ(pool.activeGroupCount(), 0u);
+}
+
+TEST(TaskGroup, WeightsSkewTheShares)
+{
+    ThreadPool pool(4);
+
+    // A weight-3 competitor squeezes a weight-1 group to
+    // ceil(4 * 1 / 4) = 1 released task at a time.
+    TaskGroup heavy(pool, 3);
+    Gate gate;
+    heavy.submit([&] { gate.await(); });
+
+    TaskGroup light(pool, 1);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 32; ++i)
+        light.submit([&] { ++count; });
+    light.wait();
+    EXPECT_EQ(count.load(), 32);
+    EXPECT_EQ(light.peakReleased(), 1u);
+
+    gate.open();
+    heavy.wait();
+    EXPECT_LE(heavy.peakReleased(), 3u);
+}
+
+TEST(TaskGroup, NarrowGroupIsNotStarvedByAWideOne)
+{
+    ThreadPool pool(4);
+
+    // A wide group floods the pool with many small tasks; a narrow
+    // group arriving afterwards must finish long before the flood
+    // drains -- fair sharing, not FIFO behind 200 tasks.
+    TaskGroup wide(pool);
+    std::atomic<int> wideDone{ 0 };
+    for (int i = 0; i < 200; ++i)
+        wide.submit([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            ++wideDone;
+        });
+
+    TaskGroup narrow(pool);
+    std::atomic<int> narrowDone{ 0 };
+    for (int i = 0; i < 4; ++i)
+        narrow.submit([&] { ++narrowDone; });
+    narrow.wait();
+
+    EXPECT_EQ(narrowDone.load(), 4);
+    // The wide group still had work left when the narrow one
+    // finished: the narrow group did not queue behind all 200.
+    EXPECT_LT(wideDone.load(), 200);
+    wide.wait();
+    EXPECT_EQ(wideDone.load(), 200);
+}
+
+TEST(TaskGroup, ShareGrowsBackWhenACompetitorDrains)
+{
+    ThreadPool pool(4);
+
+    TaskGroup other(pool);
+    Gate gate;
+    other.submit([&] { gate.await(); });
+
+    TaskGroup group(pool);
+    std::atomic<int> count{ 0 };
+    for (int i = 0; i < 16; ++i)
+        group.submit([&] { ++count; });
+    // other is pinned active; group may or may not have drained yet.
+    EXPECT_GE(pool.activeGroupCount(), 1u);
+
+    // Competitor drains; the survivor's next releases may use the
+    // whole pool again (observable as released width above the old
+    // two-way share on a fresh batch).
+    gate.open();
+    other.wait();
+    group.wait();
+    EXPECT_EQ(count.load(), 16);
+
+    Gate gate2;
+    std::atomic<int> running{ 0 };
+    std::atomic<int> peak{ 0 };
+    for (int i = 0; i < 8; ++i)
+        group.submit([&] {
+            int now = ++running;
+            int prev = peak.load();
+            while (now > prev && !peak.compare_exchange_weak(prev,
+                                                             now))
+                ;
+            gate2.await();
+            --running;
+        });
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (peak.load() < 4 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    gate2.open();
+    group.wait();
+    EXPECT_EQ(peak.load(), 4);
 }
 
 TEST(ParallelMap, ResultsLandInInputOrder)
