@@ -19,8 +19,19 @@
  *                    fetch a finished job's report (byte-identical
  *                    to sweep_cli's default JSON output)
  *     cancel ID      request cancellation
- *     watch ID       stream ndjson status lines until terminal
- *     metrics        the server's obs snapshot
+ *     watch ID       stream ndjson status lines until terminal,
+ *                    then print a latency summary (p50/p90/p99 of
+ *                    every histogram) from the job's own metrics
+ *     metrics [ID]   the server's obs snapshot, or -- with an id --
+ *                    that job's isolated snapshot. --text asks for
+ *                    the OpenMetrics exposition instead of JSON;
+ *                    --check validates the payload (exposition
+ *                    syntax for --text, JSON parse otherwise)
+ *                    before printing and fails loudly when invalid
+ *     trace ID [--out FILE]
+ *                    fetch the job's chrome-trace JSON (load in
+ *                    chrome://tracing); --check parses it and
+ *                    verifies the traceEvents shape first
  *     health         liveness probe
  *     shutdown       ask the daemon to exit gracefully
  *
@@ -38,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/prom.hh"
 #include "serve/exit_codes.hh"
 #include "serve/http.hh"
 #include "sweep/sweep_report.hh"
@@ -56,7 +68,8 @@ usage()
         "usage: sweep_client --port N <command>\n"
         "  submit SPEC.json [--wait] [--out FILE]\n"
         "  status ID | result ID [--out FILE] | cancel ID\n"
-        "  watch ID | metrics | health | shutdown\n";
+        "  watch ID | metrics [ID] [--text] [--check]\n"
+        "  trace ID [--out FILE] [--check] | health | shutdown\n";
 }
 
 /** Read a whole file; empty optional when unreadable. */
@@ -118,6 +131,92 @@ terminalState(const std::string &state)
            state == "cancelled";
 }
 
+/**
+ * Render the histogram quantiles of one metrics snapshot document
+ * (the /jobs/<id>/metrics JSON) as aligned human-readable lines on
+ * stderr. Quietly prints nothing when the document has no
+ * histograms (an obs-disabled build, or a job that recorded none).
+ */
+void
+printHistogramSummary(const std::string &metricsJson)
+{
+    try {
+        JsonValue doc = JsonValue::parse(metricsJson);
+        const JsonValue *metrics = doc.find("metrics");
+        const JsonValue *hists =
+            metrics ? metrics->find("histograms") : nullptr;
+        if (!hists || !hists->isObject())
+            return;
+        for (std::size_t i = 0; i < hists->size(); ++i) {
+            const std::string &name = hists->keyAt(i);
+            const JsonValue &h = hists->memberAt(i);
+            const JsonValue *count = h.find("count");
+            const JsonValue *p50 = h.find("p50");
+            const JsonValue *p90 = h.find("p90");
+            const JsonValue *p99 = h.find("p99");
+            if (!count || !p50 || !p90 || !p99)
+                continue;
+            std::cerr << "  " << name << ": count="
+                      << static_cast<uint64_t>(count->asNumber())
+                      << " p50="
+                      << static_cast<uint64_t>(p50->asNumber())
+                      << " p90="
+                      << static_cast<uint64_t>(p90->asNumber())
+                      << " p99="
+                      << static_cast<uint64_t>(p99->asNumber())
+                      << "\n";
+        }
+    } catch (const std::exception &) {
+        // Unparseable snapshot: the stream already told the story.
+    }
+}
+
+/** Validate a metrics snapshot document: JSON with the expected
+ *  {"metrics":{"counters":...}} envelope. */
+bool
+checkMetricsJson(const std::string &body, std::string &err)
+{
+    try {
+        JsonValue doc = JsonValue::parse(body);
+        const JsonValue *metrics = doc.find("metrics");
+        if (!metrics || !metrics->isObject()) {
+            err = "missing metrics object";
+            return false;
+        }
+        return true;
+    } catch (const std::exception &e) {
+        err = e.what();
+        return false;
+    }
+}
+
+/** Validate a chrome-trace document: JSON with a traceEvents array
+ *  whose entries carry the fields chrome://tracing needs. */
+bool
+checkChromeTrace(const std::string &body, std::string &err)
+{
+    try {
+        JsonValue doc = JsonValue::parse(body);
+        const JsonValue *events = doc.find("traceEvents");
+        if (!events || !events->isArray()) {
+            err = "missing traceEvents";
+            return false;
+        }
+        for (const JsonValue &ev : events->items()) {
+            if (!ev.find("name") || !ev.find("ph") ||
+                !ev.find("ts") || !ev.find("pid") ||
+                !ev.find("tid")) {
+                err = "traceEvents entry missing a required field";
+                return false;
+            }
+        }
+        return true;
+    } catch (const std::exception &e) {
+        err = e.what();
+        return false;
+    }
+}
+
 } // namespace
 
 int
@@ -128,6 +227,8 @@ main(int argc, char **argv)
     std::vector<std::string> args;
     std::string out_path = "-";
     bool wait = false;
+    bool text = false;
+    bool check = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -149,6 +250,10 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--wait") {
             wait = true;
+        } else if (arg == "--text") {
+            text = true;
+        } else if (arg == "--check") {
+            check = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return kExitOk;
@@ -169,12 +274,66 @@ main(int argc, char **argv)
     }
 
     try {
-        if (command == "health" || command == "metrics") {
-            HttpResult res = httpRequest(
-                port, "GET",
-                command == "health" ? "/healthz" : "/metrics");
+        if (command == "health") {
+            HttpResult res = httpRequest(port, "GET", "/healthz");
             std::cout << res.body;
             return res.status == 200 ? kExitOk : kExitRuntime;
+        }
+
+        if (command == "metrics") {
+            if (args.size() > 1) {
+                usage();
+                return kExitUsage;
+            }
+            std::string target =
+                args.empty() ? "/metrics"
+                             : "/jobs/" + args[0] + "/metrics";
+            if (text)
+                target += "?format=prometheus";
+            HttpResult res = httpRequest(port, "GET", target);
+            if (res.status != 200) {
+                std::cerr << "sweep_client: " << res.body;
+                return kExitRuntime;
+            }
+            if (check) {
+                std::string err;
+                bool ok = text
+                              ? obs::validateExposition(res.body,
+                                                        err)
+                              : checkMetricsJson(res.body, err);
+                if (!ok) {
+                    std::cerr << "sweep_client: invalid metrics "
+                                 "payload: "
+                              << err << "\n";
+                    return kExitRuntime;
+                }
+            }
+            std::cout << res.body;
+            return kExitOk;
+        }
+
+        if (command == "trace") {
+            if (args.size() != 1) {
+                usage();
+                return kExitUsage;
+            }
+            HttpResult res = httpRequest(
+                port, "GET", "/jobs/" + args[0] + "/trace");
+            if (res.status != 200) {
+                std::cerr << "sweep_client: " << res.body;
+                return kExitRuntime;
+            }
+            if (check) {
+                std::string err;
+                if (!checkChromeTrace(res.body, err)) {
+                    std::cerr << "sweep_client: invalid trace "
+                                 "document: "
+                              << err << "\n";
+                    return kExitRuntime;
+                }
+            }
+            writeTextFile(out_path, res.body);
+            return kExitOk;
         }
 
         if (command == "shutdown") {
@@ -299,6 +458,15 @@ main(int argc, char **argv)
             if (status != 200) {
                 std::cerr << "sweep_client: " << err;
                 return kExitRuntime;
+            }
+            // The stream ended at a terminal state: close with the
+            // job's own latency profile (histograms live in its
+            // frozen per-job snapshot, not the global one).
+            HttpResult metrics = httpRequest(
+                port, "GET", "/jobs/" + args[0] + "/metrics");
+            if (metrics.status == 200) {
+                std::cerr << "job " << args[0] << " latency:\n";
+                printHistogramSummary(metrics.body);
             }
             return kExitOk;
         }

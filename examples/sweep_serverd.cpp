@@ -38,6 +38,12 @@
  *   --no-simd          force the scalar replay kernels (the
  *                      active dispatch shows on /metrics as the
  *                      sweep.simd.<name> info gauge)
+ *   --log-level L      structured event-log threshold: debug, info,
+ *                      warn, error or off                 [info]
+ *   --log-file FILE    append JSON event lines (one object per
+ *                      line: job lifecycle, admission rejections,
+ *                      HTTP access log) to FILE instead of stderr
+ *                      ("-" = stderr)
  *   --quiet            no startup/shutdown chatter on stderr
  *
  * The daemon exits 0 after POST /shutdown and 130 after SIGINT or
@@ -52,6 +58,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/log.hh"
 #include "obs/obs.hh"
 #include "serve/exit_codes.hh"
 #include "serve/server.hh"
@@ -76,6 +83,7 @@ usage()
         "                     [--result-cache-entries N]\n"
         "                     [--result-cache-bytes BYTES]\n"
         "                     [--retain-jobs N] [--retain-bytes BYTES]\n"
+        "                     [--log-level LVL] [--log-file FILE]\n"
         "                     [--no-simd] [--quiet]\n";
 }
 
@@ -86,6 +94,8 @@ main(int argc, char **argv)
 {
     ServerConfig cfg;
     std::string port_file;
+    std::string log_file;
+    obs::LogLevel log_level = obs::LogLevel::Info;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -130,6 +140,17 @@ main(int argc, char **argv)
                 cfg.limits.batchedReplay = true;
             } else if (arg == "--no-simd") {
                 simd::setLevel(simd::Level::Scalar);
+            } else if (arg == "--log-level") {
+                std::string lvl = next();
+                auto parsed = obs::parseLogLevel(lvl);
+                if (!parsed) {
+                    std::cerr << "sweep_serverd: bad log level: "
+                              << lvl << "\n";
+                    return kExitUsage;
+                }
+                log_level = *parsed;
+            } else if (arg == "--log-file") {
+                log_file = next();
             } else if (arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -151,6 +172,20 @@ main(int argc, char **argv)
     // The service's own counters should always be live on /metrics,
     // whatever the obs default is for batch tools.
     obs::setEnabled(true);
+
+    // The daemon logs by default (batch CLIs stay silent: the event
+    // log's process-wide default level is Off).
+    try {
+        obs::EventLog::instance().configure(log_level, log_file);
+    } catch (const std::exception &e) {
+        std::cerr << "sweep_serverd: " << e.what() << "\n";
+        return kExitUsage;
+    }
+    obs::LogEvent(obs::LogLevel::Info, "daemon.start")
+        .num("threads",
+             static_cast<uint64_t>(cfg.limits.threads))
+        .num("max_active_jobs",
+             static_cast<uint64_t>(cfg.limits.maxActiveJobs));
 
     // Advertise the active replay dispatch on /metrics from startup:
     // an info-style gauge carries the name, the width gauge the lane
@@ -189,6 +224,8 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
     bool signalled = stop_token.cancelled();
+    obs::LogEvent(obs::LogLevel::Info, "daemon.stop")
+        .str("reason", signalled ? "signal" : "shutdown-endpoint");
     if (!quiet)
         std::cerr << "sweep_serverd: "
                   << (signalled ? "signal received" : "/shutdown")

@@ -118,8 +118,8 @@ TraceCache::get(const std::string &name)
     // Generate outside the map lock so distinct traces can be built
     // concurrently; call_once serializes builders of the same trace.
     std::call_once(entry->once, [&] {
-        static obs::Timer &gen_t = obs::timer("trace.generate");
-        obs::ScopedTimer span(gen_t, "generate " + name);
+        obs::ScopedTimer span("trace.generate",
+                              "generate " + name);
         entry->trace = specTrace(name, ninsts_);
         obs::flushCounter("trace.cache.builds", 1);
     });
@@ -159,8 +159,8 @@ TraceCache::decoded(const std::string &name, const ICacheConfig &geom)
         if (artifacts_)
             dec = artifacts_->load(akey, geom);
         if (!dec) {
-            static obs::Timer &dec_t = obs::timer("trace.decode");
-            obs::ScopedTimer span(dec_t, "decode " + name);
+            obs::ScopedTimer span("trace.decode",
+                                  "decode " + name);
             dec = std::make_shared<const DecodedTrace>(
                 DecodedTrace::build(get(name), geom));
             obs::flushCounter("trace.cache.decoded_builds", 1);
@@ -243,7 +243,6 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
     SuiteResult result;
     FetchSimulator sim(cfg);
 
-    static obs::Timer &replay_t = obs::timer("suite.replay");
     const std::vector<std::string> &run_names =
         names.empty() ? specAllNames() : names;
     for (const auto &name : run_names) {
@@ -251,7 +250,8 @@ runSuite(const SimConfig &cfg, TraceCache &traces,
             cancel->throwIfCancelled("suite run cancelled");
         FetchStats s;
         {
-            obs::ScopedTimer span(replay_t);
+            obs::ScopedTimer span("suite.replay",
+                                  "replay " + name);
             s = shared_decode
                 ? sim.run(*traces.decoded(name, cfg.engine.icache))
                 : sim.run(traces.get(name));

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
-#include <mutex>
+
+#include "obs/obs.hh"
 
 namespace mbbp::obs
 {
@@ -47,22 +47,75 @@ namespace
 
 std::atomic<bool> g_attribution{ false };
 
-struct Table
-{
-    std::mutex mutex;
-    // Ordered by key so iteration (and therefore tie-free slices of
-    // attributionRows) is deterministic regardless of insert order.
-    std::map<uint64_t, AttributionRow> rows;
-};
+} // namespace
 
-Table &
-table()
+void
+AttributionTable::mergeCell(
+    uint64_t key, uint64_t events, uint64_t cycles,
+    const std::array<uint64_t, kNumLossCauses> &by_cause)
 {
-    static Table t;
-    return t;
+    std::lock_guard<std::mutex> lock(mutex_);
+    AttributionRow &row = rows_[key];
+    row.blockPc = key >> 3;
+    row.slot = static_cast<unsigned>(key & 7u);
+    row.events += events;
+    row.cycles += cycles;
+    for (std::size_t i = 0; i < kNumLossCauses; ++i)
+        row.byCause[i] += by_cause[i];
 }
 
-} // namespace
+std::vector<AttributionRow>
+AttributionTable::rows(std::size_t top_n) const
+{
+    std::vector<AttributionRow> rows;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rows.reserve(rows_.size());
+        for (const auto &[key, row] : rows_)
+            rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const AttributionRow &a, const AttributionRow &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  if (a.events != b.events)
+                      return a.events > b.events;
+                  if (a.blockPc != b.blockPc)
+                      return a.blockPc < b.blockPc;
+                  return a.slot < b.slot;
+              });
+    if (top_n != 0 && rows.size() > top_n)
+        rows.resize(top_n);
+    return rows;
+}
+
+uint64_t
+AttributionTable::totalEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t n = 0;
+    for (const auto &[key, row] : rows_)
+        n += row.events;
+    return n;
+}
+
+std::array<uint64_t, kNumLossCauses>
+AttributionTable::eventsByCause() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::array<uint64_t, kNumLossCauses> out{};
+    for (const auto &[key, row] : rows_)
+        for (std::size_t i = 0; i < kNumLossCauses; ++i)
+            out[i] += row.byCause[i];
+    return out;
+}
+
+void
+AttributionTable::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows_.clear();
+}
 
 bool
 attributionEnabled()
@@ -88,16 +141,13 @@ AttributionSink::flush()
 {
     if (cells_.empty())
         return;
-    Table &t = table();
-    std::lock_guard<std::mutex> lock(t.mutex);
-    for (const auto &[key, cell] : cells_) {
-        AttributionRow &row = t.rows[key];
-        row.blockPc = key >> 3;
-        row.slot = static_cast<unsigned>(key & 7u);
-        row.events += cell.events;
-        row.cycles += cell.cycles;
-        for (std::size_t i = 0; i < kNumLossCauses; ++i)
-            row.byCause[i] += cell.byCause[i];
+    // Same chain discipline as flushCounter: the job's isolated table
+    // and every ancestor aggregate each get the full merge, once per
+    // run.
+    for (Domain *d = &currentDomain(); d; d = d->parent()) {
+        AttributionTable &t = d->attribution();
+        for (const auto &[key, cell] : cells_)
+            t.mergeCell(key, cell.events, cell.cycles, cell.byCause);
     }
     cells_.clear();
 }
@@ -105,58 +155,25 @@ AttributionSink::flush()
 std::vector<AttributionRow>
 attributionRows(std::size_t top_n)
 {
-    std::vector<AttributionRow> rows;
-    {
-        Table &t = table();
-        std::lock_guard<std::mutex> lock(t.mutex);
-        rows.reserve(t.rows.size());
-        for (const auto &[key, row] : t.rows)
-            rows.push_back(row);
-    }
-    std::sort(rows.begin(), rows.end(),
-              [](const AttributionRow &a, const AttributionRow &b) {
-                  if (a.cycles != b.cycles)
-                      return a.cycles > b.cycles;
-                  if (a.events != b.events)
-                      return a.events > b.events;
-                  if (a.blockPc != b.blockPc)
-                      return a.blockPc < b.blockPc;
-                  return a.slot < b.slot;
-              });
-    if (top_n != 0 && rows.size() > top_n)
-        rows.resize(top_n);
-    return rows;
+    return defaultDomain().attribution().rows(top_n);
 }
 
 void
 resetAttribution()
 {
-    Table &t = table();
-    std::lock_guard<std::mutex> lock(t.mutex);
-    t.rows.clear();
+    defaultDomain().attribution().clear();
 }
 
 uint64_t
 attributedEvents()
 {
-    Table &t = table();
-    std::lock_guard<std::mutex> lock(t.mutex);
-    uint64_t n = 0;
-    for (const auto &[key, row] : t.rows)
-        n += row.events;
-    return n;
+    return defaultDomain().attribution().totalEvents();
 }
 
 std::array<uint64_t, kNumLossCauses>
 attributedEventsByCause()
 {
-    Table &t = table();
-    std::lock_guard<std::mutex> lock(t.mutex);
-    std::array<uint64_t, kNumLossCauses> out{};
-    for (const auto &[key, row] : t.rows)
-        for (std::size_t i = 0; i < kNumLossCauses; ++i)
-            out[i] += row.byCause[i];
-    return out;
+    return defaultDomain().attribution().eventsByCause();
 }
 
 #endif // MBBP_OBS_DISABLED

@@ -18,6 +18,12 @@
  * The table is additive and order-independent, so sweeps merging
  * from a thread pool stay deterministic: attributionRows() imposes a
  * total order (cycles desc, events desc, blockPc asc, slot asc).
+ *
+ * Tables are per-domain (obs::Domain::attribution()): a sink flush
+ * walks the calling thread's current-domain chain, so a run executing
+ * under a job's ScopedDomain charges the job's isolated table *and*
+ * the process-wide one. The free functions below keep addressing the
+ * default domain's table, exactly the pre-domain behavior.
  */
 
 #ifndef MBBP_OBS_ATTRIBUTION_HH
@@ -25,6 +31,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -77,6 +85,44 @@ void setAttributionEnabled(bool on);
 /** @} */
 
 /**
+ * One domain's merged attribution state: a mutex-guarded map keyed by
+ * (block_pc << 3) | slot, ordered so iteration (and therefore
+ * tie-free slices of rows()) is deterministic regardless of insert
+ * order. Merging is commutative, so totals are thread-count- and
+ * schedule-invariant.
+ */
+class AttributionTable
+{
+  public:
+    AttributionTable() = default;
+
+    AttributionTable(const AttributionTable &) = delete;
+    AttributionTable &operator=(const AttributionTable &) = delete;
+
+    /** Merge one accumulated cell (additive across calls). */
+    void mergeCell(uint64_t key, uint64_t events, uint64_t cycles,
+                   const std::array<uint64_t, kNumLossCauses> &by_cause);
+
+    /**
+     * The top @p top_n sites by penalty cycles (0 = all), sorted
+     * cycles desc, events desc, blockPc asc, slot asc.
+     */
+    std::vector<AttributionRow> rows(std::size_t top_n) const;
+
+    /** @{ Totals across the whole table. */
+    uint64_t totalEvents() const;
+    std::array<uint64_t, kNumLossCauses> eventsByCause() const;
+    /** @} */
+
+    /** Drop every attributed site. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<uint64_t, AttributionRow> rows_;
+};
+
+/**
  * A per-run accumulator owned by one engine run (single writer, no
  * locking on the hot path). Captures the enabled flag at
  * construction so one run is attributed all-or-nothing; flushes into
@@ -127,17 +173,19 @@ class AttributionSink
 };
 
 /**
- * The top @p top_n sites by penalty cycles (0 = all), in the
- * deterministic total order documented above. Merging across sink
- * flushes is commutative, so the result is thread-count-invariant.
+ * The top @p top_n sites by penalty cycles (0 = all) from the DEFAULT
+ * domain's table, in the deterministic total order documented above.
+ * Merging across sink flushes is commutative, so the result is
+ * thread-count-invariant.
  */
 std::vector<AttributionRow> attributionRows(std::size_t top_n);
 
-/** Drop every attributed site (sweep-to-sweep hygiene). */
+/** Drop the default domain's attributed sites (sweep hygiene). */
 void resetAttribution();
 
-/** @{ Test hooks: totals across the whole table, for checking the
- *  attributed == aggregate-FetchStats invariant field-exactly. */
+/** @{ Test hooks: totals across the default domain's table, for
+ *  checking the attributed == aggregate-FetchStats invariant
+ *  field-exactly. */
 uint64_t attributedEvents();
 std::array<uint64_t, kNumLossCauses> attributedEventsByCause();
 /** @} */
@@ -146,6 +194,25 @@ std::array<uint64_t, kNumLossCauses> attributedEventsByCause();
 
 inline bool attributionEnabled() { return false; }
 inline void setAttributionEnabled(bool) {}
+
+class AttributionTable
+{
+  public:
+    void mergeCell(uint64_t, uint64_t, uint64_t,
+                   const std::array<uint64_t, kNumLossCauses> &)
+    {
+    }
+    std::vector<AttributionRow> rows(std::size_t) const
+    {
+        return {};
+    }
+    uint64_t totalEvents() const { return 0; }
+    std::array<uint64_t, kNumLossCauses> eventsByCause() const
+    {
+        return {};
+    }
+    void clear() {}
+};
 
 class AttributionSink
 {

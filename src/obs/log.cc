@@ -1,0 +1,185 @@
+#include "obs/log.hh"
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <stdexcept>
+
+#include "util/json.hh"
+#include "util/number_format.hh"
+
+namespace mbbp::obs
+{
+
+const char *
+logLevelName(LogLevel lvl)
+{
+    switch (lvl) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        break;
+    }
+    return "off";
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &s)
+{
+    if (s == "debug")
+        return LogLevel::Debug;
+    if (s == "info")
+        return LogLevel::Info;
+    if (s == "warn" || s == "warning")
+        return LogLevel::Warn;
+    if (s == "error")
+        return LogLevel::Error;
+    if (s == "off" || s == "none")
+        return LogLevel::Off;
+    return std::nullopt;
+}
+
+EventLog &
+EventLog::instance()
+{
+    // Leaked on purpose, like the default obs domain: worker threads
+    // may emit during any static-destruction order.
+    static EventLog *log = new EventLog();
+    return *log;
+}
+
+EventLog::~EventLog()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+EventLog::configure(LogLevel level, const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    if (!path.empty() && path != "-") {
+        file_ = std::fopen(path.c_str(), "ab");
+        if (!file_)
+            throw std::runtime_error("cannot open log file: " + path);
+    }
+    level_.store(static_cast<uint8_t>(level),
+                 std::memory_order_relaxed);
+}
+
+void
+EventLog::write(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::FILE *out = file_ ? file_ : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+    std::fflush(out);
+}
+
+namespace
+{
+
+/** Wall-clock now as "2026-08-08T12:34:56.789Z". */
+std::string
+isoTimestampUtc()
+{
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    auto ms = duration_cast<milliseconds>(now.time_since_epoch())
+                  .count() %
+              1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[64];
+    std::snprintf(buf, sizeof buf,
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+} // namespace
+
+LogEvent::LogEvent(LogLevel lvl, std::string event)
+    : live_(lvl != LogLevel::Off &&
+            EventLog::instance().wants(lvl)),
+      level_(lvl), event_(std::move(event))
+{
+}
+
+LogEvent &
+LogEvent::str(const std::string &key, const std::string &value)
+{
+    if (live_) {
+        std::string rendered = "\"";
+        rendered += JsonWriter::escape(value);
+        rendered += '"';
+        fields_.push_back({ key, std::move(rendered) });
+    }
+    return *this;
+}
+
+LogEvent &
+LogEvent::num(const std::string &key, uint64_t value)
+{
+    if (live_)
+        fields_.push_back({ key, std::to_string(value) });
+    return *this;
+}
+
+LogEvent &
+LogEvent::num(const std::string &key, double value)
+{
+    if (live_)
+        fields_.push_back({ key, std::isfinite(value)
+                                     ? formatDouble(value)
+                                     : std::string("null") });
+    return *this;
+}
+
+LogEvent &
+LogEvent::boolean(const std::string &key, bool value)
+{
+    if (live_)
+        fields_.push_back({ key, value ? "true" : "false" });
+    return *this;
+}
+
+LogEvent &
+LogEvent::job(uint64_t id)
+{
+    return num("job", id);
+}
+
+LogEvent::~LogEvent()
+{
+    if (!live_)
+        return;
+    std::string line = "{\"ts\":\"" + isoTimestampUtc() +
+                       "\",\"level\":\"" + logLevelName(level_) +
+                       "\",\"event\":\"" +
+                       JsonWriter::escape(event_) + "\"";
+    for (const Field &f : fields_) {
+        line += ",\"";
+        line += JsonWriter::escape(f.key);
+        line += "\":";
+        line += f.rendered;
+    }
+    line += "}";
+    EventLog::instance().write(line);
+}
+
+} // namespace mbbp::obs

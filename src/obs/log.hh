@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured JSON event logging for the service surface: one
+ * self-contained JSON object per line, leveled, wall-clock
+ * timestamped (UTC, millisecond ISO-8601), with free-form string /
+ * number / boolean fields and a first-class job-id tag so a job's
+ * whole lifecycle greps out of a shared log with one pattern.
+ *
+ * Deliberately minimal by design:
+ *
+ *  - rotation-free append to one sink (stderr by default, or the
+ *    daemon's --log-file); external tooling owns rotation;
+ *  - the default level is Off, so library code can log
+ *    unconditionally and the CLIs stay byte-identical unless a user
+ *    opts in with --log-level;
+ *  - NOT gated by MBBP_OBS_DISABLED: logs are the service's flight
+ *    recorder, wanted precisely when the metrics layer is compiled
+ *    out. A level check is one relaxed load.
+ *
+ * Usage: LogEvent(LogLevel::Info, "job.completed").job(id)
+ *            .str("state", "done").num("jobs", n);
+ * emits on destruction (nothing at all if the level is filtered).
+ */
+
+#ifndef MBBP_OBS_LOG_HH
+#define MBBP_OBS_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbbp::obs
+{
+
+enum class LogLevel : uint8_t
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+    Off,
+};
+
+/** Stable lower-case token ("debug", "info", ...). */
+const char *logLevelName(LogLevel lvl);
+
+/** Parse a token as emitted by logLevelName ("off" included). */
+std::optional<LogLevel> parseLogLevel(const std::string &s);
+
+/**
+ * The process-wide sink. configure() is expected at startup (flag
+ * parsing), before concurrent logging begins; emission itself is
+ * mutex-serialized and flushed per line, so concurrent writers
+ * interleave whole records, never bytes.
+ */
+class EventLog
+{
+  public:
+    static EventLog &instance();
+
+    /**
+     * Set the level and sink. @p path "" or "-" means stderr; a file
+     * path is opened for append (rotation-free). Throws
+     * std::runtime_error if the file cannot be opened.
+     */
+    void configure(LogLevel level, const std::string &path);
+
+    LogLevel level() const
+    {
+        return static_cast<LogLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    bool wants(LogLevel lvl) const { return lvl >= level(); }
+
+    /** Append one complete line (newline added) and flush. */
+    void write(const std::string &line);
+
+  private:
+    EventLog() = default;
+    ~EventLog();
+
+    std::atomic<uint8_t> level_{
+        static_cast<uint8_t>(LogLevel::Off)
+    };
+    std::mutex mutex_;
+    std::FILE *file_ = nullptr;     //!< null = stderr
+};
+
+/**
+ * One event, built fluently and emitted on destruction. Fields keep
+ * insertion order after the fixed prefix
+ * {"ts":...,"level":...,"event":...}. When the level is filtered the
+ * builder never allocates beyond its members and emits nothing.
+ */
+class LogEvent
+{
+  public:
+    LogEvent(LogLevel lvl, std::string event);
+    ~LogEvent();
+
+    LogEvent(const LogEvent &) = delete;
+    LogEvent &operator=(const LogEvent &) = delete;
+
+    LogEvent &str(const std::string &key, const std::string &value);
+    LogEvent &num(const std::string &key, uint64_t value);
+    LogEvent &num(const std::string &key, double value);
+    LogEvent &boolean(const std::string &key, bool value);
+
+    /** The canonical job tag: {"job":<id>}. */
+    LogEvent &job(uint64_t id);
+
+  private:
+    struct Field
+    {
+        std::string key;
+        std::string rendered;   //!< value pre-rendered as JSON
+    };
+
+    bool live_;
+    LogLevel level_;
+    std::string event_;
+    std::vector<Field> fields_;
+};
+
+} // namespace mbbp::obs
+
+#endif // MBBP_OBS_LOG_HH

@@ -9,7 +9,12 @@ namespace mbbp::obs
 void
 writeMetricsJson(JsonWriter &w)
 {
-    Snapshot snap = snapshot();
+    writeMetricsJson(w, snapshot());
+}
+
+void
+writeMetricsJson(JsonWriter &w, const Snapshot &snap)
+{
     w.beginObject("metrics");
     w.beginObject("counters");
     for (const CounterSample &c : snap.counters)
@@ -50,9 +55,15 @@ writeMetricsJson(JsonWriter &w)
 std::string
 snapshotJson()
 {
+    return snapshotJson(snapshot());
+}
+
+std::string
+snapshotJson(const Snapshot &snap)
+{
     JsonWriter w;
     w.beginObject();
-    writeMetricsJson(w);
+    writeMetricsJson(w, snap);
     w.endObject();
     return w.str() + "\n";
 }

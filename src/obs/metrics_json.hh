@@ -20,20 +20,26 @@ class JsonWriter;
 namespace obs
 {
 
+struct Snapshot;
+
 /**
  * Append the registry snapshot as a "metrics" object member to an
  * open object in @p w: counters (name -> value), gauges (value +
  * peak), timers (calls + total_ns) and histograms (count/sum/max/
  * mean/p50/p90/p99). Name-sorted, deterministic for a given code
- * path.
+ * path. The parameterless form renders the default domain; the
+ * Snapshot form renders any captured snapshot (per-job domains, the
+ * frozen metrics of a finished job).
  */
 void writeMetricsJson(JsonWriter &w);
+void writeMetricsJson(JsonWriter &w, const Snapshot &snap);
 
 /**
  * The snapshot as a standalone document: `{"metrics":{...}}` with a
  * trailing newline -- the /metrics response body.
  */
 std::string snapshotJson();
+std::string snapshotJson(const Snapshot &snap);
 
 } // namespace obs
 

@@ -4,11 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <stdexcept>
 
+#include "obs/attribution.hh"
 #include "util/json.hh"
 
 namespace mbbp::obs
@@ -28,54 +26,6 @@ threadSlot()
     return slot;
 }
 
-namespace
-{
-
-/** One span, recorded when tracing() is on. */
-struct Span
-{
-    std::string name;
-    unsigned tid = 0;
-    uint64_t startNs = 0;
-    uint64_t durNs = 0;
-};
-
-/**
- * The process-wide registry. Instruments are keyed (and therefore
- * snapshot-ordered) by name; references handed out are stable
- * because entries are heap-allocated and never erased.
- */
-struct Registry
-{
-    std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Timer>> timers;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
-    std::vector<Span> spans;
-};
-
-Registry &
-registry()
-{
-    static Registry r;
-    return r;
-}
-
-template <typename T>
-T &
-lookup(std::map<std::string, std::unique_ptr<T>> &map,
-       const std::string &name)
-{
-    Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    auto it = map.find(name);
-    if (it == map.end())
-        it = map.emplace(name, std::make_unique<T>(name)).first;
-    return *it->second;
-}
-
-} // namespace
 } // namespace detail
 
 void
@@ -84,10 +34,16 @@ setEnabled(bool on)
     detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+bool
+tracing()
+{
+    return defaultDomain().tracingOn();
+}
+
 void
 setTracing(bool on)
 {
-    detail::g_tracing.store(on, std::memory_order_relaxed);
+    defaultDomain().setTracing(on);
 }
 
 uint64_t
@@ -197,28 +153,214 @@ Histogram::reset()
     }
 }
 
+Domain::Domain(std::string label, Domain *parent)
+    : label_(std::move(label)), parent_(parent)
+{
+}
+
+Domain::~Domain() = default;
+
+template <typename T>
+T &
+Domain::lookup(std::map<std::string, std::unique_ptr<T>> &map,
+               const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map.find(name);
+    if (it == map.end())
+        it = map.emplace(name, std::make_unique<T>(name)).first;
+    return *it->second;
+}
+
+Counter &
+Domain::counter(const std::string &name)
+{
+    return lookup(counters_, name);
+}
+
+Gauge &
+Domain::gauge(const std::string &name)
+{
+    return lookup(gauges_, name);
+}
+
+Timer &
+Domain::timer(const std::string &name)
+{
+    return lookup(timers_, name);
+}
+
+Histogram &
+Domain::histogram(const std::string &name)
+{
+    return lookup(histograms_, name);
+}
+
+Snapshot
+Domain::snapshot() const
+{
+    // The maps are never mutated except to insert, and values are
+    // internally synchronized; the lock only pins the map shape.
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        snap.counters.push_back({ name, c->value() });
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.push_back({ name, g->value(), g->peak() });
+    for (const auto &[name, t] : timers_)
+        snap.timers.push_back({ name, t->calls(), t->totalNs() });
+    for (const auto &[name, h] : histograms_)
+        snap.histograms.push_back(h->sample());
+    return snap;
+}
+
+void
+Domain::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, t] : timers_)
+        t->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+    spans_.clear();
+    if (attribution_)
+        attribution_->clear();
+}
+
+void
+Domain::setTracing(bool on)
+{
+    tracing_.store(on, std::memory_order_relaxed);
+}
+
+void
+Domain::setSpanLimit(std::size_t max_spans)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spanLimit_ = max_spans;
+}
+
+void
+Domain::recordSpan(std::string name, unsigned tid,
+                   uint64_t start_ns, uint64_t dur_ns)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (spanLimit_ == 0 || spans_.size() < spanLimit_) {
+            detail::Span span;
+            span.name = std::move(name);
+            span.tid = tid;
+            span.startNs = start_ns;
+            span.durNs = dur_ns;
+            spans_.push_back(std::move(span));
+            return;
+        }
+    }
+    // Dropped for capacity: count it OUTSIDE the span lock (counter
+    // lookup takes the same mutex).
+    counter("obs.spans_dropped").add(1);
+}
+
+std::size_t
+Domain::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void
+Domain::clearSpans()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+}
+
+std::string
+Domain::chromeTraceJson(const std::string &trace_id) const
+{
+    std::vector<detail::Span> spans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        spans = spans_;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (const detail::Span &s : spans) {
+        w.beginObject();
+        w.value("name", s.name);
+        w.value("cat", "mbbp");
+        w.value("ph", "X");
+        // chrome://tracing wants microseconds.
+        w.value("ts", static_cast<double>(s.startNs) / 1e3);
+        w.value("dur", static_cast<double>(s.durNs) / 1e3);
+        w.value("pid", uint64_t{ 1 });
+        w.value("tid", uint64_t{ s.tid });
+        w.endObject();
+    }
+    w.endArray();
+    w.value("displayTimeUnit", "ms");
+    if (!trace_id.empty()) {
+        w.beginObject("otherData");
+        w.value("traceId", trace_id);
+        if (!label_.empty())
+            w.value("domain", label_);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+AttributionTable &
+Domain::attribution()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!attribution_)
+        attribution_ = std::make_unique<AttributionTable>();
+    return *attribution_;
+}
+
+const AttributionTable &
+Domain::attribution() const
+{
+    return const_cast<Domain *>(this)->attribution();
+}
+
+Domain &
+defaultDomain()
+{
+    // Leaked on purpose: worker threads and static-cached instrument
+    // references may outlive any particular static-destruction order.
+    static Domain *root = new Domain();
+    return *root;
+}
+
 Counter &
 counter(const std::string &name)
 {
-    return detail::lookup(detail::registry().counters, name);
+    return defaultDomain().counter(name);
 }
 
 Gauge &
 gauge(const std::string &name)
 {
-    return detail::lookup(detail::registry().gauges, name);
+    return defaultDomain().gauge(name);
 }
 
 Timer &
 timer(const std::string &name)
 {
-    return detail::lookup(detail::registry().timers, name);
+    return defaultDomain().timer(name);
 }
 
 Histogram &
 histogram(const std::string &name)
 {
-    return detail::lookup(detail::registry().histograms, name);
+    return defaultDomain().histogram(name);
 }
 
 uint64_t
@@ -238,120 +380,120 @@ ScopedTimer::~ScopedTimer()
         return;
     uint64_t end = nowNs();
     uint64_t dur = end - startNs_;
-    timer_.record(dur);
-    if (!tracing())
-        return;
-    detail::Span span;
-    span.name = label_.empty() ? timer_.name() : label_;
-    span.tid = detail::threadSlot();
-    span.startNs = startNs_;
-    span.durNs = dur;
-    detail::Registry &r = detail::registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    r.spans.push_back(std::move(span));
+    if (timer_)
+        timer_->record(dur);
+    else
+        flushTimer(name_, dur);
+    const std::string &span_name =
+        !label_.empty() ? label_ : (timer_ ? timer_->name() : name_);
+    unsigned tid = detail::threadSlot();
+    for (Domain *d = &currentDomain(); d; d = d->parent())
+        if (d->tracingOn())
+            d->recordSpan(span_name, tid, startNs_, dur);
 }
 
 Snapshot
 snapshot()
 {
-    // The maps are never mutated except to insert, and values are
-    // internally synchronized; the lock only pins the map shape.
-    Snapshot snap;
-    detail::Registry &r = detail::registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    for (const auto &[name, c] : r.counters)
-        snap.counters.push_back({ name, c->value() });
-    for (const auto &[name, g] : r.gauges)
-        snap.gauges.push_back({ name, g->value(), g->peak() });
-    for (const auto &[name, t] : r.timers)
-        snap.timers.push_back({ name, t->calls(), t->totalNs() });
-    for (const auto &[name, h] : r.histograms)
-        snap.histograms.push_back(h->sample());
-    return snap;
+    return defaultDomain().snapshot();
 }
 
 void
 resetAll()
 {
-    detail::Registry &r = detail::registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    for (auto &[name, c] : r.counters)
-        c->reset();
-    for (auto &[name, g] : r.gauges)
-        g->reset();
-    for (auto &[name, t] : r.timers)
-        t->reset();
-    for (auto &[name, h] : r.histograms)
-        h->reset();
-    r.spans.clear();
+    defaultDomain().reset();
 }
 
 std::size_t
 spanCount()
 {
-    detail::Registry &r = detail::registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    return r.spans.size();
+    return defaultDomain().spanCount();
 }
 
 std::string
 chromeTraceJson()
 {
-    std::vector<detail::Span> spans;
-    {
-        detail::Registry &r = detail::registry();
-        std::lock_guard<std::mutex> lock(r.mutex);
-        spans = r.spans;
-    }
-    JsonWriter w;
-    w.beginObject();
-    w.beginArray("traceEvents");
-    for (const detail::Span &s : spans) {
-        w.beginObject();
-        w.value("name", s.name);
-        w.value("cat", "mbbp");
-        w.value("ph", "X");
-        // chrome://tracing wants microseconds.
-        w.value("ts", static_cast<double>(s.startNs) / 1e3);
-        w.value("dur", static_cast<double>(s.durNs) / 1e3);
-        w.value("pid", uint64_t{ 1 });
-        w.value("tid", uint64_t{ s.tid });
-        w.endObject();
-    }
-    w.endArray();
-    w.value("displayTimeUnit", "ms");
-    w.endObject();
-    return w.str();
+    return defaultDomain().chromeTraceJson();
 }
 
 #else // MBBP_OBS_DISABLED
 
+Domain &
+defaultDomain()
+{
+    static Domain d;
+    return d;
+}
+
 Counter &
-counter(const std::string &)
+Domain::counter(const std::string &)
 {
     static Counter c;
     return c;
 }
 
 Gauge &
-gauge(const std::string &)
+Domain::gauge(const std::string &)
 {
     static Gauge g;
     return g;
 }
 
 Timer &
-timer(const std::string &)
+Domain::timer(const std::string &)
 {
     static Timer t;
     return t;
 }
 
 Histogram &
-histogram(const std::string &)
+Domain::histogram(const std::string &)
 {
     static Histogram h;
     return h;
+}
+
+std::string
+Domain::chromeTraceJson(const std::string &) const
+{
+    return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+}
+
+AttributionTable &
+Domain::attribution()
+{
+    static AttributionTable t;
+    return t;
+}
+
+const AttributionTable &
+Domain::attribution() const
+{
+    return const_cast<Domain *>(this)->attribution();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return defaultDomain().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return defaultDomain().gauge(name);
+}
+
+Timer &
+timer(const std::string &name)
+{
+    return defaultDomain().timer(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return defaultDomain().histogram(name);
 }
 
 uint64_t

@@ -1,9 +1,9 @@
 /**
  * @file
- * Observability layer: named counters, gauges and timers in a
- * process-wide registry, plus RAII scoped timers that double as
- * Chrome-trace spans. Designed so measurement never distorts what it
- * measures:
+ * Observability layer: named counters, gauges, timers and histograms
+ * grouped into registries called *domains*, plus RAII scoped timers
+ * that double as Chrome-trace spans. Designed so measurement never
+ * distorts what it measures:
  *
  *  - everything is OFF by default; a disabled Counter::add() is one
  *    relaxed load and a predictable branch;
@@ -16,8 +16,18 @@
  *    (CMake option MBBP_OBS=OFF), for deployments that want the
  *    instrumentation text gone, not just dormant.
  *
+ * Domains make the layer multi-tenant: the process-wide default
+ * domain behaves exactly like the old global registry, but a service
+ * can instantiate one Domain per request/job (parented to the
+ * default) and install it on the worker thread with ScopedDomain.
+ * The flush helpers then walk the chain -- the job's domain records
+ * its own isolated totals while the default domain keeps the
+ * process-wide aggregate -- at accumulate-then-flush cost only: the
+ * chain is walked once per run, never inside a replay loop.
+ *
  * Snapshots are name-sorted and deterministic for a given code path;
- * spans export as a chrome://tracing "traceEvents" JSON document.
+ * spans export as a chrome://tracing "traceEvents" JSON document per
+ * domain.
  *
  * Counts are exact for up to kStripes (64) concurrently counting
  * threads; beyond that, colliding threads may lose increments (the
@@ -32,11 +42,16 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace mbbp::obs
 {
+
+class AttributionTable;
 
 /**
  * Histograms bucket values by magnitude: bucket 0 holds zeros and
@@ -149,7 +164,6 @@ namespace detail
 {
 
 inline std::atomic<bool> g_enabled{ false };
-inline std::atomic<bool> g_tracing{ false };
 
 /** Small dense id for the calling thread, stable for its lifetime. */
 unsigned threadSlot();
@@ -182,9 +196,19 @@ bump(std::atomic<uint64_t> &cell, uint64_t n)
                std::memory_order_relaxed);
 }
 
+/** One recorded interval; exported as a chrome://tracing slice. */
+struct Span
+{
+    std::string name;
+    unsigned tid = 0;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+};
+
 } // namespace detail
 
-/** @{ Runtime master switch (and the tracing sub-switch). */
+/** @{ Runtime master switch (and the default-domain tracing
+ *  sub-switch; per-domain tracing is Domain::setTracing). */
 inline bool
 enabled()
 {
@@ -193,12 +217,7 @@ enabled()
 
 void setEnabled(bool on);
 
-inline bool
-tracing()
-{
-    return detail::g_tracing.load(std::memory_order_relaxed);
-}
-
+bool tracing();
 void setTracing(bool on);
 /** @} */
 
@@ -323,9 +342,143 @@ class Histogram
     detail::HistStripe stripes_[detail::kStripes];
 };
 
-/** @{ Registry lookup: creates on first use, reference is stable for
- *  the process lifetime. Call sites should cache it in a
- *  function-local static. */
+/**
+ * One instrument registry plus span log and attribution table.
+ *
+ * The process-wide default domain (defaultDomain()) is what the free
+ * functions counter()/gauge()/timer()/histogram()/snapshot() address
+ * -- the pre-domain global registry, unchanged. Additional domains
+ * are cheap to construct and carry a parent pointer; the flush
+ * helpers (flushCounter, flushHistogram, flushTimer, ScopedTimer's
+ * name-based form, AttributionSink::flush) walk the chain from the
+ * calling thread's *current* domain (see ScopedDomain) to the root,
+ * so a job-scoped domain records its isolated share while every
+ * ancestor keeps aggregating.
+ *
+ * Instrument references are stable for the domain's lifetime.
+ * Thread-safe throughout; reading a snapshot concurrently with
+ * recording is the intended use.
+ */
+class Domain
+{
+  public:
+    explicit Domain(std::string label = "",
+                    Domain *parent = nullptr);
+    ~Domain();
+
+    Domain(const Domain &) = delete;
+    Domain &operator=(const Domain &) = delete;
+
+    /** @{ Lookup: creates on first use; reference stays valid for
+     *  the domain's lifetime. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
+    /** @} */
+
+    /** Name-sorted copy of every registered instrument's value. */
+    Snapshot snapshot() const;
+
+    /** Zero every instrument, drop spans and attribution. */
+    void reset();
+
+    Domain *parent() const { return parent_; }
+    const std::string &label() const { return label_; }
+
+    /** @{ Per-domain span recording. Spans are captured when this
+     *  domain's tracing flag is on (the default domain's flag is the
+     *  process-wide setTracing switch). setSpanLimit bounds the span
+     *  log; once full, further spans are dropped and counted on this
+     *  domain's "obs.spans_dropped" counter (0 = unbounded). */
+    void setTracing(bool on);
+    bool tracingOn() const
+    {
+        return tracing_.load(std::memory_order_relaxed);
+    }
+    void setSpanLimit(std::size_t max_spans);
+    void recordSpan(std::string name, unsigned tid,
+                    uint64_t start_ns, uint64_t dur_ns);
+    std::size_t spanCount() const;
+    void clearSpans();
+    /** @} */
+
+    /**
+     * The recorded spans as a chrome://tracing JSON document. A
+     * non-empty @p trace_id is embedded as
+     * {"otherData":{"traceId":...,"domain":<label>}} so a dumped
+     * job trace stays attributable after download.
+     */
+    std::string chromeTraceJson(
+        const std::string &trace_id = std::string()) const;
+
+    /** This domain's per-static-branch attribution share. */
+    AttributionTable &attribution();
+    const AttributionTable &attribution() const;
+
+  private:
+    template <typename T>
+    T &lookup(std::map<std::string, std::unique_ptr<T>> &map,
+              const std::string &name);
+
+    const std::string label_;
+    Domain *const parent_;
+    std::atomic<bool> tracing_{ false };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::vector<detail::Span> spans_;
+    std::size_t spanLimit_ = 0;     //!< 0 = unbounded
+    std::unique_ptr<AttributionTable> attribution_;
+};
+
+/** The process-wide root domain (the old global registry). */
+Domain &defaultDomain();
+
+namespace detail
+{
+inline thread_local Domain *t_current = nullptr;
+}
+
+/** The calling thread's innermost installed domain (default domain
+ *  when none is installed). */
+inline Domain &
+currentDomain()
+{
+    return detail::t_current ? *detail::t_current : defaultDomain();
+}
+
+/**
+ * RAII install of @p d as the calling thread's current domain for
+ * the scope's duration (nullptr = keep whatever is current). Install
+ * one per worker task, not per hot-loop iteration: the flush helpers
+ * read it once per run.
+ */
+class ScopedDomain
+{
+  public:
+    explicit ScopedDomain(Domain *d) : prev_(detail::t_current)
+    {
+        if (d)
+            detail::t_current = d;
+    }
+
+    ~ScopedDomain() { detail::t_current = prev_; }
+
+    ScopedDomain(const ScopedDomain &) = delete;
+    ScopedDomain &operator=(const ScopedDomain &) = delete;
+
+  private:
+    Domain *prev_;
+};
+
+/** @{ Registry lookup on the DEFAULT domain: creates on first use,
+ *  reference is stable for the process lifetime. Call sites that are
+ *  process-global by nature (thread pool, admission control) cache
+ *  it in a function-local static. */
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Timer &timer(const std::string &name);
@@ -335,14 +488,18 @@ Histogram &histogram(const std::string &name);
 /**
  * One-shot bulk add for components that accumulate into plain
  * members on the hot path and publish once per run: a no-op (and no
- * registration) while disabled or when @p n is zero.
+ * registration) while disabled or when @p n is zero. Walks the
+ * current domain chain, so a run executing under a job's
+ * ScopedDomain lands in the job's isolated totals *and* every
+ * ancestor aggregate.
  */
 inline void
 flushCounter(const std::string &name, uint64_t n)
 {
     if (!enabled() || n == 0)
         return;
-    counter(name).add(n);
+    for (Domain *d = &currentDomain(); d; d = d->parent())
+        d->counter(name).add(n);
 }
 
 /** flushCounter's histogram sibling: one bulk merge per run. */
@@ -351,27 +508,60 @@ flushHistogram(const std::string &name, const HistogramData &d)
 {
     if (!enabled() || d.empty())
         return;
-    histogram(name).add(d);
+    for (Domain *dom = &currentDomain(); dom; dom = dom->parent())
+        dom->histogram(name).add(d);
+}
+
+/** flushCounter's timer sibling: one recorded interval per run. */
+inline void
+flushTimer(const std::string &name, uint64_t ns)
+{
+    if (!enabled())
+        return;
+    for (Domain *d = &currentDomain(); d; d = d->parent())
+        d->timer(name).record(ns);
 }
 
 /** Nanoseconds since the process-local epoch (steady clock). */
 uint64_t nowNs();
 
 /**
- * RAII interval: records into @p t and, when tracing() is on, emits
- * a Chrome-trace span named after the timer (or @p label if given).
+ * RAII interval. Two forms:
+ *
+ *  - bound to a concrete Timer (usually a static-cached default-
+ *    domain instrument): records into exactly that timer;
+ *  - bound to a *name*: records through the current domain chain
+ *    (flushTimer), the form for instruments that must attribute
+ *    per job.
+ *
+ * Either way, the span is offered to every domain in the current
+ * chain whose tracing flag is on, named after the timer (or @p label
+ * if given).
  */
 class ScopedTimer
 {
   public:
-    explicit ScopedTimer(Timer &t) : timer_(t)
+    explicit ScopedTimer(Timer &t) : timer_(&t)
     {
         if (enabled())
             startNs_ = nowNs();
     }
 
     ScopedTimer(Timer &t, std::string label)
-        : timer_(t), label_(std::move(label))
+        : timer_(&t), label_(std::move(label))
+    {
+        if (enabled())
+            startNs_ = nowNs();
+    }
+
+    explicit ScopedTimer(std::string name) : name_(std::move(name))
+    {
+        if (enabled())
+            startNs_ = nowNs();
+    }
+
+    ScopedTimer(std::string name, std::string label)
+        : name_(std::move(name)), label_(std::move(label))
     {
         if (enabled())
             startNs_ = nowNs();
@@ -383,24 +573,25 @@ class ScopedTimer
     ScopedTimer &operator=(const ScopedTimer &) = delete;
 
   private:
-    Timer &timer_;
+    Timer *timer_ = nullptr;        //!< null = name-based form
+    std::string name_;
     std::string label_;
     uint64_t startNs_ = UINT64_MAX;     //!< MAX = was disabled
 };
 
-/** Name-sorted copy of every registered instrument's current value. */
+/** Default-domain snapshot (every registered instrument). */
 Snapshot snapshot();
 
-/** Zero every instrument and drop recorded spans. */
+/** Zero the default domain's instruments and drop its spans. */
 void resetAll();
 
-/** The recorded spans as a chrome://tracing JSON document. */
+/** The default domain's spans as a chrome://tracing JSON document. */
 std::string chromeTraceJson();
 
 /** Write chromeTraceJson() to @p path ("-" = stdout). */
 void writeChromeTrace(const std::string &path);
 
-/** Number of spans recorded so far (test/introspection hook). */
+/** Default-domain span count (test/introspection hook). */
 std::size_t spanCount();
 
 #else // MBBP_OBS_DISABLED: the whole layer is inert and inlineable.
@@ -446,6 +637,52 @@ class Histogram
     void reset() {}
 };
 
+class Domain
+{
+  public:
+    explicit Domain(std::string = "", Domain * = nullptr) {}
+
+    Domain(const Domain &) = delete;
+    Domain &operator=(const Domain &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    Snapshot snapshot() const { return {}; }
+    void reset() {}
+    Domain *parent() const { return nullptr; }
+    const std::string &label() const
+    {
+        static const std::string empty;
+        return empty;
+    }
+
+    void setTracing(bool) {}
+    bool tracingOn() const { return false; }
+    void setSpanLimit(std::size_t) {}
+    void recordSpan(std::string, unsigned, uint64_t, uint64_t) {}
+    std::size_t spanCount() const { return 0; }
+    void clearSpans() {}
+    std::string chromeTraceJson(
+        const std::string & = std::string()) const;
+
+    AttributionTable &attribution();
+    const AttributionTable &attribution() const;
+};
+
+Domain &defaultDomain();
+inline Domain &currentDomain() { return defaultDomain(); }
+
+class ScopedDomain
+{
+  public:
+    explicit ScopedDomain(Domain *) {}
+    ScopedDomain(const ScopedDomain &) = delete;
+    ScopedDomain &operator=(const ScopedDomain &) = delete;
+};
+
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Timer &timer(const std::string &name);
@@ -454,6 +691,7 @@ Histogram &histogram(const std::string &name);
 inline void flushCounter(const std::string &, uint64_t) {}
 inline void flushHistogram(const std::string &,
                            const HistogramData &) {}
+inline void flushTimer(const std::string &, uint64_t) {}
 
 uint64_t nowNs();
 
@@ -462,6 +700,8 @@ class ScopedTimer
   public:
     explicit ScopedTimer(Timer &) {}
     ScopedTimer(Timer &, std::string) {}
+    explicit ScopedTimer(std::string) {}
+    ScopedTimer(std::string, std::string) {}
     ScopedTimer(const ScopedTimer &) = delete;
     ScopedTimer &operator=(const ScopedTimer &) = delete;
 };

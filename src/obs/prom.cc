@@ -1,0 +1,350 @@
+#include "obs/prom.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.hh"
+
+namespace mbbp::obs
+{
+
+namespace
+{
+
+bool
+validNameChar(char c, bool first)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        c == '_' || c == ':')
+        return true;
+    return !first && c >= '0' && c <= '9';
+}
+
+/** Append one `# TYPE` line plus its samples. Every value in the obs
+ *  layer is an exact uint64, so formatting is locale-proof
+ *  std::to_string throughout. */
+void
+family(std::string &out, const std::string &name, const char *type)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+void
+sample(std::string &out, const std::string &name, uint64_t v)
+{
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+}
+
+void
+bucketSample(std::string &out, const std::string &name,
+             const std::string &le, uint64_t v)
+{
+    out += name;
+    out += "_bucket{le=\"";
+    out += le;
+    out += "\"} ";
+    out += std::to_string(v);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        if (!validNameChar(c, /*first=*/false))
+            c = '_';
+    // Digits survive sanitization but cannot lead a metric name.
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+const char *
+openMetricsContentType()
+{
+    return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+std::string
+openMetricsText(const Snapshot &snap)
+{
+    std::string out;
+    for (const CounterSample &c : snap.counters) {
+        std::string n = promName(c.name) + "_total";
+        family(out, n, "counter");
+        sample(out, n, c.value);
+    }
+    for (const GaugeSample &g : snap.gauges) {
+        std::string n = promName(g.name);
+        family(out, n, "gauge");
+        sample(out, n, g.value);
+        family(out, n + "_peak", "gauge");
+        sample(out, n + "_peak", g.peak);
+    }
+    for (const TimerSample &t : snap.timers) {
+        std::string n = promName(t.name);
+        family(out, n + "_calls_total", "counter");
+        sample(out, n + "_calls_total", t.calls);
+        family(out, n + "_ns_total", "counter");
+        sample(out, n + "_ns_total", t.totalNs);
+    }
+    for (const HistogramSample &h : snap.histograms) {
+        std::string n = promName(h.name);
+        family(out, n, "histogram");
+        // Cumulative classic buckets from the log2 ones, trimmed
+        // past the highest populated bucket (all-empty tail buckets
+        // would just repeat the total up to le="2^63-1").
+        unsigned highest = 0;
+        for (unsigned b = 0; b < kHistogramBuckets; ++b)
+            if (h.buckets[b] != 0)
+                highest = b;
+        uint64_t cum = 0;
+        if (h.count != 0) {
+            for (unsigned b = 0; b <= highest; ++b) {
+                cum += h.buckets[b];
+                bucketSample(out, n,
+                             std::to_string(histogramBucketMax(b)),
+                             cum);
+            }
+        }
+        bucketSample(out, n, "+Inf", h.count);
+        sample(out, n + "_sum", h.sum);
+        sample(out, n + "_count", h.count);
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+namespace
+{
+
+struct HistCheck
+{
+    double prevLe = -std::numeric_limits<double>::infinity();
+    uint64_t prevCum = 0;
+    bool sawInf = false;
+    uint64_t infValue = 0;
+    bool sawCount = false;
+    uint64_t countValue = 0;
+};
+
+bool
+fail(std::string &err, std::size_t line_no, const std::string &line,
+     const std::string &why)
+{
+    err = "line " + std::to_string(line_no) + ": " + why + ": " + line;
+    return false;
+}
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i)
+        if (!validNameChar(name[i], i == 0))
+            return false;
+    return true;
+}
+
+bool
+parseUint(const std::string &s, uint64_t &v)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long n = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    v = n;
+    return true;
+}
+
+} // namespace
+
+bool
+validateExposition(const std::string &text, std::string &err)
+{
+    // family name -> declared type
+    std::unordered_map<std::string, std::string> types;
+    // histogram family -> running bucket state
+    std::unordered_map<std::string, HistCheck> hists;
+    bool sawEof = false;
+
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (sawEof && !line.empty())
+            return fail(err, line_no, line, "content after # EOF");
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            if (line == "# EOF") {
+                sawEof = true;
+                continue;
+            }
+            std::istringstream ls(line);
+            std::string hash, kw, name, type;
+            ls >> hash >> kw;
+            if (kw == "TYPE") {
+                if (!(ls >> name >> type))
+                    return fail(err, line_no, line,
+                                "malformed TYPE line");
+                if (!validMetricName(name))
+                    return fail(err, line_no, line,
+                                "invalid metric name in TYPE");
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped")
+                    return fail(err, line_no, line,
+                                "unknown metric type");
+                if (!types.emplace(name, type).second)
+                    return fail(err, line_no, line,
+                                "duplicate TYPE for family");
+            }
+            // Other comments (# HELP, ...) pass through.
+            continue;
+        }
+
+        // Sample: name[{labels}] value
+        std::size_t name_end = line.find_first_of("{ ");
+        if (name_end == std::string::npos)
+            return fail(err, line_no, line, "missing value");
+        std::string name = line.substr(0, name_end);
+        if (!validMetricName(name))
+            return fail(err, line_no, line, "invalid metric name");
+
+        std::string le;
+        std::size_t value_at = name_end;
+        if (line[name_end] == '{') {
+            std::size_t close = line.find('}', name_end);
+            if (close == std::string::npos)
+                return fail(err, line_no, line, "unterminated labels");
+            std::string labels =
+                line.substr(name_end + 1, close - name_end - 1);
+            std::size_t at = labels.find("le=\"");
+            if (at != std::string::npos) {
+                std::size_t end = labels.find('"', at + 4);
+                if (end == std::string::npos)
+                    return fail(err, line_no, line,
+                                "unterminated le label");
+                le = labels.substr(at + 4, end - (at + 4));
+            }
+            value_at = close + 1;
+        }
+        std::size_t vstart = line.find_first_not_of(' ', value_at);
+        if (vstart == std::string::npos)
+            return fail(err, line_no, line, "missing value");
+        std::string value_s = line.substr(vstart);
+        uint64_t value = 0;
+        if (!parseUint(value_s, value))
+            return fail(err, line_no, line,
+                        "value is not an unsigned integer");
+
+        // Resolve the declaring family: exact name, or a histogram
+        // family via its _bucket/_sum/_count series.
+        std::string fam = name;
+        std::string suffix;
+        auto it = types.find(fam);
+        if (it == types.end()) {
+            for (const char *s : { "_bucket", "_sum", "_count" }) {
+                std::string cand = name;
+                std::size_t n = std::string(s).size();
+                if (cand.size() > n &&
+                    cand.compare(cand.size() - n, n, s) == 0) {
+                    cand.resize(cand.size() - n);
+                    auto hit = types.find(cand);
+                    if (hit != types.end() &&
+                        hit->second == "histogram") {
+                        fam = cand;
+                        suffix = s;
+                        it = hit;
+                        break;
+                    }
+                }
+            }
+        }
+        if (it == types.end())
+            return fail(err, line_no, line,
+                        "sample precedes its TYPE declaration");
+
+        if (it->second == "histogram") {
+            if (suffix.empty())
+                return fail(err, line_no, line,
+                            "bare sample for histogram family");
+            HistCheck &hc = hists[fam];
+            if (suffix == "_bucket") {
+                if (le.empty())
+                    return fail(err, line_no, line,
+                                "histogram bucket without le label");
+                char *end = nullptr;
+                double bound = std::strtod(le.c_str(), &end);
+                if (end != le.c_str() + le.size())
+                    return fail(err, line_no, line,
+                                "unparsable le bound");
+                if (bound <= hc.prevLe)
+                    return fail(err, line_no, line,
+                                "le bounds not strictly increasing");
+                if (value < hc.prevCum)
+                    return fail(err, line_no, line,
+                                "bucket counts not cumulative");
+                hc.prevLe = bound;
+                hc.prevCum = value;
+                if (le == "+Inf") {
+                    hc.sawInf = true;
+                    hc.infValue = value;
+                }
+            } else if (suffix == "_count") {
+                hc.sawCount = true;
+                hc.countValue = value;
+            }
+        } else if (!le.empty()) {
+            return fail(err, line_no, line,
+                        "le label on non-histogram family");
+        }
+    }
+
+    for (const auto &[fam, hc] : hists) {
+        if (!hc.sawInf) {
+            err = "histogram " + fam + " has no +Inf bucket";
+            return false;
+        }
+        if (!hc.sawCount) {
+            err = "histogram " + fam + " has no _count sample";
+            return false;
+        }
+        if (hc.infValue != hc.countValue) {
+            err = "histogram " + fam +
+                  " +Inf bucket != _count (" +
+                  std::to_string(hc.infValue) + " vs " +
+                  std::to_string(hc.countValue) + ")";
+            return false;
+        }
+    }
+    if (!sawEof) {
+        err = "document does not end with # EOF";
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+} // namespace mbbp::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prometheus / OpenMetrics text exposition of an obs::Snapshot, plus
+ * a small structural validator used by tests and `sweep_client
+ * metrics --check` in CI.
+ *
+ * Mapping (obs name -> metric family, after sanitizing every char
+ * outside [a-zA-Z0-9_:] to '_'):
+ *
+ *  - counter "a.b"    -> `a_b_total` (TYPE counter)
+ *  - gauge "a.b"      -> `a_b` and `a_b_peak` (TYPE gauge)
+ *  - timer "a.b"      -> `a_b_calls_total`, `a_b_ns_total`
+ *                        (TYPE counter)
+ *  - histogram "a.b"  -> classic Prometheus histogram: cumulative
+ *                        `a_b_bucket{le="..."}` series from the log2
+ *                        buckets (upper bounds = histogramBucketMax,
+ *                        trimmed past the highest populated bucket),
+ *                        then `le="+Inf"`, `a_b_sum`, `a_b_count`
+ *                        (TYPE histogram)
+ *
+ * The document ends with `# EOF` (the OpenMetrics terminator, which
+ * plain Prometheus also accepts as a comment). Output is name-sorted
+ * and deterministic for a given snapshot.
+ */
+
+#ifndef MBBP_OBS_PROM_HH
+#define MBBP_OBS_PROM_HH
+
+#include <string>
+
+namespace mbbp::obs
+{
+
+struct Snapshot;
+
+/** The Prometheus metric name for obs instrument @p name (sanitized,
+ *  no suffix applied). */
+std::string promName(const std::string &name);
+
+/** Render @p snap as Prometheus/OpenMetrics text exposition. */
+std::string openMetricsText(const Snapshot &snap);
+
+/** The Content-Type a scraper expects for openMetricsText output. */
+const char *openMetricsContentType();
+
+/**
+ * Structural check of a text-exposition document: every sample line
+ * parses, metric names are valid, each family's samples follow its
+ * `# TYPE` line, histogram `le` bounds strictly increase with
+ * non-decreasing cumulative counts, the `+Inf` bucket equals
+ * `_count`, and the document terminates with `# EOF`. On failure
+ * @p err names the offending line. Deliberately strict -- it gates
+ * CI, not an ingest path.
+ */
+bool validateExposition(const std::string &text, std::string &err);
+
+} // namespace mbbp::obs
+
+#endif // MBBP_OBS_PROM_HH

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/log.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace mbbp::serve
@@ -131,7 +133,76 @@ readResponse(int fd, HttpResult &out)
     return true;
 }
 
+/**
+ * A low-cardinality instrument tag for one request path: segments of
+ * digits (job ids) collapse to "N", separators become '.', anything
+ * exotic becomes '_', and the result is capped so a hostile target
+ * cannot mint unbounded metric names. "/" -> "root",
+ * "/jobs/17/result" -> "jobs.N.result".
+ */
+std::string
+routeTag(const std::string &path)
+{
+    std::string tag;
+    std::size_t pos = 1;        // skip the leading '/'
+    while (pos <= path.size()) {
+        std::size_t end = path.find('/', pos);
+        if (end == std::string::npos)
+            end = path.size();
+        if (end > pos) {
+            std::string seg = path.substr(pos, end - pos);
+            bool digits = true;
+            for (char c : seg)
+                if (c < '0' || c > '9')
+                    digits = false;
+            if (!tag.empty())
+                tag += '.';
+            if (digits) {
+                tag += 'N';
+            } else {
+                for (char &c : seg)
+                    if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                        c != '_')
+                        c = '_';
+                tag += seg;
+            }
+        }
+        pos = end + 1;
+    }
+    if (tag.empty())
+        tag = "root";
+    if (tag.size() > 48)
+        tag.resize(48);
+    return tag;
+}
+
 } // namespace
+
+std::string
+HttpRequest::header(const std::string &name) const
+{
+    for (const auto &[k, v] : headers)
+        if (k == name)
+            return v;
+    return "";
+}
+
+std::string
+HttpRequest::queryParam(const std::string &key) const
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t end = query.find('&', pos);
+        if (end == std::string::npos)
+            end = query.size();
+        std::size_t eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < end &&
+            query.compare(pos, eq - pos, key) == 0)
+            return query.substr(eq + 1, end - eq - 1);
+        pos = end + 1;
+    }
+    return "";
+}
 
 const char *
 httpStatusText(int status)
@@ -159,6 +230,7 @@ HttpConn::sendAll(const char *data, std::size_t len)
         ssize_t n = sendNoSignal(fd_, data, len);
         if (n <= 0)
             return false;
+        bytesSent_ += static_cast<uint64_t>(n);
         data += n;
         len -= static_cast<std::size_t>(n);
     }
@@ -170,6 +242,7 @@ HttpConn::respond(int status, const std::string &contentType,
                   const std::string &body)
 {
     responded_ = true;
+    status_ = status;
     std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                        httpStatusText(status) + kCrlf;
     head += "Content-Type: " + contentType + kCrlf;
@@ -185,6 +258,7 @@ bool
 HttpConn::beginStream(int status, const std::string &contentType)
 {
     responded_ = true;
+    status_ = status;
     std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                        httpStatusText(status) + kCrlf;
     head += "Content-Type: " + contentType + kCrlf;
@@ -331,12 +405,48 @@ void
 HttpServer::serveConnection(int fd)
 {
     HttpConn conn(fd);
+    uint64_t start_ns = obs::nowNs();
     std::string buf;
+    uint64_t body_extra = 0;    //!< body bytes read past `buf`
+
+    HttpRequest req;
+
+    // Per-request accounting on every exit path, including the
+    // pre-handler rejections: a request that never reached a handler
+    // still shows up in the latency histogram and the access log.
+    // Counters/histograms go through the flush helpers, so a
+    // metrics-disabled daemon registers nothing.
+    auto finish = [&] {
+        uint64_t dur_us = (obs::nowNs() - start_ns) / 1000;
+        std::string tag =
+            routeTag(req.path.empty() ? "/" : req.path);
+        obs::flushCounter("serve.http.requests." + tag, 1);
+        obs::flushCounter("serve.http.status." +
+                              std::to_string(conn.status()),
+                          1);
+        obs::flushCounter("serve.http.request_bytes." + tag,
+                          buf.size() + body_extra);
+        obs::flushCounter("serve.http.response_bytes." + tag,
+                          conn.bytesSent());
+        obs::HistogramData lat;
+        lat.record(dur_us);
+        obs::flushHistogram("serve.http.request_latency_us." + tag,
+                            lat);
+        obs::LogEvent(obs::LogLevel::Info, "http.access")
+            .str("method", req.method.empty() ? "?" : req.method)
+            .str("path", req.path.empty() ? req.target : req.path)
+            .num("status", static_cast<uint64_t>(conn.status()))
+            .num("latency_us", dur_us)
+            .num("bytes_in", buf.size() + body_extra)
+            .num("bytes_out", conn.bytesSent());
+        ::close(fd);
+    };
+
     if (!readUntil(fd, buf, "\r\n\r\n", cfg_.maxHeaderBytes)) {
         if (buf.size() > cfg_.maxHeaderBytes)
             conn.respond(431, "application/json",
                          "{\"error\":\"headers_too_large\"}\n");
-        ::close(fd);
+        finish();
         return;
     }
 
@@ -344,7 +454,6 @@ HttpServer::serveConnection(int fd)
     std::string head = buf.substr(0, headEnd);
     std::string rest = buf.substr(headEnd + 4);
 
-    HttpRequest req;
     std::size_t lineEnd = head.find(kCrlf);
     std::string reqLine = head.substr(
         0, lineEnd == std::string::npos ? head.size() : lineEnd);
@@ -353,23 +462,55 @@ HttpServer::serveConnection(int fd)
     if (sp1 == std::string::npos || sp2 == sp1) {
         conn.respond(400, "application/json",
                      "{\"error\":\"malformed_request\"}\n");
-        ::close(fd);
+        finish();
         return;
     }
     req.method = reqLine.substr(0, sp1);
     req.target = reqLine.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t qmark = req.target.find('?');
+    if (qmark == std::string::npos) {
+        req.path = req.target;
+    } else {
+        req.path = req.target.substr(0, qmark);
+        req.query = req.target.substr(qmark + 1);
+    }
+
+    // Header lines after the request line, names lowercased.
+    std::size_t pos =
+        lineEnd == std::string::npos ? head.size() : lineEnd + 2;
+    while (pos < head.size()) {
+        std::size_t eol = head.find(kCrlf, pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        std::size_t colon = head.find(':', pos);
+        if (colon != std::string::npos && colon < eol) {
+            std::string name = head.substr(pos, colon - pos);
+            for (char &c : name)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            std::size_t vbegin =
+                head.find_first_not_of(' ', colon + 1);
+            std::string value =
+                (vbegin == std::string::npos || vbegin >= eol)
+                    ? ""
+                    : head.substr(vbegin, eol - vbegin);
+            req.headers.emplace_back(std::move(name),
+                                     std::move(value));
+        }
+        pos = eol + 2;
+    }
 
     std::size_t bodyLen = 0;
     if (!contentLength(head, bodyLen)) {
         conn.respond(400, "application/json",
                      "{\"error\":\"bad_content_length\"}\n");
-        ::close(fd);
+        finish();
         return;
     }
     if (bodyLen > cfg_.maxBodyBytes) {
         conn.respond(413, "application/json",
                      "{\"error\":\"body_too_large\"}\n");
-        ::close(fd);
+        finish();
         return;
     }
     req.body = std::move(rest);
@@ -378,12 +519,13 @@ HttpServer::serveConnection(int fd)
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n <= 0)
             break;
+        body_extra += static_cast<uint64_t>(n);
         req.body.append(chunk, static_cast<std::size_t>(n));
     }
     if (req.body.size() < bodyLen) {
         conn.respond(400, "application/json",
                      "{\"error\":\"truncated_body\"}\n");
-        ::close(fd);
+        finish();
         return;
     }
     req.body.resize(bodyLen);
@@ -400,12 +542,13 @@ HttpServer::serveConnection(int fd)
             conn.respond(500, "application/json",
                          "{\"error\":\"internal\"}\n");
     }
-    ::close(fd);
+    finish();
 }
 
 HttpResult
 httpRequest(uint16_t port, const std::string &method,
-            const std::string &target, const std::string &body)
+            const std::string &target, const std::string &body,
+            const std::vector<std::string> &extraHeaders)
 {
     int fd = connectLoopback(port);
     if (fd < 0)
@@ -416,6 +559,8 @@ httpRequest(uint16_t port, const std::string &method,
     std::string req = method + " " + target + " HTTP/1.1" + kCrlf;
     req += "Host: 127.0.0.1" + std::string(kCrlf);
     req += "Content-Length: " + std::to_string(body.size()) + kCrlf;
+    for (const std::string &h : extraHeaders)
+        req += h + kCrlf;
     req += "Connection: close";
     req += kCrlf;
     req += kCrlf;

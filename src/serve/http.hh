@@ -23,17 +23,31 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mbbp::serve
 {
 
-/** One parsed request (target is the raw path, no query support). */
+/** One parsed request. */
 struct HttpRequest
 {
     std::string method;     //!< "GET", "POST", ...
-    std::string target;     //!< "/jobs/7/result"
+    std::string target;     //!< raw, e.g. "/metrics?format=text"
+    std::string path;       //!< target up to '?': "/metrics"
+    std::string query;      //!< after '?' (no '?'), may be empty
     std::string body;
+
+    /** Header (name, value) pairs in arrival order; names are
+     *  lowercased at parse time (values untouched). */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** First value of header @p name (give it lowercased), or "". */
+    std::string header(const std::string &name) const;
+
+    /** Value of `key=value` in the query string ("" when absent; no
+     *  percent-decoding -- our parameters are plain tokens). */
+    std::string queryParam(const std::string &key) const;
 };
 
 /** Standard reason phrase for the handful of codes we emit. */
@@ -63,11 +77,19 @@ class HttpConn
 
     bool responded() const { return responded_; }
 
+    /** @{ For the server's per-request accounting: the status sent
+     *  and total bytes written (headers + body / chunks). */
+    int status() const { return status_; }
+    uint64_t bytesSent() const { return bytesSent_; }
+    /** @} */
+
   private:
     bool sendAll(const char *data, std::size_t len);
 
     int fd_;
     bool responded_ = false;
+    int status_ = 0;
+    uint64_t bytesSent_ = 0;
 };
 
 /** Server knobs. */
@@ -137,11 +159,15 @@ struct HttpResult
 
 /**
  * One buffered loopback request; throws std::runtime_error when the
- * server is unreachable or the response is unparseable.
+ * server is unreachable or the response is unparseable. Each entry of
+ * @p extraHeaders is one full header line without CRLF, e.g.
+ * "Accept: text/plain".
  */
 HttpResult httpRequest(uint16_t port, const std::string &method,
                        const std::string &target,
-                       const std::string &body = "");
+                       const std::string &body = "",
+                       const std::vector<std::string> &extraHeaders =
+                           {});
 
 /**
  * Streaming GET: invoke @p onLine for every newline-terminated

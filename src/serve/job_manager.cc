@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hh"
 #include "obs/obs.hh"
 #include "serve/spec_hash.hh"
 #include "sweep/sweep_report.hh"
@@ -46,6 +47,10 @@ rejection(int status, const std::string &code,
 {
     rejected_c.add(1);
     obs::counter("serve.reject." + code).add(1);
+    obs::LogEvent(obs::LogLevel::Warn, "job.rejected")
+        .str("code", code)
+        .num("status", static_cast<uint64_t>(status))
+        .str("detail", message);
     SubmitOutcome out;
     out.httpStatus = status;
     out.error = code;
@@ -87,7 +92,8 @@ JobManager::~JobManager()
 }
 
 SubmitOutcome
-JobManager::submit(const std::string &specJson)
+JobManager::submit(const std::string &specJson,
+                   const std::string &traceId)
 {
     if (specJson.size() > limits_.maxSpecBytes)
         return rejection(413, "spec_too_large",
@@ -148,6 +154,8 @@ JobManager::submit(const std::string &specJson)
         j.cached = true;
         j.specHash = hash;
         j.resultJson = *doc;
+        j.traceId = traceId;
+        freezeJobLocked(j);     // empty snapshot, tagged trace doc
 
         SubmitOutcome out;
         out.id = j.id;
@@ -155,6 +163,11 @@ JobManager::submit(const std::string &specJson)
         out.cached = true;
         jobs_.emplace(j.id, std::move(job));
         submitted_c.add(1);
+        obs::LogEvent(obs::LogLevel::Info, "job.submitted")
+            .job(j.id)
+            .str("name", j.spec.name())
+            .str("trace_id", j.traceId)
+            .boolean("cached", true);
         bumpLocked(j);
         noteTerminalLocked(j);
         return out;
@@ -171,9 +184,16 @@ JobManager::submit(const std::string &specJson)
     job->spec = std::move(spec);
     job->totalJobs = total;
     job->specHash = hash;
+    job->traceId = traceId;
+    job->queuedNs = obs::nowNs();
 
     SubmitOutcome out;
     out.id = job->id;
+    obs::LogEvent(obs::LogLevel::Info, "job.submitted")
+        .job(job->id)
+        .str("name", job->spec.name())
+        .str("trace_id", job->traceId)
+        .num("configs", static_cast<uint64_t>(total));
     queue_.push_back(job->id);
     jobs_.emplace(job->id, std::move(job));
     queue_g.set(static_cast<uint64_t>(queue_.size()));
@@ -199,6 +219,7 @@ JobManager::status(uint64_t id) const
     st.error = j.error;
     st.cached = j.cached;
     st.seq = j.seq;
+    st.traceId = j.traceId;
     return st;
 }
 
@@ -237,6 +258,11 @@ JobManager::cancel(uint64_t id)
         queue_g.set(static_cast<uint64_t>(queue_.size()));
         j.state = JobState::Cancelled;
         cancelled_c.add(1);
+        obs::LogEvent(obs::LogLevel::Info, "job.terminal")
+            .job(j.id)
+            .str("state", "cancelled")
+            .str("trace_id", j.traceId);
+        freezeJobLocked(j);
         bumpLocked(j);
         noteTerminalLocked(j);
     }
@@ -273,6 +299,7 @@ JobManager::waitChange(uint64_t id, uint64_t lastSeq)
     st.error = j->error;
     st.cached = j->cached;
     st.seq = j->seq;
+    st.traceId = j->traceId;
     return st;
 }
 
@@ -296,6 +323,7 @@ JobManager::shutdown()
             j.state = JobState::Cancelled;
             j.cancel.request();
             cancelled_c.add(1);
+            freezeJobLocked(j);
             bumpLocked(j);
             noteTerminalLocked(j);
         }
@@ -404,6 +432,25 @@ JobManager::dispatcherLoop()
             queue_g.set(static_cast<uint64_t>(queue_.size()));
             job = jobs_.at(id).get();
             job->state = JobState::Running;
+            // The job's observability scope is born here: its own
+            // instrument registry, parented to the process default
+            // so every chain flush also lands in the global
+            // aggregates. Tracing is always on for a job domain --
+            // the spans ARE the product (/jobs/<id>/trace) -- with a
+            // cap so a pathological sweep cannot hoard span memory.
+            job->domain = std::make_shared<obs::Domain>(
+                "job-" + std::to_string(job->id),
+                &obs::defaultDomain());
+            job->domain->setTracing(true);
+            job->domain->setSpanLimit(16384);
+            uint64_t now = obs::nowNs();
+            if (job->queuedNs != 0 && now > job->queuedNs)
+                job->domain->recordSpan("job.queued", 0,
+                                        job->queuedNs,
+                                        now - job->queuedNs);
+            obs::LogEvent(obs::LogLevel::Info, "job.start")
+                .job(job->id)
+                .str("trace_id", job->traceId);
             ++active_;
             active_g.set(static_cast<uint64_t>(active_));
             bumpLocked(*job);
@@ -415,6 +462,16 @@ JobManager::dispatcherLoop()
             std::lock_guard<std::mutex> lock(mutex_);
             --active_;
             active_g.set(static_cast<uint64_t>(active_));
+            obs::LogEvent(obs::LogLevel::Info, "job.terminal")
+                .job(job->id)
+                .str("state", jobStateName(job->state))
+                .str("trace_id", job->traceId)
+                .str("error", job->error);
+            // Freeze the domain into plain snapshot + trace bytes
+            // BEFORE the final bump publishes the terminal state:
+            // anyone who observes the terminal status can fetch the
+            // frozen telemetry.
+            freezeJobLocked(*job);
             bumpLocked(*job);
             // Retention strictly after the final bump: pruning can
             // erase Job records, and this frame still holds a raw
@@ -427,8 +484,11 @@ JobManager::dispatcherLoop()
 void
 JobManager::runJob(Job &job)
 {
-    static obs::Timer &run_t = obs::timer("serve.job.run");
-    obs::ScopedTimer span(run_t);
+    // Everything this job measures -- the sweep's own spans included
+    // -- lands in its domain first and aggregates up the chain.
+    obs::ScopedDomain scope(job.domain.get());
+    obs::ScopedTimer span("serve.job.run",
+                          "job " + std::to_string(job.id) + " run");
 
     std::size_t insts = job.spec.instructions() != 0
                             ? job.spec.instructions()
@@ -440,6 +500,7 @@ JobManager::runJob(Job &job)
         opts.pool = &pool_;
         opts.cancel = job.cancel;
         opts.batchedReplay = limits_.batchedReplay;
+        opts.domain = job.domain.get();
         opts.progress = [this, &job](const SweepProgress &p) {
             std::lock_guard<std::mutex> lock(mutex_);
             job.completedJobs = p.completed;
@@ -469,6 +530,52 @@ JobManager::runJob(Job &job)
         failed_c.add(1);
     }
     // The final seq bump happens in dispatcherLoop, under lock.
+}
+
+void
+JobManager::freezeJobLocked(Job &job)
+{
+    if (job.domain) {
+        job.frozenMetrics = job.domain->snapshot();
+        job.frozenTrace = job.domain->chromeTraceJson(job.traceId);
+        // Drop the live instruments: a retained terminal job costs
+        // snapshot + trace bytes, not 64-way striped cells.
+        job.domain.reset();
+    } else {
+        // Never dispatched (queued-cancelled or cache-born): an
+        // empty but well-formed, trace-id-tagged document.
+        job.frozenTrace =
+            obs::Domain().chromeTraceJson(job.traceId);
+    }
+}
+
+std::optional<obs::Snapshot>
+JobManager::jobMetrics(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &j = *it->second;
+    if (j.domain)
+        return j.domain->snapshot();
+    return j.frozenMetrics;
+}
+
+std::optional<std::string>
+JobManager::jobTrace(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &j = *it->second;
+    if (j.domain)
+        return j.domain->chromeTraceJson(j.traceId);
+    if (!j.frozenTrace.empty())
+        return j.frozenTrace;
+    // Queued: nothing recorded yet, but the id is real.
+    return obs::Domain().chromeTraceJson(j.traceId);
 }
 
 const std::string *
@@ -524,7 +631,7 @@ void
 JobManager::noteTerminalLocked(Job &job)
 {
     terminalOrder_.push_back(job.id);
-    retainedResultBytes_ += job.resultJson.size();
+    retainedResultBytes_ += retainedBytes(job);
     retained_g.set(static_cast<uint64_t>(terminalOrder_.size()));
     pruneTerminalLocked();
 }
@@ -544,8 +651,7 @@ JobManager::pruneTerminalLocked()
         terminalOrder_.pop_front();
         auto it = jobs_.find(id);
         if (it != jobs_.end()) {
-            retainedResultBytes_ -=
-                it->second->resultJson.size();
+            retainedResultBytes_ -= retainedBytes(*it->second);
             jobs_.erase(it);
             expired_c.add(1);
             pruned = true;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/suite_runner.hh"
+#include "obs/obs.hh"
 #include "sweep/sweep_spec.hh"
 #include "sweep/thread_pool.hh"
 #include "util/cancel.hh"
@@ -114,6 +115,7 @@ struct JobStatus
     std::string error;              //!< Failed: one-line cause
     bool cached = false;            //!< served from the result cache
     uint64_t seq = 0;               //!< bumps on every change
+    std::string traceId;            //!< request-scoped trace id
 };
 
 /** Typed submit() outcome; httpStatus 202 means accepted. */
@@ -144,8 +146,11 @@ class JobManager
     JobManager(const JobManager &) = delete;
     JobManager &operator=(const JobManager &) = delete;
 
-    /** Validate, admit and enqueue @p specJson. */
-    SubmitOutcome submit(const std::string &specJson);
+    /** Validate, admit and enqueue @p specJson. @p traceId is the
+     *  request-scoped id minted (or forwarded) by the HTTP layer; it
+     *  tags the job's log events and its exported trace document. */
+    SubmitOutcome submit(const std::string &specJson,
+                         const std::string &traceId = "");
 
     std::optional<JobStatus> status(uint64_t id) const;
 
@@ -159,6 +164,23 @@ class JobManager
     /** The finished report document (sweepToJson + '\n'), only once
      *  the job is Done. */
     std::optional<std::string> result(uint64_t id) const;
+
+    /**
+     * This job's isolated metric snapshot: live from its obs::Domain
+     * while Running, frozen at the terminal transition afterwards
+     * (the domain itself is dropped then, so a retained job costs
+     * result + snapshot bytes, not 64-way striped instruments).
+     * Queued and cache-born jobs report an empty snapshot. nullopt
+     * for unknown/expired ids.
+     */
+    std::optional<obs::Snapshot> jobMetrics(uint64_t id) const;
+
+    /**
+     * This job's chrome-trace JSON document (spans recorded under
+     * its domain only), tagged with its trace id. Same lifecycle as
+     * jobMetrics. nullopt for unknown/expired ids.
+     */
+    std::optional<std::string> jobTrace(uint64_t id) const;
 
     /**
      * Request cancellation: a Queued job is cancelled immediately, a
@@ -214,6 +236,17 @@ class JobManager
         uint64_t seq = 0;
         bool cached = false;        //!< born Done from the cache
         uint64_t specHash = 0;      //!< canonical result-cache key
+        std::string traceId;
+
+        /** @{ Job-scoped observability: the domain exists from
+         *  dispatch until the terminal transition, when its snapshot
+         *  and trace document are frozen and the instruments freed. */
+        std::shared_ptr<obs::Domain> domain;
+        uint64_t queuedNs = 0;      //!< submit time, for the
+                                    //!< "job.queued" phase span
+        obs::Snapshot frozenMetrics;
+        std::string frozenTrace;
+        /** @} */
     };
 
     /** One cached report: the bytes plus an LRU stamp. */
@@ -228,12 +261,19 @@ class JobManager
     TraceCache &cacheFor(std::size_t instructions);
     void bumpLocked(Job &job);
 
-    /** @{ All four require mutex_ held. */
+    /** @{ All require mutex_ held. */
     const std::string *cacheLookupLocked(uint64_t hash);
     void cacheInsertLocked(uint64_t hash, const std::string &doc);
+    void freezeJobLocked(Job &job);
     void noteTerminalLocked(Job &job);
     void pruneTerminalLocked();
     /** @} */
+
+    /** Bytes a retained terminal job pins (result + trace). */
+    static std::size_t retainedBytes(const Job &job)
+    {
+        return job.resultJson.size() + job.frozenTrace.size();
+    }
 
     const ServiceLimits limits_;
     std::shared_ptr<const ArtifactStore> artifacts_;
@@ -257,7 +297,7 @@ class JobManager
 
     /** @{ Terminal-job retention, under mutex_. Terminal ids in
      *  completion order; retainedResultBytes_ sums their
-     *  resultJson sizes. */
+     *  retainedBytes() (result + frozen trace). */
     std::deque<uint64_t> terminalOrder_;
     std::size_t retainedResultBytes_ = 0;
     /** @} */

@@ -1,8 +1,12 @@
 #include "serve/server.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics_json.hh"
+#include "obs/obs.hh"
+#include "obs/prom.hh"
 #include "trace/artifact_file.hh"
 #include "util/json.hh"
 
@@ -14,6 +18,54 @@ namespace
 
 constexpr const char *kJson = "application/json";
 constexpr const char *kNdjson = "application/x-ndjson";
+
+/** How a metrics endpoint should render its snapshot. */
+enum class MetricsFormat
+{
+    Json,
+    OpenMetrics,
+    Bad,
+};
+
+/**
+ * Negotiate /metrics output. The query parameter wins over Accept:
+ * `?format=json` or `?format=prometheus` (aliases `text`,
+ * `openmetrics`) is explicit, an Accept header mentioning
+ * "openmetrics" or "text/plain" selects the text exposition, and
+ * everything else -- including no preference at all -- keeps the
+ * original JSON. An unrecognized format token is a 400.
+ */
+MetricsFormat
+metricsFormat(const HttpRequest &req)
+{
+    std::string fmt = req.queryParam("format");
+    if (!fmt.empty()) {
+        if (fmt == "json")
+            return MetricsFormat::Json;
+        if (fmt == "prometheus" || fmt == "text" ||
+            fmt == "openmetrics")
+            return MetricsFormat::OpenMetrics;
+        return MetricsFormat::Bad;
+    }
+    const std::string accept = req.header("accept");
+    if (accept.find("openmetrics") != std::string::npos ||
+        accept.find("text/plain") != std::string::npos)
+        return MetricsFormat::OpenMetrics;
+    return MetricsFormat::Json;
+}
+
+/** Fresh server-side trace id: monotonic, time-salted, hex. */
+std::string
+mintTraceId()
+{
+    static std::atomic<uint64_t> next{ 0 };
+    uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%016llx%04llx",
+                  static_cast<unsigned long long>(obs::nowNs()),
+                  static_cast<unsigned long long>(n & 0xffff));
+    return buf;
+}
 
 std::string
 errorJson(const std::string &code, const std::string &message)
@@ -69,6 +121,8 @@ jobStatusJson(const JobStatus &st)
         w.value("error", st.error);
     if (st.cached)
         w.value("cached", true);
+    if (!st.traceId.empty())
+        w.value("trace_id", st.traceId);
     w.endObject();
     return w.str() + "\n";
 }
@@ -114,15 +168,31 @@ SweepServer::stop()
 void
 SweepServer::handle(const HttpRequest &req, HttpConn &conn)
 {
-    const std::string &t = req.target;
+    // Route on the path; the query string (if any) is consulted by
+    // the individual handlers via queryParam().
+    const std::string &t = req.path;
 
     if (t == "/healthz") {
         conn.respond(200, kJson, "{\"status\":\"ok\"}\n");
         return;
     }
-    if (t == "/metrics") {
-        conn.respond(200, kJson, obs::snapshotJson());
-        return;
+    if (req.path == "/metrics") {
+        switch (metricsFormat(req)) {
+        case MetricsFormat::Json:
+            conn.respond(200, kJson, obs::snapshotJson());
+            return;
+        case MetricsFormat::OpenMetrics:
+            conn.respond(200, obs::openMetricsContentType(),
+                         obs::openMetricsText(obs::snapshot()));
+            return;
+        case MetricsFormat::Bad:
+            conn.respond(400, kJson,
+                         errorJson("bad_format",
+                                   "format must be json, "
+                                   "prometheus, text or "
+                                   "openmetrics"));
+            return;
+        }
     }
     if (t == "/shutdown") {
         if (req.method != "POST") {
@@ -153,7 +223,13 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
                          errorJson("method_not_allowed", ""));
             return;
         }
-        SubmitOutcome out = jobs_->submit(req.body);
+        // Callers propagating a distributed trace hand us their id;
+        // everyone else gets a fresh one. Either way it rides along
+        // in every status document and in the chrome-trace export.
+        std::string traceId = req.header("x-trace-id");
+        if (traceId.empty())
+            traceId = mintTraceId();
+        SubmitOutcome out = jobs_->submit(req.body, traceId);
         if (!out.ok()) {
             conn.respond(out.httpStatus, kJson,
                          errorJson(out.error, out.message));
@@ -165,6 +241,7 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
         w.value("state", jobStateName(out.state));
         if (out.cached)
             w.value("cached", true);
+        w.value("trace_id", traceId);
         w.endObject();
         conn.respond(202, kJson, w.str() + "\n");
         return;
@@ -212,6 +289,40 @@ SweepServer::handleJobs(const HttpRequest &req, HttpConn &conn,
         }
         std::optional<std::string> doc = jobs_->result(id);
         conn.respond(200, kJson, *doc);
+        return;
+    }
+
+    if (action == "metrics") {
+        std::optional<obs::Snapshot> snap = jobs_->jobMetrics(id);
+        if (!snap) {
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
+            return;
+        }
+        switch (metricsFormat(req)) {
+        case MetricsFormat::Json:
+            conn.respond(200, kJson, obs::snapshotJson(*snap));
+            return;
+        case MetricsFormat::OpenMetrics:
+            conn.respond(200, obs::openMetricsContentType(),
+                         obs::openMetricsText(*snap));
+            return;
+        case MetricsFormat::Bad:
+            conn.respond(400, kJson,
+                         errorJson("bad_format",
+                                   "format must be json, "
+                                   "prometheus, text or "
+                                   "openmetrics"));
+            return;
+        }
+    }
+
+    if (action == "trace") {
+        std::optional<std::string> doc = jobs_->jobTrace(id);
+        if (!doc) {
+            conn.respond(404, kJson, missingJobJson(*jobs_, id));
+            return;
+        }
+        conn.respond(200, kJson, *doc + "\n");
         return;
     }
 

@@ -6,16 +6,32 @@
  *
  *   GET  /healthz            -> 200 {"status":"ok"}
  *   GET  /metrics            -> 200 obs snapshot (same bytes as a
- *                               CLI --metrics block)
- *   POST /jobs               -> 202 {"id":N,"state":"queued"}, or
- *                               {"id":N,"state":"done","cached":true}
+ *                               CLI --metrics block); add
+ *                               ?format=prometheus (aliases: text,
+ *                               openmetrics) or an Accept header
+ *                               naming openmetrics/text/plain for
+ *                               OpenMetrics text exposition instead
+ *   POST /jobs               -> 202 {"id":N,"state":"queued",
+ *                               "trace_id":"..."}, or {"id":N,
+ *                               "state":"done","cached":true,...}
  *                               when an identical spec's report is
  *                               served from the result cache;
- *                               400/413/429/503 {"error","message"}
+ *                               400/413/429/503 {"error","message"}.
+ *                               The trace id echoes an x-trace-id
+ *                               request header when present, else is
+ *                               minted server-side.
  *   GET  /jobs/<id>          -> 200 status document
  *   GET  /jobs/<id>/result   -> 200 the sweep report, byte-identical
  *                               to sweep_cli's default JSON output;
  *                               409 until the job is done
+ *   GET  /jobs/<id>/metrics  -> 200 that job's isolated metric
+ *                               snapshot (its obs::Domain: live
+ *                               while running, frozen at the
+ *                               terminal transition); same format
+ *                               negotiation as /metrics
+ *   GET  /jobs/<id>/trace    -> 200 chrome-trace JSON of the job's
+ *                               phase spans (load in
+ *                               chrome://tracing / Perfetto)
  *   POST /jobs/<id>/cancel   -> 200 status document (idempotent)
  *   GET  /jobs/<id>/stream   -> 200 ndjson: one status document per
  *                               change, ending with a terminal state

@@ -166,8 +166,7 @@ writeAttributionJson(JsonWriter &w, unsigned top_n)
 std::string
 sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
 {
-    static obs::Timer &report_t = obs::timer("sweep.report.json");
-    obs::ScopedTimer span(report_t);
+    obs::ScopedTimer span("sweep.report.json");
 
     JsonWriter w;
     w.beginObject();
@@ -227,8 +226,7 @@ sweepToJson(const SweepResult &result, const SweepReportOptions &opts)
 std::string
 sweepToCsv(const SweepResult &result, const SweepReportOptions &opts)
 {
-    static obs::Timer &report_t = obs::timer("sweep.report.csv");
-    obs::ScopedTimer span(report_t);
+    obs::ScopedTimer span("sweep.report.csv");
 
     std::vector<std::string> params = paramColumns(result);
 

@@ -75,9 +75,17 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     TaskGroup group(pool, opts.groupWeight);
     result.threads = pool.numWorkers();
 
-    static obs::Timer &sweep_t = obs::timer("sweep.run");
-    obs::ScopedTimer sweep_span(sweep_t, "sweep run");
-    static obs::Timer &job_t = obs::timer("sweep.job");
+    // The sweep's accounting domain: every task installs it before
+    // touching an instrument, so a service running concurrent sweeps
+    // on one pool keeps each job's counters/spans/attribution apart
+    // (null = inherit, i.e. the process default for the CLIs). Tasks
+    // run on pool worker threads, which is why each task re-installs
+    // rather than relying on this stack frame's scope.
+    obs::Domain *domain =
+        opts.domain ? opts.domain : &obs::currentDomain();
+    obs::ScopedDomain sweep_scope(domain);
+
+    obs::ScopedTimer sweep_span("sweep.run", "sweep run");
 
     Clock::time_point sweep_start = Clock::now();
 
@@ -90,8 +98,9 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
 
     // Serialized job-completion bookkeeping (call under the mutex).
     auto finishJob = [&](std::size_t i, double seconds) {
-        static obs::Histogram &job_h = obs::histogram("sweep.job_ns");
-        job_h.record(static_cast<uint64_t>(seconds * 1e9));
+        obs::HistogramData job_ns;
+        job_ns.record(static_cast<uint64_t>(seconds * 1e9));
+        obs::flushHistogram("sweep.job_ns", job_ns);
         if (opts.progress) {
             ++completed;
             SweepProgress p;
@@ -106,8 +115,9 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
     auto submitPerConfig = [&](std::size_t i) {
         group.submit([&, i] {
             opts.cancel.throwIfCancelled("sweep cancelled");
+            obs::ScopedDomain task_scope(domain);
             obs::ScopedTimer job_span(
-                job_t, "job " + std::to_string(i));
+                "sweep.job", "job " + std::to_string(i));
             Clock::time_point job_start = Clock::now();
             SweepJobResult &slot = result.jobs[i];
             slot.job = jobs[i];
@@ -212,7 +222,9 @@ runSweepJobs(const std::vector<SweepJob> &jobs, TraceCache &traces,
         for (const std::string &name : run_names) {
             group.submit([&, name] {
                 opts.cancel.throwIfCancelled("sweep cancelled");
-                obs::ScopedTimer job_span(job_t, "tile " + name);
+                obs::ScopedDomain task_scope(domain);
+                obs::ScopedTimer job_span("sweep.job",
+                                          "tile " + name);
                 Clock::time_point t0 = Clock::now();
                 const ICacheConfig &geom =
                     tile.configs[0].engine.icache;

@@ -24,6 +24,11 @@ namespace mbbp
 
 class ThreadPool;
 
+namespace obs
+{
+class Domain;
+}
+
 /** Completion notification for one job (serialized by the runner). */
 struct SweepProgress
 {
@@ -87,6 +92,19 @@ struct SweepOptions
      * slots) and then throws CancelledError from runSweep*.
      */
     CancelToken cancel;
+
+    /**
+     * Record this sweep's metrics, spans and attribution into this
+     * obs::Domain (installed via obs::ScopedDomain on the submitting
+     * thread and inside every worker task). Null inherits the
+     * caller's current domain -- the process default for CLIs, which
+     * is the exact pre-domain behavior. Give the domain a parent
+     * chain ending at obs::defaultDomain() to keep the process-wide
+     * aggregates counting; the sweep service hands each job its own
+     * domain this way. Purely an accounting knob: results are
+     * byte-identical with or without it.
+     */
+    obs::Domain *domain = nullptr;
 };
 
 /** One job's configuration and measured suite results. */

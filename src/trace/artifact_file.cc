@@ -343,8 +343,7 @@ bool
 saveDecodedArtifact(const std::string &path, const ArtifactKey &key,
                     const DecodedTrace &dec)
 {
-    static obs::Timer &save_t = obs::timer("artifact.save");
-    obs::ScopedTimer span(save_t, "save " + key.trace);
+    obs::ScopedTimer span("artifact.save", "save " + key.trace);
 
     std::vector<ArtifactCodec::Column> cols =
         ArtifactCodec::columns(dec);
@@ -436,8 +435,7 @@ loadDecodedArtifact(const std::string &path, const ArtifactKey &key,
         return nullptr;
     };
 
-    static obs::Timer &load_t = obs::timer("artifact.load");
-    obs::ScopedTimer span(load_t, "load " + key.trace);
+    obs::ScopedTimer span("artifact.load", "load " + key.trace);
 
     if (map->size() < sizeof(FileHeader))
         return reject("truncated header");

@@ -1,0 +1,137 @@
+/** @file Unit tests for the structured JSON event log. */
+
+#include "obs/log.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** EventLog is process-wide: route it to a temp file for the test's
+ *  duration and silence it again afterwards. */
+class ObsLog : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "mbbp_log_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".jsonl";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override
+    {
+        obs::EventLog::instance().configure(obs::LogLevel::Off, "");
+        std::remove(path_.c_str());
+    }
+
+    std::vector<std::string> lines() const
+    {
+        std::ifstream in(path_);
+        std::vector<std::string> out;
+        std::string line;
+        while (std::getline(in, line))
+            out.push_back(line);
+        return out;
+    }
+
+    std::string path_;
+};
+
+TEST_F(ObsLog, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(obs::logLevelName(obs::LogLevel::Debug), "debug");
+    EXPECT_STREQ(obs::logLevelName(obs::LogLevel::Off), "off");
+    EXPECT_EQ(obs::parseLogLevel("info"), obs::LogLevel::Info);
+    EXPECT_EQ(obs::parseLogLevel("warning"), obs::LogLevel::Warn);
+    EXPECT_EQ(obs::parseLogLevel("none"), obs::LogLevel::Off);
+    EXPECT_FALSE(obs::parseLogLevel("loud").has_value());
+}
+
+TEST_F(ObsLog, DefaultLevelIsSilent)
+{
+    // A fresh process never configures the log in CLI tools; events
+    // below the Off threshold must not open files or build strings.
+    EXPECT_FALSE(
+        obs::EventLog::instance().wants(obs::LogLevel::Error));
+}
+
+TEST_F(ObsLog, EventsRenderAsOneJsonObjectPerLine)
+{
+    obs::EventLog::instance().configure(obs::LogLevel::Info, path_);
+    obs::LogEvent(obs::LogLevel::Info, "test.event")
+        .str("text", "with \"quotes\" and\nnewline")
+        .num("answer", uint64_t{ 42 })
+        .num("ratio", 0.5)
+        .boolean("flag", true)
+        .job(7);
+
+    std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 1u);
+    JsonValue doc = JsonValue::parse(got[0]);
+    EXPECT_EQ(doc.find("level")->asString(), "info");
+    EXPECT_EQ(doc.find("event")->asString(), "test.event");
+    EXPECT_EQ(doc.find("text")->asString(),
+              "with \"quotes\" and\nnewline");
+    EXPECT_EQ(doc.find("answer")->asNumber(), 42.0);
+    EXPECT_EQ(doc.find("ratio")->asNumber(), 0.5);
+    EXPECT_TRUE(doc.find("flag")->asBool());
+    EXPECT_EQ(doc.find("job")->asNumber(), 7.0);
+    // ISO-8601 UTC with millisecond precision.
+    const std::string &ts = doc.find("ts")->asString();
+    ASSERT_EQ(ts.size(), 24u) << ts;
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST_F(ObsLog, LevelThresholdFilters)
+{
+    obs::EventLog::instance().configure(obs::LogLevel::Warn, path_);
+    obs::LogEvent(obs::LogLevel::Debug, "drop.debug");
+    obs::LogEvent(obs::LogLevel::Info, "drop.info");
+    obs::LogEvent(obs::LogLevel::Warn, "keep.warn");
+    obs::LogEvent(obs::LogLevel::Error, "keep.error");
+
+    std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_NE(got[0].find("keep.warn"), std::string::npos);
+    EXPECT_NE(got[1].find("keep.error"), std::string::npos);
+}
+
+TEST_F(ObsLog, ReconfigureAppendsToAnExistingFile)
+{
+    obs::EventLog::instance().configure(obs::LogLevel::Info, path_);
+    obs::LogEvent(obs::LogLevel::Info, "first");
+    // A daemon restart reopens the same path: append, don't truncate.
+    obs::EventLog::instance().configure(obs::LogLevel::Info, path_);
+    obs::LogEvent(obs::LogLevel::Info, "second");
+
+    std::vector<std::string> got = lines();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_NE(got[0].find("first"), std::string::npos);
+    EXPECT_NE(got[1].find("second"), std::string::npos);
+}
+
+TEST_F(ObsLog, UnwritablePathThrows)
+{
+    EXPECT_THROW(obs::EventLog::instance().configure(
+                     obs::LogLevel::Info,
+                     "/nonexistent-dir/event.log"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace mbbp

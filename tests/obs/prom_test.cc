@@ -1,0 +1,186 @@
+/** @file Unit tests for the OpenMetrics exposition and validator. */
+
+#include "obs/prom.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+/** A hand-built snapshot keeps these tests independent of the live
+ *  registry (and identical under MBBP_OBS_DISABLED). */
+obs::Snapshot
+sampleSnapshot()
+{
+    obs::Snapshot snap;
+
+    obs::CounterSample c;
+    c.name = "predict.pht.lookup";
+    c.value = 1234;
+    snap.counters.push_back(c);
+
+    obs::GaugeSample g;
+    g.name = "pool.queue-depth";    // '-' must sanitize to '_'
+    g.value = 3;
+    g.peak = 9;
+    snap.gauges.push_back(g);
+
+    obs::TimerSample t;
+    t.name = "sweep.run";
+    t.calls = 2;
+    t.totalNs = 5000;
+    snap.timers.push_back(t);
+
+    obs::HistogramSample h;
+    h.name = "serve.http.request_latency_us";
+    h.buckets[0] = 1;   // value 0
+    h.buckets[3] = 2;   // values in [4, 7]
+    h.buckets[7] = 1;   // values in [64, 127]
+    h.count = 4;
+    h.sum = 140;
+    h.max = 100;
+    snap.histograms.push_back(h);
+
+    return snap;
+}
+
+TEST(Prom, NameSanitization)
+{
+    EXPECT_EQ(obs::promName("a.b.c"), "a_b_c");
+    EXPECT_EQ(obs::promName("with-dash"), "with_dash");
+    EXPECT_EQ(obs::promName("ok_name:sub"), "ok_name:sub");
+    // A leading digit is invalid in Prometheus; prefixed instead.
+    EXPECT_EQ(obs::promName("9lives"), "_9lives");
+}
+
+TEST(Prom, ExpositionCarriesEveryInstrumentKind)
+{
+    std::string text = obs::openMetricsText(sampleSnapshot());
+
+    EXPECT_NE(text.find("# TYPE predict_pht_lookup_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("predict_pht_lookup_total 1234"),
+              std::string::npos);
+    EXPECT_NE(text.find("pool_queue_depth 3"), std::string::npos);
+    EXPECT_NE(text.find("pool_queue_depth_peak 9"),
+              std::string::npos);
+    EXPECT_NE(text.find("sweep_run_calls_total 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("sweep_run_ns_total 5000"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE serve_http_request_latency_us histogram"),
+        std::string::npos);
+    EXPECT_NE(text.find(
+                  "serve_http_request_latency_us_bucket{le=\"+Inf\"}"
+                  " 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_http_request_latency_us_sum 140"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_http_request_latency_us_count 4"),
+              std::string::npos);
+    // Terminated, exactly once, at the end.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(Prom, HistogramBucketsAreCumulative)
+{
+    std::string text = obs::openMetricsText(sampleSnapshot());
+    // Bucket 0 (le="0") holds 1; bucket 3 (le="7") must be 1+2=3.
+    EXPECT_NE(text.find(
+                  "serve_http_request_latency_us_bucket{le=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find(
+                  "serve_http_request_latency_us_bucket{le=\"7\"} 3"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "serve_http_request_latency_us_bucket{le=\"127\"} 4"),
+        std::string::npos);
+}
+
+TEST(Prom, GeneratedExpositionValidates)
+{
+    std::string err;
+    EXPECT_TRUE(
+        obs::validateExposition(obs::openMetricsText(sampleSnapshot()),
+                                err))
+        << err;
+    // The trivial document -- empty snapshot -- also validates.
+    EXPECT_TRUE(obs::validateExposition(
+        obs::openMetricsText(obs::Snapshot{}), err))
+        << err;
+}
+
+TEST(Prom, ValidatorRejectsMissingEof)
+{
+    std::string err;
+    EXPECT_FALSE(obs::validateExposition(
+        "# TYPE a_total counter\na_total 1\n", err));
+    EXPECT_NE(err.find("EOF"), std::string::npos);
+}
+
+TEST(Prom, ValidatorRejectsSampleBeforeType)
+{
+    std::string err;
+    EXPECT_FALSE(obs::validateExposition(
+        "a_total 1\n# TYPE a_total counter\n# EOF\n", err));
+}
+
+TEST(Prom, ValidatorRejectsUnparseableValue)
+{
+    std::string err;
+    EXPECT_FALSE(obs::validateExposition(
+        "# TYPE a_total counter\na_total banana\n# EOF\n", err));
+}
+
+TEST(Prom, ValidatorRejectsNonCumulativeHistogram)
+{
+    std::string doc =
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 5\n"
+        "h_bucket{le=\"2\"} 3\n"     // decreasing: invalid
+        "h_bucket{le=\"+Inf\"} 5\n"
+        "h_sum 9\n"
+        "h_count 5\n"
+        "# EOF\n";
+    std::string err;
+    EXPECT_FALSE(obs::validateExposition(doc, err));
+}
+
+TEST(Prom, ValidatorRejectsInfBucketCountMismatch)
+{
+    std::string doc =
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 2\n"
+        "h_bucket{le=\"+Inf\"} 2\n"
+        "h_sum 2\n"
+        "h_count 3\n"                // != +Inf bucket: invalid
+        "# EOF\n";
+    std::string err;
+    EXPECT_FALSE(obs::validateExposition(doc, err));
+}
+
+TEST(Prom, ValidatorAcceptsContentAfterTypeGap)
+{
+    // Families may interleave freely as long as each sample follows
+    // its own TYPE line.
+    std::string doc =
+        "# TYPE a_total counter\n"
+        "# TYPE b gauge\n"
+        "a_total 1\n"
+        "b 2\n"
+        "# EOF\n";
+    std::string err;
+    EXPECT_TRUE(obs::validateExposition(doc, err)) << err;
+}
+
+} // namespace
+} // namespace mbbp

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Service-grade telemetry tests: per-job metric isolation under
+ * concurrent dispatch (each job's counters equal a serial run of its
+ * own spec, so their sum equals the serial-run total), trace-id
+ * propagation into per-job chrome-trace documents, the per-job
+ * metrics/trace lifecycle (live -> frozen -> expired), and the dual
+ * JSON / OpenMetrics exposition over real loopback HTTP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/suite_runner.hh"
+#include "obs/obs.hh"
+#include "obs/prom.hh"
+#include "serve/job_manager.hh"
+#include "serve/server.hh"
+#include "sweep/sweep_report.hh"
+#include "sweep/sweep_runner.hh"
+#include "util/json.hh"
+
+using namespace mbbp;
+using namespace mbbp::serve;
+
+namespace
+{
+
+const char *kSpecA =
+    "{\"name\":\"obs-a\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":20000,\"grid\":{\"historyBits\":[4,6]}}";
+
+const char *kSpecB =
+    "{\"name\":\"obs-b\",\"benchmarks\":[\"compress\"],"
+    "\"instructions\":20000,\"grid\":{\"historyBits\":[8,10]}}";
+
+/** Metrics only register while obs is on (the daemon enables it at
+ *  startup; tests must do the same). */
+class ServeObservability : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::setEnabled(true); }
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+ServiceLimits
+twoActiveLimits()
+{
+    ServiceLimits limits;
+    limits.threads = 2;
+    limits.maxActiveJobs = 2;
+    limits.maxQueuedJobs = 8;
+    return limits;
+}
+
+JobStatus
+awaitTerminal(JobManager &jm, uint64_t id)
+{
+    std::optional<JobStatus> st = jm.status(id);
+    while (st && !jobStateTerminal(st->state))
+        st = jm.waitChange(id, st->seq);
+    EXPECT_TRUE(st.has_value());
+    return *st;
+}
+
+/** Value of counter @p name in @p snap, or 0. */
+uint64_t
+counterValue(const obs::Snapshot &snap, const std::string &name)
+{
+    for (const obs::CounterSample &c : snap.counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+/** Run @p specJson serially under a private domain and return that
+ *  domain's snapshot -- the ground truth for one job's isolated
+ *  share. */
+obs::Snapshot
+serialDomainSnapshot(const char *specJson)
+{
+    obs::Domain ref("serial-ref");
+    SweepSpec spec = SweepSpec::fromJson(specJson);
+    TraceCache traces(spec.instructions());
+    SweepOptions opts;
+    opts.domain = &ref;
+    (void)runSweep(spec, traces, opts);
+    return ref.snapshot();
+}
+
+TEST_F(ServeObservability, ConcurrentJobsReportIsolatedMetricSums)
+{
+    obs::Snapshot serialA = serialDomainSnapshot(kSpecA);
+    obs::Snapshot serialB = serialDomainSnapshot(kSpecB);
+
+    JobManager jm(twoActiveLimits(), nullptr);
+    SubmitOutcome a = jm.submit(kSpecA, "trace-a");
+    SubmitOutcome b = jm.submit(kSpecB, "trace-b");
+    ASSERT_TRUE(a.ok()) << a.message;
+    ASSERT_TRUE(b.ok()) << b.message;
+    EXPECT_EQ(awaitTerminal(jm, a.id).state, JobState::Done);
+    EXPECT_EQ(awaitTerminal(jm, b.id).state, JobState::Done);
+
+    std::optional<obs::Snapshot> snapA = jm.jobMetrics(a.id);
+    std::optional<obs::Snapshot> snapB = jm.jobMetrics(b.id);
+    ASSERT_TRUE(snapA.has_value());
+    ASSERT_TRUE(snapB.has_value());
+
+#ifndef MBBP_OBS_DISABLED
+    // Replay is deterministic, so each concurrently-run job's
+    // isolated counters must equal a serial run of its own spec --
+    // nothing leaked in from the sibling running on the same pool.
+    // That also gives sum parity with two serial runs for free.
+    std::vector<std::string> keys;
+    for (const obs::CounterSample &c : serialA.counters)
+        if (c.name.rfind("predict.", 0) == 0)
+            keys.push_back(c.name);
+    ASSERT_FALSE(keys.empty());
+    for (const std::string &key : keys) {
+        EXPECT_EQ(counterValue(*snapA, key),
+                  counterValue(serialA, key))
+            << key;
+        EXPECT_EQ(counterValue(*snapB, key),
+                  counterValue(serialB, key))
+            << key;
+    }
+
+    // The configs differ (distinct historyBits), so B's PHT traffic
+    // must differ from A's -- i.e. the isolation check above is not
+    // vacuously comparing identical numbers.
+    EXPECT_NE(counterValue(serialA, "predict.pht.lookup"), 0u);
+#endif
+
+    // Byte-identical results: telemetry is accounting, not behavior.
+    SweepSpec specA = SweepSpec::fromJson(kSpecA);
+    TraceCache traces(specA.instructions());
+    SweepResult direct = runSweep(specA, traces, {});
+    EXPECT_EQ(*jm.result(a.id),
+              sweepToJson(direct, SweepReportOptions{}) + "\n");
+}
+
+TEST_F(ServeObservability, JobTraceCarriesTraceIdAndPhaseSpans)
+{
+    JobManager jm(twoActiveLimits(), nullptr);
+    SubmitOutcome out = jm.submit(kSpecA, "trace-id-xyz");
+    ASSERT_TRUE(out.ok());
+    JobStatus done = awaitTerminal(jm, out.id);
+    EXPECT_EQ(done.state, JobState::Done);
+    EXPECT_EQ(done.traceId, "trace-id-xyz");
+
+    std::optional<std::string> trace = jm.jobTrace(out.id);
+    ASSERT_TRUE(trace.has_value());
+    JsonValue doc = JsonValue::parse(*trace);
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+#ifndef MBBP_OBS_DISABLED
+    const JsonValue *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("traceId")->asString(), "trace-id-xyz");
+
+    std::vector<std::string> names;
+    for (const JsonValue &e : events->items())
+        names.push_back(e.find("name")->asString());
+    auto has = [&](const std::string &n) {
+        for (const std::string &name : names)
+            if (name == n)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("job.queued"));
+    EXPECT_TRUE(has("sweep run"));
+    EXPECT_TRUE(has("job 1 run"));
+#endif
+}
+
+TEST_F(ServeObservability, JobTelemetryLifecycle)
+{
+    JobManager jm(twoActiveLimits(), nullptr);
+
+    // Unknown ids have no telemetry.
+    EXPECT_FALSE(jm.jobMetrics(999).has_value());
+    EXPECT_FALSE(jm.jobTrace(999).has_value());
+
+    SubmitOutcome first = jm.submit(kSpecA, "t1");
+    ASSERT_TRUE(first.ok());
+    awaitTerminal(jm, first.id);
+
+    // A cache-served resubmission never ran: its metrics exist but
+    // are empty, and its trace is a well-formed empty document.
+    SubmitOutcome cached = jm.submit(kSpecA, "t2");
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(cached.cached);
+    std::optional<obs::Snapshot> snap = jm.jobMetrics(cached.id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->counters.empty());
+    std::optional<std::string> trace = jm.jobTrace(cached.id);
+    ASSERT_TRUE(trace.has_value());
+    JsonValue doc = JsonValue::parse(*trace);
+    EXPECT_EQ(doc.find("traceEvents")->size(), 0u);
+}
+
+TEST_F(ServeObservability, HttpMetricsNegotiatesJsonAndOpenMetrics)
+{
+    ServerConfig cfg;
+    cfg.limits = twoActiveLimits();
+    SweepServer server(cfg);
+    uint16_t port = server.start();
+
+    // Default stays JSON -- the pre-existing contract.
+    HttpResult json = httpRequest(port, "GET", "/metrics");
+    ASSERT_EQ(json.status, 200);
+    EXPECT_NE(JsonValue::parse(json.body).find("metrics"), nullptr);
+
+    // ?format=prometheus and Accept both yield valid exposition.
+    std::string err;
+    HttpResult text =
+        httpRequest(port, "GET", "/metrics?format=prometheus");
+    ASSERT_EQ(text.status, 200);
+    EXPECT_TRUE(obs::validateExposition(text.body, err)) << err;
+
+    HttpResult accepted =
+        httpRequest(port, "GET", "/metrics", "",
+                    { "Accept: application/openmetrics-text" });
+    ASSERT_EQ(accepted.status, 200);
+    EXPECT_TRUE(obs::validateExposition(accepted.body, err)) << err;
+
+    // Unknown tokens are a typed 400, not silent JSON.
+    HttpResult bad =
+        httpRequest(port, "GET", "/metrics?format=xml");
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_EQ(JsonValue::parse(bad.body).find("error")->asString(),
+              "bad_format");
+}
+
+TEST_F(ServeObservability, HttpPerJobEndpointsRoundTrip)
+{
+    ServerConfig cfg;
+    cfg.limits = twoActiveLimits();
+    SweepServer server(cfg);
+    uint16_t port = server.start();
+
+    // Submit with a caller-supplied trace id; it must echo in the
+    // submit response and every status document.
+    HttpResult sub =
+        httpRequest(port, "POST", "/jobs", kSpecA,
+                    { "X-Trace-Id: e2e-trace-7" });
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    JsonValue subDoc = JsonValue::parse(sub.body);
+    EXPECT_EQ(subDoc.find("trace_id")->asString(), "e2e-trace-7");
+    std::string id = std::to_string(
+        static_cast<uint64_t>(subDoc.find("id")->asNumber()));
+
+    std::string errBody;
+    (void)httpStreamLines(
+        port, "/jobs/" + id + "/stream",
+        [&](const std::string &line) {
+            JsonValue st = JsonValue::parse(line);
+            const std::string &state =
+                st.find("state")->asString();
+            return state != "done" && state != "failed" &&
+                   state != "cancelled";
+        },
+        errBody);
+
+    HttpResult status = httpRequest(port, "GET", "/jobs/" + id);
+    ASSERT_EQ(status.status, 200);
+    EXPECT_EQ(
+        JsonValue::parse(status.body).find("trace_id")->asString(),
+        "e2e-trace-7");
+
+    // Per-job metrics in both formats.
+    HttpResult jm =
+        httpRequest(port, "GET", "/jobs/" + id + "/metrics");
+    ASSERT_EQ(jm.status, 200);
+    JsonValue metricsDoc = JsonValue::parse(jm.body);
+    const JsonValue *metrics = metricsDoc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+#ifndef MBBP_OBS_DISABLED
+    const JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("predict.pht.lookup"), nullptr);
+    // Per-job, not global: no HTTP-layer counters in a job snapshot.
+    for (std::size_t i = 0; i < counters->size(); ++i)
+        EXPECT_NE(counters->keyAt(i).rfind("serve.http.", 0), 0u)
+            << counters->keyAt(i);
+#endif
+
+    std::string err;
+    HttpResult jmText = httpRequest(
+        port, "GET", "/jobs/" + id + "/metrics?format=text");
+    ASSERT_EQ(jmText.status, 200);
+    EXPECT_TRUE(obs::validateExposition(jmText.body, err)) << err;
+
+    // The chrome-trace document parses and carries the trace id.
+    HttpResult trace =
+        httpRequest(port, "GET", "/jobs/" + id + "/trace");
+    ASSERT_EQ(trace.status, 200);
+    JsonValue traceDoc = JsonValue::parse(trace.body);
+    ASSERT_NE(traceDoc.find("traceEvents"), nullptr);
+    EXPECT_TRUE(traceDoc.find("traceEvents")->isArray());
+#ifndef MBBP_OBS_DISABLED
+    ASSERT_NE(traceDoc.find("otherData"), nullptr);
+    EXPECT_EQ(
+        traceDoc.find("otherData")->find("traceId")->asString(),
+        "e2e-trace-7");
+#endif
+
+    // Telemetry endpoints 404 like any other job route.
+    HttpResult missing =
+        httpRequest(port, "GET", "/jobs/424242/metrics");
+    EXPECT_EQ(missing.status, 404);
+    HttpResult missingTrace =
+        httpRequest(port, "GET", "/jobs/424242/trace");
+    EXPECT_EQ(missingTrace.status, 404);
+}
+
+} // namespace

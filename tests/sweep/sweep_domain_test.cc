@@ -1,0 +1,160 @@
+/**
+ * @file
+ * SweepOptions::domain tests: two sweeps multiplexed onto one shared
+ * ThreadPool under different obs::Domains keep fully separate metric
+ * shares (each equal to a serial run of the same spec), the parent
+ * domain aggregates both, and the domain knob never changes a single
+ * result byte.
+ */
+
+#include "sweep/sweep_runner.hh"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/suite_runner.hh"
+#include "obs/obs.hh"
+#include "sweep/sweep_report.hh"
+#include "sweep/thread_pool.hh"
+
+namespace mbbp
+{
+namespace
+{
+
+SweepSpec
+specWith(const std::string &name, const std::string &bits)
+{
+    return SweepSpec::fromJson(
+        "{\"name\":\"" + name +
+        "\",\"benchmarks\":[\"compress\"],"
+        "\"instructions\":20000,\"grid\":{\"historyBits\":[" +
+        bits + "]}}");
+}
+
+uint64_t
+counterValue(const obs::Snapshot &snap, const std::string &name)
+{
+    for (const obs::CounterSample &c : snap.counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+class SweepDomain : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::setEnabled(true); }
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+TEST_F(SweepDomain, ConcurrentSweepsOnOnePoolKeepSeparateShares)
+{
+    SweepSpec specA = specWith("dom-a", "4,6");
+    SweepSpec specB = specWith("dom-b", "8,10");
+
+    // Ground truth: each spec serially, each in a private domain.
+    obs::Snapshot serialA;
+    obs::Snapshot serialB;
+    std::string bytesA;
+    std::string bytesB;
+    {
+        obs::Domain ref("ref-a");
+        TraceCache traces(20000);
+        SweepOptions opts;
+        opts.domain = &ref;
+        SweepResult r = runSweep(specA, traces, opts);
+        bytesA = sweepToJson(r, SweepReportOptions{});
+        serialA = ref.snapshot();
+    }
+    {
+        obs::Domain ref("ref-b");
+        TraceCache traces(20000);
+        SweepOptions opts;
+        opts.domain = &ref;
+        SweepResult r = runSweep(specB, traces, opts);
+        bytesB = sweepToJson(r, SweepReportOptions{});
+        serialB = ref.snapshot();
+    }
+
+    // Now both sweeps concurrently on ONE shared pool, with a shared
+    // TraceCache, each under its own parented domain.
+    obs::Domain parent("pool-parent");
+    obs::Domain domA("conc-a", &parent);
+    obs::Domain domB("conc-b", &parent);
+    ThreadPool pool(2);
+    TraceCache shared(20000);
+    // Warm the cache first so neither concurrent sweep's domain is
+    // charged the one-time trace generate/decode work -- which would
+    // otherwise land on whichever job got there first.
+    (void)shared.decoded("compress",
+                         specA.expand()[0].config.engine.icache);
+
+    std::string concA;
+    std::string concB;
+    std::thread ta([&] {
+        SweepOptions opts;
+        opts.pool = &pool;
+        opts.domain = &domA;
+        concA = sweepToJson(runSweep(specA, shared, opts),
+                            SweepReportOptions{});
+    });
+    std::thread tb([&] {
+        SweepOptions opts;
+        opts.pool = &pool;
+        opts.domain = &domB;
+        concB = sweepToJson(runSweep(specB, shared, opts),
+                            SweepReportOptions{});
+    });
+    ta.join();
+    tb.join();
+
+    // The domain knob is accounting only: bytes are unchanged.
+    EXPECT_EQ(concA, bytesA);
+    EXPECT_EQ(concB, bytesB);
+
+#ifndef MBBP_OBS_DISABLED
+    obs::Snapshot gotA = domA.snapshot();
+    obs::Snapshot gotB = domB.snapshot();
+
+    std::vector<std::string> keys;
+    for (const obs::CounterSample &c : serialA.counters)
+        if (c.name.rfind("predict.", 0) == 0)
+            keys.push_back(c.name);
+    ASSERT_FALSE(keys.empty());
+    for (const std::string &key : keys) {
+        uint64_t a = counterValue(serialA, key);
+        uint64_t b = counterValue(serialB, key);
+        // Isolation: each concurrent sweep's share equals its own
+        // serial run exactly, and the parent holds the sum.
+        EXPECT_EQ(counterValue(gotA, key), a) << key;
+        EXPECT_EQ(counterValue(gotB, key), b) << key;
+        EXPECT_EQ(counterValue(parent.snapshot(), key), a + b)
+            << key;
+    }
+    EXPECT_NE(counterValue(serialA, "predict.pht.lookup"), 0u);
+#endif
+}
+
+TEST_F(SweepDomain, NullDomainInheritsTheCallersCurrent)
+{
+    obs::Domain caller("caller");
+    SweepSpec spec = specWith("dom-inherit", "4");
+    TraceCache traces(20000);
+    {
+        obs::ScopedDomain scope(&caller);
+        SweepOptions opts;    // domain left null
+        (void)runSweep(spec, traces, opts);
+    }
+#ifndef MBBP_OBS_DISABLED
+    EXPECT_NE(counterValue(caller.snapshot(),
+                           "predict.pht.lookup"),
+              0u);
+#endif
+}
+
+} // namespace
+} // namespace mbbp
