@@ -18,6 +18,12 @@
  * counter snapshot from the metrics mode -- to BENCH_perf_sweep.json
  * for regression tooling.
  *
+ * Three kind/feature-specific sections follow the main grid: a
+ * fig7-shaped finite-BIT sweep, a 3-block Multi sweep, and a
+ * two-ahead comparison (solo TwoAheadEngine loop vs batchReplayKind,
+ * which SweepSpec cannot express), each timed shared-1T vs
+ * batched-1T and folded into the same byte-identity verdict.
+ *
  * The thread speedup is bounded by the physical cores of the host
  * (hardware_concurrency is printed for context); the decode-once
  * speedup is host-independent, since it removes whole decode passes.
@@ -25,11 +31,13 @@
  * MBBP_BENCH_INSTS scales the per-program trace length.
  */
 
+#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hh"
 #include "obs/obs.hh"
+#include "sweep/batch_replay.hh"
 #include "util/simd.hh"
 
 using namespace mbbp;
@@ -47,6 +55,38 @@ struct Mode
     bool batched;
     SweepResult result;
 };
+
+/** Wall seconds of @p fn. */
+template <typename Fn>
+double
+wallSecondsOf(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Shared-decode 1T vs batched 1T over @p spec: returns the speedup
+ *  and ANDs the byte-identity of both reports into @p identical. */
+double
+batchedSpeedupOf(const SweepSpec &spec, bool &identical)
+{
+    SweepOptions shared;
+    shared.threads = 1;
+    shared.sharedDecode = true;
+    SweepOptions batched = shared;
+    batched.batchedReplay = true;
+
+    SweepResult ref = runSweep(spec, benchTraces(), shared);
+    SweepResult bat = runSweep(spec, benchTraces(), batched);
+    SweepReportOptions stable;
+    identical = identical &&
+                sweepToJson(ref, stable) == sweepToJson(bat, stable) &&
+                sweepToCsv(ref, stable) == sweepToCsv(bat, stable);
+    return ref.wallSeconds / bat.wallSeconds;
+}
 
 } // namespace
 
@@ -132,6 +172,57 @@ main()
         modes[2].result.wallSeconds / modes[5].result.wallSeconds;
     double batched_8t =
         modes[3].result.wallSeconds / modes[6].result.wallSeconds;
+
+    // --- Kind- and feature-specific batched speedups: the fig7
+    // shape (finite BIT), the 3-block Multi engine, and the
+    // two-ahead engine -- the config-space corners that used to fall
+    // back to the scalar reference lanes.
+    SweepSpec bit_spec;
+    bit_spec.setName("perf-sweep-bit");
+    bit_spec.setBenchmarks({ "gcc", "compress" });
+    bit_spec.addAxis("historyBits", { "6", "8", "10", "12" });
+    bit_spec.addAxis("bitEntries", { "16", "64", "256", "1024" });
+    double batched_bit_1t = batchedSpeedupOf(bit_spec, identical);
+
+    SweepSpec multi_spec;
+    multi_spec.setName("perf-sweep-multi");
+    multi_spec.setBenchmarks({ "gcc", "compress" });
+    multi_spec.setBase("numBlocks", "3");
+    multi_spec.addAxis("historyBits", { "6", "8", "10", "12" });
+    multi_spec.addAxis("numSelectTables", { "1", "2", "4", "8" });
+    double batched_multi_1t = batchedSpeedupOf(multi_spec, identical);
+
+    // TwoAhead is not a SweepSpec kind: time the solo engine loop
+    // against batchReplayKind over the same decoded traces.
+    std::vector<FetchEngineConfig> ta_cfgs;
+    for (unsigned h : { 6u, 8u, 10u, 12u }) {
+        for (unsigned s = 0; s < 4; ++s) {
+            FetchEngineConfig e;
+            e.historyBits = h + s;
+            ta_cfgs.push_back(e);
+        }
+    }
+    double ta_solo = 0.0, ta_batched = 0.0;
+    bool ta_same = true;
+    for (const char *name : { "gcc", "compress" }) {
+        std::shared_ptr<const DecodedTrace> dec_ptr =
+            benchTraces().decoded(name, geom);
+        const DecodedTrace &dec = *dec_ptr;
+        std::vector<FetchStats> solo(ta_cfgs.size());
+        ta_solo += wallSecondsOf([&] {
+            for (std::size_t i = 0; i < ta_cfgs.size(); ++i)
+                solo[i] = TwoAheadEngine(ta_cfgs[i]).run(dec);
+        });
+        std::vector<FetchStats> bat;
+        ta_batched += wallSecondsOf([&] {
+            bat = batchReplayKind(BatchEngineKind::TwoAhead, ta_cfgs,
+                                  2, dec);
+        });
+        for (std::size_t i = 0; i < ta_cfgs.size(); ++i)
+            ta_same = ta_same && bat[i] == solo[i];
+    }
+    identical = identical && ta_same;
+    double batched_ta_1t = ta_solo / ta_batched;
     std::cout << "decode-once speedup, 1 thread:  "
               << TextTable::fmt(decode_once_1t, 2) << "x\n"
               << "decode-once speedup, 8 threads: "
@@ -142,6 +233,12 @@ main()
               << TextTable::fmt(batched_1t, 2) << "x\n"
               << "batched speedup, 8 threads:     "
               << TextTable::fmt(batched_8t, 2) << "x\n"
+              << "batched finite-BIT speedup, 1T: "
+              << TextTable::fmt(batched_bit_1t, 2) << "x\n"
+              << "batched multi speedup, 1T:      "
+              << TextTable::fmt(batched_multi_1t, 2) << "x\n"
+              << "batched two-ahead speedup, 1T:  "
+              << TextTable::fmt(batched_ta_1t, 2) << "x\n"
               << "metrics-enabled overhead:       "
               << TextTable::fmt(metrics_overhead, 3)
               << "x\naggregate output byte-identical: "
@@ -174,6 +271,9 @@ main()
     w.value("threadSpeedupShared", threads_shared);
     w.value("batchedSpeedup1T", batched_1t);
     w.value("batchedSpeedup8T", batched_8t);
+    w.value("batchedBitSpeedup1T", batched_bit_1t);
+    w.value("batchedMultiSpeedup1T", batched_multi_1t);
+    w.value("batchedTwoAheadSpeedup1T", batched_ta_1t);
     w.value("simd", simd::levelName(simd::activeLevel()));
     w.value("metricsOverhead", metrics_overhead);
     w.value("byteIdentical", identical);

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-ahead sweep driver for determinism checks. The two-ahead
+ * engine is not a SweepSpec kind (it has no numBlocks analogue), so
+ * sweep_cli cannot drive it; this tool runs a fixed historyBits grid
+ * of TwoAheadEngine configurations over one generated benchmark,
+ * either solo per configuration or through the config-batched
+ * replay kernel, and writes one deterministic JSON document. CI
+ * runs it both ways and byte-compares the reports.
+ *
+ *   two_ahead_sweep [--batched] [--benchmark NAME] [--insts N]
+ *                   [--out FILE]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/mbbp.hh"
+#include "sweep/batch_replay.hh"
+
+using namespace mbbp;
+
+int
+main(int argc, char **argv)
+{
+    bool batched = false;
+    std::string benchmark = "go";
+    std::size_t insts = 100000;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--batched") {
+            batched = true;
+        } else if (arg == "--benchmark" && i + 1 < argc) {
+            benchmark = argv[++i];
+        } else if (arg == "--insts" && i + 1 < argc) {
+            insts = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: two_ahead_sweep [--batched]"
+                         " [--benchmark NAME] [--insts N]"
+                         " [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    std::vector<FetchEngineConfig> cfgs;
+    for (unsigned h : { 6u, 7u, 8u, 9u, 10u, 11u, 12u, 13u }) {
+        FetchEngineConfig e;
+        e.historyBits = h;
+        cfgs.push_back(e);
+    }
+
+    InMemoryTrace trace = specTrace(benchmark, insts);
+    DecodedTrace dec = DecodedTrace::build(trace, cfgs[0].icache);
+
+    std::vector<FetchStats> stats;
+    if (batched) {
+        stats = batchReplayKind(BatchEngineKind::TwoAhead, cfgs, 2,
+                                dec);
+    } else {
+        for (const FetchEngineConfig &c : cfgs)
+            stats.push_back(TwoAheadEngine(c).run(dec));
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.value("engine", "two_ahead");
+    w.value("benchmark", benchmark);
+    w.value("instructions", static_cast<uint64_t>(insts));
+    w.beginArray("configs");
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        w.beginObject();
+        w.value("historyBits",
+                static_cast<uint64_t>(cfgs[i].historyBits));
+        writeStatsJson(w, stats[i]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    if (out_path.empty() || out_path == "-")
+        std::cout << w.str() << "\n";
+    else
+        writeTextFile(out_path, w.str() + "\n");
+    return 0;
+}

@@ -351,6 +351,26 @@ batchCountBlockStats(FetchStats &stats, const BatchBlockCtx &ctx)
 }
 
 /**
+ * trueWindowCodes for one whole aligned i-cache line, written into a
+ * caller-owned byte buffer (one byte per BitCode). This is the
+ * refresh payload a finite BIT installs per touched line
+ * (refreshBitEntries); the SoA kernels compute it once per near-flag
+ * variant and scatter it into every finite-BIT lane's arena.
+ */
+inline void
+batchTrueLineCodes(const StaticImage &image, Addr line_addr,
+                   unsigned line_size, bool near_block, uint8_t *out)
+{
+    const Addr base = line_addr * line_size;
+    for (unsigned i = 0; i < line_size; ++i) {
+        StaticInfo info = image.lookup(base + i);
+        out[i] = static_cast<uint8_t>(
+            computeBitCode(info.cls, base + i, info.target,
+                           line_size, near_block));
+    }
+}
+
+/**
  * ICacheModel::bankConflict over two precomputed line ranges
  * (duplicate lines are free: one read serves both).
  */

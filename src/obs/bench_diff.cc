@@ -184,6 +184,11 @@ defaultPerfSweepRules()
         // their bands are wider than the decode-once ones.
         { "batchedSpeedup1T", DiffDirection::HigherBetter, 0.45 },
         { "batchedSpeedup8T", DiffDirection::HigherBetter, 0.60 },
+        { "batchedBitSpeedup1T", DiffDirection::HigherBetter, 0.45 },
+        { "batchedMultiSpeedup1T", DiffDirection::HigherBetter,
+          0.45 },
+        { "batchedTwoAheadSpeedup1T", DiffDirection::HigherBetter,
+          0.45 },
         { "metricsOverhead", DiffDirection::LowerBetter, 0.50 },
         // Pool scheduling counters depend on thread timing.
         { "metrics.counters.sweep.pool.*", DiffDirection::Ignore,

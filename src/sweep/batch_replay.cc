@@ -830,6 +830,16 @@ runReferenceTile(BatchEngineKind kind, unsigned num_blocks,
 {
     std::vector<FetchStats> out;
     out.reserve(cfgs.size());
+    if (kind == BatchEngineKind::TwoAhead) {
+        std::vector<std::unique_ptr<TwoAheadLane>> lanes;
+        lanes.reserve(cfgs.size());
+        for (const FetchEngineConfig *c : cfgs)
+            lanes.push_back(std::make_unique<TwoAheadLane>(*c));
+        runTwoAheadTile(dec, lanes);
+        for (auto &l : lanes)
+            out.push_back(l->stats);
+        return out;
+    }
     std::vector<std::unique_ptr<BatchLane>> lanes;
     lanes.reserve(cfgs.size());
     for (const FetchEngineConfig *c : cfgs)
@@ -859,22 +869,11 @@ runTile(BatchEngineKind kind, unsigned num_blocks,
 {
     const unsigned line_size = cfgs[0]->icache.lineSize;
 
-    if (kind == BatchEngineKind::TwoAhead) {
-        std::vector<FetchStats> out;
-        out.reserve(cfgs.size());
-        std::vector<std::unique_ptr<TwoAheadLane>> lanes;
-        lanes.reserve(cfgs.size());
-        for (const FetchEngineConfig *c : cfgs)
-            lanes.push_back(std::make_unique<TwoAheadLane>(*c));
-        runTwoAheadTile(dec, lanes);
-        for (auto &l : lanes)
-            out.push_back(l->stats);
-        return out;
-    }
-
     // Split the tile between the structure-of-arrays kernels
     // (eligible lanes, in vector-width groups of <= 64) and the
-    // reference kernels, then merge by original position.
+    // reference kernels, then merge by original position. The
+    // position map keeps report order deterministic even when the
+    // eligible subset is non-contiguous.
     std::vector<std::size_t> soa_idx, ref_idx;
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         if (laneSoaEligible(kind, *cfgs[i]))
@@ -890,6 +889,11 @@ runTile(BatchEngineKind kind, unsigned num_blocks,
     std::vector<FetchStats> out(cfgs.size());
     const LaneSoaKernels &kern =
         laneSoaKernelsFor(simd::activeLevel());
+    void (*run)(SoaTile &, const DecodedTrace &) =
+        kind == BatchEngineKind::Single ? kern.runSingle
+        : kind == BatchEngineKind::Dual ? kern.runDual
+        : kind == BatchEngineKind::Multi ? kern.runMulti
+                                         : kern.runTwoAhead;
     for (std::size_t first = 0; first < soa_idx.size();
          first += 64) {
         const std::size_t count =
@@ -899,9 +903,8 @@ runTile(BatchEngineKind kind, unsigned num_blocks,
         for (std::size_t i = 0; i < count; ++i)
             sub.push_back(cfgs[soa_idx[first + i]]);
         SoaTile tile;
-        tile.build(kind, sub, line_size);
-        (kind == BatchEngineKind::Single ? kern.runSingle
-                                         : kern.runDual)(tile, dec);
+        tile.build(kind, num_blocks, sub, line_size);
+        run(tile, dec);
         std::vector<FetchStats> part = tile.finish();
         for (std::size_t i = 0; i < count; ++i)
             out[soa_idx[first + i]] = part[i];
@@ -917,6 +920,37 @@ runTile(BatchEngineKind kind, unsigned num_blocks,
             out[ref_idx[i]] = part[i];
     }
     return out;
+}
+
+/** Publish the eligible/total lane split and per-reason fallback
+ *  counts for one batched run. The gauge is per-mille (1000 means
+ *  every lane took the columnar path). */
+void
+recordSoaCoverage(BatchEngineKind kind,
+                  const std::vector<const FetchEngineConfig *> &cfgs)
+{
+    uint64_t eligible = 0;
+    uint64_t by_reason[numSoaFallbackReasons] = {};
+    for (const FetchEngineConfig *c : cfgs) {
+        const SoaFallback r = laneSoaFallback(kind, *c);
+        if (r == SoaFallback::Eligible)
+            ++eligible;
+        else
+            ++by_reason[static_cast<unsigned>(r)];
+    }
+    const uint64_t total = cfgs.size();
+    obs::gauge("sweep.soa.lane_coverage")
+        .set(total ? eligible * 1000 / total : 1000);
+    obs::flushCounter("sweep.soa.lanes.total", total);
+    obs::flushCounter("sweep.soa.lanes.eligible", eligible);
+    for (unsigned r = 1; r < numSoaFallbackReasons; ++r) {
+        if (by_reason[r] == 0)
+            continue;
+        obs::flushCounter(
+            std::string("sweep.soa.fallback.") +
+                soaFallbackName(static_cast<SoaFallback>(r)),
+            by_reason[r]);
+    }
 }
 
 } // namespace
@@ -1027,6 +1061,13 @@ batchReplay(const std::vector<SimConfig> &configs,
 
     obs::gauge("sweep.simd_width")
         .set(simd::vectorLanes(simd::activeLevel()));
+    {
+        std::vector<const FetchEngineConfig *> all;
+        all.reserve(configs.size());
+        for (const SimConfig &c : configs)
+            all.push_back(&c.engine);
+        recordSoaCoverage(key.kind, all);
+    }
 
     for (auto [first, count] : planBatchTiles(configs, opts)) {
         std::vector<const FetchEngineConfig *> cfgs;
@@ -1064,6 +1105,13 @@ batchReplayKind(BatchEngineKind kind,
 
     obs::gauge("sweep.simd_width")
         .set(simd::vectorLanes(simd::activeLevel()));
+    {
+        std::vector<const FetchEngineConfig *> all;
+        all.reserve(configs.size());
+        for (const FetchEngineConfig &c : configs)
+            all.push_back(&c);
+        recordSoaCoverage(kind, all);
+    }
 
     auto tiles = greedyTiles(configs.size(), opts,
                              [&](std::size_t i) {

@@ -31,37 +31,79 @@ const LaneSoaKernels &kernels();
 }
 #endif
 
+const char *
+soaFallbackName(SoaFallback reason)
+{
+    switch (reason) {
+      case SoaFallback::Eligible:
+        return "eligible";
+      case SoaFallback::FiniteICache:
+        return "finite_icache";
+      case SoaFallback::BtbTarget:
+        return "btb_target";
+      case SoaFallback::TargetGeometry:
+        return "target_geometry";
+      case SoaFallback::NoRas:
+        return "no_ras";
+      case SoaFallback::BlockWidth:
+        return "block_width";
+      case SoaFallback::SelectGeometry:
+        return "select_geometry";
+      case SoaFallback::DoubleSelect:
+        return "double_select";
+      case SoaFallback::BitGeometry:
+        return "bit_geometry";
+    }
+    return "unknown";
+}
+
+SoaFallback
+laneSoaFallback(BatchEngineKind kind, const FetchEngineConfig &cfg)
+{
+    // TwoAhead lanes carry only a GHR and the two-ahead address
+    // table: none of the structures the other gates protect are
+    // touched, so everything but doubleSelect (which the reference
+    // engine asserts against) is columnar.
+    if (kind == BatchEngineKind::TwoAhead)
+        return cfg.doubleSelect ? SoaFallback::DoubleSelect
+                                : SoaFallback::Eligible;
+    // Double selection is a Dual-only mechanism; the reference
+    // BatchLane asserts it away for Single and Multi.
+    if (cfg.doubleSelect && kind != BatchEngineKind::Dual)
+        return SoaFallback::DoubleSelect;
+    // Finite i-cache contents keep per-lane, per-access LRU
+    // replacement state: the only remaining scalar-fallback feature.
+    if (cfg.icacheLines != 0)
+        return SoaFallback::FiniteICache;
+    if (cfg.targetKind != TargetKind::Nls)
+        return SoaFallback::BtbTarget;
+    if (cfg.targetEntries == 0 ||
+        !isPowerOf2(cfg.targetEntries))
+        return SoaFallback::TargetGeometry;
+    if (cfg.rasEntries == 0)
+        return SoaFallback::NoRas;
+    if (!isPowerOf2(cfg.icache.blockWidth))
+        return SoaFallback::BlockWidth;
+    // The arena direct-maps lines with bitEntries - 1 as the mask.
+    if (cfg.bitEntries != 0 && !isPowerOf2(cfg.bitEntries))
+        return SoaFallback::BitGeometry;
+    // Select-table kinds flat-index (table * entries + idx) * slots,
+    // which requires the gshare index to stay inside one table.
+    if ((kind == BatchEngineKind::Dual ||
+         kind == BatchEngineKind::Multi) &&
+        (cfg.numPhts != 1 || !isPowerOf2(cfg.numSelectTables)))
+        return SoaFallback::SelectGeometry;
+    return SoaFallback::Eligible;
+}
+
 bool
 laneSoaEligible(BatchEngineKind kind, const FetchEngineConfig &cfg)
 {
-    if (kind != BatchEngineKind::Single &&
-        kind != BatchEngineKind::Dual)
-        return false;
-    // Columnar lanes model the immediate-update, single-selection,
-    // perfect-BIT, perfect-contents, NLS configuration space; every
-    // other feature keeps per-lane structure (or per-probe stat side
-    // effects) that would serialize the staged passes.
-    if (cfg.delayedPhtUpdate || cfg.doubleSelect)
-        return false;
-    if (cfg.bitEntries != 0 || cfg.icacheLines != 0)
-        return false;
-    if (cfg.targetKind != TargetKind::Nls)
-        return false;
-    if (cfg.targetEntries == 0 ||
-        !isPowerOf2(cfg.targetEntries))
-        return false;
-    if (cfg.rasEntries == 0)
-        return false;
-    if (!isPowerOf2(cfg.icache.blockWidth))
-        return false;
-    if (kind == BatchEngineKind::Dual &&
-        (cfg.numPhts != 1 || !isPowerOf2(cfg.numSelectTables)))
-        return false;
-    return true;
+    return laneSoaFallback(kind, cfg) == SoaFallback::Eligible;
 }
 
 void
-SoaTile::build(BatchEngineKind k,
+SoaTile::build(BatchEngineKind k, unsigned num_blocks,
                const std::vector<const FetchEngineConfig *> &cs,
                unsigned line_size)
 {
@@ -70,11 +112,20 @@ SoaTile::build(BatchEngineKind k,
     mbbp_assert(n >= 1 && n <= 64, "SoA tiles carry 1..64 lanes");
     padN = (n + kPad - 1) / kPad * kPad;
     allMask = n == 64 ? ~uint64_t{ 0 } : (uint64_t{ 1 } << n) - 1;
+    numBlocks = kind == BatchEngineKind::Multi ? num_blocks
+        : kind == BatchEngineKind::Dual        ? 2
+                                               : 1;
     lineSize = line_size;
     blockWidth = cs[0]->icache.blockWidth;
     shift = static_cast<unsigned>(floorLog2(blockWidth));
     numBanks = cs[0]->icache.numBanks;
-    nlsArrays = kind == BatchEngineKind::Dual ? 2 : 1;
+    nlsArrays = kind == BatchEngineKind::Multi ? numBlocks
+        : kind == BatchEngineKind::Dual        ? 2
+                                               : 1;
+    anyMultiPht = false;
+    ran = false;
+    nearMask = storedOffMask = 0;
+    dsMask = delayedMask = bitMask = 0;
 
     phtBase.assign(padN, 0);
     ghr.assign(padN, 0);
@@ -84,9 +135,13 @@ SoaTile::build(BatchEngineKind k,
     stBase.assign(padN, 0);
     stTabMask.assign(padN, 0);
     stEntries.assign(padN, 0);
+    stSlots.assign(padN, 0);
     nlsBase.assign(padN, 0);
     nlsIdxMask.assign(padN, 0);
     rasOf.assign(padN, 0);
+    bitBase.assign(padN, 0);
+    bitEntMask.assign(padN, 0);
+    taBase.assign(padN, 0);
     rasPeeks.assign(n, 0);
     phtLookups.assign(n, 0);
     stats.assign(n, FetchStats{});
@@ -96,12 +151,61 @@ SoaTile::build(BatchEngineKind k,
     for (unsigned l = 0; l < n; ++l)
         attr.push_back(std::make_unique<obs::AttributionSink>());
 
+    const PenaltyModel pm(false);
+    const PenaltyModel pmds(true);
+    for (unsigned pk = 0; pk < numPenaltyKinds; ++pk)
+        for (unsigned slot = 0; slot < 4; ++slot) {
+            pcycles[pk][slot] =
+                pm.cycles(static_cast<PenaltyKind>(pk), slot);
+            pcyclesDS[pk][slot] =
+                pmds.cycles(static_cast<PenaltyKind>(pk), slot);
+        }
+    refetchExtra = pm.refetchExtra();
+
+    for (SoaTile::Scan *s : { &scanB, &scanC }) {
+        s->src.assign(padN, 0);
+        s->off.assign(padN, 0);
+        s->posByte.assign(padN, 0);
+        s->nnt.assign(padN, 0);
+        s->tgt.assign(padN, 0);
+    }
+    idx1.assign(padN, 0);
+    idx2.assign(padN, 0);
+    gatherOff.assign(padN, 0);
+    gatherVal.assign(padN, 0);
+    stOff.assign(padN, 0);
+    stWord.assign(padN, 0);
+    expWord.assign(padN, 0);
+
+    if (kind == BatchEngineKind::TwoAhead) {
+        // The two-ahead kind replaces every predictor structure
+        // with one address table per lane; none of the PHT / ST /
+        // NLS / RAS / BIT arenas below apply.
+        std::size_t ta_words = 0;
+        for (unsigned l = 0; l < n; ++l) {
+            const FetchEngineConfig &c = *cs[l];
+            mbbp_assert(laneSoaEligible(kind, c),
+                        "ineligible lane in SoA tile");
+            idxMask[l] = mask(c.historyBits);
+            histBits[l] = c.historyBits;
+            taBase[l] = ta_words;
+            ta_words += std::size_t{ 1 } << c.historyBits;
+        }
+        taAddr.assign(ta_words, 0);
+        taValid.assign(ta_words, 0);
+        return;
+    }
+
+    const bool has_select = kind == BatchEngineKind::Dual ||
+        kind == BatchEngineKind::Multi;
     std::size_t pht_words = 0, st_words = 0, nls_words = 0;
+    std::size_t bit_words = 0;
     std::map<std::size_t, uint32_t> group_of;
     for (unsigned l = 0; l < n; ++l) {
         const FetchEngineConfig &c = *cs[l];
         mbbp_assert(laneSoaEligible(kind, c),
                     "ineligible lane in SoA tile");
+        const uint64_t lane_bit = uint64_t{ 1 } << l;
         const std::size_t entries = std::size_t{ 1 }
             << c.historyBits;
 
@@ -112,15 +216,36 @@ SoaTile::build(BatchEngineKind k,
         histBits[l] = c.historyBits;
         anyMultiPht = anyMultiPht || c.numPhts > 1;
         if (c.nearBlock)
-            nearMask |= uint64_t{ 1 } << l;
+            nearMask |= lane_bit;
         if (c.nearBlockStoredOffset)
-            storedOffMask |= uint64_t{ 1 } << l;
+            storedOffMask |= lane_bit;
+        if (c.delayedPhtUpdate)
+            delayedMask |= lane_bit;
+        if (c.doubleSelect)
+            dsMask |= lane_bit;
 
-        if (kind == BatchEngineKind::Dual) {
+        // Double-select lanes never consult their BIT (the
+        // reference's stale check is the *else* arm of the
+        // double-select stage), so they need no arena.
+        if (c.bitEntries != 0 && !c.doubleSelect) {
+            mbbp_assert(isPowerOf2(c.bitEntries),
+                        "BIT entries must be a power of two");
+            bitBase[l] = bit_words;
+            bit_words += c.bitEntries * lineSize;
+            bitEntMask[l] = c.bitEntries - 1;
+            bitMask |= lane_bit;
+        }
+
+        if (has_select) {
+            const std::size_t slots =
+                kind == BatchEngineKind::Dual
+                ? (c.doubleSelect ? 2u : 1u)
+                : (numBlocks > 1 ? numBlocks - 1 : 1u);
             stBase[l] = st_words;
-            st_words += entries * c.numSelectTables;
+            st_words += entries * c.numSelectTables * slots;
             stTabMask[l] = c.numSelectTables - 1;
             stEntries[l] = entries;
+            stSlots[l] = slots;
         }
 
         nlsBase[l] = nls_words;
@@ -147,54 +272,53 @@ SoaTile::build(BatchEngineKind k,
     // trailing bytes so the 8-byte vector gathers never read past
     // the allocation. Counters start at 2 (SatCounter(2, 2)).
     pht.assign(pht_words + blockWidth + 8, 2);
-    st.assign(kind == BatchEngineKind::Dual ? st_words + 1 : 0, 0);
+    // ST scratch: pad lanes have stSlots 0, so their word offset is
+    // st_words + slot with slot <= 3.
+    st.assign(has_select ? st_words + 4 : 0, 0);
     nls.assign(nls_words + nlsArrays * lineSize, 0);
+    // BIT arenas are scalar-accessed (bitMask lanes only), so no
+    // pad-lane scratch is needed. All-lines-NonBranch start state.
+    bit.assign(bit_words, 0);
+    bitLineNear.assign(lineSize, 0);
+    bitLinePlain.assign(lineSize, 0);
 
-    const PenaltyModel pm(false);
-    for (unsigned pk = 0; pk < numPenaltyKinds; ++pk)
-        for (unsigned slot = 0; slot < 2; ++slot)
-            pcycles[pk][slot] =
-                pm.cycles(static_cast<PenaltyKind>(pk), slot);
-    refetchExtra = pm.refetchExtra();
-
-    for (SoaTile::Scan *s : { &scanB, &scanC }) {
-        s->src.assign(padN, 0);
-        s->off.assign(padN, 0);
-        s->posByte.assign(padN, 0);
-        s->nnt.assign(padN, 0);
-        s->tgt.assign(padN, 0);
+    stagedHead = stagedCount = 0;
+    for (StagedBatch &b : staged) {
+        b.nblocks = 0;
+        for (StagedBlock &blk : b.blocks) {
+            blk.idx.assign(delayedMask ? padN : 0, 0);
+            blk.conds.clear();
+        }
     }
-    idx1.assign(padN, 0);
-    idx2.assign(padN, 0);
-    gatherOff.assign(padN, 0);
-    gatherVal.assign(padN, 0);
-    stOff.assign(padN, 0);
-    stWord.assign(padN, 0);
-    expWord.assign(padN, 0);
 }
 
 std::vector<FetchStats>
 SoaTile::finish()
 {
     std::vector<FetchStats> out(n);
-    if (!ran)
-        return out;     // the reference flushes nothing for an
-                        // empty trace
+    const bool two_ahead = kind == BatchEngineKind::TwoAhead;
+    // The reference flushes nothing for an empty trace -- except the
+    // two-ahead engine, whose teardown (attribution, bandwidth
+    // histograms, runs counter) is unconditional.
+    if (!ran && !two_ahead)
+        return out;
 
-    const bool dual = kind == BatchEngineKind::Dual;
-    const char *prefix = dual ? "engine.dual" : "engine.single";
-    const std::string insts_name =
-        std::string(prefix) + ".insts_per_request";
-    const std::string blocks_name =
-        std::string(prefix) + ".blocks_per_request";
-    const std::string runs_name =
-        std::string(prefix) + ".mispredict_run";
-    const std::string runs_counter =
-        std::string(prefix) + ".runs";
+    const std::string prefix =
+        std::string("engine.") + batchEngineKindName(kind);
+    const std::string insts_name = prefix + ".insts_per_request";
+    const std::string blocks_name = prefix + ".blocks_per_request";
+    const std::string runs_name = prefix + ".mispredict_run";
+    const std::string runs_counter = prefix + ".runs";
     const auto bank =
         static_cast<std::size_t>(PenaltyKind::BankConflict);
+    const bool has_select = kind == BatchEngineKind::Dual ||
+        kind == BatchEngineKind::Multi;
+    // Only the one- and two-block engines model BBR occupancy.
+    const bool has_bbr = kind == BatchEngineKind::Single ||
+        kind == BatchEngineKind::Dual;
 
     for (unsigned l = 0; l < n; ++l) {
+        const uint64_t lane_bit = uint64_t{ 1 } << l;
         FetchStats &s = out[l];
         s = stats[l];
         s.instructions = uInstructions;
@@ -206,20 +330,36 @@ SoaTile::finish()
         s.icacheAccesses = uIcacheAccesses;
         s.penaltyCycles[bank] += uBankCycles;
         s.penaltyEvents[bank] += uBankEvents;
-        const SoaRasGroup &g = *rasGroups[rasOf[l]];
-        s.rasOverflows = g.overflows;
-        s.bbrPeak = bbrPeak;
 
-        // The reference per-lane flush sequence (BatchLane teardown
-        // in runSingleTile/runDualTile).
-        obs::flushCounter("predict.pht.lookup", phtLookups[l]);
-        obs::flushCounter("predict.pht.update", uPhtUpdates);
-        obs::flushCounter("predict.ras.push", g.pushes);
-        obs::flushCounter("predict.ras.pop", g.pops);
-        obs::flushCounter("predict.ras.bypass", rasPeeks[l]);
-        if (dual) {
-            obs::flushCounter("predict.select.read", uSelReads);
-            obs::flushCounter("predict.select.write", uSelWrites);
+        if (!two_ahead) {
+            const SoaRasGroup &g = *rasGroups[rasOf[l]];
+            s.rasOverflows = g.overflows;
+            if (has_bbr)
+                s.bbrPeak = bbrPeak;
+
+            // The reference per-lane flush sequence (BatchLane
+            // teardown in runSingleTile/runDualTile/runMultiTile).
+            // Delayed-update lanes report only the applied batches;
+            // the trailing two are never flushed, like PhtTrainer.
+            obs::flushCounter("predict.pht.lookup", phtLookups[l]);
+            obs::flushCounter("predict.pht.update",
+                              (delayedMask & lane_bit)
+                                  ? uPhtUpdatesDelayed
+                                  : uPhtUpdates);
+            if (bitMask & lane_bit) {
+                obs::flushCounter("predict.bit.probe", uBitProbes);
+                obs::flushCounter("predict.bit.update", uBitUpdates);
+            }
+            obs::flushCounter("predict.ras.push", g.pushes);
+            obs::flushCounter("predict.ras.pop", g.pops);
+            obs::flushCounter("predict.ras.bypass", rasPeeks[l]);
+            if (has_select) {
+                const bool ds = (dsMask & lane_bit) != 0;
+                obs::flushCounter("predict.select.read",
+                                  ds ? uSelReadsDS : uSelReads);
+                obs::flushCounter("predict.select.write",
+                                  ds ? uSelWritesDS : uSelWrites);
+            }
         }
         attr[l]->flush();
         obs::flushHistogram(insts_name, bwInsts);

@@ -9,8 +9,9 @@
  * block-uniform bookkeeping. This layer restructures a tile's lane
  * state as parallel columns -- PHT counters packed one byte per
  * counter in a lane-indexed arena, GHRs / index masks / select-table
- * words / NLS targets / stat accumulators as flat arrays -- so the
- * per-block work becomes staged passes over N-lane vectors:
+ * words / NLS targets / BIT window codes / stat accumulators as flat
+ * arrays -- so the per-block work becomes staged passes over N-lane
+ * vectors:
  *
  *   index   idx[l]  = (ghr[l] ^ a) & mask[l]        (vector xor/and)
  *   scan    gather PHT counters at per-lane offsets, compare >= 2,
@@ -33,18 +34,22 @@
  * must produce bit-identical state, which batch_replay_test enforces
  * on every dispatch path the host supports.
  *
- * Not every configuration fits the columnar layout: finite BIT
- * tables, finite i-cache contents, BTB target arrays, delayed PHT
- * training and double selection keep per-lane structure (or stat
- * side effects) that would serialize the stages. laneSoaEligible()
- * gates per lane; runTile splits a mixed tile so eligible lanes
- * still take the vector path and the rest keep the reference
- * kernel.
+ * All four engine kinds (Single, Dual, Multi, TwoAhead) and the
+ * delayed-update / double-selection / finite-BIT corners ride the
+ * columnar path; only finite i-cache contents keep the reference
+ * BatchLane kernel (the replacement state is per-lane and
+ * per-access, so the stages would serialize). laneSoaFallback()
+ * names the reason per lane; runTile splits a mixed tile so
+ * eligible lanes still take the vector path and the rest keep the
+ * reference kernel, and batchReplay publishes the eligible/total
+ * ratio as the sweep.soa.lane_coverage gauge plus one
+ * sweep.soa.fallback.<reason> counter per scalar lane.
  */
 
 #ifndef MBBP_SWEEP_LANE_SOA_HH
 #define MBBP_SWEEP_LANE_SOA_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -173,6 +178,7 @@ struct SoaTile
     unsigned n = 0;             //!< live lanes (<= 64)
     std::size_t padN = 0;       //!< n rounded up to kPad
     uint64_t allMask = 0;       //!< low n bits set
+    unsigned numBlocks = 1;     //!< group size (Multi), else 1/2
     unsigned lineSize = 0;
     unsigned blockWidth = 0;
     unsigned shift = 0;         //!< floorLog2(blockWidth)
@@ -181,6 +187,12 @@ struct SoaTile
     bool ran = false;           //!< a kernel processed >= 1 block
     uint64_t nearMask = 0;      //!< lanes with nearBlock
     uint64_t storedOffMask = 0; //!< lanes with nearBlockStoredOffset
+    uint64_t dsMask = 0;        //!< lanes with doubleSelect (Dual)
+    uint64_t delayedMask = 0;   //!< lanes with delayedPhtUpdate
+    uint64_t bitMask = 0;       //!< lanes with a finite BIT that the
+                                //!< stale check runs for (excludes
+                                //!< double-select lanes, which never
+                                //!< touch their BIT in the reference)
 
     // --- PHT: one byte per 2-bit counter, lane tables contiguous.
     // The arena carries 8 trailing pad bytes so 8-byte vector
@@ -192,26 +204,65 @@ struct SoaTile
     std::vector<uint64_t> phtTabMask;   //!< numPhts - 1
     std::vector<uint64_t> histBits;     //!< historyBits (shift count)
 
-    // --- Select table (Dual): one entry packed per u64 word --
-    // src | pos<<8 | numNotTaken<<16 | endedTaken<<24 |
+    // --- Select table (Dual / Multi): one entry packed per u64 word
+    // -- src | pos<<8 | numNotTaken<<16 | endedTaken<<24 |
     // startOffset<<32 | valid<<40. The zero word is exactly the
-    // never-written entry.
+    // never-written entry. Entries hold stSlots consecutive words
+    // (2 under double selection, numBlocks-1 for Multi).
     std::vector<uint64_t> st;
     std::vector<uint64_t> stBase;       //!< word offset per lane
     std::vector<uint64_t> stTabMask;    //!< numSelectTables - 1
     std::vector<uint64_t> stEntries;    //!< 1 << historyBits
+    std::vector<uint64_t> stSlots;      //!< words per entry
 
     // --- NLS target arrays: targets only (isCall/written are never
     // observable through the batch resolve path).
     std::vector<uint64_t> nls;
     std::vector<uint64_t> nlsBase;
     std::vector<uint64_t> nlsIdxMask;   //!< targetEntries - 1
-    unsigned nlsArrays = 1;             //!< 1 (Single) or 2 (Dual)
+    unsigned nlsArrays = 1;             //!< 1 / 2 / numBlocks
 
     // --- RAS: shared per distinct capacity; peeks per lane.
     std::vector<std::unique_ptr<SoaRasGroup>> rasGroups;
     std::vector<uint32_t> rasOf;        //!< lane -> group index
     std::vector<uint64_t> rasPeeks;
+
+    // --- BIT: finite lanes keep bitEntries direct-mapped lines of
+    // lineSize window codes, one byte per code (the writer tag a
+    // BitTable entry also stores is unobservable: lookup ignores
+    // it). Perfect-BIT lanes own no arena slice.
+    std::vector<uint8_t> bit;
+    std::vector<uint64_t> bitBase;      //!< byte offset per lane
+    std::vector<uint64_t> bitEntMask;   //!< bitEntries - 1
+    std::vector<uint8_t> bitLineNear;   //!< true-code scratch, 1 line
+    std::vector<uint8_t> bitLinePlain;
+
+    // --- Delayed PHT training: mirrors PhtTrainer's two-deep
+    // request pipeline. Each request's tick() opens a batch and
+    // applies the one staged two requests ago; train() appends the
+    // request's blocks (up to numBlocks) to the open batch. The
+    // trailing <= 2 batches are never applied, exactly like the
+    // reference (batch kernels never flush the trainer).
+    struct StagedBlock
+    {
+        std::vector<uint64_t> idx;      //!< per-lane PHT index copy
+        std::vector<uint32_t> conds;    //!< (pc & (bw-1))<<1 | taken
+    };
+    struct StagedBatch
+    {
+        std::array<StagedBlock, 4> blocks;
+        unsigned nblocks = 0;
+    };
+    std::array<StagedBatch, 3> staged;
+    unsigned stagedHead = 0;
+    unsigned stagedCount = 0;
+
+    // --- TwoAhead: per-lane two-block-ahead address tables
+    // (1 << historyBits entries). Pending-prediction state is
+    // kernel-local; only the arena persists here.
+    std::vector<Addr> taAddr;
+    std::vector<uint8_t> taValid;
+    std::vector<uint64_t> taBase;       //!< entry offset per lane
 
     // --- Per-lane outputs.
     std::vector<uint64_t> phtLookups;
@@ -228,17 +279,25 @@ struct SoaTile
     uint64_t uConds = 0;
     uint64_t uNearConds = 0;
     uint64_t uIcacheAccesses = 0;
-    uint64_t uPhtUpdates = 0;
-    uint64_t uSelReads = 0;
+    uint64_t uPhtUpdates = 0;           //!< immediate-update lanes
+    uint64_t uPhtUpdatesDelayed = 0;    //!< applied-batch updates
+    uint64_t uSelReads = 0;             //!< single-selection lanes
     uint64_t uSelWrites = 0;
+    uint64_t uSelReadsDS = 0;           //!< double-selection lanes
+    uint64_t uSelWritesDS = 0;
+    uint64_t uBitProbes = 0;            //!< finite-BIT lanes
+    uint64_t uBitUpdates = 0;
     uint64_t uBankEvents = 0;
     uint64_t uBankCycles = 0;
     obs::HistogramData bwInsts;
     obs::HistogramData bwBlocks;
     std::size_t bbrPeak = 0;
 
-    // Penalty cycle table [kind][slot], single selection.
-    unsigned pcycles[numPenaltyKinds][2] = {};
+    // Penalty cycle tables [kind][slot] for both selection modes
+    // (they differ only for Misselect/Ghr/Bit); Multi charges up to
+    // slot numBlocks-1 <= 3.
+    unsigned pcycles[numPenaltyKinds][4] = {};
+    unsigned pcyclesDS[numPenaltyKinds][4] = {};
     unsigned refetchExtra = 1;
 
     // --- Per-block scratch (kernel-owned, allocation-free steady
@@ -261,8 +320,9 @@ struct SoaTile
     std::vector<uint64_t> expWord;      //!< expected ST words
     uint64_t reqMispred = 0;            //!< charged lanes, this req
 
-    /** Lay out columns and arenas for @p cs (all laneSoaEligible). */
-    void build(BatchEngineKind k,
+    /** Lay out columns and arenas for @p cs (all laneSoaEligible).
+     *  @p num_blocks is the Multi group size (ignored otherwise). */
+    void build(BatchEngineKind k, unsigned num_blocks,
                const std::vector<const FetchEngineConfig *> &cs,
                unsigned line_size);
 
@@ -270,6 +330,35 @@ struct SoaTile
      *  replay the reference per-lane obs flush sequence. */
     std::vector<FetchStats> finish();
 };
+
+/**
+ * Why a lane cannot take the columnar path (Eligible if it can).
+ * The names feed the sweep.soa.fallback.<reason> counter family, so
+ * keep them stable: they are part of the metrics surface.
+ */
+enum class SoaFallback : uint8_t
+{
+    Eligible = 0,
+    FiniteICache,       //!< finite i-cache contents (per-lane LRU)
+    BtbTarget,          //!< BTB target array instead of NLS
+    TargetGeometry,     //!< targetEntries zero or not a power of two
+    NoRas,              //!< rasEntries == 0
+    BlockWidth,         //!< blockWidth not a power of two
+    SelectGeometry,     //!< numPhts > 1 or non-pow2 numSelectTables
+                        //!< on a select-table kind
+    DoubleSelect,       //!< doubleSelect on a kind that forbids it
+    BitGeometry,        //!< finite bitEntries not a power of two
+};
+
+/** One past the last SoaFallback value (for reason histograms). */
+constexpr unsigned numSoaFallbackReasons = 9;
+
+/** Stable metric-name suffix for @p reason ("finite_icache", ...). */
+const char *soaFallbackName(SoaFallback reason);
+
+/** Why (or that) @p cfg takes the path it does under @p kind. */
+SoaFallback laneSoaFallback(BatchEngineKind kind,
+                            const FetchEngineConfig &cfg);
 
 /** Can @p cfg take the columnar path under @p kind? */
 bool laneSoaEligible(BatchEngineKind kind,
@@ -281,6 +370,8 @@ struct LaneSoaKernels
 {
     void (*runSingle)(SoaTile &tile, const DecodedTrace &dec);
     void (*runDual)(SoaTile &tile, const DecodedTrace &dec);
+    void (*runMulti)(SoaTile &tile, const DecodedTrace &dec);
+    void (*runTwoAhead)(SoaTile &tile, const DecodedTrace &dec);
 };
 
 /** Kernel table for @p level, falling back to the widest available

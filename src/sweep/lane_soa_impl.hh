@@ -35,7 +35,9 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <cstring>
 
 #include "fetch/batch_engine_state.hh"
 #include "sweep/lane_soa.hh"
@@ -279,14 +281,19 @@ chargeLane(SoaTile &t, unsigned l, Addr block_pc, unsigned slot,
  *
  * @param index_addr Target-array index address (the scored pair's
  *                   first block for dual fetching).
- * @param which      NLS array selector (0 or 1).
+ * @param which      NLS array selector (0 .. numBlocks-1).
+ * @return The lanes charged here. Feeds the dual pair's
+ *         blk1_penalized gate and the multi group's squash cascade;
+ *         stale-BIT charges deliberately stay out of both (the
+ *         reference's laneStaleBitCheck never sets either flag).
  */
-void
+uint64_t
 resolveAndCharge(SoaTile &t, const BatchBlockCtx &ctx,
                  const SoaTile::Scan &s, unsigned slot,
                  Addr index_addr, unsigned which, uint64_t gate_m)
 {
     const std::size_t pad_n = t.padN;
+    uint64_t charged = 0;
     const uint64_t actual =
         ctx.endsTaken ? ctx.actualExit : kNoExit;
 
@@ -337,6 +344,7 @@ resolveAndCharge(SoaTile &t, const BatchBlockCtx &ctx,
                        PenaltyKind::CondMispredict, cond_cycles);
             ++t.stats[l].condDirectionWrong;
         }
+        charged |= less_m | greater_m;
     }
 
     // Equal-offset lanes: the resolved address decides. Lanes that
@@ -344,7 +352,7 @@ resolveAndCharge(SoaTile &t, const BatchBlockCtx &ctx,
     // correct (FallThrough resolves without side effects).
     const uint64_t check_m = equal_m & s.found;
     if (!check_m)
-        return;
+        return charged;
 
     // NLS probe for every lane at once (the probe is stat-free, so
     // over-gathering for non-Target lanes is unobservable).
@@ -386,19 +394,182 @@ resolveAndCharge(SoaTile &t, const BatchBlockCtx &ctx,
             addr = group_top[t.rasOf[l]];
         else
             addr = s.tgt[l];
-        if (addr != next_pc)
+        if (addr != next_pc) {
             chargeLane(t, l, ctx.blk.startPc, slot, wrong_kind,
                        wrong_cycles);
+            charged |= uint64_t{ 1 } << l;
+        }
+    }
+    return charged;
+}
+
+/**
+ * laneStaleBitCheck for the finite-BIT lanes: re-run the exit scan
+ * over each lane's own (possibly aliased) BIT arena lines, charge
+ * the one-cycle penalty when the stale selector disagrees with the
+ * true-code scan in @p s, then refresh every touched line with true
+ * codes. The stale walk is scalar per lane -- it is data-dependent
+ * and short -- but the refresh payload is computed once per
+ * near-flag variant and scattered into every finite lane's arena.
+ */
+void
+bitStage(SoaTile &t, const BatchBlockCtx &ctx,
+         const StaticImage &image, const std::vector<uint64_t> &idx,
+         const SoaTile::Scan &s)
+{
+    if (!t.bitMask)
+        return;
+    const uint64_t ls = t.lineSize;
+    const uint64_t bw = t.blockWidth;
+    const unsigned cap = ctx.capacity;
+    const Addr start = ctx.blk.startPc;
+    // BitTable::lookup probes once per window instruction.
+    t.uBitProbes += cap;
+
+    const unsigned bit_cycles = t.pcycles[static_cast<unsigned>(
+        PenaltyKind::BitMispredict)][0];
+    const uint8_t *pht = t.pht.data();
+    for (uint64_t m = t.bitMask; m; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        const uint8_t *arena = t.bit.data() + t.bitBase[l];
+        const uint64_t ent_mask = t.bitEntMask[l];
+        const uint64_t pht_off = t.phtBase[l] + idx[l] * bw;
+        // predictExit over the stale codes: selector-relevant fields
+        // only (src + line position; numNotTaken never reaches the
+        // comparison).
+        uint64_t src = 0, pos = 0;
+        for (unsigned i = 0; i < cap; ++i) {
+            const Addr pc = start + i;
+            const BitCode code = static_cast<BitCode>(
+                arena[((pc / ls) & ent_mask) * ls + pc % ls]);
+            if (code == BitCode::NonBranch)
+                continue;
+            if (code == BitCode::Return) {
+                src = static_cast<uint64_t>(SelSrc::Ras);
+            } else if (code == BitCode::OtherBranch) {
+                src = static_cast<uint64_t>(SelSrc::Target);
+            } else {
+                // Conditional: the stale scan consults the real PHT
+                // counters (one counted lookup per probe).
+                ++t.phtLookups[l];
+                if (pht[pht_off + (pc & (bw - 1))] < 2)
+                    continue;
+                src = nearCondSrc(code);
+            }
+            pos = pc % ls;
+            break;
+        }
+        if (src != s.src[l] || pos != s.posByte[l])
+            chargeLane(t, l, start, 0, PenaltyKind::BitMispredict,
+                       bit_cycles);
+    }
+
+    // refreshBitEntries: every touched line learns its true codes.
+    const Addr first = start / ls;
+    const Addr last = (start + (cap ? cap - 1 : 0)) / ls;
+    t.uBitUpdates += last - first + 1;
+    const bool want_near = (t.bitMask & t.nearMask) != 0;
+    const bool want_plain = (t.bitMask & ~t.nearMask) != 0;
+    for (Addr line = first; line <= last; ++line) {
+        if (want_near)
+            batchTrueLineCodes(image, line, t.lineSize, true,
+                               t.bitLineNear.data());
+        if (want_plain)
+            batchTrueLineCodes(image, line, t.lineSize, false,
+                               t.bitLinePlain.data());
+        for (uint64_t m = t.bitMask; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            const uint8_t *codes = (t.nearMask >> l) & 1
+                ? t.bitLineNear.data()
+                : t.bitLinePlain.data();
+            std::memcpy(t.bit.data() + t.bitBase[l] +
+                            (line & t.bitEntMask[l]) * ls,
+                        codes, ls);
+        }
+    }
+}
+
+/** Apply one staged block's conditionals to the delayed lanes' PHT
+ *  counters (PhtTrainer's apply of a two-requests-old batch).
+ *  Immediate lanes ride the gather/saturate for free; the scatter
+ *  touches only delayedMask lanes. */
+void
+applyStagedBlock(SoaTile &t, const SoaTile::StagedBlock &blk)
+{
+    const std::size_t pad_n = t.padN;
+    const uint64_t bw = t.blockWidth;
+    const uint64_t *base = t.phtBase.data();
+    const uint64_t *ix = blk.idx.data();
+    uint64_t *goff = t.gatherOff.data();
+    uint64_t *gval = t.gatherVal.data();
+    uint8_t *pht = t.pht.data();
+    for (const uint32_t packed : blk.conds) {
+        const uint64_t pos = packed >> 1;
+        for (std::size_t l = 0; l < pad_n; ++l)
+            goff[l] = base[l] + ix[l] * bw + pos;
+        gatherBytes(pht, goff, gval, pad_n);
+        if (packed & 1) {
+            for (std::size_t l = 0; l < pad_n; ++l)
+                gval[l] += static_cast<uint64_t>(gval[l] < 3);
+        } else {
+            for (std::size_t l = 0; l < pad_n; ++l)
+                gval[l] -= static_cast<uint64_t>(gval[l] > 0);
+        }
+        for (uint64_t m = t.delayedMask; m; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(
+                std::countr_zero(m));
+            pht[goff[l]] = static_cast<uint8_t>(gval[l]);
+        }
+        ++t.uPhtUpdatesDelayed;
+    }
+}
+
+/** PhtTrainer::tick for the delayed lanes: open this request's
+ *  batch, then apply the one staged two requests ago. Like the
+ *  reference, the trailing <= 2 batches are simply never applied. */
+void
+delayedTick(SoaTile &t)
+{
+    if (!t.delayedMask)
+        return;
+    t.staged[(t.stagedHead + t.stagedCount) % 3].nblocks = 0;
+    ++t.stagedCount;
+    while (t.stagedCount > 2) {
+        SoaTile::StagedBatch &batch = t.staged[t.stagedHead];
+        for (unsigned b = 0; b < batch.nblocks; ++b)
+            applyStagedBlock(t, batch.blocks[b]);
+        t.stagedHead = (t.stagedHead + 1) % 3;
+        --t.stagedCount;
     }
 }
 
 /** batchTrainPht: gather / saturate +-1 / scalar byte scatter, once
  *  per conditional (tile-uniform update counts accumulate in
- *  finish()). */
+ *  finish()). Delayed-update lanes stage the block instead (the
+ *  per-lane index column is copied: the GHR moves on before the
+ *  batch applies). */
 void
 trainConds(SoaTile &t, const BatchBlockCtx &ctx,
            const std::vector<uint64_t> &idx)
 {
+    if (t.delayedMask) {
+        mbbp_assert(t.stagedCount > 0, "train before tick");
+        SoaTile::StagedBatch &batch =
+            t.staged[(t.stagedHead + t.stagedCount - 1) % 3];
+        mbbp_assert(batch.nblocks < 4,
+                    "more blocks staged than the group size allows");
+        SoaTile::StagedBlock &blk = batch.blocks[batch.nblocks++];
+        blk.idx.assign(idx.begin(), idx.end());
+        blk.conds.clear();
+        const uint64_t bw = t.blockWidth;
+        for (const BatchCondInfo &c : ctx.conds)
+            blk.conds.push_back(static_cast<uint32_t>(
+                ((c.pc & (bw - 1)) << 1) |
+                static_cast<uint64_t>(c.taken)));
+        if (t.delayedMask == t.allMask)
+            return;
+    }
     const std::size_t pad_n = t.padN;
     const uint64_t bw = t.blockWidth;
     const uint64_t *base = t.phtBase.data();
@@ -418,8 +589,17 @@ trainConds(SoaTile &t, const BatchBlockCtx &ctx,
                 gval[l] -= static_cast<uint64_t>(gval[l] > 0);
         }
         uint8_t *pht = t.pht.data();
-        for (unsigned l = 0; l < t.n; ++l)
-            pht[goff[l]] = static_cast<uint8_t>(gval[l]);
+        if (!t.delayedMask) {
+            for (unsigned l = 0; l < t.n; ++l)
+                pht[goff[l]] = static_cast<uint8_t>(gval[l]);
+        } else {
+            const uint64_t imm = t.allMask & ~t.delayedMask;
+            for (uint64_t m = imm; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                pht[goff[l]] = static_cast<uint8_t>(gval[l]);
+            }
+        }
     }
 }
 
@@ -531,6 +711,7 @@ endRequest(SoaTile &t, uint64_t insts, uint64_t blocks)
 void
 runSingleImpl(SoaTile &t, const DecodedTrace &dec)
 {
+    const StaticImage &image = dec.image();
     const std::size_t nblocks = dec.numBlocks();
     if (nblocks == 0)
         return;     // the reference returns before any flush
@@ -547,11 +728,13 @@ runSingleImpl(SoaTile &t, const DecodedTrace &dec)
 
         ++t.uFetchRequests;
         t.reqMispred = 0;
+        delayedTick(t);
         countBlockUniform(t, ctx);
         t.uPhtUpdates += ctx.conds.size();
 
         phtIndexes(t, ctx.blk.startPc >> t.shift, t.idx1);
         scanBlock(t, ctx, t.idx1, t.scanB);
+        bitStage(t, ctx, image, t.idx1, t.scanB);
         resolveAndCharge(t, ctx, t.scanB, 0, ctx.blk.startPc, 0,
                          t.allMask);
 
@@ -568,11 +751,13 @@ runSingleImpl(SoaTile &t, const DecodedTrace &dec)
     t.bbrPeak = bbr.peakInFlight();
 }
 
-/** runDualTile over the SoA tile (single selection only; the
- *  double-select configurations stay on the reference kernel). */
+/** runDualTile over the SoA tile (double-selection lanes included:
+ *  their extra slot-0 select stage and the wider two-slot entries
+ *  ride the same columns, keyed by dsMask). */
 void
 runDualImpl(SoaTile &t, const DecodedTrace &dec)
 {
+    const StaticImage &image = dec.image();
     const std::size_t nblocks = dec.numBlocks();
     if (nblocks == 0)
         return;
@@ -611,6 +796,7 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
 
         ++t.uFetchRequests;
         t.reqMispred = 0;
+        delayedTick(t);
         countBlockUniform(t, ctxC);
         uint64_t req_insts = ctxC.numInsts;
         if (have_d) {
@@ -627,9 +813,53 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
         // ===== Block 1: B's exit prediction (C's address). =====
         phtIndexes(t, ctxB.blk.startPc >> t.shift, t.idx1);
         scanBlock(t, ctxB, t.idx1, t.scanB);
-        resolveAndCharge(t, ctxB, t.scanB, 0, ctxB.blk.startPc, 0,
-                         t.allMask);
-        const uint64_t pen1 = t.reqMispred;
+
+        uint64_t pen1 = 0;
+        if (t.dsMask) {
+            // Double selection's slot-0 stage: read the entry B's
+            // address selects, compare selector then GHR info (never
+            // the stored offset), and always write the truth back.
+            // One read + one write per request, even the trailing
+            // partial one.
+            ++t.uSelReadsDS;
+            ++t.uSelWritesDS;
+            const uint64_t c_off =
+                (ctxC.blk.startPc % t.lineSize) & 0xff;
+            const unsigned missel0 = t.pcyclesDS[static_cast<
+                unsigned>(PenaltyKind::Misselect)][0];
+            const unsigned ghr0 = t.pcyclesDS[static_cast<unsigned>(
+                PenaltyKind::GhrMispredict)][0];
+            uint64_t *st = t.st.data();
+            for (uint64_t m = t.dsMask; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                const uint64_t off = t.stBase[l] +
+                    ((ctxB.blk.startPc & t.stTabMask[l]) *
+                         t.stEntries[l] +
+                     t.idx1[l]) *
+                        t.stSlots[l];
+                const uint64_t exp = t.scanB.src[l] |
+                    ((t.scanB.posByte[l] & 0xff) << 8) |
+                    (t.scanB.nnt[l] << 16) |
+                    (((t.scanB.found >> l) & 1) << 24) |
+                    (c_off << 32) | (uint64_t{ 1 } << 40);
+                const uint64_t diff = st[off] ^ exp;
+                if (diff & 0xffff) {
+                    chargeLane(t, l, ctxB.blk.startPc, 0,
+                               PenaltyKind::Misselect, missel0);
+                    pen1 |= uint64_t{ 1 } << l;
+                } else if (diff & 0xffff0000) {
+                    chargeLane(t, l, ctxB.blk.startPc, 0,
+                               PenaltyKind::GhrMispredict, ghr0);
+                    pen1 |= uint64_t{ 1 } << l;
+                }
+                st[off] = exp;
+            }
+        }
+        bitStage(t, ctxB, image, t.idx1, t.scanB);
+
+        pen1 |= resolveAndCharge(t, ctxB, t.scanB, 0,
+                                 ctxB.blk.startPc, 0, t.allMask);
 
         bbr.addBlock(ctxB.conds.size());
         t.uPhtUpdates += ctxB.conds.size();
@@ -650,10 +880,16 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
         scanBlock(t, ctxC, t.idx2, t.scanC);
 
         // One ST read and one write per pair, for every lane
-        // (tile-uniform counts); entries live at
-        // (tableOf(C) * entries + idx1) in each lane's slab.
+        // (tile-uniform counts; double-select lanes also counted
+        // the slot-0 stage above); entries live at
+        // ((tableOf(C) * entries + idx1) * slots + dsBit) in each
+        // lane's slab.
         ++t.uSelReads;
         ++t.uSelWrites;
+        if (t.dsMask) {
+            ++t.uSelReadsDS;
+            ++t.uSelWritesDS;
+        }
         const uint64_t tab_addr = ctxC.blk.startPc;
         const std::size_t pad_n = t.padN;
         // Dedicated offset column: resolveAndCharge clobbers the
@@ -661,8 +897,10 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
         uint64_t *soff = t.stOff.data();
         for (std::size_t l = 0; l < pad_n; ++l)
             soff[l] = t.stBase[l] +
-                (tab_addr & t.stTabMask[l]) * t.stEntries[l] +
-                t.idx1[l];
+                ((tab_addr & t.stTabMask[l]) * t.stEntries[l] +
+                 t.idx1[l]) *
+                    t.stSlots[l] +
+                ((t.dsMask >> l) & 1);
         gatherWords(t.st.data(), soff, t.stWord.data(), pad_n);
         for (std::size_t l = 0; l < pad_n; ++l)
             t.expWord[l] = t.scanC.src[l] |
@@ -671,27 +909,37 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
                 (((t.scanC.found >> l) & 1) << 24) |
                 (d_offset << 32) | (uint64_t{ 1 } << 40);
 
+        // Slot-1 select penalties differ under double selection
+        // (PenaltyModel(doubleSelect) is per lane).
         const unsigned missel_cycles = t.pcycles[static_cast<
             unsigned>(PenaltyKind::Misselect)][1];
         const unsigned ghr_cycles = t.pcycles[static_cast<unsigned>(
+            PenaltyKind::GhrMispredict)][1];
+        const unsigned missel_ds = t.pcyclesDS[static_cast<unsigned>(
+            PenaltyKind::Misselect)][1];
+        const unsigned ghr_ds = t.pcyclesDS[static_cast<unsigned>(
             PenaltyKind::GhrMispredict)][1];
         uint64_t resolve_m = t.allMask & ~pen1;
         for (uint64_t m = resolve_m; m; m &= m - 1) {
             const unsigned l = static_cast<unsigned>(
                 std::countr_zero(m));
+            const bool ds = (t.dsMask >> l) & 1;
             const uint64_t diff = t.stWord[l] ^ t.expWord[l];
             if (diff & 0xffff) {
                 chargeLane(t, l, ctxC.blk.startPc, 1,
-                           PenaltyKind::Misselect, missel_cycles);
+                           PenaltyKind::Misselect,
+                           ds ? missel_ds : missel_cycles);
             } else if (diff & 0xffff0000) {
                 chargeLane(t, l, ctxC.blk.startPc, 1,
-                           PenaltyKind::GhrMispredict, ghr_cycles);
+                           PenaltyKind::GhrMispredict,
+                           ds ? ghr_ds : ghr_cycles);
             } else if (((t.storedOffMask >> l) & 1) &&
                        t.scanC.src[l] >=
                            static_cast<uint64_t>(SelSrc::LinePrev) &&
                        ((t.stWord[l] >> 32) & 0xff) != d_offset) {
                 chargeLane(t, l, ctxC.blk.startPc, 1,
-                           PenaltyKind::Misselect, missel_cycles);
+                           PenaltyKind::Misselect,
+                           ds ? missel_ds : missel_cycles);
             }
         }
         resolveAndCharge(t, ctxC, t.scanC, 1, ctxB.blk.startPc, 1,
@@ -719,12 +967,297 @@ runDualImpl(SoaTile &t, const DecodedTrace &dec)
     t.bbrPeak = bbr.peakInFlight();
 }
 
+/** runMultiTile over the SoA tile. */
+void
+runMultiImpl(SoaTile &t, const DecodedTrace &dec)
+{
+    const StaticImage &image = dec.image();
+    const std::size_t nblocks = dec.numBlocks();
+    if (nblocks == 0)
+        return;
+    t.ran = true;
+
+    const unsigned nb = t.numBlocks;
+    // ctxs[0]: last block of the currently fetching group; ctxs[1..]
+    // the next group's blocks.
+    std::vector<BatchBlockCtx> ctxs(nb + 1);
+    std::array<bool, 4> conflict{};
+    std::size_t bi = 0;
+    ctxs[0].build(dec, bi, t.lineSize);
+
+    // The first block primes the pipeline alone.
+    ++t.uFetchRequests;
+    t.reqMispred = 0;
+    countBlockUniform(t, ctxs[0]);
+    endRequest(t, ctxs[0].numInsts, 1);
+
+    for (;;) {
+        const std::size_t g_first = bi + 1;
+        const std::size_t g_count = g_first < nblocks
+            ? std::min<std::size_t>(nb, nblocks - g_first) : 0;
+        if (g_count == 0)
+            break;
+        mbbp_assert(dec.startPc(g_first) == ctxs[0].blk.nextPc,
+                    "block index out of sync");
+        for (std::size_t j = 0; j < g_count; ++j)
+            ctxs[j + 1].build(dec, g_first + j, t.lineSize);
+        for (std::size_t j = 1; j < g_count; ++j) {
+            bool c = false;
+            for (std::size_t i = 0; i < j && !c; ++i)
+                c = batchBankConflict(ctxs[i + 1], ctxs[j + 1],
+                                      t.numBanks);
+            conflict[j] = c;
+        }
+
+        ++t.uFetchRequests;
+        t.reqMispred = 0;
+        delayedTick(t);
+        uint64_t req_insts = 0;
+        for (std::size_t j = 0; j < g_count; ++j) {
+            countBlockUniform(t, ctxs[j + 1]);
+            req_insts += ctxs[j + 1].numInsts;
+        }
+        for (std::size_t j = 1; j < g_count; ++j) {
+            if (conflict[j]) {
+                ++t.uBankEvents;
+                t.uBankCycles += t.pcycles[static_cast<unsigned>(
+                    PenaltyKind::BankConflict)][j];
+            }
+        }
+
+        // Slot 0: B's own exit via BIT+PHT.
+        phtIndexes(t, ctxs[0].blk.startPc >> t.shift, t.idx1);
+        scanBlock(t, ctxs[0], t.idx1, t.scanB);
+        bitStage(t, ctxs[0], image, t.idx1, t.scanB);
+        uint64_t squashed = resolveAndCharge(
+            t, ctxs[0], t.scanB, 0, ctxs[0].blk.startPc, 0,
+            t.allMask);
+        t.uPhtUpdates += ctxs[0].conds.size();
+        trainConds(t, ctxs[0], t.idx1);
+        ghrShift(t, ghrInsertBits(ctxs[0]), ctxs[0].numConds);
+        rasApply(t, ctxs[0]);
+        nlsUpdate(t, ctxs[0], ctxs[0].blk.startPc, 0);
+
+        // Slots k = 1..: select-table predictions, all indexed by
+        // idx1; a charge at any earlier slot squashes the later
+        // ones' penalties (but never their reads, writes, or
+        // training).
+        for (std::size_t k = 1; k < g_count; ++k) {
+            const BatchBlockCtx &prev = ctxs[k];
+            const unsigned ku = static_cast<unsigned>(k);
+            phtIndexes(t, prev.blk.startPc >> t.shift, t.idx2);
+            scanBlock(t, prev, t.idx2, t.scanC);
+
+            ++t.uSelReads;
+            ++t.uSelWrites;
+            const uint64_t tab_addr = prev.blk.startPc;
+            const uint64_t w_offset =
+                (prev.blk.nextPc % t.lineSize) & 0xff;
+            const std::size_t pad_n = t.padN;
+            uint64_t *soff = t.stOff.data();
+            for (std::size_t l = 0; l < pad_n; ++l)
+                soff[l] = t.stBase[l] +
+                    ((tab_addr & t.stTabMask[l]) * t.stEntries[l] +
+                     t.idx1[l]) *
+                        t.stSlots[l] +
+                    (k - 1);
+            gatherWords(t.st.data(), soff, t.stWord.data(), pad_n);
+            for (std::size_t l = 0; l < pad_n; ++l)
+                t.expWord[l] = t.scanC.src[l] |
+                    ((t.scanC.posByte[l] & 0xff) << 8) |
+                    (t.scanC.nnt[l] << 16) |
+                    (((t.scanC.found >> l) & 1) << 24) |
+                    (w_offset << 32) | (uint64_t{ 1 } << 40);
+
+            const unsigned missel_cycles = t.pcycles[static_cast<
+                unsigned>(PenaltyKind::Misselect)][ku];
+            const unsigned ghr_cycles = t.pcycles[static_cast<
+                unsigned>(PenaltyKind::GhrMispredict)][ku];
+            const uint64_t gate = t.allMask & ~squashed;
+            for (uint64_t m = gate; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                const uint64_t diff = t.stWord[l] ^ t.expWord[l];
+                if (diff & 0xffff) {
+                    chargeLane(t, l, prev.blk.startPc, ku,
+                               PenaltyKind::Misselect,
+                               missel_cycles);
+                } else if (diff & 0xffff0000) {
+                    chargeLane(t, l, prev.blk.startPc, ku,
+                               PenaltyKind::GhrMispredict,
+                               ghr_cycles);
+                }
+                // No stored-offset rule: the multi-block engine
+                // models plain single selection.
+            }
+            squashed |= resolveAndCharge(t, prev, t.scanC, ku,
+                                         ctxs[0].blk.startPc, ku,
+                                         gate);
+            uint64_t *st = t.st.data();
+            for (unsigned l = 0; l < t.n; ++l)
+                st[soff[l]] = t.expWord[l];
+
+            nlsUpdate(t, prev, ctxs[0].blk.startPc, ku);
+            t.uPhtUpdates += prev.conds.size();
+            trainConds(t, prev, t.idx2);
+            ghrShift(t, ghrInsertBits(prev), prev.numConds);
+            rasApply(t, prev);
+        }
+
+        endRequest(t, req_insts, g_count);
+
+        if (g_count < nb)
+            break;      // block index exhausted mid-group
+        bi = g_first + g_count - 1;
+        std::swap(ctxs[0], ctxs[g_count]);
+    }
+}
+
+/** runTwoAheadTile over the SoA tile: per-lane state is just the
+ *  two-ahead address table plus a two-deep pending ring whose
+ *  occupancy (pcount/phead) is block-stream-driven and therefore
+ *  tile-uniform; only the ring's contents are per lane. */
+void
+runTwoAheadImpl(SoaTile &t, const DecodedTrace &dec)
+{
+    const std::size_t nblocks = dec.numBlocks();
+    const std::size_t pad_n = t.padN;
+
+    std::vector<uint64_t> pend_idx[2], pend_pred[2];
+    pend_idx[0].assign(pad_n, 0);
+    pend_idx[1].assign(pad_n, 0);
+    pend_pred[0].assign(pad_n, 0);
+    pend_pred[1].assign(pad_n, 0);
+    uint64_t pend_valid[2] = { 0, 0 };
+    unsigned pcount = 0, phead = 0;
+    uint64_t req_insts0 = 0, req_blocks = 0;
+    bool req_open = false;
+
+    BatchBlockCtx cur, prevCtx;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        t.ran = true;
+        cur.build(dec, b, t.lineSize);
+        // Second slot of a request: stash (= block b-1) vs this one.
+        const bool conflict = (b >= 2 && b % 2 == 0)
+            ? batchBankConflict(prevCtx, cur, t.numBanks) : false;
+
+        if (b == 0) {
+            ++t.uFetchRequests;
+            req_open = true;
+            t.reqMispred = 0;
+            req_insts0 = t.uInstructions;
+            req_blocks = 0;
+        } else if (b % 2 == 1) {
+            endRequest(t, t.uInstructions - req_insts0, req_blocks);
+            ++t.uFetchRequests;
+            t.reqMispred = 0;
+            req_insts0 = t.uInstructions;
+            req_blocks = 0;
+        } else if (conflict) {
+            ++t.uBankEvents;
+            t.uBankCycles += t.pcycles[static_cast<unsigned>(
+                PenaltyKind::BankConflict)][1];
+        }
+        // batchCountBlockStats only: the two-ahead engine never
+        // touches the i-cache model (countBlockUniform would).
+        t.uInstructions += cur.numInsts;
+        t.uBlocks += 1;
+        t.uBranches += cur.numBranches;
+        t.uConds += cur.numConds;
+        t.uNearConds += cur.numNearConds;
+        ++req_blocks;
+
+        // Score the prediction made two blocks ago. The mispredict
+        // kind and cycle count come from the previous block's
+        // uniform facts; only the hit/miss split is per lane.
+        if (pcount == 2) {
+            const std::vector<uint64_t> &pidx = pend_idx[phead];
+            const std::vector<uint64_t> &ppred = pend_pred[phead];
+            const uint64_t pvalid = pend_valid[phead];
+            phead ^= 1;
+            --pcount;
+            const unsigned slot = b % 2 == 1 ? 0u : 1u;
+            PenaltyKind kind = PenaltyKind::MisfetchImmediate;
+            if (prevCtx.endsTaken) {
+                if (prevCtx.exitIsCond)
+                    kind = PenaltyKind::CondMispredict;
+                else if (prevCtx.exitIsReturn)
+                    kind = PenaltyKind::ReturnMispredict;
+                else if (prevCtx.exitIsIndirect)
+                    kind = PenaltyKind::MisfetchIndirect;
+            } else {
+                kind = prevCtx.numConds > 0
+                    ? PenaltyKind::CondMispredict
+                    : PenaltyKind::MisfetchImmediate;
+            }
+            const unsigned cycles =
+                t.pcycles[static_cast<unsigned>(kind)][slot];
+            const bool is_cond =
+                kind == PenaltyKind::CondMispredict;
+            uint64_t wrong = ~pvalid & t.allMask;
+            for (uint64_t m = pvalid & t.allMask; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                if (ppred[l] != cur.blk.startPc)
+                    wrong |= uint64_t{ 1 } << l;
+            }
+            for (uint64_t m = wrong; m; m &= m - 1) {
+                const unsigned l = static_cast<unsigned>(
+                    std::countr_zero(m));
+                chargeLane(t, l, prevCtx.blk.startPc, slot, kind,
+                           cycles);
+                if (is_cond)
+                    ++t.stats[l].condDirectionWrong;
+            }
+            // The table learns the truth for every lane, before
+            // this block's own prediction reads it (the reference
+            // order).
+            Addr *ta = t.taAddr.data();
+            uint8_t *tv = t.taValid.data();
+            for (unsigned l = 0; l < t.n; ++l) {
+                const uint64_t e = t.taBase[l] + pidx[l];
+                ta[e] = cur.blk.startPc;
+                tv[e] = 1;
+            }
+        }
+
+        // Make this block's two-ahead prediction.
+        std::vector<uint64_t> &nidx = pend_idx[(phead + pcount) % 2];
+        std::vector<uint64_t> &npred =
+            pend_pred[(phead + pcount) % 2];
+        uint64_t nvalid = 0;
+        const uint64_t *g = t.ghr.data();
+        const Addr *ta = t.taAddr.data();
+        const uint8_t *tv = t.taValid.data();
+        for (unsigned l = 0; l < t.n; ++l) {
+            const uint64_t ix =
+                (g[l] ^ xorFold(cur.lineAddr, static_cast<unsigned>(
+                                    t.histBits[l]))) &
+                t.idxMask[l];
+            const uint64_t e = t.taBase[l] + ix;
+            nidx[l] = ix;
+            npred[l] = ta[e];
+            nvalid |= static_cast<uint64_t>(tv[e] != 0) << l;
+        }
+        pend_valid[(phead + pcount) % 2] = nvalid;
+        ++pcount;
+
+        ghrShift(t, ghrInsertBits(cur), cur.numConds);
+
+        std::swap(prevCtx, cur);
+    }
+
+    if (req_open)
+        endRequest(t, t.uInstructions - req_insts0, req_blocks);
+}
+
 } // namespace
 
 const LaneSoaKernels &
 kernels()
 {
-    static const LaneSoaKernels k{ &runSingleImpl, &runDualImpl };
+    static const LaneSoaKernels k{ &runSingleImpl, &runDualImpl,
+                                   &runMultiImpl, &runTwoAheadImpl };
     return k;
 }
 

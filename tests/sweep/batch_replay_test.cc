@@ -16,6 +16,7 @@
 #include "fetch/single_block_engine.hh"
 #include "fetch/two_ahead_engine.hh"
 #include "obs/attribution.hh"
+#include "obs/obs.hh"
 #include "util/simd.hh"
 #include "workload/spec95.hh"
 
@@ -313,6 +314,44 @@ soaVariants(std::size_t count)
     return cfgs;
 }
 
+/** soaVariants plus the feature corners the full-coverage kernels
+ *  own: delayed PHT update, finite BIT, double selection (Dual-only
+ *  -- every other reference engine asserts against it), and their
+ *  pairings, layered over the geometry cycling. */
+std::vector<FetchEngineConfig>
+cornerVariants(std::size_t count, bool allow_double_select)
+{
+    std::vector<FetchEngineConfig> cfgs = soaVariants(count);
+    const unsigned bits[] = { 16, 64, 256, 1024 };
+    for (std::size_t i = 0; i < count; ++i) {
+        FetchEngineConfig &e = cfgs[i];
+        switch (i % 5) {
+          case 1:
+            e.delayedPhtUpdate = true;
+            break;
+          case 2:
+            e.bitEntries = bits[(i / 5) % 4];
+            break;
+          case 3:
+            if (allow_double_select) {
+                e.doubleSelect = true;
+            } else {
+                e.nearBlock = true;
+                e.nearBlockStoredOffset = true;
+                e.delayedPhtUpdate = true;
+            }
+            break;
+          case 4:
+            e.delayedPhtUpdate = true;
+            e.bitEntries = bits[(i / 5) % 4];
+            break;
+          default:
+            break;
+        }
+    }
+    return cfgs;
+}
+
 /** Restore the process-wide dispatch on scope exit so one failing
  *  expectation cannot leak a forced level into other tests. */
 struct SimdLevelGuard
@@ -325,8 +364,9 @@ TEST_F(BatchReplayTest, SimdVariantsMatchScalarFieldExact)
 {
     // Every dispatch level the host supports must reproduce the
     // scalar kernel's FetchStats bit-for-bit, across all four engine
-    // kinds and lane counts spanning sub-vector (1, 3), exactly one
-    // vector (8), and ragged multi-vector (17) tiles.
+    // kinds, the delayed-update / double-select / finite-BIT feature
+    // corners, and lane counts spanning sub-vector (1, 3), exactly
+    // one vector (8), ragged multi-vector (17), and a full tile (64).
     struct KindCase
     {
         BatchEngineKind kind;
@@ -342,11 +382,12 @@ TEST_F(BatchReplayTest, SimdVariantsMatchScalarFieldExact)
                                  simd::Level::Avx512 };
 
     SimdLevelGuard guard;
-    for (std::size_t lanes : { 1u, 3u, 8u, 17u }) {
-        std::vector<FetchEngineConfig> engines = soaVariants(lanes);
+    for (std::size_t lanes : { 1u, 3u, 8u, 17u, 64u }) {
         DecodedTrace dec =
-            DecodedTrace::build(go_, engines[0].icache);
+            DecodedTrace::build(go_, FetchEngineConfig().icache);
         for (const KindCase &kc : kinds) {
+            std::vector<FetchEngineConfig> engines = cornerVariants(
+                lanes, kc.kind == BatchEngineKind::Dual);
             simd::setLevel(simd::Level::Scalar);
             std::vector<FetchStats> base = batchReplayKind(
                 kc.kind, engines, kc.numBlocks, dec);
@@ -390,6 +431,128 @@ TEST_F(BatchReplayTest, ScalarForcedStillMatchesSoloEngines)
         DualBlockEngine de(engines[i]);
         EXPECT_EQ(de.run(dec), dual[i]) << "lane " << i;
     }
+}
+
+TEST_F(BatchReplayTest, InterleavedEligibilityKeepsReportOrder)
+{
+    // Alternating eligible / finite-icache (reference-path) lanes:
+    // the tile splitter must merge the SoA and reference partitions
+    // back by original position, not by partition order.
+    std::vector<FetchEngineConfig> engines;
+    for (unsigned i = 0; i < 9; ++i) {
+        FetchEngineConfig e;
+        e.historyBits = 6 + i % 5;
+        if (i % 2 == 1) {
+            e.icacheLines = 64;
+            e.icacheAssoc = 2;
+            e.icacheMissPenalty = 6;
+        } else if (i % 4 == 2) {
+            e.bitEntries = 64;
+        }
+        engines.push_back(e);
+    }
+    std::vector<SimConfig> cfgs = simConfigs(engines, 2);
+    DecodedTrace dec =
+        DecodedTrace::build(go_, cfgs[0].engine.icache);
+    std::vector<FetchStats> batched = batchReplay(cfgs, dec);
+    ASSERT_EQ(batched.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        DualBlockEngine engine(cfgs[i].engine);
+        EXPECT_EQ(engine.run(dec), batched[i]) << "lane " << i;
+    }
+}
+
+TEST_F(BatchReplayTest, BitArenaColumnsExactAcrossSizes)
+{
+    // Per-lane finite-BIT arenas from one-entry up to
+    // larger-than-working-set, on every kind that consults the BIT,
+    // under every dispatch level the host supports. Sanitizer builds
+    // sweep the arena and true-code scratch columns for
+    // out-of-bounds accesses here.
+    std::vector<FetchEngineConfig> engines;
+    for (unsigned i = 0; i < 12; ++i) {
+        FetchEngineConfig e;
+        e.historyBits = 6 + i % 4;
+        e.bitEntries = 1u << (i % 10);      // 1 .. 512 lines
+        e.nearBlock = i % 3 == 1;
+        e.delayedPhtUpdate = i % 4 == 3;
+        engines.push_back(e);
+    }
+    DecodedTrace dec = DecodedTrace::build(go_, engines[0].icache);
+
+    std::vector<FetchStats> single, dual, multi;
+    for (const FetchEngineConfig &e : engines) {
+        single.push_back(SingleBlockEngine(e).run(dec));
+        dual.push_back(DualBlockEngine(e).run(dec));
+        multi.push_back(MultiBlockEngine(e, 3).run(dec));
+    }
+
+    SimdLevelGuard guard;
+    const simd::Level levels[] = { simd::Level::Scalar,
+                                   simd::Level::Avx2,
+                                   simd::Level::Avx512 };
+    for (simd::Level l : levels) {
+        simd::setLevel(l);
+        if (simd::activeLevel() != l)
+            continue;           // host lacks this ISA level
+        std::vector<FetchStats> got_single = batchReplayKind(
+            BatchEngineKind::Single, engines, 1, dec);
+        std::vector<FetchStats> got_dual = batchReplayKind(
+            BatchEngineKind::Dual, engines, 2, dec);
+        std::vector<FetchStats> got_multi = batchReplayKind(
+            BatchEngineKind::Multi, engines, 3, dec);
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            EXPECT_EQ(got_single[i], single[i])
+                << "single lane " << i << " level "
+                << simd::levelName(l);
+            EXPECT_EQ(got_dual[i], dual[i])
+                << "dual lane " << i << " level "
+                << simd::levelName(l);
+            EXPECT_EQ(got_multi[i], multi[i])
+                << "multi lane " << i << " level "
+                << simd::levelName(l);
+        }
+    }
+}
+
+TEST_F(BatchReplayTest, CoverageGaugeAndFallbackCounters)
+{
+    // Three columnar lanes plus one finite-icache lane: coverage is
+    // 750 per mille and the fallback reason is attributed.
+    std::vector<FetchEngineConfig> engines = soaVariants(3);
+    FetchEngineConfig finite_cache;
+    finite_cache.icacheLines = 64;
+    finite_cache.icacheAssoc = 2;
+    engines.push_back(finite_cache);
+    DecodedTrace dec =
+        DecodedTrace::build(compress_, engines[0].icache);
+
+    obs::setEnabled(true);
+    const uint64_t total0 =
+        obs::counter("sweep.soa.lanes.total").value();
+    const uint64_t elig0 =
+        obs::counter("sweep.soa.lanes.eligible").value();
+    const uint64_t fall0 =
+        obs::counter("sweep.soa.fallback.finite_icache").value();
+    (void)batchReplayKind(BatchEngineKind::Single, engines, 1, dec);
+    EXPECT_EQ(obs::gauge("sweep.soa.lane_coverage").value(), 750u);
+    EXPECT_EQ(obs::counter("sweep.soa.lanes.total").value() - total0,
+              4u);
+    EXPECT_EQ(obs::counter("sweep.soa.lanes.eligible").value() -
+                  elig0,
+              3u);
+    EXPECT_EQ(
+        obs::counter("sweep.soa.fallback.finite_icache").value() -
+            fall0,
+        1u);
+
+    // A fig7 shape (finite BIT everywhere) is fully columnar.
+    std::vector<FetchEngineConfig> fig7 = soaVariants(4);
+    for (FetchEngineConfig &e : fig7)
+        e.bitEntries = 64;
+    (void)batchReplayKind(BatchEngineKind::Dual, fig7, 2, dec);
+    EXPECT_EQ(obs::gauge("sweep.soa.lane_coverage").value(), 1000u);
+    obs::setEnabled(false);
 }
 
 TEST(BatchKeyTest, GroupsByEngineKindAndGeometry)
